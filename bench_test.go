@@ -1,0 +1,330 @@
+package repro
+
+// Benchmark harness: one benchmark per paper table/figure (see DESIGN.md's
+// experiment index) plus ablation benches for the design choices the
+// reproduction makes. The full paper-format numbers come from
+// cmd/qrec-experiments; these benches measure the cost of each
+// experiment's inner loop so regressions in the substrate show up in
+// `go test -bench`.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/autograd"
+	"repro/internal/baselines"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/decode"
+	"repro/internal/seq2seq"
+	"repro/internal/tokenizer"
+	"repro/internal/train"
+)
+
+// shared fixtures, built once.
+var (
+	fixtureOnce sync.Once
+	fxWorkload  *Workload
+	fxDataset   *Dataset
+	fxRec       *Recommender
+	fxSrc       []int
+)
+
+func fixtures(b *testing.B) (*Workload, *Dataset, *Recommender) {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fxWorkload = GenerateSDSS(42)
+		ds, err := Prepare(fxWorkload)
+		if err != nil {
+			panic(err)
+		}
+		fxDataset = ds
+		rec, err := TrainRecommender(ds, Transformer,
+			WithEpochs(1), WithMaxTrainPairs(150), WithDModel(16), WithSeed(9))
+		if err != nil {
+			panic(err)
+		}
+		fxRec = rec
+		fxSrc = rec.Vocab.Encode(ds.Test[0].Cur.Tokens, true)
+	})
+	return fxWorkload, fxDataset, fxRec
+}
+
+// BenchmarkTable2Stats measures the Table 2 workload-statistics pass.
+func BenchmarkTable2Stats(b *testing.B) {
+	wl, _, _ := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeWorkloadStats(wl)
+	}
+}
+
+// BenchmarkTable3ModelStats measures one seq2seq training step (forward +
+// backward + Adam) — the unit Table 3's training times are built from.
+func BenchmarkTable3ModelStats(b *testing.B) {
+	_, ds, rec := fixtures(b)
+	ex := train.Example{
+		Src: rec.Vocab.Encode(ds.Train[0].Cur.Tokens, true),
+		Tgt: rec.Vocab.Encode(ds.Train[0].Next.Tokens, false),
+	}
+	optim := train.NewAdam(1e-3)
+	params := rec.Model.Params()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := rec.Model.Encode(ex.Src, true, rng)
+		tgtIn := append([]int{tokenizer.BOS}, ex.Tgt...)
+		tgtOut := append(append([]int(nil), ex.Tgt...), tokenizer.EOS)
+		logits := rec.Model.DecodeLogits(enc, tgtIn, true, rng)
+		loss := autograd.CrossEntropy(logits, tgtOut, tokenizer.PAD)
+		autograd.Backward(loss)
+		optim.Step(params)
+	}
+}
+
+// BenchmarkTable5FragmentSet measures one fragment-set prediction (greedy
+// decode + fragment extraction), the inner loop of Table 5.
+func BenchmarkTable5FragmentSet(b *testing.B) {
+	_, _, rec := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.FragmentSetFromTokens(fxSrc)
+	}
+}
+
+// BenchmarkTable5Baselines measures the QueRIE retrieval that Table 5
+// compares against.
+func BenchmarkTable5Baselines(b *testing.B) {
+	_, ds, _ := fixtures(b)
+	querie := baselines.NewQueRIE(ds.Train[:200])
+	cur := ds.Test[0].Cur
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		querie.FragmentSet(cur)
+	}
+}
+
+// BenchmarkTable6Template measures one top-1 template prediction.
+func BenchmarkTable6Template(b *testing.B) {
+	_, _, rec := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Classifier.PredictTopN(fxSrc, 1)
+	}
+}
+
+// BenchmarkFig9TemplateFrequency measures the template popularity scan.
+func BenchmarkFig9TemplateFrequency(b *testing.B) {
+	wl, _, _ := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeTemplateFrequency(wl)
+	}
+}
+
+// BenchmarkFig10SessionAnalysis measures the per-session statistics pass
+// behind Figures 10/11 (a)-(e).
+func BenchmarkFig10SessionAnalysis(b *testing.B) {
+	wl, _, _ := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Summarize(analysis.ComputeSessionStats(wl))
+	}
+}
+
+// BenchmarkFig11PairDeltas measures the pair-level syntactic-delta pass
+// behind Figures 10/11 (f)-(l).
+func BenchmarkFig11PairDeltas(b *testing.B) {
+	wl, _, _ := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.SummarizePairs(analysis.ComputePairDeltas(wl))
+	}
+}
+
+// BenchmarkFig12NFragments measures one N-fragments prediction (beam
+// search + search-tree aggregation), the inner loop of Figure 12.
+func BenchmarkFig12NFragments(b *testing.B) {
+	_, _, rec := fixtures(b)
+	opts := DefaultNFragmentsOptions()
+	opts.Width = 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.NFragmentsFromTokens(fxSrc, 5, opts)
+	}
+}
+
+// BenchmarkFig12Strategies compares the three search strategies of
+// Section 4.2.2 head to head.
+func BenchmarkFig12Strategies(b *testing.B) {
+	_, _, rec := fixtures(b)
+	for _, strat := range []core.Strategy{core.StrategyBeam, core.StrategyDiverseBeam, core.StrategySampling} {
+		b.Run(strat.String(), func(b *testing.B) {
+			opts := DefaultNFragmentsOptions()
+			opts.Strategy = strat
+			opts.Width = 3
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec.NFragmentsFromTokens(fxSrc, 5, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFig13NTemplates measures one top-5 template ranking.
+func BenchmarkFig13NTemplates(b *testing.B) {
+	_, _, rec := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Classifier.PredictTopN(fxSrc, 5)
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationPrePostLN compares pre-LN (used) and post-LN (original
+// transformer) block forward passes.
+func BenchmarkAblationPrePostLN(b *testing.B) {
+	for _, post := range []bool{false, true} {
+		name := "preLN"
+		if post {
+			name = "postLN"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := seq2seq.DefaultConfig(seq2seq.Transformer, 64)
+			cfg.DModel = 32
+			cfg.FFHidden = 64
+			cfg.PostLN = post
+			cfg.Dropout = 0
+			m, err := seq2seq.New(cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := []int{1, 5, 9, 13, 17, 2}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				enc := m.Encode(src, false, nil)
+				m.DecodeLogits(enc, src, false, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFreezeEncoder compares a classifier training step with
+// the encoder frozen (head-only gradients) vs fully fine-tuned.
+func BenchmarkAblationFreezeEncoder(b *testing.B) {
+	_, _, rec := fixtures(b)
+	for _, freeze := range []bool{false, true} {
+		name := "finetune"
+		if freeze {
+			name = "frozen"
+		}
+		b.Run(name, func(b *testing.B) {
+			cls := classify.New(rec.Model, 32, rec.Classifier.Classes, 3)
+			cls.FreezeEncoder = freeze
+			optim := train.NewAdam(1e-3)
+			params := cls.Params()
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				logits := cls.Logits(fxSrc, true, rng)
+				loss := autograd.CrossEntropy(logits, []int{0}, -1)
+				autograd.Backward(loss)
+				optim.Step(params)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNumFolding compares tokenization with and without
+// <NUM> literal folding (the vocabulary-size control of Section 5.4.1).
+func BenchmarkAblationNumFolding(b *testing.B) {
+	q := "SELECT ra, dec FROM PhotoObj WHERE ra BETWEEN 140.25 AND 141.75 AND dec > 20.5 AND run = 752"
+	for _, fold := range []bool{true, false} {
+		name := "folded"
+		if !fold {
+			name = "raw"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := tokenizer.Options{FoldNumbers: fold}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tokenizer.TokenizeOpts(q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBeamWidth sweeps beam widths to expose the decode cost
+// curve behind the paper's width choices.
+func BenchmarkAblationBeamWidth(b *testing.B) {
+	_, _, rec := fixtures(b)
+	for _, width := range []int{1, 3, 5} {
+		b.Run(map[int]string{1: "w1", 3: "w3", 5: "w5"}[width], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				decode.Beam(rec.Model, fxSrc, rec.MaxGenLen, width)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationArchitectures compares a forward pass of the two
+// architectures at equal width.
+func BenchmarkAblationArchitectures(b *testing.B) {
+	for _, arch := range []seq2seq.Arch{seq2seq.Transformer, seq2seq.ConvS2S} {
+		b.Run(string(arch), func(b *testing.B) {
+			cfg := seq2seq.DefaultConfig(arch, 64)
+			cfg.DModel = 32
+			cfg.FFHidden = 64
+			cfg.Dropout = 0
+			m, err := seq2seq.New(cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := []int{1, 5, 9, 13, 17, 2}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				enc := m.Encode(src, false, nil)
+				m.DecodeLogits(enc, src, false, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures the synthetic generator itself.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wl := GenerateSQLShare(int64(i))
+		if len(wl.Sessions) == 0 {
+			b.Fatal("empty workload")
+		}
+	}
+}
+
+// BenchmarkPairExtraction measures pair extraction over sessions.
+func BenchmarkPairExtraction(b *testing.B) {
+	wl, _, _ := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := wl.Pairs(); len(got) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}

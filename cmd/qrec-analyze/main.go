@@ -1,0 +1,109 @@
+// Command qrec-analyze prints the paper's workload analysis (Table 2,
+// Figures 9-11) for a JSONL workload file or a built-in synthetic profile.
+//
+// Usage:
+//
+//	qrec-analyze -in sdss.jsonl
+//	qrec-analyze -profile sqlshare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "workload file (JSONL, or CSV with -csv)")
+	csvIn := flag.Bool("csv", false, "treat -in as CSV (session_id/start_time/sql header)")
+	profile := flag.String("profile", "", "generate and analyze: sdss or sqlshare")
+	seed := flag.Int64("seed", 42, "generator seed (with -profile)")
+	flag.Parse()
+
+	var wl *workload.Workload
+	var err error
+	switch {
+	case *in != "" && *csvIn:
+		wl, err = loadCSV(*in)
+	case *in != "":
+		wl, err = workload.LoadFile(*in, *in)
+	case *profile == "sdss":
+		wl = synth.Generate(synth.SDSSProfile(), *seed)
+	case *profile == "sqlshare":
+		wl = synth.Generate(synth.SQLShareProfile(), *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "need -in FILE or -profile sdss|sqlshare")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	dropped := wl.Enrich()
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "note: dropped %d unparseable queries\n", dropped)
+	}
+
+	st := analysis.ComputeWorkloadStats(wl)
+	fmt.Printf("Workload statistics (Table 2 format)\n")
+	fmt.Printf("  %-16s %d\n", "Total pairs", st.TotalPairs)
+	fmt.Printf("  %-16s %d\n", "Unique pairs", st.UniquePairs)
+	fmt.Printf("  %-16s %d\n", "Unique queries", st.UniqueQs)
+	fmt.Printf("  %-16s %d\n", "Sessions", st.Sessions)
+	fmt.Printf("  %-16s %d\n", "Datasets", st.Datasets)
+	fmt.Printf("  %-16s %d\n", "Vocabulary", st.Vocabulary)
+	fmt.Printf("  %-16s %d\n", "Tables", st.Tables)
+	fmt.Printf("  %-16s %d\n", "Columns", st.Columns)
+	fmt.Printf("  %-16s %d\n", "Functions", st.Functions)
+	fmt.Printf("  %-16s %d\n", "Literals", st.Literals)
+	fmt.Printf("  %-16s %d\n", "Templates", st.Templates)
+
+	sum := analysis.Summarize(analysis.ComputeSessionStats(wl))
+	fmt.Printf("\nSession-level (Figures 10/11 a-e)\n")
+	fmt.Printf("  sessions with >=2 unique queries:   %.1f%%\n", sum.PctMultiUniqueQuery)
+	fmt.Printf("  sessions with >=2 unique templates: %.1f%%\n", sum.PctMultiTemplate)
+	fmt.Printf("  sessions with >=2 template changes: %.1f%%\n", sum.PctTemplateChangesGE2)
+	fmt.Printf("  mean queries/session: %.1f (unique %.1f, seq changes %.1f)\n",
+		sum.MeanQueries, sum.MeanUniqueQueries, sum.MeanSeqChanges)
+
+	ps := analysis.SummarizePairs(analysis.ComputePairDeltas(wl))
+	fmt.Printf("\nPair-level (Figures 10/11 f-l)\n")
+	fmt.Printf("  pairs sharing template:   %.1f%%\n", ps.PctTemplateSame)
+	fmt.Printf("  pairs using more tables:  %.1f%%  (fewer: %.1f%%)\n", ps.PctMoreTables, ps.PctFewerTables)
+	fmt.Printf("  pairs selecting more:     %.1f%%\n", ps.PctMoreSelected)
+	fmt.Printf("  pairs using more funcs:   %.1f%%\n", ps.PctMoreFunctions)
+	fmt.Printf("  pairs getting longer:     %.1f%%  (shorter: %.1f%%)\n", ps.PctLonger, ps.PctShorter)
+
+	freq := analysis.ComputeTemplateFrequency(wl)
+	fmt.Printf("\nTemplate popularity (Figure 9): %d classes\n", len(freq))
+	show := 10
+	if show > len(freq) {
+		show = len(freq)
+	}
+	for i := 0; i < show; i++ {
+		tmpl := freq[i].Template
+		if len(tmpl) > 60 {
+			tmpl = tmpl[:57] + "..."
+		}
+		fmt.Printf("  %4dx  %s\n", freq[i].Count, tmpl)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qrec-analyze:", err)
+	os.Exit(1)
+}
+
+// loadCSV opens and parses a CSV query log.
+func loadCSV(path string) (*workload.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadCSV(f, path)
+}

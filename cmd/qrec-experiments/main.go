@@ -1,0 +1,54 @@
+// Command qrec-experiments regenerates the paper's tables and figures on
+// the synthetic workloads. Each experiment prints rows in the paper's
+// format; see EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	qrec-experiments -exp all
+//	qrec-experiments -exp table2,fig9
+//	qrec-experiments -exp table5,table6 -train-pairs 500 -epochs 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all' (ids: table2, table3, table5, table6, fig9, fig10, fig11, fig12, fig13)")
+	trainPairs := flag.Int("train-pairs", 1000, "cap training pairs per model (0 = all)")
+	evalPairs := flag.Int("eval-pairs", 60, "cap test pairs for decode-heavy evals (0 = all)")
+	epochs := flag.Int("epochs", 4, "training epochs")
+	dmodel := flag.Int("dmodel", 32, "model width")
+	seed := flag.Int64("seed", 17, "suite seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig(os.Stdout)
+	cfg.MaxTrainPairs = *trainPairs
+	cfg.EvalPairs = *evalPairs
+	cfg.Epochs = *epochs
+	cfg.DModel = *dmodel
+	cfg.Seed = *seed
+	suite := experiments.NewSuite(cfg)
+
+	ids := strings.Split(*exp, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	if err := suite.Run(ids); err != nil {
+		fmt.Fprintln(os.Stderr, "qrec-experiments:", err)
+		os.Exit(1)
+	}
+}

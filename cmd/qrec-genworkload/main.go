@@ -1,0 +1,57 @@
+// Command qrec-genworkload generates a synthetic SDSS-sim or SQLShare-sim
+// query workload and writes it as JSONL (one query record per line).
+//
+// Usage:
+//
+//	qrec-genworkload -profile sdss -seed 42 -out sdss.jsonl
+//	qrec-genworkload -profile sqlshare -sessions 100 -out sqlshare.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func main() {
+	profile := flag.String("profile", "sdss", "workload profile: sdss or sqlshare")
+	seed := flag.Int64("seed", 42, "generator seed")
+	sessions := flag.Int("sessions", 0, "override session count (0 = profile default)")
+	out := flag.String("out", "", "output JSONL path (default stdout)")
+	flag.Parse()
+
+	var prof synth.Profile
+	switch *profile {
+	case "sdss":
+		prof = synth.SDSSProfile()
+	case "sqlshare":
+		prof = synth.SQLShareProfile()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want sdss or sqlshare)\n", *profile)
+		os.Exit(2)
+	}
+	if *sessions > 0 {
+		prof.Sessions = *sessions
+	}
+	wl := synth.Generate(prof, *seed)
+
+	if *out == "" {
+		if err := workload.WriteJSONL(os.Stdout, wl); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := workload.SaveFile(*out, wl); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d queries in %d sessions to %s\n",
+		len(wl.Queries()), len(wl.Sessions), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qrec-genworkload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command qrec-recommend loads a trained model directory and serves
+// recommendations interactively: each input line is the user's current
+// query Q_i; the tool prints the predicted next-query templates and the
+// top-N fragments per type (paper Figure 3, steps 3-4).
+//
+// Usage:
+//
+//	echo "SELECT ra FROM PhotoObj" | qrec-recommend -model model/ -n 3
+//	qrec-recommend -model model/ -strategy diverse-beam
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/modeldir"
+	"repro/internal/sqlast"
+)
+
+func main() {
+	modelDir := flag.String("model", "model", "model directory written by qrec-train")
+	n := flag.Int("n", 3, "number of templates and fragments per type to recommend")
+	strategy := flag.String("strategy", "beam", "N-fragments strategy: beam, diverse-beam or sampling")
+	flag.Parse()
+
+	rec, err := modeldir.Load(*modelDir, 0)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.DefaultNFragmentsOptions()
+	switch *strategy {
+	case "beam":
+		opts.Strategy = core.StrategyBeam
+	case "diverse-beam":
+		opts.Strategy = core.StrategyDiverseBeam
+	case "sampling":
+		opts.Strategy = core.StrategySampling
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	interactive := isTerminalPrompt()
+	if interactive {
+		fmt.Fprintln(os.Stderr, "enter your current SQL query (one per line):")
+	}
+	for sc.Scan() {
+		sql := sc.Text()
+		if sql == "" {
+			continue
+		}
+		tmpls, err := rec.NextTemplates(sql, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot parse input query: %v\n", err)
+			continue
+		}
+		fmt.Println("-- predicted next-query templates:")
+		for i, t := range tmpls {
+			fmt.Printf("  %d. %s\n", i+1, t)
+		}
+		frags, err := rec.NextFragments(sql, *n, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("-- predicted next-query fragments:")
+		for _, kind := range sqlast.FragmentKinds {
+			if len(frags[kind]) > 0 {
+				fmt.Printf("  %-9s %v\n", kind.String()+":", frags[kind])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func isTerminalPrompt() bool {
+	info, err := os.Stdin.Stat()
+	return err == nil && (info.Mode()&os.ModeCharDevice) != 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qrec-recommend:", err)
+	os.Exit(1)
+}

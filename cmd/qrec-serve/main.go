@@ -1,0 +1,36 @@
+// Command qrec-serve exposes a trained model directory over HTTP (the
+// deployment shape a database-as-a-service platform would embed).
+//
+// Usage:
+//
+//	qrec-serve -model model/ -addr :8080
+//	curl -s localhost:8080/v1/recommend -d '{"sql":"SELECT ra FROM PhotoObj"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/modeldir"
+	"repro/internal/server"
+)
+
+func main() {
+	modelDir := flag.String("model", "model", "model directory written by qrec-train")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	rec, err := modeldir.Load(*modelDir, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qrec-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "serving %s model (%d classes) on %s\n",
+		rec.Model.Config().Arch, len(rec.Classifier.Classes), *addr)
+	if err := http.ListenAndServe(*addr, server.New(rec)); err != nil {
+		fmt.Fprintln(os.Stderr, "qrec-serve:", err)
+		os.Exit(1)
+	}
+}

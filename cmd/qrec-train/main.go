@@ -1,0 +1,113 @@
+// Command qrec-train runs the paper's offline stage on a workload: step 1
+// trains the seq2seq model on consecutive query pairs, step 2 fine-tunes
+// the encoder with a classification head for next-template prediction.
+// The trained artifacts (vocabulary, seq2seq model, classifier) are saved
+// to a model directory that qrec-recommend loads.
+//
+// Usage:
+//
+//	qrec-train -profile sdss -arch transformer -epochs 4 -out model/
+//	qrec-train -in mylog.jsonl -arch convs2s -out model/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/modeldir"
+	"repro/internal/seq2seq"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "workload file (JSONL, or CSV with -csv)")
+	csvIn := flag.Bool("csv", false, "treat -in as CSV (session_id/start_time/sql header)")
+	profile := flag.String("profile", "", "generate and train on: sdss or sqlshare")
+	seed := flag.Int64("seed", 42, "seed for generation, split and init")
+	arch := flag.String("arch", "transformer", "architecture: transformer or convs2s")
+	seqAware := flag.Bool("seqaware", true, "train on (Qi, Qi+1); false trains the seq-less ablation")
+	fineTune := flag.Bool("finetune", true, "initialize the classifier from the trained encoder")
+	epochs := flag.Int("epochs", 4, "training epochs")
+	dmodel := flag.Int("dmodel", 32, "model width")
+	maxPairs := flag.Int("max-pairs", 0, "cap training pairs (0 = all)")
+	out := flag.String("out", "model", "output model directory")
+	flag.Parse()
+
+	var wl *workload.Workload
+	var err error
+	switch {
+	case *in != "" && *csvIn:
+		wl, err = loadCSV(*in)
+	case *in != "":
+		wl, err = workload.LoadFile(*in, *in)
+	case *profile == "sdss":
+		wl = synth.Generate(synth.SDSSProfile(), *seed)
+	case *profile == "sqlshare":
+		wl = synth.Generate(synth.SQLShareProfile(), *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "need -in FILE or -profile sdss|sqlshare")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	prep := core.DefaultPrepConfig()
+	prep.Seed = *seed
+	ds, err := core.Prepare(wl, prep)
+	if err != nil {
+		fatal(err)
+	}
+	if *maxPairs > 0 && len(ds.Train) > *maxPairs {
+		ds.Train = ds.Train[:*maxPairs]
+	}
+	fmt.Fprintf(os.Stderr, "prepared: %d train / %d val / %d test pairs, vocab %d, %d template classes\n",
+		len(ds.Train), len(ds.Val), len(ds.Test), ds.Vocab.Size(), len(ds.Classes))
+
+	cfg := core.DefaultTrainConfig(seq2seq.Arch(*arch))
+	cfg.SeqAware = *seqAware
+	cfg.FineTune = *fineTune
+	cfg.SeqOpts.Epochs = *epochs
+	cfg.ClsOpts.Epochs = *epochs
+	cfg.Seed = *seed
+	mcfg := seq2seq.DefaultConfig(seq2seq.Arch(*arch), 0)
+	mcfg.DModel = *dmodel
+	mcfg.FFHidden = 2 * *dmodel
+	cfg.Model = &mcfg
+	cfg.SeqOpts.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	cfg.ClsOpts.Logf = cfg.SeqOpts.Logf
+
+	rec, err := core.Train(ds, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "seq2seq: %d epochs in %s (best val %.4f)\n",
+		rec.SeqResult.Epochs, rec.SeqResult.TrainTime.Round(1e6), rec.SeqResult.BestVal)
+	fmt.Fprintf(os.Stderr, "classifier: %d epochs in %s\n",
+		rec.ClsResult.Epochs, rec.ClsResult.TrainTime.Round(1e6))
+
+	if err := modeldir.Save(*out, rec); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "saved model artifacts to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qrec-train:", err)
+	os.Exit(1)
+}
+
+// loadCSV opens and parses a CSV query log.
+func loadCSV(path string) (*workload.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadCSV(f, path)
+}

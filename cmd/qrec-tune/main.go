@@ -1,0 +1,108 @@
+// Command qrec-tune runs the hyper-parameter grid search of paper Section
+// 6.2.4 on a workload and prints the validation-loss ranking. Tuning is a
+// model-selection pass: it trains one small model per grid point on a
+// subsample, so run qrec-train afterwards with the winning configuration.
+//
+// Usage:
+//
+//	qrec-tune -profile sdss -arch transformer -max-pairs 300 -epochs 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/synth"
+	"repro/internal/train"
+	"repro/internal/tune"
+	"repro/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "workload file (JSONL, or CSV with -csv)")
+	csvIn := flag.Bool("csv", false, "treat -in as CSV (session_id/start_time/sql header)")
+	profile := flag.String("profile", "", "generate and tune on: sdss or sqlshare")
+	arch := flag.String("arch", "transformer", "architecture: transformer, convs2s or gru")
+	seed := flag.Int64("seed", 42, "seed")
+	epochs := flag.Int("epochs", 3, "epochs per grid point")
+	maxPairs := flag.Int("max-pairs", 300, "training pairs per grid point")
+	flag.Parse()
+
+	var wl *workload.Workload
+	var err error
+	switch {
+	case *in != "" && *csvIn:
+		wl, err = loadCSV(*in)
+	case *in != "":
+		wl, err = workload.LoadFile(*in, *in)
+	case *profile == "sdss":
+		wl = synth.Generate(synth.SDSSProfile(), *seed)
+	case *profile == "sqlshare":
+		wl = synth.Generate(synth.SQLShareProfile(), *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "need -in FILE or -profile sdss|sqlshare")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	prep := core.DefaultPrepConfig()
+	prep.Seed = *seed
+	ds, err := core.Prepare(wl, prep)
+	if err != nil {
+		fatal(err)
+	}
+	trainPairs := ds.Train
+	if len(trainPairs) > *maxPairs {
+		trainPairs = trainPairs[:*maxPairs]
+	}
+	valPairs := ds.Val
+	if len(valPairs) > *maxPairs/4 {
+		valPairs = valPairs[:*maxPairs/4]
+	}
+	trainSet := core.SeqExamples(ds.Vocab, trainPairs, true)
+	valSet := core.SeqExamples(ds.Vocab, valPairs, true)
+
+	base := seq2seq.DefaultConfig(seq2seq.Arch(*arch), ds.Vocab.Size())
+	opts := train.DefaultOptions()
+	opts.Epochs = *epochs
+	opts.Patience = 2
+
+	res, err := tune.Search(seq2seq.Arch(*arch), base, opts, tune.DefaultGrid(),
+		trainSet, valSet, *seed, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+	if err != nil {
+		fatal(err)
+	}
+	sort.Slice(res.Candidates, func(i, j int) bool {
+		return res.Candidates[i].ValLoss < res.Candidates[j].ValLoss
+	})
+	fmt.Printf("%-6s %-6s %-7s %-8s %-8s %10s\n", "heads", "d", "layers", "dropout", "lr", "val loss")
+	for _, c := range res.Candidates {
+		fmt.Printf("%-6d %-6d %-7d %-8.2f %-8.0e %10.4f\n",
+			c.Model.Heads, c.Model.DModel, c.Model.Layers, c.Model.Dropout, c.Opts.LR, c.ValLoss)
+	}
+	b := res.Best
+	fmt.Printf("\nbest: -arch %s -dmodel %d (heads %d, layers %d, dropout %.2f, lr %.0e)\n",
+		*arch, b.Model.DModel, b.Model.Heads, b.Model.Layers, b.Model.Dropout, b.Opts.LR)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qrec-tune:", err)
+	os.Exit(1)
+}
+
+// loadCSV opens and parses a CSV query log.
+func loadCSV(path string) (*workload.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadCSV(f, path)
+}

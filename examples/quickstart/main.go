@@ -1,0 +1,65 @@
+// Quickstart: train a tiny workload-aware recommender on the SDSS-sim
+// workload and ask it for next-query recommendations, exercising the full
+// public API in under a minute on one CPU.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Generate a workload (stands in for the SDSS SkyServer logs).
+	wl := repro.GenerateSDSS(42)
+	stats := repro.Analyze(wl)
+	fmt.Printf("workload: %d sessions, %d pairs, %d templates, vocab %d\n",
+		stats.Sessions, stats.TotalPairs, stats.Templates, stats.Vocabulary)
+
+	// 2. Prepare: parse, extract templates/fragments, split 80/10/10.
+	ds, err := repro.Prepare(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepared: %d train / %d val / %d test pairs, %d template classes\n",
+		len(ds.Train), len(ds.Val), len(ds.Test), len(ds.Classes))
+
+	// 3. Offline stage: train the seq2seq model on (Q_i, Q_{i+1}) pairs,
+	// then fine-tune the encoder for template classification. Kept tiny
+	// here so the quickstart finishes fast.
+	rec, err := repro.TrainRecommender(ds, repro.Transformer,
+		repro.WithEpochs(2),
+		repro.WithMaxTrainPairs(300),
+		repro.WithDModel(16),
+		repro.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %s (seq2seq) + %s (classifier)\n",
+		rec.SeqResult.TrainTime.Round(1e6), rec.ClsResult.TrainTime.Round(1e6))
+
+	// 4. Online stage: recommend the next query's structure and parts.
+	current := "SELECT ra, dec FROM PhotoObj WHERE ra > 180.0"
+	fmt.Printf("\ncurrent query:\n  %s\n", current)
+
+	templates, err := rec.NextTemplates(current, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted next-query templates:")
+	for i, t := range templates {
+		fmt.Printf("  %d. %s\n", i+1, t)
+	}
+
+	frags, err := rec.NextFragments(current, 3, repro.DefaultNFragmentsOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted next-query fragments:")
+	for _, kind := range []repro.FragmentKind{repro.FragTable, repro.FragColumn, repro.FragFunction, repro.FragLiteral} {
+		if len(frags[kind]) > 0 {
+			fmt.Printf("  %-9s %v\n", kind.String()+":", frags[kind])
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// sdss-session walks a simulated astronomy exploration session, the
+// scenario of the paper's Figures 1-2: at each step the recommender sees
+// only the preceding query Q_i and suggests templates and fragments for
+// Q_{i+1}, which we compare against what the "user" actually ran next.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// session is a hand-written SDSS-style exploration thread: start broad,
+// add a spectroscopic join, then aggregate — the build-up pattern the
+// paper's introduction motivates.
+var session = []string{
+	"SELECT TOP 10 * FROM PhotoObj",
+	"SELECT objID, ra, dec FROM PhotoObj WHERE ra BETWEEN 140.0 AND 141.0",
+	"SELECT p.objID, p.ra, s.z FROM PhotoObj p JOIN SpecObj s ON p.objID = s.bestObjID WHERE p.ra BETWEEN 140.0 AND 141.0",
+	"SELECT s.class, COUNT(*) FROM PhotoObj p JOIN SpecObj s ON p.objID = s.bestObjID GROUP BY s.class ORDER BY COUNT(*) DESC",
+}
+
+func main() {
+	fmt.Println("training on SDSS-sim (this takes a minute on one CPU)...")
+	wl := repro.GenerateSDSS(42)
+	ds, err := repro.Prepare(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := repro.TrainRecommender(ds, repro.Transformer,
+		repro.WithEpochs(3),
+		repro.WithMaxTrainPairs(800),
+		repro.WithSeed(21))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i+1 < len(session); i++ {
+		cur, next := session[i], session[i+1]
+		fmt.Printf("\n──────── step %d ────────\n", i+1)
+		fmt.Printf("user ran:\n  %s\n", cur)
+
+		tmpls, err := rec.NextTemplates(cur, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("recommended templates for the next query:")
+		for j, t := range tmpls {
+			fmt.Printf("  %d. %s\n", j+1, clip(t, 90))
+		}
+
+		frags, err := rec.NextFragments(cur, 3, repro.DefaultNFragmentsOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("recommended fragments:")
+		for _, kind := range []repro.FragmentKind{repro.FragTable, repro.FragColumn, repro.FragFunction} {
+			if len(frags[kind]) > 0 {
+				fmt.Printf("  %-9s %v\n", kind.String()+":", frags[kind])
+			}
+		}
+
+		fmt.Printf("user actually ran next:\n  %s\n", clip(next, 90))
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

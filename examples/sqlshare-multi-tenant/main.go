@@ -1,0 +1,81 @@
+// sqlshare-multi-tenant demonstrates the paper's key SDSS-vs-SQLShare
+// contrast: in a multi-tenant workload where every user queries their own
+// uploaded dataset, the global "popular" baseline collapses (the popular
+// fragments belong to other tenants' schemas) while the workload-aware
+// model still helps, because it conditions on the user's own preceding
+// query (paper Sections 5.3.1 and 6.3.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/baselines"
+	"repro/internal/metrics"
+	"repro/internal/sqlast"
+)
+
+func main() {
+	fmt.Println("training on SQLShare-sim (64 disjoint user datasets)...")
+	wl := repro.GenerateSQLShare(42)
+	ds, err := repro.Prepare(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := repro.TrainRecommender(ds, repro.Transformer,
+		repro.WithEpochs(3), repro.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pop := baselines.NewPopular(ds.Train)
+	test := ds.Test
+	if len(test) > 40 {
+		test = test[:40]
+	}
+
+	const n = 5
+	popAcc := map[repro.FragmentKind]*metrics.PRAccumulator{}
+	modelAcc := map[repro.FragmentKind]*metrics.PRAccumulator{}
+	kinds := []repro.FragmentKind{repro.FragTable, repro.FragColumn}
+	for _, k := range kinds {
+		popAcc[k] = &metrics.PRAccumulator{}
+		modelAcc[k] = &metrics.PRAccumulator{}
+	}
+
+	opts := repro.DefaultNFragmentsOptions()
+	for _, p := range test {
+		truth := p.Next.Fragments
+		popPred := map[repro.FragmentKind][]string{}
+		for _, k := range kinds {
+			popPred[k] = pop.TopFragments(k, n)
+		}
+		modelPred := rec.NFragmentsFromTokens(rec.Vocab.Encode(p.Cur.Tokens, true), n, opts)
+		for _, k := range kinds {
+			popAcc[k].Add(asSet(popPred[k]), truth.ByKind(k))
+			modelAcc[k].Add(asSet(modelPred[k]), truth.ByKind(k))
+		}
+	}
+
+	fmt.Printf("\nN=%d fragment recall over %d test pairs:\n", n, len(test))
+	fmt.Printf("%-22s %10s %10s\n", "method", "table", "column")
+	fmt.Printf("%-22s %10.3f %10.3f\n", "popular (global)",
+		popAcc[repro.FragTable].Recall(), popAcc[repro.FragColumn].Recall())
+	fmt.Printf("%-22s %10.3f %10.3f\n", "workload-aware model",
+		modelAcc[repro.FragTable].Recall(), modelAcc[repro.FragColumn].Recall())
+
+	fmt.Println("\nwhy: the most popular tables in the whole workload are other")
+	fmt.Println("tenants' tables — useless for this user. Top-5 global tables:")
+	for _, t := range pop.TopFragments(sqlast.FragTable, 5) {
+		fmt.Printf("  %s\n", t)
+	}
+}
+
+func asSet(xs []string) map[string]bool {
+	m := map[string]bool{}
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

@@ -1,0 +1,74 @@
+// structural-similarity reproduces the paper's Example 2 interactively:
+// fragment-based similarity (QueRIE's view) ranks a same-table query
+// closest, while structural similarity (tree edit distance over the AST)
+// recognizes the nested top-k twin — the distinction that motivates the
+// paper's move away from hand-picked features. Runs in milliseconds, no
+// training.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/similarity"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+func main() {
+	// The current user's query (the paper's Q6): a nested top-k query.
+	q6 := `SELECT TOP 10 z FROM SpecObj WHERE z IN (SELECT z FROM SpecPhoto WHERE z > 1) ORDER BY z DESC`
+	// Q4: shares SpecObj with Q6 but is structurally flat.
+	q4 := `SELECT z, ra, dec FROM SpecObj`
+	// Q5: different tables, but a structural twin of Q6.
+	q5 := `SELECT TOP 10 mag FROM PhotoTag WHERE mag IN (SELECT mag FROM Neighbors WHERE mag > 2) ORDER BY mag DESC`
+
+	parse := func(sql string) *sqlast.SelectStmt {
+		s, err := sqlparse.Parse(sql)
+		if err != nil {
+			log.Fatalf("parse: %v", err)
+		}
+		return s
+	}
+	s6, s4, s5 := parse(q6), parse(q4), parse(q5)
+
+	fmt.Println("current query Q6:")
+	fmt.Println(" ", q6)
+	fmt.Println("\ncandidate Q4 (same table, flat):")
+	fmt.Println(" ", q4)
+	fmt.Println("candidate Q5 (different tables, structural twin):")
+	fmt.Println(" ", q5)
+
+	// Fragment view: shared tables/columns.
+	f6, f4, f5 := sqlast.Fragments(s6), sqlast.Fragments(s4), sqlast.Fragments(s5)
+	shared := func(a, b *sqlast.FragmentSet) int {
+		n := 0
+		for t := range a.Tables {
+			if b.Tables[t] {
+				n++
+			}
+		}
+		for c := range a.Columns {
+			if b.Columns[c] {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("\nfragment view (shared tables+columns with Q6):\n")
+	fmt.Printf("  Q4: %d shared   Q5: %d shared  -> fragment CF prefers Q4\n",
+		shared(f6, f4), shared(f6, f5))
+
+	// Structural view: tree edit distance.
+	t6 := similarity.TreeFromQuery(s6)
+	d4 := similarity.EditDistance(t6, similarity.TreeFromQuery(s4))
+	d5 := similarity.EditDistance(t6, similarity.TreeFromQuery(s5))
+	fmt.Printf("\nstructural view (tree edit distance from Q6):\n")
+	fmt.Printf("  Q4: %d edits    Q5: %d edits   -> structure prefers Q5\n", d4, d5)
+
+	fmt.Printf("\ntemplates:\n  Q6: %s\n  Q5: %s\n", sqlast.TemplateString(s6), sqlast.TemplateString(s5))
+	if sqlast.TemplateString(s6) == sqlast.TemplateString(s5) {
+		fmt.Println("\nQ5 and Q6 share a template class exactly — the structural signal the")
+		fmt.Println("paper's deep models learn automatically, without hand-picked features.")
+	}
+}

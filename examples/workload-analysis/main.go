@@ -1,0 +1,58 @@
+// workload-analysis reproduces the paper's Section 5 analysis end to end
+// on both synthetic workloads: Table 2 statistics, the Figure 9 template
+// long tail, and the session- and pair-level distributions of Figures
+// 10-11 — without training any model (runs in seconds).
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	workloads := map[string]*repro.Workload{
+		"SDSS-sim":     repro.GenerateSDSS(42),
+		"SQLShare-sim": repro.GenerateSQLShare(42),
+	}
+	for _, name := range []string{"SDSS-sim", "SQLShare-sim"} {
+		wl := workloads[name]
+		st := repro.Analyze(wl)
+		fmt.Printf("\n============ %s ============\n", name)
+		fmt.Printf("Table 2: %d pairs (%d unique), %d unique queries, %d sessions, %d datasets\n",
+			st.TotalPairs, st.UniquePairs, st.UniqueQs, st.Sessions, st.Datasets)
+		fmt.Printf("         vocab %d | tables %d | columns %d | functions %d | literals %d | templates %d\n",
+			st.Vocabulary, st.Tables, st.Columns, st.Functions, st.Literals, st.Templates)
+
+		freq := analysis.ComputeTemplateFrequency(wl)
+		total := 0
+		for _, f := range freq {
+			total += f.Count
+		}
+		cum := 0
+		top10 := len(freq) / 10
+		if top10 == 0 {
+			top10 = 1
+		}
+		for _, f := range freq[:top10] {
+			cum += f.Count
+		}
+		fmt.Printf("Figure 9: top 10%% of %d templates cover %.0f%% of queries (long tail)\n",
+			len(freq), 100*float64(cum)/float64(total))
+
+		sum := analysis.Summarize(analysis.ComputeSessionStats(wl))
+		fmt.Printf("Figures 10/11 (session level):\n")
+		fmt.Printf("  >=2 unique queries: %.0f%%   >=2 unique templates: %.0f%%   >=2 template changes: %.0f%%\n",
+			sum.PctMultiUniqueQuery, sum.PctMultiTemplate, sum.PctTemplateChangesGE2)
+
+		ps := analysis.SummarizePairs(analysis.ComputePairDeltas(wl))
+		fmt.Printf("Figures 10/11 (pair level):\n")
+		fmt.Printf("  same template: %.0f%%   more tables: %.0f%%   more selected: %.0f%%   longer: %.0f%%\n",
+			ps.PctTemplateSame, ps.PctMoreTables, ps.PctMoreSelected, ps.PctLonger)
+	}
+
+	fmt.Println("\nImplications (paper Section 5.4): naive Q_i is a strong template")
+	fmt.Println("baseline where same-template rates are high (SDSS); popular works")
+	fmt.Println("only with a shared schema; SQLShare is the harder dataset.")
+}

@@ -1,0 +1,359 @@
+// Package analysis computes the workload statistics of the paper's
+// Section 5: workload-level counts (Table 2), template popularity
+// (Figure 9), session-level distributions (Figures 10/11 a-e) and
+// pair-level syntactic-change distributions (Figures 10/11 f-l).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqlast"
+	"repro/internal/workload"
+)
+
+// WorkloadStats mirrors the rows of the paper's Table 2.
+type WorkloadStats struct {
+	Name        string
+	TotalPairs  int
+	UniquePairs int
+	UniqueQs    int
+	Sessions    int
+	Datasets    int
+	Vocabulary  int
+	Tables      int
+	Columns     int
+	Functions   int
+	Literals    int
+	Templates   int
+}
+
+// ComputeWorkloadStats computes Table 2 for an enriched workload.
+func ComputeWorkloadStats(wl *workload.Workload) WorkloadStats {
+	st := WorkloadStats{Name: wl.Name, Sessions: len(wl.Sessions), Datasets: wl.Datasets}
+	uniqPairs := map[string]bool{}
+	for _, p := range wl.Pairs() {
+		st.TotalPairs++
+		uniqPairs[p.Key()] = true
+	}
+	st.UniquePairs = len(uniqPairs)
+
+	uniqQ := map[string]bool{}
+	vocab := map[string]bool{}
+	tables := map[string]bool{}
+	columns := map[string]bool{}
+	functions := map[string]bool{}
+	literals := map[string]bool{}
+	templates := map[string]bool{}
+	for _, q := range wl.Queries() {
+		uniqQ[q.Key()] = true
+		for _, t := range q.Tokens {
+			vocab[t] = true
+		}
+		if q.Fragments != nil {
+			for f := range q.Fragments.Tables {
+				tables[f] = true
+			}
+			for f := range q.Fragments.Columns {
+				columns[f] = true
+			}
+			for f := range q.Fragments.Functions {
+				functions[f] = true
+			}
+			for f := range q.Fragments.Literals {
+				literals[f] = true
+			}
+		}
+		templates[q.Template] = true
+	}
+	st.UniqueQs = len(uniqQ)
+	st.Vocabulary = len(vocab)
+	st.Tables = len(tables)
+	st.Columns = len(columns)
+	st.Functions = len(functions)
+	st.Literals = len(literals)
+	st.Templates = len(templates)
+	return st
+}
+
+// TemplateFrequency returns template occurrence counts sorted descending —
+// the long-tail distribution of Figure 9.
+type TemplateCount struct {
+	Template string
+	Count    int
+}
+
+// ComputeTemplateFrequency counts query occurrences per template class.
+func ComputeTemplateFrequency(wl *workload.Workload) []TemplateCount {
+	counts := map[string]int{}
+	for _, q := range wl.Queries() {
+		counts[q.Template]++
+	}
+	out := make([]TemplateCount, 0, len(counts))
+	for t, n := range counts {
+		out = append(out, TemplateCount{Template: t, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Template < out[j].Template
+	})
+	return out
+}
+
+// TemplateClasses returns the template labels that appear at least
+// minCount times (paper Section 5.4.1 keeps templates appearing >= 3
+// times: 830 classes in SDSS, 552 in SQLShare).
+func TemplateClasses(wl *workload.Workload, minCount int) []string {
+	var out []string
+	for _, tc := range ComputeTemplateFrequency(wl) {
+		if tc.Count >= minCount {
+			out = append(out, tc.Template)
+		}
+	}
+	return out
+}
+
+// SessionStats are the per-session measurements of Figures 10/11 (a)-(e).
+type SessionStats struct {
+	Queries         int
+	UniqueQueries   int
+	SeqChanges      int // times Q_{i+1} differs from Q_i
+	UniqueTemplates int
+	TemplateChanges int // times template(Q_{i+1}) != template(Q_i)
+}
+
+// ComputeSessionStats measures every session.
+func ComputeSessionStats(wl *workload.Workload) []SessionStats {
+	out := make([]SessionStats, 0, len(wl.Sessions))
+	for _, s := range wl.Sessions {
+		st := SessionStats{Queries: len(s.Queries)}
+		uq := map[string]bool{}
+		ut := map[string]bool{}
+		for i, q := range s.Queries {
+			uq[q.Key()] = true
+			ut[q.Template] = true
+			if i > 0 {
+				if q.Key() != s.Queries[i-1].Key() {
+					st.SeqChanges++
+				}
+				if q.Template != s.Queries[i-1].Template {
+					st.TemplateChanges++
+				}
+			}
+		}
+		st.UniqueQueries = len(uq)
+		st.UniqueTemplates = len(ut)
+		out = append(out, st)
+	}
+	return out
+}
+
+// SessionSummary aggregates session stats into the percentages the paper
+// reports in Section 5.3.2.
+type SessionSummary struct {
+	Sessions              int
+	PctMultiUniqueQuery   float64 // sessions with >= 2 unique queries
+	PctMultiTemplate      float64 // sessions with >= 2 unique templates
+	PctTemplateChangesGE2 float64 // sessions changing templates >= 2 times
+	MeanQueries           float64
+	MeanUniqueQueries     float64
+	MeanSeqChanges        float64
+}
+
+// Summarize aggregates per-session stats.
+func Summarize(stats []SessionStats) SessionSummary {
+	var sum SessionSummary
+	sum.Sessions = len(stats)
+	if sum.Sessions == 0 {
+		return sum
+	}
+	multiQ, multiT, tc2 := 0, 0, 0
+	for _, s := range stats {
+		if s.UniqueQueries >= 2 {
+			multiQ++
+		}
+		if s.UniqueTemplates >= 2 {
+			multiT++
+		}
+		if s.TemplateChanges >= 2 {
+			tc2++
+		}
+		sum.MeanQueries += float64(s.Queries)
+		sum.MeanUniqueQueries += float64(s.UniqueQueries)
+		sum.MeanSeqChanges += float64(s.SeqChanges)
+	}
+	n := float64(sum.Sessions)
+	sum.PctMultiUniqueQuery = float64(multiQ) / n * 100
+	sum.PctMultiTemplate = float64(multiT) / n * 100
+	sum.PctTemplateChangesGE2 = float64(tc2) / n * 100
+	sum.MeanQueries /= n
+	sum.MeanUniqueQueries /= n
+	sum.MeanSeqChanges /= n
+	return sum
+}
+
+// PairDelta captures the signed change in the six syntactic properties of
+// Section 5.3.3 between Q_i and Q_{i+1}, plus the template-change flag
+// (Figures 10/11 (f)-(l)).
+type PairDelta struct {
+	DTables      int
+	DSelected    int
+	DPredicates  int
+	DPredCols    int
+	DFunctions   int
+	DWords       int
+	TemplateSame bool
+}
+
+// ComputePairDeltas measures every pair in the workload.
+func ComputePairDeltas(wl *workload.Workload) []PairDelta {
+	pairs := wl.Pairs()
+	out := make([]PairDelta, 0, len(pairs))
+	for _, p := range pairs {
+		a := sqlast.Properties(p.Cur.Stmt)
+		b := sqlast.Properties(p.Next.Stmt)
+		out = append(out, PairDelta{
+			DTables:      b.TableCount - a.TableCount,
+			DSelected:    b.SelectedColumns - a.SelectedColumns,
+			DPredicates:  b.PredicateCount - a.PredicateCount,
+			DPredCols:    b.PredicateCols - a.PredicateCols,
+			DFunctions:   b.FunctionCount - a.FunctionCount,
+			DWords:       b.WordCount - a.WordCount,
+			TemplateSame: p.Cur.Template == p.Next.Template,
+		})
+	}
+	return out
+}
+
+// PairSummary aggregates pair deltas into the percentages of Section 5.3.3.
+type PairSummary struct {
+	Pairs            int
+	PctMoreTables    float64
+	PctMoreSelected  float64
+	PctMoreFunctions float64
+	PctLonger        float64
+	PctFewerTables   float64
+	PctShorter       float64
+	PctTemplateSame  float64
+}
+
+// SummarizePairs aggregates pair-level deltas.
+func SummarizePairs(deltas []PairDelta) PairSummary {
+	var s PairSummary
+	s.Pairs = len(deltas)
+	if s.Pairs == 0 {
+		return s
+	}
+	for _, d := range deltas {
+		if d.DTables > 0 {
+			s.PctMoreTables++
+		}
+		if d.DTables < 0 {
+			s.PctFewerTables++
+		}
+		if d.DSelected > 0 {
+			s.PctMoreSelected++
+		}
+		if d.DFunctions > 0 {
+			s.PctMoreFunctions++
+		}
+		if d.DWords > 0 {
+			s.PctLonger++
+		}
+		if d.DWords < 0 {
+			s.PctShorter++
+		}
+		if d.TemplateSame {
+			s.PctTemplateSame++
+		}
+	}
+	n := float64(s.Pairs)
+	s.PctMoreTables = s.PctMoreTables / n * 100
+	s.PctFewerTables = s.PctFewerTables / n * 100
+	s.PctMoreSelected = s.PctMoreSelected / n * 100
+	s.PctMoreFunctions = s.PctMoreFunctions / n * 100
+	s.PctLonger = s.PctLonger / n * 100
+	s.PctShorter = s.PctShorter / n * 100
+	s.PctTemplateSame = s.PctTemplateSame / n * 100
+	return s
+}
+
+// Histogram buckets integer observations for text rendering of the
+// figure-style distributions.
+type Histogram struct {
+	Label   string
+	Buckets []HistBucket
+}
+
+// HistBucket is one histogram bar.
+type HistBucket struct {
+	Lo, Hi int // inclusive range
+	Count  int
+}
+
+// BuildHistogram buckets values with the given boundaries; boundaries are
+// the inclusive upper edges of each bucket, the last bucket is open-ended.
+func BuildHistogram(label string, values []int, edges []int) Histogram {
+	h := Histogram{Label: label}
+	lo := minInt(values)
+	if lo > 0 {
+		lo = 0
+	}
+	prev := lo
+	for _, e := range edges {
+		h.Buckets = append(h.Buckets, HistBucket{Lo: prev, Hi: e})
+		prev = e + 1
+	}
+	h.Buckets = append(h.Buckets, HistBucket{Lo: prev, Hi: 1 << 30})
+	for _, v := range values {
+		for i := range h.Buckets {
+			if v >= h.Buckets[i].Lo && v <= h.Buckets[i].Hi {
+				h.Buckets[i].Count++
+				break
+			}
+		}
+	}
+	return h
+}
+
+func minInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Render draws the histogram as an ASCII bar chart.
+func (h Histogram) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", h.Label)
+	max := 0
+	for _, b := range h.Buckets {
+		if b.Count > max {
+			max = b.Count
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for _, b := range h.Buckets {
+		width := b.Count * 40 / max
+		rangeLabel := fmt.Sprintf("%d-%d", b.Lo, b.Hi)
+		if b.Hi >= 1<<30 {
+			rangeLabel = fmt.Sprintf(">=%d", b.Lo)
+		} else if b.Lo == b.Hi {
+			rangeLabel = fmt.Sprintf("%d", b.Lo)
+		}
+		fmt.Fprintf(&sb, "  %10s | %-40s %d\n", rangeLabel, strings.Repeat("#", width), b.Count)
+	}
+	return sb.String()
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func enriched(t *testing.T, sqls ...string) *workload.Workload {
+	t.Helper()
+	s := &workload.Session{ID: "s"}
+	for i, sql := range sqls {
+		s.Queries = append(s.Queries, &workload.Query{
+			SessionID: "s",
+			StartTime: time.Date(2020, 1, 1, 0, i, 0, 0, time.UTC),
+			SQL:       sql,
+		})
+	}
+	wl := &workload.Workload{Name: "t", Sessions: []*workload.Session{s}, Datasets: 1}
+	if d := wl.Enrich(); d != 0 {
+		t.Fatalf("dropped %d", d)
+	}
+	return wl
+}
+
+func TestWorkloadStatsCounts(t *testing.T) {
+	wl := enriched(t,
+		"SELECT ra FROM PhotoObj",
+		"SELECT ra FROM PhotoObj",      // duplicate query
+		"SELECT ra, dec FROM PhotoObj", // new query, same table
+		"SELECT COUNT(*) FROM SpecObj WHERE z > 1",
+	)
+	st := ComputeWorkloadStats(wl)
+	if st.TotalPairs != 3 {
+		t.Errorf("total pairs: %d", st.TotalPairs)
+	}
+	if st.UniquePairs != 3 {
+		t.Errorf("unique pairs: %d", st.UniquePairs)
+	}
+	if st.UniqueQs != 3 {
+		t.Errorf("unique queries: %d", st.UniqueQs)
+	}
+	if st.Tables != 2 {
+		t.Errorf("tables: %d", st.Tables)
+	}
+	if st.Columns != 3 { // ra, dec, z
+		t.Errorf("columns: %d", st.Columns)
+	}
+	if st.Functions != 1 {
+		t.Errorf("functions: %d", st.Functions)
+	}
+	if st.Literals != 1 { // the folded 1 -> but fragments keep raw literal "1"
+		t.Errorf("literals: %d", st.Literals)
+	}
+	if st.Templates != 3 {
+		t.Errorf("templates: %d", st.Templates)
+	}
+	if st.Vocabulary == 0 || st.Sessions != 1 {
+		t.Errorf("vocab/sessions: %d/%d", st.Vocabulary, st.Sessions)
+	}
+}
+
+func TestTemplateFrequencySorted(t *testing.T) {
+	wl := enriched(t,
+		"SELECT ra FROM PhotoObj",
+		"SELECT dec FROM SpecObj", // same template as above
+		"SELECT u FROM PhotoTag",  // same template again
+		"SELECT COUNT(*) FROM t1", // different template
+	)
+	freq := ComputeTemplateFrequency(wl)
+	if len(freq) != 2 {
+		t.Fatalf("template classes: %d", len(freq))
+	}
+	if freq[0].Count != 3 || freq[1].Count != 1 {
+		t.Errorf("counts: %d, %d", freq[0].Count, freq[1].Count)
+	}
+}
+
+func TestTemplateClassesMinCount(t *testing.T) {
+	wl := enriched(t,
+		"SELECT ra FROM PhotoObj",
+		"SELECT dec FROM SpecObj",
+		"SELECT COUNT(*) FROM t1",
+	)
+	classes := TemplateClasses(wl, 2)
+	if len(classes) != 1 {
+		t.Errorf("classes: %v", classes)
+	}
+}
+
+func TestSessionStats(t *testing.T) {
+	wl := enriched(t,
+		"SELECT ra FROM PhotoObj",
+		"SELECT ra FROM PhotoObj",       // no change
+		"SELECT dec FROM PhotoObj",      // query change, template same
+		"SELECT COUNT(*) FROM PhotoObj", // query + template change
+	)
+	stats := ComputeSessionStats(wl)
+	if len(stats) != 1 {
+		t.Fatal("sessions")
+	}
+	s := stats[0]
+	if s.Queries != 4 || s.UniqueQueries != 3 {
+		t.Errorf("queries: %+v", s)
+	}
+	if s.SeqChanges != 2 {
+		t.Errorf("seq changes: %d", s.SeqChanges)
+	}
+	if s.UniqueTemplates != 2 || s.TemplateChanges != 1 {
+		t.Errorf("templates: %+v", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	stats := []SessionStats{
+		{Queries: 3, UniqueQueries: 2, SeqChanges: 2, UniqueTemplates: 2, TemplateChanges: 2},
+		{Queries: 1, UniqueQueries: 1, SeqChanges: 0, UniqueTemplates: 1, TemplateChanges: 0},
+	}
+	sum := Summarize(stats)
+	if sum.PctMultiUniqueQuery != 50 || sum.PctMultiTemplate != 50 || sum.PctTemplateChangesGE2 != 50 {
+		t.Errorf("summary: %+v", sum)
+	}
+	if sum.MeanQueries != 2 {
+		t.Errorf("mean queries: %f", sum.MeanQueries)
+	}
+	if s := Summarize(nil); s.Sessions != 0 {
+		t.Error("empty summarize")
+	}
+}
+
+func TestPairDeltas(t *testing.T) {
+	wl := enriched(t,
+		"SELECT ra FROM PhotoObj",
+		"SELECT ra, dec FROM PhotoObj JOIN SpecObj ON PhotoObj.objID = SpecObj.bestObjID",
+	)
+	deltas := ComputePairDeltas(wl)
+	if len(deltas) != 1 {
+		t.Fatal("deltas")
+	}
+	d := deltas[0]
+	if d.DTables != 1 || d.DSelected != 1 || d.DWords <= 0 {
+		t.Errorf("delta: %+v", d)
+	}
+	if d.TemplateSame {
+		t.Error("template should differ")
+	}
+}
+
+func TestSummarizePairs(t *testing.T) {
+	deltas := []PairDelta{
+		{DTables: 1, DWords: 5, TemplateSame: false},
+		{DTables: 0, DWords: -2, TemplateSame: true},
+		{DTables: -1, DWords: 0, TemplateSame: true},
+		{DTables: 0, DWords: 0, TemplateSame: true},
+	}
+	s := SummarizePairs(deltas)
+	if s.PctMoreTables != 25 || s.PctFewerTables != 25 {
+		t.Errorf("tables: %+v", s)
+	}
+	if s.PctLonger != 25 || s.PctShorter != 25 {
+		t.Errorf("words: %+v", s)
+	}
+	if s.PctTemplateSame != 75 {
+		t.Errorf("template same: %f", s.PctTemplateSame)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := BuildHistogram("test", []int{0, 1, 1, 2, 5, 9, 100}, []int{0, 1, 4, 9})
+	total := 0
+	for _, b := range h.Buckets {
+		total += b.Count
+	}
+	if total != 7 {
+		t.Errorf("histogram loses values: %d", total)
+	}
+	r := h.Render()
+	if !strings.Contains(r, "test") || !strings.Contains(r, "#") {
+		t.Errorf("render: %s", r)
+	}
+}
+
+func TestHistogramNegativeValues(t *testing.T) {
+	h := BuildHistogram("deltas", []int{-3, -1, 0, 2}, []int{-2, 0, 2})
+	total := 0
+	for _, b := range h.Buckets {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Errorf("negative values lost: %d/4 bucketed", total)
+	}
+}
+
+// TestLongTail verifies the synthetic SDSS workload reproduces Figure 9's
+// long-tailed template popularity: the top 10% of templates must cover far
+// more than 10% of queries.
+func TestLongTail(t *testing.T) {
+	wl := synth.Generate(synth.SDSSProfile(), 42)
+	if d := wl.Enrich(); d != 0 {
+		t.Fatal("drop")
+	}
+	freq := ComputeTemplateFrequency(wl)
+	total := 0
+	for _, f := range freq {
+		total += f.Count
+	}
+	top := len(freq) / 10
+	if top == 0 {
+		top = 1
+	}
+	covered := 0
+	for _, f := range freq[:top] {
+		covered += f.Count
+	}
+	frac := float64(covered) / float64(total)
+	if frac < 0.30 {
+		t.Errorf("top 10%% of templates cover only %.0f%% of queries; expected a long tail", frac*100)
+	}
+}
+
+// TestPaperContrast reproduces the key SDSS vs SQLShare analysis contrast
+// (Sections 5.3.2-5.3.3): SQLShare has a higher template-change rate and
+// fewer pairs.
+func TestPaperContrast(t *testing.T) {
+	sdss := synth.Generate(synth.SDSSProfile(), 42)
+	sqlshare := synth.Generate(synth.SQLShareProfile(), 42)
+	sdss.Enrich()
+	sqlshare.Enrich()
+
+	ps := SummarizePairs(ComputePairDeltas(sdss))
+	pq := SummarizePairs(ComputePairDeltas(sqlshare))
+	if ps.PctTemplateSame <= 50 {
+		t.Errorf("SDSS-sim same-template rate %.0f%%, paper says >50%%", ps.PctTemplateSame)
+	}
+	if pq.PctTemplateSame >= ps.PctTemplateSame {
+		t.Errorf("SQLShare-sim should change templates more: %.0f%% vs %.0f%% same", pq.PctTemplateSame, ps.PctTemplateSame)
+	}
+	ss := ComputeWorkloadStats(sdss)
+	sq := ComputeWorkloadStats(sqlshare)
+	if ss.TotalPairs <= sq.TotalPairs {
+		t.Errorf("SDSS-sim must dominate pair count: %d vs %d", ss.TotalPairs, sq.TotalPairs)
+	}
+	if sq.Tables <= ss.Tables {
+		t.Errorf("SQLShare-sim must have more tables (multi-tenant): %d vs %d", sq.Tables, ss.Tables)
+	}
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import "repro/internal/workload"
+
+// Replay evaluates a next-template predictor *positionally*: replaying
+// each session in order and recording whether the prediction at step i
+// (given Q_i) hits template(Q_{i+1}), bucketed by the step's position in
+// the session. Early positions have less context and, in real workloads,
+// different intent (probing vs refining); the positional curve shows
+// where in a session recommendations help most.
+type Replay struct {
+	// Hits[b] / Totals[b] give the hit rate in position bucket b.
+	Hits   []int
+	Totals []int
+	// Edges are the inclusive upper position edges per bucket; the last
+	// bucket is open-ended.
+	Edges []int
+}
+
+// NewReplay allocates buckets for the given position edges.
+func NewReplay(edges []int) *Replay {
+	return &Replay{Hits: make([]int, len(edges)+1), Totals: make([]int, len(edges)+1), Edges: edges}
+}
+
+func (r *Replay) bucket(pos int) int {
+	for i, e := range r.Edges {
+		if pos <= e {
+			return i
+		}
+	}
+	return len(r.Edges)
+}
+
+// Run replays every session through the predictor. predict receives Q_i
+// and must return the top-1 template guess for Q_{i+1}.
+func (r *Replay) Run(wl *workload.Workload, predict func(q *workload.Query) string) {
+	for _, s := range wl.Sessions {
+		for i := 0; i+1 < len(s.Queries); i++ {
+			b := r.bucket(i)
+			r.Totals[b]++
+			if predict(s.Queries[i]) == s.Queries[i+1].Template {
+				r.Hits[b]++
+			}
+		}
+	}
+}
+
+// Rate returns the hit rate of bucket b (0 when empty).
+func (r *Replay) Rate(b int) float64 {
+	if r.Totals[b] == 0 {
+		return 0
+	}
+	return float64(r.Hits[b]) / float64(r.Totals[b])
+}
+
+// Overall returns the aggregate hit rate.
+func (r *Replay) Overall() float64 {
+	hits, total := 0, 0
+	for i := range r.Hits {
+		hits += r.Hits[i]
+		total += r.Totals[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestReplayBuckets(t *testing.T) {
+	r := NewReplay([]int{0, 2, 5})
+	cases := map[int]int{0: 0, 1: 1, 2: 1, 3: 2, 5: 2, 6: 3, 100: 3}
+	for pos, want := range cases {
+		if got := r.bucket(pos); got != want {
+			t.Errorf("bucket(%d) = %d want %d", pos, got, want)
+		}
+	}
+}
+
+func TestReplayRun(t *testing.T) {
+	wl := enriched(t,
+		"SELECT ra FROM PhotoObj",
+		"SELECT dec FROM PhotoObj",      // same template as previous
+		"SELECT COUNT(*) FROM PhotoObj", // template change
+		"SELECT COUNT(*) FROM SpecObj",  // same template
+	)
+	r := NewReplay([]int{0})
+	// naive predictor: template stays the same.
+	r.Run(wl, func(q *workload.Query) string { return q.Template })
+	// Position 0: hit (template same). Positions 1, 2: miss then hit.
+	if r.Totals[0] != 1 || r.Hits[0] != 1 {
+		t.Errorf("bucket 0: %d/%d", r.Hits[0], r.Totals[0])
+	}
+	if r.Totals[1] != 2 || r.Hits[1] != 1 {
+		t.Errorf("bucket 1: %d/%d", r.Hits[1], r.Totals[1])
+	}
+	if got := r.Overall(); got != 2.0/3 {
+		t.Errorf("overall: %f", got)
+	}
+	if r.Rate(0) != 1 || r.Rate(1) != 0.5 {
+		t.Errorf("rates: %f %f", r.Rate(0), r.Rate(1))
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	r := NewReplay([]int{1})
+	if r.Overall() != 0 || r.Rate(0) != 0 {
+		t.Error("empty replay should report zeros")
+	}
+}

@@ -1,0 +1,626 @@
+// Package autograd implements tape-free reverse-mode automatic
+// differentiation over tensor.Tensor values. Each operation builds a node
+// holding its inputs and a backward closure; Backward topologically sorts
+// the graph from the loss and accumulates gradients.
+//
+// The API is sized exactly for the paper's models: matmul, broadcast adds,
+// elementwise nonlinearities, softmax/log-softmax, layer normalization,
+// embedding gather, column slicing/concat (multi-head attention), im2col
+// (ConvS2S), GLU, dropout and cross-entropy.
+package autograd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Value is a node in the computation graph.
+type Value struct {
+	T    *tensor.Tensor
+	Grad *tensor.Tensor
+
+	requiresGrad bool
+	back         func()
+	prev         []*Value
+}
+
+// NewParam wraps a tensor as a trainable parameter (gradient tracked).
+func NewParam(t *tensor.Tensor) *Value {
+	return &Value{T: t, Grad: tensor.New(t.Rows, t.Cols), requiresGrad: true}
+}
+
+// NewConst wraps a tensor as a constant (no gradient).
+func NewConst(t *tensor.Tensor) *Value {
+	return &Value{T: t}
+}
+
+// RequiresGrad reports whether gradients flow into this value.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// node builds an op output whose gradient requirement is inherited from
+// its inputs.
+func node(t *tensor.Tensor, back func(), prev ...*Value) *Value {
+	req := false
+	for _, p := range prev {
+		if p.requiresGrad {
+			req = true
+			break
+		}
+	}
+	v := &Value{T: t, prev: prev, requiresGrad: req}
+	if req {
+		v.Grad = tensor.New(t.Rows, t.Cols)
+		v.back = back
+	}
+	return v
+}
+
+// Backward runs reverse-mode differentiation from v, which must be 1×1
+// (a scalar loss). Gradients accumulate into every reachable parameter.
+func Backward(v *Value) {
+	if v.T.Rows != 1 || v.T.Cols != 1 {
+		panic(fmt.Sprintf("autograd: backward from non-scalar %dx%d", v.T.Rows, v.T.Cols))
+	}
+	if !v.requiresGrad {
+		return
+	}
+	// Topological order via DFS.
+	var order []*Value
+	seen := map[*Value]bool{}
+	var visit func(*Value)
+	visit = func(n *Value) {
+		if seen[n] || !n.requiresGrad {
+			return
+		}
+		seen[n] = true
+		for _, p := range n.prev {
+			visit(p)
+		}
+		order = append(order, n)
+	}
+	visit(v)
+	v.Grad.Data[0] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i].back != nil {
+			order[i].back()
+		}
+	}
+}
+
+// ZeroGrad clears the gradient buffer.
+func (v *Value) ZeroGrad() {
+	if v.Grad != nil {
+		v.Grad.Zero()
+	}
+}
+
+// MatMul returns a @ b.
+func MatMul(a, b *Value) *Value {
+	out := tensor.MatMul(a.T, b.T)
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			// dA = dOut @ Bᵀ
+			tensor.MatMulInto(a.Grad, v.Grad, tensor.Transpose(b.T), true)
+		}
+		if b.requiresGrad {
+			// dB = Aᵀ @ dOut
+			tensor.MatMulInto(b.Grad, tensor.Transpose(a.T), v.Grad, true)
+		}
+	}, a, b)
+	return v
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Value) *Value {
+	out := tensor.Add(a.T, b.T)
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, v.Grad)
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.Grad, v.Grad)
+		}
+	}, a, b)
+	return v
+}
+
+// AddRow broadcasts the 1×cols row b onto every row of a.
+func AddRow(a, b *Value) *Value {
+	out := tensor.AddRowBroadcast(a.T, b.T)
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, v.Grad)
+		}
+		if b.requiresGrad {
+			for i := 0; i < v.Grad.Rows; i++ {
+				row := v.Grad.Row(i)
+				for j, g := range row {
+					b.Grad.Data[j] += g
+				}
+			}
+		}
+	}, a, b)
+	return v
+}
+
+// Mul returns the elementwise product.
+func Mul(a, b *Value) *Value {
+	out := tensor.Mul(a.T, b.T)
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, tensor.Mul(v.Grad, b.T))
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.Grad, tensor.Mul(v.Grad, a.T))
+		}
+	}, a, b)
+	return v
+}
+
+// Scale returns a * s for scalar s.
+func Scale(a *Value, s float64) *Value {
+	out := tensor.Scale(a.T, s)
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, tensor.Scale(v.Grad, s))
+		}
+	}, a)
+	return v
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Value) *Value {
+	out := a.T.Clone()
+	for i, x := range out.Data {
+		if x < 0 {
+			out.Data[i] = 0
+		}
+	}
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			for i, x := range a.T.Data {
+				if x > 0 {
+					a.Grad.Data[i] += v.Grad.Data[i]
+				}
+			}
+		}
+	}, a)
+	return v
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func GELU(a *Value) *Value {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	out := a.T.Clone()
+	for i, x := range a.T.Data {
+		out.Data[i] = 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	}
+	var v *Value
+	v = node(out, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, x := range a.T.Data {
+			u := c * (x + 0.044715*x*x*x)
+			t := math.Tanh(u)
+			du := c * (1 + 3*0.044715*x*x)
+			grad := 0.5*(1+t) + 0.5*x*(1-t*t)*du
+			a.Grad.Data[i] += v.Grad.Data[i] * grad
+		}
+	}, a)
+	return v
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Value) *Value {
+	out := a.T.Clone()
+	for i, x := range out.Data {
+		out.Data[i] = math.Tanh(x)
+	}
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			for i, y := range v.T.Data {
+				a.Grad.Data[i] += v.Grad.Data[i] * (1 - y*y)
+			}
+		}
+	}, a)
+	return v
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Value) *Value {
+	out := a.T.Clone()
+	for i, x := range out.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-x))
+	}
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			for i, y := range v.T.Data {
+				a.Grad.Data[i] += v.Grad.Data[i] * y * (1 - y)
+			}
+		}
+	}, a)
+	return v
+}
+
+// SoftmaxRows applies a row-wise softmax.
+func SoftmaxRows(a *Value) *Value {
+	out := tensor.SoftmaxRows(a.T)
+	var v *Value
+	v = node(out, func() {
+		if !a.requiresGrad {
+			return
+		}
+		// dx_i = y_i * (g_i - sum_j g_j y_j) per row.
+		for r := 0; r < out.Rows; r++ {
+			y, g, dst := v.T.Row(r), v.Grad.Row(r), a.Grad.Row(r)
+			dot := 0.0
+			for j := range y {
+				dot += g[j] * y[j]
+			}
+			for j := range y {
+				dst[j] += y[j] * (g[j] - dot)
+			}
+		}
+	}, a)
+	return v
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance then applies
+// the learned 1×cols gain and bias.
+func LayerNorm(a, gain, bias *Value, eps float64) *Value {
+	rows, cols := a.T.Rows, a.T.Cols
+	out := tensor.New(rows, cols)
+	xhat := tensor.New(rows, cols)
+	invStd := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		src := a.T.Row(r)
+		mean := 0.0
+		for _, x := range src {
+			mean += x
+		}
+		mean /= float64(cols)
+		variance := 0.0
+		for _, x := range src {
+			d := x - mean
+			variance += d * d
+		}
+		variance /= float64(cols)
+		inv := 1 / math.Sqrt(variance+eps)
+		invStd[r] = inv
+		xh, dst := xhat.Row(r), out.Row(r)
+		for j, x := range src {
+			xh[j] = (x - mean) * inv
+			dst[j] = xh[j]*gain.T.Data[j] + bias.T.Data[j]
+		}
+	}
+	var v *Value
+	v = node(out, func() {
+		for r := 0; r < rows; r++ {
+			g := v.Grad.Row(r)
+			xh := xhat.Row(r)
+			if gain.requiresGrad {
+				for j := range g {
+					gain.Grad.Data[j] += g[j] * xh[j]
+					bias.Grad.Data[j] += g[j]
+				}
+			}
+			if a.requiresGrad {
+				// dxhat_j = g_j * gain_j
+				// dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * invStd
+				m1, m2 := 0.0, 0.0
+				for j := range g {
+					dxh := g[j] * gain.T.Data[j]
+					m1 += dxh
+					m2 += dxh * xh[j]
+				}
+				m1 /= float64(cols)
+				m2 /= float64(cols)
+				dst := a.Grad.Row(r)
+				for j := range g {
+					dxh := g[j] * gain.T.Data[j]
+					dst[j] += (dxh - m1 - xh[j]*m2) * invStd[r]
+				}
+			}
+		}
+	}, a, gain, bias)
+	return v
+}
+
+// Embedding gathers rows of the v×d table W for the given token ids,
+// producing len(ids)×d. The backward pass scatter-adds.
+func Embedding(w *Value, ids []int) *Value {
+	d := w.T.Cols
+	out := tensor.New(len(ids), d)
+	for i, id := range ids {
+		copy(out.Row(i), w.T.Row(id))
+	}
+	var v *Value
+	v = node(out, func() {
+		if !w.requiresGrad {
+			return
+		}
+		for i, id := range ids {
+			dst := w.Grad.Row(id)
+			src := v.Grad.Row(i)
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	}, w)
+	return v
+}
+
+// SliceCols returns columns [from, to) as a new value.
+func SliceCols(a *Value, from, to int) *Value {
+	cols := to - from
+	out := tensor.New(a.T.Rows, cols)
+	for i := 0; i < a.T.Rows; i++ {
+		copy(out.Row(i), a.T.Row(i)[from:to])
+	}
+	var v *Value
+	v = node(out, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i := 0; i < a.T.Rows; i++ {
+			dst := a.Grad.Row(i)[from:to]
+			for j, g := range v.Grad.Row(i) {
+				dst[j] += g
+			}
+		}
+	}, a)
+	return v
+}
+
+// ConcatCols concatenates values with equal row counts along columns.
+func ConcatCols(parts ...*Value) *Value {
+	rows := parts[0].T.Rows
+	total := 0
+	for _, p := range parts {
+		if p.T.Rows != rows {
+			panic("autograd: concat rows mismatch")
+		}
+		total += p.T.Cols
+	}
+	out := tensor.New(rows, total)
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < rows; i++ {
+			copy(out.Row(i)[off:off+p.T.Cols], p.T.Row(i))
+		}
+		off += p.T.Cols
+	}
+	var v *Value
+	v = node(out, func() {
+		off := 0
+		for _, p := range parts {
+			if p.requiresGrad {
+				for i := 0; i < rows; i++ {
+					src := v.Grad.Row(i)[off : off+p.T.Cols]
+					dst := p.Grad.Row(i)
+					for j, g := range src {
+						dst[j] += g
+					}
+				}
+			}
+			off += p.T.Cols
+		}
+	}, parts...)
+	return v
+}
+
+// ConcatRows concatenates values with equal column counts along rows.
+func ConcatRows(parts ...*Value) *Value {
+	cols := parts[0].T.Cols
+	total := 0
+	for _, p := range parts {
+		if p.T.Cols != cols {
+			panic("autograd: concat cols mismatch")
+		}
+		total += p.T.Rows
+	}
+	out := tensor.New(total, cols)
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < p.T.Rows; i++ {
+			copy(out.Row(off+i), p.T.Row(i))
+		}
+		off += p.T.Rows
+	}
+	var v *Value
+	v = node(out, func() {
+		off := 0
+		for _, p := range parts {
+			if p.requiresGrad {
+				for i := 0; i < p.T.Rows; i++ {
+					src := v.Grad.Row(off + i)
+					dst := p.Grad.Row(i)
+					for j, g := range src {
+						dst[j] += g
+					}
+				}
+			}
+			off += p.T.Rows
+		}
+	}, parts...)
+	return v
+}
+
+// TransposeV returns aᵀ with gradient support.
+func TransposeV(a *Value) *Value {
+	out := tensor.Transpose(a.T)
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, tensor.Transpose(v.Grad))
+		}
+	}, a)
+	return v
+}
+
+// GatherRows selects rows of a by index (duplicates allowed); backward
+// scatter-adds. It powers im2col for the convolutional encoder.
+func GatherRows(a *Value, idx []int) *Value {
+	out := tensor.New(len(idx), a.T.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), a.T.Row(r))
+	}
+	var v *Value
+	v = node(out, func() {
+		if !a.requiresGrad {
+			return
+		}
+		for i, r := range idx {
+			dst := a.Grad.Row(r)
+			for j, g := range v.Grad.Row(i) {
+				dst[j] += g
+			}
+		}
+	}, a)
+	return v
+}
+
+// Reshape reinterprets the value with a new shape of equal size.
+func Reshape(a *Value, rows, cols int) *Value {
+	if rows*cols != a.T.Rows*a.T.Cols {
+		panic(fmt.Sprintf("autograd: reshape %dx%d -> %dx%d", a.T.Rows, a.T.Cols, rows, cols))
+	}
+	out := tensor.FromSlice(rows, cols, append([]float64(nil), a.T.Data...))
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			for i, g := range v.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		}
+	}, a)
+	return v
+}
+
+// GLU is the gated linear unit: split columns in half, out = a1 ⊙ σ(a2).
+func GLU(a *Value) *Value {
+	if a.T.Cols%2 != 0 {
+		panic("autograd: GLU needs even columns")
+	}
+	half := a.T.Cols / 2
+	lin := SliceCols(a, 0, half)
+	gate := Sigmoid(SliceCols(a, half, a.T.Cols))
+	return Mul(lin, gate)
+}
+
+// Dropout zeroes elements with probability p during training, scaling the
+// survivors by 1/(1-p). With train=false or p=0 it is the identity.
+func Dropout(a *Value, p float64, rng *rand.Rand, train bool) *Value {
+	if !train || p <= 0 {
+		return a
+	}
+	keep := 1 - p
+	mask := tensor.New(a.T.Rows, a.T.Cols)
+	for i := range mask.Data {
+		if rng.Float64() < keep {
+			mask.Data[i] = 1 / keep
+		}
+	}
+	return Mul(a, NewConst(mask))
+}
+
+// Mean returns the scalar mean of all elements.
+func Mean(a *Value) *Value {
+	n := float64(len(a.T.Data))
+	out := tensor.FromSlice(1, 1, []float64{a.T.Sum() / n})
+	var v *Value
+	v = node(out, func() {
+		if a.requiresGrad {
+			g := v.Grad.Data[0] / n
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		}
+	}, a)
+	return v
+}
+
+// CrossEntropy computes the mean token-level cross-entropy between logits
+// (n×v) and target class ids (len n). Targets equal to ignore are skipped
+// (padding). Returns a scalar.
+func CrossEntropy(logits *Value, targets []int, ignore int) *Value {
+	n, vocab := logits.T.Rows, logits.T.Cols
+	if len(targets) != n {
+		panic(fmt.Sprintf("autograd: cross-entropy %d logits vs %d targets", n, len(targets)))
+	}
+	probs := tensor.SoftmaxRows(logits.T)
+	loss := 0.0
+	count := 0
+	for i, t := range targets {
+		if t == ignore {
+			continue
+		}
+		if t < 0 || t >= vocab {
+			panic(fmt.Sprintf("autograd: target %d out of vocab %d", t, vocab))
+		}
+		p := probs.At(i, t)
+		loss -= math.Log(math.Max(p, 1e-12))
+		count++
+	}
+	if count == 0 {
+		count = 1
+	}
+	out := tensor.FromSlice(1, 1, []float64{loss / float64(count)})
+	var v *Value
+	v = node(out, func() {
+		if !logits.requiresGrad {
+			return
+		}
+		scale := v.Grad.Data[0] / float64(count)
+		for i, t := range targets {
+			if t == ignore {
+				continue
+			}
+			dst := logits.Grad.Row(i)
+			src := probs.Row(i)
+			for j := range dst {
+				g := src[j]
+				if j == t {
+					g -= 1
+				}
+				dst[j] += g * scale
+			}
+		}
+	}, logits)
+	return v
+}
+
+// Parameters walks the graph from v and returns all parameter leaves
+// (values created by NewParam). Used by tests; models track their own
+// parameter lists.
+func Parameters(v *Value) []*Value {
+	var out []*Value
+	seen := map[*Value]bool{}
+	var visit func(*Value)
+	visit = func(n *Value) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if len(n.prev) == 0 && n.requiresGrad {
+			out = append(out, n)
+		}
+		for _, p := range n.prev {
+			visit(p)
+		}
+	}
+	visit(v)
+	return out
+}

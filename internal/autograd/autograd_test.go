@@ -1,0 +1,350 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// checkGrad compares the analytic gradient of loss(params...) w.r.t. each
+// parameter against central finite differences.
+func checkGrad(t *testing.T, name string, params []*Value, loss func() *Value) {
+	t.Helper()
+	l := loss()
+	Backward(l)
+	// Snapshot all analytic gradients first: the loss closure zeroes
+	// gradient buffers on every call.
+	analytics := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		analytics[i] = p.Grad.Clone()
+	}
+	const eps = 1e-6
+	for pi, p := range params {
+		analytic := analytics[pi]
+		for i := range p.T.Data {
+			orig := p.T.Data[i]
+			p.T.Data[i] = orig + eps
+			lp := loss().T.Data[0]
+			p.T.Data[i] = orig - eps
+			lm := loss().T.Data[0]
+			p.T.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if diff := math.Abs(numeric - analytic.Data[i]); diff > 1e-4*(1+math.Abs(numeric)) {
+				t.Errorf("%s: param %d elem %d: analytic %.8f numeric %.8f", name, pi, i, analytic.Data[i], numeric)
+				return
+			}
+		}
+	}
+}
+
+func randParam(rng *rand.Rand, r, c int) *Value {
+	t := tensor.New(r, c)
+	t.RandInit(rng)
+	return NewParam(t)
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Backward(NewParam(tensor.New(2, 2)))
+}
+
+func TestMatMulGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := randParam(rng, 3, 4), randParam(rng, 4, 2)
+	checkGrad(t, "matmul", []*Value{a, b}, func() *Value {
+		a.ZeroGrad()
+		b.ZeroGrad()
+		return Mean(MatMul(a, b))
+	})
+}
+
+func TestAddMulScaleGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randParam(rng, 2, 3), randParam(rng, 2, 3)
+	checkGrad(t, "add-mul-scale", []*Value{a, b}, func() *Value {
+		a.ZeroGrad()
+		b.ZeroGrad()
+		return Mean(Scale(Mul(Add(a, b), a), 1.7))
+	})
+}
+
+func TestAddRowGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, bias := randParam(rng, 3, 4), randParam(rng, 1, 4)
+	checkGrad(t, "addrow", []*Value{a, bias}, func() *Value {
+		a.ZeroGrad()
+		bias.ZeroGrad()
+		return Mean(AddRow(a, bias))
+	})
+}
+
+func TestNonlinearityGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := []struct {
+		name string
+		f    func(*Value) *Value
+	}{
+		{"relu", ReLU}, {"gelu", GELU}, {"tanh", Tanh}, {"sigmoid", Sigmoid},
+	}
+	for _, c := range cases {
+		a := randParam(rng, 2, 5)
+		// Shift away from zero so ReLU's kink doesn't break finite
+		// differences.
+		for i := range a.T.Data {
+			if math.Abs(a.T.Data[i]) < 0.05 {
+				a.T.Data[i] += 0.1
+			}
+		}
+		checkGrad(t, c.name, []*Value{a}, func() *Value {
+			a.ZeroGrad()
+			return Mean(c.f(a))
+		})
+	}
+}
+
+func TestSoftmaxGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randParam(rng, 3, 4)
+	w := randParam(rng, 4, 1)
+	checkGrad(t, "softmax", []*Value{a, w}, func() *Value {
+		a.ZeroGrad()
+		w.ZeroGrad()
+		return Mean(MatMul(SoftmaxRows(a), w))
+	})
+}
+
+func TestLayerNormGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randParam(rng, 3, 6)
+	gain := NewParam(tensor.FromSlice(1, 6, []float64{1, 1.1, 0.9, 1, 1.2, 0.8}))
+	bias := randParam(rng, 1, 6)
+	w := randParam(rng, 6, 1)
+	checkGrad(t, "layernorm", []*Value{a, gain, bias}, func() *Value {
+		a.ZeroGrad()
+		gain.ZeroGrad()
+		bias.ZeroGrad()
+		w.ZeroGrad()
+		return Mean(MatMul(LayerNorm(a, gain, bias, 1e-5), w))
+	})
+}
+
+func TestEmbeddingGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := randParam(rng, 5, 3)
+	ids := []int{0, 2, 2, 4}
+	checkGrad(t, "embedding", []*Value{w}, func() *Value {
+		w.ZeroGrad()
+		return Mean(Embedding(w, ids))
+	})
+	// Duplicated id must receive double gradient.
+	w.ZeroGrad()
+	Backward(Mean(Embedding(w, ids)))
+	g := 1.0 / float64(4*3)
+	if math.Abs(w.Grad.At(2, 0)-2*g) > 1e-12 {
+		t.Errorf("duplicate id grad: %f want %f", w.Grad.At(2, 0), 2*g)
+	}
+	if math.Abs(w.Grad.At(1, 0)) > 1e-12 {
+		t.Error("unused id got gradient")
+	}
+}
+
+func TestSliceConcatGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randParam(rng, 2, 6)
+	checkGrad(t, "slice-concat", []*Value{a}, func() *Value {
+		a.ZeroGrad()
+		l := SliceCols(a, 0, 3)
+		r := SliceCols(a, 3, 6)
+		return Mean(Mul(ConcatCols(r, l), ConcatCols(l, r)))
+	})
+}
+
+func TestConcatRowsGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := randParam(rng, 2, 3), randParam(rng, 1, 3)
+	checkGrad(t, "concat-rows", []*Value{a, b}, func() *Value {
+		a.ZeroGrad()
+		b.ZeroGrad()
+		return Mean(Mul(ConcatRows(a, b), ConcatRows(a, b)))
+	})
+}
+
+func TestGatherRowsGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randParam(rng, 4, 3)
+	idx := []int{0, 1, 1, 3, 2}
+	checkGrad(t, "gather", []*Value{a}, func() *Value {
+		a.ZeroGrad()
+		return Mean(GatherRows(a, idx))
+	})
+}
+
+func TestReshapeGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randParam(rng, 2, 6)
+	checkGrad(t, "reshape", []*Value{a}, func() *Value {
+		a.ZeroGrad()
+		r := Reshape(a, 3, 4)
+		return Mean(Mul(r, r))
+	})
+}
+
+func TestGLUGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randParam(rng, 3, 8)
+	checkGrad(t, "glu", []*Value{a}, func() *Value {
+		a.ZeroGrad()
+		return Mean(GLU(a))
+	})
+}
+
+func TestCrossEntropyGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	logits := randParam(rng, 4, 5)
+	targets := []int{1, 0, 4, 2}
+	checkGrad(t, "xent", []*Value{logits}, func() *Value {
+		logits.ZeroGrad()
+		return CrossEntropy(logits, targets, -1)
+	})
+}
+
+func TestCrossEntropyIgnoresPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	logits := randParam(rng, 3, 4)
+	loss := CrossEntropy(logits, []int{2, 0, 0}, 0)
+	Backward(loss)
+	// Rows 1 and 2 are padding; their gradients must be zero.
+	for j := 0; j < 4; j++ {
+		if logits.Grad.At(1, j) != 0 || logits.Grad.At(2, j) != 0 {
+			t.Fatal("padding rows received gradient")
+		}
+	}
+	if logits.Grad.At(0, 2) == 0 {
+		t.Error("real row missing gradient")
+	}
+}
+
+func TestCrossEntropyValue(t *testing.T) {
+	// Uniform logits over v classes -> loss = ln(v).
+	logits := NewParam(tensor.New(2, 4))
+	loss := CrossEntropy(logits, []int{0, 3}, -1)
+	if math.Abs(loss.T.Data[0]-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform loss: %f want %f", loss.T.Data[0], math.Log(4))
+	}
+}
+
+func TestDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := NewParam(tensor.FromSlice(1, 1000, make([]float64, 1000)))
+	a.T.Fill(1)
+	out := Dropout(a, 0.5, rng, true)
+	zeros, kept := 0, 0.0
+	for _, v := range out.T.Data {
+		if v == 0 {
+			zeros++
+		} else {
+			kept += v
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Errorf("dropout rate off: %d/1000 zeroed", zeros)
+	}
+	// Expected scaled sum stays ~1000 (inverted dropout).
+	if kept < 800 || kept > 1200 {
+		t.Errorf("inverted scaling off: sum %.0f", kept)
+	}
+	// Eval mode: identity.
+	if Dropout(a, 0.5, rng, false) != a {
+		t.Error("eval dropout must be identity")
+	}
+	if Dropout(a, 0, rng, true) != a {
+		t.Error("p=0 dropout must be identity")
+	}
+}
+
+func TestGradAccumulatesAcrossBackward(t *testing.T) {
+	a := NewParam(tensor.FromSlice(1, 1, []float64{2}))
+	l1 := Mean(Mul(a, a))
+	Backward(l1)
+	first := a.Grad.Data[0]
+	l2 := Mean(Mul(a, a))
+	Backward(l2)
+	if math.Abs(a.Grad.Data[0]-2*first) > 1e-12 {
+		t.Errorf("gradient should accumulate: %f vs 2*%f", a.Grad.Data[0], first)
+	}
+	a.ZeroGrad()
+	if a.Grad.Data[0] != 0 {
+		t.Error("zerograd")
+	}
+}
+
+func TestConstNoGrad(t *testing.T) {
+	c := NewConst(tensor.FromSlice(1, 2, []float64{1, 2}))
+	p := NewParam(tensor.FromSlice(2, 1, []float64{3, 4}))
+	loss := Mean(MatMul(c, p))
+	Backward(loss)
+	if c.Grad != nil {
+		t.Error("const has gradient buffer")
+	}
+	if p.Grad.Data[0] == 0 {
+		t.Error("param missing gradient")
+	}
+}
+
+func TestDiamondGraph(t *testing.T) {
+	// y = a*a + a*a: gradient must be 4a (shared subexpression reused).
+	a := NewParam(tensor.FromSlice(1, 1, []float64{3}))
+	sq := Mul(a, a)
+	loss := Mean(Add(sq, sq))
+	Backward(loss)
+	if math.Abs(a.Grad.Data[0]-12) > 1e-12 {
+		t.Errorf("diamond grad: %f want 12", a.Grad.Data[0])
+	}
+}
+
+func TestParametersDiscovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a, b := randParam(rng, 2, 2), randParam(rng, 2, 2)
+	c := NewConst(tensor.New(2, 2))
+	loss := Mean(Add(MatMul(a, b), c))
+	ps := Parameters(loss)
+	if len(ps) != 2 {
+		t.Errorf("parameters found: %d", len(ps))
+	}
+}
+
+// TestTwoLayerMLPLearnsXOR is an end-to-end sanity check: a tiny MLP must
+// drive the XOR loss toward zero with plain gradient descent.
+func TestTwoLayerMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x := NewConst(tensor.FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1}))
+	targets := []int{0, 1, 1, 0}
+	w1, b1 := randParam(rng, 2, 8), randParam(rng, 1, 8)
+	w2, b2 := randParam(rng, 8, 2), randParam(rng, 1, 2)
+	params := []*Value{w1, b1, w2, b2}
+	var last float64
+	for epoch := 0; epoch < 600; epoch++ {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		h := Tanh(AddRow(MatMul(x, w1), b1))
+		logits := AddRow(MatMul(h, w2), b2)
+		loss := CrossEntropy(logits, targets, -1)
+		Backward(loss)
+		for _, p := range params {
+			for i := range p.T.Data {
+				p.T.Data[i] -= 0.5 * p.Grad.Data[i]
+			}
+		}
+		last = loss.T.Data[0]
+	}
+	if last > 0.05 {
+		t.Errorf("XOR not learned: loss %f", last)
+	}
+}

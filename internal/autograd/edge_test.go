@@ -1,0 +1,144 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestShapePanics(t *testing.T) {
+	a := NewParam(tensor.New(2, 3))
+	b := NewParam(tensor.New(3, 3))
+	expectPanic(t, "add shape", func() { Add(a, b) })
+	expectPanic(t, "mul shape", func() { Mul(a, b) })
+	expectPanic(t, "glu odd", func() { GLU(NewParam(tensor.New(2, 5))) })
+	expectPanic(t, "reshape size", func() { Reshape(a, 4, 4) })
+	expectPanic(t, "concat rows mismatch", func() {
+		ConcatCols(NewParam(tensor.New(2, 2)), NewParam(tensor.New(3, 2)))
+	})
+	expectPanic(t, "concat cols mismatch", func() {
+		ConcatRows(NewParam(tensor.New(2, 2)), NewParam(tensor.New(2, 3)))
+	})
+	expectPanic(t, "xent target range", func() {
+		CrossEntropy(NewParam(tensor.New(1, 3)), []int{7}, -1)
+	})
+	expectPanic(t, "xent length", func() {
+		CrossEntropy(NewParam(tensor.New(2, 3)), []int{1}, -1)
+	})
+}
+
+func TestTransposeVGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randParam(rng, 3, 2)
+	w := randParam(rng, 3, 1)
+	checkGrad(t, "transposeV", []*Value{a, w}, func() *Value {
+		a.ZeroGrad()
+		w.ZeroGrad()
+		return Mean(MatMul(TransposeV(a), w))
+	})
+}
+
+func TestBackwardOnConstIsNoop(t *testing.T) {
+	c := NewConst(tensor.FromSlice(1, 1, []float64{5}))
+	Backward(c) // must not panic: nothing requires grad
+}
+
+func TestNoGradFlowWhenDetached(t *testing.T) {
+	// A graph made only of constants allocates no gradient buffers.
+	a := NewConst(tensor.FromSlice(1, 2, []float64{1, 2}))
+	b := NewConst(tensor.FromSlice(2, 1, []float64{3, 4}))
+	out := MatMul(a, b)
+	if out.RequiresGrad() || out.Grad != nil {
+		t.Error("constant graph tracked gradients")
+	}
+}
+
+func TestGELUAtZeroAndExtremes(t *testing.T) {
+	a := NewParam(tensor.FromSlice(1, 3, []float64{0, 50, -50}))
+	y := GELU(a)
+	if y.T.Data[0] != 0 {
+		t.Errorf("gelu(0) = %f", y.T.Data[0])
+	}
+	if math.Abs(y.T.Data[1]-50) > 1e-6 {
+		t.Errorf("gelu(50) = %f", y.T.Data[1])
+	}
+	if math.Abs(y.T.Data[2]) > 1e-6 {
+		t.Errorf("gelu(-50) = %f", y.T.Data[2])
+	}
+	// Gradient stays finite at extremes.
+	Backward(Mean(y))
+	for _, g := range a.Grad.Data {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Error("gelu gradient not finite")
+		}
+	}
+}
+
+func TestSoftmaxExtremeLogits(t *testing.T) {
+	a := NewParam(tensor.FromSlice(1, 3, []float64{1e9, -1e9, 0}))
+	y := SoftmaxRows(a)
+	if math.Abs(y.T.Data[0]-1) > 1e-9 {
+		t.Errorf("softmax overflow handling: %v", y.T.Data)
+	}
+	for _, v := range y.T.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in softmax")
+		}
+	}
+}
+
+func TestCrossEntropyAllPaddingIsFinite(t *testing.T) {
+	logits := NewParam(tensor.New(2, 3))
+	loss := CrossEntropy(logits, []int{0, 0}, 0)
+	if math.IsNaN(loss.T.Data[0]) || math.IsInf(loss.T.Data[0], 0) {
+		t.Errorf("all-padding loss: %f", loss.T.Data[0])
+	}
+	Backward(loss)
+}
+
+func TestLayerNormConstantRow(t *testing.T) {
+	// A constant row has zero variance; eps must keep the output finite.
+	a := NewParam(tensor.FromSlice(1, 4, []float64{3, 3, 3, 3}))
+	gain := NewParam(tensor.FromSlice(1, 4, []float64{1, 1, 1, 1}))
+	bias := NewParam(tensor.New(1, 4))
+	y := LayerNorm(a, gain, bias, 1e-5)
+	for _, v := range y.T.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("layernorm blew up on constant row")
+		}
+	}
+	Backward(Mean(y))
+	for _, g := range a.Grad.Data {
+		if math.IsNaN(g) {
+			t.Fatal("layernorm gradient NaN on constant row")
+		}
+	}
+}
+
+func TestEmbeddingOutOfRangePanics(t *testing.T) {
+	w := NewParam(tensor.New(4, 2))
+	expectPanic(t, "embedding range", func() { Embedding(w, []int{5}) })
+}
+
+func TestScaleZero(t *testing.T) {
+	a := NewParam(tensor.FromSlice(1, 2, []float64{1, 2}))
+	y := Scale(a, 0)
+	Backward(Mean(Mul(y, y)))
+	for _, g := range a.Grad.Data {
+		if g != 0 {
+			t.Error("zero scale should kill gradient")
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package baselines implements the three non-deep-learning comparison
+// methods of paper Section 6.2.3:
+//
+//   - popular: the most frequent fragments / templates in the training
+//     workload (motivated by the long-tailed popularity of Figure 9).
+//   - naive Q_i: the current query's own fragment set and template,
+//     exploiting that >50% (SDSS) / ~40% (SQLShare) of consecutive pairs
+//     share a template.
+//   - QueRIE: the binary fragment-based collaborative-filtering framework,
+//     adapted as in the paper — queries are binary vectors over table and
+//     column features, cosine similarity retrieves the closest workload
+//     queries, and the retrieved statements are parsed into fragment sets
+//     and template lists.
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sqlast"
+	"repro/internal/workload"
+)
+
+// Popular ranks fragments per kind and templates by training-set frequency.
+type Popular struct {
+	fragRank map[sqlast.FragmentKind][]string
+	tmplRank []string
+}
+
+// NewPopular counts occurrences over the target side of training pairs
+// (Q_{i+1}), matching what the baseline is asked to predict.
+func NewPopular(pairs []workload.Pair) *Popular {
+	fragCounts := map[sqlast.FragmentKind]map[string]int{}
+	for _, k := range sqlast.FragmentKinds {
+		fragCounts[k] = map[string]int{}
+	}
+	tmplCounts := map[string]int{}
+	for _, p := range pairs {
+		q := p.Next
+		if q.Fragments != nil {
+			for _, k := range sqlast.FragmentKinds {
+				for f := range q.Fragments.ByKind(k) {
+					fragCounts[k][f]++
+				}
+			}
+		}
+		tmplCounts[q.Template]++
+	}
+	pop := &Popular{fragRank: map[sqlast.FragmentKind][]string{}}
+	for _, k := range sqlast.FragmentKinds {
+		pop.fragRank[k] = rankByCount(fragCounts[k])
+	}
+	pop.tmplRank = rankByCount(tmplCounts)
+	return pop
+}
+
+func rankByCount(counts map[string]int) []string {
+	type kv struct {
+		k string
+		n int
+	}
+	list := make([]kv, 0, len(counts))
+	for k, n := range counts {
+		list = append(list, kv{k, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].k < list[j].k
+	})
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.k
+	}
+	return out
+}
+
+// TopFragments returns the n most popular fragments of one kind.
+func (p *Popular) TopFragments(kind sqlast.FragmentKind, n int) []string {
+	r := p.fragRank[kind]
+	if n > len(r) {
+		n = len(r)
+	}
+	return r[:n]
+}
+
+// TopTemplates returns the n most popular templates.
+func (p *Popular) TopTemplates(n int) []string {
+	if n > len(p.tmplRank) {
+		n = len(p.tmplRank)
+	}
+	return p.tmplRank[:n]
+}
+
+// NaiveFragmentSet returns fragments(Q_i) as the prediction for
+// fragments(Q_{i+1}).
+func NaiveFragmentSet(cur *workload.Query) *sqlast.FragmentSet { return cur.Fragments }
+
+// NaiveTemplate returns template(Q_i) as the prediction for
+// template(Q_{i+1}).
+func NaiveTemplate(cur *workload.Query) string { return cur.Template }
+
+// QueRIE is the adapted collaborative-filtering recommender.
+type QueRIE struct {
+	queries []*workload.Query
+	// features[i] is the sorted feature-id set of queries[i].
+	features [][]int
+	featIDs  map[string]int
+}
+
+// NewQueRIE indexes the unique training queries by their binary
+// table+column feature vectors.
+func NewQueRIE(pairs []workload.Pair) *QueRIE {
+	q := &QueRIE{featIDs: map[string]int{}}
+	seen := map[string]bool{}
+	add := func(query *workload.Query) {
+		key := query.Key()
+		if seen[key] || query.Fragments == nil {
+			return
+		}
+		seen[key] = true
+		q.queries = append(q.queries, query)
+		q.features = append(q.features, q.vector(query))
+	}
+	for _, p := range pairs {
+		add(p.Cur)
+		add(p.Next)
+	}
+	return q
+}
+
+// vector maps a query to its sorted feature ids (tables and columns).
+func (q *QueRIE) vector(query *workload.Query) []int {
+	var ids []int
+	addFeat := func(prefix, name string) {
+		key := prefix + ":" + name
+		id, ok := q.featIDs[key]
+		if !ok {
+			id = len(q.featIDs)
+			q.featIDs[key] = id
+		}
+		ids = append(ids, id)
+	}
+	for t := range query.Fragments.Tables {
+		addFeat("t", t)
+	}
+	for c := range query.Fragments.Columns {
+		addFeat("c", c)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// cosine computes the cosine similarity of two binary feature sets.
+func cosine(a, b []int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	i, j, inter := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// Recommend returns the k workload queries closest to the input by cosine
+// similarity over the binary fragment vectors, most similar first.
+func (q *QueRIE) Recommend(cur *workload.Query, k int) []*workload.Query {
+	if cur.Fragments == nil {
+		return nil
+	}
+	target := q.vector(cur)
+	type scored struct {
+		idx int
+		sim float64
+	}
+	list := make([]scored, len(q.queries))
+	for i := range q.queries {
+		list[i] = scored{idx: i, sim: cosine(target, q.features[i])}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].sim != list[j].sim {
+			return list[i].sim > list[j].sim
+		}
+		return list[i].idx < list[j].idx
+	})
+	if k > len(list) {
+		k = len(list)
+	}
+	out := make([]*workload.Query, 0, k)
+	for _, s := range list[:k] {
+		out = append(out, q.queries[s.idx])
+	}
+	return out
+}
+
+// FragmentSet predicts fragments(Q_{i+1}) as the fragments of the single
+// closest workload query (the paper parses the recommended statements).
+func (q *QueRIE) FragmentSet(cur *workload.Query) *sqlast.FragmentSet {
+	recs := q.Recommend(cur, 1)
+	if len(recs) == 0 {
+		return sqlast.NewFragmentSet()
+	}
+	return recs[0].Fragments
+}
+
+// TopFragments predicts N fragments of one kind by walking the closest
+// queries in similarity order and collecting their fragments.
+func (q *QueRIE) TopFragments(cur *workload.Query, kind sqlast.FragmentKind, n int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, rec := range q.Recommend(cur, 25) {
+		for _, f := range rec.Fragments.Sorted(kind) {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+				if len(out) == n {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TopTemplates predicts N templates as the distinct templates of the
+// closest queries in similarity order.
+func (q *QueRIE) TopTemplates(cur *workload.Query, n int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, rec := range q.Recommend(cur, 50) {
+		if !seen[rec.Template] {
+			seen[rec.Template] = true
+			out = append(out, rec.Template)
+			if len(out) == n {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sqlast"
+	"repro/internal/workload"
+)
+
+func mkQuery(t *testing.T, sql string) *workload.Query {
+	t.Helper()
+	q := &workload.Query{SessionID: "s", StartTime: time.Now(), SQL: sql}
+	if err := q.Enrich(); err != nil {
+		t.Fatalf("enrich %q: %v", sql, err)
+	}
+	return q
+}
+
+func mkPairs(t *testing.T, sqls ...string) []workload.Pair {
+	t.Helper()
+	var pairs []workload.Pair
+	for i := 0; i+1 < len(sqls); i++ {
+		pairs = append(pairs, workload.Pair{Cur: mkQuery(t, sqls[i]), Next: mkQuery(t, sqls[i+1])})
+	}
+	return pairs
+}
+
+func TestPopularRanksByFrequency(t *testing.T) {
+	// Counts are over the Q_{i+1} side of each pair: the next queries
+	// below are (ra PhotoObj), (ra+dec PhotoObj), (z SpecObj), so RA and
+	// PHOTOOBJ each appear twice, everything else once.
+	pairs := mkPairs(t,
+		"SELECT u FROM PhotoTag",
+		"SELECT ra FROM PhotoObj WHERE ra > 1",
+		"SELECT ra, dec FROM PhotoObj",
+		"SELECT z FROM SpecObj",
+	)
+	p := NewPopular(pairs)
+	topTables := p.TopFragments(sqlast.FragTable, 2)
+	if len(topTables) != 2 || topTables[0] != "PHOTOOBJ" {
+		t.Errorf("top tables: %v", topTables)
+	}
+	cols := p.TopFragments(sqlast.FragColumn, 1)
+	if len(cols) != 1 || cols[0] != "RA" {
+		t.Errorf("top columns: %v", cols)
+	}
+}
+
+func TestPopularTemplates(t *testing.T) {
+	pairs := mkPairs(t,
+		"SELECT ra FROM PhotoObj",
+		"SELECT dec FROM PhotoObj", // same template class
+		"SELECT z FROM SpecObj",    // same template class
+		"SELECT COUNT(*) FROM t",   // different
+	)
+	p := NewPopular(pairs)
+	top := p.TopTemplates(2)
+	if len(top) != 2 {
+		t.Fatalf("top templates: %d", len(top))
+	}
+	if top[0] != "SELECT Column FROM Table" {
+		t.Errorf("most popular: %q", top[0])
+	}
+	// Requesting more than available truncates.
+	if got := p.TopTemplates(99); len(got) != 2 {
+		t.Errorf("truncate: %d", len(got))
+	}
+}
+
+func TestNaive(t *testing.T) {
+	q := mkQuery(t, "SELECT ra FROM PhotoObj WHERE z > 1")
+	fs := NaiveFragmentSet(q)
+	if !fs.Tables["PHOTOOBJ"] || !fs.Columns["RA"] {
+		t.Errorf("naive fragments: %v", fs.All())
+	}
+	if NaiveTemplate(q) != q.Template {
+		t.Error("naive template")
+	}
+}
+
+func TestQueRIEFindsExactMatch(t *testing.T) {
+	pairs := mkPairs(t,
+		"SELECT ra, dec FROM PhotoObj",
+		"SELECT z FROM SpecObj",
+		"SELECT wave FROM SpecLine",
+	)
+	q := NewQueRIE(pairs)
+	// A query over the same table+columns must retrieve itself first.
+	cur := mkQuery(t, "SELECT ra, dec FROM PhotoObj")
+	recs := q.Recommend(cur, 2)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if !recs[0].Fragments.Tables["PHOTOOBJ"] {
+		t.Errorf("closest query: %s", recs[0].SQL)
+	}
+}
+
+func TestQueRIEPrefersSharedFragments(t *testing.T) {
+	pairs := mkPairs(t,
+		"SELECT ra, dec, u, g FROM PhotoObj",
+		"SELECT wave, sigma FROM SpecLine",
+	)
+	q := NewQueRIE(pairs)
+	cur := mkQuery(t, "SELECT ra, u FROM PhotoObj WHERE dec > 0")
+	recs := q.Recommend(cur, 1)
+	if !recs[0].Fragments.Tables["PHOTOOBJ"] {
+		t.Errorf("querie chose the wrong neighbourhood: %s", recs[0].SQL)
+	}
+	fs := q.FragmentSet(cur)
+	if !fs.Columns["G"] {
+		t.Errorf("fragment set should come from the retrieved query: %v", fs.All())
+	}
+}
+
+func TestQueRIETopFragmentsAndTemplates(t *testing.T) {
+	pairs := mkPairs(t,
+		"SELECT ra FROM PhotoObj",
+		"SELECT ra, dec FROM PhotoObj",
+		"SELECT COUNT(*) FROM PhotoObj GROUP BY type",
+		"SELECT z FROM SpecObj",
+	)
+	q := NewQueRIE(pairs)
+	cur := mkQuery(t, "SELECT ra FROM PhotoObj")
+	cols := q.TopFragments(cur, sqlast.FragColumn, 3)
+	if len(cols) == 0 || cols[0] != "RA" {
+		t.Errorf("top fragments: %v", cols)
+	}
+	tmpls := q.TopTemplates(cur, 3)
+	if len(tmpls) < 2 {
+		t.Errorf("top templates: %v", tmpls)
+	}
+	// Deduplicated.
+	seen := map[string]bool{}
+	for _, tm := range tmpls {
+		if seen[tm] {
+			t.Errorf("duplicate template in ranking")
+		}
+		seen[tm] = true
+	}
+}
+
+func TestQueRIEEmptyCases(t *testing.T) {
+	q := NewQueRIE(nil)
+	cur := mkQuery(t, "SELECT ra FROM PhotoObj")
+	if recs := q.Recommend(cur, 5); len(recs) != 0 {
+		t.Error("recommendations from empty index")
+	}
+	if fs := q.FragmentSet(cur); fs.Size() != 0 {
+		t.Error("fragment set from empty index")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if c := cosine([]int{1, 2, 3}, []int{1, 2, 3}); c != 1 {
+		t.Errorf("identical: %f", c)
+	}
+	if c := cosine([]int{1, 2}, []int{3, 4}); c != 0 {
+		t.Errorf("disjoint: %f", c)
+	}
+	if c := cosine(nil, []int{1}); c != 0 {
+		t.Errorf("empty: %f", c)
+	}
+	// |inter|=1, |a|=1, |b|=4 -> 1/2.
+	if c := cosine([]int{1}, []int{1, 2, 3, 4}); c != 0.5 {
+		t.Errorf("partial: %f", c)
+	}
+}

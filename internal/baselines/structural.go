@@ -1,0 +1,82 @@
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/similarity"
+	"repro/internal/workload"
+)
+
+// StructuralQueRIE augments the fragment-based QueRIE retrieval with the
+// structural similarity the paper's Example 2 argues for: two queries that
+// are structural twins (same nested top-k shape, different tables) should
+// rank closer than two flat queries that merely share a table. The score
+// blends fragment cosine with (1 - normalized tree edit distance).
+type StructuralQueRIE struct {
+	base  *QueRIE
+	trees []*similarity.Tree
+	// Alpha weighs the fragment cosine; (1-Alpha) weighs structure.
+	Alpha float64
+}
+
+// NewStructuralQueRIE indexes training queries by fragments and by
+// structure.
+func NewStructuralQueRIE(pairs []workload.Pair, alpha float64) *StructuralQueRIE {
+	base := NewQueRIE(pairs)
+	s := &StructuralQueRIE{base: base, Alpha: alpha}
+	s.trees = make([]*similarity.Tree, len(base.queries))
+	for i, q := range base.queries {
+		s.trees[i] = similarity.TreeFromQuery(q.Stmt)
+	}
+	return s
+}
+
+// Recommend returns the k closest queries under the blended score.
+func (s *StructuralQueRIE) Recommend(cur *workload.Query, k int) []*workload.Query {
+	if cur.Fragments == nil || cur.Stmt == nil {
+		return nil
+	}
+	target := s.base.vector(cur)
+	curTree := similarity.TreeFromQuery(cur.Stmt)
+	type scored struct {
+		idx   int
+		score float64
+	}
+	list := make([]scored, len(s.base.queries))
+	for i := range s.base.queries {
+		frag := cosine(target, s.base.features[i])
+		structural := 1 - similarity.Normalized(curTree, s.trees[i])
+		list[i] = scored{idx: i, score: s.Alpha*frag + (1-s.Alpha)*structural}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].score != list[j].score {
+			return list[i].score > list[j].score
+		}
+		return list[i].idx < list[j].idx
+	})
+	if k > len(list) {
+		k = len(list)
+	}
+	out := make([]*workload.Query, 0, k)
+	for _, e := range list[:k] {
+		out = append(out, s.base.queries[e.idx])
+	}
+	return out
+}
+
+// TopTemplates predicts N templates as the distinct templates of the
+// closest queries under the blended score.
+func (s *StructuralQueRIE) TopTemplates(cur *workload.Query, n int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, rec := range s.Recommend(cur, 50) {
+		if !seen[rec.Template] {
+			seen[rec.Template] = true
+			out = append(out, rec.Template)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}

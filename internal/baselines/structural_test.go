@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"testing"
+)
+
+func TestStructuralQueRIEPrefersStructuralTwin(t *testing.T) {
+	// Index: one structural twin of the probe (nested top-k, different
+	// tables) and one flat query sharing the probe's table.
+	pairs := mkPairs(t,
+		"SELECT TOP 10 mag FROM PhotoTag WHERE mag IN (SELECT mag FROM Neighbors WHERE mag > 2) ORDER BY mag DESC",
+		"SELECT z, ra, dec FROM SpecObj",
+		"SELECT wave FROM SpecLine",
+	)
+	probe := mkQuery(t, "SELECT TOP 10 z FROM SpecObj WHERE z IN (SELECT z FROM SpecPhoto WHERE z > 1) ORDER BY z DESC")
+
+	// Pure fragment CF prefers the same-table flat query.
+	frag := NewQueRIE(pairs)
+	fragTop := frag.Recommend(probe, 1)[0]
+	if !fragTop.Fragments.Tables["SPECOBJ"] {
+		t.Fatalf("fragment CF baseline assumption broken: %s", fragTop.SQL)
+	}
+
+	// Structure-weighted CF prefers the structural twin (Example 2).
+	structural := NewStructuralQueRIE(pairs, 0.2)
+	structTop := structural.Recommend(probe, 1)[0]
+	if !structTop.Fragments.Tables["PHOTOTAG"] {
+		t.Errorf("structural CF should pick the nested top-k twin, got: %s", structTop.SQL)
+	}
+}
+
+func TestStructuralQueRIEAlphaOneMatchesFragmentRanking(t *testing.T) {
+	pairs := mkPairs(t,
+		"SELECT ra, dec FROM PhotoObj",
+		"SELECT z FROM SpecObj",
+		"SELECT wave FROM SpecLine",
+	)
+	probe := mkQuery(t, "SELECT ra, dec FROM PhotoObj")
+	s := NewStructuralQueRIE(pairs, 1.0)
+	f := NewQueRIE(pairs)
+	st := s.Recommend(probe, 1)
+	ft := f.Recommend(probe, 1)
+	if len(st) == 0 || len(ft) == 0 || st[0].Key() != ft[0].Key() {
+		t.Error("alpha=1 should reduce to fragment ranking")
+	}
+}
+
+func TestStructuralQueRIETemplates(t *testing.T) {
+	pairs := mkPairs(t,
+		"SELECT ra FROM PhotoObj",
+		"SELECT COUNT(*) FROM PhotoObj GROUP BY type",
+		"SELECT z FROM SpecObj",
+	)
+	probe := mkQuery(t, "SELECT dec FROM PhotoTag")
+	s := NewStructuralQueRIE(pairs, 0.5)
+	tmpls := s.TopTemplates(probe, 2)
+	if len(tmpls) == 0 {
+		t.Fatal("no templates")
+	}
+	// The structurally identical single-column template must rank first.
+	if tmpls[0] != "SELECT Column FROM Table" {
+		t.Errorf("top template: %q", tmpls[0])
+	}
+}
+
+func TestStructuralQueRIENilSafe(t *testing.T) {
+	s := NewStructuralQueRIE(nil, 0.5)
+	probe := mkQuery(t, "SELECT a FROM t")
+	if got := s.Recommend(probe, 3); len(got) != 0 {
+		t.Error("empty index returned results")
+	}
+}

@@ -1,0 +1,152 @@
+package classify
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq2seq"
+	"repro/internal/train"
+)
+
+func tinyEncoder(t *testing.T, seed int64) seq2seq.Model {
+	t.Helper()
+	cfg := seq2seq.DefaultConfig(seq2seq.Transformer, 24)
+	cfg.DModel = 16
+	cfg.FFHidden = 16
+	cfg.Dropout = 0
+	m, err := seq2seq.New(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClassOf(t *testing.T) {
+	c := New(tinyEncoder(t, 1), 8, []string{"T1", "T2", "T3"}, 1)
+	if c.ClassOf("T2") != 1 {
+		t.Errorf("class of T2: %d", c.ClassOf("T2"))
+	}
+	if c.ClassOf("unknown") != -1 {
+		t.Error("unknown template should be -1")
+	}
+}
+
+func TestLogitsShape(t *testing.T) {
+	c := New(tinyEncoder(t, 1), 8, []string{"a", "b", "c", "d"}, 1)
+	logits := c.Logits([]int{1, 5, 6, 2}, false, nil)
+	if logits.T.Rows != 1 || logits.T.Cols != 4 {
+		t.Fatalf("shape: %dx%d", logits.T.Rows, logits.T.Cols)
+	}
+}
+
+func TestPredictTopNOrder(t *testing.T) {
+	c := New(tinyEncoder(t, 2), 8, []string{"a", "b", "c", "d", "e"}, 2)
+	top := c.PredictTopN([]int{1, 7, 2}, 3)
+	if len(top) != 3 {
+		t.Fatalf("topn: %v", top)
+	}
+	// Top-1 must equal the argmax of logits.
+	logits := c.Logits([]int{1, 7, 2}, false, nil)
+	if top[0] != c.Classes[logits.T.ArgMaxRow(0)] {
+		t.Error("top-1 disagrees with argmax")
+	}
+}
+
+func TestFreezeEncoderParamCount(t *testing.T) {
+	c := New(tinyEncoder(t, 3), 8, []string{"a", "b"}, 3)
+	full := len(c.Params())
+	c.FreezeEncoder = true
+	frozen := len(c.Params())
+	if frozen != 4 {
+		t.Errorf("frozen params: %d", frozen)
+	}
+	if full <= frozen {
+		t.Errorf("full params %d should exceed frozen %d", full, frozen)
+	}
+}
+
+// classTask builds a trivially-learnable mapping: sequences starting with
+// token 4+k belong to class k.
+func classTask(rng *rand.Rand, n, classes int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		k := rng.Intn(classes)
+		src := []int{4 + k, 4 + rng.Intn(8), 4 + rng.Intn(8)}
+		out[i] = Example{Src: src, Class: k}
+	}
+	return out
+}
+
+func TestFitLearnsSeparableTask(t *testing.T) {
+	c := New(tinyEncoder(t, 4), 16, []string{"c0", "c1", "c2"}, 4)
+	rng := rand.New(rand.NewSource(5))
+	data := classTask(rng, 90, 3)
+	opts := train.DefaultOptions()
+	opts.Epochs = 12
+	opts.Patience = 0
+	opts.LR = 3e-3
+	res, err := Fit(c, data[:70], data[70:], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.TrainLosses[0], res.TrainLosses[len(res.TrainLosses)-1]
+	if last >= first*0.5 {
+		t.Errorf("classifier did not learn: %.3f -> %.3f", first, last)
+	}
+	// Accuracy check on fresh samples.
+	correct := 0
+	test := classTask(rng, 30, 3)
+	for _, ex := range test {
+		if c.PredictTopN(ex.Src, 1)[0] == c.Classes[ex.Class] {
+			correct++
+		}
+	}
+	if correct < 24 {
+		t.Errorf("test accuracy too low: %d/30", correct)
+	}
+}
+
+func TestFitEmptySet(t *testing.T) {
+	c := New(tinyEncoder(t, 1), 8, []string{"a"}, 1)
+	if _, err := Fit(c, nil, nil, train.DefaultOptions()); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestEvaluateLossEmpty(t *testing.T) {
+	c := New(tinyEncoder(t, 1), 8, []string{"a"}, 1)
+	if !math.IsNaN(EvaluateLoss(c, nil, 10)) {
+		t.Error("expected NaN")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := New(tinyEncoder(t, 6), 8, []string{"t1", "t2", "t3"}, 6)
+	src := []int{1, 9, 4, 2}
+	before := c.Logits(src, false, nil).T.Clone()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := back.Logits(src, false, nil).T
+	for i := range before.Data {
+		if math.Abs(before.Data[i]-after.Data[i]) > 1e-12 {
+			t.Fatal("reloaded classifier diverges")
+		}
+	}
+	if back.ClassOf("t3") != 2 {
+		t.Error("classes lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("expected error")
+	}
+}

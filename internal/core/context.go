@@ -1,0 +1,97 @@
+package core
+
+import (
+	"repro/internal/classify"
+	"repro/internal/tokenizer"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+// Session-context extension (paper Section 2): "our solution using
+// seq2seq models can be easily extended to work with all the queries
+// Q'_1, ..., Q'_i; one can concatenate multiple queries to generate a
+// single sequence and provide as input". This file implements the
+// two-query variant: the encoder input becomes
+//
+//	BOS  tokens(Q_{i-1})  EOS  tokens(Q_i)  EOS
+//
+// falling back to the single-query form at session starts.
+
+// EncodeContext builds the concatenated encoder input for an optional
+// previous query plus the current query.
+func EncodeContext(v *tokenizer.Vocab, prevTokens, curTokens []string) []int {
+	if prevTokens == nil {
+		return v.Encode(curTokens, true)
+	}
+	out := make([]int, 0, len(prevTokens)+len(curTokens)+3)
+	out = append(out, tokenizer.BOS)
+	for _, t := range prevTokens {
+		out = append(out, v.ID(t))
+	}
+	out = append(out, tokenizer.EOS)
+	for _, t := range curTokens {
+		out = append(out, v.ID(t))
+	}
+	out = append(out, tokenizer.EOS)
+	return out
+}
+
+// SeqExamplesContext is SeqExamples with the two-query concatenated
+// source. Targets are unchanged.
+func SeqExamplesContext(v *tokenizer.Vocab, pairs []workload.Pair, seqAware bool) []train.Example {
+	out := make([]train.Example, 0, len(pairs))
+	for _, p := range pairs {
+		tgt := p.Next
+		if !seqAware {
+			tgt = p.Cur
+		}
+		var prevToks []string
+		if p.Prev != nil {
+			prevToks = p.Prev.Tokens
+		}
+		out = append(out, train.Example{
+			Src: EncodeContext(v, prevToks, p.Cur.Tokens),
+			Tgt: v.Encode(tgt.Tokens, false),
+		})
+	}
+	return out
+}
+
+// ClsExamplesContext is ClsExamples with the two-query concatenated
+// source.
+func ClsExamplesContext(v *tokenizer.Vocab, c *classify.Classifier, pairs []workload.Pair) []classify.Example {
+	var out []classify.Example
+	for _, p := range pairs {
+		class := c.ClassOf(p.Next.Template)
+		if class < 0 {
+			continue
+		}
+		var prevToks []string
+		if p.Prev != nil {
+			prevToks = p.Prev.Tokens
+		}
+		out = append(out, classify.Example{
+			Src:   EncodeContext(v, prevToks, p.Cur.Tokens),
+			Class: class,
+		})
+	}
+	return out
+}
+
+// NextTemplatesContext predicts templates from a two-query context. Pass
+// prevSQL == "" at session start. The recommender must have been trained
+// with UseContext for this input shape to be in-distribution.
+func (r *Recommender) NextTemplatesContext(prevSQL, curSQL string, n int) ([]string, error) {
+	cur, err := tokenizer.Tokenize(curSQL)
+	if err != nil {
+		return nil, err
+	}
+	var prev []string
+	if prevSQL != "" {
+		prev, err = tokenizer.Tokenize(prevSQL)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return r.Classifier.PredictTopN(EncodeContext(r.Vocab, prev, cur), n), nil
+}

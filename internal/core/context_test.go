@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/seq2seq"
+	"repro/internal/tokenizer"
+	"repro/internal/workload"
+)
+
+func TestEncodeContext(t *testing.T) {
+	b := tokenizer.NewBuilder()
+	b.AddQuery([]string{"SELECT", "ra", "FROM", "PhotoObj"})
+	b.AddQuery([]string{"SELECT", "z", "FROM", "SpecObj"})
+	v := b.Build(1)
+
+	// No previous query: identical to plain wrapped encoding.
+	cur := []string{"SELECT", "ra", "FROM", "PhotoObj"}
+	plain := v.Encode(cur, true)
+	got := EncodeContext(v, nil, cur)
+	if len(got) != len(plain) {
+		t.Fatalf("no-prev context shape: %v vs %v", got, plain)
+	}
+	for i := range got {
+		if got[i] != plain[i] {
+			t.Fatal("no-prev context differs from plain encoding")
+		}
+	}
+
+	// With previous query: BOS prev EOS cur EOS.
+	prev := []string{"SELECT", "z", "FROM", "SpecObj"}
+	ctx := EncodeContext(v, prev, cur)
+	if ctx[0] != tokenizer.BOS || ctx[len(ctx)-1] != tokenizer.EOS {
+		t.Errorf("context framing: %v", ctx)
+	}
+	if ctx[len(prev)+1] != tokenizer.EOS {
+		t.Errorf("separator EOS missing at %d: %v", len(prev)+1, ctx)
+	}
+	if len(ctx) != len(prev)+len(cur)+3 {
+		t.Errorf("context length: %d", len(ctx))
+	}
+}
+
+func TestSeqExamplesContext(t *testing.T) {
+	mk := func(sql string, min int) *workload.Query {
+		q := &workload.Query{SessionID: "s", StartTime: time.Date(2020, 1, 1, 0, min, 0, 0, time.UTC), SQL: sql}
+		if err := q.Enrich(); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	q1 := mk("SELECT a FROM t", 0)
+	q2 := mk("SELECT b FROM t", 1)
+	q3 := mk("SELECT c FROM t", 2)
+	b := tokenizer.NewBuilder()
+	for _, q := range []*workload.Query{q1, q2, q3} {
+		b.AddQuery(q.Tokens)
+	}
+	v := b.Build(1)
+	pairs := []workload.Pair{
+		{Cur: q1, Next: q2},           // session start: no prev
+		{Prev: q1, Cur: q2, Next: q3}, // has context
+	}
+	exs := SeqExamplesContext(v, pairs, true)
+	if len(exs) != 2 {
+		t.Fatal("example count")
+	}
+	if len(exs[0].Src) >= len(exs[1].Src) {
+		t.Errorf("context example should be longer: %d vs %d", len(exs[0].Src), len(exs[1].Src))
+	}
+}
+
+func TestTrainWithContext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	ds := smallDataset(t)
+	cfg := DefaultTrainConfig(seq2seq.Transformer)
+	cfg.UseContext = true
+	cfg.SeqOpts.Epochs = 1
+	cfg.ClsOpts.Epochs = 1
+	cfg.MaxTrainPairs = 80
+	mcfg := seq2seq.DefaultConfig(seq2seq.Transformer, 0)
+	mcfg.DModel = 16
+	mcfg.FFHidden = 16
+	cfg.Model = &mcfg
+	rec, err := Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpls, err := rec.NextTemplatesContext(
+		"SELECT TOP 10 * FROM PhotoObj",
+		"SELECT ra, dec FROM PhotoObj WHERE ra > 180.0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpls) != 3 {
+		t.Errorf("templates: %v", tmpls)
+	}
+	// Session start (no previous query).
+	tmpls2, err := rec.NextTemplatesContext("", "SELECT ra FROM PhotoObj", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpls2) != 2 {
+		t.Errorf("templates: %v", tmpls2)
+	}
+	// Bad SQL propagates.
+	if _, err := rec.NextTemplatesContext("DROP x", "SELECT a FROM t", 1); err == nil {
+		t.Error("expected error for bad previous SQL")
+	}
+}

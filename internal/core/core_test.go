@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/decode"
+	"repro/internal/seq2seq"
+	"repro/internal/sqlast"
+	"repro/internal/synth"
+	"repro/internal/tokenizer"
+)
+
+// smallDataset prepares a reduced SDSS-sim dataset shared across tests.
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	prof := synth.SDSSProfile()
+	prof.Sessions = 60
+	wl := synth.Generate(prof, 5)
+	ds, err := Prepare(wl, DefaultPrepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPrepareSplitsAndVocab(t *testing.T) {
+	ds := smallDataset(t)
+	total := len(ds.Train) + len(ds.Val) + len(ds.Test)
+	if total == 0 {
+		t.Fatal("no pairs")
+	}
+	trainFrac := float64(len(ds.Train)) / float64(total)
+	if trainFrac < 0.75 || trainFrac > 0.85 {
+		t.Errorf("train fraction %.2f", trainFrac)
+	}
+	if ds.Vocab.Size() < 50 {
+		t.Errorf("vocab too small: %d", ds.Vocab.Size())
+	}
+	if len(ds.Classes) == 0 {
+		t.Error("no template classes")
+	}
+	// Vocabulary must know roles for schema tokens.
+	if !ds.Vocab.Has("PhotoObj") {
+		t.Skip("PhotoObj not in this sample")
+	}
+	if ds.Vocab.Role(ds.Vocab.ID("PhotoObj")) != tokenizer.RoleTable {
+		t.Errorf("PhotoObj role: %v", ds.Vocab.Role(ds.Vocab.ID("PhotoObj")))
+	}
+}
+
+func TestPrepareRejectsTinyWorkload(t *testing.T) {
+	prof := synth.SDSSProfile()
+	prof.Sessions = 1
+	prof.MaxLen = 3
+	wl := synth.Generate(prof, 1)
+	if _, err := Prepare(wl, DefaultPrepConfig()); err == nil {
+		t.Error("expected error for tiny workload")
+	}
+}
+
+func TestTokenRole(t *testing.T) {
+	fs := sqlast.NewFragmentSet()
+	fs.Add(sqlast.FragTable, "PhotoObj")
+	fs.Add(sqlast.FragColumn, "ra")
+	fs.Add(sqlast.FragFunction, "COUNT")
+	fs.Add(sqlast.FragLiteral, "'GALAXY'")
+	cases := map[string]tokenizer.Role{
+		"PhotoObj":    tokenizer.RoleTable,
+		"ra":          tokenizer.RoleColumn,
+		"COUNT":       tokenizer.RoleFunction,
+		"'GALAXY'":    tokenizer.RoleLiteral,
+		"PhotoObj.ra": tokenizer.RoleColumn, // dotted resolves by suffix
+		"SELECT":      tokenizer.RoleOther,
+	}
+	for tok, want := range cases {
+		if got := TokenRole(fs, tok); got != want {
+			t.Errorf("role(%q) = %v, want %v", tok, got, want)
+		}
+	}
+	if TokenRole(nil, "x") != tokenizer.RoleOther {
+		t.Error("nil fragment set")
+	}
+}
+
+func TestTokenFragmentsDottedColumn(t *testing.T) {
+	b := tokenizer.NewBuilder()
+	b.Add("PhotoObj.ra", tokenizer.RoleColumn)
+	b.Add("SpecObj", tokenizer.RoleTable)
+	v := b.Build(1)
+	fr := TokenFragments(v, v.ID("PhotoObj.ra"))
+	if len(fr) != 2 {
+		t.Fatalf("dotted column fragments: %v", fr)
+	}
+	if fr[0].Kind != sqlast.FragTable || fr[0].Name != "PHOTOOBJ" {
+		t.Errorf("table part: %+v", fr[0])
+	}
+	if fr[1].Kind != sqlast.FragColumn || fr[1].Name != "RA" {
+		t.Errorf("column part: %+v", fr[1])
+	}
+	if fr2 := TokenFragments(v, v.ID("SpecObj")); len(fr2) != 1 || fr2[0].Kind != sqlast.FragTable {
+		t.Errorf("table token: %v", fr2)
+	}
+	if fr3 := TokenFragments(v, tokenizer.EOS); fr3 != nil {
+		t.Errorf("special token fragments: %v", fr3)
+	}
+}
+
+func TestAggregateFragmentsSumsAcrossPaths(t *testing.T) {
+	b := tokenizer.NewBuilder()
+	b.Add("PhotoObj", tokenizer.RoleTable)
+	b.Add("SpecObj", tokenizer.RoleTable)
+	b.Add("ra", tokenizer.RoleColumn)
+	v := b.Build(1)
+	po, so, ra := v.ID("PhotoObj"), v.ID("SpecObj"), v.ID("ra")
+	// Path 1: PhotoObj (p=0.5) ra (p=0.5) PhotoObj (p=0.9, dup ignored)
+	// Path 2: SpecObj (p=0.4)  PhotoObj (p=0.2)
+	results := []decode.Result{
+		{IDs: []int{po, ra, po}, StepLogP: []float64{lg(0.5), lg(0.5), lg(0.9)}},
+		{IDs: []int{so, po}, StepLogP: []float64{lg(0.4), lg(0.2)}},
+	}
+	top := AggregateFragments(v, results, 5)
+	tables := top[sqlast.FragTable]
+	// PhotoObj: 0.5 + 0.2 = 0.7 > SpecObj: 0.4.
+	if len(tables) != 2 || tables[0] != "PHOTOOBJ" || tables[1] != "SPECOBJ" {
+		t.Errorf("tables: %v", tables)
+	}
+	if cols := top[sqlast.FragColumn]; len(cols) != 1 || cols[0] != "RA" {
+		t.Errorf("columns: %v", cols)
+	}
+	// Truncation.
+	if got := AggregateFragments(v, results, 1); len(got[sqlast.FragTable]) != 1 {
+		t.Errorf("truncate: %v", got[sqlast.FragTable])
+	}
+}
+
+func lg(p float64) float64 {
+	// natural log helper for test probabilities
+	return mathLog(p)
+}
+
+// TestEndToEndPipeline trains a tiny recommender on SDSS-sim and checks
+// the full online surface: template prediction, fragment-set prediction
+// and N-fragments prediction under all three strategies.
+func TestEndToEndPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	ds := smallDataset(t)
+	cfg := DefaultTrainConfig(seq2seq.Transformer)
+	cfg.SeqOpts.Epochs = 2
+	cfg.ClsOpts.Epochs = 2
+	mcfg := seq2seq.DefaultConfig(seq2seq.Transformer, 0)
+	mcfg.DModel = 16
+	mcfg.FFHidden = 32
+	cfg.Model = &mcfg
+	rec, err := Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SeqResult == nil || rec.ClsResult == nil {
+		t.Fatal("missing training telemetry")
+	}
+
+	sql := "SELECT ra, dec FROM PhotoObj WHERE ra > 180.0"
+	tmpls, err := rec.NextTemplates(sql, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpls) != 3 {
+		t.Errorf("templates: %v", tmpls)
+	}
+	fs, err := rec.NextFragmentSet(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs == nil {
+		t.Fatal("nil fragment set")
+	}
+	for _, strat := range []Strategy{StrategyBeam, StrategyDiverseBeam, StrategySampling} {
+		opts := DefaultNFragmentsOptions()
+		opts.Strategy = strat
+		opts.Width = 3
+		frags, err := rec.NextFragments(sql, 3, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		for kind, names := range frags {
+			if len(names) > 3 {
+				t.Errorf("%v/%v: too many fragments %v", strat, kind, names)
+			}
+		}
+	}
+	// Unparseable input propagates an error.
+	if _, err := rec.NextTemplates("DROP TABLE x", 3); err == nil {
+		t.Error("expected error for unparseable input")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyBeam.String() != "beam" || StrategyDiverseBeam.String() != "diverse-beam" ||
+		StrategySampling.String() != "sampling" || Strategy(99).String() != "unknown" {
+		t.Error("strategy names")
+	}
+}

@@ -1,0 +1,142 @@
+// Package core implements the paper's query recommendation pipeline: the
+// offline stage (seq2seq training on query pairs, then classifier
+// fine-tuning — Figure 3 steps 1 and 2) and the online stage (next
+// template prediction and next fragment prediction — steps 3 and 4).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/sqlast"
+	"repro/internal/tokenizer"
+	"repro/internal/workload"
+)
+
+// PrepConfig controls dataset preparation.
+type PrepConfig struct {
+	// TrainFrac/ValFrac give the pair split; the paper uses 80/10/10.
+	TrainFrac, ValFrac float64
+	// MinTokenCount drops rare tokens from the vocabulary (OOV -> UNK).
+	MinTokenCount int
+	// MinTemplateCount keeps template classes appearing at least this
+	// many times (paper Section 5.4.1 uses 3).
+	MinTemplateCount int
+	Seed             int64
+}
+
+// DefaultPrepConfig matches the paper's setup.
+func DefaultPrepConfig() PrepConfig {
+	return PrepConfig{TrainFrac: 0.8, ValFrac: 0.1, MinTokenCount: 1, MinTemplateCount: 3, Seed: 13}
+}
+
+// Dataset is a prepared workload: enriched queries, split pairs, a frozen
+// vocabulary with role tags, and the template class set.
+type Dataset struct {
+	Workload         *workload.Workload
+	Vocab            *tokenizer.Vocab
+	Train, Val, Test []workload.Pair
+	Classes          []string
+}
+
+// Prepare enriches the workload (parsing every query), splits pairs
+// 80/10/10, builds the vocabulary with fragment-role votes from the
+// training portion only, and extracts the template classes.
+func Prepare(wl *workload.Workload, cfg PrepConfig) (*Dataset, error) {
+	wl.Enrich()
+	pairs := wl.Pairs()
+	if len(pairs) < 10 {
+		return nil, fmt.Errorf("core: workload too small: %d pairs", len(pairs))
+	}
+	train, val, test := workload.Split(pairs, cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
+
+	builder := tokenizer.NewBuilder()
+	for _, p := range train {
+		voteQuery(builder, p.Cur)
+		voteQuery(builder, p.Next)
+	}
+	vocab := builder.Build(cfg.MinTokenCount)
+
+	// Template classes from training-pair targets.
+	trainWL := &workload.Workload{Sessions: []*workload.Session{{ID: "train"}}}
+	for _, p := range train {
+		trainWL.Sessions[0].Queries = append(trainWL.Sessions[0].Queries, p.Next)
+	}
+	classes := analysis.TemplateClasses(trainWL, cfg.MinTemplateCount)
+	if len(classes) == 0 {
+		classes = analysis.TemplateClasses(trainWL, 1)
+	}
+
+	return &Dataset{Workload: wl, Vocab: vocab, Train: train, Val: val, Test: test, Classes: classes}, nil
+}
+
+// voteQuery adds a query's tokens to the vocabulary builder with role
+// votes derived from its fragment sets, so generated tokens can later be
+// classified as table/column/function/literal without parsing.
+func voteQuery(b *tokenizer.Builder, q *workload.Query) {
+	fs := q.Fragments
+	for _, tok := range q.Tokens {
+		b.Add(tok, TokenRole(fs, tok))
+	}
+}
+
+// TokenRole infers the fragment role a token plays in a query with the
+// given fragment sets. Dotted tokens (PhotoObj.ra) are columns when their
+// last segment is a known column; whole-token matches take precedence.
+func TokenRole(fs *sqlast.FragmentSet, tok string) tokenizer.Role {
+	if fs == nil {
+		return tokenizer.RoleOther
+	}
+	up := strings.ToUpper(tok)
+	switch {
+	case fs.Tables[up]:
+		return tokenizer.RoleTable
+	case fs.Functions[up]:
+		return tokenizer.RoleFunction
+	case fs.Columns[up]:
+		return tokenizer.RoleColumn
+	case fs.Literals[up]:
+		return tokenizer.RoleLiteral
+	}
+	if i := strings.LastIndex(up, "."); i > 0 {
+		if fs.Columns[up[i+1:]] {
+			return tokenizer.RoleColumn
+		}
+	}
+	return tokenizer.RoleOther
+}
+
+// TokenFragments expands one generated token into the (kind, name)
+// fragments it denotes: a plain table token is one table fragment; a
+// dotted column token contributes both its table prefix and its column
+// name; functions and literals map to themselves. Names are upper-cased to
+// match FragmentSet storage.
+func TokenFragments(v *tokenizer.Vocab, id int) []Fragment {
+	tok := v.Token(id)
+	up := strings.ToUpper(tok)
+	switch v.Role(id) {
+	case tokenizer.RoleTable:
+		return []Fragment{{Kind: sqlast.FragTable, Name: up}}
+	case tokenizer.RoleFunction:
+		return []Fragment{{Kind: sqlast.FragFunction, Name: up}}
+	case tokenizer.RoleLiteral:
+		return []Fragment{{Kind: sqlast.FragLiteral, Name: up}}
+	case tokenizer.RoleColumn:
+		if i := strings.LastIndex(up, "."); i > 0 {
+			return []Fragment{
+				{Kind: sqlast.FragTable, Name: up[:i]},
+				{Kind: sqlast.FragColumn, Name: up[i+1:]},
+			}
+		}
+		return []Fragment{{Kind: sqlast.FragColumn, Name: up}}
+	default:
+		return nil
+	}
+}
+
+// Fragment is a typed fragment name.
+type Fragment struct {
+	Kind sqlast.FragmentKind
+	Name string
+}

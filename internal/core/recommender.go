@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/decode"
+	"repro/internal/seq2seq"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+	"repro/internal/tokenizer"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+// TrainConfig selects what to train (Figure 3, steps 1-2).
+type TrainConfig struct {
+	Arch seq2seq.Arch
+	// SeqAware trains on (Q_i, Q_{i+1}) prediction; false trains the
+	// seq-less reconstruction ablation on (Q_i, Q_i).
+	SeqAware bool
+	// FineTune initializes the classifier from the trained seq2seq
+	// encoder; false trains the classifier from scratch (the "without
+	// pre-trained encoder" comparison).
+	FineTune bool
+	// FreezeEncoder stops encoder updates during classification
+	// fine-tuning (ablation).
+	FreezeEncoder bool
+	// Model overrides the architecture hyper-parameters when non-nil.
+	Model *seq2seq.Config
+	// Seq2Seq and Classifier training options.
+	SeqOpts train.Options
+	ClsOpts train.Options
+	// ClsHidden is the classifier MLP hidden width.
+	ClsHidden int
+	// MaxTrainPairs caps the training pairs used (0 = all); evaluation
+	// splits are untouched.
+	MaxTrainPairs int
+	// UseContext concatenates Q_{i-1} into the encoder input (the paper's
+	// Section 2 multi-query extension, two-query variant).
+	UseContext bool
+	Seed       int64
+}
+
+// DefaultTrainConfig returns the CPU-scale configuration used in the
+// experiment harness.
+func DefaultTrainConfig(arch seq2seq.Arch) TrainConfig {
+	seqOpts := train.DefaultOptions()
+	clsOpts := train.DefaultOptions()
+	clsOpts.Epochs = 6
+	return TrainConfig{
+		Arch:      arch,
+		SeqAware:  true,
+		FineTune:  true,
+		SeqOpts:   seqOpts,
+		ClsOpts:   clsOpts,
+		ClsHidden: 128,
+		Seed:      1,
+	}
+}
+
+// Recommender is the trained online recommendation system (Figure 3,
+// steps 3-4).
+type Recommender struct {
+	Vocab      *tokenizer.Vocab
+	Model      seq2seq.Model
+	Classifier *classify.Classifier
+	// MaxGenLen bounds generated sequences during decoding.
+	MaxGenLen int
+
+	// Training telemetry (feeds Table 3).
+	SeqResult *train.Result
+	ClsResult *classify.Result
+}
+
+// Train runs the full offline stage on a prepared dataset: step 1 trains
+// the seq2seq model on query pairs; step 2 fine-tunes the encoder with a
+// classification head for next-template prediction.
+func Train(ds *Dataset, cfg TrainConfig) (*Recommender, error) {
+	if cfg.MaxTrainPairs > 0 && len(ds.Train) > cfg.MaxTrainPairs {
+		capped := *ds
+		capped.Train = ds.Train[:cfg.MaxTrainPairs]
+		ds = &capped
+	}
+	mcfg := seq2seq.DefaultConfig(cfg.Arch, ds.Vocab.Size())
+	if cfg.Model != nil {
+		mcfg = *cfg.Model
+		mcfg.Arch = cfg.Arch
+		mcfg.Vocab = ds.Vocab.Size()
+	}
+	model, err := seq2seq.New(mcfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1: seq2seq training on (Q_i, Q_{i+1}) — or (Q_i, Q_i) for the
+	// seq-less ablation. With UseContext the source concatenates Q_{i-1}.
+	mkExamples := SeqExamples
+	if cfg.UseContext {
+		mkExamples = SeqExamplesContext
+	}
+	seqTrain := mkExamples(ds.Vocab, ds.Train, cfg.SeqAware)
+	seqVal := mkExamples(ds.Vocab, ds.Val, cfg.SeqAware)
+	seqRes, err := train.Seq2Seq(model, seqTrain, seqVal, cfg.SeqOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: seq2seq training: %w", err)
+	}
+
+	// Step 2: template classification. Fine-tuning reuses the trained
+	// encoder; the non-fine-tuned variant gets a fresh model of the same
+	// architecture.
+	encModel := model
+	if !cfg.FineTune {
+		encModel, err = seq2seq.New(mcfg, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cls := classify.New(encModel, cfg.ClsHidden, ds.Classes, cfg.Seed+2)
+	cls.FreezeEncoder = cfg.FreezeEncoder
+	mkCls := ClsExamples
+	if cfg.UseContext {
+		mkCls = ClsExamplesContext
+	}
+	clsTrain := mkCls(ds.Vocab, cls, ds.Train)
+	clsVal := mkCls(ds.Vocab, cls, ds.Val)
+	clsRes, err := classify.Fit(cls, clsTrain, clsVal, cfg.ClsOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: classifier training: %w", err)
+	}
+
+	return &Recommender{
+		Vocab:      ds.Vocab,
+		Model:      model,
+		Classifier: cls,
+		MaxGenLen:  cfg.SeqOpts.MaxLen,
+		SeqResult:  seqRes,
+		ClsResult:  clsRes,
+	}, nil
+}
+
+// SeqExamples encodes pairs for seq2seq training. The encoder input is the
+// BOS/EOS-wrapped current query; the decoder target is the next query
+// (seq-aware) or the current query again (seq-less reconstruction).
+// Exported so composed experiments (e.g. cross-workload transfer) can
+// train stages on different pair sets.
+func SeqExamples(v *tokenizer.Vocab, pairs []workload.Pair, seqAware bool) []train.Example {
+	out := make([]train.Example, 0, len(pairs))
+	for _, p := range pairs {
+		tgt := p.Next
+		if !seqAware {
+			tgt = p.Cur
+		}
+		out = append(out, train.Example{
+			Src: v.Encode(p.Cur.Tokens, true),
+			Tgt: v.Encode(tgt.Tokens, false),
+		})
+	}
+	return out
+}
+
+// ClsExamples labels each Q_i with the class of template(Q_{i+1}),
+// dropping pairs whose template falls outside the class set (rare
+// templates, per Section 5.4.1).
+func ClsExamples(v *tokenizer.Vocab, c *classify.Classifier, pairs []workload.Pair) []classify.Example {
+	var out []classify.Example
+	for _, p := range pairs {
+		class := c.ClassOf(p.Next.Template)
+		if class < 0 {
+			continue
+		}
+		out = append(out, classify.Example{Src: v.Encode(p.Cur.Tokens, true), Class: class})
+	}
+	return out
+}
+
+// encodeSQL tokenizes and encodes a raw SQL statement for model input.
+func (r *Recommender) encodeSQL(sql string) ([]int, error) {
+	toks, err := tokenizer.Tokenize(sql)
+	if err != nil {
+		return nil, err
+	}
+	return r.Vocab.Encode(toks, true), nil
+}
+
+// NextTemplates predicts the N most likely templates of the next query
+// (step 3).
+func (r *Recommender) NextTemplates(sql string, n int) ([]string, error) {
+	src, err := r.encodeSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return r.Classifier.PredictTopN(src, n), nil
+}
+
+// NextTemplatesTokens is NextTemplates for pre-tokenized input (used by
+// the evaluation harness to avoid re-parsing).
+func (r *Recommender) NextTemplatesTokens(tokens []string, n int) []string {
+	return r.Classifier.PredictTopN(r.Vocab.Encode(tokens, true), n)
+}
+
+// NextFragmentSet predicts the full fragment set of the next query via
+// greedy decoding (step 4, fragment-set prediction).
+func (r *Recommender) NextFragmentSet(sql string) (*sqlast.FragmentSet, error) {
+	src, err := r.encodeSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return r.FragmentSetFromTokens(src), nil
+}
+
+// FragmentSetFromTokens greedy-decodes the next query and extracts its
+// fragments: the generated statement is parsed when possible, otherwise
+// the vocabulary role map classifies each token.
+func (r *Recommender) FragmentSetFromTokens(src []int) *sqlast.FragmentSet {
+	res := decode.Greedy(r.Model, src, r.MaxGenLen)
+	return r.fragmentsOfIDs(res.IDs)
+}
+
+func (r *Recommender) fragmentsOfIDs(ids []int) *sqlast.FragmentSet {
+	sql := tokenizer.Detokenize(r.Vocab.Decode(ids))
+	if stmt, err := sqlparse.Parse(sql); err == nil {
+		return sqlast.Fragments(stmt)
+	}
+	fs := sqlast.NewFragmentSet()
+	for _, id := range ids {
+		for _, f := range TokenFragments(r.Vocab, id) {
+			fs.Add(f.Kind, f.Name)
+		}
+	}
+	return fs
+}
+
+// Strategy selects the N-fragments search strategy (Section 4.2.2).
+type Strategy int
+
+// Search strategies assessed by the paper.
+const (
+	StrategyBeam Strategy = iota
+	StrategyDiverseBeam
+	StrategySampling
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBeam:
+		return "beam"
+	case StrategyDiverseBeam:
+		return "diverse-beam"
+	case StrategySampling:
+		return "sampling"
+	default:
+		return "unknown"
+	}
+}
+
+// NFragmentsOptions parameterizes N-fragments prediction.
+type NFragmentsOptions struct {
+	Strategy Strategy
+	Width    int     // beam width / sample count
+	Penalty  float64 // diverse-beam dissimilarity penalty
+	MinFrac  float64 // sampling low-score cutoff fraction
+	Seed     int64
+}
+
+// DefaultNFragmentsOptions mirrors the paper's defaults: width-5 search,
+// default dissimilarity, low-score zeroing.
+func DefaultNFragmentsOptions() NFragmentsOptions {
+	return NFragmentsOptions{Strategy: StrategyBeam, Width: 5, Penalty: 0.5, MinFrac: 0.05, Seed: 11}
+}
+
+// NextFragments predicts the top-N fragments of each kind for the next
+// query by aggregating fragment probabilities over the search tree
+// (Section 4.2.2).
+func (r *Recommender) NextFragments(sql string, n int, opts NFragmentsOptions) (map[sqlast.FragmentKind][]string, error) {
+	src, err := r.encodeSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return r.NFragmentsFromTokens(src, n, opts), nil
+}
+
+// NFragmentsFromTokens runs the configured search strategy and aggregates.
+func (r *Recommender) NFragmentsFromTokens(src []int, n int, opts NFragmentsOptions) map[sqlast.FragmentKind][]string {
+	var results []decode.Result
+	switch opts.Strategy {
+	case StrategyDiverseBeam:
+		results = decode.DiverseBeam(r.Model, src, r.MaxGenLen, opts.Width, opts.Penalty)
+	case StrategySampling:
+		results = decode.Sample(r.Model, src, r.MaxGenLen, opts.Width, opts.MinFrac, opts.Seed)
+	default:
+		results = decode.Beam(r.Model, src, r.MaxGenLen, opts.Width)
+	}
+	return AggregateFragments(r.Vocab, results, n)
+}
+
+// AggregateFragments implements the paper's search-tree probability
+// aggregation: within one path (hypothesis), a fragment's probability is
+// the token probability at its first occurrence; across paths,
+// probabilities sum. The top-N fragments per kind are returned in
+// descending probability order.
+func AggregateFragments(v *tokenizer.Vocab, results []decode.Result, n int) map[sqlast.FragmentKind][]string {
+	type key struct {
+		kind sqlast.FragmentKind
+		name string
+	}
+	scores := map[key]float64{}
+	for _, res := range results {
+		seen := map[key]bool{}
+		for i, id := range res.IDs {
+			p := math.Exp(res.StepLogP[i])
+			for _, f := range TokenFragments(v, id) {
+				k := key{f.Kind, f.Name}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				scores[k] += p
+			}
+		}
+	}
+	out := map[sqlast.FragmentKind][]string{}
+	for _, kind := range sqlast.FragmentKinds {
+		type scored struct {
+			name string
+			p    float64
+		}
+		var list []scored
+		for k, p := range scores {
+			if k.kind == kind {
+				list = append(list, scored{k.name, p})
+			}
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].p != list[j].p {
+				return list[i].p > list[j].p
+			}
+			return list[i].name < list[j].name
+		})
+		if len(list) > n {
+			list = list[:n]
+		}
+		names := make([]string, len(list))
+		for i, s := range list {
+			names[i] = s.name
+		}
+		out[kind] = names
+	}
+	return out
+}

@@ -1,0 +1,6 @@
+package core
+
+import "math"
+
+// mathLog avoids importing math into every test file helper.
+func mathLog(p float64) float64 { return math.Log(p) }

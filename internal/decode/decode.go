@@ -1,0 +1,264 @@
+// Package decode implements the decoding strategies of paper Section
+// 4.2.2: greedy decoding for fragment-set prediction, and beam search,
+// diverse beam search and stochastic (sampling) decoding for N-fragments
+// prediction. All functions operate on token ids; fragment aggregation
+// over the resulting search tree lives in internal/core.
+package decode
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/autograd"
+	"repro/internal/seq2seq"
+	"repro/internal/tensor"
+	"repro/internal/tokenizer"
+)
+
+// Result is one decoded hypothesis: the generated token ids (without BOS,
+// with the terminating EOS stripped), the per-step log-probabilities of
+// each emitted token (EOS step excluded to stay aligned with IDs), and the
+// total sequence log-probability including the EOS step.
+type Result struct {
+	IDs      []int
+	StepLogP []float64
+	LogProb  float64
+}
+
+// Normalized returns the length-normalized log-probability used for
+// ranking hypotheses of different lengths.
+func (r Result) Normalized() float64 {
+	n := len(r.IDs) + 1 // + EOS
+	return r.LogProb / float64(n)
+}
+
+// encode runs the encoder once per decode call; all strategies share it.
+func encode(m seq2seq.Model, src []int) *autograd.Value {
+	return m.Encode(src, false, nil)
+}
+
+// stepLogProbs runs the decoder on the prefix and returns the log-softmax
+// of the next-token distribution.
+func stepLogProbs(m seq2seq.Model, enc *autograd.Value, prefix []int) []float64 {
+	logits := m.DecodeLogits(enc, prefix, false, nil)
+	row := logits.T.Row(logits.T.Rows - 1)
+	return logSoftmax(row)
+}
+
+// Greedy decodes with the argmax strategy until EOS or maxLen (paper:
+// fragment-set prediction uses greedy decoding).
+func Greedy(m seq2seq.Model, src []int, maxLen int) Result {
+	enc := encode(m, src)
+	prefix := []int{tokenizer.BOS}
+	var res Result
+	for len(res.IDs) < maxLen {
+		lp := stepLogProbs(m, enc, prefix)
+		best, bestLP := argmaxSkipping(lp)
+		res.LogProb += bestLP
+		if best == tokenizer.EOS {
+			return res
+		}
+		res.IDs = append(res.IDs, best)
+		res.StepLogP = append(res.StepLogP, bestLP)
+		prefix = append(prefix, best)
+	}
+	return res
+}
+
+// argmaxSkipping returns the most likely token, never PAD/BOS/UNK (the
+// model should not emit specials other than EOS; masking them keeps
+// degenerate early-training outputs parseable).
+func argmaxSkipping(lp []float64) (int, float64) {
+	best, bestV := tokenizer.EOS, math.Inf(-1)
+	for i, v := range lp {
+		if i == tokenizer.PAD || i == tokenizer.BOS || i == tokenizer.UNK {
+			continue
+		}
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+type beamHyp struct {
+	ids   []int
+	steps []float64
+	logp  float64
+}
+
+// Beam runs standard beam search with the given width, returning up to
+// width finished hypotheses ranked by length-normalized log-probability.
+func Beam(m seq2seq.Model, src []int, maxLen, width int) []Result {
+	return beamSearch(m, src, maxLen, width, 0)
+}
+
+// DiverseBeam runs beam search with a Hamming diversity penalty: at each
+// step, a candidate token's score is reduced by penalty for every
+// already-expanded beam that chose the same token at this step (Vijayakumar
+// et al.; paper Section 4.2.2 "diverse beam search with the default
+// dissimilarity setting").
+func DiverseBeam(m seq2seq.Model, src []int, maxLen, width int, penalty float64) []Result {
+	return beamSearch(m, src, maxLen, width, penalty)
+}
+
+func beamSearch(m seq2seq.Model, src []int, maxLen, width int, diversity float64) []Result {
+	enc := encode(m, src)
+	beams := []beamHyp{{}}
+	var done []beamHyp
+	for step := 0; step < maxLen && len(beams) > 0; step++ {
+		type cand struct {
+			from  int
+			tok   int
+			logp  float64
+			total float64
+		}
+		var cands []cand
+		chosenCount := map[int]int{}
+		for bi, b := range beams {
+			prefix := append([]int{tokenizer.BOS}, b.ids...)
+			lp := stepLogProbs(m, enc, prefix)
+			// Top width+3 candidates per beam (skip specials except EOS).
+			order := topIndices(lp, width+3)
+			for _, tok := range order {
+				if tok == tokenizer.PAD || tok == tokenizer.BOS || tok == tokenizer.UNK {
+					continue
+				}
+				score := lp[tok]
+				if diversity > 0 {
+					score -= diversity * float64(chosenCount[tok])
+				}
+				cands = append(cands, cand{from: bi, tok: tok, logp: lp[tok], total: b.logp + score})
+				if diversity > 0 {
+					chosenCount[tok]++
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].total > cands[j].total })
+		var next []beamHyp
+		for _, c := range cands {
+			if len(next) >= width {
+				break
+			}
+			b := beams[c.from]
+			if c.tok == tokenizer.EOS {
+				done = append(done, beamHyp{
+					ids:   append([]int(nil), b.ids...),
+					steps: append([]float64(nil), b.steps...),
+					logp:  b.logp + c.logp,
+				})
+				continue
+			}
+			next = append(next, beamHyp{
+				ids:   append(append([]int(nil), b.ids...), c.tok),
+				steps: append(append([]float64(nil), b.steps...), c.logp),
+				logp:  b.logp + c.logp,
+			})
+		}
+		beams = next
+		if len(done) >= width {
+			break
+		}
+	}
+	// Unfinished beams still count (forced stop at maxLen).
+	done = append(done, beams...)
+	results := make([]Result, 0, len(done))
+	for _, d := range done {
+		results = append(results, Result{IDs: d.ids, StepLogP: d.steps, LogProb: d.logp})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Normalized() > results[j].Normalized() })
+	if len(results) > width {
+		results = results[:width]
+	}
+	return results
+}
+
+// Sample draws n independent sequences with stochastic decoding. At each
+// step, tokens whose probability is below minFrac times the maximum are
+// zeroed (paper: "we set the probability of the tokens with a low score to
+// zero") and the rest renormalized before sampling.
+func Sample(m seq2seq.Model, src []int, maxLen, n int, minFrac float64, seed int64) []Result {
+	enc := encode(m, src)
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Result, 0, n)
+	for s := 0; s < n; s++ {
+		prefix := []int{tokenizer.BOS}
+		var res Result
+		for len(res.IDs) < maxLen {
+			lp := stepLogProbs(m, enc, prefix)
+			tok, tokLP := sampleStep(lp, minFrac, rng)
+			res.LogProb += tokLP
+			if tok == tokenizer.EOS {
+				break
+			}
+			res.IDs = append(res.IDs, tok)
+			res.StepLogP = append(res.StepLogP, tokLP)
+			prefix = append(prefix, tok)
+		}
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Normalized() > out[j].Normalized() })
+	return out
+}
+
+func sampleStep(lp []float64, minFrac float64, rng *rand.Rand) (int, float64) {
+	maxLP := math.Inf(-1)
+	for i, v := range lp {
+		if i == tokenizer.PAD || i == tokenizer.BOS || i == tokenizer.UNK {
+			continue
+		}
+		if v > maxLP {
+			maxLP = v
+		}
+	}
+	cut := maxLP + math.Log(minFrac) // p >= minFrac * pmax
+	sum := 0.0
+	probs := make([]float64, len(lp))
+	for i, v := range lp {
+		if i == tokenizer.PAD || i == tokenizer.BOS || i == tokenizer.UNK || v < cut {
+			continue
+		}
+		p := math.Exp(v)
+		probs[i] = p
+		sum += p
+	}
+	x := rng.Float64() * sum
+	for i, p := range probs {
+		if p == 0 {
+			continue
+		}
+		x -= p
+		if x <= 0 {
+			return i, lp[i]
+		}
+	}
+	// Numerical fallback: the max token.
+	tok, tokLP := argmaxSkipping(lp)
+	return tok, tokLP
+}
+
+// topIndices returns the indices of the k largest values.
+func topIndices(vals []float64, k int) []int {
+	t := tensor.FromSlice(1, len(vals), vals)
+	return t.TopKRow(0, k)
+}
+
+func logSoftmax(row []float64) []float64 {
+	max := math.Inf(-1)
+	for _, v := range row {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for _, v := range row {
+		sum += math.Exp(v - max)
+	}
+	lse := max + math.Log(sum)
+	out := make([]float64, len(row))
+	for i, v := range row {
+		out[i] = v - lse
+	}
+	return out
+}

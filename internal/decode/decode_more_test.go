@@ -1,0 +1,109 @@
+package decode
+
+import (
+	"testing"
+
+	"repro/internal/tokenizer"
+)
+
+// flatModel emits a nearly-uniform distribution over payload tokens so
+// searches explore many branches.
+func flatModel(vocab int) *scriptModel {
+	row := make([]float64, vocab)
+	for i := range row {
+		row[i] = 0
+	}
+	row[tokenizer.PAD] = -50
+	row[tokenizer.BOS] = -50
+	row[tokenizer.UNK] = -50
+	row[tokenizer.EOS] = 0.5 // slight preference to finish
+	return &scriptModel{vocab: vocab, steps: [][]float64{row}}
+}
+
+func TestBeamTerminatesOnFlatDistribution(t *testing.T) {
+	m := flatModel(12)
+	results := Beam(m, []int{1, 2}, 6, 4)
+	if len(results) == 0 || len(results) > 4 {
+		t.Fatalf("results: %d", len(results))
+	}
+	for _, r := range results {
+		if len(r.IDs) > 6 {
+			t.Errorf("exceeded max length: %d", len(r.IDs))
+		}
+	}
+}
+
+func TestBeamLogProbsAreSumsOfSteps(t *testing.T) {
+	m := &scriptModel{vocab: 10, steps: [][]float64{
+		logitsPreferring(10, 5, 6),
+		logitsPreferring(10, 7),
+		logitsPreferring(10, tokenizer.EOS),
+	}}
+	for _, r := range Beam(m, []int{1}, 8, 2) {
+		sum := 0.0
+		for _, lp := range r.StepLogP {
+			sum += lp
+		}
+		// Total includes the EOS step, so it must be <= the sum of
+		// non-EOS steps (log probs are negative).
+		if r.LogProb > sum+1e-12 {
+			t.Errorf("logprob %.4f exceeds step sum %.4f", r.LogProb, sum)
+		}
+	}
+}
+
+func TestSampleCountAndLengthCaps(t *testing.T) {
+	m := flatModel(10)
+	results := Sample(m, []int{1}, 4, 6, 0.01, 3)
+	if len(results) != 6 {
+		t.Fatalf("sample count: %d", len(results))
+	}
+	for _, r := range results {
+		if len(r.IDs) > 4 {
+			t.Errorf("sample too long: %d", len(r.IDs))
+		}
+	}
+}
+
+func TestDiverseBeamZeroPenaltyEqualsBeam(t *testing.T) {
+	m := &scriptModel{vocab: 10, steps: [][]float64{
+		logitsPreferring(10, 5, 6, 7),
+		logitsPreferring(10, tokenizer.EOS),
+	}}
+	plain := Beam(m, []int{1}, 8, 3)
+	diverse := DiverseBeam(m, []int{1}, 8, 3, 0)
+	if len(plain) != len(diverse) {
+		t.Fatalf("lengths: %d vs %d", len(plain), len(diverse))
+	}
+	for i := range plain {
+		if len(plain[i].IDs) != len(diverse[i].IDs) {
+			t.Fatalf("hypothesis %d differs", i)
+		}
+		for j := range plain[i].IDs {
+			if plain[i].IDs[j] != diverse[i].IDs[j] {
+				t.Fatalf("hypothesis %d token %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestNormalizedRanking(t *testing.T) {
+	short := Result{IDs: []int{5}, LogProb: -1}
+	long := Result{IDs: []int{5, 6, 7, 8}, LogProb: -2}
+	// Short: -1/2 = -0.5; long: -2/5 = -0.4. Length normalization must
+	// favour the longer sequence here.
+	if short.Normalized() >= long.Normalized() {
+		t.Errorf("normalization: short %.3f long %.3f", short.Normalized(), long.Normalized())
+	}
+}
+
+func TestGreedyEmptyOutputOnImmediateEOS(t *testing.T) {
+	m := &scriptModel{vocab: 8, steps: [][]float64{logitsPreferring(8, tokenizer.EOS)}}
+	res := Greedy(m, []int{1}, 10)
+	if len(res.IDs) != 0 {
+		t.Errorf("ids: %v", res.IDs)
+	}
+	if res.LogProb >= 0 {
+		t.Errorf("EOS step logprob not counted: %f", res.LogProb)
+	}
+}

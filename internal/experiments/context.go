@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/workload"
+)
+
+// Context evaluates the paper's Section 2 extension: concatenating the
+// previous query Q_{i-1} into the encoder input. It trains a single-query
+// and a two-query transformer on each dataset and compares next-template
+// accuracy. The paper argues the immediate predecessor Q_i carries most of
+// the signal; this runner quantifies how much the extra query adds at our
+// scale.
+func (s *Suite) Context() error {
+	w := s.cfg.Out
+	fmt.Fprintf(w, "%-10s %-22s %8s %8s\n", "Dataset", "Encoder input", "acc@1", "acc@5")
+	for _, name := range DatasetNames {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		pairs := s.evalPairs(ds)
+		for _, useCtx := range []bool{false, true} {
+			cfg := core.DefaultTrainConfig(seq2seq.Transformer)
+			cfg.SeqOpts = s.trainOpts()
+			cfg.ClsOpts = s.trainOpts()
+			cfg.UseContext = useCtx
+			cfg.MaxTrainPairs = s.cfg.MaxTrainPairs
+			mcfg := seq2seq.DefaultConfig(seq2seq.Transformer, 0)
+			mcfg.DModel = s.cfg.DModel
+			mcfg.FFHidden = 2 * s.cfg.DModel
+			cfg.Model = &mcfg
+			cfg.Seed = s.cfg.Seed
+			rec, err := core.Train(ds, cfg)
+			if err != nil {
+				return err
+			}
+			predict := modelTemplates(rec)
+			label := "Q_i only"
+			if useCtx {
+				label = "Q_{i-1} ++ Q_i"
+				predict = func(p workload.Pair, n int) []string {
+					var prev []string
+					if p.Prev != nil {
+						prev = p.Prev.Tokens
+					}
+					return rec.Classifier.PredictTopN(core.EncodeContext(rec.Vocab, prev, p.Cur.Tokens), n)
+				}
+			}
+			sweep := evalTemplatesSweep(pairs, []int{1, 5}, predict)
+			fmt.Fprintf(w, "%-10s %-22s %8.3f %8.3f\n", name, label,
+				sweep[1].Accuracy(), sweep[5].Accuracy())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sqlast"
+	"repro/internal/tokenizer"
+	"repro/internal/workload"
+)
+
+// foldLiteral maps numeric literal spellings to the <NUM> placeholder,
+// mirroring the tokenizer's pre-processing (Section 5.4.1): models are
+// trained on folded literals, so evaluation must compare folded sets on
+// both sides. String literals keep their identity.
+func foldLiteral(lit string) string {
+	if lit == strings.ToUpper(tokenizer.NumToken) || lit == tokenizer.NumToken {
+		return tokenizer.NumToken
+	}
+	if _, err := strconv.ParseFloat(lit, 64); err == nil {
+		return tokenizer.NumToken
+	}
+	return lit
+}
+
+// foldSet applies foldLiteral to a literal fragment set.
+func foldSet(in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k := range in {
+		out[foldLiteral(k)] = true
+	}
+	return out
+}
+
+// foldList applies foldLiteral to a ranked literal list, deduplicating
+// while preserving order.
+func foldList(in []string) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(in))
+	for _, k := range in {
+		f := foldLiteral(k)
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fragSetPredictor maps a current query to a predicted fragment set.
+type fragSetPredictor func(p workload.Pair) *sqlast.FragmentSet
+
+// evalFragmentSet scores a fragment-set predictor per fragment kind
+// (Table 5's F-measure per type).
+func evalFragmentSet(pairs []workload.Pair, predict fragSetPredictor) map[sqlast.FragmentKind]*metrics.PRAccumulator {
+	accs := map[sqlast.FragmentKind]*metrics.PRAccumulator{}
+	for _, k := range sqlast.FragmentKinds {
+		accs[k] = &metrics.PRAccumulator{}
+	}
+	for _, p := range pairs {
+		pred := predict(p)
+		if pred == nil {
+			pred = sqlast.NewFragmentSet()
+		}
+		for _, k := range sqlast.FragmentKinds {
+			predSet, truthSet := pred.ByKind(k), p.Next.Fragments.ByKind(k)
+			if k == sqlast.FragLiteral {
+				predSet, truthSet = foldSet(predSet), foldSet(truthSet)
+			}
+			accs[k].Add(predSet, truthSet)
+		}
+	}
+	return accs
+}
+
+// nFragsPredictor maps a current query to top-N fragment lists per kind.
+type nFragsPredictor func(p workload.Pair, n int) map[sqlast.FragmentKind][]string
+
+// evalNFragments scores an N-fragments predictor for one N: the top-N list
+// (as a set) against the full ground-truth fragment set of that kind.
+func evalNFragments(pairs []workload.Pair, n int, predict nFragsPredictor) map[sqlast.FragmentKind]*metrics.PRAccumulator {
+	sweep := evalNFragmentsSweep(pairs, []int{n}, predict)
+	return sweep[n]
+}
+
+// evalNFragmentsSweep scores multiple N values with a single prediction
+// call per pair: the predictor runs once at max(ns) and each smaller N is
+// a prefix of the ranked list. This matters because each model prediction
+// is a beam-search decode.
+func evalNFragmentsSweep(pairs []workload.Pair, ns []int, predict nFragsPredictor) map[int]map[sqlast.FragmentKind]*metrics.PRAccumulator {
+	maxN := 0
+	for _, n := range ns {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	out := map[int]map[sqlast.FragmentKind]*metrics.PRAccumulator{}
+	for _, n := range ns {
+		out[n] = map[sqlast.FragmentKind]*metrics.PRAccumulator{}
+		for _, k := range sqlast.FragmentKinds {
+			out[n][k] = &metrics.PRAccumulator{}
+		}
+	}
+	for _, p := range pairs {
+		pred := predict(p, maxN)
+		for _, n := range ns {
+			for _, k := range sqlast.FragmentKinds {
+				ranked := pred[k]
+				truth := p.Next.Fragments.ByKind(k)
+				if k == sqlast.FragLiteral {
+					ranked = foldList(ranked)
+					truth = foldSet(truth)
+				}
+				if len(ranked) > n {
+					ranked = ranked[:n]
+				}
+				set := map[string]bool{}
+				for _, f := range ranked {
+					set[f] = true
+				}
+				out[n][k].Add(set, truth)
+			}
+		}
+	}
+	return out
+}
+
+// tmplPredictor maps a current query to a ranked top-N template list.
+type tmplPredictor func(p workload.Pair, n int) []string
+
+// evalTemplates scores ranked template predictions at one N.
+func evalTemplates(pairs []workload.Pair, n int, predict tmplPredictor) *metrics.RankAccumulator {
+	return evalTemplatesSweep(pairs, []int{n}, predict)[n]
+}
+
+// evalTemplatesSweep scores several N values with one prediction per pair
+// (smaller N lists are prefixes of the max-N ranking).
+func evalTemplatesSweep(pairs []workload.Pair, ns []int, predict tmplPredictor) map[int]*metrics.RankAccumulator {
+	maxN := 0
+	for _, n := range ns {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	out := map[int]*metrics.RankAccumulator{}
+	for _, n := range ns {
+		out[n] = &metrics.RankAccumulator{}
+	}
+	for _, p := range pairs {
+		ranked := predict(p, maxN)
+		for _, n := range ns {
+			r := ranked
+			if len(r) > n {
+				r = r[:n]
+			}
+			out[n].Add(r, p.Next.Template)
+		}
+	}
+	return out
+}
+
+// Prediction adapters for the three baselines and the DL models.
+
+func naiveFragSet(p workload.Pair) *sqlast.FragmentSet { return baselines.NaiveFragmentSet(p.Cur) }
+
+func querieFragSet(q *baselines.QueRIE) fragSetPredictor {
+	return func(p workload.Pair) *sqlast.FragmentSet { return q.FragmentSet(p.Cur) }
+}
+
+func modelFragSet(rec *core.Recommender) fragSetPredictor {
+	return func(p workload.Pair) *sqlast.FragmentSet {
+		return rec.FragmentSetFromTokens(rec.Vocab.Encode(p.Cur.Tokens, true))
+	}
+}
+
+func popularNFrags(pop *baselines.Popular) nFragsPredictor {
+	return func(p workload.Pair, n int) map[sqlast.FragmentKind][]string {
+		out := map[sqlast.FragmentKind][]string{}
+		for _, k := range sqlast.FragmentKinds {
+			out[k] = pop.TopFragments(k, n)
+		}
+		return out
+	}
+}
+
+func modelNFrags(rec *core.Recommender, opts core.NFragmentsOptions) nFragsPredictor {
+	return func(p workload.Pair, n int) map[sqlast.FragmentKind][]string {
+		return rec.NFragmentsFromTokens(rec.Vocab.Encode(p.Cur.Tokens, true), n, opts)
+	}
+}
+
+func popularTemplates(pop *baselines.Popular) tmplPredictor {
+	return func(p workload.Pair, n int) []string { return pop.TopTemplates(n) }
+}
+
+func naiveTemplates(p workload.Pair, n int) []string {
+	return []string{baselines.NaiveTemplate(p.Cur)}
+}
+
+func querieTemplates(q *baselines.QueRIE) tmplPredictor {
+	return func(p workload.Pair, n int) []string { return q.TopTemplates(p.Cur, n) }
+}
+
+func modelTemplates(rec *core.Recommender) tmplPredictor {
+	return func(p workload.Pair, n int) []string {
+		return rec.NextTemplatesTokens(p.Cur.Tokens, n)
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sqlast"
+	"repro/internal/workload"
+)
+
+func evalPair(t *testing.T, curSQL, nextSQL string) workload.Pair {
+	t.Helper()
+	mk := func(sql string, min int) *workload.Query {
+		q := &workload.Query{SessionID: "s", StartTime: time.Date(2020, 1, 1, 0, min, 0, 0, time.UTC), SQL: sql}
+		if err := q.Enrich(); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	return workload.Pair{Cur: mk(curSQL, 0), Next: mk(nextSQL, 1)}
+}
+
+func TestEvalFragmentSetPerfectPredictor(t *testing.T) {
+	pairs := []workload.Pair{
+		evalPair(t, "SELECT a FROM t", "SELECT b FROM u WHERE c > 1"),
+	}
+	// Oracle: return the truth itself.
+	accs := evalFragmentSet(pairs, func(p workload.Pair) *sqlast.FragmentSet {
+		return p.Next.Fragments
+	})
+	for _, k := range sqlast.FragmentKinds {
+		if accs[k].F1() != 1 {
+			t.Errorf("%v oracle F1: %f", k, accs[k].F1())
+		}
+	}
+	// Nil predictions count as empty sets.
+	accs = evalFragmentSet(pairs, func(p workload.Pair) *sqlast.FragmentSet { return nil })
+	if accs[sqlast.FragTable].Recall() != 0 {
+		t.Error("nil prediction should have zero recall on non-empty truth")
+	}
+}
+
+func TestEvalNFragmentsSweepPrefixConsistency(t *testing.T) {
+	pairs := []workload.Pair{
+		evalPair(t, "SELECT a FROM t", "SELECT b, c FROM u"),
+	}
+	calls := 0
+	predict := func(p workload.Pair, n int) map[sqlast.FragmentKind][]string {
+		calls++
+		if n != 3 {
+			t.Errorf("sweep must call with max N, got %d", n)
+		}
+		return map[sqlast.FragmentKind][]string{
+			sqlast.FragColumn: {"B", "C", "ZZZ"},
+			sqlast.FragTable:  {"U"},
+		}
+	}
+	sweep := evalNFragmentsSweep(pairs, []int{1, 3}, predict)
+	if calls != 1 {
+		t.Errorf("predictor called %d times, want 1", calls)
+	}
+	// N=1: only "B" predicted -> precision 1, recall 1/2.
+	acc1 := sweep[1][sqlast.FragColumn]
+	if acc1.Precision() != 1 || acc1.Recall() != 0.5 {
+		t.Errorf("N=1: p=%f r=%f", acc1.Precision(), acc1.Recall())
+	}
+	// N=3: B, C, ZZZ -> precision 2/3, recall 1.
+	acc3 := sweep[3][sqlast.FragColumn]
+	if acc3.Recall() != 1 {
+		t.Errorf("N=3 recall: %f", acc3.Recall())
+	}
+}
+
+func TestEvalTemplatesSweepPrefix(t *testing.T) {
+	pairs := []workload.Pair{
+		evalPair(t, "SELECT a FROM t", "SELECT COUNT(*) FROM u"),
+	}
+	truth := pairs[0].Next.Template
+	predict := func(p workload.Pair, n int) []string {
+		return []string{"wrong-1", truth, "wrong-2"}
+	}
+	sweep := evalTemplatesSweep(pairs, []int{1, 2}, predict)
+	if sweep[1].Accuracy() != 0 {
+		t.Errorf("N=1 should miss (truth at rank 2): %f", sweep[1].Accuracy())
+	}
+	if sweep[2].Accuracy() != 1 || sweep[2].MRR() != 0.5 {
+		t.Errorf("N=2: acc=%f mrr=%f", sweep[2].Accuracy(), sweep[2].MRR())
+	}
+}
+
+func TestNaiveTemplatesAdapter(t *testing.T) {
+	p := evalPair(t, "SELECT a FROM t", "SELECT b FROM t")
+	got := naiveTemplates(p, 5)
+	if len(got) != 1 || got[0] != p.Cur.Template {
+		t.Errorf("naive adapter: %v", got)
+	}
+}
+
+func TestFoldLiteral(t *testing.T) {
+	cases := map[string]string{
+		"17.5":     "<NUM>",
+		"0":        "<NUM>",
+		"1e10":     "<NUM>",
+		"<NUM>":    "<NUM>",
+		"'GALAXY'": "'GALAXY'",
+		"NULL":     "NULL",
+	}
+	for in, want := range cases {
+		if got := foldLiteral(in); got != want {
+			t.Errorf("foldLiteral(%q) = %q want %q", in, got, want)
+		}
+	}
+	set := foldSet(map[string]bool{"1": true, "2.5": true, "'x'": true})
+	if len(set) != 2 || !set["<NUM>"] || !set["'x'"] {
+		t.Errorf("foldSet: %v", set)
+	}
+	list := foldList([]string{"1", "'a'", "3", "'a'"})
+	if len(list) != 2 || list[0] != "<NUM>" || list[1] != "'a'" {
+		t.Errorf("foldList: %v", list)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinySuite keeps training and evaluation very small for tests.
+func tinySuite(buf *bytes.Buffer) *Suite {
+	cfg := DefaultConfig(buf)
+	cfg.MaxTrainPairs = 120
+	cfg.EvalPairs = 12
+	cfg.Epochs = 1
+	cfg.DModel = 16
+	return NewSuite(cfg)
+}
+
+func TestRunnersHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Runners() {
+		if seen[r.ID] {
+			t.Errorf("duplicate runner id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Title == "" || r.Run == nil {
+			t.Errorf("incomplete runner %s", r.ID)
+		}
+	}
+	if len(seen) != 13 {
+		t.Errorf("expected 13 runners, got %d", len(seen))
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	s := NewSuite(DefaultConfig(&bytes.Buffer{}))
+	if _, err := s.Dataset("nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRunRejectsUnknownIDs(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Run([]string{"table99"}); err == nil {
+		t.Error("expected error for unknown id")
+	}
+}
+
+func TestAnalysisExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Run([]string{"table2", "fig9", "fig10", "fig11"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 2", "Total pairs", "SQLShare-sim",
+		"template classes", "queries per session", "pairs sharing template",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestDatasetCached(t *testing.T) {
+	s := tinySuite(&bytes.Buffer{})
+	a, err := s.Dataset("sdss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Dataset("sdss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset not cached")
+	}
+}
+
+// TestModelExperimentsSmoke runs the training-dependent tables end to end
+// at minimum scale. Slow (~1-2 min on one CPU); skipped in -short.
+func TestModelExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model training in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := DefaultConfig(&buf)
+	cfg.MaxTrainPairs = 60
+	cfg.EvalPairs = 6
+	cfg.Epochs = 1
+	cfg.DModel = 16
+	s := NewSuite(cfg)
+	if err := s.Run([]string{"table3", "table5", "table6", "fig12", "fig13"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"T_train", "Params",
+		"fragment-set F1", "naive Qi", "QueRIE", "seq-aware tfm",
+		"untuned", "N-templates accuracy", "N-templates MRR",
+		"N-table prediction", "strategy comparison",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Recommenders must be cached: 4 variants + 1 untuned per dataset.
+	if len(s.recs) > 10 {
+		t.Errorf("recommender cache bloat: %d entries", len(s.recs))
+	}
+}
+
+// TestTransferAndContextSmoke runs the two extension experiments at
+// minimum scale.
+func TestTransferAndContextSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model training in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := DefaultConfig(&buf)
+	cfg.MaxTrainPairs = 50
+	cfg.EvalPairs = 8
+	cfg.Epochs = 1
+	cfg.DModel = 16
+	s := NewSuite(cfg)
+	if err := s.Run([]string{"transfer", "context"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"transfer (SDSS pre-training)", "target-only", "no pre-training",
+		"Q_i only", "Q_{i-1} ++ Q_i",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/sqlast"
+)
+
+// Fig9 prints the template popularity distribution (long tail).
+func (s *Suite) Fig9() error {
+	w := s.cfg.Out
+	for _, name := range DatasetNames {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		freq := analysis.ComputeTemplateFrequency(ds.Workload)
+		total := 0
+		for _, f := range freq {
+			total += f.Count
+		}
+		fmt.Fprintf(w, "\n[%s] %d template classes over %d queries\n", name, len(freq), total)
+		fmt.Fprintf(w, "rank | count | cumulative%%\n%s\n", underline(30))
+		cum := 0
+		for i, f := range freq {
+			cum += f.Count
+			// Log-spaced ranks to show the tail compactly.
+			if i == 0 || i == 4 || i == 9 || i == 49 || i == 99 || i == len(freq)-1 {
+				fmt.Fprintf(w, "%4d | %5d | %6.1f%%\n", i+1, f.Count, 100*float64(cum)/float64(total))
+			}
+		}
+	}
+	return nil
+}
+
+// Fig10 prints the SDSS session- and pair-level distributions.
+func (s *Suite) Fig10() error { return s.sessionPairFigure("sdss") }
+
+// Fig11 prints the SQLShare session- and pair-level distributions.
+func (s *Suite) Fig11() error { return s.sessionPairFigure("sqlshare") }
+
+func (s *Suite) sessionPairFigure(name string) error {
+	w := s.cfg.Out
+	ds, err := s.Dataset(name)
+	if err != nil {
+		return err
+	}
+	stats := analysis.ComputeSessionStats(ds.Workload)
+	sum := analysis.Summarize(stats)
+	fmt.Fprintf(w, "[%s] sessions: %d\n", name, sum.Sessions)
+	fmt.Fprintf(w, "  sessions with >=2 unique queries:  %5.1f%% (paper: >70%%)\n", sum.PctMultiUniqueQuery)
+	fmt.Fprintf(w, "  sessions with >=2 unique templates: %5.1f%% (paper: 79%% SDSS / 68%% SQLShare)\n", sum.PctMultiTemplate)
+	fmt.Fprintf(w, "  sessions with >=2 template changes: %5.1f%% (paper: 64%% SDSS / 55%% SQLShare)\n", sum.PctTemplateChangesGE2)
+	fmt.Fprintf(w, "  mean queries/session: %.1f  mean unique: %.1f  mean seq changes: %.1f\n",
+		sum.MeanQueries, sum.MeanUniqueQueries, sum.MeanSeqChanges)
+
+	// (a)-(e) histograms.
+	var qCounts, uqCounts, seqCh, uTmpl, tmplCh []int
+	for _, st := range stats {
+		qCounts = append(qCounts, st.Queries)
+		uqCounts = append(uqCounts, st.UniqueQueries)
+		seqCh = append(seqCh, st.SeqChanges)
+		uTmpl = append(uTmpl, st.UniqueTemplates)
+		tmplCh = append(tmplCh, st.TemplateChanges)
+	}
+	edges := []int{1, 2, 4, 9, 19}
+	for _, h := range []analysis.Histogram{
+		analysis.BuildHistogram("(a) queries per session", qCounts, edges),
+		analysis.BuildHistogram("(b) unique queries per session", uqCounts, edges),
+		analysis.BuildHistogram("(c) sequential changes per session", seqCh, edges),
+		analysis.BuildHistogram("(d) unique templates per session", uTmpl, edges),
+		analysis.BuildHistogram("(e) template changes per session", tmplCh, edges),
+	} {
+		fmt.Fprint(w, h.Render())
+	}
+
+	// (f)-(l) pair-level deltas.
+	deltas := analysis.ComputePairDeltas(ds.Workload)
+	psum := analysis.SummarizePairs(deltas)
+	fmt.Fprintf(w, "(f) pairs sharing template: %.1f%% (paper: >50%% SDSS / ~40%% SQLShare)\n", psum.PctTemplateSame)
+	fmt.Fprintf(w, "(g) pairs using more tables:    %5.1f%% (paper: 8%% SDSS / 5%% SQLShare)\n", psum.PctMoreTables)
+	fmt.Fprintf(w, "(h) pairs selecting more cols:  %5.1f%% (paper: 14%% / 12%%)\n", psum.PctMoreSelected)
+	fmt.Fprintf(w, "(i) pairs using more functions: %5.1f%% (paper: 10%% / 8%%)\n", psum.PctMoreFunctions)
+	fmt.Fprintf(w, "(j) pairs getting longer:       %5.1f%% (paper: 16%% / 13%%)\n", psum.PctLonger)
+	var dw []int
+	for _, d := range deltas {
+		dw = append(dw, d.DWords)
+	}
+	fmt.Fprint(w, analysis.BuildHistogram("(k) word-count delta distribution", dw, []int{-10, -1, 0, 9}).Render())
+	return nil
+}
+
+// Fig12 prints N-fragments precision and recall for N in [1,5] per
+// fragment type: popular baseline vs the DL variants, plus a search
+// strategy comparison for the best model.
+func (s *Suite) Fig12() error {
+	w := s.cfg.Out
+	ns := []int{1, 2, 3, 4, 5}
+	for _, name := range DatasetNames {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		pairs := s.evalPairs(ds)
+		pop := baselines.NewPopular(ds.Train)
+
+		type method struct {
+			label   string
+			predict nFragsPredictor
+		}
+		methods := []method{{"popular", popularNFrags(pop)}}
+		for _, v := range dlVariants() {
+			rec, err := s.Recommender(name, v.arch, v.seqAware, true)
+			if err != nil {
+				return err
+			}
+			methods = append(methods, method{v.label, modelNFrags(rec, core.DefaultNFragmentsOptions())})
+		}
+
+		// One sweep per method: each model prediction is a beam decode,
+		// so all N values and fragment kinds share it.
+		sweeps := make([]map[int]map[sqlast.FragmentKind]*prAcc, len(methods))
+		for i, m := range methods {
+			sweeps[i] = evalNFragmentsSweep(pairs, ns, m.predict)
+		}
+		for _, kind := range sqlast.FragmentKinds {
+			fmt.Fprintf(w, "\n[%s] N-%s prediction (precision / recall)\n", name, kind)
+			fmt.Fprintf(w, "%-20s", "Method")
+			for _, n := range ns {
+				fmt.Fprintf(w, "       N=%d     ", n)
+			}
+			fmt.Fprintln(w)
+			for i, m := range methods {
+				fmt.Fprintf(w, "%-20s", m.label)
+				for _, n := range ns {
+					acc := sweeps[i][n][kind]
+					fmt.Fprintf(w, " %5.3f/%5.3f ", acc.Precision(), acc.Recall())
+				}
+				fmt.Fprintln(w)
+			}
+		}
+
+		// Search-strategy comparison (beam vs diverse vs sampling) on the
+		// seq-aware transformer at N=5.
+		rec, err := s.Recommender(name, dlVariants()[3].arch, true, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n[%s] strategy comparison, seq-aware tfm, N=5 (recall by type)\n", name)
+		fmt.Fprintf(w, "%-14s %8s %8s %8s %8s\n", "Strategy", "table", "column", "function", "literal")
+		for _, strat := range []core.Strategy{core.StrategyBeam, core.StrategyDiverseBeam, core.StrategySampling} {
+			opts := core.DefaultNFragmentsOptions()
+			opts.Strategy = strat
+			accs := evalNFragments(pairs, 5, modelNFrags(rec, opts))
+			fmt.Fprintf(w, "%-14s %8.3f %8.3f %8.3f %8.3f\n", strat,
+				accs[sqlast.FragTable].Recall(), accs[sqlast.FragColumn].Recall(),
+				accs[sqlast.FragFunction].Recall(), accs[sqlast.FragLiteral].Recall())
+		}
+	}
+	return nil
+}
+
+// Fig13 prints N-templates accuracy and MRR for N in [1,5].
+func (s *Suite) Fig13() error {
+	w := s.cfg.Out
+	ns := []int{1, 2, 3, 4, 5}
+	for _, name := range DatasetNames {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		pairs := s.evalPairs(ds)
+		pop := baselines.NewPopular(ds.Train)
+		querie := baselines.NewQueRIE(ds.Train)
+
+		type method struct {
+			label   string
+			predict tmplPredictor
+		}
+		methods := []method{
+			{"popular", popularTemplates(pop)},
+			{"naive Qi", naiveTemplates},
+			{"QueRIE", querieTemplates(querie)},
+		}
+		for _, v := range dlVariants() {
+			rec, err := s.Recommender(name, v.arch, v.seqAware, true)
+			if err != nil {
+				return err
+			}
+			methods = append(methods, method{v.label + " tuned", modelTemplates(rec)})
+		}
+
+		sweeps := make([]map[int]*rankAcc, len(methods))
+		for i, m := range methods {
+			sweeps[i] = evalTemplatesSweep(pairs, ns, m.predict)
+		}
+		for _, metric := range []string{"accuracy", "MRR", "NDCG"} {
+			fmt.Fprintf(w, "\n[%s] N-templates %s\n", name, metric)
+			fmt.Fprintf(w, "%-22s", "Method")
+			for _, n := range ns {
+				fmt.Fprintf(w, "    N=%d", n)
+			}
+			fmt.Fprintln(w)
+			for i, m := range methods {
+				fmt.Fprintf(w, "%-22s", m.label)
+				for _, n := range ns {
+					acc := sweeps[i][n]
+					switch metric {
+					case "accuracy":
+						fmt.Fprintf(w, " %6.3f", acc.Accuracy())
+					case "MRR":
+						fmt.Fprintf(w, " %6.3f", acc.MRR())
+					default:
+						fmt.Fprintf(w, " %6.3f", acc.NDCG())
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return nil
+}

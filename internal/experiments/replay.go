@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/seq2seq"
+	"repro/internal/workload"
+)
+
+// Replay evaluates next-template prediction positionally: sessions are
+// replayed in order and hit rates are bucketed by step position. This
+// extends the paper's pair-level evaluation with the session view its
+// Figure 1 narrative motivates (recommendations matter mid-session, while
+// the user is still converging on their final query).
+func (s *Suite) Replay() error {
+	w := s.cfg.Out
+	edges := []int{0, 1, 3, 7}
+	labels := []string{"step 1", "step 2", "steps 3-4", "steps 5-8", "steps 9+"}
+	for _, name := range DatasetNames {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		rec, err := s.Recommender(name, seq2seq.Transformer, true, true)
+		if err != nil {
+			return err
+		}
+
+		// Replay a slice of held-out-ish sessions (the split is by pair,
+		// so session replay necessarily mixes seen and unseen pairs; the
+		// comparison between methods stays fair).
+		replayWL := &workload.Workload{Sessions: ds.Workload.Sessions}
+		if len(replayWL.Sessions) > 60 {
+			replayWL.Sessions = replayWL.Sessions[len(replayWL.Sessions)-60:]
+		}
+
+		naive := analysis.NewReplay(edges)
+		naive.Run(replayWL, func(q *workload.Query) string { return q.Template })
+		model := analysis.NewReplay(edges)
+		model.Run(replayWL, func(q *workload.Query) string {
+			top := rec.NextTemplatesTokens(q.Tokens, 1)
+			if len(top) == 0 {
+				return ""
+			}
+			return top[0]
+		})
+
+		fmt.Fprintf(w, "\n[%s] top-1 template hit rate by session position (%d sessions)\n",
+			name, len(replayWL.Sessions))
+		fmt.Fprintf(w, "%-12s %10s %10s\n", "Position", "naive Qi", "model")
+		for b, label := range labels {
+			fmt.Fprintf(w, "%-12s %10.3f %10.3f\n", label, naive.Rate(b), model.Rate(b))
+		}
+		fmt.Fprintf(w, "%-12s %10.3f %10.3f\n", "overall", naive.Overall(), model.Overall())
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5 analysis and Section 6 experiments) on the
+// synthetic SDSS-sim and SQLShare-sim workloads. Each runner prints rows
+// in the paper's format; EXPERIMENTS.md records the measured values next
+// to the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/synth"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+// Config scales the experiment suite. The defaults fit a single CPU: the
+// workloads keep their calibrated statistics, while training subsamples
+// pairs and evaluation subsamples decode-heavy test cases.
+type Config struct {
+	Seed int64
+	// MaxTrainPairs caps seq2seq/classifier training pairs per dataset
+	// (0 = use all).
+	MaxTrainPairs int
+	// EvalPairs caps test pairs for decode-heavy evaluations (0 = all).
+	EvalPairs int
+	// Epochs for seq2seq training; classifier uses Epochs-1 (min 1).
+	Epochs int
+	// DModel is the model width (paper uses 512-1024; CPU scale 32).
+	DModel int
+	// Out receives the rendered tables.
+	Out io.Writer
+}
+
+// DefaultConfig returns the CPU-scale suite configuration.
+func DefaultConfig(out io.Writer) Config {
+	return Config{
+		Seed:          17,
+		MaxTrainPairs: 1000,
+		EvalPairs:     60,
+		Epochs:        4,
+		DModel:        32,
+		Out:           out,
+	}
+}
+
+// modelKey identifies a cached trained recommender.
+type modelKey struct {
+	dataset  string
+	arch     seq2seq.Arch
+	seqAware bool
+	fineTune bool
+	freeze   bool
+}
+
+// Suite caches datasets and trained models across experiment runners so
+// one invocation can produce every table without retraining.
+type Suite struct {
+	cfg      Config
+	datasets map[string]*core.Dataset
+	recs     map[modelKey]*core.Recommender
+}
+
+// NewSuite builds an empty suite.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{cfg: cfg, datasets: map[string]*core.Dataset{}, recs: map[modelKey]*core.Recommender{}}
+}
+
+// DatasetNames lists the two evaluation workloads.
+var DatasetNames = []string{"sdss", "sqlshare"}
+
+// Dataset generates (once) and returns the prepared workload.
+func (s *Suite) Dataset(name string) (*core.Dataset, error) {
+	if ds, ok := s.datasets[name]; ok {
+		return ds, nil
+	}
+	var prof synth.Profile
+	switch name {
+	case "sdss":
+		prof = synth.SDSSProfile()
+	case "sqlshare":
+		prof = synth.SQLShareProfile()
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+	wl := synth.Generate(prof, s.cfg.Seed)
+	ds, err := core.Prepare(wl, core.DefaultPrepConfig())
+	if err != nil {
+		return nil, err
+	}
+	s.datasets[name] = ds
+	return ds, nil
+}
+
+// trainOpts builds training options from the suite configuration.
+func (s *Suite) trainOpts() train.Options {
+	opts := train.DefaultOptions()
+	opts.Epochs = s.cfg.Epochs
+	opts.Patience = 2
+	return opts
+}
+
+// Recommender trains (once) and returns the model for the given variant.
+func (s *Suite) Recommender(dataset string, arch seq2seq.Arch, seqAware, fineTune bool) (*core.Recommender, error) {
+	return s.recommender(modelKey{dataset: dataset, arch: arch, seqAware: seqAware, fineTune: fineTune})
+}
+
+func (s *Suite) recommender(key modelKey) (*core.Recommender, error) {
+	if rec, ok := s.recs[key]; ok {
+		return rec, nil
+	}
+	ds, err := s.Dataset(key.dataset)
+	if err != nil {
+		return nil, err
+	}
+	tds := *ds
+	if s.cfg.MaxTrainPairs > 0 && len(tds.Train) > s.cfg.MaxTrainPairs {
+		tds.Train = tds.Train[:s.cfg.MaxTrainPairs]
+	}
+	cfg := core.DefaultTrainConfig(key.arch)
+	cfg.SeqAware = key.seqAware
+	cfg.FineTune = key.fineTune
+	cfg.FreezeEncoder = key.freeze
+	cfg.SeqOpts = s.trainOpts()
+	cfg.ClsOpts = s.trainOpts()
+	if cfg.ClsOpts.Epochs > 1 {
+		cfg.ClsOpts.Epochs--
+	}
+	mcfg := seq2seq.DefaultConfig(key.arch, 0)
+	mcfg.DModel = s.cfg.DModel
+	mcfg.FFHidden = 2 * s.cfg.DModel
+	cfg.Model = &mcfg
+	cfg.Seed = s.cfg.Seed
+	rec, err := core.Train(&tds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.recs[key] = rec
+	return rec, nil
+}
+
+// evalPairs returns the (possibly subsampled) test pairs of a dataset.
+func (s *Suite) evalPairs(ds *core.Dataset) []workload.Pair {
+	pairs := ds.Test
+	if s.cfg.EvalPairs > 0 && len(pairs) > s.cfg.EvalPairs {
+		pairs = pairs[:s.cfg.EvalPairs]
+	}
+	return pairs
+}
+
+// Runner is one experiment entry.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(*Suite) error
+}
+
+// Runners lists every reproducible table and figure in execution order.
+func Runners() []Runner {
+	return []Runner{
+		{ID: "table2", Title: "Table 2: workload statistics", Run: (*Suite).Table2},
+		{ID: "fig9", Title: "Figure 9: template popularity long tail", Run: (*Suite).Fig9},
+		{ID: "fig10", Title: "Figure 10: SDSS session- and pair-level analysis", Run: (*Suite).Fig10},
+		{ID: "fig11", Title: "Figure 11: SQLShare session- and pair-level analysis", Run: (*Suite).Fig11},
+		{ID: "table3", Title: "Table 3: model statistics", Run: (*Suite).Table3},
+		{ID: "table5", Title: "Table 5: fragment-set prediction F1", Run: (*Suite).Table5},
+		{ID: "fig12", Title: "Figure 12: N-fragments precision/recall", Run: (*Suite).Fig12},
+		{ID: "table6", Title: "Table 6: top-1 template prediction accuracy", Run: (*Suite).Table6},
+		{ID: "fig13", Title: "Figure 13: N-templates accuracy and MRR", Run: (*Suite).Fig13},
+		{ID: "transfer", Title: "Transfer: cross-workload encoder pre-training (paper Section 8)", Run: (*Suite).Transfer},
+		{ID: "context", Title: "Context: two-query encoder input (paper Section 2 extension)", Run: (*Suite).Context},
+		{ID: "replay", Title: "Replay: positional hit rate across session steps", Run: (*Suite).Replay},
+		{ID: "structural", Title: "Structural: tree-edit-distance retrieval vs fragment CF (paper Example 2)", Run: (*Suite).Structural},
+	}
+}
+
+// Run executes the selected experiment ids ("all" runs everything).
+func (s *Suite) Run(ids []string) error {
+	want := map[string]bool{}
+	all := false
+	for _, id := range ids {
+		if id == "all" {
+			all = true
+		}
+		want[id] = true
+	}
+	known := map[string]bool{}
+	for _, r := range Runners() {
+		known[r.ID] = true
+	}
+	var unknown []string
+	for id := range want {
+		if id != "all" && !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("experiments: unknown ids %v", unknown)
+	}
+	for _, r := range Runners() {
+		if !all && !want[r.ID] {
+			continue
+		}
+		fmt.Fprintf(s.cfg.Out, "\n=== %s ===\n", r.Title)
+		if err := r.Run(s); err != nil {
+			return fmt.Errorf("experiments: %s: %w", r.ID, err)
+		}
+	}
+	return nil
+}

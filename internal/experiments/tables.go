@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/baselines"
+	"repro/internal/metrics"
+	"repro/internal/seq2seq"
+	"repro/internal/sqlast"
+)
+
+// dlVariants enumerates the four deep-learning model variants the paper
+// compares (seq-less/seq-aware × convs2s/transformer).
+type dlVariant struct {
+	label    string
+	arch     seq2seq.Arch
+	seqAware bool
+}
+
+func dlVariants() []dlVariant {
+	return []dlVariant{
+		{"seq-less convs2s", seq2seq.ConvS2S, false},
+		{"seq-less tfm", seq2seq.Transformer, false},
+		{"seq-aware convs2s", seq2seq.ConvS2S, true},
+		{"seq-aware tfm", seq2seq.Transformer, true},
+	}
+}
+
+// Table2 prints the workload statistics table.
+func (s *Suite) Table2() error {
+	w := s.cfg.Out
+	rows := []string{"Total pairs", "Unique pairs", "Unique queries", "Sessions",
+		"Datasets", "Vocabulary", "Tables", "Columns", "Functions", "Literals", "Templates"}
+	stats := map[string]analysis.WorkloadStats{}
+	for _, name := range DatasetNames {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		stats[name] = analysis.ComputeWorkloadStats(ds.Workload)
+	}
+	fmt.Fprintf(w, "%-16s %12s %12s\n", "Statistics", "SDSS-sim", "SQLShare-sim")
+	get := func(st analysis.WorkloadStats, row string) int {
+		switch row {
+		case "Total pairs":
+			return st.TotalPairs
+		case "Unique pairs":
+			return st.UniquePairs
+		case "Unique queries":
+			return st.UniqueQs
+		case "Sessions":
+			return st.Sessions
+		case "Datasets":
+			return st.Datasets
+		case "Vocabulary":
+			return st.Vocabulary
+		case "Tables":
+			return st.Tables
+		case "Columns":
+			return st.Columns
+		case "Functions":
+			return st.Functions
+		case "Literals":
+			return st.Literals
+		default:
+			return st.Templates
+		}
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-16s %12d %12d\n", row, get(stats["sdss"], row), get(stats["sqlshare"], row))
+	}
+	return nil
+}
+
+// Table3 prints model statistics: training time, inference time per query
+// and parameter counts for every DL variant on both datasets.
+func (s *Suite) Table3() error {
+	w := s.cfg.Out
+	fmt.Fprintf(w, "%-10s %-20s %12s %14s %12s\n", "Dataset", "Model", "T_train", "T_infer/query", "Params")
+	for _, name := range DatasetNames {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		pairs := s.evalPairs(ds)
+		if len(pairs) > 20 {
+			pairs = pairs[:20]
+		}
+		for _, v := range dlVariants() {
+			rec, err := s.Recommender(name, v.arch, v.seqAware, true)
+			if err != nil {
+				return err
+			}
+			// Inference: one greedy decode per query.
+			start := time.Now()
+			for _, p := range pairs {
+				rec.FragmentSetFromTokens(rec.Vocab.Encode(p.Cur.Tokens, true))
+			}
+			infer := time.Since(start) / time.Duration(len(pairs))
+			fmt.Fprintf(w, "%-10s %-20s %12s %14s %12d\n",
+				name, v.label, rec.SeqResult.TrainTime.Round(time.Millisecond),
+				infer.Round(time.Microsecond), seq2seq.CountParams(rec.Model))
+		}
+	}
+	return nil
+}
+
+// Table5 prints fragment-set prediction F1 per fragment type for the
+// baselines and all DL variants.
+func (s *Suite) Table5() error {
+	w := s.cfg.Out
+	for _, name := range DatasetNames {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		pairs := s.evalPairs(ds)
+		querie := baselines.NewQueRIE(ds.Train)
+
+		fmt.Fprintf(w, "\n[%s] fragment-set F1\n", name)
+		fmt.Fprintf(w, "%-20s %8s %8s %8s %8s\n", "Method", "table", "column", "function", "literal")
+		printRow := func(label string, accs map[sqlast.FragmentKind]*prAcc) {
+			fmt.Fprintf(w, "%-20s %8.3f %8.3f %8.3f %8.3f\n", label,
+				accs[sqlast.FragTable].F1(), accs[sqlast.FragColumn].F1(),
+				accs[sqlast.FragFunction].F1(), accs[sqlast.FragLiteral].F1())
+		}
+		printRow("naive Qi", evalFragmentSet(pairs, naiveFragSet))
+		printRow("QueRIE", evalFragmentSet(pairs, querieFragSet(querie)))
+		for _, v := range dlVariants() {
+			rec, err := s.Recommender(name, v.arch, v.seqAware, true)
+			if err != nil {
+				return err
+			}
+			printRow(v.label, evalFragmentSet(pairs, modelFragSet(rec)))
+		}
+	}
+	return nil
+}
+
+// Table6 prints top-1 template prediction accuracy for every method,
+// including the fine-tuning ablation.
+func (s *Suite) Table6() error {
+	w := s.cfg.Out
+	fmt.Fprintf(w, "%-26s %10s %12s\n", "Method", "SDSS-sim", "SQLShare-sim")
+	type row struct {
+		label string
+		acc   map[string]float64
+	}
+	var rows []*row
+	addRow := func(label string) *row {
+		r := &row{label: label, acc: map[string]float64{}}
+		rows = append(rows, r)
+		return r
+	}
+	popularRow := addRow("popular")
+	naiveRow := addRow("naive Qi")
+	querieRow := addRow("QueRIE")
+	untunedRow := addRow("tfm untuned (no pre-train)")
+	var dlRows []*row
+	for _, v := range dlVariants() {
+		dlRows = append(dlRows, addRow(v.label+" tuned"))
+	}
+	for _, name := range DatasetNames {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		pairs := s.evalPairs(ds)
+		pop := baselines.NewPopular(ds.Train)
+		querie := baselines.NewQueRIE(ds.Train)
+		popularRow.acc[name] = evalTemplates(pairs, 1, popularTemplates(pop)).Accuracy()
+		naiveRow.acc[name] = evalTemplates(pairs, 1, naiveTemplates).Accuracy()
+		querieRow.acc[name] = evalTemplates(pairs, 1, querieTemplates(querie)).Accuracy()
+		untuned, err := s.Recommender(name, seq2seq.Transformer, true, false)
+		if err != nil {
+			return err
+		}
+		untunedRow.acc[name] = evalTemplates(pairs, 1, modelTemplates(untuned)).Accuracy()
+		for i, v := range dlVariants() {
+			rec, err := s.Recommender(name, v.arch, v.seqAware, true)
+			if err != nil {
+				return err
+			}
+			dlRows[i].acc[name] = evalTemplates(pairs, 1, modelTemplates(rec)).Accuracy()
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s %10.3f %12.3f\n", r.label, r.acc["sdss"], r.acc["sqlshare"])
+	}
+	return nil
+}
+
+// prAcc and rankAcc alias the metrics accumulators for compact signatures.
+type (
+	prAcc   = metrics.PRAccumulator
+	rankAcc = metrics.RankAccumulator
+)
+
+// header underline helper used by the figure runners.
+func underline(w int) string { return strings.Repeat("-", w) }

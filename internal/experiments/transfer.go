@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/synth"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+// Transfer implements the paper's Section 8 future-work direction: train
+// the seq2seq encoder on one workload (SDSS-sim, the data-rich source) and
+// fine-tune the template classifier on another (SQLShare-sim, the
+// data-poor target), comparing against a target-only encoder and a fresh
+// (un-pre-trained) encoder. A shared vocabulary is built over both
+// workloads so the encoder transfers.
+func (s *Suite) Transfer() error {
+	w := s.cfg.Out
+
+	// Build a combined workload so both sources share one vocabulary.
+	sdss := synth.Generate(synth.SDSSProfile(), s.cfg.Seed)
+	sqlshare := synth.Generate(synth.SQLShareProfile(), s.cfg.Seed+1)
+	combined := &workload.Workload{
+		Name:     "combined",
+		Sessions: append(append([]*workload.Session{}, sdss.Sessions...), sqlshare.Sessions...),
+		Datasets: sqlshare.Datasets + 1,
+	}
+	ds, err := core.Prepare(combined, core.DefaultPrepConfig())
+	if err != nil {
+		return err
+	}
+
+	// Split pairs back by source (session ids carry the profile name).
+	bySource := func(pairs []workload.Pair, prefix string) []workload.Pair {
+		var out []workload.Pair
+		for _, p := range pairs {
+			if strings.HasPrefix(p.Cur.SessionID, prefix) {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	srcTrain := capPairs(bySource(ds.Train, "sdss-sim"), s.cfg.MaxTrainPairs)
+	tgtTrain := capPairs(bySource(ds.Train, "sqlshare-sim"), s.cfg.MaxTrainPairs)
+	srcVal := bySource(ds.Val, "sdss-sim")
+	tgtVal := bySource(ds.Val, "sqlshare-sim")
+	tgtTest := bySource(ds.Test, "sqlshare-sim")
+	if s.cfg.EvalPairs > 0 && len(tgtTest) > s.cfg.EvalPairs {
+		tgtTest = tgtTest[:s.cfg.EvalPairs]
+	}
+
+	// Template classes come from the *target* training pairs only.
+	tgtWL := &workload.Workload{Sessions: []*workload.Session{{ID: "t"}}}
+	for _, p := range tgtTrain {
+		tgtWL.Sessions[0].Queries = append(tgtWL.Sessions[0].Queries, p.Next)
+	}
+	classes := analysis.TemplateClasses(tgtWL, 3)
+	if len(classes) == 0 {
+		classes = analysis.TemplateClasses(tgtWL, 1)
+	}
+
+	mcfg := seq2seq.DefaultConfig(seq2seq.Transformer, ds.Vocab.Size())
+	mcfg.DModel = s.cfg.DModel
+	mcfg.FFHidden = 2 * s.cfg.DModel
+	opts := s.trainOpts()
+
+	// pretrain trains a seq2seq model on the given pairs (nil = none).
+	pretrain := func(pairs, val []workload.Pair, seed int64) (seq2seq.Model, error) {
+		m, err := seq2seq.New(mcfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		if len(pairs) > 0 {
+			ex := core.SeqExamples(ds.Vocab, pairs, true)
+			exVal := core.SeqExamples(ds.Vocab, val, true)
+			if _, err := train.Seq2Seq(m, ex, exVal, opts); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+
+	variants := []struct {
+		label string
+		pairs []workload.Pair
+		val   []workload.Pair
+	}{
+		{"no pre-training", nil, nil},
+		{"target-only pre-training", tgtTrain, tgtVal},
+		{"transfer (SDSS pre-training)", srcTrain, srcVal},
+	}
+	fmt.Fprintf(w, "target: SQLShare-sim template prediction, %d classes, %d fine-tune pairs, %d test pairs\n",
+		len(classes), len(tgtTrain), len(tgtTest))
+	fmt.Fprintf(w, "%-30s %8s %8s %8s\n", "Encoder", "acc@1", "acc@5", "MRR@5")
+	for i, v := range variants {
+		enc, err := pretrain(v.pairs, v.val, s.cfg.Seed+int64(10+i))
+		if err != nil {
+			return err
+		}
+		cls := classify.New(enc, 64, classes, s.cfg.Seed+int64(20+i))
+		clsOpts := opts
+		if _, err := classify.Fit(cls,
+			core.ClsExamples(ds.Vocab, cls, tgtTrain),
+			core.ClsExamples(ds.Vocab, cls, tgtVal), clsOpts); err != nil {
+			return err
+		}
+		rec := &core.Recommender{Vocab: ds.Vocab, Model: enc, Classifier: cls, MaxGenLen: opts.MaxLen}
+		sweep := evalTemplatesSweep(tgtTest, []int{1, 5}, modelTemplates(rec))
+		fmt.Fprintf(w, "%-30s %8.3f %8.3f %8.3f\n", v.label,
+			sweep[1].Accuracy(), sweep[5].Accuracy(), sweep[5].MRR())
+	}
+	return nil
+}
+
+func capPairs(pairs []workload.Pair, max int) []workload.Pair {
+	if max > 0 && len(pairs) > max {
+		return pairs[:max]
+	}
+	return pairs
+}

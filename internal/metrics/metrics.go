@@ -1,0 +1,126 @@
+// Package metrics implements the evaluation measures of paper Table 4:
+// set precision/recall/F1 for fragment prediction, and accuracy@N, mean
+// reciprocal rank (MRR) and normalized discounted cumulative gain (NDCG)
+// for N-templates prediction.
+package metrics
+
+import "math"
+
+// SetPR computes precision and recall of a predicted set against the
+// ground-truth set. Empty prediction with empty truth counts as perfect
+// (both 1); empty prediction against non-empty truth is zero recall.
+func SetPR(pred, truth map[string]bool) (precision, recall float64) {
+	inter := 0
+	for p := range pred {
+		if truth[p] {
+			inter++
+		}
+	}
+	switch {
+	case len(pred) == 0 && len(truth) == 0:
+		return 1, 1
+	case len(pred) == 0:
+		return 0, 0
+	case len(truth) == 0:
+		return 0, 1
+	}
+	return float64(inter) / float64(len(pred)), float64(inter) / float64(len(truth))
+}
+
+// F1 combines precision and recall.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// PRAccumulator averages precision/recall over test pairs (the
+// sum-over-|R| form of Table 4).
+type PRAccumulator struct {
+	psum, rsum float64
+	n          int
+}
+
+// Add records one test pair's prediction.
+func (a *PRAccumulator) Add(pred, truth map[string]bool) {
+	p, r := SetPR(pred, truth)
+	a.psum += p
+	a.rsum += r
+	a.n++
+}
+
+// Count returns the number of accumulated pairs.
+func (a *PRAccumulator) Count() int { return a.n }
+
+// Precision returns the mean precision.
+func (a *PRAccumulator) Precision() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.psum / float64(a.n)
+}
+
+// Recall returns the mean recall.
+func (a *PRAccumulator) Recall() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.rsum / float64(a.n)
+}
+
+// F1 returns the F-measure of the mean precision and recall (the paper
+// reports test F-measure per fragment type).
+func (a *PRAccumulator) F1() float64 { return F1(a.Precision(), a.Recall()) }
+
+// RankAccumulator scores ranked template predictions: accuracy@N (the
+// indicator that the true template appears in the top-N list), MRR
+// (reciprocal rank, 0 when absent) and NDCG (single-relevant-item DCG,
+// 1/log2(rank+1)).
+type RankAccumulator struct {
+	hits, rr, ndcg float64
+	n              int
+}
+
+// Add records one prediction: ranked is the top-N template list, truth the
+// template of the actual next query.
+func (a *RankAccumulator) Add(ranked []string, truth string) {
+	a.n++
+	for i, t := range ranked {
+		if t == truth {
+			a.hits++
+			rank := float64(i + 1)
+			a.rr += 1 / rank
+			a.ndcg += 1 / math.Log2(rank+1)
+			return
+		}
+	}
+}
+
+// Count returns the number of accumulated predictions.
+func (a *RankAccumulator) Count() int { return a.n }
+
+// Accuracy returns accuracy@N.
+func (a *RankAccumulator) Accuracy() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.hits / float64(a.n)
+}
+
+// MRR returns the mean reciprocal rank.
+func (a *RankAccumulator) MRR() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.rr / float64(a.n)
+}
+
+// NDCG returns the mean normalized DCG (with one relevant item the ideal
+// DCG is 1, so no further normalization is needed).
+func (a *RankAccumulator) NDCG() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.ndcg / float64(a.n)
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func set(items ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, i := range items {
+		m[i] = true
+	}
+	return m
+}
+
+func TestSetPRBasic(t *testing.T) {
+	p, r := SetPR(set("a", "b", "c"), set("b", "c", "d", "e"))
+	if math.Abs(p-2.0/3) > 1e-12 || math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("p=%f r=%f", p, r)
+	}
+}
+
+func TestSetPREdgeCases(t *testing.T) {
+	if p, r := SetPR(nil, nil); p != 1 || r != 1 {
+		t.Errorf("empty/empty: %f %f", p, r)
+	}
+	if p, r := SetPR(nil, set("a")); p != 0 || r != 0 {
+		t.Errorf("empty pred: %f %f", p, r)
+	}
+	if p, r := SetPR(set("a"), nil); p != 0 || r != 1 {
+		t.Errorf("empty truth: %f %f", p, r)
+	}
+	if p, r := SetPR(set("a"), set("a")); p != 1 || r != 1 {
+		t.Errorf("perfect: %f %f", p, r)
+	}
+}
+
+// Property: precision and recall always lie in [0, 1], and swapping the
+// arguments swaps precision and recall (for non-empty sets).
+func TestSetPRProperties(t *testing.T) {
+	f := func(aBits, bBits uint8) bool {
+		universe := []string{"t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8"}
+		a, b := map[string]bool{}, map[string]bool{}
+		for i, u := range universe {
+			if aBits&(1<<i) != 0 {
+				a[u] = true
+			}
+			if bBits&(1<<i) != 0 {
+				b[u] = true
+			}
+		}
+		p, r := SetPR(a, b)
+		if p < 0 || p > 1 || r < 0 || r > 1 {
+			return false
+		}
+		if len(a) > 0 && len(b) > 0 {
+			p2, r2 := SetPR(b, a)
+			return math.Abs(p-r2) < 1e-12 && math.Abs(r-p2) < 1e-12
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestF1(t *testing.T) {
+	if F1(0, 0) != 0 {
+		t.Error("f1(0,0)")
+	}
+	if math.Abs(F1(1, 1)-1) > 1e-12 {
+		t.Error("f1(1,1)")
+	}
+	if math.Abs(F1(0.5, 1)-2.0/3) > 1e-12 {
+		t.Errorf("f1(0.5,1)=%f", F1(0.5, 1))
+	}
+}
+
+func TestPRAccumulator(t *testing.T) {
+	var a PRAccumulator
+	a.Add(set("x"), set("x"))      // p=1 r=1
+	a.Add(set("x", "y"), set("x")) // p=0.5 r=1
+	if a.Count() != 2 {
+		t.Error("count")
+	}
+	if math.Abs(a.Precision()-0.75) > 1e-12 || math.Abs(a.Recall()-1) > 1e-12 {
+		t.Errorf("p=%f r=%f", a.Precision(), a.Recall())
+	}
+	want := F1(0.75, 1)
+	if math.Abs(a.F1()-want) > 1e-12 {
+		t.Errorf("f1=%f", a.F1())
+	}
+	var empty PRAccumulator
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+}
+
+func TestRankAccumulator(t *testing.T) {
+	var a RankAccumulator
+	a.Add([]string{"t1", "t2", "t3"}, "t1") // rank 1
+	a.Add([]string{"t1", "t2", "t3"}, "t3") // rank 3
+	a.Add([]string{"t1", "t2", "t3"}, "t9") // miss
+	if a.Count() != 3 {
+		t.Error("count")
+	}
+	if math.Abs(a.Accuracy()-2.0/3) > 1e-12 {
+		t.Errorf("acc=%f", a.Accuracy())
+	}
+	wantMRR := (1.0 + 1.0/3) / 3
+	if math.Abs(a.MRR()-wantMRR) > 1e-12 {
+		t.Errorf("mrr=%f want %f", a.MRR(), wantMRR)
+	}
+	wantNDCG := (1.0 + 1.0/math.Log2(4)) / 3
+	if math.Abs(a.NDCG()-wantNDCG) > 1e-12 {
+		t.Errorf("ndcg=%f want %f", a.NDCG(), wantNDCG)
+	}
+}
+
+// Property: MRR <= NDCG <= accuracy (1/rank <= 1/log2(rank+1) <= 1 for
+// rank >= 1).
+func TestRankMetricOrdering(t *testing.T) {
+	f := func(positions []uint8) bool {
+		var a RankAccumulator
+		ranked := []string{"a", "b", "c", "d", "e"}
+		for _, p := range positions {
+			truth := "miss"
+			if int(p)%6 < 5 {
+				truth = ranked[int(p)%6]
+			}
+			a.Add(ranked, truth)
+		}
+		if a.Count() == 0 {
+			return true
+		}
+		return a.MRR() <= a.NDCG()+1e-12 && a.NDCG() <= a.Accuracy()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankAccumulatorEmpty(t *testing.T) {
+	var a RankAccumulator
+	if a.Accuracy() != 0 || a.MRR() != 0 || a.NDCG() != 0 {
+		t.Error("empty should be zeros")
+	}
+}

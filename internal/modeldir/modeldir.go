@@ -1,0 +1,93 @@
+// Package modeldir saves and loads the trained-model directory layout
+// shared by qrec-train, qrec-recommend and qrec-serve:
+//
+//	<dir>/vocab.gob       tokenizer vocabulary + role map
+//	<dir>/model.gob       seq2seq model (architecture + parameters)
+//	<dir>/classifier.gob  template classifier (encoder + head + classes)
+package modeldir
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/tokenizer"
+)
+
+// Filenames within a model directory.
+const (
+	VocabFile      = "vocab.gob"
+	ModelFile      = "model.gob"
+	ClassifierFile = "classifier.gob"
+)
+
+// Save writes a trained recommender's artifacts into dir (created if
+// missing).
+func Save(dir string, rec *core.Recommender) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("modeldir: %w", err)
+	}
+	if err := writeFile(filepath.Join(dir, VocabFile), rec.Vocab.Save); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, ModelFile), func(w io.Writer) error {
+		return seq2seq.Save(w, rec.Model)
+	}); err != nil {
+		return err
+	}
+	return writeFile(filepath.Join(dir, ClassifierFile), rec.Classifier.Save)
+}
+
+// Load reads the artifacts written by Save and reassembles a Recommender.
+// maxGenLen bounds decoding length (0 uses the default of 48).
+func Load(dir string, maxGenLen int) (*core.Recommender, error) {
+	if maxGenLen <= 0 {
+		maxGenLen = 48
+	}
+	vocab, err := readFile(filepath.Join(dir, VocabFile), tokenizer.LoadVocab)
+	if err != nil {
+		return nil, err
+	}
+	model, err := readFile(filepath.Join(dir, ModelFile), seq2seq.Load)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := readFile(filepath.Join(dir, ClassifierFile), classify.Load)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Recommender{Vocab: vocab, Model: model, Classifier: cls, MaxGenLen: maxGenLen}, nil
+}
+
+func writeFile(path string, save func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("modeldir: %w", err)
+	}
+	defer f.Close()
+	if err := save(f); err != nil {
+		return fmt.Errorf("modeldir: write %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("modeldir: %w", err)
+	}
+	return nil
+}
+
+func readFile[T any](path string, load func(io.Reader) (T, error)) (T, error) {
+	var zero T
+	f, err := os.Open(path)
+	if err != nil {
+		return zero, fmt.Errorf("modeldir: %w", err)
+	}
+	defer f.Close()
+	v, err := load(f)
+	if err != nil {
+		return zero, fmt.Errorf("modeldir: read %s: %w", filepath.Base(path), err)
+	}
+	return v, nil
+}

@@ -1,0 +1,85 @@
+package modeldir
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/synth"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	prof := synth.SDSSProfile()
+	prof.Sessions = 40
+	wl := synth.Generate(prof, 3)
+	ds, err := core.Prepare(wl, core.DefaultPrepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultTrainConfig(seq2seq.ConvS2S)
+	cfg.SeqOpts.Epochs = 1
+	cfg.ClsOpts.Epochs = 1
+	cfg.MaxTrainPairs = 50
+	mcfg := seq2seq.DefaultConfig(seq2seq.ConvS2S, 0)
+	mcfg.DModel = 16
+	cfg.Model = &mcfg
+	rec, err := core.Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := Save(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxGenLen != 48 {
+		t.Errorf("default maxGenLen: %d", back.MaxGenLen)
+	}
+	if back.Vocab.Size() != rec.Vocab.Size() {
+		t.Error("vocab size lost")
+	}
+	if back.Model.Config().Arch != seq2seq.ConvS2S {
+		t.Error("arch lost")
+	}
+	// Identical predictions after reload.
+	sql := "SELECT ra, dec FROM PhotoObj WHERE ra > 180.0"
+	t1, err := rec.NextTemplates(sql, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := back.NextTemplates(sql, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("template predictions diverge after reload:\n%v\n%v", t1, t2)
+		}
+	}
+	f1, _ := rec.NextFragmentSet(sql)
+	f2, _ := back.NextFragmentSet(sql)
+	if f1.Size() != f2.Size() {
+		t.Error("fragment predictions diverge after reload")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load("/nonexistent/model-dir", 0); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestLoadPartialDir(t *testing.T) {
+	dir := t.TempDir()
+	// vocab.gob missing entirely.
+	if _, err := Load(dir, 0); err == nil {
+		t.Error("expected error for empty dir")
+	}
+}

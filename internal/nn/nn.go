@@ -1,0 +1,289 @@
+// Package nn provides the neural-network layers composing the paper's two
+// seq2seq architectures (Transformer and ConvS2S) and the classification
+// head: linear projections, embeddings, sinusoidal positional encodings,
+// multi-head attention, position-wise feed-forward blocks, layer
+// normalization and convolutional GLU blocks.
+//
+// Every layer registers its trainable tensors in a Params list with
+// hierarchical names, which drives both the optimizer and model
+// serialization.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+// Param is a named trainable value.
+type Param struct {
+	Name string
+	V    *autograd.Value
+}
+
+// Module is anything exposing trainable parameters.
+type Module interface {
+	Params() []Param
+}
+
+// prefix namespaces parameter names of a submodule.
+func prefix(p string, params []Param) []Param {
+	out := make([]Param, len(params))
+	for i, pr := range params {
+		out[i] = Param{Name: p + "." + pr.Name, V: pr.V}
+	}
+	return out
+}
+
+// Linear is a fully-connected layer y = xW + b.
+type Linear struct {
+	W, B *autograd.Value
+}
+
+// NewLinear allocates a Xavier-initialized linear layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	w := tensor.New(in, out)
+	w.RandInit(rng)
+	return &Linear{W: autograd.NewParam(w), B: autograd.NewParam(tensor.New(1, out))}
+}
+
+// Forward applies the affine map to x (n×in).
+func (l *Linear) Forward(x *autograd.Value) *autograd.Value {
+	return autograd.AddRow(autograd.MatMul(x, l.W), l.B)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []Param {
+	return []Param{{Name: "w", V: l.W}, {Name: "b", V: l.B}}
+}
+
+// Embedding maps token ids to learned d-dimensional vectors.
+type Embedding struct {
+	W *autograd.Value
+	D int
+}
+
+// NewEmbedding allocates a vocab×d embedding table.
+func NewEmbedding(vocab, d int, rng *rand.Rand) *Embedding {
+	w := tensor.New(vocab, d)
+	w.RandInit(rng)
+	return &Embedding{W: autograd.NewParam(w), D: d}
+}
+
+// Forward gathers embeddings for ids, scaled by sqrt(d) as in the
+// transformer paper.
+func (e *Embedding) Forward(ids []int) *autograd.Value {
+	return autograd.Scale(autograd.Embedding(e.W, ids), math.Sqrt(float64(e.D)))
+}
+
+// Params implements Module.
+func (e *Embedding) Params() []Param { return []Param{{Name: "w", V: e.W}} }
+
+// PositionalEncoding is the fixed sinusoidal position table.
+type PositionalEncoding struct {
+	table *tensor.Tensor
+}
+
+// NewPositionalEncoding precomputes maxLen positions of dimension d.
+func NewPositionalEncoding(maxLen, d int) *PositionalEncoding {
+	t := tensor.New(maxLen, d)
+	for pos := 0; pos < maxLen; pos++ {
+		for i := 0; i < d; i++ {
+			angle := float64(pos) / math.Pow(10000, float64(2*(i/2))/float64(d))
+			if i%2 == 0 {
+				t.Set(pos, i, math.Sin(angle))
+			} else {
+				t.Set(pos, i, math.Cos(angle))
+			}
+		}
+	}
+	return &PositionalEncoding{table: t}
+}
+
+// Add sums position rows [offset, offset+n) onto x (n×d).
+func (p *PositionalEncoding) Add(x *autograd.Value, offset int) *autograd.Value {
+	n := x.T.Rows
+	if offset+n > p.table.Rows {
+		panic(fmt.Sprintf("nn: sequence length %d exceeds positional table %d", offset+n, p.table.Rows))
+	}
+	slice := tensor.New(n, x.T.Cols)
+	for i := 0; i < n; i++ {
+		copy(slice.Row(i), p.table.Row(offset+i))
+	}
+	return autograd.Add(x, autograd.NewConst(slice))
+}
+
+// LayerNorm is a learned row normalization.
+type LayerNorm struct {
+	Gain, Bias *autograd.Value
+	eps        float64
+}
+
+// NewLayerNorm allocates gain=1, bias=0 of width d.
+func NewLayerNorm(d int) *LayerNorm {
+	g := tensor.New(1, d)
+	g.Fill(1)
+	return &LayerNorm{Gain: autograd.NewParam(g), Bias: autograd.NewParam(tensor.New(1, d)), eps: 1e-5}
+}
+
+// Forward normalizes each row of x.
+func (l *LayerNorm) Forward(x *autograd.Value) *autograd.Value {
+	return autograd.LayerNorm(x, l.Gain, l.Bias, l.eps)
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []Param {
+	return []Param{{Name: "gain", V: l.Gain}, {Name: "bias", V: l.Bias}}
+}
+
+// MultiHeadAttention implements scaled dot-product attention with h heads
+// over d model dimensions (d divisible by h).
+type MultiHeadAttention struct {
+	Heads          int
+	Dk             int
+	Wq, Wk, Wv, Wo *Linear
+}
+
+// NewMultiHeadAttention allocates the four projections.
+func NewMultiHeadAttention(d, heads int, rng *rand.Rand) *MultiHeadAttention {
+	if d%heads != 0 {
+		panic(fmt.Sprintf("nn: model dim %d not divisible by heads %d", d, heads))
+	}
+	return &MultiHeadAttention{
+		Heads: heads,
+		Dk:    d / heads,
+		Wq:    NewLinear(d, d, rng),
+		Wk:    NewLinear(d, d, rng),
+		Wv:    NewLinear(d, d, rng),
+		Wo:    NewLinear(d, d, rng),
+	}
+}
+
+// Forward attends queries q (n×d) over keys/values kv (m×d). mask, when
+// non-nil, is an n×m additive bias (use -1e9 for disallowed positions —
+// e.g. the causal mask in the decoder).
+func (a *MultiHeadAttention) Forward(q, kv *autograd.Value, mask *tensor.Tensor) *autograd.Value {
+	Q := a.Wq.Forward(q)
+	K := a.Wk.Forward(kv)
+	V := a.Wv.Forward(kv)
+	scale := 1 / math.Sqrt(float64(a.Dk))
+	heads := make([]*autograd.Value, a.Heads)
+	var maskV *autograd.Value
+	if mask != nil {
+		maskV = autograd.NewConst(mask)
+	}
+	for h := 0; h < a.Heads; h++ {
+		lo, hi := h*a.Dk, (h+1)*a.Dk
+		qh := autograd.SliceCols(Q, lo, hi)
+		kh := autograd.SliceCols(K, lo, hi)
+		vh := autograd.SliceCols(V, lo, hi)
+		scores := autograd.Scale(autograd.MatMul(qh, TransposeValue(kh)), scale)
+		if maskV != nil {
+			scores = autograd.Add(scores, maskV)
+		}
+		attn := autograd.SoftmaxRows(scores)
+		heads[h] = autograd.MatMul(attn, vh)
+	}
+	return a.Wo.Forward(autograd.ConcatCols(heads...))
+}
+
+// Params implements Module.
+func (a *MultiHeadAttention) Params() []Param {
+	var out []Param
+	out = append(out, prefix("wq", a.Wq.Params())...)
+	out = append(out, prefix("wk", a.Wk.Params())...)
+	out = append(out, prefix("wv", a.Wv.Params())...)
+	out = append(out, prefix("wo", a.Wo.Params())...)
+	return out
+}
+
+// TransposeValue transposes a value with gradient support. Used for the
+// QKᵀ attention scores.
+func TransposeValue(a *autograd.Value) *autograd.Value {
+	return autograd.TransposeV(a)
+}
+
+// FeedForward is the position-wise two-layer MLP of the transformer block.
+type FeedForward struct {
+	L1, L2 *Linear
+}
+
+// NewFeedForward allocates d→hidden→d with GELU in between.
+func NewFeedForward(d, hidden int, rng *rand.Rand) *FeedForward {
+	return &FeedForward{L1: NewLinear(d, hidden, rng), L2: NewLinear(hidden, d, rng)}
+}
+
+// Forward applies the MLP.
+func (f *FeedForward) Forward(x *autograd.Value) *autograd.Value {
+	return f.L2.Forward(autograd.GELU(f.L1.Forward(x)))
+}
+
+// Params implements Module.
+func (f *FeedForward) Params() []Param {
+	var out []Param
+	out = append(out, prefix("l1", f.L1.Params())...)
+	out = append(out, prefix("l2", f.L2.Params())...)
+	return out
+}
+
+// ConvGLU is one convolutional block of ConvS2S: a width-k causal or
+// centered 1-D convolution producing 2d channels, gated by GLU, with a
+// residual connection.
+type ConvGLU struct {
+	K      int  // kernel width
+	Causal bool // decoder blocks look only left
+	Proj   *Linear
+	D      int
+}
+
+// NewConvGLU allocates a conv block for model width d and kernel width k.
+func NewConvGLU(d, k int, causal bool, rng *rand.Rand) *ConvGLU {
+	return &ConvGLU{K: k, Causal: causal, Proj: NewLinear(k*d, 2*d, rng), D: d}
+}
+
+// Forward convolves x (n×d) to (n×d) with GLU gating and residual. The
+// convolution is realized as im2col (GatherRows into n×(k·d)) followed by
+// a linear map, with zero padding outside the sequence.
+func (c *ConvGLU) Forward(x *autograd.Value) *autograd.Value {
+	n, d := x.T.Rows, x.T.Cols
+	// Pad with a zero row appended at index n (gathered for out-of-range
+	// positions).
+	padded := autograd.ConcatRows(x, autograd.NewConst(tensor.New(1, d)))
+	idx := make([]int, 0, n*c.K)
+	for i := 0; i < n; i++ {
+		for o := 0; o < c.K; o++ {
+			var j int
+			if c.Causal {
+				j = i - (c.K - 1) + o
+			} else {
+				j = i - c.K/2 + o
+			}
+			if j < 0 || j >= n {
+				j = n // zero pad row
+			}
+			idx = append(idx, j)
+		}
+	}
+	windows := autograd.GatherRows(padded, idx) // (n*k) × d
+	flat := autograd.Reshape(windows, n, c.K*d) // n × (k·d)
+	gated := autograd.GLU(c.Proj.Forward(flat)) // n × d
+	return autograd.Scale(autograd.Add(gated, x), math.Sqrt(0.5))
+}
+
+// Params implements Module.
+func (c *ConvGLU) Params() []Param { return prefix("proj", c.Proj.Params()) }
+
+// CausalMask builds the n×n additive mask that blocks attention to future
+// positions.
+func CausalMask(n int) *tensor.Tensor {
+	m := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, -1e9)
+		}
+	}
+	return m
+}

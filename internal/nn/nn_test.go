@@ -1,0 +1,253 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+func TestLinearShapesAndGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(3, 5, rng)
+	x := autograd.NewConst(tensor.FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6}))
+	y := l.Forward(x)
+	if y.T.Rows != 2 || y.T.Cols != 5 {
+		t.Fatalf("shape: %dx%d", y.T.Rows, y.T.Cols)
+	}
+	autograd.Backward(autograd.Mean(y))
+	if l.W.Grad.Norm() == 0 || l.B.Grad.Norm() == 0 {
+		t.Error("no gradient flowed to linear params")
+	}
+	if len(l.Params()) != 2 {
+		t.Error("params")
+	}
+}
+
+func TestEmbeddingScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEmbedding(10, 4, rng)
+	out := e.Forward([]int{3, 3, 7})
+	if out.T.Rows != 3 || out.T.Cols != 4 {
+		t.Fatalf("shape: %dx%d", out.T.Rows, out.T.Cols)
+	}
+	want := e.W.T.At(3, 0) * 2 // sqrt(4)
+	if math.Abs(out.T.At(0, 0)-want) > 1e-12 {
+		t.Errorf("sqrt(d) scaling: %f want %f", out.T.At(0, 0), want)
+	}
+	// Same id, same row.
+	for j := 0; j < 4; j++ {
+		if out.T.At(0, j) != out.T.At(1, j) {
+			t.Error("same id produced different embeddings")
+		}
+	}
+}
+
+func TestPositionalEncodingProperties(t *testing.T) {
+	pe := NewPositionalEncoding(50, 8)
+	x := autograd.NewConst(tensor.New(5, 8))
+	y := pe.Add(x, 0)
+	// Position 0, even dims: sin(0)=0; odd dims: cos(0)=1.
+	if y.T.At(0, 0) != 0 || y.T.At(0, 1) != 1 {
+		t.Errorf("pos 0 encoding: %v", y.T.Row(0))
+	}
+	// Offsets shift the table.
+	y2 := pe.Add(autograd.NewConst(tensor.New(5, 8)), 3)
+	if y2.T.At(0, 0) != pe.table.At(3, 0) {
+		t.Error("offset ignored")
+	}
+	// Different positions get different encodings.
+	same := true
+	for j := 0; j < 8; j++ {
+		if y.T.At(1, j) != y.T.At(2, j) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("positions 1 and 2 encode identically")
+	}
+}
+
+func TestPositionalEncodingOverflowPanics(t *testing.T) {
+	pe := NewPositionalEncoding(4, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	pe.Add(autograd.NewConst(tensor.New(5, 8)), 0)
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	ln := NewLayerNorm(6)
+	x := autograd.NewConst(tensor.FromSlice(2, 6, []float64{
+		10, 20, 30, 40, 50, 60,
+		-3, -2, -1, 1, 2, 3,
+	}))
+	y := ln.Forward(x)
+	for r := 0; r < 2; r++ {
+		mean, sq := 0.0, 0.0
+		for _, v := range y.T.Row(r) {
+			mean += v
+		}
+		mean /= 6
+		for _, v := range y.T.Row(r) {
+			sq += (v - mean) * (v - mean)
+		}
+		if math.Abs(mean) > 1e-9 || math.Abs(sq/6-1) > 1e-3 {
+			t.Errorf("row %d not normalized: mean %f var %f", r, mean, sq/6)
+		}
+	}
+}
+
+func TestMultiHeadAttentionShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mha := NewMultiHeadAttention(8, 2, rng)
+	q := autograd.NewConst(randT(rng, 4, 8))
+	kv := autograd.NewConst(randT(rng, 6, 8))
+	out := mha.Forward(q, kv, nil)
+	if out.T.Rows != 4 || out.T.Cols != 8 {
+		t.Fatalf("shape: %dx%d", out.T.Rows, out.T.Cols)
+	}
+	if len(mha.Params()) != 8 {
+		t.Errorf("params: %d", len(mha.Params()))
+	}
+}
+
+func TestMultiHeadAttentionDimCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 7 % 2")
+		}
+	}()
+	NewMultiHeadAttention(7, 2, rand.New(rand.NewSource(1)))
+}
+
+// TestCausalMaskBlocksFuture: with a causal mask, output at position i must
+// not depend on inputs at positions > i.
+func TestCausalMaskBlocksFuture(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mha := NewMultiHeadAttention(8, 2, rng)
+	x1 := randT(rng, 5, 8)
+	x2 := x1.Clone()
+	// Perturb the last position only.
+	for j := 0; j < 8; j++ {
+		x2.Set(4, j, x2.At(4, j)+10)
+	}
+	mask := CausalMask(5)
+	o1 := mha.Forward(autograd.NewConst(x1), autograd.NewConst(x1), mask)
+	o2 := mha.Forward(autograd.NewConst(x2), autograd.NewConst(x2), mask)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(o1.T.At(i, j)-o2.T.At(i, j)) > 1e-9 {
+				t.Fatalf("position %d leaked future information", i)
+			}
+		}
+	}
+	// The perturbed position itself must change.
+	changed := false
+	for j := 0; j < 8; j++ {
+		if math.Abs(o1.T.At(4, j)-o2.T.At(4, j)) > 1e-9 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("last position unaffected by its own input")
+	}
+}
+
+func TestFeedForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ff := NewFeedForward(6, 12, rng)
+	x := autograd.NewConst(randT(rng, 3, 6))
+	y := ff.Forward(x)
+	if y.T.Rows != 3 || y.T.Cols != 6 {
+		t.Fatalf("shape: %dx%d", y.T.Rows, y.T.Cols)
+	}
+	if len(ff.Params()) != 4 {
+		t.Errorf("params: %d", len(ff.Params()))
+	}
+}
+
+func TestConvGLUShapesAndResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewConvGLU(6, 3, false, rng)
+	x := autograd.NewConst(randT(rng, 5, 6))
+	y := c.Forward(x)
+	if y.T.Rows != 5 || y.T.Cols != 6 {
+		t.Fatalf("shape: %dx%d", y.T.Rows, y.T.Cols)
+	}
+}
+
+// TestConvGLUCausal: causal conv output at position i must ignore inputs
+// at positions > i.
+func TestConvGLUCausal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewConvGLU(4, 3, true, rng)
+	x1 := randT(rng, 6, 4)
+	x2 := x1.Clone()
+	for j := 0; j < 4; j++ {
+		x2.Set(5, j, x2.At(5, j)+5)
+	}
+	o1 := c.Forward(autograd.NewConst(x1))
+	o2 := c.Forward(autograd.NewConst(x2))
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(o1.T.At(i, j)-o2.T.At(i, j)) > 1e-9 {
+				t.Fatalf("causal conv leaked future at position %d", i)
+			}
+		}
+	}
+}
+
+// TestNonCausalConvSeesBothSides: the encoder conv must be affected by a
+// right-neighbour change.
+func TestNonCausalConvSeesBothSides(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := NewConvGLU(4, 3, false, rng)
+	x1 := randT(rng, 6, 4)
+	x2 := x1.Clone()
+	for j := 0; j < 4; j++ {
+		x2.Set(3, j, x2.At(3, j)+5)
+	}
+	o1 := c.Forward(autograd.NewConst(x1))
+	o2 := c.Forward(autograd.NewConst(x2))
+	changed := false
+	for j := 0; j < 4; j++ {
+		if math.Abs(o1.T.At(2, j)-o2.T.At(2, j)) > 1e-9 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("centered conv ignored right neighbour")
+	}
+}
+
+func TestCausalMaskValues(t *testing.T) {
+	m := CausalMask(3)
+	if m.At(0, 1) != -1e9 || m.At(1, 0) != 0 || m.At(2, 2) != 0 {
+		t.Errorf("mask: %v", m.Data)
+	}
+}
+
+func TestParamNamesPrefixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mha := NewMultiHeadAttention(4, 2, rng)
+	names := map[string]bool{}
+	for _, p := range mha.Params() {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"wq.w", "wq.b", "wo.w", "wo.b"} {
+		if !names[want] {
+			t.Errorf("missing param name %s: %v", want, names)
+		}
+	}
+}
+
+func randT(rng *rand.Rand, r, c int) *tensor.Tensor {
+	t := tensor.New(r, c)
+	t.RandInit(rng)
+	return t
+}

@@ -1,0 +1,85 @@
+package seq2seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+func TestGRUCellStepShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cell := newGRUCell(8, rng)
+	x := autograd.NewConst(randT8(rng, 1, 8))
+	h := autograd.NewConst(tensor.New(1, 8))
+	h2 := cell.step(x, h)
+	if h2.T.Rows != 1 || h2.T.Cols != 8 {
+		t.Fatalf("shape: %dx%d", h2.T.Rows, h2.T.Cols)
+	}
+}
+
+// TestGRUCellInterpolates: the update gate makes h' a convex combination
+// of h and the candidate, so with bounded h the state stays bounded.
+func TestGRUCellInterpolates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cell := newGRUCell(6, rng)
+	h := autograd.NewConst(tensor.New(1, 6))
+	for step := 0; step < 50; step++ {
+		x := autograd.NewConst(randT8(rng, 1, 6))
+		h = cell.step(x, h)
+		for _, v := range h.T.Data {
+			// tanh candidate is in (-1,1); convex mixing keeps |h| < 1.
+			if math.Abs(v) >= 1 || math.IsNaN(v) {
+				t.Fatalf("state escaped bounds at step %d: %f", step, v)
+			}
+		}
+	}
+}
+
+// TestGRUStatePropagates: changing the first source token must influence
+// the final encoder state (recurrence carries information forward).
+func TestGRUStatePropagates(t *testing.T) {
+	cfg := tinyCfg(GRU)
+	m, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := m.Encode([]int{4, 7, 7, 7}, false, nil)
+	e2 := m.Encode([]int{5, 7, 7, 7}, false, nil)
+	last1 := e1.T.Row(e1.T.Rows - 1)
+	last2 := e2.T.Row(e2.T.Rows - 1)
+	diff := 0.0
+	for i := range last1 {
+		diff += math.Abs(last1[i] - last2[i])
+	}
+	if diff < 1e-9 {
+		t.Error("first token did not propagate to final state")
+	}
+}
+
+func TestGRUCellParamsNamed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cell := newGRUCell(4, rng)
+	ps := cell.params("enc_cell")
+	if len(ps) != 12 { // 6 linears × (w, b)
+		t.Fatalf("params: %d", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if !seen["enc_cell.xz.w"] || !seen["enc_cell.hh.b"] {
+		t.Errorf("names: %v", seen)
+	}
+}
+
+func randT8(rng *rand.Rand, r, c int) *tensor.Tensor {
+	tt := tensor.New(r, c)
+	tt.RandInit(rng)
+	return tt
+}

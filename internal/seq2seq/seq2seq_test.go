@@ -1,0 +1,203 @@
+package seq2seq
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/autograd"
+)
+
+func tinyCfg(arch Arch) Config {
+	cfg := DefaultConfig(arch, 20)
+	cfg.DModel = 16
+	cfg.FFHidden = 32
+	cfg.MaxLen = 32
+	cfg.Dropout = 0
+	return cfg
+}
+
+func TestNewRejectsUnknownArch(t *testing.T) {
+	if _, err := New(Config{Arch: "rnnx"}, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestShapes(t *testing.T) {
+	for _, arch := range []Arch{Transformer, ConvS2S, GRU} {
+		m, err := New(tinyCfg(arch), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := []int{1, 5, 6, 7, 2}
+		enc := m.Encode(src, false, nil)
+		if enc.T.Rows != 5 || enc.T.Cols != 16 {
+			t.Fatalf("%s: enc shape %dx%d", arch, enc.T.Rows, enc.T.Cols)
+		}
+		logits := m.DecodeLogits(enc, []int{1, 5, 6}, false, nil)
+		if logits.T.Rows != 3 || logits.T.Cols != 20 {
+			t.Fatalf("%s: logits shape %dx%d", arch, logits.T.Rows, logits.T.Cols)
+		}
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	for _, arch := range []Arch{Transformer, ConvS2S, GRU} {
+		m1, _ := New(tinyCfg(arch), 7)
+		m2, _ := New(tinyCfg(arch), 7)
+		p1, p2 := m1.Params(), m2.Params()
+		if len(p1) != len(p2) {
+			t.Fatalf("%s: param count", arch)
+		}
+		for i := range p1 {
+			for j := range p1[i].V.T.Data {
+				if p1[i].V.T.Data[j] != p2[i].V.T.Data[j] {
+					t.Fatalf("%s: param %s differs at %d", arch, p1[i].Name, j)
+				}
+			}
+		}
+		m3, _ := New(tinyCfg(arch), 8)
+		if p1[0].V.T.Data[0] == m3.Params()[0].V.T.Data[0] {
+			t.Errorf("%s: different seeds gave identical init", arch)
+		}
+	}
+}
+
+// TestDecoderCausality: logits at position i must not change when a later
+// target token changes (autoregressive consistency for greedy/beam
+// decoding).
+func TestDecoderCausality(t *testing.T) {
+	for _, arch := range []Arch{Transformer, ConvS2S, GRU} {
+		m, _ := New(tinyCfg(arch), 3)
+		src := []int{1, 4, 9, 2}
+		enc := m.Encode(src, false, nil)
+		a := m.DecodeLogits(enc, []int{1, 5, 6, 7}, false, nil)
+		b := m.DecodeLogits(enc, []int{1, 5, 6, 12}, false, nil)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 20; j++ {
+				if math.Abs(a.T.At(i, j)-b.T.At(i, j)) > 1e-9 {
+					t.Fatalf("%s: position %d depends on future token", arch, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEncoderInfluencesDecoder: different source sequences must produce
+// different logits (cross-attention works).
+func TestEncoderInfluencesDecoder(t *testing.T) {
+	for _, arch := range []Arch{Transformer, ConvS2S, GRU} {
+		m, _ := New(tinyCfg(arch), 4)
+		e1 := m.Encode([]int{1, 4, 2}, false, nil)
+		e2 := m.Encode([]int{1, 9, 2}, false, nil)
+		l1 := m.DecodeLogits(e1, []int{1, 5}, false, nil)
+		l2 := m.DecodeLogits(e2, []int{1, 5}, false, nil)
+		diff := 0.0
+		for i := range l1.T.Data {
+			diff += math.Abs(l1.T.Data[i] - l2.T.Data[i])
+		}
+		if diff < 1e-9 {
+			t.Errorf("%s: decoder ignores encoder", arch)
+		}
+	}
+}
+
+// TestGradientsReachAllParams: a single backward pass from the loss must
+// touch every parameter tensor.
+func TestGradientsReachAllParams(t *testing.T) {
+	for _, arch := range []Arch{Transformer, ConvS2S, GRU} {
+		m, _ := New(tinyCfg(arch), 5)
+		enc := m.Encode([]int{1, 4, 9, 2}, true, rand.New(rand.NewSource(1)))
+		logits := m.DecodeLogits(enc, []int{1, 5, 6}, true, rand.New(rand.NewSource(2)))
+		loss := autograd.CrossEntropy(logits, []int{5, 6, 2}, 0)
+		autograd.Backward(loss)
+		for _, p := range m.Params() {
+			if p.V.Grad.Norm() == 0 {
+				// Embedding rows for unused tokens legitimately have
+				// zero gradient; whole-tensor zero is the bug.
+				t.Errorf("%s: parameter %s received no gradient", arch, p.Name)
+			}
+		}
+	}
+}
+
+func TestParamNamesUnique(t *testing.T) {
+	for _, arch := range []Arch{Transformer, ConvS2S, GRU} {
+		cfg := tinyCfg(arch)
+		cfg.Layers = 2
+		m, _ := New(cfg, 6)
+		seen := map[string]bool{}
+		for _, p := range m.Params() {
+			if seen[p.Name] {
+				t.Errorf("%s: duplicate param name %s", arch, p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+}
+
+func TestCountParams(t *testing.T) {
+	m, _ := New(tinyCfg(Transformer), 1)
+	n := CountParams(m)
+	if n <= 0 {
+		t.Fatal("no params")
+	}
+	// Transformer must be bigger than ConvS2S at the same width (paper
+	// Table 3 shows tfm > convs2s in parameters for seq-less SDSS).
+	m2, _ := New(tinyCfg(ConvS2S), 1)
+	if CountParams(m2) >= n {
+		t.Logf("convs2s params %d vs tfm %d (informational)", CountParams(m2), n)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, arch := range []Arch{Transformer, ConvS2S, GRU} {
+		m, _ := New(tinyCfg(arch), 9)
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same forward output after reload.
+		src := []int{1, 7, 3, 2}
+		e1 := m.Encode(src, false, nil)
+		e2 := back.Encode(src, false, nil)
+		for i := range e1.T.Data {
+			if math.Abs(e1.T.Data[i]-e2.T.Data[i]) > 1e-12 {
+				t.Fatalf("%s: reloaded model diverges", arch)
+			}
+		}
+		if back.Config().Arch != arch {
+			t.Errorf("config lost: %v", back.Config())
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestPostLNVariant(t *testing.T) {
+	cfg := tinyCfg(Transformer)
+	cfg.PostLN = true
+	m, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := m.Encode([]int{1, 5, 2}, false, nil)
+	logits := m.DecodeLogits(enc, []int{1, 5}, false, nil)
+	if logits.T.Rows != 2 {
+		t.Fatal("post-LN forward broken")
+	}
+	for _, v := range logits.T.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in post-LN logits")
+		}
+	}
+}

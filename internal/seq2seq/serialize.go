@@ -1,0 +1,65 @@
+package seq2seq
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// wireTensor is the serialized form of one parameter tensor.
+type wireTensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// wireModel is the serialized form of a model: its configuration plus all
+// named parameters.
+type wireModel struct {
+	Cfg    Config
+	Params map[string]wireTensor
+}
+
+// Save writes the model configuration and parameters with gob encoding.
+func Save(w io.Writer, m Model) error {
+	wire := wireModel{Cfg: m.Config(), Params: map[string]wireTensor{}}
+	for _, p := range m.Params() {
+		if _, dup := wire.Params[p.Name]; dup {
+			return fmt.Errorf("seq2seq: duplicate parameter name %q", p.Name)
+		}
+		wire.Params[p.Name] = wireTensor{Rows: p.V.T.Rows, Cols: p.V.T.Cols, Data: p.V.T.Data}
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Load reads a model written by Save, reconstructing the architecture
+// from the stored configuration.
+func Load(r io.Reader) (Model, error) {
+	var wire wireModel
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("seq2seq: load: %w", err)
+	}
+	m, err := New(wire.Cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := restoreParams(m, wire.Params); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// restoreParams copies stored tensors into the model's parameters by name.
+func restoreParams(m Model, stored map[string]wireTensor) error {
+	for _, p := range m.Params() {
+		wt, ok := stored[p.Name]
+		if !ok {
+			return fmt.Errorf("seq2seq: missing parameter %q", p.Name)
+		}
+		if wt.Rows != p.V.T.Rows || wt.Cols != p.V.T.Cols {
+			return fmt.Errorf("seq2seq: parameter %q shape mismatch: stored %dx%d, model %dx%d",
+				p.Name, wt.Rows, wt.Cols, p.V.T.Rows, p.V.T.Cols)
+		}
+		copy(p.V.T.Data, wt.Data)
+	}
+	return nil
+}

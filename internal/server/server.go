@@ -1,0 +1,135 @@
+// Package server exposes a trained Recommender over HTTP with a small
+// JSON API, the deployment shape a database-as-a-service platform (the
+// paper's SQLShare setting) would embed:
+//
+//	POST /v1/recommend   {"sql": "...", "prev_sql": "...", "n": 3}
+//	  -> {"templates": [...], "fragments": {"table": [...], ...}}
+//	GET  /v1/healthz     -> {"status":"ok", ...}
+//
+// The handler is stateless per request and safe for concurrent use: model
+// inference only reads parameters.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/sqlast"
+)
+
+// RecommendRequest is the /v1/recommend input.
+type RecommendRequest struct {
+	// SQL is the user's current query Q_i (required).
+	SQL string `json:"sql"`
+	// PrevSQL optionally supplies Q_{i-1} for context-trained models.
+	PrevSQL string `json:"prev_sql,omitempty"`
+	// N bounds the number of templates and fragments per type
+	// (default 3, max 25).
+	N int `json:"n,omitempty"`
+	// Strategy selects the N-fragments search: "beam" (default),
+	// "diverse-beam" or "sampling".
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// RecommendResponse is the /v1/recommend output.
+type RecommendResponse struct {
+	Templates []string            `json:"templates"`
+	Fragments map[string][]string `json:"fragments"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server wires a Recommender into an http.Handler.
+type Server struct {
+	rec *core.Recommender
+	mux *http.ServeMux
+}
+
+// New builds the handler around a trained recommender.
+func New(rec *core.Recommender) *Server {
+	s := &Server{rec: rec, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"vocab":   s.rec.Vocab.Size(),
+		"classes": len(s.rec.Classifier.Classes),
+		"arch":    string(s.rec.Model.Config().Arch),
+	})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req RecommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "sql is required"})
+		return
+	}
+	n := req.N
+	if n <= 0 {
+		n = 3
+	}
+	if n > 25 {
+		n = 25
+	}
+	opts := core.DefaultNFragmentsOptions()
+	switch req.Strategy {
+	case "", "beam":
+	case "diverse-beam":
+		opts.Strategy = core.StrategyDiverseBeam
+	case "sampling":
+		opts.Strategy = core.StrategySampling
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown strategy %q", req.Strategy)})
+		return
+	}
+
+	var templates []string
+	var err error
+	if req.PrevSQL != "" {
+		templates, err = s.rec.NextTemplatesContext(req.PrevSQL, req.SQL, n)
+	} else {
+		templates, err = s.rec.NextTemplates(req.SQL, n)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: "cannot parse query: " + err.Error()})
+		return
+	}
+	frags, err := s.rec.NextFragments(req.SQL, n, opts)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := RecommendResponse{Templates: templates, Fragments: map[string][]string{}}
+	for _, kind := range sqlast.FragmentKinds {
+		if len(frags[kind]) > 0 {
+			resp.Fragments[kind.String()] = frags[kind]
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

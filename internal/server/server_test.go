@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/synth"
+)
+
+var (
+	testRecOnce sync.Once
+	testRec     *core.Recommender
+)
+
+// trainedRecommender builds one tiny trained recommender shared by all
+// server tests (training is the expensive part).
+func trainedRecommender(t *testing.T) *core.Recommender {
+	t.Helper()
+	testRecOnce.Do(func() {
+		prof := synth.SDSSProfile()
+		prof.Sessions = 50
+		wl := synth.Generate(prof, 11)
+		ds, err := core.Prepare(wl, core.DefaultPrepConfig())
+		if err != nil {
+			panic(err)
+		}
+		cfg := core.DefaultTrainConfig(seq2seq.Transformer)
+		cfg.SeqOpts.Epochs = 1
+		cfg.ClsOpts.Epochs = 1
+		cfg.MaxTrainPairs = 60
+		mcfg := seq2seq.DefaultConfig(seq2seq.Transformer, 0)
+		mcfg.DModel = 16
+		mcfg.FFHidden = 16
+		cfg.Model = &mcfg
+		rec, err := core.Train(ds, cfg)
+		if err != nil {
+			panic(err)
+		}
+		testRec = rec
+	})
+	return testRec
+}
+
+func post(t *testing.T, srv http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/recommend", bytes.NewBufferString(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := New(trainedRecommender(t))
+	w := post(t, srv, `{"sql": "SELECT ra, dec FROM PhotoObj WHERE ra > 180.0", "n": 2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp RecommendResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Templates) != 2 {
+		t.Errorf("templates: %v", resp.Templates)
+	}
+	for kind, names := range resp.Fragments {
+		if len(names) > 2 {
+			t.Errorf("%s: too many fragments %v", kind, names)
+		}
+	}
+}
+
+func TestRecommendWithContext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := New(trainedRecommender(t))
+	w := post(t, srv, `{"sql": "SELECT ra FROM PhotoObj", "prev_sql": "SELECT TOP 10 * FROM PhotoObj"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := New(trainedRecommender(t))
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"missing sql", `{}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"unparseable sql", `{"sql": "DROP TABLE x"}`, http.StatusUnprocessableEntity},
+		{"unknown strategy", `{"sql": "SELECT a FROM t", "strategy": "dfs"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if w := post(t, srv, c.body); w.Code != c.want {
+			t.Errorf("%s: status %d want %d (%s)", c.name, w.Code, c.want, w.Body.String())
+		}
+	}
+	// GET is rejected.
+	req := httptest.NewRequest(http.MethodGet, "/v1/recommend", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d", w.Code)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := New(trainedRecommender(t))
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("health status %d", w.Code)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["arch"] != "transformer" {
+		t.Errorf("health payload: %v", h)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := New(trainedRecommender(t))
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := post(t, srv, `{"sql": "SELECT ra FROM PhotoObj", "n": 1}`)
+			if w.Code != http.StatusOK {
+				errs <- w.Body.String()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("concurrent request failed: %s", e)
+	}
+}

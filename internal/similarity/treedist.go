@@ -1,0 +1,308 @@
+// Package similarity implements structural query-similarity measures.
+//
+// The paper's Example 2 argues that fragment-based similarity (QueRIE's
+// table/column vectors) can rank queries badly when what matters is the
+// *structure*: two nested top-k queries over different tables are closer
+// in intent than two flat queries sharing a table. This package provides
+// the structural complement: Zhang-Shasha tree edit distance over query
+// ASTs with fragment-insensitive labels (the same abstraction as
+// Template(Q)), plus a cheaper template-token Jaccard similarity. The
+// related session-recommendation work the paper cites ([34]) uses exactly
+// tree edit distance over session trees.
+package similarity
+
+import (
+	"repro/internal/sqlast"
+)
+
+// node is a labelled ordered tree distilled from a query AST. Fragment
+// identities (table/column/function names, literal values) are abstracted
+// to placeholder labels so the distance measures structure only.
+type node struct {
+	label    string
+	children []*node
+}
+
+// TreeFromQuery distills a parsed query into the labelled tree used by
+// EditDistance.
+func TreeFromQuery(s *sqlast.SelectStmt) *Tree {
+	return &Tree{root: buildSelect(s)}
+}
+
+// Tree is an immutable labelled ordered tree.
+type Tree struct{ root *node }
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int { return countNodes(t.root) }
+
+func countNodes(n *node) int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+func buildSelect(s *sqlast.SelectStmt) *node {
+	if s == nil {
+		return nil
+	}
+	root := &node{label: "SELECT"}
+	if s.Distinct {
+		root.children = append(root.children, &node{label: "DISTINCT"})
+	}
+	if s.Top != nil {
+		root.children = append(root.children, &node{label: "TOP"})
+	}
+	sel := &node{label: "SELECT-LIST"}
+	for _, it := range s.Columns {
+		sel.children = append(sel.children, buildExpr(it.Expr))
+	}
+	root.children = append(root.children, sel)
+	if s.Into != nil {
+		root.children = append(root.children, &node{label: "INTO"})
+	}
+	if len(s.From) > 0 {
+		from := &node{label: "FROM"}
+		for _, te := range s.From {
+			from.children = append(from.children, buildTable(te))
+		}
+		root.children = append(root.children, from)
+	}
+	if s.Where != nil {
+		root.children = append(root.children, &node{label: "WHERE", children: []*node{buildExpr(s.Where)}})
+	}
+	if len(s.GroupBy) > 0 {
+		g := &node{label: "GROUPBY"}
+		for _, e := range s.GroupBy {
+			g.children = append(g.children, buildExpr(e))
+		}
+		root.children = append(root.children, g)
+	}
+	if s.Having != nil {
+		root.children = append(root.children, &node{label: "HAVING", children: []*node{buildExpr(s.Having)}})
+	}
+	if len(s.OrderBy) > 0 {
+		o := &node{label: "ORDERBY"}
+		for _, it := range s.OrderBy {
+			lbl := "ASC"
+			if it.Desc {
+				lbl = "DESC"
+			}
+			o.children = append(o.children, &node{label: lbl, children: []*node{buildExpr(it.Expr)}})
+		}
+		root.children = append(root.children, o)
+	}
+	if s.SetOp != nil {
+		root.children = append(root.children, &node{label: s.SetOp.Op, children: []*node{buildSelect(s.SetOp.Right)}})
+	}
+	return root
+}
+
+func buildTable(te sqlast.TableExpr) *node {
+	switch t := te.(type) {
+	case *sqlast.TableRef:
+		return &node{label: "Table"}
+	case *sqlast.SubqueryRef:
+		return &node{label: "Derived", children: []*node{buildSelect(t.Select)}}
+	case *sqlast.JoinExpr:
+		return &node{label: "JOIN-" + t.Type, children: []*node{
+			buildTable(t.Left), buildTable(t.Right), buildExpr(t.On),
+		}}
+	default:
+		return &node{label: "Table"}
+	}
+}
+
+func buildExpr(e sqlast.Expr) *node {
+	switch x := e.(type) {
+	case nil:
+		return &node{label: "NIL"}
+	case *sqlast.ColumnRef:
+		return &node{label: "Column"}
+	case *sqlast.Star:
+		return &node{label: "Star"}
+	case *sqlast.NumberLit, *sqlast.StringLit, *sqlast.NullLit:
+		return &node{label: "Literal"}
+	case *sqlast.FuncCall:
+		n := &node{label: "Function"}
+		for _, a := range x.Args {
+			n.children = append(n.children, buildExpr(a))
+		}
+		return n
+	case *sqlast.CastExpr:
+		return &node{label: "Function", children: []*node{buildExpr(x.Expr)}}
+	case *sqlast.BinaryExpr:
+		return &node{label: "OP-" + x.Op, children: []*node{buildExpr(x.L), buildExpr(x.R)}}
+	case *sqlast.UnaryExpr:
+		return &node{label: "OP-" + x.Op, children: []*node{buildExpr(x.X)}}
+	case *sqlast.ParenExpr:
+		return buildExpr(x.X)
+	case *sqlast.InExpr:
+		n := &node{label: "IN"}
+		n.children = append(n.children, buildExpr(x.X))
+		if x.Select != nil {
+			n.children = append(n.children, buildSelect(x.Select))
+		} else {
+			for _, v := range x.List {
+				n.children = append(n.children, buildExpr(v))
+			}
+		}
+		return n
+	case *sqlast.ExistsExpr:
+		return &node{label: "EXISTS", children: []*node{buildSelect(x.Select)}}
+	case *sqlast.BetweenExpr:
+		return &node{label: "BETWEEN", children: []*node{buildExpr(x.X), buildExpr(x.Lo), buildExpr(x.Hi)}}
+	case *sqlast.LikeExpr:
+		return &node{label: "LIKE", children: []*node{buildExpr(x.X), buildExpr(x.Pattern)}}
+	case *sqlast.IsNullExpr:
+		return &node{label: "ISNULL", children: []*node{buildExpr(x.X)}}
+	case *sqlast.CaseExpr:
+		n := &node{label: "CASE"}
+		if x.Operand != nil {
+			n.children = append(n.children, buildExpr(x.Operand))
+		}
+		for _, w := range x.Whens {
+			n.children = append(n.children, &node{label: "WHEN", children: []*node{buildExpr(w.Cond), buildExpr(w.Then)}})
+		}
+		if x.Else != nil {
+			n.children = append(n.children, &node{label: "ELSE", children: []*node{buildExpr(x.Else)}})
+		}
+		return n
+	case *sqlast.SubqueryExpr:
+		return &node{label: "Subquery", children: []*node{buildSelect(x.Select)}}
+	default:
+		return &node{label: "EXPR"}
+	}
+}
+
+// EditDistance computes the Zhang-Shasha ordered tree edit distance
+// between two trees with unit insert/delete/rename costs.
+func EditDistance(a, b *Tree) int {
+	ta := flatten(a.root)
+	tb := flatten(b.root)
+	if len(ta.labels) == 0 {
+		return len(tb.labels)
+	}
+	if len(tb.labels) == 0 {
+		return len(ta.labels)
+	}
+	td := make([][]int, len(ta.labels)+1)
+	for i := range td {
+		td[i] = make([]int, len(tb.labels)+1)
+	}
+	for _, i := range ta.keyroots {
+		for _, j := range tb.keyroots {
+			treeDist(ta, tb, i, j, td)
+		}
+	}
+	return td[len(ta.labels)][len(tb.labels)]
+}
+
+// flat holds a tree in Zhang-Shasha post-order form.
+type flat struct {
+	labels   []string // post-order labels, 1-based in the algorithm
+	lmld     []int    // leftmost leaf descendant index per node (1-based)
+	keyroots []int
+}
+
+func flatten(root *node) *flat {
+	f := &flat{}
+	var walk func(n *node) int // returns lmld of n
+	walk = func(n *node) int {
+		lm := 0
+		for i, c := range n.children {
+			l := walk(c)
+			if i == 0 {
+				lm = l
+			}
+		}
+		f.labels = append(f.labels, n.label)
+		idx := len(f.labels) // 1-based
+		if len(n.children) == 0 {
+			lm = idx
+		}
+		f.lmld = append(f.lmld, lm)
+		return lm
+	}
+	if root != nil {
+		walk(root)
+	}
+	// keyroots: nodes with no left sibling on the path (i.e. nodes whose
+	// lmld differs from their parent chain) — standard definition: k is a
+	// keyroot if there is no k' > k with lmld(k') == lmld(k).
+	seen := map[int]bool{}
+	for i := len(f.labels); i >= 1; i-- {
+		if !seen[f.lmld[i-1]] {
+			f.keyroots = append([]int{i}, f.keyroots...)
+			seen[f.lmld[i-1]] = true
+		}
+	}
+	return f
+}
+
+func treeDist(ta, tb *flat, i, j int, td [][]int) {
+	li, lj := ta.lmld[i-1], tb.lmld[j-1]
+	m := i - li + 2
+	n := j - lj + 2
+	fd := make([][]int, m)
+	for r := range fd {
+		fd[r] = make([]int, n)
+	}
+	for r := 1; r < m; r++ {
+		fd[r][0] = fd[r-1][0] + 1
+	}
+	for c := 1; c < n; c++ {
+		fd[0][c] = fd[0][c-1] + 1
+	}
+	for r := 1; r < m; r++ {
+		for c := 1; c < n; c++ {
+			ri := li + r - 1 // node index in ta
+			cj := lj + c - 1 // node index in tb
+			if ta.lmld[ri-1] == li && tb.lmld[cj-1] == lj {
+				rename := 0
+				if ta.labels[ri-1] != tb.labels[cj-1] {
+					rename = 1
+				}
+				fd[r][c] = min3(
+					fd[r-1][c]+1,
+					fd[r][c-1]+1,
+					fd[r-1][c-1]+rename,
+				)
+				td[ri][cj] = fd[r][c]
+			} else {
+				fd[r][c] = min3(
+					fd[r-1][c]+1,
+					fd[r][c-1]+1,
+					fd[ta.lmld[ri-1]-li][tb.lmld[cj-1]-lj]+td[ri][cj],
+				)
+			}
+		}
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Normalized returns the edit distance scaled into [0, 1] by the larger
+// tree size (0 = identical structure, 1 = nothing shared).
+func Normalized(a, b *Tree) float64 {
+	max := a.Size()
+	if b.Size() > max {
+		max = b.Size()
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(EditDistance(a, b)) / float64(max)
+}

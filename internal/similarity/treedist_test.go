@@ -1,0 +1,158 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlparse"
+)
+
+func tree(t *testing.T, sql string) *Tree {
+	t.Helper()
+	s, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return TreeFromQuery(s)
+}
+
+func TestIdenticalStructureZeroDistance(t *testing.T) {
+	// Different fragments, same structure: distance must be 0.
+	a := tree(t, "SELECT ra FROM PhotoObj WHERE dec > 1")
+	b := tree(t, "SELECT z FROM SpecObj WHERE plate > 300")
+	if d := EditDistance(a, b); d != 0 {
+		t.Errorf("structural twins distance: %d", d)
+	}
+	if Normalized(a, b) != 0 {
+		t.Error("normalized should be 0")
+	}
+}
+
+func TestSelfDistanceZero(t *testing.T) {
+	a := tree(t, "SELECT TOP 5 a, COUNT(*) FROM t JOIN u ON t.id = u.id GROUP BY a ORDER BY COUNT(*) DESC")
+	if d := EditDistance(a, a); d != 0 {
+		t.Errorf("self distance: %d", d)
+	}
+}
+
+func TestSingleInsertionCostsOne(t *testing.T) {
+	a := tree(t, "SELECT a FROM t")
+	b := tree(t, "SELECT a, b FROM t")
+	if d := EditDistance(a, b); d != 1 {
+		t.Errorf("one extra column: distance %d", d)
+	}
+}
+
+func TestDistinctCostsOne(t *testing.T) {
+	a := tree(t, "SELECT a FROM t")
+	b := tree(t, "SELECT DISTINCT a FROM t")
+	if d := EditDistance(a, b); d != 1 {
+		t.Errorf("distinct: distance %d", d)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM t",
+		"SELECT a, b FROM t WHERE c > 1",
+		"SELECT COUNT(*) FROM t GROUP BY a",
+		"SELECT TOP 10 a FROM t JOIN u ON t.id = u.id ORDER BY a DESC",
+	}
+	for i := range queries {
+		for j := range queries {
+			a, b := tree(t, queries[i]), tree(t, queries[j])
+			if EditDistance(a, b) != EditDistance(b, a) {
+				t.Errorf("asymmetric: %q vs %q", queries[i], queries[j])
+			}
+		}
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	qs := []string{
+		"SELECT a FROM t",
+		"SELECT a, b FROM t WHERE c > 1",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+	}
+	trees := make([]*Tree, len(qs))
+	for i, q := range qs {
+		trees[i] = tree(t, q)
+	}
+	for i := range trees {
+		for j := range trees {
+			for k := range trees {
+				dij := EditDistance(trees[i], trees[j])
+				dik := EditDistance(trees[i], trees[k])
+				dkj := EditDistance(trees[k], trees[j])
+				if dij > dik+dkj {
+					t.Errorf("triangle violated: d(%d,%d)=%d > %d+%d", i, j, dij, dik, dkj)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperExample2: structural similarity must rank a structurally-twin
+// query (different table) closer than a same-table query with different
+// structure — the exact scenario of the paper's Example 2 (Q4 vs Q5 vs Q6).
+func TestPaperExample2(t *testing.T) {
+	// Q6-like: nested top-k over SpecObj.
+	q6 := tree(t, `SELECT TOP 10 z FROM SpecObj WHERE z IN (SELECT z FROM SpecPhoto WHERE z > 1) ORDER BY z DESC`)
+	// Q5-like: same structure, different table (SpecPhoto vs SpecObj).
+	q5 := tree(t, `SELECT TOP 10 mag FROM PhotoTag WHERE mag IN (SELECT mag FROM Neighbors WHERE mag > 2) ORDER BY mag DESC`)
+	// Q4-like: same tables as Q6 but flat structure.
+	q4 := tree(t, `SELECT z, ra, dec FROM SpecObj`)
+	dStruct := EditDistance(q6, q5)
+	dFlat := EditDistance(q6, q4)
+	if dStruct >= dFlat {
+		t.Errorf("structural twin should be closer: twin %d vs flat %d", dStruct, dFlat)
+	}
+}
+
+func TestDistanceGrowsWithDivergence(t *testing.T) {
+	base := tree(t, "SELECT a FROM t")
+	near := tree(t, "SELECT a FROM t WHERE b > 1")
+	far := tree(t, "SELECT COUNT(*), a FROM t JOIN u ON t.id = u.id WHERE b > 1 AND c LIKE 'x' GROUP BY a ORDER BY a DESC")
+	dn, df := EditDistance(base, near), EditDistance(base, far)
+	if dn >= df {
+		t.Errorf("distance ordering: near %d far %d", dn, df)
+	}
+}
+
+func TestTreeSize(t *testing.T) {
+	a := tree(t, "SELECT a FROM t")
+	// SELECT, SELECT-LIST, Column, FROM, Table = 5 nodes.
+	if a.Size() != 5 {
+		t.Errorf("size: %d", a.Size())
+	}
+}
+
+// Property: distance is non-negative and bounded by the sum of sizes.
+func TestDistanceBoundsProperty(t *testing.T) {
+	pool := []string{
+		"SELECT a FROM t",
+		"SELECT * FROM u WHERE x = 1",
+		"SELECT COUNT(*) FROM v GROUP BY y",
+		"SELECT TOP 3 a, b FROM t ORDER BY a",
+		"SELECT a FROM t WHERE b IN (SELECT b FROM u)",
+	}
+	trees := make([]*Tree, len(pool))
+	var err error
+	for i, q := range pool {
+		s, perr := sqlparse.Parse(q)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		trees[i] = TreeFromQuery(s)
+	}
+	_ = err
+	f := func(i, j uint8) bool {
+		a := trees[int(i)%len(trees)]
+		b := trees[int(j)%len(trees)]
+		d := EditDistance(a, b)
+		return d >= 0 && d <= a.Size()+b.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,342 @@
+// Package sqlast defines the abstract syntax tree for the SQL subset used
+// in the SDSS and SQLShare workloads, plus the two derived artifacts the
+// recommendation pipeline needs:
+//
+//   - Template(Q): the AST with tables, columns, functions and literals
+//     replaced by placeholders and aliases removed (paper Definition 5).
+//   - Fragments(Q): the sets tables(Q), columns(Q), functions(Q) and
+//     literals(Q) (paper Definition 4).
+package sqlast
+
+// Node is implemented by every AST node.
+type Node interface{ node() }
+
+// Statement is a top-level SQL statement. SelectStmt is the only statement
+// produced by the parser today; the interface leaves room for DML.
+type Statement interface {
+	Node
+	stmt()
+}
+
+// SelectStmt is a SELECT query, optionally carrying a trailing set
+// operation (UNION/EXCEPT/INTERSECT) chained through SetOp.
+type SelectStmt struct {
+	Distinct bool
+	Top      *TopClause
+	Columns  []SelectItem
+	Into     *TableRef
+	From     []TableExpr
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	SetOp    *SetOp
+}
+
+func (*SelectStmt) node() {}
+func (*SelectStmt) stmt() {}
+
+// TopClause is the T-SQL TOP n [PERCENT] row limiter.
+type TopClause struct {
+	Count   Expr
+	Percent bool
+}
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SetOp chains a set operation onto a SelectStmt.
+type SetOp struct {
+	Op    string // "UNION", "EXCEPT", "INTERSECT"
+	All   bool
+	Right *SelectStmt
+}
+
+// TableExpr is a FROM-clause production.
+type TableExpr interface {
+	Node
+	tableExpr()
+}
+
+// TableRef is a (possibly schema-qualified) table or view name with an
+// optional alias.
+type TableRef struct {
+	Name  string // full dotted name as written, e.g. "dbo.PhotoObj"
+	Alias string
+}
+
+func (*TableRef) node()      {}
+func (*TableRef) tableExpr() {}
+
+// SubqueryRef is a parenthesized subquery in FROM with an optional alias.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (*SubqueryRef) node()      {}
+func (*SubqueryRef) tableExpr() {}
+
+// JoinExpr is an ANSI join between two table expressions.
+type JoinExpr struct {
+	Type  string // "INNER", "LEFT", "RIGHT", "FULL", "CROSS"
+	Left  TableExpr
+	Right TableExpr
+	On    Expr // nil for CROSS joins
+}
+
+func (*JoinExpr) node()      {}
+func (*JoinExpr) tableExpr() {}
+
+// Expr is a scalar or boolean expression.
+type Expr interface {
+	Node
+	expr()
+}
+
+// ColumnRef is a column reference, optionally qualified by a table name or
+// alias.
+type ColumnRef struct {
+	Qualifier string
+	Name      string
+}
+
+func (*ColumnRef) node() {}
+func (*ColumnRef) expr() {}
+
+// Star is "*" or "alias.*" in a select list or COUNT(*).
+type Star struct{ Qualifier string }
+
+func (*Star) node() {}
+func (*Star) expr() {}
+
+// NumberLit is a numeric literal, original spelling preserved.
+type NumberLit struct{ Text string }
+
+func (*NumberLit) node() {}
+func (*NumberLit) expr() {}
+
+// StringLit is a string literal including its quotes.
+type StringLit struct{ Text string }
+
+func (*StringLit) node() {}
+func (*StringLit) expr() {}
+
+// NullLit is the NULL keyword used as a value.
+type NullLit struct{}
+
+func (*NullLit) node() {}
+func (*NullLit) expr() {}
+
+// FuncCall is a function invocation. Star marks COUNT(*)-style calls.
+type FuncCall struct {
+	Name     string
+	Distinct bool
+	Star     bool
+	Args     []Expr
+}
+
+func (*FuncCall) node() {}
+func (*FuncCall) expr() {}
+
+// CastExpr is CAST(expr AS type). CONVERT(type, expr) is normalized to the
+// same node with FromConvert set so rendering can round-trip.
+type CastExpr struct {
+	Expr        Expr
+	Type        string
+	FromConvert bool
+}
+
+func (*CastExpr) node() {}
+func (*CastExpr) expr() {}
+
+// BinaryExpr is a binary operator application (arithmetic, comparison,
+// AND/OR).
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinaryExpr) node() {}
+func (*BinaryExpr) expr() {}
+
+// UnaryExpr is NOT x or -x / +x / ~x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+func (*UnaryExpr) node() {}
+func (*UnaryExpr) expr() {}
+
+// ParenExpr preserves explicit grouping parentheses.
+type ParenExpr struct{ X Expr }
+
+func (*ParenExpr) node() {}
+func (*ParenExpr) expr() {}
+
+// InExpr is "x [NOT] IN (list)" or "x [NOT] IN (subquery)".
+type InExpr struct {
+	X      Expr
+	Not    bool
+	List   []Expr
+	Select *SelectStmt
+}
+
+func (*InExpr) node() {}
+func (*InExpr) expr() {}
+
+// ExistsExpr is "[NOT] EXISTS (subquery)".
+type ExistsExpr struct {
+	Not    bool
+	Select *SelectStmt
+}
+
+func (*ExistsExpr) node() {}
+func (*ExistsExpr) expr() {}
+
+// BetweenExpr is "x [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	X      Expr
+	Not    bool
+	Lo, Hi Expr
+}
+
+func (*BetweenExpr) node() {}
+func (*BetweenExpr) expr() {}
+
+// LikeExpr is "x [NOT] LIKE pattern".
+type LikeExpr struct {
+	X       Expr
+	Not     bool
+	Pattern Expr
+}
+
+func (*LikeExpr) node() {}
+func (*LikeExpr) expr() {}
+
+// IsNullExpr is "x IS [NOT] NULL".
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNullExpr) node() {}
+func (*IsNullExpr) expr() {}
+
+// WhenClause is one WHEN ... THEN ... arm of a CASE expression.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is a searched or simple CASE expression.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr
+}
+
+func (*CaseExpr) node() {}
+func (*CaseExpr) expr() {}
+
+// SubqueryExpr is a scalar subquery used in expression position.
+type SubqueryExpr struct{ Select *SelectStmt }
+
+func (*SubqueryExpr) node() {}
+func (*SubqueryExpr) expr() {}
+
+// Visitor receives every node during a Walk traversal. Returning false
+// stops descent into the node's children.
+type Visitor func(Node) bool
+
+// Walk traverses the AST in depth-first pre-order.
+func Walk(n Node, v Visitor) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *SelectStmt:
+		if x.Top != nil {
+			Walk(x.Top.Count, v)
+		}
+		for _, it := range x.Columns {
+			Walk(it.Expr, v)
+		}
+		if x.Into != nil {
+			Walk(x.Into, v)
+		}
+		for _, te := range x.From {
+			Walk(te, v)
+		}
+		Walk(x.Where, v)
+		for _, g := range x.GroupBy {
+			Walk(g, v)
+		}
+		Walk(x.Having, v)
+		for _, o := range x.OrderBy {
+			Walk(o.Expr, v)
+		}
+		if x.SetOp != nil {
+			Walk(x.SetOp.Right, v)
+		}
+	case *SubqueryRef:
+		Walk(x.Select, v)
+	case *JoinExpr:
+		Walk(x.Left, v)
+		Walk(x.Right, v)
+		Walk(x.On, v)
+	case *FuncCall:
+		for _, a := range x.Args {
+			Walk(a, v)
+		}
+	case *CastExpr:
+		Walk(x.Expr, v)
+	case *BinaryExpr:
+		Walk(x.L, v)
+		Walk(x.R, v)
+	case *UnaryExpr:
+		Walk(x.X, v)
+	case *ParenExpr:
+		Walk(x.X, v)
+	case *InExpr:
+		Walk(x.X, v)
+		for _, e := range x.List {
+			Walk(e, v)
+		}
+		if x.Select != nil {
+			Walk(x.Select, v)
+		}
+	case *ExistsExpr:
+		Walk(x.Select, v)
+	case *BetweenExpr:
+		Walk(x.X, v)
+		Walk(x.Lo, v)
+		Walk(x.Hi, v)
+	case *LikeExpr:
+		Walk(x.X, v)
+		Walk(x.Pattern, v)
+	case *IsNullExpr:
+		Walk(x.X, v)
+	case *CaseExpr:
+		Walk(x.Operand, v)
+		for _, w := range x.Whens {
+			Walk(w.Cond, v)
+			Walk(w.Then, v)
+		}
+		Walk(x.Else, v)
+	case *SubqueryExpr:
+		Walk(x.Select, v)
+	case *TableRef, *ColumnRef, *Star, *NumberLit, *StringLit, *NullLit:
+		// leaves
+	}
+}

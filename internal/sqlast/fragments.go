@@ -1,0 +1,322 @@
+package sqlast
+
+import (
+	"sort"
+	"strings"
+)
+
+// FragmentKind distinguishes the four fragment types of Definition 4.
+type FragmentKind int
+
+// Fragment kinds.
+const (
+	FragTable FragmentKind = iota
+	FragColumn
+	FragFunction
+	FragLiteral
+)
+
+// String names the fragment kind as used in evaluation tables.
+func (k FragmentKind) String() string {
+	switch k {
+	case FragTable:
+		return "table"
+	case FragColumn:
+		return "column"
+	case FragFunction:
+		return "function"
+	case FragLiteral:
+		return "literal"
+	default:
+		return "unknown"
+	}
+}
+
+// FragmentKinds lists all kinds in the order the paper reports them.
+var FragmentKinds = []FragmentKind{FragTable, FragColumn, FragFunction, FragLiteral}
+
+// FragmentSet holds the four fragment sets of a query. Elements are stored
+// upper-cased so fragment identity is case-insensitive, matching SQL
+// semantics in both workloads.
+type FragmentSet struct {
+	Tables    map[string]bool
+	Columns   map[string]bool
+	Functions map[string]bool
+	Literals  map[string]bool
+}
+
+// NewFragmentSet returns an empty fragment set.
+func NewFragmentSet() *FragmentSet {
+	return &FragmentSet{
+		Tables:    map[string]bool{},
+		Columns:   map[string]bool{},
+		Functions: map[string]bool{},
+		Literals:  map[string]bool{},
+	}
+}
+
+// ByKind returns the set for one fragment kind.
+func (fs *FragmentSet) ByKind(k FragmentKind) map[string]bool {
+	switch k {
+	case FragTable:
+		return fs.Tables
+	case FragColumn:
+		return fs.Columns
+	case FragFunction:
+		return fs.Functions
+	default:
+		return fs.Literals
+	}
+}
+
+// Add inserts a fragment of the given kind, normalizing case.
+func (fs *FragmentSet) Add(k FragmentKind, s string) {
+	if s == "" {
+		return
+	}
+	fs.ByKind(k)[strings.ToUpper(s)] = true
+}
+
+// All returns every fragment as "kind:name" strings, sorted; useful for
+// building feature vectors (QueRIE baseline) and for tests.
+func (fs *FragmentSet) All() []string {
+	var out []string
+	for _, k := range FragmentKinds {
+		for s := range fs.ByKind(k) {
+			out = append(out, k.String()+":"+s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sorted returns the sorted members of one kind.
+func (fs *FragmentSet) Sorted(k FragmentKind) []string {
+	m := fs.ByKind(k)
+	out := make([]string, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total number of fragments across kinds.
+func (fs *FragmentSet) Size() int {
+	n := 0
+	for _, k := range FragmentKinds {
+		n += len(fs.ByKind(k))
+	}
+	return n
+}
+
+// Fragments extracts tables(Q), columns(Q), functions(Q) and literals(Q)
+// from a parsed query (paper Definition 4). Aliases resolve to their table
+// name: a qualifier that matches a declared alias contributes the aliased
+// table, and alias declarations themselves are not fragments. CAST and
+// CONVERT count as functions (paper Example 6 lists CAST in functions(Q)).
+// NULL used as a value counts as a literal, matching Example 6 where
+// literals(Q) = {null}.
+func Fragments(s *SelectStmt) *FragmentSet {
+	fs := NewFragmentSet()
+	collect(s, fs, map[string]string{})
+	return fs
+}
+
+// collect walks one query scope. aliasScope maps upper-cased aliases to
+// table names visible at this point (outer scopes included, inner wins).
+func collect(s *SelectStmt, fs *FragmentSet, outer map[string]string) {
+	if s == nil {
+		return
+	}
+	scope := make(map[string]string, len(outer)+4)
+	for k, v := range outer {
+		scope[k] = v
+	}
+	var declare func(te TableExpr)
+	declare = func(te TableExpr) {
+		switch t := te.(type) {
+		case *TableRef:
+			fs.Add(FragTable, t.Name)
+			if t.Alias != "" {
+				scope[strings.ToUpper(t.Alias)] = t.Name
+			}
+		case *SubqueryRef:
+			if t.Alias != "" {
+				scope[strings.ToUpper(t.Alias)] = "" // derived table: qualifier is not a base table
+			}
+		case *JoinExpr:
+			declare(t.Left)
+			declare(t.Right)
+		}
+	}
+	for _, te := range s.From {
+		declare(te)
+	}
+	if s.Into != nil {
+		fs.Add(FragTable, s.Into.Name)
+	}
+
+	var visitExpr func(e Expr)
+	visitSub := func(sub *SelectStmt) { collect(sub, fs, scope) }
+	visitExpr = func(e Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ColumnRef:
+			fs.Add(FragColumn, x.Name)
+			if x.Qualifier != "" {
+				if t, ok := scope[strings.ToUpper(x.Qualifier)]; ok {
+					fs.Add(FragTable, t)
+				} else {
+					// Qualifier is a direct table name.
+					fs.Add(FragTable, x.Qualifier)
+				}
+			}
+		case *Star:
+			if x.Qualifier != "" {
+				if t, ok := scope[strings.ToUpper(x.Qualifier)]; ok {
+					fs.Add(FragTable, t)
+				} else {
+					fs.Add(FragTable, x.Qualifier)
+				}
+			}
+		case *NumberLit:
+			fs.Add(FragLiteral, x.Text)
+		case *StringLit:
+			fs.Add(FragLiteral, x.Text)
+		case *NullLit:
+			fs.Add(FragLiteral, "NULL")
+		case *FuncCall:
+			fs.Add(FragFunction, x.Name)
+			for _, a := range x.Args {
+				visitExpr(a)
+			}
+		case *CastExpr:
+			if x.FromConvert {
+				fs.Add(FragFunction, "CONVERT")
+			} else {
+				fs.Add(FragFunction, "CAST")
+			}
+			visitExpr(x.Expr)
+		case *BinaryExpr:
+			visitExpr(x.L)
+			visitExpr(x.R)
+		case *UnaryExpr:
+			visitExpr(x.X)
+		case *ParenExpr:
+			visitExpr(x.X)
+		case *InExpr:
+			visitExpr(x.X)
+			for _, v := range x.List {
+				visitExpr(v)
+			}
+			if x.Select != nil {
+				visitSub(x.Select)
+			}
+		case *ExistsExpr:
+			visitSub(x.Select)
+		case *BetweenExpr:
+			visitExpr(x.X)
+			visitExpr(x.Lo)
+			visitExpr(x.Hi)
+		case *LikeExpr:
+			visitExpr(x.X)
+			visitExpr(x.Pattern)
+		case *IsNullExpr:
+			visitExpr(x.X)
+		case *CaseExpr:
+			visitExpr(x.Operand)
+			for _, w := range x.Whens {
+				visitExpr(w.Cond)
+				visitExpr(w.Then)
+			}
+			visitExpr(x.Else)
+		case *SubqueryExpr:
+			visitSub(x.Select)
+		}
+	}
+
+	if s.Top != nil {
+		visitExpr(s.Top.Count)
+	}
+	for _, it := range s.Columns {
+		visitExpr(it.Expr)
+	}
+	var visitTE func(te TableExpr)
+	visitTE = func(te TableExpr) {
+		switch t := te.(type) {
+		case *SubqueryRef:
+			visitSub(t.Select)
+		case *JoinExpr:
+			visitTE(t.Left)
+			visitTE(t.Right)
+			visitExpr(t.On)
+		}
+	}
+	for _, te := range s.From {
+		visitTE(te)
+	}
+	visitExpr(s.Where)
+	for _, g := range s.GroupBy {
+		visitExpr(g)
+	}
+	visitExpr(s.Having)
+	for _, o := range s.OrderBy {
+		visitExpr(o.Expr)
+	}
+	if s.SetOp != nil {
+		collect(s.SetOp.Right, fs, scope)
+	}
+}
+
+// SyntacticProperties are the six pair-level measurements of Section 5.3.3:
+// table count, selected columns, predicate count, predicate columns,
+// function count and word count.
+type SyntacticProperties struct {
+	TableCount      int
+	SelectedColumns int
+	PredicateCount  int
+	PredicateCols   int
+	FunctionCount   int
+	WordCount       int
+}
+
+// Properties computes the six syntactic properties over a parsed query.
+// WordCount is the number of lexical tokens in the rendered SQL.
+func Properties(s *SelectStmt) SyntacticProperties {
+	var p SyntacticProperties
+	Walk(s, func(n Node) bool {
+		switch x := n.(type) {
+		case *TableRef:
+			p.TableCount++
+		case *FuncCall:
+			p.FunctionCount++
+		case *CastExpr:
+			p.FunctionCount++
+		case *BinaryExpr:
+			switch x.Op {
+			case "=", "<>", "!=", "<", ">", "<=", ">=":
+				p.PredicateCount++
+				if _, ok := x.L.(*ColumnRef); ok {
+					p.PredicateCols++
+				}
+				if _, ok := x.R.(*ColumnRef); ok {
+					p.PredicateCols++
+				}
+			}
+		case *LikeExpr, *BetweenExpr, *InExpr, *IsNullExpr, *ExistsExpr:
+			p.PredicateCount++
+		}
+		return true
+	})
+	for _, it := range s.Columns {
+		switch it.Expr.(type) {
+		case *ColumnRef, *Star:
+			p.SelectedColumns++
+		default:
+			p.SelectedColumns++ // expressions still produce one output column
+		}
+	}
+	p.WordCount = len(strings.Fields(RenderSQLString(s)))
+	return p
+}

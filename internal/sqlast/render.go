@@ -1,0 +1,412 @@
+package sqlast
+
+import (
+	"sort"
+	"strings"
+)
+
+// RenderMode controls how fragments are spelled during rendering.
+type RenderMode int
+
+const (
+	// RenderSQL reproduces a normalized SQL statement with original
+	// fragment names (aliases resolved to their table names, literals
+	// kept).
+	RenderSQL RenderMode = iota
+	// RenderTemplate replaces tables, columns, function names and
+	// literals with the placeholders Table, Column, Function and Literal
+	// and removes aliases (paper Definition 5).
+	RenderTemplate
+)
+
+// renderer carries rendering state. aliases maps alias (upper-cased) to the
+// table name it stands for, per enclosing query scope; alias maps nest.
+type renderer struct {
+	mode    RenderMode
+	sb      strings.Builder
+	aliases []map[string]string
+}
+
+// RenderSQLString renders the statement as normalized SQL with aliases
+// resolved to table names (paper Section 5.4.1: aliases are replaced with
+// the corresponding table name).
+func RenderSQLString(s *SelectStmt) string {
+	r := &renderer{mode: RenderSQL}
+	r.selectStmt(s)
+	return r.sb.String()
+}
+
+// TemplateString renders the template statement of the query (paper
+// Figure 5): fragments become placeholders and aliases are removed. Two
+// queries share a template class iff their TemplateString values are equal.
+//
+// Following the paper, non-structural differences are canonicalized away:
+// spacing and indentation do not matter (rendering is canonical), and the
+// order of commutative clauses (select list items, AND/OR chains, GROUP BY
+// keys) is normalized by sorting the rendered arms.
+func TemplateString(s *SelectStmt) string {
+	r := &renderer{mode: RenderTemplate}
+	r.selectStmt(s)
+	return r.sb.String()
+}
+
+func (r *renderer) w(parts ...string) {
+	for _, p := range parts {
+		r.sb.WriteString(p)
+	}
+}
+
+func (r *renderer) pushScope(s *SelectStmt) {
+	m := map[string]string{}
+	var collect func(te TableExpr)
+	collect = func(te TableExpr) {
+		switch t := te.(type) {
+		case *TableRef:
+			if t.Alias != "" {
+				m[strings.ToUpper(t.Alias)] = t.Name
+			}
+		case *SubqueryRef:
+			// Subquery aliases have no table name; they resolve to
+			// themselves so qualified columns keep a stable spelling.
+			if t.Alias != "" {
+				m[strings.ToUpper(t.Alias)] = t.Alias
+			}
+		case *JoinExpr:
+			collect(t.Left)
+			collect(t.Right)
+		}
+	}
+	for _, te := range s.From {
+		collect(te)
+	}
+	r.aliases = append(r.aliases, m)
+}
+
+func (r *renderer) popScope() { r.aliases = r.aliases[:len(r.aliases)-1] }
+
+// resolveQualifier maps an alias to its table name, searching innermost
+// scope outward. Unknown qualifiers are returned unchanged (they are
+// direct table names).
+func (r *renderer) resolveQualifier(q string) string {
+	up := strings.ToUpper(q)
+	for i := len(r.aliases) - 1; i >= 0; i-- {
+		if t, ok := r.aliases[i][up]; ok {
+			return t
+		}
+	}
+	return q
+}
+
+// sortArms renders each part independently and joins them sorted, used to
+// canonicalize commutative clause order in template mode. In SQL mode the
+// original order is kept.
+func (r *renderer) commaList(render func(int), n int, canonical bool) {
+	if !canonical || r.mode != RenderTemplate {
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				r.w(", ")
+			}
+			render(i)
+		}
+		return
+	}
+	parts := make([]string, n)
+	outer := r.sb
+	for i := 0; i < n; i++ {
+		r.sb = strings.Builder{}
+		render(i)
+		parts[i] = r.sb.String()
+	}
+	r.sb = outer
+	sort.Strings(parts)
+	r.w(strings.Join(parts, ", "))
+}
+
+func (r *renderer) selectStmt(s *SelectStmt) {
+	r.pushScope(s)
+	defer r.popScope()
+
+	r.w("SELECT ")
+	if s.Distinct {
+		r.w("DISTINCT ")
+	}
+	if s.Top != nil {
+		r.w("TOP ")
+		r.expr(s.Top.Count)
+		if s.Top.Percent {
+			r.w(" PERCENT")
+		}
+		r.w(" ")
+	}
+	// Select-item aliases are dropped in both modes: resolved at use
+	// sites in SQL mode, removed in template mode (Definition 5).
+	r.commaList(func(i int) { r.expr(s.Columns[i].Expr) }, len(s.Columns), true)
+
+	if s.Into != nil {
+		r.w(" INTO ")
+		r.tableName(s.Into.Name)
+	}
+	if len(s.From) > 0 {
+		r.w(" FROM ")
+		for i, te := range s.From {
+			if i > 0 {
+				r.w(", ")
+			}
+			r.tableExpr(te)
+		}
+	}
+	if s.Where != nil {
+		r.w(" WHERE ")
+		r.boolChain(s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		r.w(" GROUP BY ")
+		r.commaList(func(i int) { r.expr(s.GroupBy[i]) }, len(s.GroupBy), true)
+	}
+	if s.Having != nil {
+		r.w(" HAVING ")
+		r.boolChain(s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		r.w(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				r.w(", ")
+			}
+			r.expr(o.Expr)
+			if o.Desc {
+				r.w(" DESC")
+			}
+		}
+	}
+	if s.SetOp != nil {
+		r.w(" ", s.SetOp.Op)
+		if s.SetOp.All {
+			r.w(" ALL")
+		}
+		r.w(" ")
+		r.selectStmt(s.SetOp.Right)
+	}
+}
+
+// boolChain renders a top-level boolean expression. In template mode,
+// flat chains of the same connective (AND / OR) are sorted to ignore
+// condition order, per the paper's canonicalization of templates.
+func (r *renderer) boolChain(e Expr) {
+	be, ok := e.(*BinaryExpr)
+	if !ok || (be.Op != "AND" && be.Op != "OR") || r.mode != RenderTemplate {
+		r.expr(e)
+		return
+	}
+	op := be.Op
+	var arms []Expr
+	var flatten func(x Expr)
+	flatten = func(x Expr) {
+		if b, ok := x.(*BinaryExpr); ok && b.Op == op {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		arms = append(arms, x)
+	}
+	flatten(be)
+	parts := make([]string, len(arms))
+	outer := r.sb
+	for i, a := range arms {
+		r.sb = strings.Builder{}
+		r.expr(a)
+		parts[i] = r.sb.String()
+	}
+	r.sb = outer
+	sort.Strings(parts)
+	r.w(strings.Join(parts, " "+op+" "))
+}
+
+func (r *renderer) tableExpr(te TableExpr) {
+	switch t := te.(type) {
+	case *TableRef:
+		r.tableName(t.Name)
+	case *SubqueryRef:
+		r.w("(")
+		r.selectStmt(t.Select)
+		r.w(")")
+	case *JoinExpr:
+		r.tableExpr(t.Left)
+		switch t.Type {
+		case "CROSS":
+			r.w(" CROSS JOIN ")
+		case "INNER":
+			r.w(" JOIN ")
+		default:
+			r.w(" ", t.Type, " JOIN ")
+		}
+		r.tableExpr(t.Right)
+		if t.On != nil {
+			r.w(" ON ")
+			r.expr(t.On)
+		}
+	}
+}
+
+func (r *renderer) tableName(name string) {
+	if r.mode == RenderTemplate {
+		r.w("Table")
+		return
+	}
+	r.w(name)
+}
+
+func (r *renderer) columnName(q, name string) {
+	if r.mode == RenderTemplate {
+		r.w("Column")
+		return
+	}
+	if q != "" {
+		r.w(r.resolveQualifier(q), ".")
+	}
+	r.w(name)
+}
+
+func (r *renderer) expr(e Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *ColumnRef:
+		r.columnName(x.Qualifier, x.Name)
+	case *Star:
+		if x.Qualifier != "" && r.mode == RenderSQL {
+			r.w(r.resolveQualifier(x.Qualifier), ".")
+		}
+		r.w("*")
+	case *NumberLit:
+		if r.mode == RenderTemplate {
+			r.w("Literal")
+		} else {
+			r.w(x.Text)
+		}
+	case *StringLit:
+		if r.mode == RenderTemplate {
+			r.w("Literal")
+		} else {
+			r.w(x.Text)
+		}
+	case *NullLit:
+		r.w("NULL")
+	case *FuncCall:
+		if r.mode == RenderTemplate {
+			r.w("Function")
+		} else {
+			r.w(x.Name)
+		}
+		r.w("(")
+		if x.Distinct {
+			r.w("DISTINCT ")
+		}
+		if x.Star {
+			r.w("*")
+		} else {
+			for i, a := range x.Args {
+				if i > 0 {
+					r.w(", ")
+				}
+				r.expr(a)
+			}
+		}
+		r.w(")")
+	case *CastExpr:
+		if r.mode == RenderTemplate {
+			r.w("Function")
+		} else if x.FromConvert {
+			r.w("CONVERT")
+		} else {
+			r.w("CAST")
+		}
+		if x.FromConvert && r.mode == RenderSQL {
+			r.w("(", x.Type, ", ")
+			r.expr(x.Expr)
+			r.w(")")
+			return
+		}
+		r.w("(")
+		r.expr(x.Expr)
+		r.w(" AS ", x.Type, ")")
+	case *BinaryExpr:
+		r.expr(x.L)
+		r.w(" ", x.Op, " ")
+		r.expr(x.R)
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			r.w("NOT ")
+		} else {
+			r.w(x.Op)
+		}
+		r.expr(x.X)
+	case *ParenExpr:
+		r.w("(")
+		r.boolChain(x.X)
+		r.w(")")
+	case *InExpr:
+		r.expr(x.X)
+		if x.Not {
+			r.w(" NOT")
+		}
+		r.w(" IN (")
+		if x.Select != nil {
+			r.selectStmt(x.Select)
+		} else {
+			r.commaList(func(i int) { r.expr(x.List[i]) }, len(x.List), true)
+		}
+		r.w(")")
+	case *ExistsExpr:
+		if x.Not {
+			r.w("NOT ")
+		}
+		r.w("EXISTS (")
+		r.selectStmt(x.Select)
+		r.w(")")
+	case *BetweenExpr:
+		r.expr(x.X)
+		if x.Not {
+			r.w(" NOT")
+		}
+		r.w(" BETWEEN ")
+		r.expr(x.Lo)
+		r.w(" AND ")
+		r.expr(x.Hi)
+	case *LikeExpr:
+		r.expr(x.X)
+		if x.Not {
+			r.w(" NOT")
+		}
+		r.w(" LIKE ")
+		r.expr(x.Pattern)
+	case *IsNullExpr:
+		r.expr(x.X)
+		r.w(" IS ")
+		if x.Not {
+			r.w("NOT ")
+		}
+		r.w("NULL")
+	case *CaseExpr:
+		r.w("CASE")
+		if x.Operand != nil {
+			r.w(" ")
+			r.expr(x.Operand)
+		}
+		for _, wc := range x.Whens {
+			r.w(" WHEN ")
+			r.expr(wc.Cond)
+			r.w(" THEN ")
+			r.expr(wc.Then)
+		}
+		if x.Else != nil {
+			r.w(" ELSE ")
+			r.expr(x.Else)
+		}
+		r.w(" END")
+	case *SubqueryExpr:
+		r.w("(")
+		r.selectStmt(x.Select)
+		r.w(")")
+	}
+}

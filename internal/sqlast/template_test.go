@@ -1,0 +1,226 @@
+package sqlast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+func parse(t *testing.T, src string) *sqlast.SelectStmt {
+	t.Helper()
+	s, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestTemplateBasic(t *testing.T) {
+	s := parse(t, "SELECT name FROM PhotoTag WHERE ra > 180.0")
+	tmpl := sqlast.TemplateString(s)
+	want := "SELECT Column FROM Table WHERE Column > Literal"
+	if tmpl != want {
+		t.Errorf("template:\n got %q\nwant %q", tmpl, want)
+	}
+}
+
+func TestTemplatePaperFigure5Shape(t *testing.T) {
+	// Mirrors the paper's Figure 4 -> Figure 5 example: fragments become
+	// placeholders, CAST becomes Function, aliases disappear.
+	q := `SELECT j.target, CAST(j.estimate AS VARCHAR) AS estimate
+	      FROM Jobs j, Status s
+	      WHERE j.queue = 'FULL' AND j.outputtype LIKE '%QUERY%'`
+	tmpl := sqlast.TemplateString(parse(t, q))
+	for _, want := range []string{"Function(Column AS VARCHAR)", "FROM Table, Table", "Column LIKE Literal", "Column = Literal"} {
+		if !strings.Contains(tmpl, want) {
+			t.Errorf("template %q missing %q", tmpl, want)
+		}
+	}
+	for _, forbidden := range []string{"Jobs", "Status", "target", "estimate", "j.", "'FULL'"} {
+		if strings.Contains(tmpl, forbidden) {
+			t.Errorf("template leaked fragment %q: %s", forbidden, tmpl)
+		}
+	}
+}
+
+func TestTemplateIgnoresWhitespaceAndAliases(t *testing.T) {
+	a := parse(t, "SELECT   p.ra,p.dec   FROM  PhotoObj   AS p")
+	b := parse(t, "SELECT q.ra, q.dec FROM PhotoObj q")
+	c := parse(t, "SELECT ra, dec FROM PhotoObj")
+	ta, tb, tc := sqlast.TemplateString(a), sqlast.TemplateString(b), sqlast.TemplateString(c)
+	if ta != tb || tb != tc {
+		t.Errorf("alias/whitespace not canonicalized:\n%q\n%q\n%q", ta, tb, tc)
+	}
+}
+
+func TestTemplateIgnoresSelectOrder(t *testing.T) {
+	// "order of some SQL phrases such as select conditions" is
+	// non-structural: a pure placeholder reordering maps to one class.
+	a := parse(t, "SELECT ra, AVG(dec) FROM t WHERE x = 1 AND y LIKE 'q'")
+	b := parse(t, "SELECT AVG(dec), ra FROM t WHERE y LIKE 'q' AND x = 1")
+	if sqlast.TemplateString(a) != sqlast.TemplateString(b) {
+		t.Errorf("commutative order changed template:\n%q\n%q",
+			sqlast.TemplateString(a), sqlast.TemplateString(b))
+	}
+}
+
+func TestTemplateDistinguishesStructure(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT a FROM t", "SELECT a, b FROM t"},
+		{"SELECT a FROM t", "SELECT DISTINCT a FROM t"},
+		{"SELECT a FROM t", "SELECT a FROM t WHERE x = 1"},
+		{"SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x > 1"},
+		{"SELECT a FROM t", "SELECT TOP 5 a FROM t"},
+		{"SELECT a FROM t ORDER BY a", "SELECT a FROM t ORDER BY a DESC"},
+		{"SELECT a FROM t", "SELECT a FROM t, u"},
+		{"SELECT COUNT(*) FROM t", "SELECT COUNT(a) FROM t"},
+		{"SELECT a FROM t WHERE x IN (1,2)", "SELECT a FROM t WHERE x IN (SELECT x FROM u)"},
+	}
+	for _, p := range pairs {
+		ta := sqlast.TemplateString(parse(t, p[0]))
+		tb := sqlast.TemplateString(parse(t, p[1]))
+		if ta == tb {
+			t.Errorf("structures collapsed: %q vs %q -> %q", p[0], p[1], ta)
+		}
+	}
+}
+
+func TestTemplateNestedSubquery(t *testing.T) {
+	q := "SELECT x FROM (SELECT DISTINCT a, b FROM t WHERE a = 1) sub WHERE x LIKE 'p%'"
+	tmpl := sqlast.TemplateString(parse(t, q))
+	if !strings.Contains(tmpl, "(SELECT DISTINCT Column, Column FROM Table WHERE Column = Literal)") {
+		t.Errorf("nested template wrong: %s", tmpl)
+	}
+}
+
+func TestTemplateDeterministic(t *testing.T) {
+	// The template class label must be a pure function of the AST: two
+	// parses of the same statement yield byte-identical templates, and
+	// repeated rendering of one AST is stable.
+	queries := []string{
+		"SELECT name FROM PhotoTag WHERE ra > 180.0",
+		"SELECT TOP 10 a, COUNT(*) FROM t GROUP BY a ORDER BY COUNT(*) DESC",
+		"SELECT CAST(x AS INT) FROM t WHERE y IS NOT NULL",
+		"SELECT x FROM (SELECT a FROM t) s JOIN u ON s.a = u.a WHERE x IN (1, 2, 3)",
+	}
+	for _, q := range queries {
+		s1, s2 := parse(t, q), parse(t, q)
+		t1, t2 := sqlast.TemplateString(s1), sqlast.TemplateString(s2)
+		if t1 != t2 {
+			t.Errorf("template not deterministic for %q:\n%q\n%q", q, t1, t2)
+		}
+		if t3 := sqlast.TemplateString(s1); t3 != t1 {
+			t.Errorf("re-render changed template: %q vs %q", t1, t3)
+		}
+	}
+}
+
+func TestFragmentsAliasResolution(t *testing.T) {
+	q := "SELECT p.ra FROM PhotoObj AS p WHERE p.ra > 1"
+	fs := sqlast.Fragments(parse(t, q))
+	if !fs.Tables["PHOTOOBJ"] {
+		t.Errorf("tables: %v", fs.Sorted(sqlast.FragTable))
+	}
+	if fs.Tables["P"] {
+		t.Errorf("alias leaked into tables: %v", fs.Sorted(sqlast.FragTable))
+	}
+	if !fs.Columns["RA"] {
+		t.Errorf("columns: %v", fs.Sorted(sqlast.FragColumn))
+	}
+}
+
+func TestFragmentsLiteralsAndNull(t *testing.T) {
+	q := "SELECT a FROM t WHERE b = 'x' AND c = 3.5 AND d IS NULL AND e = NULL"
+	fs := sqlast.Fragments(parse(t, q))
+	if !fs.Literals["'X'"] || !fs.Literals["3.5"] {
+		t.Errorf("literals: %v", fs.Sorted(sqlast.FragLiteral))
+	}
+	if !fs.Literals["NULL"] {
+		t.Errorf("NULL literal missing: %v", fs.Sorted(sqlast.FragLiteral))
+	}
+}
+
+func TestFragmentsNested(t *testing.T) {
+	q := "SELECT x FROM (SELECT a FROM inner1 WHERE f(a) > 2) s JOIN outer1 o ON s.x = o.x"
+	fs := sqlast.Fragments(parse(t, q))
+	for _, tb := range []string{"INNER1", "OUTER1"} {
+		if !fs.Tables[tb] {
+			t.Errorf("missing table %s: %v", tb, fs.Sorted(sqlast.FragTable))
+		}
+	}
+	if !fs.Functions["F"] {
+		t.Errorf("functions: %v", fs.Sorted(sqlast.FragFunction))
+	}
+	// Subquery alias s must not be a table.
+	if fs.Tables["S"] {
+		t.Errorf("derived-table alias leaked: %v", fs.Sorted(sqlast.FragTable))
+	}
+}
+
+func TestFragmentSetOperations(t *testing.T) {
+	fs := sqlast.NewFragmentSet()
+	fs.Add(sqlast.FragTable, "PhotoObj")
+	fs.Add(sqlast.FragTable, "photoobj") // dedup case-insensitively
+	fs.Add(sqlast.FragColumn, "ra")
+	fs.Add(sqlast.FragFunction, "")
+	if fs.Size() != 2 {
+		t.Errorf("size: %d", fs.Size())
+	}
+	all := fs.All()
+	if len(all) != 2 || all[0] != "column:RA" || all[1] != "table:PHOTOOBJ" {
+		t.Errorf("all: %v", all)
+	}
+}
+
+func TestProperties(t *testing.T) {
+	q := "SELECT p.objID, p.ra, AVG(p.dec) FROM PhotoObj p JOIN SpecObj s ON p.objID = s.bestObjID WHERE p.ra > 140 AND s.z > 0.3 GROUP BY p.objID, p.ra"
+	props := sqlast.Properties(parse(t, q))
+	if props.TableCount != 2 {
+		t.Errorf("tables: %d", props.TableCount)
+	}
+	if props.SelectedColumns != 3 {
+		t.Errorf("selected: %d", props.SelectedColumns)
+	}
+	// Predicates: join condition + two WHERE comparisons.
+	if props.PredicateCount != 3 {
+		t.Errorf("predicates: %d", props.PredicateCount)
+	}
+	if props.FunctionCount != 1 {
+		t.Errorf("functions: %d", props.FunctionCount)
+	}
+	if props.WordCount == 0 {
+		t.Error("word count zero")
+	}
+}
+
+func TestRenderSQLResolvesAliases(t *testing.T) {
+	q := "SELECT p.ra FROM PhotoObj AS p WHERE p.ra > 1"
+	out := sqlast.RenderSQLString(parse(t, q))
+	if !strings.Contains(out, "PhotoObj.ra") {
+		t.Errorf("alias not resolved: %s", out)
+	}
+	if strings.Contains(out, " AS p") || strings.Contains(out, "p.ra") {
+		t.Errorf("alias survived: %s", out)
+	}
+}
+
+func TestWalkStopsOnFalse(t *testing.T) {
+	s := parse(t, "SELECT a FROM t WHERE b = 1")
+	count := 0
+	sqlast.Walk(s, func(n sqlast.Node) bool {
+		count++
+		return false // never descend
+	})
+	if count != 1 {
+		t.Errorf("walk did not stop: %d", count)
+	}
+}
+
+func TestWalkNilSafe(t *testing.T) {
+	sqlast.Walk(nil, func(sqlast.Node) bool { return true })
+	var s *sqlast.SelectStmt
+	_ = s
+	sqlast.Walk(&sqlast.SelectStmt{}, func(sqlast.Node) bool { return true })
+}

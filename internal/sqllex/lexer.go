@@ -1,0 +1,290 @@
+package sqllex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Error is a lexing error with source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("lex error at %s: %s", e.Pos, e.Msg) }
+
+// Lexer scans a SQL statement into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input and returns all tokens excluding comments
+// and the trailing EOF token. It is the common entry point for callers that
+// want a clean token stream.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return out, nil
+		}
+		if t.Kind == Comment {
+			continue
+		}
+		out = append(out, t)
+	}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Offset: l.off, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peekAt(n int) rune {
+	off := l.off
+	for i := 0; i < n; i++ {
+		if off >= len(l.src) {
+			return 0
+		}
+		_, w := utf8.DecodeRuneInString(l.src[off:])
+		off += w
+	}
+	if off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[off:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpace() {
+	for {
+		r := l.peek()
+		if r == 0 || !unicode.IsSpace(r) {
+			return
+		}
+		l.advance()
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '@' || r == '#' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '@' || r == '#' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next scans and returns the next token. Comments are returned as Comment
+// tokens so callers can decide whether to keep them.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	start := l.pos()
+	r := l.peek()
+	switch {
+	case r == 0:
+		return Token{Kind: EOF, Pos: start}, nil
+	case r == '-' && l.peekAt(1) == '-':
+		return l.lineComment(start), nil
+	case r == '/' && l.peekAt(1) == '*':
+		return l.blockComment(start)
+	case isIdentStart(r):
+		return l.word(start), nil
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peekAt(1))):
+		return l.number(start), nil
+	case r == '\'':
+		return l.stringLit(start)
+	case r == '"':
+		return l.quotedIdent(start, '"')
+	case r == '[':
+		return l.quotedIdent(start, ']')
+	default:
+		return l.operator(start)
+	}
+}
+
+func (l *Lexer) lineComment(start Pos) Token {
+	var sb strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 || r == '\n' {
+			break
+		}
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	return Token{Kind: Comment, Text: text, Upper: strings.ToUpper(text), Pos: start}
+}
+
+func (l *Lexer) blockComment(start Pos) (Token, error) {
+	var sb strings.Builder
+	sb.WriteRune(l.advance()) // '/'
+	sb.WriteRune(l.advance()) // '*'
+	depth := 1
+	for depth > 0 {
+		r := l.peek()
+		if r == 0 {
+			return Token{}, &Error{Pos: start, Msg: "unterminated block comment"}
+		}
+		if r == '*' && l.peekAt(1) == '/' {
+			sb.WriteRune(l.advance())
+			sb.WriteRune(l.advance())
+			depth--
+			continue
+		}
+		if r == '/' && l.peekAt(1) == '*' {
+			sb.WriteRune(l.advance())
+			sb.WriteRune(l.advance())
+			depth++
+			continue
+		}
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	return Token{Kind: Comment, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+}
+
+func (l *Lexer) word(start Pos) Token {
+	var sb strings.Builder
+	for isIdentPart(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	upper := strings.ToUpper(text)
+	kind := Ident
+	if keywords[upper] {
+		kind = Keyword
+	}
+	return Token{Kind: kind, Text: text, Upper: upper, Pos: start}
+}
+
+func (l *Lexer) number(start Pos) Token {
+	var sb strings.Builder
+	seenDot, seenExp := false, false
+	for {
+		r := l.peek()
+		switch {
+		case unicode.IsDigit(r):
+			sb.WriteRune(l.advance())
+		case r == '.' && !seenDot && !seenExp:
+			seenDot = true
+			sb.WriteRune(l.advance())
+		case (r == 'e' || r == 'E') && !seenExp && sb.Len() > 0:
+			nxt := l.peekAt(1)
+			if unicode.IsDigit(nxt) || ((nxt == '+' || nxt == '-') && unicode.IsDigit(l.peekAt(2))) {
+				seenExp = true
+				sb.WriteRune(l.advance())
+				if l.peek() == '+' || l.peek() == '-' {
+					sb.WriteRune(l.advance())
+				}
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := sb.String()
+	return Token{Kind: Number, Text: text, Upper: text, Pos: start}
+}
+
+func (l *Lexer) stringLit(start Pos) (Token, error) {
+	var sb strings.Builder
+	sb.WriteRune(l.advance()) // opening quote
+	for {
+		r := l.peek()
+		if r == 0 {
+			return Token{}, &Error{Pos: start, Msg: "unterminated string literal"}
+		}
+		if r == '\'' {
+			// Doubled quote is an escaped quote inside the literal.
+			if l.peekAt(1) == '\'' {
+				sb.WriteRune(l.advance())
+				sb.WriteRune(l.advance())
+				continue
+			}
+			sb.WriteRune(l.advance())
+			break
+		}
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	return Token{Kind: String, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+}
+
+func (l *Lexer) quotedIdent(start Pos, closer rune) (Token, error) {
+	l.advance() // opening delimiter
+	var sb strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 {
+			return Token{}, &Error{Pos: start, Msg: "unterminated quoted identifier"}
+		}
+		if r == closer {
+			l.advance()
+			break
+		}
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	return Token{Kind: Ident, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+}
+
+// multi-char operators, longest first.
+var multiOps = []string{"<>", "!=", ">=", "<=", "||", "::"}
+
+func (l *Lexer) operator(start Pos) (Token, error) {
+	for _, op := range multiOps {
+		if strings.HasPrefix(l.src[l.off:], op) {
+			for range op {
+				l.advance()
+			}
+			return Token{Kind: Operator, Text: op, Upper: op, Pos: start}, nil
+		}
+	}
+	r := l.advance()
+	text := string(r)
+	switch r {
+	case '(', ')', ',', ';', '.':
+		return Token{Kind: Punct, Text: text, Upper: text, Pos: start}, nil
+	case '+', '-', '*', '/', '%', '=', '<', '>', '&', '|', '^', '~', '!':
+		return Token{Kind: Operator, Text: text, Upper: text, Pos: start}, nil
+	default:
+		return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", r)}
+	}
+}

@@ -1,0 +1,316 @@
+package sqllex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(ts []Token) []Kind {
+	out := make([]Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(ts []Token) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeSimpleSelect(t *testing.T) {
+	ts, err := Tokenize("SELECT * FROM PhotoTag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT", "*", "FROM", "PhotoTag"}
+	got := texts(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	if ts[0].Kind != Keyword || ts[1].Kind != Operator || ts[3].Kind != Ident {
+		t.Errorf("unexpected kinds: %v", kinds(ts))
+	}
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	ts, err := Tokenize("select name from t where x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts[0].IsKeyword("SELECT") {
+		t.Errorf("lowercase select not recognized as keyword: %v", ts[0])
+	}
+	if !ts[4].IsKeyword("WHERE") {
+		t.Errorf("where not keyword: %v", ts[4])
+	}
+	if ts[0].Text != "select" {
+		t.Errorf("original spelling lost: %q", ts[0].Text)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":       "42",
+		"3.14":     "3.14",
+		".5":       ".5",
+		"1e10":     "1e10",
+		"2.5E-3":   "2.5E-3",
+		"17.":      "17.",
+		"6.02e+23": "6.02e+23",
+	}
+	for in, want := range cases {
+		ts, err := Tokenize(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if len(ts) != 1 || ts[0].Kind != Number || ts[0].Text != want {
+			t.Errorf("%q: got %v", in, ts)
+		}
+	}
+}
+
+func TestNumberFollowedByIdent(t *testing.T) {
+	// "1e" should not eat a bare 'e' with no exponent digits.
+	ts, err := Tokenize("1e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Text != "1" || ts[1].Text != "e" {
+		t.Errorf("got %v", texts(ts))
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	ts, err := Tokenize("SELECT 'abc', 'it''s', '%QUERY%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strs []string
+	for _, tok := range ts {
+		if tok.Kind == String {
+			strs = append(strs, tok.Text)
+		}
+	}
+	want := []string{"'abc'", "'it''s'", "'%QUERY%'"}
+	if len(strs) != len(want) {
+		t.Fatalf("got %v want %v", strs, want)
+	}
+	for i := range want {
+		if strs[i] != want[i] {
+			t.Errorf("string %d: got %q want %q", i, strs[i], want[i])
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokenize("SELECT 'abc"); err == nil {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	ts, err := Tokenize(`SELECT [my col], "other col" FROM [table 1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, tok := range ts {
+		if tok.Kind == Ident {
+			ids = append(ids, tok.Text)
+		}
+	}
+	want := []string{"my col", "other col", "table 1"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ident %d: got %q want %q", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestUnterminatedBracket(t *testing.T) {
+	if _, err := Tokenize("SELECT [abc"); err == nil {
+		t.Error("expected error for unterminated bracketed identifier")
+	}
+}
+
+func TestComments(t *testing.T) {
+	ts, err := Tokenize("SELECT 1 -- trailing\n/* block\ncomment */ FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(ts)
+	want := []string{"SELECT", "1", "FROM", "t"}
+	if len(got) != len(want) {
+		t.Fatalf("comments leaked: %v", got)
+	}
+}
+
+func TestNestedBlockComment(t *testing.T) {
+	ts, err := Tokenize("/* a /* b */ c */ SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Errorf("nested comment mishandled: %v", texts(ts))
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	if _, err := Tokenize("/* oops"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	ts, err := Tokenize("a <> b != c >= d <= e || f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range ts {
+		if tok.Kind == Operator {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<>", "!=", ">=", "<=", "||"}
+	if len(ops) != len(want) {
+		t.Fatalf("got ops %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d: got %q want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	ts, err := Tokenize("SELECT x\nFROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[2].Pos.Line != 2 || ts[2].Pos.Col != 1 {
+		t.Errorf("FROM position: %v", ts[2].Pos)
+	}
+	if ts[3].Pos.Line != 2 || ts[3].Pos.Col != 6 {
+		t.Errorf("t position: %v", ts[3].Pos)
+	}
+}
+
+func TestAtPrefixedIdent(t *testing.T) {
+	ts, err := Tokenize("SELECT @var, #tmp FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[1].Kind != Ident || ts[1].Text != "@var" {
+		t.Errorf("@var: %v", ts[1])
+	}
+	if ts[3].Kind != Ident || ts[3].Text != "#tmp" {
+		t.Errorf("#tmp: %v", ts[3])
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	if _, err := Tokenize("SELECT `x`"); err == nil {
+		t.Error("expected error for backtick")
+	}
+}
+
+func TestRealSDSSQuery(t *testing.T) {
+	q := `SELECT TOP 10 p.objID, p.ra, p.dec, s.z
+	      FROM PhotoObj AS p JOIN SpecObj AS s ON p.objID = s.bestObjID
+	      WHERE p.ra BETWEEN 140.0 AND 141.0 AND s.z > 0.3
+	      ORDER BY s.z DESC`
+	ts, err := Tokenize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) < 30 {
+		t.Errorf("too few tokens: %d", len(ts))
+	}
+	// Spot-check structure tokens appear in order.
+	seq := []string{"SELECT", "TOP", "FROM", "JOIN", "ON", "WHERE", "BETWEEN", "AND", "ORDER", "BY", "DESC"}
+	j := 0
+	for _, tok := range ts {
+		if j < len(seq) && tok.Kind == Keyword && tok.Upper == seq[j] {
+			j++
+		}
+	}
+	if j != len(seq) {
+		t.Errorf("keyword order broken at %d (%v)", j, seq)
+	}
+}
+
+// TestTokenizeNeverPanics feeds arbitrary strings and requires the lexer
+// either returns tokens or a structured error, without panicking.
+func TestTokenizeNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", s, r)
+			}
+		}()
+		toks, err := Tokenize(s)
+		if err != nil {
+			var le *Error
+			if !strings.Contains(err.Error(), "lex error") {
+				return false
+			}
+			_ = le
+			return true
+		}
+		for _, tok := range toks {
+			if tok.Kind == EOF {
+				return false // EOF must not appear in Tokenize output
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerProgress guarantees the lexer always consumes input, i.e. total
+// token text length is bounded by input length (no infinite loops).
+func TestLexerProgress(t *testing.T) {
+	f := func(s string) bool {
+		lx := New(s)
+		for i := 0; i < len(s)+10; i++ {
+			tok, err := lx.Next()
+			if err != nil {
+				return true
+			}
+			if tok.Kind == EOF {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTokenizeSDSS(b *testing.B) {
+	q := `SELECT TOP 100 p.objID, p.ra, p.dec, p.u, p.g, p.r, p.i, p.z
+	      FROM PhotoObj AS p JOIN SpecObj AS s ON p.objID = s.bestObjID
+	      WHERE p.ra BETWEEN 140.0 AND 141.0 AND p.dec BETWEEN 20 AND 21
+	        AND s.z > 0.3 AND p.type = 3
+	      ORDER BY s.z DESC`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

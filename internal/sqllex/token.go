@@ -1,0 +1,110 @@
+// Package sqllex tokenizes SQL query statements into typed tokens.
+//
+// The lexer covers the SQL dialect observed in the SDSS SkyServer and
+// SQLShare workloads: standard SELECT syntax, T-SQL extras (TOP, bracketed
+// identifiers, INTO), string and numeric literals, line and block comments,
+// and the usual operator set. It is the first stage of the parsing pipeline
+// used for template extraction (internal/sqlast) and query tokenization
+// (internal/tokenizer).
+package sqllex
+
+import "fmt"
+
+// Kind classifies a lexical token.
+type Kind int
+
+// Token kinds. Keyword covers reserved SQL words; Ident covers table,
+// column and function names (the parser decides the role from context).
+const (
+	EOF Kind = iota
+	Keyword
+	Ident
+	Number
+	String
+	Operator
+	Punct
+	Comment
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Keyword:
+		return "Keyword"
+	case Ident:
+		return "Ident"
+	case Number:
+		return "Number"
+	case String:
+		return "String"
+	case Operator:
+		return "Operator"
+	case Punct:
+		return "Punct"
+	case Comment:
+		return "Comment"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Pos is a byte offset plus 1-based line/column location in the input.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical unit.
+//
+// Text preserves the original spelling except for unquoting: quoted and
+// bracketed identifiers have their delimiters stripped, and string literals
+// keep their quotes so they remain distinguishable from identifiers.
+// Upper holds the upper-cased text for case-insensitive keyword matching.
+type Token struct {
+	Kind  Kind
+	Text  string
+	Upper string
+	Pos   Pos
+}
+
+// Is reports whether the token is a keyword or operator with the given
+// upper-case spelling.
+func (t Token) Is(upper string) bool {
+	return (t.Kind == Keyword || t.Kind == Operator || t.Kind == Punct) && t.Upper == upper
+}
+
+// IsKeyword reports whether the token is the given keyword (upper-case).
+func (t Token) IsKeyword(upper string) bool {
+	return t.Kind == Keyword && t.Upper == upper
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%s", t.Kind, t.Text, t.Pos)
+}
+
+// keywords is the reserved-word set. Words outside this set lex as Ident.
+// The set intentionally includes T-SQL words (TOP, INTO, OUTER APPLY is not
+// needed) that appear in the SDSS and SQLShare logs.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "DISTINCT": true,
+	"TOP": true, "AS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "EXISTS": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"NULL": true, "JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true,
+	"FULL": true, "OUTER": true, "CROSS": true, "UNION": true, "ALL": true,
+	"INTO": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true, "CAST": true, "CONVERT": true, "INSERT": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true, "TABLE": true,
+	"DROP": true, "VIEW": true, "LIMIT": true, "OFFSET": true, "WITH": true,
+	"EXCEPT": true, "INTERSECT": true,
+}
+
+// IsKeywordWord reports whether the upper-cased word is a reserved keyword.
+func IsKeywordWord(upper string) bool { return keywords[upper] }

@@ -1,0 +1,887 @@
+// Package sqlparse implements a recursive-descent parser for the SQL
+// subset appearing in the SDSS and SQLShare query workloads. It produces
+// sqlast trees that downstream stages use for template extraction
+// (Definition 5) and fragment extraction (Definition 4).
+//
+// The supported grammar covers SELECT statements with DISTINCT, T-SQL TOP,
+// SELECT ... INTO, comma and ANSI joins, nested subqueries in FROM and in
+// expressions, WHERE/GROUP BY/HAVING/ORDER BY, IN/EXISTS/BETWEEN/LIKE/IS
+// NULL predicates, CASE expressions, CAST/CONVERT and arbitrary function
+// calls, and UNION/EXCEPT/INTERSECT chains.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqllex"
+)
+
+// ParseError is a structured parse failure with the offending position.
+type ParseError struct {
+	Pos sqllex.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("parse error at %s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []sqllex.Token
+	i    int
+}
+
+// Parse parses a single SQL statement. A trailing semicolon is allowed.
+func Parse(src string) (*sqlast.SelectStmt, error) {
+	toks, err := sqllex.Tokenize(src)
+	if err != nil {
+		return nil, fmt.Errorf("tokenize: %w", err)
+	}
+	p := &parser{toks: toks}
+	s, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Is(";") {
+		p.next()
+	}
+	if p.i < len(p.toks) {
+		return nil, p.errf("unexpected trailing token %q", p.peek().Text)
+	}
+	return s, nil
+}
+
+func (p *parser) peek() sqllex.Token {
+	if p.i >= len(p.toks) {
+		return sqllex.Token{Kind: sqllex.EOF}
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) peekAt(n int) sqllex.Token {
+	if p.i+n >= len(p.toks) {
+		return sqllex.Token{Kind: sqllex.EOF}
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *parser) next() sqllex.Token {
+	t := p.peek()
+	if p.i < len(p.toks) {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peek().IsKeyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.peek().Text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(text string) error {
+	if !p.peek().Is(text) {
+		return p.errf("expected %q, found %q", text, p.peek().Text)
+	}
+	p.next()
+	return nil
+}
+
+// selectStmt parses a full SELECT including trailing set operations.
+func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &sqlast.SelectStmt{}
+	if p.peek().IsKeyword("DISTINCT") {
+		p.next()
+		s.Distinct = true
+	} else if p.peek().IsKeyword("ALL") {
+		p.next()
+	}
+	if p.peek().IsKeyword("TOP") {
+		p.next()
+		var count sqlast.Expr
+		if p.peek().Is("(") {
+			p.next()
+			c, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			count = c
+		} else if p.peek().Kind == sqllex.Number {
+			count = &sqlast.NumberLit{Text: p.next().Text}
+		} else {
+			return nil, p.errf("expected row count after TOP, found %q", p.peek().Text)
+		}
+		tc := &sqlast.TopClause{Count: count}
+		if p.peek().Kind == sqllex.Ident && p.peek().Upper == "PERCENT" {
+			p.next()
+			tc.Percent = true
+		}
+		s.Top = tc
+	}
+
+	// Select list.
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Columns = append(s.Columns, item)
+		if p.peek().Is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+
+	if p.peek().IsKeyword("INTO") {
+		p.next()
+		name, err := p.dottedName()
+		if err != nil {
+			return nil, err
+		}
+		s.Into = &sqlast.TableRef{Name: name}
+	}
+
+	if p.peek().IsKeyword("FROM") {
+		p.next()
+		for {
+			te, err := p.tableExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, te)
+			if p.peek().Is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().IsKeyword("WHERE") {
+		p.next()
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+
+	if p.peek().IsKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, g)
+			if p.peek().Is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().IsKeyword("HAVING") {
+		p.next()
+		h, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+
+	if p.peek().IsKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := sqlast.OrderItem{Expr: e}
+			if p.peek().IsKeyword("DESC") {
+				p.next()
+				item.Desc = true
+			} else if p.peek().IsKeyword("ASC") {
+				p.next()
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if p.peek().Is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if t := p.peek(); t.IsKeyword("UNION") || t.IsKeyword("EXCEPT") || t.IsKeyword("INTERSECT") {
+		op := p.next().Upper
+		all := false
+		if p.peek().IsKeyword("ALL") {
+			p.next()
+			all = true
+		}
+		right, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.SetOp = &sqlast.SetOp{Op: op, All: all, Right: right}
+	}
+	return s, nil
+}
+
+func (p *parser) selectItem() (sqlast.SelectItem, error) {
+	e, err := p.expr()
+	if err != nil {
+		return sqlast.SelectItem{}, err
+	}
+	item := sqlast.SelectItem{Expr: e}
+	if p.peek().IsKeyword("AS") {
+		p.next()
+		t := p.peek()
+		if t.Kind != sqllex.Ident && t.Kind != sqllex.String {
+			return item, p.errf("expected alias after AS, found %q", t.Text)
+		}
+		item.Alias = strings.Trim(p.next().Text, "'")
+	} else if p.peek().Kind == sqllex.Ident && !p.isClauseBoundary() {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// isClauseBoundary reports whether the current identifier actually starts
+// a known non-reserved clause word that we must not swallow as an alias.
+func (p *parser) isClauseBoundary() bool {
+	// All clause starters are reserved keywords in our lexer, so any
+	// Ident here is a legitimate alias.
+	return false
+}
+
+// tableExpr parses one FROM-list entry: a primary table/subquery followed
+// by any number of joins (left-associative).
+func (p *parser) tableExpr() (sqlast.TableExpr, error) {
+	left, err := p.primaryTable()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		jt, ok := p.joinType()
+		if !ok {
+			return left, nil
+		}
+		right, err := p.primaryTable()
+		if err != nil {
+			return nil, err
+		}
+		j := &sqlast.JoinExpr{Type: jt, Left: left, Right: right}
+		if jt != "CROSS" {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		left = j
+	}
+}
+
+// joinType consumes a join introducer if present and returns its type.
+func (p *parser) joinType() (string, bool) {
+	t := p.peek()
+	switch {
+	case t.IsKeyword("JOIN"):
+		p.next()
+		return "INNER", true
+	case t.IsKeyword("INNER"):
+		p.next()
+		if err := p.expectKeyword("JOIN"); err != nil {
+			p.i-- // restore; caller will fail on next parse
+			return "", false
+		}
+		return "INNER", true
+	case t.IsKeyword("LEFT"), t.IsKeyword("RIGHT"), t.IsKeyword("FULL"):
+		kind := t.Upper
+		p.next()
+		if p.peek().IsKeyword("OUTER") {
+			p.next()
+		}
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return "", false
+		}
+		return kind, true
+	case t.IsKeyword("CROSS"):
+		p.next()
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return "", false
+		}
+		return "CROSS", true
+	default:
+		return "", false
+	}
+}
+
+func (p *parser) primaryTable() (sqlast.TableExpr, error) {
+	if p.peek().Is("(") {
+		p.next()
+		if !p.peek().IsKeyword("SELECT") {
+			// Parenthesized join expression.
+			te, err := p.tableExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return te, nil
+		}
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		ref := &sqlast.SubqueryRef{Select: sub}
+		ref.Alias = p.optionalAlias()
+		return ref, nil
+	}
+	name, err := p.dottedName()
+	if err != nil {
+		return nil, err
+	}
+	ref := &sqlast.TableRef{Name: name}
+	ref.Alias = p.optionalAlias()
+	return ref, nil
+}
+
+func (p *parser) optionalAlias() string {
+	if p.peek().IsKeyword("AS") {
+		p.next()
+		if p.peek().Kind == sqllex.Ident {
+			return p.next().Text
+		}
+		return ""
+	}
+	if p.peek().Kind == sqllex.Ident {
+		return p.next().Text
+	}
+	return ""
+}
+
+// dottedName parses ident(.ident)* and returns the joined spelling.
+func (p *parser) dottedName() (string, error) {
+	t := p.peek()
+	if t.Kind != sqllex.Ident {
+		return "", p.errf("expected identifier, found %q", t.Text)
+	}
+	name := p.next().Text
+	for p.peek().Is(".") && p.peekAt(1).Kind == sqllex.Ident {
+		p.next()
+		name += "." + p.next().Text
+	}
+	return name, nil
+}
+
+// Expression grammar, lowest precedence first.
+
+func (p *parser) expr() (sqlast.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (sqlast.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().IsKeyword("OR") {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (sqlast.Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().IsKeyword("AND") {
+		p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (sqlast.Expr, error) {
+	if p.peek().IsKeyword("NOT") && !p.peekAt(1).IsKeyword("EXISTS") {
+		p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.predicate()
+}
+
+var compOps = map[string]bool{"=": true, "<": true, ">": true, "<=": true, ">=": true, "<>": true, "!=": true}
+
+func (p *parser) predicate() (sqlast.Expr, error) {
+	if p.peek().IsKeyword("EXISTS") || (p.peek().IsKeyword("NOT") && p.peekAt(1).IsKeyword("EXISTS")) {
+		not := false
+		if p.peek().IsKeyword("NOT") {
+			p.next()
+			not = true
+		}
+		p.next() // EXISTS
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.ExistsExpr{Not: not, Select: sub}, nil
+	}
+
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+
+	t := p.peek()
+	if t.Kind == sqllex.Operator && compOps[t.Upper] {
+		op := p.next().Text
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.BinaryExpr{Op: op, L: l, R: r}, nil
+	}
+
+	not := false
+	if t.IsKeyword("NOT") {
+		nt := p.peekAt(1)
+		if nt.IsKeyword("IN") || nt.IsKeyword("BETWEEN") || nt.IsKeyword("LIKE") {
+			p.next()
+			not = true
+			t = p.peek()
+		}
+	}
+
+	switch {
+	case t.IsKeyword("IN"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		in := &sqlast.InExpr{X: l, Not: not}
+		if p.peek().IsKeyword("SELECT") {
+			sub, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			in.Select = sub
+		} else {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if p.peek().Is(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case t.IsKeyword("BETWEEN"):
+		p.next()
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.BetweenExpr{X: l, Not: not, Lo: lo, Hi: hi}, nil
+	case t.IsKeyword("LIKE"):
+		p.next()
+		pat, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.LikeExpr{X: l, Not: not, Pattern: pat}, nil
+	case t.IsKeyword("IS"):
+		p.next()
+		isNot := false
+		if p.peek().IsKeyword("NOT") {
+			p.next()
+			isNot = true
+		}
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &sqlast.IsNullExpr{X: l, Not: isNot}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (sqlast.Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == sqllex.Operator && (t.Text == "+" || t.Text == "-" || t.Text == "||" || t.Text == "&" || t.Text == "|") {
+			op := p.next().Text
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.BinaryExpr{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) mulExpr() (sqlast.Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == sqllex.Operator && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			// A bare '*' directly before a clause boundary is the
+			// select-star already consumed by unaryExpr; here '*'
+			// is always multiplication.
+			op := p.next().Text
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.BinaryExpr{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unaryExpr() (sqlast.Expr, error) {
+	t := p.peek()
+	if t.Kind == sqllex.Operator && (t.Text == "-" || t.Text == "+" || t.Text == "~") {
+		op := p.next().Text
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (sqlast.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == sqllex.Number:
+		p.next()
+		return &sqlast.NumberLit{Text: t.Text}, nil
+	case t.Kind == sqllex.String:
+		p.next()
+		return &sqlast.StringLit{Text: t.Text}, nil
+	case t.IsKeyword("NULL"):
+		p.next()
+		return &sqlast.NullLit{}, nil
+	case t.IsKeyword("CASE"):
+		return p.caseExpr()
+	case t.IsKeyword("CAST"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		typ, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.CastExpr{Expr: e, Type: typ}, nil
+	case t.IsKeyword("CONVERT"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		typ, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		// CONVERT may carry a style argument; fold it into the type.
+		if p.peek().Is(",") {
+			p.next()
+			if p.peek().Kind != sqllex.Number {
+				return nil, p.errf("expected CONVERT style number, found %q", p.peek().Text)
+			}
+			p.next()
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.CastExpr{Expr: e, Type: typ, FromConvert: true}, nil
+	case t.Is("*"):
+		p.next()
+		return &sqlast.Star{}, nil
+	case t.Is("("):
+		p.next()
+		if p.peek().IsKeyword("SELECT") {
+			sub, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &sqlast.SubqueryExpr{Select: sub}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.ParenExpr{X: e}, nil
+	case t.Kind == sqllex.Ident:
+		return p.identExpr()
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.Text)
+	}
+}
+
+// identExpr parses identifiers: function calls, qualified columns,
+// qualified stars, and bare columns.
+func (p *parser) identExpr() (sqlast.Expr, error) {
+	first := p.next().Text
+	// Function call?
+	if p.peek().Is("(") {
+		p.next()
+		fc := &sqlast.FuncCall{Name: first}
+		if p.peek().IsKeyword("DISTINCT") {
+			p.next()
+			fc.Distinct = true
+		}
+		if p.peek().Is("*") {
+			p.next()
+			fc.Star = true
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		if p.peek().Is(")") {
+			p.next()
+			return fc, nil
+		}
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if p.peek().Is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	// Dotted reference: qualifier(.part)*.column or qualifier.*
+	qual := ""
+	name := first
+	for p.peek().Is(".") {
+		if p.peekAt(1).Is("*") {
+			p.next()
+			p.next()
+			q := name
+			if qual != "" {
+				q = qual + "." + name
+			}
+			return &sqlast.Star{Qualifier: q}, nil
+		}
+		if p.peekAt(1).Kind != sqllex.Ident {
+			return nil, p.errf("expected identifier after '.', found %q", p.peekAt(1).Text)
+		}
+		p.next()
+		if qual == "" {
+			qual = name
+		} else {
+			qual = qual + "." + name
+		}
+		name = p.next().Text
+	}
+	// Dotted function call, e.g. dbo.fGetNearbyObjEq(185.0, -0.5, 1).
+	if p.peek().Is("(") {
+		full := name
+		if qual != "" {
+			full = qual + "." + name
+		}
+		p.next()
+		fc := &sqlast.FuncCall{Name: full}
+		if p.peek().Is(")") {
+			p.next()
+			return fc, nil
+		}
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if p.peek().Is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	return &sqlast.ColumnRef{Qualifier: qual, Name: name}, nil
+}
+
+func (p *parser) caseExpr() (sqlast.Expr, error) {
+	p.next() // CASE
+	ce := &sqlast.CaseExpr{}
+	if !p.peek().IsKeyword("WHEN") {
+		op, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = op
+	}
+	for p.peek().IsKeyword("WHEN") {
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, sqlast.WhenClause{Cond: cond, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errf("CASE with no WHEN arms")
+	}
+	if p.peek().IsKeyword("ELSE") {
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+// typeName parses a SQL type: IDENT [ '(' number [, number] ')' ].
+func (p *parser) typeName() (string, error) {
+	t := p.peek()
+	if t.Kind != sqllex.Ident && t.Kind != sqllex.Keyword {
+		return "", p.errf("expected type name, found %q", t.Text)
+	}
+	name := strings.ToUpper(p.next().Text)
+	if p.peek().Is("(") {
+		name += "("
+		p.next()
+		for {
+			n := p.peek()
+			if n.Kind != sqllex.Number && !(n.Kind == sqllex.Ident && strings.EqualFold(n.Text, "max")) {
+				return "", p.errf("expected type size, found %q", n.Text)
+			}
+			name += strings.ToUpper(p.next().Text)
+			if p.peek().Is(",") {
+				p.next()
+				name += ","
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return "", err
+		}
+		name += ")"
+	}
+	return name, nil
+}

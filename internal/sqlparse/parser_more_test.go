@@ -1,0 +1,189 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlast"
+)
+
+func TestTopParenExpr(t *testing.T) {
+	s := mustParse(t, "SELECT TOP (5) a FROM t")
+	if s.Top == nil {
+		t.Fatal("top lost")
+	}
+	if _, ok := s.Top.Count.(*sqlast.NumberLit); !ok {
+		t.Errorf("top count: %#v", s.Top.Count)
+	}
+}
+
+func TestConvertWithStyle(t *testing.T) {
+	s := mustParse(t, "SELECT CONVERT(VARCHAR(10), theTime, 120) FROM Jobs")
+	c, ok := s.Columns[0].Expr.(*sqlast.CastExpr)
+	if !ok || !c.FromConvert || c.Type != "VARCHAR(10)" {
+		t.Fatalf("convert with style: %#v", s.Columns[0].Expr)
+	}
+}
+
+func TestNestedExists(t *testing.T) {
+	q := `SELECT a FROM t WHERE EXISTS (
+	        SELECT 1 FROM u WHERE EXISTS (SELECT 1 FROM v WHERE v.id = u.id)
+	      )`
+	s := mustParse(t, q)
+	depth := 0
+	sqlast.Walk(s, func(n sqlast.Node) bool {
+		if _, ok := n.(*sqlast.ExistsExpr); ok {
+			depth++
+		}
+		return true
+	})
+	if depth != 2 {
+		t.Errorf("exists depth: %d", depth)
+	}
+}
+
+func TestTripleUnion(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t UNION SELECT a FROM u EXCEPT SELECT a FROM v")
+	if s.SetOp == nil || s.SetOp.Op != "UNION" {
+		t.Fatal("first set op")
+	}
+	if s.SetOp.Right.SetOp == nil || s.SetOp.Right.SetOp.Op != "EXCEPT" {
+		t.Fatal("chained set op lost")
+	}
+}
+
+func TestParenthesizedJoinInFrom(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM (a JOIN b ON a.id = b.id) JOIN c ON b.id = c.id")
+	outer, ok := s.From[0].(*sqlast.JoinExpr)
+	if !ok {
+		t.Fatalf("outer join: %#v", s.From[0])
+	}
+	if _, ok := outer.Left.(*sqlast.JoinExpr); !ok {
+		t.Fatalf("inner parenthesized join: %#v", outer.Left)
+	}
+}
+
+func TestSchemaQualifiedEverything(t *testing.T) {
+	s := mustParse(t, "SELECT dbo.PhotoObj.ra FROM dbo.PhotoObj WHERE dbo.fPhotoTypeN(3) = 'STAR'")
+	cr := s.Columns[0].Expr.(*sqlast.ColumnRef)
+	if cr.Qualifier != "dbo.PhotoObj" || cr.Name != "ra" {
+		t.Errorf("deep qualifier: %#v", cr)
+	}
+	tr := s.From[0].(*sqlast.TableRef)
+	if tr.Name != "dbo.PhotoObj" {
+		t.Errorf("table name: %q", tr.Name)
+	}
+}
+
+func TestCaseInsideWhere(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE CASE WHEN b > 1 THEN 1 ELSE 0 END = 1")
+	if s.Where == nil {
+		t.Fatal("where lost")
+	}
+	found := false
+	sqlast.Walk(s, func(n sqlast.Node) bool {
+		if _, ok := n.(*sqlast.CaseExpr); ok {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("case in where lost")
+	}
+}
+
+func TestStringAliasAfterAs(t *testing.T) {
+	s := mustParse(t, "SELECT a AS 'label' FROM t")
+	if s.Columns[0].Alias != "label" {
+		t.Errorf("string alias: %q", s.Columns[0].Alias)
+	}
+}
+
+func TestNotPrecedence(t *testing.T) {
+	// NOT binds tighter than AND: NOT a = 1 AND b = 2 is (NOT a=1) AND (b=2).
+	s := mustParse(t, "SELECT * FROM t WHERE NOT a = 1 AND b = 2")
+	top, ok := s.Where.(*sqlast.BinaryExpr)
+	if !ok || top.Op != "AND" {
+		t.Fatalf("top: %#v", s.Where)
+	}
+	if _, ok := top.L.(*sqlast.UnaryExpr); !ok {
+		t.Errorf("NOT did not bind left conjunct: %#v", top.L)
+	}
+}
+
+func TestOrLowerThanAnd(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3")
+	top := s.Where.(*sqlast.BinaryExpr)
+	if top.Op != "OR" {
+		t.Errorf("precedence: top is %q", top.Op)
+	}
+}
+
+func TestDeeplyNestedSubqueries(t *testing.T) {
+	q := "SELECT x FROM (SELECT x FROM (SELECT x FROM (SELECT x FROM t) a) b) c"
+	s := mustParse(t, q)
+	depth := 0
+	cur := s
+	for {
+		sq, ok := cur.From[0].(*sqlast.SubqueryRef)
+		if !ok {
+			break
+		}
+		depth++
+		cur = sq.Select
+	}
+	if depth != 3 {
+		t.Errorf("nesting depth: %d", depth)
+	}
+}
+
+func TestTemplateForSetOps(t *testing.T) {
+	a := sqlast.TemplateString(mustParse(t, "SELECT a FROM t UNION SELECT b FROM u"))
+	b := sqlast.TemplateString(mustParse(t, "SELECT x FROM p UNION SELECT y FROM q"))
+	if a != b {
+		t.Errorf("union templates differ:\n%s\n%s", a, b)
+	}
+	c := sqlast.TemplateString(mustParse(t, "SELECT a FROM t UNION ALL SELECT b FROM u"))
+	if a == c {
+		t.Error("UNION vs UNION ALL collapsed")
+	}
+}
+
+func TestRenderKeepsIntoClause(t *testing.T) {
+	s := mustParse(t, "SELECT a INTO mydb.out FROM t")
+	r := sqlast.RenderSQLString(s)
+	if !strings.Contains(r, "INTO mydb.out") {
+		t.Errorf("into lost: %s", r)
+	}
+	tmpl := sqlast.TemplateString(s)
+	if !strings.Contains(tmpl, "INTO Table") {
+		t.Errorf("into template: %s", tmpl)
+	}
+}
+
+func TestFragmentsFromSetOps(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t UNION SELECT b FROM u")
+	fs := sqlast.Fragments(s)
+	if !fs.Tables["T"] || !fs.Tables["U"] {
+		t.Errorf("union tables: %v", fs.Sorted(sqlast.FragTable))
+	}
+	if !fs.Columns["A"] || !fs.Columns["B"] {
+		t.Errorf("union columns: %v", fs.Sorted(sqlast.FragColumn))
+	}
+}
+
+func TestLongPredicateChainStable(t *testing.T) {
+	// 20 conjuncts: parser must stay linear and renderer canonical.
+	var sb strings.Builder
+	sb.WriteString("SELECT a FROM t WHERE c0 = 0")
+	for i := 1; i < 20; i++ {
+		sb.WriteString(" AND c")
+		sb.WriteByte(byte('0' + i%10))
+		sb.WriteString(" > 1")
+	}
+	s := mustParse(t, sb.String())
+	tmpl := sqlast.TemplateString(s)
+	if strings.Count(tmpl, "Column") < 20 {
+		t.Errorf("conjuncts lost: %s", tmpl)
+	}
+}

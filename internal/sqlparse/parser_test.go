@@ -1,0 +1,369 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlast"
+)
+
+func mustParse(t *testing.T, src string) *sqlast.SelectStmt {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestSimpleSelect(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM PhotoTag")
+	if len(s.Columns) != 1 {
+		t.Fatalf("columns: %d", len(s.Columns))
+	}
+	if _, ok := s.Columns[0].Expr.(*sqlast.Star); !ok {
+		t.Errorf("expected star, got %T", s.Columns[0].Expr)
+	}
+	tr, ok := s.From[0].(*sqlast.TableRef)
+	if !ok || tr.Name != "PhotoTag" {
+		t.Errorf("from: %#v", s.From[0])
+	}
+}
+
+func TestSelectColumnsAndAliases(t *testing.T) {
+	s := mustParse(t, "SELECT a, b AS bee, c cee FROM t")
+	if len(s.Columns) != 3 {
+		t.Fatalf("columns: %d", len(s.Columns))
+	}
+	if s.Columns[1].Alias != "bee" || s.Columns[2].Alias != "cee" {
+		t.Errorf("aliases: %q %q", s.Columns[1].Alias, s.Columns[2].Alias)
+	}
+}
+
+func TestDistinctTop(t *testing.T) {
+	s := mustParse(t, "SELECT DISTINCT TOP 10 name FROM t")
+	if !s.Distinct {
+		t.Error("distinct lost")
+	}
+	if s.Top == nil {
+		t.Fatal("top lost")
+	}
+	n, ok := s.Top.Count.(*sqlast.NumberLit)
+	if !ok || n.Text != "10" {
+		t.Errorf("top count: %#v", s.Top.Count)
+	}
+}
+
+func TestTopPercent(t *testing.T) {
+	s := mustParse(t, "SELECT TOP 5 PERCENT x FROM t")
+	if s.Top == nil || !s.Top.Percent {
+		t.Error("percent lost")
+	}
+}
+
+func TestJoins(t *testing.T) {
+	s := mustParse(t, `SELECT p.objID FROM PhotoObj AS p JOIN SpecObj s ON p.objID = s.bestObjID LEFT OUTER JOIN PhotoTag pt ON pt.objID = p.objID`)
+	j, ok := s.From[0].(*sqlast.JoinExpr)
+	if !ok || j.Type != "LEFT" {
+		t.Fatalf("outer join: %#v", s.From[0])
+	}
+	inner, ok := j.Left.(*sqlast.JoinExpr)
+	if !ok || inner.Type != "INNER" {
+		t.Fatalf("inner join: %#v", j.Left)
+	}
+	if inner.On == nil || j.On == nil {
+		t.Error("missing ON conditions")
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM a CROSS JOIN b")
+	j, ok := s.From[0].(*sqlast.JoinExpr)
+	if !ok || j.Type != "CROSS" || j.On != nil {
+		t.Fatalf("cross join: %#v", s.From[0])
+	}
+}
+
+func TestCommaJoin(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM Jobs j, Status s WHERE j.id = s.id")
+	if len(s.From) != 2 {
+		t.Fatalf("from entries: %d", len(s.From))
+	}
+	if s.From[0].(*sqlast.TableRef).Alias != "j" {
+		t.Errorf("alias lost: %#v", s.From[0])
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	s := mustParse(t, "SELECT x FROM (SELECT DISTINCT a, b FROM t WHERE a = 1) sub")
+	sq, ok := s.From[0].(*sqlast.SubqueryRef)
+	if !ok || sq.Alias != "sub" {
+		t.Fatalf("subquery ref: %#v", s.From[0])
+	}
+	if !sq.Select.Distinct {
+		t.Error("inner distinct lost")
+	}
+}
+
+func TestSubqueryInWhere(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM t WHERE id IN (SELECT id FROM u WHERE z > 2)")
+	in, ok := s.Where.(*sqlast.InExpr)
+	if !ok || in.Select == nil {
+		t.Fatalf("in-subquery: %#v", s.Where)
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	s := mustParse(t, "SELECT (SELECT MAX(z) FROM u) FROM t")
+	if _, ok := s.Columns[0].Expr.(*sqlast.SubqueryExpr); !ok {
+		t.Fatalf("scalar subquery: %#v", s.Columns[0].Expr)
+	}
+}
+
+func TestExists(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM t WHERE NOT EXISTS (SELECT 1 FROM u) AND a = 2")
+	b, ok := s.Where.(*sqlast.BinaryExpr)
+	if !ok || b.Op != "AND" {
+		t.Fatalf("where: %#v", s.Where)
+	}
+	ex, ok := b.L.(*sqlast.ExistsExpr)
+	if !ok || !ex.Not {
+		t.Fatalf("exists: %#v", b.L)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	s := mustParse(t, `SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b NOT LIKE '%x%' AND c IS NOT NULL AND d NOT IN (1, 2, 3)`)
+	found := map[string]bool{}
+	sqlast.Walk(s, func(n sqlast.Node) bool {
+		switch x := n.(type) {
+		case *sqlast.BetweenExpr:
+			found["between"] = true
+		case *sqlast.LikeExpr:
+			if x.Not {
+				found["notlike"] = true
+			}
+		case *sqlast.IsNullExpr:
+			if x.Not {
+				found["isnotnull"] = true
+			}
+		case *sqlast.InExpr:
+			if x.Not && len(x.List) == 3 {
+				found["notin"] = true
+			}
+		}
+		return true
+	})
+	for _, k := range []string{"between", "notlike", "isnotnull", "notin"} {
+		if !found[k] {
+			t.Errorf("missing predicate %s", k)
+		}
+	}
+}
+
+func TestCastConvert(t *testing.T) {
+	s := mustParse(t, "SELECT CAST(j.estimate AS VARCHAR), CONVERT(INT, x) FROM Jobs j")
+	c1, ok := s.Columns[0].Expr.(*sqlast.CastExpr)
+	if !ok || c1.Type != "VARCHAR" || c1.FromConvert {
+		t.Fatalf("cast: %#v", s.Columns[0].Expr)
+	}
+	c2, ok := s.Columns[1].Expr.(*sqlast.CastExpr)
+	if !ok || c2.Type != "INT" || !c2.FromConvert {
+		t.Fatalf("convert: %#v", s.Columns[1].Expr)
+	}
+}
+
+func TestCastWithSize(t *testing.T) {
+	s := mustParse(t, "SELECT CAST(x AS VARCHAR(20)) FROM t")
+	c := s.Columns[0].Expr.(*sqlast.CastExpr)
+	if c.Type != "VARCHAR(20)" {
+		t.Errorf("type: %q", c.Type)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*), AVG(z), COUNT(DISTINCT type), dbo.fGetNearbyObjEq(185.0, -0.5, 1) FROM t")
+	fc0 := s.Columns[0].Expr.(*sqlast.FuncCall)
+	if !fc0.Star || fc0.Name != "COUNT" {
+		t.Errorf("count(*): %#v", fc0)
+	}
+	fc2 := s.Columns[2].Expr.(*sqlast.FuncCall)
+	if !fc2.Distinct {
+		t.Errorf("count distinct: %#v", fc2)
+	}
+	// dbo.fGetNearbyObjEq parses as dotted column then call? It must be a
+	// function call with the dotted name... our identExpr checks '(' only
+	// after the first ident, so dbo.fGetNearbyObjEq(...) needs care.
+	fc3, ok := s.Columns[3].Expr.(*sqlast.FuncCall)
+	if !ok {
+		t.Fatalf("dotted function: %#v", s.Columns[3].Expr)
+	}
+	if len(fc3.Args) != 3 {
+		t.Errorf("args: %d", len(fc3.Args))
+	}
+}
+
+func TestCase(t *testing.T) {
+	s := mustParse(t, "SELECT CASE WHEN z > 1 THEN 'high' ELSE 'low' END FROM t")
+	ce, ok := s.Columns[0].Expr.(*sqlast.CaseExpr)
+	if !ok || len(ce.Whens) != 1 || ce.Else == nil {
+		t.Fatalf("case: %#v", s.Columns[0].Expr)
+	}
+}
+
+func TestSimpleCase(t *testing.T) {
+	s := mustParse(t, "SELECT CASE type WHEN 1 THEN 'a' WHEN 2 THEN 'b' END FROM t")
+	ce := s.Columns[0].Expr.(*sqlast.CaseExpr)
+	if ce.Operand == nil || len(ce.Whens) != 2 {
+		t.Fatalf("simple case: %#v", ce)
+	}
+}
+
+func TestGroupByHavingOrderBy(t *testing.T) {
+	s := mustParse(t, "SELECT type, COUNT(*) FROM t GROUP BY type HAVING COUNT(*) > 5 ORDER BY COUNT(*) DESC, type")
+	if len(s.GroupBy) != 1 || s.Having == nil || len(s.OrderBy) != 2 {
+		t.Fatalf("clauses: %#v", s)
+	}
+	if !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("order direction: %#v", s.OrderBy)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t UNION ALL SELECT a FROM u")
+	if s.SetOp == nil || s.SetOp.Op != "UNION" || !s.SetOp.All {
+		t.Fatalf("union: %#v", s.SetOp)
+	}
+}
+
+func TestInto(t *testing.T) {
+	s := mustParse(t, "SELECT a INTO mydb.results FROM t")
+	if s.Into == nil || s.Into.Name != "mydb.results" {
+		t.Fatalf("into: %#v", s.Into)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	s := mustParse(t, "SELECT (u - g) * 2 + r / 3 FROM PhotoObj WHERE r % 2 = 0")
+	if s.Where == nil {
+		t.Fatal("where lost")
+	}
+	if _, ok := s.Columns[0].Expr.(*sqlast.BinaryExpr); !ok {
+		t.Fatalf("arith: %#v", s.Columns[0].Expr)
+	}
+}
+
+func TestPaperFigure4Query(t *testing.T) {
+	// The running example of the paper (Figure 4), lightly normalized to
+	// valid SQL (the figure itself contains typesetting artifacts).
+	q := `SELECT j.target, CAST(j.estimate AS VARCHAR) AS estimate
+	      FROM Jobs j, Status s
+	      WHERE j.queue = 'FULL' AND j.outputtype LIKE '%QUERY%'`
+	s := mustParse(t, q)
+	fs := sqlast.Fragments(s)
+	for _, tb := range []string{"JOBS", "STATUS"} {
+		if !fs.Tables[tb] {
+			t.Errorf("missing table %s: %v", tb, fs.Sorted(sqlast.FragTable))
+		}
+	}
+	for _, c := range []string{"TARGET", "ESTIMATE", "QUEUE", "OUTPUTTYPE"} {
+		if !fs.Columns[c] {
+			t.Errorf("missing column %s: %v", c, fs.Sorted(sqlast.FragColumn))
+		}
+	}
+	if !fs.Functions["CAST"] {
+		t.Errorf("CAST must be a function fragment: %v", fs.Sorted(sqlast.FragFunction))
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT FROM t")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *ParseError
+	if !strings.Contains(err.Error(), "parse error") {
+		t.Errorf("unstructured error: %v", err)
+	}
+	_ = pe
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET x = 1",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t ORDER",
+		"SELECT CAST(a VARCHAR) FROM t",
+		"SELECT a FROM t WHERE x IN ()",
+		"SELECT a FROM t extra garbage (",
+		"SELECT CASE END FROM t",
+		"SELECT a FROM t JOIN u", // missing ON
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT 1;")
+}
+
+// TestParseNeverPanics: the parser must return an error, never panic, on
+// arbitrary garbage.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRenderReparse: rendering a parsed query yields SQL that parses to a
+// tree rendering identically (fixpoint after one round).
+func TestRenderReparse(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM PhotoTag",
+		"SELECT TOP 10 p.objID, p.ra FROM PhotoObj p WHERE p.ra BETWEEN 140.0 AND 141.0 ORDER BY p.ra DESC",
+		"SELECT COUNT(DISTINCT type) FROM SpecObj WHERE z > 0.3 GROUP BY class HAVING COUNT(*) > 2",
+		"SELECT a FROM (SELECT a FROM t WHERE b = 1) x WHERE a IS NOT NULL",
+		"SELECT CASE WHEN z > 1 THEN 'h' ELSE 'l' END FROM t UNION SELECT 'x' FROM u",
+		"SELECT CAST(x AS INT) INTO out1 FROM t WHERE y LIKE '%q%'",
+	}
+	for _, q := range queries {
+		s1 := mustParse(t, q)
+		r1 := sqlast.RenderSQLString(s1)
+		s2, err := Parse(r1)
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v\nrendered: %s", q, err, r1)
+			continue
+		}
+		r2 := sqlast.RenderSQLString(s2)
+		if r1 != r2 {
+			t.Errorf("render not a fixpoint:\n 1: %s\n 2: %s", r1, r2)
+		}
+	}
+}
+
+func BenchmarkParseSDSSQuery(b *testing.B) {
+	q := `SELECT TOP 100 p.objID, p.ra, p.dec, s.z FROM PhotoObj AS p JOIN SpecObj AS s ON p.objID = s.bestObjID WHERE p.ra BETWEEN 140.0 AND 141.0 AND s.z > 0.3 ORDER BY s.z DESC`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

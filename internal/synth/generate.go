@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Profile parameterizes a synthetic workload. The two stock profiles,
+// SDSSProfile and SQLShareProfile, are calibrated against the paper's
+// Table 2 and Figures 10/11 (scaled down so CPU training stays feasible).
+type Profile struct {
+	Name     string
+	Sessions int
+	// MinLen/ContinueP/MaxLen shape the per-session query count
+	// (geometric tail).
+	MinLen    int
+	ContinueP float64
+	MaxLen    int
+	// Datasets > 1 gives every session its own (recycled) user dataset,
+	// reproducing SQLShare's multi-tenant isolation. 1 means the shared
+	// SDSS schema.
+	Datasets int
+	// OpWeights orders: rerun, tweakLiteral, changeTable, addColumn,
+	// dropColumn, starToColumns, addPredicate, dropPredicate, addJoin,
+	// toAggregate, addTopOrder, toggleDistinct, newIntent.
+	OpWeights []float64
+	// ScriptedP is the probability that a step follows the deterministic
+	// per-shape script instead of a random draw. Real users follow
+	// recurring exploration recipes (probe -> refine -> join ->
+	// aggregate); that recipe structure is what makes the next query
+	// predictable *from the current one*, the property the paper's
+	// seq-aware models exploit. Zero disables scripting.
+	ScriptedP float64
+}
+
+// ops must match Profile.OpWeights order.
+var ops = []op{
+	opRerun, opTweakLiteral, opChangeTable, opAddColumn, opDropColumn,
+	opStarToColumns, opAddPredicate, opDropPredicate, opAddJoin,
+	opToAggregate, opAddTopOrder, opToggleDistinct, opNewIntent,
+}
+
+// SDSSProfile approximates the SDSS workload at 1/150 scale: one shared
+// schema, long sessions with many sequential changes, heavy duplication,
+// ~45% template-change rate between consecutive queries (paper: >40%
+// different, >50% same).
+func SDSSProfile() Profile {
+	return Profile{
+		Name:      "sdss-sim",
+		Sessions:  420,
+		MinLen:    2,
+		ContinueP: 0.90,
+		MaxLen:    80,
+		Datasets:  1,
+		//        rerun lit  chTb addC drpC star addP drpP join aggr top  dist new
+		OpWeights: []float64{38, 16, 12, 4, 5, 2, 8, 7, 4, 7, 4, 1, 5},
+		ScriptedP: 0.55,
+	}
+}
+
+// SQLShareProfile approximates SQLShare: 64 user datasets, short sessions,
+// higher template-change rate (~62%), little cross-session sharing.
+func SQLShareProfile() Profile {
+	return Profile{
+		Name:      "sqlshare-sim",
+		Sessions:  220,
+		MinLen:    2,
+		ContinueP: 0.72,
+		MaxLen:    24,
+		Datasets:  64,
+		//        rerun lit  chTb addC drpC star addP drpP join aggr top  dist new
+		OpWeights: []float64{26, 16, 5, 5, 6, 3, 8, 7, 3, 8, 4, 2, 8},
+		ScriptedP: 0.40,
+	}
+}
+
+// Generate builds a deterministic synthetic workload for the profile.
+func Generate(p Profile, seed int64) *workload.Workload {
+	g := NewRNG(seed)
+	wl := &workload.Workload{Name: p.Name, Datasets: p.Datasets}
+
+	var shared *Schema
+	var userSchemas []*Schema
+	if p.Datasets <= 1 {
+		shared = SDSSSchema()
+	} else {
+		userSchemas = make([]*Schema, p.Datasets)
+		for i := range userSchemas {
+			userSchemas[i] = UserDataset(i, g)
+		}
+	}
+
+	base := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	for si := 0; si < p.Sessions; si++ {
+		schema := shared
+		dataset := ""
+		if shared == nil {
+			ds := userSchemas[g.Intn(len(userSchemas))]
+			schema = ds
+			dataset = ds.Dataset
+		}
+		id := fmt.Sprintf("%s-s%05d", p.Name, si)
+		sess := &workload.Session{ID: id}
+		n := g.Geometric(p.MinLen, p.ContinueP, p.MaxLen)
+		q := newInitialQuery(g, schema)
+		start := base.Add(time.Duration(si) * time.Hour)
+		for qi := 0; qi < n; qi++ {
+			sess.Queries = append(sess.Queries, &workload.Query{
+				SessionID: id,
+				StartTime: start.Add(time.Duration(qi) * time.Minute),
+				SQL:       q.SQL(),
+				Dataset:   dataset,
+			})
+			// Evolve for the next step. With probability ScriptedP the
+			// op is the deterministic script move for the current query
+			// shape; otherwise (and whenever the scripted op cannot
+			// apply) retry random ops until one applies.
+			next := q.clone()
+			applied := false
+			if g.Bool(p.ScriptedP) {
+				applied = scriptedApply(g, next)
+			}
+			for attempt := 0; !applied && attempt < 20; attempt++ {
+				oi := g.Weighted(p.OpWeights)
+				applied = ops[oi](g, next)
+			}
+			q = next
+		}
+		wl.Sessions = append(wl.Sessions, sess)
+	}
+	return wl
+}
+
+// GenerateRecords builds the workload and returns it as JSONL records with
+// dataset labels, for cmd/qrec-genworkload.
+func GenerateRecords(p Profile, seed int64) (*workload.Workload, []workload.Record) {
+	wl := Generate(p, seed)
+	var recs []workload.Record
+	for _, s := range wl.Sessions {
+		for _, q := range s.Queries {
+			recs = append(recs, workload.Record{
+				SessionID: q.SessionID,
+				StartTime: q.StartTime,
+				SQL:       q.SQL,
+				Dataset:   q.Dataset,
+			})
+		}
+	}
+	return wl, recs
+}

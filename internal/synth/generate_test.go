@@ -1,0 +1,245 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+func TestSDSSSchemaShape(t *testing.T) {
+	s := SDSSSchema()
+	if len(s.Tables) != 56 {
+		t.Errorf("SDSS tables: %d, paper Table 2 says 56", len(s.Tables))
+	}
+	if len(s.Functions) == 0 {
+		t.Error("no functions")
+	}
+	for _, j := range s.Joins {
+		if s.TableByName(j.Left) == nil || s.TableByName(j.Right) == nil {
+			t.Errorf("join references missing table: %+v", j)
+		}
+	}
+	for _, tb := range s.Tables {
+		if len(tb.Columns) == 0 {
+			t.Errorf("table %s has no columns", tb.Name)
+		}
+	}
+}
+
+func TestUserDatasetsDisjoint(t *testing.T) {
+	g := NewRNG(1)
+	a := UserDataset(0, g)
+	b := UserDataset(1, g)
+	seen := map[string]bool{}
+	for _, tb := range a.Tables {
+		seen[tb.Name] = true
+	}
+	for _, tb := range b.Tables {
+		if seen[tb.Name] {
+			t.Errorf("table %s shared across datasets", tb.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := SDSSProfile()
+	p.Sessions = 10
+	w1 := Generate(p, 42)
+	w2 := Generate(p, 42)
+	q1, q2 := w1.Queries(), w2.Queries()
+	if len(q1) != len(q2) {
+		t.Fatalf("lengths differ: %d vs %d", len(q1), len(q2))
+	}
+	for i := range q1 {
+		if q1[i].SQL != q2[i].SQL {
+			t.Fatalf("query %d differs:\n%s\n%s", i, q1[i].SQL, q2[i].SQL)
+		}
+	}
+	w3 := Generate(p, 43)
+	if w3.Queries()[0].SQL == q1[0].SQL && w3.Queries()[1].SQL == q1[1].SQL && w3.Queries()[2].SQL == q1[2].SQL {
+		t.Error("different seeds produced identical prefix")
+	}
+}
+
+// TestGeneratedQueriesAllParse: every generated query must parse with our
+// parser and yield non-trivial fragments.
+func TestGeneratedQueriesAllParse(t *testing.T) {
+	for _, p := range []Profile{SDSSProfile(), SQLShareProfile()} {
+		prof := p
+		prof.Sessions = 40
+		wl := Generate(prof, 7)
+		n := 0
+		for _, q := range wl.Queries() {
+			stmt, err := sqlparse.Parse(q.SQL)
+			if err != nil {
+				t.Fatalf("%s: generated query does not parse: %v\nsql: %s", prof.Name, err, q.SQL)
+			}
+			fs := sqlast.Fragments(stmt)
+			if len(fs.Tables) == 0 {
+				t.Errorf("%s: query with no table fragment: %s", prof.Name, q.SQL)
+			}
+			n++
+		}
+		if n < prof.Sessions*2 {
+			t.Errorf("%s: too few queries: %d", prof.Name, n)
+		}
+	}
+}
+
+// pairStats measures the template-change rate between consecutive queries.
+func pairStats(t *testing.T, wl *workload.Workload) (changeRate float64, pairs int) {
+	t.Helper()
+	if d := wl.Enrich(); d != 0 {
+		t.Fatalf("enrich dropped %d queries", d)
+	}
+	changed := 0
+	ps := wl.Pairs()
+	for _, pr := range ps {
+		if pr.Cur.Template != pr.Next.Template {
+			changed++
+		}
+	}
+	if len(ps) == 0 {
+		t.Fatal("no pairs")
+	}
+	return float64(changed) / float64(len(ps)), len(ps)
+}
+
+// TestSDSSCalibration: the SDSS-sim workload must reproduce the paper's
+// headline pair-level statistics: template-change rate over 40% but under
+// 50% (Fig 10f: >40% of Q_{i+1} have a different template; >50% share).
+func TestSDSSCalibration(t *testing.T) {
+	wl := Generate(SDSSProfile(), 42)
+	rate, pairs := pairStats(t, wl)
+	if rate < 0.30 || rate > 0.55 {
+		t.Errorf("SDSS-sim template-change rate %.2f outside [0.30, 0.55] (paper ~0.4-0.5)", rate)
+	}
+	if pairs < 2000 {
+		t.Errorf("SDSS-sim too small: %d pairs", pairs)
+	}
+	// Duplication: total pairs must exceed unique pairs substantially
+	// (paper: 814,855 vs 187,762 — factor ~4.3; we accept >= 1.3).
+	uniq := map[string]bool{}
+	for _, pr := range wl.Pairs() {
+		uniq[pr.Key()] = true
+	}
+	factor := float64(pairs) / float64(len(uniq))
+	if factor < 1.3 {
+		t.Errorf("SDSS-sim duplication factor %.2f too low", factor)
+	}
+}
+
+// TestSQLShareCalibration: higher template-change rate than SDSS (paper:
+// 62% vs >40%), fewer pairs, many datasets.
+func TestSQLShareCalibration(t *testing.T) {
+	sdss := Generate(SDSSProfile(), 42)
+	sqlshare := Generate(SQLShareProfile(), 42)
+	rs, _ := pairStats(t, sdss)
+	rq, pairs := pairStats(t, sqlshare)
+	if rq <= rs {
+		t.Errorf("SQLShare-sim change rate %.2f not above SDSS-sim %.2f", rq, rs)
+	}
+	if rq < 0.45 || rq > 0.80 {
+		t.Errorf("SQLShare-sim template-change rate %.2f outside [0.45, 0.80] (paper ~0.62)", rq)
+	}
+	if pairs >= len(sdss.Pairs()) {
+		t.Errorf("SQLShare-sim should be smaller than SDSS-sim: %d vs %d", pairs, len(sdss.Pairs()))
+	}
+	if sqlshare.Datasets != 64 {
+		t.Errorf("datasets: %d", sqlshare.Datasets)
+	}
+}
+
+// TestSessionVariety: over 70% of sessions must contain at least two
+// unique queries (paper Section 5.3.2).
+func TestSessionVariety(t *testing.T) {
+	for _, p := range []Profile{SDSSProfile(), SQLShareProfile()} {
+		wl := Generate(p, 42)
+		if d := wl.Enrich(); d != 0 {
+			t.Fatalf("drop: %d", d)
+		}
+		multi := 0
+		for _, s := range wl.Sessions {
+			uniq := map[string]bool{}
+			for _, q := range s.Queries {
+				uniq[q.Key()] = true
+			}
+			if len(uniq) >= 2 {
+				multi++
+			}
+		}
+		frac := float64(multi) / float64(len(wl.Sessions))
+		if frac < 0.70 {
+			t.Errorf("%s: only %.0f%% sessions have >=2 unique queries (paper: >70%%)", p.Name, frac*100)
+		}
+	}
+}
+
+func TestGenerateRecordsMatchesWorkload(t *testing.T) {
+	p := SQLShareProfile()
+	p.Sessions = 8
+	wl, recs := GenerateRecords(p, 3)
+	if len(recs) != len(wl.Queries()) {
+		t.Errorf("records %d vs queries %d", len(recs), len(wl.Queries()))
+	}
+	ds := map[string]bool{}
+	for _, r := range recs {
+		if r.Dataset != "" {
+			ds[r.Dataset] = true
+		}
+	}
+	if len(ds) == 0 {
+		t.Error("no dataset labels on SQLShare-sim records")
+	}
+}
+
+func TestRNGHelpers(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if n := g.Geometric(2, 0.5, 10); n < 2 || n > 10 {
+			t.Fatalf("geometric out of range: %d", n)
+		}
+		if z := g.Zipf(10, 1.2); z < 0 || z >= 10 {
+			t.Fatalf("zipf out of range: %d", z)
+		}
+		if w := g.Weighted([]float64{1, 0, 3}); w == 1 {
+			t.Fatalf("weighted picked zero-weight index")
+		}
+	}
+	// Zipf must bias low indices.
+	g2 := NewRNG(2)
+	low := 0
+	for i := 0; i < 1000; i++ {
+		if g2.Zipf(20, 1.4) < 5 {
+			low++
+		}
+	}
+	if low < 600 {
+		t.Errorf("zipf not long-tailed: %d/1000 in first quarter", low)
+	}
+}
+
+// TestSQLShareColumnDiversity: the paper's Table 2 shows SQLShare has more
+// unique columns than tables (4,564 vs 1,722); dataset-suffixed column
+// names must reproduce that ordering.
+func TestSQLShareColumnDiversity(t *testing.T) {
+	wl := Generate(SQLShareProfile(), 42)
+	if d := wl.Enrich(); d != 0 {
+		t.Fatal("drop")
+	}
+	tables := map[string]bool{}
+	columns := map[string]bool{}
+	for _, q := range wl.Queries() {
+		for f := range q.Fragments.Tables {
+			tables[f] = true
+		}
+		for f := range q.Fragments.Columns {
+			columns[f] = true
+		}
+	}
+	if len(columns) <= len(tables) {
+		t.Errorf("columns (%d) should outnumber tables (%d) in SQLShare-sim", len(columns), len(tables))
+	}
+}

@@ -1,0 +1,528 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// queryState is a mutable structured query the session generator evolves
+// step by step. Rendering it yields valid SQL for our parser by
+// construction.
+type queryState struct {
+	schema   *Schema
+	table    string   // driving table
+	joins    []Join   // applied joins (Left is always reachable from table chain)
+	selects  []string // selected column expressions ("ra", "COUNT(*)", ...)
+	star     bool     // SELECT *
+	distinct bool
+	top      int // 0 = none
+	preds    []string
+	groupBy  []string
+	orderBy  string // "" = none
+	orderDsc bool
+}
+
+func (q *queryState) clone() *queryState {
+	c := *q
+	c.joins = append([]Join(nil), q.joins...)
+	c.selects = append([]string(nil), q.selects...)
+	c.preds = append([]string(nil), q.preds...)
+	c.groupBy = append([]string(nil), q.groupBy...)
+	return &c
+}
+
+// tablesInPlay lists the driving table plus joined tables.
+func (q *queryState) tablesInPlay() []string {
+	out := []string{q.table}
+	for _, j := range q.joins {
+		if j.Left != q.table {
+			out = append(out, j.Left)
+		}
+		out = append(out, j.Right)
+	}
+	return out
+}
+
+// randomColumn picks a column from any table in play; numericOnly filters.
+func (q *queryState) randomColumn(g *RNG, numericOnly bool) (string, bool) {
+	tables := q.tablesInPlay()
+	for attempt := 0; attempt < 12; attempt++ {
+		t := q.schema.TableByName(Pick(g, tables))
+		if t == nil || len(t.Columns) == 0 {
+			continue
+		}
+		c := Pick(g, t.Columns)
+		if numericOnly && !c.Numeric {
+			continue
+		}
+		return c.Name, c.Numeric
+	}
+	return "", false
+}
+
+// SQL renders the state to a SQL string.
+func (q *queryState) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	if q.top > 0 {
+		fmt.Fprintf(&sb, "TOP %d ", q.top)
+	}
+	if q.star {
+		sb.WriteString("*")
+	} else {
+		sb.WriteString(strings.Join(q.selects, ", "))
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(q.table)
+	for _, j := range q.joins {
+		fmt.Fprintf(&sb, " JOIN %s ON %s.%s = %s.%s", j.Right, j.Left, j.LeftCol, j.Right, j.RightCol)
+	}
+	if len(q.preds) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(q.preds, " AND "))
+	}
+	if len(q.groupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(q.groupBy, ", "))
+	}
+	if q.orderBy != "" {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(q.orderBy)
+		if q.orderDsc {
+			sb.WriteString(" DESC")
+		}
+	}
+	return sb.String()
+}
+
+// literal renders a random predicate literal. Numeric columns draw small
+// rounded values so literal reuse happens across queries (a property the
+// popular baseline depends on); text columns draw from a tiny pool.
+func literal(g *RNG, numeric bool) string {
+	if numeric {
+		vals := []string{"0", "1", "2", "3", "5", "10", "0.1", "0.3", "0.5", "17.5", "100", "180.0", "200"}
+		return Pick(g, vals)
+	}
+	vals := []string{"'GALAXY'", "'STAR'", "'QSO'", "'unknown'", "'primary'", "'A'", "'B'", "'%x%'", "'ok'", "'science'"}
+	return Pick(g, vals)
+}
+
+func cmpOp(g *RNG) string { return Pick(g, []string{"=", ">", "<", ">=", "<="}) }
+
+// newInitialQuery starts a session: mostly simple explorations on one
+// table, sometimes with a predicate, occasionally a function probe. Table
+// choice is Zipf-biased so popular tables dominate, giving the long-tail
+// template/fragment popularity of Figure 9.
+func newInitialQuery(g *RNG, schema *Schema) *queryState {
+	q := &queryState{schema: schema}
+	q.table = schema.Tables[g.Zipf(len(schema.Tables), 1.4)].Name
+	t := schema.TableByName(q.table)
+	switch g.Weighted([]float64{3, 3, 2, 1, 1}) {
+	case 0: // SELECT * (often TOP-limited)
+		q.star = true
+		if g.Bool(0.5) {
+			q.top = Pick(g, []int{5, 10, 100})
+		}
+	case 1: // a few columns
+		n := 1 + g.Intn(3)
+		for i := 0; i < n && i < len(t.Columns); i++ {
+			q.selects = appendUnique(q.selects, Pick(g, t.Columns).Name)
+		}
+	case 2: // columns + predicate
+		q.selects = appendUnique(q.selects, Pick(g, t.Columns).Name)
+		c := Pick(g, t.Columns)
+		q.preds = append(q.preds, fmt.Sprintf("%s %s %s", c.Name, cmpOp(g), literal(g, c.Numeric)))
+	case 3: // count probe
+		q.selects = []string{"COUNT(*)"}
+	default: // domain function probe
+		fn := Pick(g, schema.Functions)
+		if strings.HasPrefix(fn, "dbo.") {
+			q.selects = []string{fmt.Sprintf("%s(%s)", fn, "1")}
+		} else {
+			c := Pick(g, t.Columns)
+			q.selects = []string{fmt.Sprintf("%s(%s)", fn, c.Name)}
+		}
+	}
+	return q
+}
+
+func appendUnique(xs []string, x string) []string {
+	for _, e := range xs {
+		if e == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// Evolution operators. Each op mutates a clone and reports whether it
+// could apply. Ops that cannot apply leave the query unchanged and the
+// generator retries with another op.
+
+type op func(*RNG, *queryState) bool
+
+// opRerun re-issues the same query (duplicate pairs are a documented SDSS
+// trait: 814,855 total vs 187,762 unique pairs).
+func opRerun(*RNG, *queryState) bool { return true }
+
+// opTweakLiteral swaps one predicate's literal, keeping the template.
+func opTweakLiteral(g *RNG, q *queryState) bool {
+	if len(q.preds) == 0 {
+		return false
+	}
+	i := g.Intn(len(q.preds))
+	parts := strings.Fields(q.preds[i])
+	switch {
+	case len(parts) == 3 && parts[1] != "IS": // col op literal / col LIKE lit
+		numeric := !strings.HasPrefix(parts[2], "'")
+		q.preds[i] = parts[0] + " " + parts[1] + " " + literal(g, numeric)
+	case len(parts) == 5 && parts[1] == "BETWEEN":
+		q.preds[i] = fmt.Sprintf("%s BETWEEN %s AND %s", parts[0], literal(g, true), literal(g, true))
+	default:
+		return false
+	}
+	return true
+}
+
+// opChangeTable swaps the driving table for a schema sibling, keeping the
+// structure (same template, different table fragment) when possible.
+func opChangeTable(g *RNG, q *queryState) bool {
+	if len(q.joins) > 0 {
+		return false
+	}
+	next := schemaSibling(g, q.schema, q.table)
+	if next == "" || next == q.table {
+		return false
+	}
+	nt := q.schema.TableByName(next)
+	// Only swap when the selected/pred columns exist on the new table.
+	colsOK := func(expr string) bool {
+		name := baseColumn(expr)
+		if name == "" || name == "*" {
+			return true
+		}
+		for _, c := range nt.Columns {
+			if c.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, sel := range q.selects {
+		if !colsOK(sel) {
+			return false
+		}
+	}
+	for _, p := range q.preds {
+		if !colsOK(p) {
+			return false
+		}
+	}
+	q.table = next
+	return true
+}
+
+// baseColumn extracts the leading column identifier of a simple expression.
+func baseColumn(expr string) string {
+	expr = strings.TrimSpace(expr)
+	if i := strings.IndexAny(expr, " (="); i >= 0 {
+		head := expr[:i]
+		if strings.Contains(expr, "(") && !strings.Contains(head, ".") {
+			return "" // function call; treat as always OK
+		}
+		return head
+	}
+	return expr
+}
+
+// schemaSibling returns a different table that shares at least half of the
+// current table's column names, or any random table as fallback.
+func schemaSibling(g *RNG, s *Schema, table string) string {
+	cur := s.TableByName(table)
+	if cur == nil {
+		return ""
+	}
+	curCols := map[string]bool{}
+	for _, c := range cur.Columns {
+		curCols[c.Name] = true
+	}
+	var sibs []string
+	for _, t := range s.Tables {
+		if t.Name == table {
+			continue
+		}
+		shared := 0
+		for _, c := range t.Columns {
+			if curCols[c.Name] {
+				shared++
+			}
+		}
+		if shared*2 >= len(cur.Columns) {
+			sibs = append(sibs, t.Name)
+		}
+	}
+	if len(sibs) == 0 {
+		return ""
+	}
+	return Pick(g, sibs)
+}
+
+// opAddColumn adds a selected column (template changes: one more Column).
+func opAddColumn(g *RNG, q *queryState) bool {
+	if q.star || len(q.groupBy) > 0 {
+		return false
+	}
+	c, _ := q.randomColumn(g, false)
+	if c == "" {
+		return false
+	}
+	before := len(q.selects)
+	q.selects = appendUnique(q.selects, c)
+	return len(q.selects) > before
+}
+
+// opDropColumn removes a selected column.
+func opDropColumn(g *RNG, q *queryState) bool {
+	if q.star || len(q.selects) < 2 {
+		return false
+	}
+	i := g.Intn(len(q.selects))
+	q.selects = append(q.selects[:i], q.selects[i+1:]...)
+	return true
+}
+
+// opStarToColumns narrows SELECT * to explicit columns.
+func opStarToColumns(g *RNG, q *queryState) bool {
+	if !q.star {
+		return false
+	}
+	t := q.schema.TableByName(q.table)
+	if t == nil {
+		return false
+	}
+	q.star = false
+	n := 1 + g.Intn(3)
+	for i := 0; i < n && i < len(t.Columns); i++ {
+		q.selects = appendUnique(q.selects, Pick(g, t.Columns).Name)
+	}
+	return len(q.selects) > 0
+}
+
+// opAddPredicate appends one WHERE condition.
+func opAddPredicate(g *RNG, q *queryState) bool {
+	if len(q.preds) >= 4 {
+		return false
+	}
+	c, numeric := q.randomColumn(g, false)
+	if c == "" {
+		return false
+	}
+	switch {
+	case g.Bool(0.12):
+		q.preds = append(q.preds, fmt.Sprintf("%s BETWEEN %s AND %s", c, literal(g, true), literal(g, true)))
+	case !numeric && g.Bool(0.3):
+		q.preds = append(q.preds, fmt.Sprintf("%s LIKE %s", c, literal(g, false)))
+	case g.Bool(0.06):
+		q.preds = append(q.preds, fmt.Sprintf("%s IS NOT NULL", c))
+	default:
+		q.preds = append(q.preds, fmt.Sprintf("%s %s %s", c, cmpOp(g), literal(g, numeric)))
+	}
+	return true
+}
+
+// opDropPredicate removes one WHERE condition.
+func opDropPredicate(g *RNG, q *queryState) bool {
+	if len(q.preds) == 0 {
+		return false
+	}
+	i := g.Intn(len(q.preds))
+	q.preds = append(q.preds[:i], q.preds[i+1:]...)
+	return true
+}
+
+// opAddJoin extends FROM with a schema join reachable from tables in play.
+func opAddJoin(g *RNG, q *queryState) bool {
+	if len(q.joins) >= 2 || q.star {
+		return false
+	}
+	inPlay := map[string]bool{}
+	for _, t := range q.tablesInPlay() {
+		inPlay[t] = true
+	}
+	var candidates []Join
+	for _, j := range q.schema.Joins {
+		if inPlay[j.Left] && !inPlay[j.Right] {
+			candidates = append(candidates, j)
+		}
+		if inPlay[j.Right] && !inPlay[j.Left] {
+			// flip so Left is the in-play side
+			candidates = append(candidates, Join{Left: j.Right, Right: j.Left, LeftCol: j.RightCol, RightCol: j.LeftCol})
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	j := Pick(g, candidates)
+	q.joins = append(q.joins, j)
+	// Qualify any ambiguous plain selects with the driving table to stay
+	// unambiguous; and often pull a column from the new table.
+	if g.Bool(0.7) && !q.star {
+		nt := q.schema.TableByName(j.Right)
+		if nt != nil && len(nt.Columns) > 0 {
+			q.selects = appendUnique(q.selects, j.Right+"."+Pick(g, nt.Columns).Name)
+		}
+	}
+	return true
+}
+
+// opToAggregate rewrites the query into a GROUP BY aggregation, a common
+// exploration move (count per class).
+func opToAggregate(g *RNG, q *queryState) bool {
+	if len(q.groupBy) > 0 {
+		return false
+	}
+	c, _ := q.randomColumn(g, false)
+	if c == "" {
+		return false
+	}
+	agg := Pick(g, []string{"COUNT(*)", "COUNT(DISTINCT %s)", "AVG(%s)", "MAX(%s)", "MIN(%s)"})
+	var aggExpr string
+	if strings.Contains(agg, "%s") {
+		ac, numeric := q.randomColumn(g, true)
+		if ac == "" || (!numeric && !strings.HasPrefix(agg, "COUNT")) {
+			aggExpr = "COUNT(*)"
+		} else {
+			aggExpr = fmt.Sprintf(agg, ac)
+		}
+	} else {
+		aggExpr = agg
+	}
+	q.star = false
+	q.distinct = false
+	q.selects = []string{c, aggExpr}
+	q.groupBy = []string{c}
+	if g.Bool(0.4) {
+		q.orderBy = aggExpr
+		q.orderDsc = true
+	} else {
+		q.orderBy = ""
+	}
+	return true
+}
+
+// opAddTopOrder adds TOP + ORDER BY (template change).
+func opAddTopOrder(g *RNG, q *queryState) bool {
+	if q.top > 0 && q.orderBy != "" {
+		return false
+	}
+	q.top = Pick(g, []int{5, 10, 20, 100})
+	if c, _ := q.randomColumn(g, true); c != "" {
+		q.orderBy = c
+		q.orderDsc = g.Bool(0.6)
+	}
+	return true
+}
+
+// opToggleDistinct flips DISTINCT (template change).
+func opToggleDistinct(g *RNG, q *queryState) bool {
+	if q.star || len(q.groupBy) > 0 {
+		return false
+	}
+	q.distinct = !q.distinct
+	return true
+}
+
+// opNewIntent abandons the thread and starts fresh (template usually
+// changes, fragments usually change).
+func opNewIntent(g *RNG, q *queryState) bool {
+	*q = *newInitialQuery(g, q.schema)
+	return true
+}
+
+// scriptedApply advances the query along the canonical exploration
+// recipe:
+//
+//	probe (*) -> narrow to columns -> filter -> join -> aggregate
+//	          -> rank (TOP/ORDER) -> refine thresholds
+//
+// Unlike the random ops, each scripted move has a *fixed structural form*
+// (always two columns, always a simple ">" comparison, always COUNT(*)
+// ranked descending), so the next query's template is a near-deterministic
+// function of the current query's shape. That recipe structure is what
+// makes real workloads predictable beyond "repeat the same template" —
+// the signal the paper's seq-aware models learn. Fragment choices (which
+// column, which literal) stay random. Reports whether a move applied.
+func scriptedApply(g *RNG, q *queryState) bool {
+	switch {
+	case q.star:
+		// Narrow SELECT * to exactly two concrete columns.
+		t := q.schema.TableByName(q.table)
+		if t == nil || len(t.Columns) < 2 {
+			return false
+		}
+		q.star = false
+		q.top = 0
+		q.selects = nil
+		q.selects = appendUnique(q.selects, Pick(g, t.Columns).Name)
+		for len(q.selects) < 2 {
+			q.selects = appendUnique(q.selects, Pick(g, t.Columns).Name)
+		}
+		return true
+	case len(q.groupBy) > 0 && q.orderBy == "":
+		// Rank the aggregate: TOP 10 ordered by the aggregate, DESC.
+		q.top = 10
+		q.orderBy = q.selects[len(q.selects)-1]
+		q.orderDsc = true
+		return true
+	case len(q.groupBy) > 0:
+		// Refine thresholds without changing structure.
+		return opTweakLiteral(g, q)
+	case len(q.preds) == 0:
+		// Start filtering: one simple numeric comparison.
+		c, _ := q.randomColumn(g, true)
+		if c == "" {
+			return false
+		}
+		q.preds = append(q.preds, c+" > "+literal(g, true))
+		return true
+	case len(q.preds) == 1 && len(q.joins) == 0 && !q.distinct && q.top == 0:
+		// Widen to a related table, always pulling one of its columns.
+		inPlay := map[string]bool{q.table: true}
+		var candidates []Join
+		for _, j := range q.schema.Joins {
+			if inPlay[j.Left] && !inPlay[j.Right] {
+				candidates = append(candidates, j)
+			} else if inPlay[j.Right] && !inPlay[j.Left] {
+				candidates = append(candidates, Join{Left: j.Right, Right: j.Left, LeftCol: j.RightCol, RightCol: j.LeftCol})
+			}
+		}
+		if len(candidates) == 0 || q.star {
+			return false
+		}
+		j := Pick(g, candidates)
+		q.joins = append(q.joins, j)
+		nt := q.schema.TableByName(j.Right)
+		if nt == nil || len(nt.Columns) == 0 {
+			return true
+		}
+		q.selects = appendUnique(q.selects, j.Right+"."+Pick(g, nt.Columns).Name)
+		return true
+	default:
+		// Summarize: fixed grouped COUNT(*) ranked descending.
+		c, _ := q.randomColumn(g, false)
+		if c == "" {
+			return false
+		}
+		q.star = false
+		q.distinct = false
+		q.top = 0
+		q.selects = []string{c, "COUNT(*)"}
+		q.groupBy = []string{c}
+		q.orderBy = ""
+		q.orderDsc = false
+		return true
+	}
+}

@@ -1,0 +1,65 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the small helpers the generators need. All
+// generation is deterministic given the seed.
+type RNG struct{ r *rand.Rand }
+
+// NewRNG returns a seeded generator.
+func NewRNG(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+// Intn returns a uniform int in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Float64 returns a uniform float in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Pick returns a uniform element of the (non-empty) slice.
+func Pick[T any](g *RNG, xs []T) T { return xs[g.r.Intn(len(xs))] }
+
+// Weighted picks index i with probability weights[i]/sum(weights).
+func (g *RNG) Weighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Geometric samples a session length >= min with roughly geometric tail:
+// each extra step continues with probability cont.
+func (g *RNG) Geometric(min int, cont float64, max int) int {
+	n := min
+	for n < max && g.Bool(cont) {
+		n++
+	}
+	return n
+}
+
+// Zipf picks an index in [0,n) with a Zipf-like long-tail bias (lower
+// indices much more likely), exponent s.
+func (g *RNG) Zipf(n int, s float64) int {
+	// Inverse-CDF sampling over precomputed-free harmonic weights is
+	// overkill at our n; rejection with pow works fine.
+	for {
+		i := g.r.Intn(n)
+		p := 1.0 / math.Pow(float64(i+1), s)
+		if g.r.Float64() < p {
+			return i
+		}
+	}
+}

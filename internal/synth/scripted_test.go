@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"testing"
+)
+
+// TestScriptedTransitionsPredictable verifies the property the scripted
+// recipe exists to create: conditioning on the current query's template
+// must beat the unconditional "predict the same template" rule. We build
+// the Bayes-optimal tabular predictor (majority next-template given
+// current template) on one half of the pairs and score it on the other
+// half, against the naive same-template rule.
+func TestScriptedTransitionsPredictable(t *testing.T) {
+	for _, p := range []Profile{SDSSProfile(), SQLShareProfile()} {
+		wl := Generate(p, 42)
+		if d := wl.Enrich(); d != 0 {
+			t.Fatalf("%s: dropped %d", p.Name, d)
+		}
+		pairs := wl.Pairs()
+		half := len(pairs) / 2
+		trainP, testP := pairs[:half], pairs[half:]
+
+		counts := map[string]map[string]int{}
+		for _, pr := range trainP {
+			m := counts[pr.Cur.Template]
+			if m == nil {
+				m = map[string]int{}
+				counts[pr.Cur.Template] = m
+			}
+			m[pr.Next.Template]++
+		}
+		majority := map[string]string{}
+		for cur, m := range counts {
+			best, bestN := "", -1
+			for next, n := range m {
+				if n > bestN || (n == bestN && next < best) {
+					best, bestN = next, n
+				}
+			}
+			majority[cur] = best
+		}
+
+		condHits, naiveHits := 0, 0
+		for _, pr := range testP {
+			pred, ok := majority[pr.Cur.Template]
+			if !ok {
+				pred = pr.Cur.Template // back off to naive
+			}
+			if pred == pr.Next.Template {
+				condHits++
+			}
+			if pr.Cur.Template == pr.Next.Template {
+				naiveHits++
+			}
+		}
+		cond := float64(condHits) / float64(len(testP))
+		naive := float64(naiveHits) / float64(len(testP))
+		t.Logf("%s: conditional %.3f vs naive %.3f", p.Name, cond, naive)
+		if cond < naive+0.02 {
+			t.Errorf("%s: template transitions not predictable beyond naive: cond %.3f naive %.3f",
+				p.Name, cond, naive)
+		}
+	}
+}
+
+// TestScriptedOpCoversAllShapes: every reachable query shape maps to a
+// valid op index.
+func TestScriptedOpCoversAllShapes(t *testing.T) {
+	g := NewRNG(9)
+	schema := SDSSSchema()
+	for i := 0; i < 500; i++ {
+		q := newInitialQuery(g, schema)
+		for step := 0; step < 6; step++ {
+			next := q.clone()
+			// Scripted moves may fail (e.g. no join available); the
+			// generator falls back to random ops — verify failure never
+			// corrupts the query.
+			scriptedApply(g, next)
+			if next.SQL() == "" {
+				t.Fatal("scripted move corrupted query")
+			}
+			q = next
+		}
+	}
+}

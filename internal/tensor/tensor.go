@@ -1,0 +1,286 @@
+// Package tensor implements the dense 2-D float64 matrices underlying the
+// neural-network substrate. Vectors are 1×n or n×1 matrices. The package
+// is deliberately minimal and allocation-conscious: every operation the
+// autograd layer needs, nothing more.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zeroed rows×cols tensor.
+func New(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols tensor.
+func FromSlice(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// At returns element (i, j).
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (t *Tensor) Row(i int) []float64 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// SameShape reports shape equality.
+func (t *Tensor) SameShape(o *Tensor) bool { return t.Rows == o.Rows && t.Cols == o.Cols }
+
+// Zero resets all elements.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// MatMul computes a @ b into a new tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b, false)
+	return out
+}
+
+// MatMulInto computes out = a @ b, or out += a @ b when accumulate is set.
+// The ikj loop order keeps the inner loop cache-friendly.
+func MatMulInto(out, a, b *Tensor, accumulate bool) {
+	if !accumulate {
+		out.Zero()
+	}
+	n, m, p := a.Rows, a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*m : (i+1)*m]
+		orow := out.Data[i*p : (i+1)*p]
+		for k := 0; k < m; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j := 0; j < p; j++ {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// Transpose returns aᵀ as a new tensor.
+func Transpose(a *Tensor) *Tensor {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	mustSame("add", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Tensor) {
+	mustSame("add-in-place", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	mustSame("sub", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Mul returns the elementwise product.
+func Mul(a, b *Tensor) *Tensor {
+	mustSame("mul", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] *= v
+	}
+	return out
+}
+
+// Scale returns a * s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element by s.
+func ScaleInPlace(a *Tensor, s float64) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// AddRowBroadcast returns a + row for every row of a; row is 1×cols.
+func AddRowBroadcast(a, row *Tensor) *Tensor {
+	if row.Rows != 1 || row.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: broadcast shape %dx%d onto %dx%d", row.Rows, row.Cols, a.Rows, a.Cols))
+	}
+	out := a.Clone()
+	for i := 0; i < a.Rows; i++ {
+		r := out.Row(i)
+		for j, v := range row.Data {
+			r[j] += v
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically-stable softmax to each row.
+func SoftmaxRows(a *Tensor) *Tensor {
+	out := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		src, dst := a.Row(i), out.Row(i)
+		max := math.Inf(-1)
+		for _, v := range src {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range src {
+			e := math.Exp(v - max)
+			dst[j] = e
+			sum += e
+		}
+		inv := 1.0 / sum
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// ArgMaxRow returns the index of the maximum element in row i.
+func (t *Tensor) ArgMaxRow(i int) int {
+	row := t.Row(i)
+	best, bestV := 0, math.Inf(-1)
+	for j, v := range row {
+		if v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best
+}
+
+// TopKRow returns the indices of the k largest elements of row i, in
+// descending value order.
+func (t *Tensor) TopKRow(i, k int) []int {
+	row := t.Row(i)
+	if k > len(row) {
+		k = len(row)
+	}
+	idx := make([]int, len(row))
+	for j := range idx {
+		idx[j] = j
+	}
+	// Partial selection sort: k is small (beam widths, top-N).
+	for a := 0; a < k; a++ {
+		best := a
+		for b := a + 1; b < len(idx); b++ {
+			if row[idx[b]] > row[idx[best]] {
+				best = b
+			}
+		}
+		idx[a], idx[best] = idx[best], idx[a]
+	}
+	return idx[:k]
+}
+
+// Norm returns the Frobenius norm.
+func (t *Tensor) Norm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// RandInit fills the tensor with Xavier/Glorot-uniform noise scaled by the
+// fan-in/fan-out of the matrix.
+func (t *Tensor) RandInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(t.Rows+t.Cols))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// AllClose reports elementwise closeness within tol.
+func AllClose(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSame(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

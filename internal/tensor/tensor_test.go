@@ -1,0 +1,239 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	a := New(2, 3)
+	a.Set(1, 2, 7)
+	if a.At(1, 2) != 7 || a.At(0, 0) != 0 {
+		t.Error("set/at broken")
+	}
+	if len(a.Row(1)) != 3 || a.Row(1)[2] != 7 {
+		t.Error("row view broken")
+	}
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !AllClose(c, want, 1e-12) {
+		t.Errorf("matmul: %v", c.Data)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulAccumulate(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 1})
+	b := FromSlice(2, 1, []float64{2, 3})
+	out := FromSlice(1, 1, []float64{10})
+	MatMulInto(out, a, b, true)
+	if out.At(0, 0) != 15 {
+		t.Errorf("accumulate: %f", out.At(0, 0))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := Transpose(a)
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Errorf("transpose: %+v", at)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ for random matrices.
+func TestMatMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m, p := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a, b := New(n, m), New(m, p)
+		a.RandInit(rng)
+		b.RandInit(rng)
+		left := Transpose(MatMul(a, b))
+		right := MatMul(Transpose(b), Transpose(a))
+		return AllClose(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matmul distributes over addition: A(B+C) = AB + AC.
+func TestMatMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m, p := 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(4)
+		a, b, c := New(n, m), New(m, p), New(m, p)
+		a.RandInit(r)
+		b.RandInit(r)
+		c.RandInit(r)
+		return AllClose(MatMul(a, Add(b, c)), Add(MatMul(a, b), MatMul(a, c)), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	if got := Add(a, b); !AllClose(got, FromSlice(1, 3, []float64{5, 7, 9}), 0) {
+		t.Errorf("add: %v", got.Data)
+	}
+	if got := Sub(b, a); !AllClose(got, FromSlice(1, 3, []float64{3, 3, 3}), 0) {
+		t.Errorf("sub: %v", got.Data)
+	}
+	if got := Mul(a, b); !AllClose(got, FromSlice(1, 3, []float64{4, 10, 18}), 0) {
+		t.Errorf("mul: %v", got.Data)
+	}
+	if got := Scale(a, 2); !AllClose(got, FromSlice(1, 3, []float64{2, 4, 6}), 0) {
+		t.Errorf("scale: %v", got.Data)
+	}
+	// Originals untouched.
+	if a.At(0, 0) != 1 || b.At(0, 0) != 4 {
+		t.Error("inputs mutated")
+	}
+}
+
+func TestAddRowBroadcast(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	row := FromSlice(1, 2, []float64{10, 20})
+	got := AddRowBroadcast(a, row)
+	want := FromSlice(2, 2, []float64{11, 22, 13, 24})
+	if !AllClose(got, want, 0) {
+		t.Errorf("broadcast: %v", got.Data)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	s := SoftmaxRows(a)
+	for i := 0; i < 2; i++ {
+		sum := 0.0
+		for _, v := range s.Row(i) {
+			sum += v
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("bad softmax value %f", v)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %f", i, sum)
+		}
+	}
+	if !(s.At(0, 2) > s.At(0, 1) && s.At(0, 1) > s.At(0, 0)) {
+		t.Error("softmax not monotone")
+	}
+}
+
+// Property: softmax is shift-invariant per row.
+func TestSoftmaxShiftInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := New(2, 4)
+		a.RandInit(r)
+		shifted := a.Clone()
+		for i := range shifted.Data {
+			shifted.Data[i] += 5.5
+		}
+		return AllClose(SoftmaxRows(a), SoftmaxRows(shifted), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgTop(t *testing.T) {
+	a := FromSlice(1, 5, []float64{0.1, 0.9, 0.3, 0.95, 0.2})
+	if a.ArgMaxRow(0) != 3 {
+		t.Errorf("argmax: %d", a.ArgMaxRow(0))
+	}
+	top := a.TopKRow(0, 3)
+	if len(top) != 3 || top[0] != 3 || top[1] != 1 || top[2] != 2 {
+		t.Errorf("topk: %v", top)
+	}
+	if got := a.TopKRow(0, 99); len(got) != 5 {
+		t.Errorf("topk clamp: %v", got)
+	}
+}
+
+func TestNormSumFillZero(t *testing.T) {
+	a := FromSlice(1, 2, []float64{3, 4})
+	if a.Norm() != 5 {
+		t.Errorf("norm: %f", a.Norm())
+	}
+	if a.Sum() != 7 {
+		t.Errorf("sum: %f", a.Sum())
+	}
+	a.Fill(2)
+	if a.Sum() != 4 {
+		t.Errorf("fill: %v", a.Data)
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Error("zero")
+	}
+}
+
+func TestRandInitBounds(t *testing.T) {
+	a := New(10, 10)
+	a.RandInit(rand.New(rand.NewSource(1)))
+	limit := math.Sqrt(6.0 / 20.0)
+	nonzero := false
+	for _, v := range a.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("value %f outside Xavier bound %f", v, limit)
+		}
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("all zeros")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("clone shares memory")
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(64, 64), New(64, 64)
+	x.RandInit(rng)
+	y.RandInit(rng)
+	out := New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, y, false)
+	}
+}

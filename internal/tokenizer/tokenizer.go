@@ -1,0 +1,121 @@
+// Package tokenizer turns SQL statements into the word-token sequences the
+// seq2seq models consume (paper Definitions 1-2 and Section 5.4.1) and
+// maintains the vocabulary mapping tokens to ids.
+//
+// Normalization follows the paper's pre-processing: queries are parsed,
+// aliases are replaced by the table name they stand for, numeric literals
+// are folded to a single <NUM> token to control vocabulary size, and the
+// statement is re-rendered canonically so indentation and spacing do not
+// produce distinct tokens.
+package tokenizer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqllex"
+	"repro/internal/sqlparse"
+)
+
+// NumToken replaces all numeric literals (paper Section 5.4.1).
+const NumToken = "<NUM>"
+
+// Options controls normalization.
+type Options struct {
+	// FoldNumbers replaces numeric literals with NumToken. The paper
+	// always folds; the option exists for the vocabulary-explosion
+	// ablation.
+	FoldNumbers bool
+}
+
+// DefaultOptions matches the paper's pre-processing.
+var DefaultOptions = Options{FoldNumbers: true}
+
+// Tokenize parses, normalizes and tokenizes one SQL statement using
+// DefaultOptions.
+func Tokenize(sql string) ([]string, error) { return TokenizeOpts(sql, DefaultOptions) }
+
+// TokenizeOpts parses, normalizes and tokenizes one SQL statement.
+// Qualified names (a.b) are merged into single tokens; keywords are
+// upper-cased; everything else keeps its rendered spelling.
+func TokenizeOpts(sql string, opts Options) ([]string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("tokenize: %w", err)
+	}
+	return TokenizeStmt(stmt, opts), nil
+}
+
+// TokenizeStmt tokenizes an already-parsed statement.
+func TokenizeStmt(stmt *sqlast.SelectStmt, opts Options) []string {
+	rendered := sqlast.RenderSQLString(stmt)
+	toks, err := sqllex.Tokenize(rendered)
+	if err != nil {
+		// Rendered SQL always re-lexes; a failure is a renderer bug.
+		panic(fmt.Sprintf("tokenizer: rendered SQL failed to lex: %v\nsql: %s", err, rendered))
+	}
+	out := make([]string, 0, len(toks))
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t.Kind {
+		case sqllex.Number:
+			if opts.FoldNumbers {
+				out = append(out, NumToken)
+			} else {
+				out = append(out, t.Text)
+			}
+		case sqllex.Keyword:
+			out = append(out, t.Upper)
+		case sqllex.Ident:
+			// Merge dotted chains ident(.ident)* into one token.
+			name := t.Text
+			for i+2 < len(toks) && toks[i+1].Is(".") && toks[i+2].Kind == sqllex.Ident {
+				name += "." + toks[i+2].Text
+				i += 2
+			}
+			// Qualified star: ident.* stays merged too.
+			if i+2 < len(toks) && toks[i+1].Is(".") && toks[i+2].Is("*") {
+				name += ".*"
+				i += 2
+			}
+			out = append(out, name)
+		default:
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}
+
+// Detokenize joins tokens back into a parseable SQL string. <NUM> tokens
+// are spelled as a representative number so the result parses.
+func Detokenize(tokens []string) string {
+	parts := make([]string, len(tokens))
+	for i, t := range tokens {
+		if t == NumToken {
+			parts[i] = "0"
+		} else {
+			parts[i] = t
+		}
+	}
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 && needsSpace(parts[i-1], p) {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(p)
+	}
+	return sb.String()
+}
+
+func needsSpace(prev, cur string) bool {
+	switch cur {
+	case ",", ")", ".", ";":
+		return false
+	}
+	switch prev {
+	case "(", ".":
+		return false
+	}
+	return true
+}

@@ -1,0 +1,272 @@
+package tokenizer
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlparse"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	toks, err := Tokenize("SELECT * FROM PhotoTag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT", "*", "FROM", "PhotoTag"}
+	if !reflect.DeepEqual(toks, want) {
+		t.Errorf("got %v want %v", toks, want)
+	}
+}
+
+func TestTokenizeFoldsNumbers(t *testing.T) {
+	toks, err := Tokenize("SELECT ra FROM t WHERE ra > 180.5 AND z < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, tok := range toks {
+		if tok == NumToken {
+			n++
+		}
+		if tok == "180.5" || tok == "3" {
+			t.Errorf("raw number leaked: %v", toks)
+		}
+	}
+	if n != 2 {
+		t.Errorf("expected 2 <NUM>, got %d: %v", n, toks)
+	}
+}
+
+func TestTokenizeNoFoldOption(t *testing.T) {
+	toks, err := TokenizeOpts("SELECT ra FROM t WHERE ra > 180.5", Options{FoldNumbers: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tok := range toks {
+		if tok == "180.5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("number folded despite option: %v", toks)
+	}
+}
+
+func TestTokenizeResolvesAliases(t *testing.T) {
+	toks, err := Tokenize("SELECT p.ra FROM PhotoObj AS p WHERE p.dec > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(toks, " ")
+	if !strings.Contains(joined, "PhotoObj.ra") || !strings.Contains(joined, "PhotoObj.dec") {
+		t.Errorf("aliases not resolved: %v", toks)
+	}
+	for _, tok := range toks {
+		if tok == "p" || tok == "AS" {
+			t.Errorf("alias artifacts remain: %v", toks)
+		}
+	}
+}
+
+func TestTokenizeMergesQualifiedNames(t *testing.T) {
+	toks, err := Tokenize("SELECT dbo.fPhotoTypeN(3) FROM dbo.PhotoObj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasFunc, hasTable bool
+	for _, tok := range toks {
+		if tok == "dbo.fPhotoTypeN" {
+			hasFunc = true
+		}
+		if tok == "dbo.PhotoObj" {
+			hasTable = true
+		}
+	}
+	if !hasFunc || !hasTable {
+		t.Errorf("dotted names not merged: %v", toks)
+	}
+}
+
+func TestTokenizeWhitespaceInvariant(t *testing.T) {
+	a, err := Tokenize("SELECT a,b FROM   t\n\tWHERE x=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tokenize("select a, b from t where x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("whitespace changed tokens:\n%v\n%v", a, b)
+	}
+}
+
+func TestTokenizeErrorOnGarbage(t *testing.T) {
+	if _, err := Tokenize("DROP TABLE x"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestDetokenizeParses(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM PhotoTag",
+		"SELECT TOP 10 p.ra FROM PhotoObj p WHERE p.ra BETWEEN 140.0 AND 141.0",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+		"SELECT CAST(x AS INT) FROM t WHERE y LIKE '%q%'",
+	}
+	for _, q := range queries {
+		toks, err := Tokenize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := Detokenize(toks)
+		if _, err := sqlparse.Parse(back); err != nil {
+			t.Errorf("detokenized %q does not parse: %v\nfrom %v", back, err, toks)
+		}
+	}
+}
+
+// TestTokenizeRoundTripProperty: tokenize(detokenize(tokenize(q))) is a
+// fixpoint for a family of generated queries.
+func TestTokenizeRoundTripProperty(t *testing.T) {
+	tables := []string{"PhotoObj", "SpecObj", "PhotoTag", "Neighbors"}
+	cols := []string{"ra", "objID", "z", "type"}
+	f := func(ti, ci, n uint8) bool {
+		q := "SELECT " + cols[int(ci)%len(cols)] + " FROM " + tables[int(ti)%len(tables)] +
+			" WHERE " + cols[int(n)%len(cols)] + " > 42"
+		t1, err := Tokenize(q)
+		if err != nil {
+			return false
+		}
+		t2, err := Tokenize(Detokenize(t1))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(t1, t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabBuildEncodeDecode(t *testing.T) {
+	b := NewBuilder()
+	b.AddQuery([]string{"SELECT", "ra", "FROM", "PhotoObj"})
+	b.AddQuery([]string{"SELECT", "z", "FROM", "SpecObj"})
+	v := b.Build(1)
+	if v.Size() != 4+6 {
+		t.Errorf("size: %d", v.Size())
+	}
+	ids := v.Encode([]string{"SELECT", "ra", "FROM", "PhotoObj"}, true)
+	if ids[0] != BOS || ids[len(ids)-1] != EOS {
+		t.Errorf("wrap: %v", ids)
+	}
+	back := v.Decode(ids)
+	if !reflect.DeepEqual(back, []string{"SELECT", "ra", "FROM", "PhotoObj"}) {
+		t.Errorf("decode: %v", back)
+	}
+}
+
+func TestVocabUnknown(t *testing.T) {
+	b := NewBuilder()
+	b.AddQuery([]string{"SELECT", "a"})
+	v := b.Build(1)
+	if v.ID("never-seen") != UNK {
+		t.Errorf("unknown token id: %d", v.ID("never-seen"))
+	}
+	if v.Token(9999) != UnkToken {
+		t.Errorf("out-of-range token: %q", v.Token(9999))
+	}
+	if v.Has("never-seen") {
+		t.Error("Has(false positive)")
+	}
+}
+
+func TestVocabMinCount(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 3; i++ {
+		b.Add("common", RoleOther)
+	}
+	b.Add("rare", RoleOther)
+	v := b.Build(2)
+	if !v.Has("common") || v.Has("rare") {
+		t.Errorf("min count filter broken: has(common)=%v has(rare)=%v", v.Has("common"), v.Has("rare"))
+	}
+}
+
+func TestVocabDeterministicIDs(t *testing.T) {
+	mk := func() *Vocab {
+		b := NewBuilder()
+		b.AddQuery([]string{"x", "y", "y", "z", "z", "z"})
+		return b.Build(1)
+	}
+	v1, v2 := mk(), mk()
+	for _, tok := range []string{"x", "y", "z"} {
+		if v1.ID(tok) != v2.ID(tok) {
+			t.Errorf("nondeterministic id for %q", tok)
+		}
+	}
+	// Most frequent token gets the smallest id after specials.
+	if v1.ID("z") != 4 {
+		t.Errorf("frequency order broken: id(z)=%d", v1.ID("z"))
+	}
+}
+
+func TestVocabRoles(t *testing.T) {
+	b := NewBuilder()
+	b.Add("PhotoObj", RoleTable)
+	b.Add("PhotoObj", RoleTable)
+	b.Add("PhotoObj", RoleColumn) // minority vote
+	b.Add("ra", RoleColumn)
+	b.Add("'x'", RoleOther)
+	b.Add(NumToken, RoleOther)
+	v := b.Build(1)
+	if v.Role(v.ID("PhotoObj")) != RoleTable {
+		t.Errorf("majority role: %v", v.Role(v.ID("PhotoObj")))
+	}
+	if v.Role(v.ID("ra")) != RoleColumn {
+		t.Errorf("ra role: %v", v.Role(v.ID("ra")))
+	}
+	// String literals and <NUM> are literals regardless of votes.
+	if v.Role(v.ID("'x'")) != RoleLiteral || v.Role(v.ID(NumToken)) != RoleLiteral {
+		t.Error("literal role heuristics broken")
+	}
+	tabs := v.RoleTokens(RoleTable)
+	if len(tabs) != 1 || tabs[0] != "PhotoObj" {
+		t.Errorf("RoleTokens: %v", tabs)
+	}
+}
+
+func TestVocabSaveLoad(t *testing.T) {
+	b := NewBuilder()
+	b.Add("PhotoObj", RoleTable)
+	b.Add("ra", RoleColumn)
+	v := b.Build(1)
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := LoadVocab(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Size() != v.Size() || v2.ID("PhotoObj") != v.ID("PhotoObj") || v2.Role(v2.ID("ra")) != RoleColumn {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestLoadVocabRejectsGarbage(t *testing.T) {
+	if _, err := LoadVocab(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleTable.String() != "table" || RoleOther.String() != "other" {
+		t.Error("role names")
+	}
+}

@@ -1,0 +1,243 @@
+package tokenizer
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Special token ids. They occupy the first vocabulary slots in this order.
+const (
+	PAD = 0 // padding
+	BOS = 1 // beginning of sequence
+	EOS = 2 // end of sequence (the paper's end-of-file term)
+	UNK = 3 // out-of-vocabulary
+)
+
+// Special token spellings.
+const (
+	PadToken = "<PAD>"
+	BosToken = "<BOS>"
+	EosToken = "<EOS>"
+	UnkToken = "<UNK>"
+)
+
+// Role tags a vocabulary token with the fragment kind it most often plays
+// in the training workload. Roles drive fragment extraction from
+// model-generated sequences when the generation does not parse.
+type Role int
+
+// Token roles.
+const (
+	RoleOther Role = iota
+	RoleTable
+	RoleColumn
+	RoleFunction
+	RoleLiteral
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleTable:
+		return "table"
+	case RoleColumn:
+		return "column"
+	case RoleFunction:
+		return "function"
+	case RoleLiteral:
+		return "literal"
+	default:
+		return "other"
+	}
+}
+
+// Vocab is a frozen token-to-id mapping with per-token role tags.
+type Vocab struct {
+	tokens []string
+	index  map[string]int
+	roles  []Role
+}
+
+// vocabBuilder accumulates token counts and role votes before freezing.
+type vocabBuilder struct {
+	counts map[string]int
+	votes  map[string]map[Role]int
+}
+
+// NewBuilder returns an empty vocabulary builder.
+func NewBuilder() *Builder {
+	return &Builder{b: vocabBuilder{counts: map[string]int{}, votes: map[string]map[Role]int{}}}
+}
+
+// Builder accumulates tokenized queries and freezes them into a Vocab.
+type Builder struct{ b vocabBuilder }
+
+// Add counts one token occurrence with an optional role vote.
+func (bl *Builder) Add(token string, role Role) {
+	bl.b.counts[token]++
+	if role != RoleOther {
+		m := bl.b.votes[token]
+		if m == nil {
+			m = map[Role]int{}
+			bl.b.votes[token] = m
+		}
+		m[role]++
+	}
+}
+
+// AddQuery counts all tokens of a tokenized query without role votes.
+func (bl *Builder) AddQuery(tokens []string) {
+	for _, t := range tokens {
+		bl.Add(t, RoleOther)
+	}
+}
+
+// Build freezes the vocabulary, keeping tokens with count >= minCount.
+// Tokens are ordered by descending count then lexicographically, after the
+// four specials, so ids are deterministic.
+func (bl *Builder) Build(minCount int) *Vocab {
+	type tc struct {
+		tok string
+		n   int
+	}
+	var list []tc
+	for t, n := range bl.b.counts {
+		if n >= minCount {
+			list = append(list, tc{t, n})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].tok < list[j].tok
+	})
+	v := &Vocab{
+		tokens: []string{PadToken, BosToken, EosToken, UnkToken},
+		index:  map[string]int{PadToken: PAD, BosToken: BOS, EosToken: EOS, UnkToken: UNK},
+		roles:  []Role{RoleOther, RoleOther, RoleOther, RoleOther},
+	}
+	for _, e := range list {
+		v.index[e.tok] = len(v.tokens)
+		v.tokens = append(v.tokens, e.tok)
+		v.roles = append(v.roles, bl.majorityRole(e.tok))
+	}
+	return v
+}
+
+func (bl *Builder) majorityRole(tok string) Role {
+	if tok == NumToken || strings.HasPrefix(tok, "'") {
+		return RoleLiteral
+	}
+	votes := bl.b.votes[tok]
+	best, bestN := RoleOther, 0
+	// Iterate in a fixed order for determinism.
+	for _, r := range []Role{RoleTable, RoleColumn, RoleFunction, RoleLiteral} {
+		if votes[r] > bestN {
+			best, bestN = r, votes[r]
+		}
+	}
+	return best
+}
+
+// Size returns the vocabulary size v (paper Definition 1).
+func (v *Vocab) Size() int { return len(v.tokens) }
+
+// ID maps a token to its id, or UNK when absent.
+func (v *Vocab) ID(tok string) int {
+	if id, ok := v.index[tok]; ok {
+		return id
+	}
+	return UNK
+}
+
+// Has reports whether the token is in-vocabulary.
+func (v *Vocab) Has(tok string) bool {
+	_, ok := v.index[tok]
+	return ok
+}
+
+// Token maps an id back to its spelling; out-of-range ids map to UNK.
+func (v *Vocab) Token(id int) string {
+	if id < 0 || id >= len(v.tokens) {
+		return UnkToken
+	}
+	return v.tokens[id]
+}
+
+// Role returns the role tag of a token id.
+func (v *Vocab) Role(id int) Role {
+	if id < 0 || id >= len(v.roles) {
+		return RoleOther
+	}
+	return v.roles[id]
+}
+
+// Encode maps tokens to ids, wrapping with BOS/EOS when wrap is true.
+func (v *Vocab) Encode(tokens []string, wrap bool) []int {
+	out := make([]int, 0, len(tokens)+2)
+	if wrap {
+		out = append(out, BOS)
+	}
+	for _, t := range tokens {
+		out = append(out, v.ID(t))
+	}
+	if wrap {
+		out = append(out, EOS)
+	}
+	return out
+}
+
+// Decode maps ids back to tokens, dropping specials.
+func (v *Vocab) Decode(ids []int) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if id == PAD || id == BOS || id == EOS {
+			continue
+		}
+		out = append(out, v.Token(id))
+	}
+	return out
+}
+
+// RoleTokens returns all in-vocabulary token spellings with the given
+// role, in id order (most frequent first).
+func (v *Vocab) RoleTokens(r Role) []string {
+	var out []string
+	for id, role := range v.roles {
+		if role == r {
+			out = append(out, v.tokens[id])
+		}
+	}
+	return out
+}
+
+// vocabWire is the serialized form.
+type vocabWire struct {
+	Tokens []string
+	Roles  []Role
+}
+
+// Save writes the vocabulary with gob encoding.
+func (v *Vocab) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(vocabWire{Tokens: v.tokens, Roles: v.roles})
+}
+
+// LoadVocab reads a vocabulary written by Save.
+func LoadVocab(r io.Reader) (*Vocab, error) {
+	var wire vocabWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("load vocab: %w", err)
+	}
+	if len(wire.Tokens) < 4 || wire.Tokens[PAD] != PadToken {
+		return nil, fmt.Errorf("load vocab: malformed specials")
+	}
+	v := &Vocab{tokens: wire.Tokens, roles: wire.Roles, index: make(map[string]int, len(wire.Tokens))}
+	for i, t := range wire.Tokens {
+		v.index[t] = i
+	}
+	return v, nil
+}

@@ -1,0 +1,239 @@
+// Package train implements model optimization: the Adam optimizer,
+// gradient clipping, and the seq2seq training loop with teacher forcing
+// and validation-loss early stopping (paper Section 6.2.4: cross-entropy
+// loss, Adam, hyper-parameters selected on best validation loss with early
+// stopping).
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/autograd"
+	"repro/internal/nn"
+	"repro/internal/seq2seq"
+	"repro/internal/tensor"
+	"repro/internal/tokenizer"
+)
+
+// Adam is the Adam optimizer with per-parameter moment buffers.
+type Adam struct {
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	WDecay float64
+
+	t int
+	m map[*autograd.Value]*tensor.Tensor
+	v map[*autograd.Value]*tensor.Tensor
+}
+
+// NewAdam returns an optimizer with the usual defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*autograd.Value]*tensor.Tensor{},
+		v: map[*autograd.Value]*tensor.Tensor{},
+	}
+}
+
+// Step applies one Adam update to every parameter and zeroes gradients.
+func (a *Adam) Step(params []nn.Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		g := p.V.Grad
+		if g == nil {
+			continue
+		}
+		m := a.m[p.V]
+		if m == nil {
+			m = tensor.New(g.Rows, g.Cols)
+			a.m[p.V] = m
+			a.v[p.V] = tensor.New(g.Rows, g.Cols)
+		}
+		v := a.v[p.V]
+		w := p.V.T
+		for i := range g.Data {
+			gi := g.Data[i]
+			if a.WDecay > 0 {
+				gi += a.WDecay * w.Data[i]
+			}
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*gi
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*gi*gi
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			w.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+		g.Zero()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm. Returns the pre-clip norm.
+func ClipGradNorm(params []nn.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		if p.V.Grad == nil {
+			continue
+		}
+		for _, g := range p.V.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			if p.V.Grad != nil {
+				tensor.ScaleInPlace(p.V.Grad, scale)
+			}
+		}
+	}
+	return norm
+}
+
+// Example is one training pair of token-id sequences: Src is the encoder
+// input (the preceding query Q_i), Tgt the decoder target (the next query
+// Q_{i+1}), both without BOS/EOS (the loop adds them).
+type Example struct {
+	Src, Tgt []int
+}
+
+// Options configures the training loop.
+type Options struct {
+	Epochs    int
+	Patience  int     // early-stopping patience in epochs (0 disables)
+	LR        float64 //
+	ClipNorm  float64 // 0 disables clipping
+	BatchSize int     // gradient accumulation batch (examples per step)
+	MaxLen    int     // truncate sequences to this many tokens
+	Seed      int64
+	Logf      func(format string, args ...any) // nil silences progress
+}
+
+// DefaultOptions returns the CPU-scale training configuration.
+func DefaultOptions() Options {
+	return Options{Epochs: 8, Patience: 2, LR: 3e-3, ClipNorm: 1.0, BatchSize: 8, MaxLen: 48, Seed: 1}
+}
+
+// Result reports what happened during training (feeds Table 3).
+type Result struct {
+	TrainLosses []float64
+	ValLosses   []float64
+	BestVal     float64
+	BestEpoch   int
+	Epochs      int
+	TrainTime   time.Duration
+}
+
+// Seq2Seq trains the model on (Q_i, Q_{i+1}) examples with teacher forcing
+// and returns the loss trajectory. Early stopping restores nothing — the
+// caller keeps the final weights; with small patience the final and best
+// epochs coincide closely, which is sufficient at our scale.
+func Seq2Seq(m seq2seq.Model, trainSet, valSet []Example, opts Options) (*Result, error) {
+	if len(trainSet) == 0 {
+		return nil, fmt.Errorf("train: empty training set")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	optim := NewAdam(opts.LR)
+	params := m.Params()
+	res := &Result{BestVal: math.Inf(1)}
+	start := time.Now()
+
+	order := make([]int, len(trainSet))
+	for i := range order {
+		order[i] = i
+	}
+	bad := 0
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sum, count := 0.0, 0
+		for bi := 0; bi < len(order); bi += opts.BatchSize {
+			hi := bi + opts.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			for _, idx := range order[bi:hi] {
+				ex := clip(trainSet[idx], opts.MaxLen)
+				loss := exampleLoss(m, ex, true, rng)
+				// Scale so the batch gradient is the mean.
+				scaled := autograd.Scale(loss, 1/float64(hi-bi))
+				autograd.Backward(scaled)
+				sum += loss.T.Data[0]
+				count++
+			}
+			if opts.ClipNorm > 0 {
+				ClipGradNorm(params, opts.ClipNorm)
+			}
+			optim.Step(params)
+		}
+		trainLoss := sum / float64(count)
+		valLoss := Evaluate(m, valSet, opts.MaxLen)
+		res.TrainLosses = append(res.TrainLosses, trainLoss)
+		res.ValLosses = append(res.ValLosses, valLoss)
+		res.Epochs = epoch + 1
+		if opts.Logf != nil {
+			opts.Logf("epoch %d: train %.4f val %.4f", epoch+1, trainLoss, valLoss)
+		}
+		if valLoss < res.BestVal-1e-6 {
+			res.BestVal = valLoss
+			res.BestEpoch = epoch
+			bad = 0
+		} else {
+			bad++
+			if opts.Patience > 0 && bad >= opts.Patience {
+				break
+			}
+		}
+	}
+	res.TrainTime = time.Since(start)
+	return res, nil
+}
+
+// Evaluate computes the mean validation loss without gradient tracking or
+// dropout.
+func Evaluate(m seq2seq.Model, set []Example, maxLen int) float64 {
+	if len(set) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, ex := range set {
+		loss := exampleLoss(m, clip(ex, maxLen), false, nil)
+		sum += loss.T.Data[0]
+	}
+	return sum / float64(len(set))
+}
+
+// exampleLoss runs one teacher-forced forward pass:
+// encoder input = Src, decoder input = BOS+Tgt, targets = Tgt+EOS.
+func exampleLoss(m seq2seq.Model, ex Example, train bool, rng *rand.Rand) *autograd.Value {
+	enc := m.Encode(ex.Src, train, rng)
+	tgtIn := make([]int, 0, len(ex.Tgt)+1)
+	tgtIn = append(tgtIn, tokenizer.BOS)
+	tgtIn = append(tgtIn, ex.Tgt...)
+	tgtOut := make([]int, 0, len(ex.Tgt)+1)
+	tgtOut = append(tgtOut, ex.Tgt...)
+	tgtOut = append(tgtOut, tokenizer.EOS)
+	logits := m.DecodeLogits(enc, tgtIn, train, rng)
+	return autograd.CrossEntropy(logits, tgtOut, tokenizer.PAD)
+}
+
+// clip truncates both sides of an example to maxLen tokens.
+func clip(ex Example, maxLen int) Example {
+	if maxLen <= 0 {
+		return ex
+	}
+	out := ex
+	if len(out.Src) > maxLen {
+		out.Src = out.Src[:maxLen]
+	}
+	if len(out.Tgt) > maxLen {
+		out.Tgt = out.Tgt[:maxLen]
+	}
+	return out
+}

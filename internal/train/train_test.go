@@ -1,0 +1,171 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/nn"
+	"repro/internal/seq2seq"
+	"repro/internal/tensor"
+)
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w - 3)^2 elementwise.
+	w := autograd.NewParam(tensor.FromSlice(1, 2, []float64{10, -5}))
+	params := []nn.Param{{Name: "w", V: w}}
+	opt := NewAdam(0.1)
+	target := autograd.NewConst(tensor.FromSlice(1, 2, []float64{3, 3}))
+	for i := 0; i < 500; i++ {
+		diff := autograd.Add(w, autograd.Scale(target, -1))
+		loss := autograd.Mean(autograd.Mul(diff, diff))
+		autograd.Backward(loss)
+		opt.Step(params)
+	}
+	for _, v := range w.T.Data {
+		if math.Abs(v-3) > 0.01 {
+			t.Errorf("adam did not converge: %v", w.T.Data)
+		}
+	}
+}
+
+func TestAdamZeroesGradAfterStep(t *testing.T) {
+	w := autograd.NewParam(tensor.FromSlice(1, 1, []float64{1}))
+	params := []nn.Param{{Name: "w", V: w}}
+	autograd.Backward(autograd.Mean(autograd.Mul(w, w)))
+	if w.Grad.Data[0] == 0 {
+		t.Fatal("no grad")
+	}
+	NewAdam(0.01).Step(params)
+	if w.Grad.Data[0] != 0 {
+		t.Error("step did not zero grad")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	w := autograd.NewParam(tensor.FromSlice(1, 2, []float64{0, 0}))
+	w.Grad.Data[0] = 3
+	w.Grad.Data[1] = 4
+	params := []nn.Param{{Name: "w", V: w}}
+	norm := ClipGradNorm(params, 1.0)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Errorf("pre-clip norm: %f", norm)
+	}
+	after := math.Sqrt(w.Grad.Data[0]*w.Grad.Data[0] + w.Grad.Data[1]*w.Grad.Data[1])
+	if math.Abs(after-1) > 1e-9 {
+		t.Errorf("post-clip norm: %f", after)
+	}
+	// Below the threshold: untouched.
+	w.Grad.Data[0], w.Grad.Data[1] = 0.1, 0
+	ClipGradNorm(params, 1.0)
+	if w.Grad.Data[0] != 0.1 {
+		t.Error("clip modified small gradient")
+	}
+}
+
+// copyTask builds a dataset where the target equals the source — any
+// functioning seq2seq model must drive this loss near zero quickly.
+func copyTask(rng *rand.Rand, n, vocab, maxLen int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		l := 2 + rng.Intn(maxLen-2)
+		seq := make([]int, l)
+		for j := range seq {
+			seq[j] = 4 + rng.Intn(vocab-4)
+		}
+		out[i] = Example{Src: seq, Tgt: seq}
+	}
+	return out
+}
+
+func TestSeq2SeqLearnsCopyTask(t *testing.T) {
+	for _, arch := range []seq2seq.Arch{seq2seq.Transformer, seq2seq.ConvS2S, seq2seq.GRU} {
+		cfg := seq2seq.DefaultConfig(arch, 16)
+		cfg.DModel = 24
+		cfg.FFHidden = 48
+		cfg.Dropout = 0
+		m, err := seq2seq.New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		data := copyTask(rng, 60, 16, 8)
+		opts := DefaultOptions()
+		opts.Epochs = 10
+		opts.Patience = 0
+		opts.LR = 5e-3
+		res, err := Seq2Seq(m, data[:50], data[50:], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, last := res.TrainLosses[0], res.TrainLosses[len(res.TrainLosses)-1]
+		if last >= first*0.6 {
+			t.Errorf("%s: loss did not drop on copy task: %.3f -> %.3f", arch, first, last)
+		}
+		if res.BestVal >= res.ValLosses[0] && len(res.ValLosses) > 1 {
+			t.Errorf("%s: val loss never improved: %v", arch, res.ValLosses)
+		}
+		if res.TrainTime <= 0 {
+			t.Error("train time not recorded")
+		}
+	}
+}
+
+func TestSeq2SeqEmptyTrainSet(t *testing.T) {
+	m, _ := seq2seq.New(seq2seq.DefaultConfig(seq2seq.Transformer, 8), 1)
+	if _, err := Seq2Seq(m, nil, nil, DefaultOptions()); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	cfg := seq2seq.DefaultConfig(seq2seq.Transformer, 12)
+	cfg.DModel = 16
+	cfg.FFHidden = 16
+	cfg.Dropout = 0
+	m, _ := seq2seq.New(cfg, 1)
+	rng := rand.New(rand.NewSource(3))
+	// Validation set is random noise unrelated to training: val loss
+	// stops improving fast, so patience must cut the run short.
+	trainData := copyTask(rng, 20, 12, 6)
+	valData := make([]Example, 10)
+	for i := range valData {
+		valData[i] = Example{
+			Src: []int{4 + rng.Intn(8), 4 + rng.Intn(8)},
+			Tgt: []int{4 + rng.Intn(8), 4 + rng.Intn(8), 4 + rng.Intn(8)},
+		}
+	}
+	opts := DefaultOptions()
+	opts.Epochs = 50
+	opts.Patience = 2
+	res, err := Seq2Seq(m, trainData, valData, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs >= 50 {
+		t.Errorf("early stopping never fired: ran %d epochs", res.Epochs)
+	}
+}
+
+func TestEvaluateEmptySet(t *testing.T) {
+	m, _ := seq2seq.New(seq2seq.DefaultConfig(seq2seq.Transformer, 8), 1)
+	if !math.IsNaN(Evaluate(m, nil, 10)) {
+		t.Error("expected NaN for empty set")
+	}
+}
+
+func TestClipTruncates(t *testing.T) {
+	ex := Example{Src: []int{1, 2, 3, 4, 5}, Tgt: []int{6, 7, 8}}
+	c := clip(ex, 3)
+	if len(c.Src) != 3 || len(c.Tgt) != 3 {
+		t.Errorf("clip: %v", c)
+	}
+	// Original untouched.
+	if len(ex.Src) != 5 {
+		t.Error("clip mutated input")
+	}
+	if c2 := clip(ex, 0); len(c2.Src) != 5 {
+		t.Error("maxLen=0 should disable clipping")
+	}
+}

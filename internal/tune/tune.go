@@ -1,0 +1,145 @@
+// Package tune implements the hyper-parameter search of paper Section
+// 6.2.4: a grid over architecture and training knobs, scored by best
+// validation loss with early stopping, tuned separately per workload
+// ("since our workload analysis shows many differences in the SDSS and
+// SQLShare datasets, we separately tuned the hyper-parameters for each
+// dataset").
+package tune
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/seq2seq"
+	"repro/internal/train"
+)
+
+// Grid enumerates candidate values per knob. Empty slices pin the knob to
+// the base configuration's value. The paper's ranges (heads in [8,16],
+// hidden in [512,1024], layers in [2,12], batch in [16,64], dropout in
+// [0, 0.3], lr in [1e-6, 1e-4]) scale down to CPU-sized defaults here.
+type Grid struct {
+	Heads    []int
+	DModel   []int
+	Layers   []int
+	Dropout  []float64
+	LR       []float64
+	Batch    []int
+	FFHidden []int
+}
+
+// DefaultGrid returns a small CPU-feasible grid mirroring the paper's
+// tuned dimensions.
+func DefaultGrid() Grid {
+	return Grid{
+		Heads:   []int{2, 4},
+		DModel:  []int{32, 48},
+		Layers:  []int{1, 2},
+		Dropout: []float64{0.0, 0.1},
+		LR:      []float64{1e-3, 3e-3},
+	}
+}
+
+// Candidate is one grid point with its evaluation outcome.
+type Candidate struct {
+	Model   seq2seq.Config
+	Opts    train.Options
+	ValLoss float64
+	Epochs  int
+}
+
+// Result reports the search.
+type Result struct {
+	Best       Candidate
+	Candidates []Candidate
+}
+
+// Search trains one model per grid point and returns the candidate with
+// the lowest best-validation loss. baseModel/baseOpts supply the pinned
+// values; the training sets should be small slices — tuning is a model
+// -selection pass, not the final fit.
+func Search(arch seq2seq.Arch, baseModel seq2seq.Config, baseOpts train.Options,
+	grid Grid, trainSet, valSet []train.Example, seed int64,
+	logf func(string, ...any)) (*Result, error) {
+
+	if len(trainSet) == 0 || len(valSet) == 0 {
+		return nil, fmt.Errorf("tune: empty train or validation set")
+	}
+	res := &Result{Best: Candidate{ValLoss: math.Inf(1)}}
+	for _, cand := range expand(baseModel, baseOpts, grid) {
+		cand.Model.Arch = arch
+		// d_model must divide by heads; skip incompatible grid points.
+		if cand.Model.Arch == seq2seq.Transformer && cand.Model.DModel%cand.Model.Heads != 0 {
+			continue
+		}
+		m, err := seq2seq.New(cand.Model, seed)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := train.Seq2Seq(m, trainSet, valSet, cand.Opts)
+		if err != nil {
+			return nil, err
+		}
+		cand.ValLoss = tr.BestVal
+		cand.Epochs = tr.Epochs
+		res.Candidates = append(res.Candidates, cand)
+		if logf != nil {
+			logf("tune: heads=%d d=%d layers=%d drop=%.2f lr=%.0e -> val %.4f (%d epochs)",
+				cand.Model.Heads, cand.Model.DModel, cand.Model.Layers,
+				cand.Model.Dropout, cand.Opts.LR, cand.ValLoss, cand.Epochs)
+		}
+		if cand.ValLoss < res.Best.ValLoss {
+			res.Best = cand
+		}
+	}
+	if len(res.Candidates) == 0 {
+		return nil, fmt.Errorf("tune: grid produced no valid candidates")
+	}
+	return res, nil
+}
+
+// expand builds the cartesian product of the grid over the base configs.
+func expand(baseModel seq2seq.Config, baseOpts train.Options, g Grid) []Candidate {
+	orDefaultI := func(xs []int, d int) []int {
+		if len(xs) == 0 {
+			return []int{d}
+		}
+		return xs
+	}
+	orDefaultF := func(xs []float64, d float64) []float64 {
+		if len(xs) == 0 {
+			return []float64{d}
+		}
+		return xs
+	}
+	var out []Candidate
+	for _, heads := range orDefaultI(g.Heads, baseModel.Heads) {
+		for _, d := range orDefaultI(g.DModel, baseModel.DModel) {
+			for _, layers := range orDefaultI(g.Layers, baseModel.Layers) {
+				for _, drop := range orDefaultF(g.Dropout, baseModel.Dropout) {
+					for _, lr := range orDefaultF(g.LR, baseOpts.LR) {
+						for _, batch := range orDefaultI(g.Batch, baseOpts.BatchSize) {
+							for _, ff := range orDefaultI(g.FFHidden, 0) {
+								mc := baseModel
+								mc.Heads = heads
+								mc.DModel = d
+								mc.Layers = layers
+								mc.Dropout = drop
+								if ff > 0 {
+									mc.FFHidden = ff
+								} else if mc.FFHidden == 0 {
+									mc.FFHidden = 2 * d
+								}
+								oc := baseOpts
+								oc.LR = lr
+								oc.BatchSize = batch
+								out = append(out, Candidate{Model: mc, Opts: oc})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

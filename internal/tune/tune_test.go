@@ -1,0 +1,117 @@
+package tune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq2seq"
+	"repro/internal/train"
+)
+
+func copyTask(rng *rand.Rand, n, vocab, maxLen int) []train.Example {
+	out := make([]train.Example, n)
+	for i := range out {
+		l := 2 + rng.Intn(maxLen-2)
+		seq := make([]int, l)
+		for j := range seq {
+			seq[j] = 4 + rng.Intn(vocab-4)
+		}
+		out[i] = train.Example{Src: seq, Tgt: seq}
+	}
+	return out
+}
+
+func TestExpandCartesianProduct(t *testing.T) {
+	base := seq2seq.DefaultConfig(seq2seq.Transformer, 16)
+	opts := train.DefaultOptions()
+	g := Grid{Heads: []int{2, 4}, DModel: []int{16, 32}, LR: []float64{1e-3}}
+	cands := expand(base, opts, g)
+	if len(cands) != 4 {
+		t.Fatalf("candidates: %d", len(cands))
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range cands {
+		seen[[2]int{c.Model.Heads, c.Model.DModel}] = true
+		if c.Opts.LR != 1e-3 {
+			t.Errorf("lr not applied: %v", c.Opts.LR)
+		}
+		if c.Model.FFHidden == 0 {
+			t.Error("ffhidden not derived")
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("duplicate grid points: %v", seen)
+	}
+}
+
+func TestExpandPinsEmptyKnobs(t *testing.T) {
+	base := seq2seq.DefaultConfig(seq2seq.Transformer, 16)
+	base.Dropout = 0.25
+	cands := expand(base, train.DefaultOptions(), Grid{})
+	if len(cands) != 1 {
+		t.Fatalf("empty grid should yield base only: %d", len(cands))
+	}
+	if cands[0].Model.Dropout != 0.25 {
+		t.Error("base dropout lost")
+	}
+}
+
+func TestSearchPicksLowestValLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	rng := rand.New(rand.NewSource(4))
+	data := copyTask(rng, 40, 12, 6)
+	base := seq2seq.DefaultConfig(seq2seq.Transformer, 12)
+	base.DModel = 16
+	base.FFHidden = 16
+	base.Dropout = 0
+	opts := train.DefaultOptions()
+	opts.Epochs = 3
+	opts.Patience = 0
+	// A grid where one LR is clearly broken (0) and one works.
+	grid := Grid{LR: []float64{3e-3, 1e-8}}
+	res, err := Search(seq2seq.Transformer, base, opts, grid, data[:30], data[30:], 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates: %d", len(res.Candidates))
+	}
+	if res.Best.Opts.LR != 3e-3 {
+		t.Errorf("picked lr %v; losses: %v vs %v",
+			res.Best.Opts.LR, res.Candidates[0].ValLoss, res.Candidates[1].ValLoss)
+	}
+	if math.IsInf(res.Best.ValLoss, 1) {
+		t.Error("best loss never set")
+	}
+}
+
+func TestSearchSkipsIncompatibleHeads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := copyTask(rng, 20, 12, 5)
+	base := seq2seq.DefaultConfig(seq2seq.Transformer, 12)
+	base.FFHidden = 16
+	opts := train.DefaultOptions()
+	opts.Epochs = 1
+	// d=15 is not divisible by 2 or 4: all points invalid except d=16.
+	grid := Grid{Heads: []int{2}, DModel: []int{15, 16}}
+	res, err := Search(seq2seq.Transformer, base, opts, grid, data[:15], data[15:], 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 1 || res.Best.Model.DModel != 16 {
+		t.Errorf("incompatible grid point not skipped: %d candidates", len(res.Candidates))
+	}
+}
+
+func TestSearchEmptySets(t *testing.T) {
+	base := seq2seq.DefaultConfig(seq2seq.Transformer, 8)
+	if _, err := Search(seq2seq.Transformer, base, train.DefaultOptions(), Grid{}, nil, nil, 1, nil); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReadCSV reads a query log in CSV form. The header row names the columns;
+// the reader looks for (case-insensitively) "session_id"/"sessionid",
+// "start_time"/"thetime"/"time", "sql"/"statement"/"query" and an optional
+// "dataset" column — covering the SDSS SqlLog dump conventions the paper
+// extracts from (Section 5.1: SqlLog.theTime, SessionLog.sessionID).
+// Timestamps parse as RFC 3339 or "2006-01-02 15:04:05".
+func ReadCSV(r io.Reader, name string) (*Workload, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv: header: %w", err)
+	}
+	col := func(names ...string) int {
+		for i, h := range header {
+			h = strings.ToLower(strings.TrimSpace(h))
+			for _, n := range names {
+				if h == n {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	sessIdx := col("session_id", "sessionid")
+	timeIdx := col("start_time", "thetime", "time")
+	sqlIdx := col("sql", "statement", "query")
+	dsIdx := col("dataset")
+	if sessIdx < 0 || timeIdx < 0 || sqlIdx < 0 {
+		return nil, fmt.Errorf("read csv: need session_id, start_time and sql columns; header: %v", header)
+	}
+
+	byID := map[string]*Session{}
+	datasets := map[string]bool{}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("read csv line %d: %w", line, err)
+		}
+		need := sqlIdx
+		if sessIdx > need {
+			need = sessIdx
+		}
+		if timeIdx > need {
+			need = timeIdx
+		}
+		if len(rec) <= need {
+			return nil, fmt.Errorf("read csv line %d: %d fields, need %d", line, len(rec), need+1)
+		}
+		ts, err := parseTime(rec[timeIdx])
+		if err != nil {
+			return nil, fmt.Errorf("read csv line %d: %w", line, err)
+		}
+		id := rec[sessIdx]
+		s := byID[id]
+		if s == nil {
+			s = &Session{ID: id}
+			byID[id] = s
+		}
+		q := &Query{SessionID: id, StartTime: ts, SQL: rec[sqlIdx]}
+		if dsIdx >= 0 && dsIdx < len(rec) && rec[dsIdx] != "" {
+			q.Dataset = rec[dsIdx]
+			datasets[rec[dsIdx]] = true
+		}
+		s.Queries = append(s.Queries, q)
+	}
+
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	wl := &Workload{Name: name, Datasets: len(datasets)}
+	if wl.Datasets == 0 {
+		wl.Datasets = 1
+	}
+	for _, id := range ids {
+		s := byID[id]
+		s.Sort()
+		wl.Sessions = append(wl.Sessions, s)
+	}
+	return wl, nil
+}
+
+func parseTime(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02T15:04:05", "2006-01-02"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("unrecognized timestamp %q", s)
+}

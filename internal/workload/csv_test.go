@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := `session_id,start_time,sql
+s1,2020-01-01T00:05:00Z,SELECT b FROM t
+s1,2020-01-01T00:01:00Z,SELECT a FROM t
+s2,2020-01-01 00:00:00,SELECT c FROM u
+`
+	wl, err := ReadCSV(strings.NewReader(in), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Sessions) != 2 {
+		t.Fatalf("sessions: %d", len(wl.Sessions))
+	}
+	// Sorted within session despite file order.
+	if wl.Sessions[0].Queries[0].SQL != "SELECT a FROM t" {
+		t.Errorf("not sorted: %s", wl.Sessions[0].Queries[0].SQL)
+	}
+	if wl.Datasets != 1 {
+		t.Errorf("datasets: %d", wl.Datasets)
+	}
+}
+
+func TestReadCSVSDSSHeaderAliases(t *testing.T) {
+	// SDSS dump conventions: sessionID + theTime + statement.
+	in := `sessionID,theTime,statement,dataset
+42,2020-03-04 10:00:00,SELECT ra FROM PhotoObj,skyserver
+42,2020-03-04 10:01:00,SELECT dec FROM PhotoObj,skyserver
+`
+	wl, err := ReadCSV(strings.NewReader(in), "sdss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Pairs()) != 1 {
+		t.Errorf("pairs: %d", len(wl.Pairs()))
+	}
+	if wl.Sessions[0].Queries[0].Dataset != "skyserver" {
+		t.Error("dataset column lost")
+	}
+}
+
+func TestReadCSVQuotedSQLWithCommas(t *testing.T) {
+	in := `session_id,start_time,sql
+s,2020-01-01T00:00:00Z,"SELECT a, b FROM t WHERE x = 'v,w'"
+`
+	wl, err := ReadCSV(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wl.Sessions[0].Queries[0].SQL; !strings.Contains(got, "a, b") {
+		t.Errorf("quoted sql mangled: %q", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",               // no header
+		"a,b,c\n1,2,3\n", // missing required columns
+		"session_id,start_time,sql\ns,nope,SELECT 1\n", // bad timestamp
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), "x"); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}

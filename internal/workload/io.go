@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Record is the JSONL wire form of one logged query, mirroring the fields
+// the paper extracts from the SDSS SqlLog/SessionLog tables (Section 5.1).
+type Record struct {
+	SessionID string    `json:"session_id"`
+	StartTime time.Time `json:"start_time"`
+	SQL       string    `json:"sql"`
+	Dataset   string    `json:"dataset,omitempty"`
+}
+
+// WriteJSONL writes the workload as one JSON record per line.
+func WriteJSONL(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range wl.Sessions {
+		for _, q := range s.Queries {
+			rec := Record{SessionID: q.SessionID, StartTime: q.StartTime, SQL: q.SQL, Dataset: q.Dataset}
+			if err := enc.Encode(rec); err != nil {
+				return fmt.Errorf("write workload: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads records, groups them by session id, and sorts each
+// session by start time, reproducing the paper's pair-extraction
+// preparation (Section 5.1). Queries are not yet parsed; call Enrich.
+func ReadJSONL(r io.Reader, name string) (*Workload, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	byID := map[string]*Session{}
+	datasets := map[string]bool{}
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("read workload line %d: %w", line, err)
+		}
+		s := byID[rec.SessionID]
+		if s == nil {
+			s = &Session{ID: rec.SessionID}
+			byID[rec.SessionID] = s
+		}
+		s.Queries = append(s.Queries, &Query{SessionID: rec.SessionID, StartTime: rec.StartTime, SQL: rec.SQL, Dataset: rec.Dataset})
+		if rec.Dataset != "" {
+			datasets[rec.Dataset] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read workload: %w", err)
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	wl := &Workload{Name: name, Datasets: len(datasets)}
+	if wl.Datasets == 0 {
+		wl.Datasets = 1
+	}
+	for _, id := range ids {
+		s := byID[id]
+		s.Sort()
+		wl.Sessions = append(wl.Sessions, s)
+	}
+	return wl, nil
+}
+
+// SaveFile writes the workload to a JSONL file.
+func SaveFile(path string, wl *Workload) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save workload: %w", err)
+	}
+	defer f.Close()
+	if err := WriteJSONL(f, wl); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a JSONL workload file.
+func LoadFile(path, name string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load workload: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f, name)
+}

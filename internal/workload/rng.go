@@ -1,0 +1,8 @@
+package workload
+
+import "math/rand"
+
+// newRNG returns a deterministic random source for shuffles and sampling.
+// Wrapped so all packages share one construction point if the generator
+// ever needs to change.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,154 @@
+// Package workload defines the query-workload data model of the paper
+// (Definition 3): queries grouped into sessions, sessions grouped into
+// workloads, and consecutive-query pairs (Q_i, Q_{i+1}) extracted per
+// session ordered by start time.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+	"repro/internal/tokenizer"
+)
+
+// Query is one logged SQL statement with its session metadata and the
+// derived artifacts used throughout the pipeline.
+type Query struct {
+	SessionID string
+	StartTime time.Time
+	SQL       string
+	// Dataset labels the schema/database the query targets ("" when the
+	// workload has a single shared schema, as in SDSS).
+	Dataset string
+
+	// Derived on Enrich; nil/empty until then.
+	Stmt      *sqlast.SelectStmt
+	Tokens    []string
+	Template  string
+	Fragments *sqlast.FragmentSet
+}
+
+// Enrich parses the SQL and fills the derived fields. Queries that fail to
+// parse return an error and are typically dropped by the loader, matching
+// the paper's pre-processing which only keeps parseable statements.
+func (q *Query) Enrich() error {
+	stmt, err := sqlparse.Parse(q.SQL)
+	if err != nil {
+		return fmt.Errorf("enrich query: %w", err)
+	}
+	q.Stmt = stmt
+	q.Tokens = tokenizer.TokenizeStmt(stmt, tokenizer.DefaultOptions)
+	q.Template = sqlast.TemplateString(stmt)
+	q.Fragments = sqlast.Fragments(stmt)
+	return nil
+}
+
+// Key returns a canonical identity for duplicate detection: the normalized
+// token sequence joined by spaces.
+func (q *Query) Key() string {
+	if q.Tokens == nil {
+		return q.SQL
+	}
+	return tokenizer.Detokenize(q.Tokens)
+}
+
+// Session is an ordered sequence of queries by one user (Definition 3).
+type Session struct {
+	ID      string
+	Queries []*Query
+}
+
+// Sort orders the session's queries by start time (stable, so ties keep
+// log order).
+func (s *Session) Sort() {
+	sort.SliceStable(s.Queries, func(i, j int) bool {
+		return s.Queries[i].StartTime.Before(s.Queries[j].StartTime)
+	})
+}
+
+// Pair is a consecutive query pair (Q_i, Q_{i+1}) within one session.
+// Prev is Q_{i-1} when the pair is not at the start of its session; it
+// enables the session-context extension (paper Section 2: the seq2seq
+// input can concatenate multiple preceding queries).
+type Pair struct {
+	Prev *Query // Q_{i-1}, nil at session start
+	Cur  *Query // Q_i
+	Next *Query // Q_{i+1}
+}
+
+// Key identifies the pair for duplicate counting.
+func (p Pair) Key() string { return p.Cur.Key() + "\x00" + p.Next.Key() }
+
+// Workload is a set of sessions over one or more datasets (Definition 3).
+type Workload struct {
+	Name     string
+	Sessions []*Session
+	// Datasets counts the distinct schemas/databases the sessions target
+	// (1 for SDSS, 64 for SQLShare in the paper's Table 2).
+	Datasets int
+}
+
+// Queries returns all queries in session order.
+func (w *Workload) Queries() []*Query {
+	var out []*Query
+	for _, s := range w.Sessions {
+		out = append(out, s.Queries...)
+	}
+	return out
+}
+
+// Pairs extracts every consecutive pair per session (Definition 3): both
+// queries come from the same session and are adjacent in start-time order.
+func (w *Workload) Pairs() []Pair {
+	var out []Pair
+	for _, s := range w.Sessions {
+		for i := 0; i+1 < len(s.Queries); i++ {
+			p := Pair{Cur: s.Queries[i], Next: s.Queries[i+1]}
+			if i > 0 {
+				p.Prev = s.Queries[i-1]
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Enrich parses every query, dropping the ones that fail to parse. It
+// returns the number dropped.
+func (w *Workload) Enrich() int {
+	dropped := 0
+	for _, s := range w.Sessions {
+		kept := s.Queries[:0]
+		for _, q := range s.Queries {
+			if err := q.Enrich(); err != nil {
+				dropped++
+				continue
+			}
+			kept = append(kept, q)
+		}
+		s.Queries = kept
+	}
+	return dropped
+}
+
+// Split partitions pairs into train/validation/test with the given ratios
+// using a deterministic shuffle of the provided seed. Ratios must sum to
+// one (within epsilon); the paper uses 80/10/10 (Section 6.2.1).
+func Split(pairs []Pair, trainFrac, valFrac float64, seed int64) (train, val, test []Pair) {
+	shuffled := make([]Pair, len(pairs))
+	copy(shuffled, pairs)
+	rng := newRNG(seed)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	nTrain := int(float64(len(shuffled)) * trainFrac)
+	nVal := int(float64(len(shuffled)) * valFrac)
+	train = shuffled[:nTrain]
+	val = shuffled[nTrain : nTrain+nVal]
+	test = shuffled[nTrain+nVal:]
+	return train, val, test
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func q(session, sql string, min int) *Query {
+	return &Query{
+		SessionID: session,
+		StartTime: time.Date(2020, 1, 1, 0, min, 0, 0, time.UTC),
+		SQL:       sql,
+	}
+}
+
+func sampleWorkload() *Workload {
+	s1 := &Session{ID: "s1", Queries: []*Query{
+		q("s1", "SELECT COUNT(DISTINCT type) FROM exp", 0),
+		q("s1", "SELECT gene, type FROM exp", 1),
+		q("s1", "SELECT type, COUNT(DISTINCT gene) FROM exp GROUP BY type HAVING COUNT(DISTINCT gene) > 5", 2),
+	}}
+	s2 := &Session{ID: "s2", Queries: []*Query{
+		q("s2", "SELECT * FROM PhotoTag", 0),
+		q("s2", "SELECT ra, dec FROM PhotoTag WHERE ra > 180.0", 1),
+	}}
+	return &Workload{Name: "test", Sessions: []*Session{s1, s2}, Datasets: 1}
+}
+
+func TestPairsPerSession(t *testing.T) {
+	wl := sampleWorkload()
+	pairs := wl.Pairs()
+	if len(pairs) != 3 {
+		t.Fatalf("pairs: %d", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Cur.SessionID != p.Next.SessionID {
+			t.Errorf("cross-session pair: %s -> %s", p.Cur.SessionID, p.Next.SessionID)
+		}
+		if p.Cur.StartTime.After(p.Next.StartTime) {
+			t.Errorf("pair out of order")
+		}
+	}
+}
+
+func TestSessionSortByStartTime(t *testing.T) {
+	s := &Session{ID: "x", Queries: []*Query{
+		q("x", "SELECT b FROM t", 5),
+		q("x", "SELECT a FROM t", 1),
+		q("x", "SELECT c FROM t", 9),
+	}}
+	s.Sort()
+	if s.Queries[0].SQL != "SELECT a FROM t" || s.Queries[2].SQL != "SELECT c FROM t" {
+		t.Errorf("sort broken: %v", []string{s.Queries[0].SQL, s.Queries[1].SQL, s.Queries[2].SQL})
+	}
+}
+
+func TestEnrichDerivesArtifacts(t *testing.T) {
+	wl := sampleWorkload()
+	dropped := wl.Enrich()
+	if dropped != 0 {
+		t.Fatalf("dropped %d", dropped)
+	}
+	q0 := wl.Sessions[0].Queries[0]
+	if q0.Stmt == nil || q0.Tokens == nil || q0.Template == "" || q0.Fragments == nil {
+		t.Error("enrich incomplete")
+	}
+	if !q0.Fragments.Functions["COUNT"] {
+		t.Errorf("fragments: %v", q0.Fragments.All())
+	}
+}
+
+func TestEnrichDropsUnparseable(t *testing.T) {
+	wl := &Workload{Sessions: []*Session{{ID: "s", Queries: []*Query{
+		q("s", "SELECT a FROM t", 0),
+		q("s", "DROP TABLE t", 1),
+		q("s", "SELECT b FROM t", 2),
+	}}}}
+	if d := wl.Enrich(); d != 1 {
+		t.Errorf("dropped: %d", d)
+	}
+	if len(wl.Sessions[0].Queries) != 2 {
+		t.Errorf("kept: %d", len(wl.Sessions[0].Queries))
+	}
+}
+
+func TestQueryKeyNormalizes(t *testing.T) {
+	a := q("s", "SELECT  a FROM t WHERE x=1", 0)
+	b := q("s", "select a from t where x = 1", 0)
+	if err := a.Enrich(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Enrich(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestSplitRatios(t *testing.T) {
+	var pairs []Pair
+	for i := 0; i < 100; i++ {
+		qq := q("s", fmt.Sprintf("SELECT c%d FROM t", i), i)
+		pairs = append(pairs, Pair{Cur: qq, Next: qq})
+	}
+	train, val, test := Split(pairs, 0.8, 0.1, 42)
+	if len(train) != 80 || len(val) != 10 || len(test) != 10 {
+		t.Errorf("split sizes: %d/%d/%d", len(train), len(val), len(test))
+	}
+}
+
+func TestSplitDeterministicAndDisjoint(t *testing.T) {
+	var pairs []Pair
+	for i := 0; i < 50; i++ {
+		qq := q("s", fmt.Sprintf("SELECT c%d FROM t", i), i)
+		pairs = append(pairs, Pair{Cur: qq, Next: qq})
+	}
+	t1, v1, e1 := Split(pairs, 0.8, 0.1, 7)
+	t2, v2, e2 := Split(pairs, 0.8, 0.1, 7)
+	if t1[0].Cur.SQL != t2[0].Cur.SQL || v1[0].Cur.SQL != v2[0].Cur.SQL || e1[0].Cur.SQL != e2[0].Cur.SQL {
+		t.Error("split not deterministic")
+	}
+	seen := map[string]int{}
+	for _, p := range t1 {
+		seen[p.Cur.SQL]++
+	}
+	for _, p := range v1 {
+		seen[p.Cur.SQL]++
+	}
+	for _, p := range e1 {
+		seen[p.Cur.SQL]++
+	}
+	if len(seen) != 50 {
+		t.Errorf("splits overlap or lose items: %d unique", len(seen))
+	}
+	for sql, n := range seen {
+		if n != 1 {
+			t.Errorf("%q appears %d times", sql, n)
+		}
+	}
+}
+
+// TestSplitPartitionProperty: for any sizes and fractions, the three splits
+// partition the input.
+func TestSplitPartitionProperty(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		pairs := make([]Pair, int(n))
+		for i := range pairs {
+			qq := q("s", fmt.Sprintf("SELECT c%d FROM t", i), i)
+			pairs[i] = Pair{Cur: qq, Next: qq}
+		}
+		tr, va, te := Split(pairs, 0.8, 0.1, seed)
+		return len(tr)+len(va)+len(te) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	wl := sampleWorkload()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sessions) != 2 {
+		t.Fatalf("sessions: %d", len(back.Sessions))
+	}
+	if len(back.Pairs()) != 3 {
+		t.Errorf("pairs after round trip: %d", len(back.Pairs()))
+	}
+	if back.Sessions[0].Queries[0].SQL != wl.Sessions[0].Queries[0].SQL {
+		t.Error("query content lost")
+	}
+}
+
+func TestReadJSONLSortsWithinSession(t *testing.T) {
+	input := `{"session_id":"s","start_time":"2020-01-01T00:05:00Z","sql":"SELECT b FROM t"}
+{"session_id":"s","start_time":"2020-01-01T00:01:00Z","sql":"SELECT a FROM t"}
+`
+	wl, err := ReadJSONL(bytes.NewBufferString(input), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Sessions[0].Queries[0].SQL != "SELECT a FROM t" {
+		t.Error("not sorted by start time")
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewBufferString("{broken\n"), "x"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestReadJSONLDatasetCount(t *testing.T) {
+	input := `{"session_id":"a","start_time":"2020-01-01T00:00:00Z","sql":"SELECT 1","dataset":"d1"}
+{"session_id":"b","start_time":"2020-01-01T00:00:00Z","sql":"SELECT 2","dataset":"d2"}
+`
+	wl, err := ReadJSONL(bytes.NewBufferString(input), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Datasets != 2 {
+		t.Errorf("datasets: %d", wl.Datasets)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	wl := sampleWorkload()
+	path := t.TempDir() + "/wl.jsonl"
+	if err := SaveFile(path, wl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Queries()) != 5 {
+		t.Errorf("queries: %d", len(back.Queries()))
+	}
+}
+
+func TestPairPrevThreading(t *testing.T) {
+	wl := sampleWorkload()
+	pairs := wl.Pairs()
+	// First pair of each session has no Prev; later pairs carry Q_{i-1}.
+	if pairs[0].Prev != nil {
+		t.Error("session-start pair should have nil Prev")
+	}
+	if pairs[1].Prev == nil || pairs[1].Prev != pairs[0].Cur {
+		t.Error("second pair's Prev should be the first pair's Cur")
+	}
+	// Prev never crosses session boundaries.
+	for _, p := range pairs {
+		if p.Prev != nil && p.Prev.SessionID != p.Cur.SessionID {
+			t.Error("Prev crossed a session boundary")
+		}
+	}
+}

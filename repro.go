@@ -1,0 +1,173 @@
+// Package repro is a pure-Go reproduction of "Workload-Aware Query
+// Recommendation Using Deep Learning" (Lai et al., EDBT 2023).
+//
+// The library predicts a user's next SQL query from the preceding query in
+// their session, split into two sub-problems exactly as in the paper:
+//
+//   - next template prediction: the structure of the next query (its AST
+//     with tables/columns/functions/literals replaced by placeholders),
+//     modelled as classification over workload template classes;
+//   - next fragment prediction: the tables, columns, functions and
+//     literals of the next query, via seq2seq generation (greedy for the
+//     full fragment set, beam-search aggregation for top-N fragments).
+//
+// Everything is stdlib-only: the SQL parser, the tensor/autograd stack,
+// the Transformer and ConvS2S architectures, training, and the synthetic
+// SDSS-like and SQLShare-like workload generators that stand in for the
+// proprietary logs.
+//
+// Quickstart:
+//
+//	wl := repro.GenerateSDSS(42)
+//	ds, _ := repro.Prepare(wl)
+//	rec, _ := repro.TrainRecommender(ds, repro.Transformer,
+//		repro.WithEpochs(4), repro.WithMaxTrainPairs(800))
+//	templates, _ := rec.NextTemplates("SELECT ra FROM PhotoObj", 3)
+//	fragments, _ := rec.NextFragments("SELECT ra FROM PhotoObj", 3,
+//		repro.DefaultNFragmentsOptions())
+package repro
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/sqlast"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+// Re-exported types forming the public surface.
+type (
+	// Workload is a set of query sessions (paper Definition 3).
+	Workload = workload.Workload
+	// Pair is a consecutive query pair (Q_i, Q_{i+1}).
+	Pair = workload.Pair
+	// Dataset is a prepared workload: enriched, split, with vocabulary
+	// and template classes.
+	Dataset = core.Dataset
+	// Recommender is the trained two-stage recommendation system.
+	Recommender = core.Recommender
+	// Arch selects the seq2seq architecture.
+	Arch = seq2seq.Arch
+	// FragmentKind is one of table/column/function/literal.
+	FragmentKind = sqlast.FragmentKind
+	// NFragmentsOptions configures top-N fragment search.
+	NFragmentsOptions = core.NFragmentsOptions
+	// WorkloadStats mirrors the paper's Table 2 rows.
+	WorkloadStats = analysis.WorkloadStats
+)
+
+// Architectures evaluated by the paper (GRU is the RNN baseline the
+// paper defers to its full version).
+const (
+	Transformer = seq2seq.Transformer
+	ConvS2S     = seq2seq.ConvS2S
+	GRU         = seq2seq.GRU
+)
+
+// Fragment kinds.
+const (
+	FragTable    = sqlast.FragTable
+	FragColumn   = sqlast.FragColumn
+	FragFunction = sqlast.FragFunction
+	FragLiteral  = sqlast.FragLiteral
+)
+
+// DefaultNFragmentsOptions mirrors the paper's search defaults.
+func DefaultNFragmentsOptions() NFragmentsOptions { return core.DefaultNFragmentsOptions() }
+
+// GenerateSDSS builds the synthetic single-schema astronomy workload that
+// stands in for the SDSS SkyServer logs.
+func GenerateSDSS(seed int64) *Workload { return synth.Generate(synth.SDSSProfile(), seed) }
+
+// GenerateSQLShare builds the synthetic multi-tenant workload that stands
+// in for the SQLShare logs (64 user datasets with disjoint schemas).
+func GenerateSQLShare(seed int64) *Workload { return synth.Generate(synth.SQLShareProfile(), seed) }
+
+// LoadWorkload reads a JSONL query log (fields: session_id, start_time,
+// sql, optional dataset).
+func LoadWorkload(path string) (*Workload, error) { return workload.LoadFile(path, path) }
+
+// LoadWorkloadCSV reads a CSV query log with a header naming session_id
+// (or sessionID), start_time (or theTime) and sql (or statement) columns —
+// the SDSS dump conventions.
+func LoadWorkloadCSV(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadCSV(f, path)
+}
+
+// Prepare parses every query, extracts templates and fragments, splits
+// pairs 80/10/10 and freezes the vocabulary (paper Sections 5.4.1, 6.2.1).
+func Prepare(wl *Workload) (*Dataset, error) {
+	return core.Prepare(wl, core.DefaultPrepConfig())
+}
+
+// Analyze computes the paper's Table 2 statistics for an enriched
+// workload (Prepare enriches; calling Analyze first also works, it
+// enriches on demand).
+func Analyze(wl *Workload) WorkloadStats {
+	if q := wl.Queries(); len(q) > 0 && q[0].Stmt == nil {
+		wl.Enrich()
+	}
+	return analysis.ComputeWorkloadStats(wl)
+}
+
+// Option customizes training.
+type Option func(*core.TrainConfig)
+
+// WithEpochs sets the training epochs for both stages.
+func WithEpochs(n int) Option {
+	return func(c *core.TrainConfig) {
+		c.SeqOpts.Epochs = n
+		c.ClsOpts.Epochs = n
+	}
+}
+
+// WithSeqAware toggles training on (Q_i, Q_{i+1}) vs the seq-less
+// reconstruction ablation.
+func WithSeqAware(v bool) Option { return func(c *core.TrainConfig) { c.SeqAware = v } }
+
+// WithFineTune toggles initializing the classifier from the trained
+// encoder.
+func WithFineTune(v bool) Option { return func(c *core.TrainConfig) { c.FineTune = v } }
+
+// WithSeed fixes initialization and shuffling.
+func WithSeed(seed int64) Option {
+	return func(c *core.TrainConfig) {
+		c.Seed = seed
+		c.SeqOpts.Seed = seed
+		c.ClsOpts.Seed = seed
+	}
+}
+
+// WithDModel sets the model width (and scales the feed-forward hidden
+// size with it).
+func WithDModel(d int) Option {
+	return func(c *core.TrainConfig) {
+		cfg := seq2seq.DefaultConfig(c.Arch, 0)
+		cfg.DModel = d
+		cfg.FFHidden = 2 * d
+		c.Model = &cfg
+	}
+}
+
+// WithMaxTrainPairs caps the number of training pairs (useful on one CPU).
+func WithMaxTrainPairs(n int) Option {
+	return func(c *core.TrainConfig) { c.MaxTrainPairs = n }
+}
+
+// TrainRecommender runs the paper's offline stage (Figure 3 steps 1-2) on
+// a prepared dataset and returns the online recommender (steps 3-4).
+func TrainRecommender(ds *Dataset, arch Arch, opts ...Option) (*Recommender, error) {
+	cfg := core.DefaultTrainConfig(arch)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.Train(ds, cfg)
+}

@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestFacadeGenerateAnalyze(t *testing.T) {
+	wl := GenerateSQLShare(3)
+	st := Analyze(wl)
+	if st.TotalPairs == 0 || st.Datasets != 64 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Second call on the enriched workload is stable.
+	st2 := Analyze(wl)
+	if st2.TotalPairs != st.TotalPairs {
+		t.Error("analyze not idempotent")
+	}
+}
+
+func TestFacadePrepare(t *testing.T) {
+	wl := GenerateSDSS(4)
+	ds, err := Prepare(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) == 0 || len(ds.Test) == 0 || ds.Vocab.Size() == 0 {
+		t.Fatalf("dataset incomplete")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	wl := GenerateSDSS(5)
+	ds, err := Prepare(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := TrainRecommender(ds, Transformer,
+		WithEpochs(1), WithMaxTrainPairs(100), WithDModel(16), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpls, err := rec.NextTemplates("SELECT ra, dec FROM PhotoObj WHERE ra > 180.0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpls) != 3 {
+		t.Errorf("templates: %v", tmpls)
+	}
+	frags, err := rec.NextFragments("SELECT ra FROM PhotoObj", 3, DefaultNFragmentsOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frags == nil {
+		t.Fatal("nil fragments")
+	}
+}
+
+func TestFacadeLoadWorkloadMissing(t *testing.T) {
+	if _, err := LoadWorkload("/nonexistent/file.jsonl"); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,29 @@
+# Development entry points. `make test` is the tier-1 gate: build + vet +
+# full suite under the race detector.
+
+GO ?= go
+
+.PHONY: test test-short bench fuzz build vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	./scripts/test.sh
+
+test-short:
+	./scripts/test.sh -short
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Each fuzz target runs briefly; raise FUZZTIME for a real campaign.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/sqllex
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sqlparse
+	$(GO) test -run '^$$' -fuzz FuzzTokenizeRoundTrip -fuzztime $(FUZZTIME) ./internal/tokenizer

@@ -1,10 +1,14 @@
 // Command qrec-serve exposes a trained model directory over HTTP (the
-// deployment shape a database-as-a-service platform would embed).
+// deployment shape a database-as-a-service platform would embed), running
+// requests on the concurrent serving core: a bounded prediction worker
+// pool plus a sharded LRU inference cache.
 //
 // Usage:
 //
-//	qrec-serve -model model/ -addr :8080
+//	qrec-serve -model model/ -addr :8080 -workers 8 -cache-size 4096
 //	curl -s localhost:8080/v1/recommend -d '{"sql":"SELECT ra FROM PhotoObj"}'
+//	curl -s localhost:8080/v1/recommend/batch \
+//	  -d '{"requests":[{"sql":"SELECT ra FROM PhotoObj"}]}'
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/modeldir"
 	"repro/internal/server"
@@ -20,6 +25,12 @@ import (
 func main() {
 	modelDir := flag.String("model", "model", "model directory written by qrec-train")
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "prediction worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", server.DefaultCacheSize,
+		"inference cache entries (negative disables caching)")
+	timeout := flag.Duration("timeout", server.DefaultTimeout, "per-request prediction timeout")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max requests per batch call")
 	flag.Parse()
 
 	rec, err := modeldir.Load(*modelDir, 0)
@@ -27,9 +38,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qrec-serve:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "serving %s model (%d classes) on %s\n",
-		rec.Model.Config().Arch, len(rec.Classifier.Classes), *addr)
-	if err := http.ListenAndServe(*addr, server.New(rec)); err != nil {
+	srv := server.NewWithConfig(rec, server.Config{
+		CacheSize:    *cacheSize,
+		Workers:      *workers,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+		MaxBatch:     *maxBatch,
+	})
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "serving %s model (%d classes) on %s (workers=%d cache=%d timeout=%s)\n",
+		rec.Model.Config().Arch, len(rec.Classifier.Classes), *addr,
+		*workers, *cacheSize, *timeout)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := hs.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, "qrec-serve:", err)
 		os.Exit(1)
 	}

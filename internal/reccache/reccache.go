@@ -1,0 +1,180 @@
+// Package reccache provides the size-bounded inference cache the serving
+// core uses to memoize recommendation results. Real DBaaS workloads (the
+// paper's SQLShare setting; see also Sibyl's workload-forecasting
+// observations) are dominated by recurrent, near-duplicate queries, so the
+// same (normalized SQL, context, parameters) tuple is requested over and
+// over — memoizing `NextTemplates`/`NFragmentsFromTokens` output turns the
+// dominant case from a full beam search into a map lookup.
+//
+// The cache is an LRU sharded over independently locked segments: keys are
+// hashed (FNV-1a) to a shard, each shard holds its own mutex, doubly
+// linked recency list and map, so concurrent readers on a busy server
+// contend only 1/nth of the time. Hit/miss/eviction counters are kept with
+// atomics and surfaced through Stats for the /v1/healthz endpoint.
+//
+// Values are stored by reference and returned as-is: callers must treat
+// cached values as immutable (the serving layer only ever reads them).
+package reccache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the fixed shard count. A power of two so the hash can be
+// masked; 16 keeps lock contention negligible up to dozens of cores while
+// costing only 16 small headers when the cache is tiny.
+const numShards = 16
+
+// Cache is a sharded, size-bounded LRU. The zero value is not usable; use
+// New. A nil *Cache is a valid no-op cache (every Get misses, Put drops),
+// which lets callers disable caching without branching.
+type Cache struct {
+	shards    [numShards]shard
+	perShard  int
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// New builds a cache bounding roughly capacity entries in total (the bound
+// is enforced per shard, so the effective capacity is capacity rounded up
+// to a multiple of the shard count). capacity <= 0 returns a nil cache,
+// i.e. caching disabled.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := (capacity + numShards - 1) / numShards
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()&(numShards-1)]
+}
+
+// Get returns the cached value for key and whether it was present,
+// promoting the entry to most-recently-used.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	v := el.Value.(*entry).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts or refreshes key, evicting the least-recently-used entry of
+// the key's shard when the shard is full.
+func (c *Cache) Put(key string, val any) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).val = val
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry{key: key, val: val})
+	var evicted bool
+	if s.ll.Len() > c.perShard {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry).key)
+		evicted = true
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// GetOrCompute returns the cached value for key, or computes, stores and
+// returns it. The computation runs outside the shard lock, so concurrent
+// misses on the same key may compute redundantly — acceptable because
+// recommendation inference is deterministic, and preferable to serializing
+// all misses behind one in-flight search.
+func (c *Cache) GetOrCompute(key string, compute func() any) any {
+	if v, ok := c.Get(key); ok {
+		return v
+	}
+	v := compute()
+	c.Put(key, v)
+	return v
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Stats snapshots the counters. On a nil cache all fields are zero.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.perShard * numShards,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,135 @@
+package reccache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("refresh: got %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity 16 = 1 entry per shard: any second insert into a shard
+	// evicts its previous occupant.
+	c := New(16)
+	var keys []string
+	s0 := c.shardFor("seed")
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shardFor(k) == s0 {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1) // evicts keys[0]
+	if _, ok := c.Get(keys[0]); ok {
+		t.Error("expected eviction of oldest entry")
+	}
+	if v, ok := c.Get(keys[1]); !ok || v.(int) != 1 {
+		t.Errorf("newest entry evicted: %v %v", v, ok)
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestLRUPromotion(t *testing.T) {
+	// Two same-shard keys at capacity: touching the older one must make
+	// the other the eviction victim.
+	c := New(32) // 2 per shard
+	s0 := c.shardFor("seed")
+	var keys []string
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("p%d", i)
+		if c.shardFor(k) == s0 {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1)
+	c.Get(keys[0]) // promote oldest
+	c.Put(keys[2], 2)
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Error("promoted entry evicted")
+	}
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("LRU victim survived")
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	if c != New(0) {
+		t.Error("New(0) should be nil")
+	}
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("nil cache hit")
+	}
+	if got := c.GetOrCompute("a", func() any { return 7 }); got.(int) != 7 {
+		t.Errorf("GetOrCompute on nil cache: %v", got)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil stats %+v", st)
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New(64)
+	calls := 0
+	f := func() any { calls++; return "v" }
+	if got := c.GetOrCompute("k", f); got != "v" {
+		t.Fatalf("got %v", got)
+	}
+	if got := c.GetOrCompute("k", f); got != "v" {
+		t.Fatalf("got %v", got)
+	}
+	if calls != 1 {
+		t.Errorf("compute called %d times, want 1", calls)
+	}
+}
+
+// TestConcurrent exercises the sharded locking under the race detector.
+func TestConcurrent(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%97)
+				c.GetOrCompute(k, func() any { return k })
+				if v, ok := c.Get(k); ok && v.(string) != k {
+					t.Errorf("wrong value for %s: %v", k, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Entries == 0 {
+		t.Errorf("stats after stress: %+v", st)
+	}
+	if st.Entries > st.Capacity {
+		t.Errorf("over capacity: %+v", st)
+	}
+}

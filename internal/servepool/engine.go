@@ -1,0 +1,170 @@
+package servepool
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/reccache"
+	"repro/internal/sqlast"
+	"repro/internal/tokenizer"
+)
+
+// Request is one recommendation to compute.
+type Request struct {
+	// SQL is the user's current query Q_i (required).
+	SQL string
+	// PrevSQL optionally supplies Q_{i-1} for context-trained models.
+	PrevSQL string
+	// N bounds templates and fragments per kind.
+	N int
+	// Opts parameterizes the N-fragments search.
+	Opts core.NFragmentsOptions
+}
+
+// Result is one computed recommendation.
+type Result struct {
+	Templates []string
+	Fragments map[sqlast.FragmentKind][]string
+}
+
+// BadQueryError wraps a tokenization/parse failure of the input SQL so the
+// HTTP layer can map it to 422 instead of 500.
+type BadQueryError struct{ Err error }
+
+// Error implements the error interface.
+func (e *BadQueryError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying parse error.
+func (e *BadQueryError) Unwrap() error { return e.Err }
+
+// Engine executes recommendations for one trained model: the template and
+// fragment predictions of a request run as two independent tasks on the
+// worker pool (they share no state — see core.Recommender), and results
+// are memoized in an optional inference cache keyed on the normalized
+// token sequence, context, N and search options.
+type Engine struct {
+	rec   *core.Recommender
+	cache *reccache.Cache // nil disables caching
+	pool  *Pool
+}
+
+// NewEngine builds an engine around a trained recommender. cache may be
+// nil (no memoization); workers <= 0 defaults to GOMAXPROCS.
+func NewEngine(rec *core.Recommender, cache *reccache.Cache, workers int) *Engine {
+	return &Engine{rec: rec, cache: cache, pool: NewPool(workers)}
+}
+
+// Rec exposes the underlying recommender (read-only use).
+func (e *Engine) Rec() *core.Recommender { return e.rec }
+
+// CacheStats snapshots the inference cache counters (zero when disabled).
+func (e *Engine) CacheStats() reccache.Stats { return e.cache.Stats() }
+
+// PoolStats snapshots the worker pool counters.
+func (e *Engine) PoolStats() PoolStats { return e.pool.Stats() }
+
+// Close drains and stops the worker pool.
+func (e *Engine) Close() { e.pool.Close() }
+
+// optsKey serializes every field that changes search output, so distinct
+// option sets never collide in the cache.
+func optsKey(o core.NFragmentsOptions) string {
+	return fmt.Sprintf("%s|%d|%g|%g|%d", o.Strategy, o.Width, o.Penalty, o.MinFrac, o.Seed)
+}
+
+// Recommend computes templates and fragments for one request, running the
+// two predictions in parallel on the pool. Errors: *BadQueryError when the
+// SQL (or PrevSQL) does not parse, ctx.Err() on timeout/cancellation,
+// ErrClosed after Close.
+func (e *Engine) Recommend(ctx context.Context, req Request) (*Result, error) {
+	// Tokenize once up front: the token sequence is both the cache key
+	// (normalized — whitespace, aliases and literals are already folded)
+	// and the model input, and it is the only part of the pipeline that
+	// can reject the request.
+	curToks, err := tokenizer.Tokenize(req.SQL)
+	if err != nil {
+		return nil, &BadQueryError{Err: err}
+	}
+	var prevToks []string
+	if req.PrevSQL != "" {
+		prevToks, err = tokenizer.Tokenize(req.PrevSQL)
+		if err != nil {
+			return nil, &BadQueryError{Err: err}
+		}
+	}
+
+	curKey := strings.Join(curToks, " ")
+	prevKey := strings.Join(prevToks, " ")
+	n := strconv.Itoa(req.N)
+	tmplKey := "t\x00" + prevKey + "\x00" + curKey + "\x00" + n
+	fragKey := "f\x00" + curKey + "\x00" + n + "\x00" + optsKey(req.Opts)
+
+	res := &Result{}
+	errc := make(chan error, 2)
+	go func() {
+		errc <- e.pool.Do(ctx, func() {
+			res.Templates = e.templates(tmplKey, prevToks, curToks, req.N)
+		})
+	}()
+	go func() {
+		errc <- e.pool.Do(ctx, func() {
+			res.Fragments = e.fragments(fragKey, curToks, req.N, req.Opts)
+		})
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			// The sibling task may still be writing into res; return
+			// without touching it further. res escapes only on success.
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// templates predicts (or recalls) the top-N next-query templates.
+func (e *Engine) templates(key string, prevToks, curToks []string, n int) []string {
+	return e.cache.GetOrCompute(key, func() any {
+		src := core.EncodeContext(e.rec.Vocab, prevToks, curToks)
+		return e.rec.Classifier.PredictTopN(src, n)
+	}).([]string)
+}
+
+// fragments predicts (or recalls) the top-N fragments per kind.
+func (e *Engine) fragments(key string, curToks []string, n int, opts core.NFragmentsOptions) map[sqlast.FragmentKind][]string {
+	return e.cache.GetOrCompute(key, func() any {
+		src := e.rec.Vocab.Encode(curToks, true)
+		return e.rec.NFragmentsFromTokens(src, n, opts)
+	}).(map[sqlast.FragmentKind][]string)
+}
+
+// BatchItem is one outcome of RecommendBatch: exactly one of Result or Err
+// is set.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// RecommendBatch fans the requests across the worker pool and returns one
+// item per request, in order. Per-request failures (unparseable SQL) land
+// in the corresponding item; a cancelled context fails the remainder.
+func (e *Engine) RecommendBatch(ctx context.Context, reqs []Request) []BatchItem {
+	out := make([]BatchItem, len(reqs))
+	done := make(chan int, len(reqs))
+	for i := range reqs {
+		// One lightweight coordinator per request; the heavy inference
+		// inside Recommend is what the pool bounds. Coordinators never
+		// run on pool workers, so a full pool cannot deadlock itself.
+		go func(i int) {
+			r, err := e.Recommend(ctx, reqs[i])
+			out[i] = BatchItem{Result: r, Err: err}
+			done <- i
+		}(i)
+	}
+	for range reqs {
+		<-done
+	}
+	return out
+}

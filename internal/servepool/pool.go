@@ -1,0 +1,139 @@
+// Package servepool is the concurrent serving core: a bounded worker pool
+// plus an Engine that runs the two independent halves of a recommendation
+// (template classification and fragment search) in parallel, memoized
+// through an inference cache, and fans batches of requests across the
+// pool.
+//
+// Model inference is read-only — the forward pass, beam search and
+// classifier head only read parameters — so any number of predictions can
+// run concurrently against one Recommender. The pool exists to bound that
+// concurrency: without it a traffic burst would start an unbounded number
+// of beam searches and thrash the CPU. Workers are fixed goroutines
+// draining a task channel; tasks whose context is already cancelled are
+// skipped rather than executed.
+package servepool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Do/Submit after Close.
+var ErrClosed = errors.New("servepool: pool closed")
+
+// Pool is a bounded worker pool. Create with NewPool; the zero value is
+// not usable.
+type Pool struct {
+	tasks   chan task
+	wg      sync.WaitGroup
+	workers int
+	// mu guards closed and the task channel's lifetime: submitters hold
+	// the read side while sending so Close (write side) can never close
+	// the channel out from under an in-flight send.
+	mu       sync.RWMutex
+	closed   bool
+	executed atomic.Uint64
+	skipped  atomic.Uint64
+}
+
+type task struct {
+	ctx  context.Context
+	fn   func()
+	done chan bool // receives whether fn actually ran
+}
+
+// NewPool starts a pool with the given number of worker goroutines.
+// workers <= 0 defaults to GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		// A small queue lets submitters hand off without rendezvous; it
+		// stays shallow so backpressure reaches callers quickly.
+		tasks:   make(chan task, workers),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		if t.ctx != nil && t.ctx.Err() != nil {
+			// The submitter already gave up; don't burn a worker on a
+			// result nobody will read.
+			p.skipped.Add(1)
+			t.done <- false
+			continue
+		}
+		t.fn()
+		p.executed.Add(1)
+		t.done <- true
+	}
+}
+
+// Do submits fn and blocks until a worker has run it, the context is
+// cancelled, or the pool is closed. When it returns nil, fn has completed.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	t := task{ctx: ctx, fn: fn, done: make(chan bool, 1)}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrClosed
+	}
+	select {
+	case p.tasks <- t:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return ctx.Err()
+	}
+	select {
+	case ran := <-t.done:
+		if !ran {
+			return ctx.Err()
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// PoolStats is a snapshot of pool activity counters.
+type PoolStats struct {
+	Workers  int    `json:"workers"`
+	Executed uint64 `json:"executed"`
+	Skipped  uint64 `json:"skipped"`
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:  p.workers,
+		Executed: p.executed.Load(),
+		Skipped:  p.skipped.Load(),
+	}
+}
+
+// Close stops accepting work, runs everything already queued, and waits
+// for the workers to exit. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,112 @@
+package servepool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoRunsTask(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ran := false
+	if err := p.Do(context.Background(), func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	if st := p.Stats(); st.Executed != 1 || st.Workers != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestDoAfterClose(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	if err := p.Do(context.Background(), func() {}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseIdempotentAndDrains(t *testing.T) {
+	p := NewPool(2)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func() { n.Add(1) })
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	p.Close()
+	if n.Load() != 20 {
+		t.Errorf("executed %d tasks, want 20", n.Load())
+	}
+}
+
+func TestDoCancelledContext(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A pre-cancelled context must not execute the task.
+	err := p.Do(ctx, func() { t.Error("task ran despite cancelled context") })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Give a worker a chance to (incorrectly) pick it up.
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestDoTimeoutWhileQueued(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), func() { <-block })
+	}()
+	// Wait until the worker is occupied.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	// Saturate the queue so later submissions sit behind the blocker.
+	for i := 0; i < cap(p.tasks); i++ {
+		go p.Do(context.Background(), func() {})
+	}
+	err := p.Do(ctx, func() {})
+	if err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestConcurrentDoClose hammers Do concurrently with Close under -race to
+// verify the channel-lifetime locking.
+func TestConcurrentDoClose(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := p.Do(context.Background(), func() {}); err == ErrClosed {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	p.Close()
+	wg.Wait()
+}

@@ -2,24 +2,36 @@
 // JSON API, the deployment shape a database-as-a-service platform (the
 // paper's SQLShare setting) would embed:
 //
-//	POST /v1/recommend   {"sql": "...", "prev_sql": "...", "n": 3}
+//	POST /v1/recommend        {"sql": "...", "prev_sql": "...", "n": 3}
 //	  -> {"templates": [...], "fragments": {"table": [...], ...}}
-//	GET  /v1/healthz     -> {"status":"ok", ...}
+//	POST /v1/recommend/batch  {"requests": [{...}, ...]}
+//	  -> {"results": [{...}, {"error": "..."}, ...]}
+//	GET  /v1/healthz          -> {"status":"ok", "cache": {...}, ...}
 //
-// The handler is stateless per request and safe for concurrent use: model
-// inference only reads parameters.
+// Requests are executed by the servepool engine: template and fragment
+// prediction run in parallel on a bounded worker pool, and results are
+// memoized in a sharded LRU inference cache (see internal/servepool and
+// internal/reccache). The handler is stateless per request and safe for
+// concurrent use: model inference only reads parameters — a claim the
+// package's concurrency tests verify under the race detector.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/reccache"
+	"repro/internal/servepool"
 	"repro/internal/sqlast"
 )
 
-// RecommendRequest is the /v1/recommend input.
+// RecommendRequest is the /v1/recommend input (and one element of a batch
+// request).
 type RecommendRequest struct {
 	// SQL is the user's current query Q_i (required).
 	SQL string `json:"sql"`
@@ -39,21 +51,93 @@ type RecommendResponse struct {
 	Fragments map[string][]string `json:"fragments"`
 }
 
+// BatchRequest is the /v1/recommend/batch input.
+type BatchRequest struct {
+	Requests []RecommendRequest `json:"requests"`
+}
+
+// BatchItem is one /v1/recommend/batch result: either the recommendation
+// or a per-request error message.
+type BatchItem struct {
+	Templates []string            `json:"templates,omitempty"`
+	Fragments map[string][]string `json:"fragments,omitempty"`
+	Error     string              `json:"error,omitempty"`
+}
+
+// BatchResponse is the /v1/recommend/batch output, one item per request in
+// request order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
 // errorResponse is the JSON error envelope.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// Config tunes the serving core. The zero value selects the defaults
+// below.
+type Config struct {
+	// CacheSize bounds the inference cache in entries. 0 means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// Workers sizes the prediction worker pool. 0 means GOMAXPROCS.
+	Workers int
+	// Timeout bounds each request's prediction work. 0 means
+	// DefaultTimeout.
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxBatch bounds the number of requests in one batch call. 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+}
+
+// Serving defaults.
+const (
+	DefaultCacheSize    = 4096
+	DefaultTimeout      = 30 * time.Second
+	DefaultMaxBodyBytes = 1 << 20 // 1 MiB
+	DefaultMaxBatch     = 64
+)
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.Timeout == 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	return c
+}
+
 // Server wires a Recommender into an http.Handler.
 type Server struct {
-	rec *core.Recommender
+	eng *servepool.Engine
+	cfg Config
 	mux *http.ServeMux
 }
 
-// New builds the handler around a trained recommender.
-func New(rec *core.Recommender) *Server {
-	s := &Server{rec: rec, mux: http.NewServeMux()}
+// New builds the handler around a trained recommender with default serving
+// config.
+func New(rec *core.Recommender) *Server { return NewWithConfig(rec, Config{}) }
+
+// NewWithConfig builds the handler with explicit serving config.
+func NewWithConfig(rec *core.Recommender, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng: servepool.NewEngine(rec, reccache.New(cfg.CacheSize), cfg.Workers),
+		cfg: cfg,
+		mux: http.NewServeMux(),
+	}
 	s.mux.HandleFunc("/v1/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/v1/recommend/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
 	return s
 }
@@ -61,28 +145,44 @@ func New(rec *core.Recommender) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Close drains the worker pool. The server must not be used afterwards.
+func (s *Server) Close() { s.eng.Close() }
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	rec := s.eng.Rec()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"vocab":   s.rec.Vocab.Size(),
-		"classes": len(s.rec.Classifier.Classes),
-		"arch":    string(s.rec.Model.Config().Arch),
+		"vocab":   rec.Vocab.Size(),
+		"classes": len(rec.Classifier.Classes),
+		"arch":    string(rec.Model.Config().Arch),
+		"cache":   s.eng.CacheStats(),
+		"pool":    s.eng.PoolStats(),
 	})
 }
 
-func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
-		return
-	}
-	var req RecommendRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+// decodeBody JSON-decodes a size-limited request body into v, translating
+// failure modes to HTTP statuses. It reports whether decoding succeeded;
+// on failure the error response has already been written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
-		return
+		return false
 	}
+	return true
+}
+
+// toPoolRequest validates and converts one API request, clamping N into
+// [1, 25] (default 3).
+func toPoolRequest(req RecommendRequest) (servepool.Request, error) {
 	if req.SQL == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "sql is required"})
-		return
+		return servepool.Request{}, errors.New("sql is required")
 	}
 	n := req.N
 	if n <= 0 {
@@ -99,37 +199,127 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	case "sampling":
 		opts.Strategy = core.StrategySampling
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown strategy %q", req.Strategy)})
-		return
+		return servepool.Request{}, fmt.Errorf("unknown strategy %q", req.Strategy)
 	}
-
-	var templates []string
-	var err error
-	if req.PrevSQL != "" {
-		templates, err = s.rec.NextTemplatesContext(req.PrevSQL, req.SQL, n)
-	} else {
-		templates, err = s.rec.NextTemplates(req.SQL, n)
-	}
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: "cannot parse query: " + err.Error()})
-		return
-	}
-	frags, err := s.rec.NextFragments(req.SQL, n, opts)
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
-		return
-	}
-	resp := RecommendResponse{Templates: templates, Fragments: map[string][]string{}}
-	for _, kind := range sqlast.FragmentKinds {
-		if len(frags[kind]) > 0 {
-			resp.Fragments[kind.String()] = frags[kind]
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	return servepool.Request{SQL: req.SQL, PrevSQL: req.PrevSQL, N: n, Opts: opts}, nil
 }
 
+// toResponse renders an engine result in the stable wire shape: fragment
+// kinds appear in paper order and empty kinds are omitted.
+func toResponse(res *servepool.Result) RecommendResponse {
+	resp := RecommendResponse{Templates: res.Templates, Fragments: map[string][]string{}}
+	for _, kind := range sqlast.FragmentKinds {
+		if len(res.Fragments[kind]) > 0 {
+			resp.Fragments[kind.String()] = res.Fragments[kind]
+		}
+	}
+	return resp
+}
+
+// errStatus maps engine errors to HTTP statuses.
+func errStatus(err error) int {
+	var bad *servepool.BadQueryError
+	switch {
+	case errors.As(err, &bad):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, servepool.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errMessage prefixes parse failures the way the seed API did.
+func errMessage(err error) string {
+	var bad *servepool.BadQueryError
+	if errors.As(err, &bad) {
+		return "cannot parse query: " + bad.Err.Error()
+	}
+	return err.Error()
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req RecommendRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	preq, err := toPoolRequest(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	res, err := s.eng.Recommend(ctx, preq)
+	if err != nil {
+		writeJSON(w, errStatus(err), errorResponse{Error: errMessage(err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(res))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var batch BatchRequest
+	if !s.decodeBody(w, r, &batch) {
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "requests is required"})
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(batch.Requests), s.cfg.MaxBatch)})
+		return
+	}
+	// Invalid individual requests fail their slot, not the whole batch;
+	// the shared timeout covers the batch as a unit.
+	preqs := make([]servepool.Request, len(batch.Requests))
+	precheck := make([]error, len(batch.Requests))
+	for i, req := range batch.Requests {
+		preqs[i], precheck[i] = toPoolRequest(req)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	items := s.eng.RecommendBatch(ctx, preqs)
+	out := BatchResponse{Results: make([]BatchItem, len(items))}
+	for i, item := range items {
+		switch {
+		case precheck[i] != nil:
+			out.Results[i] = BatchItem{Error: precheck[i].Error()}
+		case item.Err != nil:
+			out.Results[i] = BatchItem{Error: errMessage(item.Err)}
+		default:
+			resp := toResponse(item.Result)
+			out.Results[i] = BatchItem{Templates: resp.Templates, Fragments: resp.Fragments}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// writeJSON encodes v before writing any headers so an encode failure can
+// still produce a well-formed 500 instead of a silently truncated body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		// errorResponse of a plain string cannot itself fail to encode.
+		fallback, _ := json.Marshal(errorResponse{Error: "encode response: " + err.Error()})
+		w.Write(append(fallback, '\n'))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	w.Write(append(data, '\n'))
 }

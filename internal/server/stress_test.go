@@ -1,0 +1,137 @@
+package server
+
+// Concurrency stress: many goroutines hammer the cached, pooled handler
+// with a mixed hot/cold workload. Verifies (a) every concurrent response
+// is byte-identical to the uncached single-threaded path, (b) the cache
+// hit-rate on a recurrence-dominated workload clears a threshold, and
+// (c) the whole thing is race-clean — the package docs claim model
+// inference only reads parameters, and this test is where `-race` checks
+// that claim.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// stressQueries builds the mixed workload: a few hot queries that repeat
+// throughout plus a tail of cold queries drawn from the synthetic
+// generator (all guaranteed parseable).
+func stressQueries(t *testing.T, nCold int) (hot, cold []string) {
+	t.Helper()
+	hot = []string{
+		"SELECT ra, dec FROM PhotoObj WHERE ra > 180.0",
+		"SELECT ra FROM PhotoObj",
+		"SELECT TOP 10 * FROM PhotoObj ORDER BY ra",
+		"SELECT COUNT(*) FROM PhotoObj",
+	}
+	prof := synth.SDSSProfile()
+	prof.Sessions = 30
+	wl := synth.Generate(prof, 99)
+	seen := map[string]bool{}
+	for _, h := range hot {
+		seen[h] = true
+	}
+	for _, sess := range wl.Sessions {
+		for _, q := range sess.Queries {
+			if len(cold) >= nCold {
+				return hot, cold
+			}
+			if !seen[q.SQL] {
+				seen[q.SQL] = true
+				cold = append(cold, q.SQL)
+			}
+		}
+	}
+	if len(cold) == 0 {
+		t.Fatal("no cold queries generated")
+	}
+	return hot, cold
+}
+
+func TestConcurrentStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	rec := trainedRecommender(t)
+	hot, cold := stressQueries(t, 24)
+
+	// Reference answers from the uncached path, computed single-threaded.
+	uncached := NewWithConfig(rec, Config{CacheSize: -1, Workers: 1})
+	defer uncached.Close()
+	want := map[string]string{}
+	all := append(append([]string{}, hot...), cold...)
+	for _, sql := range all {
+		w := postTo(t, uncached, "/v1/recommend", reqBody(sql))
+		if w.Code != http.StatusOK {
+			t.Fatalf("uncached %q: status %d (%s)", sql, w.Code, w.Body.String())
+		}
+		want[sql] = w.Body.String()
+	}
+
+	cached := New(rec)
+	defer cached.Close()
+
+	// 8 goroutines x 40 requests; ~85% of traffic goes to the hot set,
+	// mirroring the recurrent-query skew real workloads show.
+	const goroutines, perG = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var sql string
+				if (g+i)%7 == 0 {
+					sql = cold[(g*perG+i)%len(cold)]
+				} else {
+					sql = hot[(g+i)%len(hot)]
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/recommend", bytes.NewBufferString(reqBody(sql)))
+				w := httptest.NewRecorder()
+				cached.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("%q: status %d (%s)", sql, w.Code, w.Body.String())
+					continue
+				}
+				if got := w.Body.String(); got != want[sql] {
+					errs <- fmt.Errorf("%q: cached response diverges\ngot:  %s\nwant: %s", sql, got, want[sql])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	nerr := 0
+	for err := range errs {
+		nerr++
+		if nerr <= 5 {
+			t.Error(err)
+		}
+	}
+	if nerr > 5 {
+		t.Errorf("... and %d more errors", nerr-5)
+	}
+
+	st := cached.eng.CacheStats()
+	total := st.Hits + st.Misses
+	if total == 0 {
+		t.Fatal("cache saw no traffic")
+	}
+	// Hot queries dominate, so well over half of all lookups must hit.
+	if rate := float64(st.Hits) / float64(total); rate < 0.6 {
+		t.Errorf("hit rate %.2f below 0.6 (%+v)", rate, st)
+	}
+}
+
+func reqBody(sql string) string {
+	b, _ := json.Marshal(map[string]any{"sql": sql, "n": 3})
+	return string(b)
+}

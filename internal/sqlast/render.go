@@ -3,6 +3,8 @@ package sqlast
 import (
 	"sort"
 	"strings"
+
+	"repro/internal/sqllex"
 )
 
 // RenderMode controls how fragments are spelled during rendering.
@@ -253,7 +255,7 @@ func (r *renderer) tableName(name string) {
 		r.w("Table")
 		return
 	}
-	r.w(name)
+	r.w(quoteName(name))
 }
 
 func (r *renderer) columnName(q, name string) {
@@ -262,9 +264,29 @@ func (r *renderer) columnName(q, name string) {
 		return
 	}
 	if q != "" {
-		r.w(r.resolveQualifier(q), ".")
+		r.w(quoteName(r.resolveQualifier(q)), ".")
 	}
-	r.w(name)
+	r.w(quoteName(name))
+}
+
+// quoteName spells a possibly-qualified name so it re-lexes to the same
+// identifier chain: each dot-separated segment is quoted iff it would not
+// lex bare. Degenerate names with empty segments (e.g. "a.") are kept as
+// one quoted segment so the dots stay inside the delimiters.
+func quoteName(name string) string {
+	if sqllex.IsBareIdent(name) || name == "" {
+		return name
+	}
+	parts := strings.Split(name, ".")
+	for _, p := range parts {
+		if p == "" {
+			return sqllex.QuoteIdent(name)
+		}
+	}
+	for i, p := range parts {
+		parts[i] = sqllex.QuoteIdent(p)
+	}
+	return strings.Join(parts, ".")
 }
 
 func (r *renderer) expr(e Expr) {
@@ -275,7 +297,7 @@ func (r *renderer) expr(e Expr) {
 		r.columnName(x.Qualifier, x.Name)
 	case *Star:
 		if x.Qualifier != "" && r.mode == RenderSQL {
-			r.w(r.resolveQualifier(x.Qualifier), ".")
+			r.w(quoteName(r.resolveQualifier(x.Qualifier)), ".")
 		}
 		r.w("*")
 	case *NumberLit:
@@ -296,7 +318,7 @@ func (r *renderer) expr(e Expr) {
 		if r.mode == RenderTemplate {
 			r.w("Function")
 		} else {
-			r.w(x.Name)
+			r.w(quoteName(x.Name))
 		}
 		r.w("(")
 		if x.Distinct {

@@ -1,0 +1,65 @@
+package sqllex_test
+
+// Native fuzzing for the lexer. The serving path hands the lexer
+// arbitrary bytes twice over: raw user SQL from the HTTP API, and
+// model-generated token soup re-rendered by the fragment decoder — so
+// Tokenize must never panic, loop, or hand back tokens that lie about
+// their source positions.
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/sqllex"
+	"repro/internal/synth"
+)
+
+// seedCorpus adds synthetic-workload queries (the strings the system
+// actually lexes in production) plus handcrafted edge cases.
+func seedCorpus(f *testing.F) {
+	prof := synth.SDSSProfile()
+	prof.Sessions = 4
+	wl := synth.Generate(prof, 3)
+	n := 0
+	for _, sess := range wl.Sessions {
+		for _, q := range sess.Queries {
+			f.Add(q.SQL)
+			n++
+		}
+	}
+	if n == 0 {
+		f.Fatal("empty seed corpus")
+	}
+	for _, s := range []string{
+		"", " ", ";", "--", "-- comment only\n", "/* unterminated",
+		"SELECT 'unterminated string", `SELECT "quoted ident" FROM t`,
+		"SELECT [bracket ident] FROM t", "SELECT 1e", "SELECT 1e+",
+		"SELECT .5 + 0x1F", "SELECT a .. b", "select\t*\nfrom\r\nt",
+		"SELECT '''escaped'''", "\x00\xff\xfe", "SELECT é FROM café",
+		strings.Repeat("(", 100), "a" + strings.Repeat(".", 50) + "b",
+	} {
+		f.Add(s)
+	}
+}
+
+func FuzzTokenize(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := sqllex.Tokenize(src)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		for _, tok := range toks {
+			if tok.Text == "" && tok.Kind != sqllex.EOF {
+				t.Errorf("empty token text: %+v", tok)
+			}
+			if tok.Pos.Offset < 0 || tok.Pos.Offset > len(src) {
+				t.Errorf("token offset %d outside source of length %d", tok.Pos.Offset, len(src))
+			}
+			if utf8.ValidString(src) && !utf8.ValidString(tok.Text) {
+				t.Errorf("invalid UTF-8 in token %q from valid source", tok.Text)
+			}
+		}
+	})
+}

@@ -262,7 +262,49 @@ func (l *Lexer) quotedIdent(start Pos, closer rune) (Token, error) {
 		sb.WriteRune(l.advance())
 	}
 	text := sb.String()
+	if text == "" {
+		return Token{}, &Error{Pos: start, Msg: "empty quoted identifier"}
+	}
 	return Token{Kind: Ident, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+}
+
+// IsBareIdent reports whether s lexes as a single unquoted identifier
+// token (and not a keyword). Names failing this need quoting to survive a
+// render → re-lex round trip; see QuoteIdent.
+func IsBareIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !isIdentStart(r) {
+			return false
+		}
+		if i > 0 && !isIdentPart(r) {
+			return false
+		}
+	}
+	return !keywords[strings.ToUpper(s)]
+}
+
+// QuoteIdent returns the canonical spelling of one identifier segment:
+// bare when possible, otherwise delimited with double quotes, falling back
+// to T-SQL brackets when the name itself contains a double quote. A lexed
+// quoted identifier can never contain its own closing delimiter, so at
+// least one form is always available for lexer-produced names; for
+// adversarial names containing both delimiters the closing bracket is
+// dropped to keep the spelling lexable (the canonical form is then a
+// deterministic sanitization, not an exact round trip).
+func QuoteIdent(s string) string {
+	if IsBareIdent(s) {
+		return s
+	}
+	if !strings.Contains(s, `"`) {
+		return `"` + s + `"`
+	}
+	if !strings.Contains(s, "]") {
+		return "[" + s + "]"
+	}
+	return "[" + strings.ReplaceAll(s, "]", "") + "]"
 }
 
 // multi-char operators, longest first.

@@ -1,0 +1,63 @@
+package sqlparse_test
+
+// Native fuzzing for the parser. This guards the riskiest surface in the
+// serving path: core.Recommender feeds *model-generated* token soup into
+// sqlparse.Parse when extracting fragments from decoded hypotheses
+// (internal/core/recommender.go, fragmentsOfIDs), so the parser must
+// reject any garbage with an error — never a panic or a hang. When a
+// statement does parse, the renderer must produce SQL that parses again
+// (internal/tokenizer panics on render failures, so render stability is a
+// hard invariant, not a nicety).
+
+import (
+	"testing"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+	"repro/internal/synth"
+)
+
+func FuzzParse(f *testing.F) {
+	prof := synth.SQLShareProfile()
+	prof.Sessions = 4
+	wl := synth.Generate(prof, 5)
+	for _, sess := range wl.Sessions {
+		for _, q := range sess.Queries {
+			f.Add(q.SQL)
+		}
+	}
+	for _, s := range []string{
+		"SELECT * FROM t", "SELECT a FROM", "SELECT (SELECT (SELECT 1))",
+		"SELECT TOP 5 a INTO x FROM t WHERE a IN (1,2) ORDER BY a DESC",
+		"SELECT CASE WHEN a=1 THEN 'x' ELSE b END FROM t",
+		"SELECT CAST(a AS int), CONVERT(float, b) FROM t a JOIN u b ON a.i=b.i",
+		"SELECT a FROM t UNION SELECT b FROM u EXCEPT SELECT c FROM v",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 2 AND b LIKE '%x%' OR c IS NOT NULL",
+		"SELECT COUNT(*) FROM (SELECT a FROM t) s GROUP BY a HAVING COUNT(*) > 1",
+		"SELECT", "FROM t", "))((", "SELECT a,, b FROM t", "SELECT a FROM t;;",
+		"SELECT <NUM> FROM t", "SELECT 0 FROM PhotoObj WHERE 0 0 0",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := sqlparse.Parse(src)
+		if err != nil {
+			return
+		}
+		// Round 1: the canonical rendering of a parsed statement must
+		// itself parse (the tokenizer relies on this).
+		rendered := sqlast.RenderSQLString(stmt)
+		stmt2, err := sqlparse.Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered SQL does not re-parse: %v\noriginal: %q\nrendered: %q", err, src, rendered)
+		}
+		// Round 2: rendering is a fixpoint after one pass.
+		rendered2 := sqlast.RenderSQLString(stmt2)
+		if rendered != rendered2 {
+			t.Fatalf("render not stable:\nfirst:  %q\nsecond: %q\nsource: %q", rendered, rendered2, src)
+		}
+		// Fragment extraction over arbitrary parsed statements must not
+		// panic either (it runs on every decoded hypothesis).
+		sqlast.Fragments(stmt)
+	})
+}

@@ -861,6 +861,12 @@ func (p *parser) typeName() (string, error) {
 	if t.Kind != sqllex.Ident && t.Kind != sqllex.Keyword {
 		return "", p.errf("expected type name, found %q", t.Text)
 	}
+	// Types are stored and re-rendered bare, so a quoted identifier whose
+	// content would not re-lex as one word (e.g. "my type") cannot be a
+	// type name.
+	if t.Kind == sqllex.Ident && !sqllex.IsBareIdent(t.Text) {
+		return "", p.errf("unsupported type name %q", t.Text)
+	}
 	name := strings.ToUpper(p.next().Text)
 	if p.peek().Is("(") {
 		name += "("

@@ -1,0 +1,52 @@
+package tokenizer_test
+
+// Round-trip fuzzing for the tokenizer. Detokenize is load-bearing: it is
+// the duplicate-detection key for workloads (workload.Query.Key) and the
+// bridge from model-generated token ids back to parseable SQL in fragment
+// extraction, so Tokenize → Detokenize → Tokenize must reproduce the same
+// normalized token sequence.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/tokenizer"
+)
+
+func FuzzTokenizeRoundTrip(f *testing.F) {
+	prof := synth.SDSSProfile()
+	prof.Sessions = 3
+	wl := synth.Generate(prof, 9)
+	for _, sess := range wl.Sessions {
+		for _, q := range sess.Queries {
+			f.Add(q.SQL)
+		}
+	}
+	for _, s := range []string{
+		"SELECT ra, dec FROM PhotoObj WHERE ra > 180.0",
+		"SELECT p.objID, s.z FROM PhotoObj p JOIN SpecObj s ON p.objID = s.bestObjID",
+		"SELECT TOP 10 * FROM PhotoObj ORDER BY ra",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 3",
+		"SELECT CASE WHEN a = 1 THEN 'one' ELSE 'many' END FROM t",
+		"SELECT a FROM t UNION SELECT b FROM u",
+		"SELECT dbo.fGetNearbyObjEq(185.0, -0.5, 1.0) FROM t",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := tokenizer.Tokenize(src)
+		if err != nil {
+			return // unparseable input is rejected upstream
+		}
+		sql := tokenizer.Detokenize(toks)
+		toks2, err := tokenizer.Tokenize(sql)
+		if err != nil {
+			t.Fatalf("detokenized SQL does not re-tokenize: %v\nsource: %q\ndetok:  %q", err, src, sql)
+		}
+		if !reflect.DeepEqual(toks, toks2) {
+			t.Fatalf("round trip changed tokens:\nfirst:  %q\nsecond: %q\nsource: %q\ndetok:  %q",
+				toks, toks2, src, sql)
+		}
+	})
+}

@@ -68,10 +68,13 @@ func TokenizeStmt(stmt *sqlast.SelectStmt, opts Options) []string {
 		case sqllex.Keyword:
 			out = append(out, t.Upper)
 		case sqllex.Ident:
-			// Merge dotted chains ident(.ident)* into one token.
-			name := t.Text
+			// Merge dotted chains ident(.ident)* into one token. Each
+			// segment keeps its canonical spelling — quoted iff it would
+			// not re-lex bare — so Detokenize output parses back to the
+			// same chain.
+			name := sqllex.QuoteIdent(t.Text)
 			for i+2 < len(toks) && toks[i+1].Is(".") && toks[i+2].Kind == sqllex.Ident {
-				name += "." + toks[i+2].Text
+				name += "." + sqllex.QuoteIdent(toks[i+2].Text)
 				i += 2
 			}
 			// Qualified star: ident.* stays merged too.

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: test test-short bench fuzz build vet
+.PHONY: test test-short bench fuzz fuzz-short build vet
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/sqllex
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sqlparse
 	$(GO) test -run '^$$' -fuzz FuzzTokenizeRoundTrip -fuzztime $(FUZZTIME) ./internal/tokenizer
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/checkpoint
+
+# All fuzz targets at 10s each — a smoke pass for CI and pre-commit.
+fuzz-short:
+	$(MAKE) fuzz FUZZTIME=10s

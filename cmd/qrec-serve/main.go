@@ -1,7 +1,9 @@
 // Command qrec-serve exposes a trained model directory over HTTP (the
 // deployment shape a database-as-a-service platform would embed), running
 // requests on the concurrent serving core: a bounded prediction worker
-// pool plus a sharded LRU inference cache.
+// pool plus a sharded LRU inference cache. SIGINT/SIGTERM shut down
+// gracefully: the listener closes, in-flight recommendations get up to
+// -drain to finish, and the process exits 0.
 //
 // Usage:
 //
@@ -12,11 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
-	"time"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/modeldir"
 	"repro/internal/server"
@@ -31,6 +34,8 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultTimeout, "per-request prediction timeout")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max requests per batch call")
+	drain := flag.Duration("drain", server.DefaultDrainTimeout,
+		"graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
 
 	rec, err := modeldir.Load(*modelDir, 0)
@@ -45,17 +50,15 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		MaxBatch:     *maxBatch,
 	})
-	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "serving %s model (%d classes) on %s (workers=%d cache=%d timeout=%s)\n",
 		rec.Model.Config().Arch, len(rec.Classifier.Classes), *addr,
 		*workers, *cacheSize, *timeout)
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	if err := hs.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := server.Run(ctx, *addr, srv, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "qrec-serve:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "qrec-serve: drained in-flight requests, shut down cleanly")
 }

@@ -4,17 +4,30 @@
 // The trained artifacts (vocabulary, seq2seq model, classifier) are saved
 // to a model directory that qrec-recommend loads.
 //
+// Training is crash-safe when -checkpoint-dir is set: the full training
+// state is checkpointed atomically at every epoch (and every
+// -checkpoint-every batches), SIGINT/SIGTERM finish the current batch and
+// write a final checkpoint before exiting 0, and -resume continues an
+// interrupted run with the exact loss trajectory of an uninterrupted one.
+//
 // Usage:
 //
 //	qrec-train -profile sdss -arch transformer -epochs 4 -out model/
 //	qrec-train -in mylog.jsonl -arch convs2s -out model/
+//	qrec-train -profile sdss -checkpoint-dir ckpt/ -checkpoint-every 50 -out model/
+//	qrec-train -profile sdss -checkpoint-dir ckpt/ -resume -out model/
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/modeldir"
 	"repro/internal/seq2seq"
@@ -26,7 +39,7 @@ func main() {
 	in := flag.String("in", "", "workload file (JSONL, or CSV with -csv)")
 	csvIn := flag.Bool("csv", false, "treat -in as CSV (session_id/start_time/sql header)")
 	profile := flag.String("profile", "", "generate and train on: sdss or sqlshare")
-	seed := flag.Int64("seed", 42, "seed for generation, split and init")
+	seed := flag.Int64("seed", 42, "seed for generation, split, init and the training RNG stream")
 	arch := flag.String("arch", "transformer", "architecture: transformer or convs2s")
 	seqAware := flag.Bool("seqaware", true, "train on (Qi, Qi+1); false trains the seq-less ablation")
 	fineTune := flag.Bool("finetune", true, "initialize the classifier from the trained encoder")
@@ -34,6 +47,10 @@ func main() {
 	dmodel := flag.Int("dmodel", 32, "model width")
 	maxPairs := flag.Int("max-pairs", 0, "cap training pairs (0 = all)")
 	out := flag.String("out", "model", "output model directory")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory (empty disables checkpointing)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N batches (0 = epoch boundaries only)")
+	ckptKeep := flag.Int("checkpoint-keep", checkpoint.DefaultKeep, "numbered checkpoints to retain (best-validation kept separately)")
+	resume := flag.Bool("resume", false, "resume the seq2seq stage from the newest valid checkpoint")
 	flag.Parse()
 
 	var wl *workload.Workload
@@ -54,6 +71,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "qrec-train: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
 
 	prep := core.DefaultPrepConfig()
 	prep.Seed = *seed
@@ -73,6 +94,11 @@ func main() {
 	cfg.SeqOpts.Epochs = *epochs
 	cfg.ClsOpts.Epochs = *epochs
 	cfg.Seed = *seed
+	// Reproducibility: the training-loop RNG streams (shuffling, dropout)
+	// are seeded from -seed explicitly, and the seed plus RNG position are
+	// recorded in every checkpoint so -resume is deterministic.
+	cfg.SeqOpts.Seed = *seed
+	cfg.ClsOpts.Seed = *seed + 1
 	mcfg := seq2seq.DefaultConfig(seq2seq.Arch(*arch), 0)
 	mcfg.DModel = *dmodel
 	mcfg.FFHidden = 2 * *dmodel
@@ -82,7 +108,55 @@ func main() {
 	}
 	cfg.ClsOpts.Logf = cfg.SeqOpts.Logf
 
+	// SIGINT/SIGTERM stop cooperatively: the loop finishes the current
+	// batch, writes a final checkpoint, and the process exits 0. A second
+	// signal kills immediately.
+	var stop atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "qrec-train: signal received; finishing current batch and checkpointing (send again to kill)")
+		stop.Store(true)
+		<-sigc
+		os.Exit(1)
+	}()
+	cfg.SeqOpts.Stop = stop.Load
+	cfg.ClsOpts.Stop = stop.Load
+
+	var mgr *checkpoint.Manager
+	if *ckptDir != "" {
+		mgr, err = checkpoint.NewManager(*ckptDir, *ckptKeep)
+		if err != nil {
+			fatal(err)
+		}
+		mgr.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+		cfg.SeqOpts.Checkpoint = mgr.Hook()
+		cfg.SeqOpts.CheckpointEvery = *ckptEvery
+	}
+	if *resume {
+		st, path, err := mgr.LoadLatest()
+		switch {
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			fmt.Fprintf(os.Stderr, "qrec-train: no checkpoint in %s; starting fresh\n", *ckptDir)
+		case err != nil:
+			fatal(err)
+		default:
+			fmt.Fprintf(os.Stderr, "qrec-train: resuming from %s (epoch %d, batch %d)\n", path, st.Epoch, st.Batch)
+			cfg.Resume = st
+		}
+	}
+
 	rec, err := core.Train(ds, cfg)
+	if errors.Is(err, core.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "qrec-train: %v\n", err)
+		if mgr != nil {
+			fmt.Fprintf(os.Stderr, "qrec-train: final checkpoint written to %s; continue with -resume\n", *ckptDir)
+		}
+		os.Exit(0)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -90,6 +164,9 @@ func main() {
 		rec.SeqResult.Epochs, rec.SeqResult.TrainTime.Round(1e6), rec.SeqResult.BestVal)
 	fmt.Fprintf(os.Stderr, "classifier: %d epochs in %s\n",
 		rec.ClsResult.Epochs, rec.ClsResult.TrainTime.Round(1e6))
+	if rec.ClsResult.Interrupted {
+		fmt.Fprintln(os.Stderr, "qrec-train: interrupted during classifier fine-tuning; saving partially fine-tuned classifier")
+	}
 
 	if err := modeldir.Save(*out, rec); err != nil {
 		fatal(err)

@@ -1,0 +1,220 @@
+// Package checkpoint provides the durability layer under training and
+// model persistence: a checksummed, versioned file envelope written with
+// the atomic write-temp-fsync-rename protocol, the serialized training
+// state (model parameters, optimizer moments, loop cursors, RNG state),
+// and a retention/recovery manager that keeps the last K checkpoints plus
+// the best-validation one and skips corrupt files on load.
+//
+// Every artifact the system persists — training checkpoints and the
+// model-directory files written by internal/modeldir — goes through the
+// same envelope, so a crash mid-write can never leave a half-written file
+// that later loads as garbage: readers verify the CRC before any decoder
+// sees a byte.
+//
+// Envelope layout (all integers little-endian):
+//
+//	offset size
+//	0      8    magic "QRECCKP1"
+//	8      4    format version (uint32)
+//	12     8    payload length (uint64)
+//	20     4    CRC-32C (Castagnoli) of the payload
+//	24     4    CRC-32C of bytes [0, 24) — guards the header itself
+//	28     …    payload
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Magic identifies envelope files written by this package.
+const Magic = "QRECCKP1"
+
+// headerSize is the fixed envelope header length in bytes.
+const headerSize = 28
+
+// tempPattern marks in-progress writes; stale matches are swept by
+// RemoveStaleTemps after a crash.
+const tempPattern = ".tmp-"
+
+// Sentinel corruption errors. Callers distinguish failure modes with
+// errors.Is; every path that rejects a file wraps exactly one of these
+// (or VersionError) so tests can assert the precise cause.
+var (
+	// ErrBadMagic means the file does not start with Magic — it is not an
+	// envelope file at all (or its first bytes were destroyed).
+	ErrBadMagic = errors.New("checkpoint: bad magic (not a checkpoint file)")
+	// ErrTruncated means the file ends before the header or payload does.
+	ErrTruncated = errors.New("checkpoint: truncated file")
+	// ErrChecksum means the header or payload bytes fail CRC verification,
+	// or trailing bytes follow the payload.
+	ErrChecksum = errors.New("checkpoint: checksum mismatch")
+)
+
+// VersionError reports an envelope written by an incompatible format
+// version. It is distinct from corruption: the file is intact but not
+// ours to read.
+type VersionError struct {
+	Got, Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("checkpoint: unsupported format version %d (want %d)", e.Got, e.Want)
+}
+
+// castagnoli is the CRC-32C table (hardware-accelerated on most CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode frames payload in the envelope: header, checksums, payload.
+func Encode(version uint32, payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out[0:8], Magic)
+	binary.LittleEndian.PutUint32(out[8:12], version)
+	binary.LittleEndian.PutUint64(out[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[20:24], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(out[24:28], crc32.Checksum(out[:24], castagnoli))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// Decode validates an envelope and returns its payload. The payload CRC
+// is verified before returning, so callers may hand the bytes straight to
+// a decoder. Errors wrap ErrBadMagic, ErrTruncated, ErrChecksum or
+// *VersionError.
+func Decode(data []byte, wantVersion uint32) ([]byte, error) {
+	if len(data) >= 8 && string(data[0:8]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerSize)
+	}
+	if crc32.Checksum(data[:24], castagnoli) != binary.LittleEndian.Uint32(data[24:28]) {
+		return nil, fmt.Errorf("%w: header CRC", ErrChecksum)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != wantVersion {
+		return nil, &VersionError{Got: v, Want: wantVersion}
+	}
+	plen := binary.LittleEndian.Uint64(data[12:20])
+	body := data[headerSize:]
+	if uint64(len(body)) < plen {
+		return nil, fmt.Errorf("%w: payload has %d of %d bytes", ErrTruncated, len(body), plen)
+	}
+	if uint64(len(body)) > plen {
+		return nil, fmt.Errorf("%w: %d trailing bytes after payload", ErrChecksum, uint64(len(body))-plen)
+	}
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[20:24]) {
+		return nil, fmt.Errorf("%w: payload CRC", ErrChecksum)
+	}
+	return body, nil
+}
+
+// WriteAtomic writes an envelope to path with crash-safe semantics: the
+// payload is produced by save, framed, written to a temp file in the same
+// directory, fsynced, renamed over path, and the directory fsynced. A
+// crash at any point leaves either the old file or the new one — never a
+// mix — plus at worst a stale temp file that readers ignore.
+func WriteAtomic(path string, version uint32, save func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		return fmt.Errorf("checkpoint: encode %s: %w", filepath.Base(path), err)
+	}
+	return writeFileAtomic(path, Encode(version, buf.Bytes()))
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+tempPattern+"*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	// Any failure past this point must not leave the temp file behind.
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write %s: %w", base, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write %s: %w", base, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename survives power loss. Filesystems
+// that cannot sync directories make this a no-op rather than a failure.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// ReadAtomic reads an envelope written by WriteAtomic, verifies it, and
+// hands the payload to load. Corruption errors wrap the package
+// sentinels; a missing file wraps fs.ErrNotExist.
+func ReadAtomic(path string, version uint32, load func(io.Reader) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Decode errors pass through unwrapped: every caller (Manager,
+	// modeldir) adds the file name itself, and the sentinels already carry
+	// the package prefix.
+	payload, err := Decode(data, version)
+	if err != nil {
+		return err
+	}
+	if err := load(bytes.NewReader(payload)); err != nil {
+		return fmt.Errorf("checkpoint: decode %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// IsTemp reports whether name looks like an in-progress temp file from
+// writeFileAtomic.
+func IsTemp(name string) bool { return strings.Contains(filepath.Base(name), tempPattern) }
+
+// RemoveStaleTemps deletes leftover temp files in dir (survivors of a
+// crash mid-write). It returns the paths removed.
+func RemoveStaleTemps(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.Type().IsRegular() && IsTemp(e.Name()) {
+			p := filepath.Join(dir, e.Name())
+			if err := os.Remove(p); err == nil {
+				removed = append(removed, p)
+			}
+		}
+	}
+	return removed, nil
+}

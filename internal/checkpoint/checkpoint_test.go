@@ -1,0 +1,276 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("payload"), 1000)} {
+		data := Encode(7, payload)
+		got, err := Decode(data, 7)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: %d bytes in, %d out", len(payload), len(got))
+		}
+	}
+}
+
+func TestDecodeTruncation(t *testing.T) {
+	data := Encode(1, []byte("the quick brown fox"))
+	// Every proper prefix must be rejected — and with ErrTruncated unless
+	// the cut destroys the magic/header first.
+	for n := 0; n < len(data); n++ {
+		_, err := Decode(data[:n], 1)
+		if err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("truncation to %d bytes: unexpected error %v", n, err)
+		}
+	}
+	// Truncation below the full header is specifically ErrTruncated.
+	if _, err := Decode(data[:headerSize-1], 1); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("header truncation: %v", err)
+	}
+	// Truncation inside the payload is also ErrTruncated.
+	if _, err := Decode(data[:len(data)-3], 1); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("payload truncation: %v", err)
+	}
+}
+
+func TestDecodeBitFlips(t *testing.T) {
+	data := Encode(1, []byte("some payload that matters"))
+	// Flip one bit at every byte position: the decoder must reject every
+	// variant — never return a wrong payload with a nil error.
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		got, err := Decode(mut, 1)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d accepted (payload %q)", i, got)
+		}
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	if _, err := Decode([]byte("GARBAGE!but long enough to hold a header..."), 1); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDecodeWrongVersion(t *testing.T) {
+	data := Encode(2, []byte("payload"))
+	_, err := Decode(data, 1)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want VersionError, got %v", err)
+	}
+	if ve.Got != 2 || ve.Want != 1 {
+		t.Fatalf("version error fields: %+v", ve)
+	}
+}
+
+func TestDecodeTrailingData(t *testing.T) {
+	data := append(Encode(1, []byte("payload")), 0xAA)
+	if _, err := Decode(data, 1); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("trailing byte: want ErrChecksum, got %v", err)
+	}
+}
+
+func TestWriteReadAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := WriteAtomic(path, 3, func(w io.Writer) error {
+		_, err := w.Write([]byte("hello"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := ReadAtomic(path, 3, func(r io.Reader) error {
+		var err error
+		got, err = io.ReadAll(r)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("payload: %q", got)
+	}
+	// No temp droppings after a clean write.
+	left, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 {
+		t.Fatalf("directory not clean: %v", left)
+	}
+}
+
+func TestReadAtomicMissingFile(t *testing.T) {
+	err := ReadAtomic(filepath.Join(t.TempDir(), "absent.bin"), 1, func(io.Reader) error { return nil })
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("want fs.ErrNotExist, got %v", err)
+	}
+}
+
+// TestWriteAtomicFailingWriterKeepsOldFile injects a writer that fails
+// partway through encoding — the kill-mid-write analogue at the payload
+// layer. The previous file version must survive untouched and no temp
+// file may linger.
+func TestWriteAtomicFailingWriterKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteAtomic(path, 1, payloadWriter("version-one")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	err := WriteAtomic(path, 1, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	assertPayload(t, path, "version-one")
+	assertNoTemps(t, dir)
+}
+
+// TestCrashMidWriteLeavesOldFileAndStaleTemp simulates a process killed
+// between writing the temp file and renaming it: the target keeps the
+// old content, the stale temp is ignored by readers and swept by
+// RemoveStaleTemps.
+func TestCrashMidWriteLeavesOldFileAndStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteAtomic(path, 1, payloadWriter("good")); err != nil {
+		t.Fatal(err)
+	}
+	// A half-written temp file, as a crashed writer would leave behind.
+	stale := filepath.Join(dir, "state.bin"+tempPattern+"12345")
+	if err := os.WriteFile(stale, []byte("QRECCKP1 half writt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertPayload(t, path, "good")
+	removed, err := RemoveStaleTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != stale {
+		t.Fatalf("removed: %v", removed)
+	}
+	assertNoTemps(t, dir)
+	assertPayload(t, path, "good")
+}
+
+// TestReadAtomicRejectsOnDiskCorruption covers kill-mid-write (file
+// truncated at arbitrary points) and bit rot on the final file: every
+// corruption is rejected with the precise sentinel, never decoded.
+func TestReadAtomicRejectsOnDiskCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteAtomic(path, 1, payloadWriter("precious bytes that must not decode wrong")); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 4, headerSize - 1, headerSize, len(pristine) - 1} {
+			if err := os.WriteFile(path, pristine[:n], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := ReadAtomic(path, 1, failIfCalled(t))
+			if err == nil {
+				t.Fatalf("truncation to %d accepted", n)
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("truncation to %d: %v", n, err)
+			}
+		}
+	})
+	t.Run("bit-flip", func(t *testing.T) {
+		for _, i := range []int{9, 22, 26, headerSize, len(pristine) - 1} {
+			mut := append([]byte(nil), pristine...)
+			mut[i] ^= 0x01
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := ReadAtomic(path, 1, failIfCalled(t)); err == nil {
+				t.Fatalf("bit flip at %d accepted", i)
+			}
+		}
+	})
+	t.Run("wrong-version", func(t *testing.T) {
+		if err := os.WriteFile(path, Encode(9, []byte("future format")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var ve *VersionError
+		if err := ReadAtomic(path, 1, failIfCalled(t)); !errors.As(err, &ve) {
+			t.Fatalf("want VersionError, got %v", err)
+		}
+	})
+}
+
+func TestIsTemp(t *testing.T) {
+	if !IsTemp("state.bin.tmp-8234") {
+		t.Error("temp name not recognized")
+	}
+	if IsTemp("state.bin") || IsTemp("ckpt-00000001.ckpt") {
+		t.Error("regular name misclassified")
+	}
+}
+
+// payloadWriter returns a save func writing a fixed payload.
+func payloadWriter(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func assertPayload(t *testing.T, path, want string) {
+	t.Helper()
+	var got []byte
+	if err := ReadAtomic(path, 1, func(r io.Reader) error {
+		var err error
+		got, err = io.ReadAll(r)
+		return err
+	}); err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if string(got) != want {
+		t.Fatalf("payload %q, want %q", got, want)
+	}
+}
+
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if IsTemp(e.Name()) {
+			t.Fatalf("stale temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// failIfCalled is a load func that must never run: corruption has to be
+// detected before any decoder sees the payload.
+func failIfCalled(t *testing.T) func(io.Reader) error {
+	return func(io.Reader) error {
+		t.Fatal("load called on corrupt data")
+		return fmt.Errorf("unreachable")
+	}
+}

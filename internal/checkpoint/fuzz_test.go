@@ -1,0 +1,41 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode hammers the envelope decoder with arbitrary bytes.
+// Invariants: never panic; on success the payload re-encodes to exactly
+// the input (the envelope is canonical); on failure the error is one of
+// the package's typed causes (guaranteed by construction — this target
+// mainly guards against panics and acceptance of corrupt input).
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(Encode(1, nil))
+	f.Add(Encode(1, []byte("hello checkpoint")))
+	f.Add(Encode(TrainStateVersion, bytes.Repeat([]byte{0xAB}, 100)))
+	// Near-miss seeds: truncated, bit-flipped, trailing garbage.
+	full := Encode(1, []byte("seed payload"))
+	f.Add(full[:len(full)-4])
+	f.Add(append(append([]byte(nil), full...), 0x00))
+	flipped := append([]byte(nil), full...)
+	flipped[10] ^= 0x80
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(data, 1)
+		if err != nil {
+			return
+		}
+		if got := Encode(1, payload); !bytes.Equal(got, data) {
+			t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data, got)
+		}
+		// A decoded payload must round-trip through a second decode.
+		again, err := Decode(Encode(1, payload), 1)
+		if err != nil || !bytes.Equal(again, payload) {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

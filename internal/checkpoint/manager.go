@@ -1,0 +1,196 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint filenames. Numbered checkpoints rotate; BestFile always
+// holds the state whose validation loss was lowest so far.
+const (
+	numberedPrefix = "ckpt-"
+	numberedSuffix = ".ckpt"
+	// BestFile is the best-validation checkpoint within a directory.
+	BestFile = "best.ckpt"
+)
+
+// DefaultKeep is how many numbered checkpoints a Manager retains.
+const DefaultKeep = 3
+
+// ErrNoCheckpoint is returned by LoadLatest when the directory holds no
+// loadable checkpoint (empty, or every candidate is corrupt).
+var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
+
+// Manager owns a checkpoint directory: it writes numbered checkpoints
+// atomically, maintains the best-validation copy, prunes old files down
+// to the retention budget, and recovers the newest valid state on load,
+// skipping anything corrupt or truncated.
+type Manager struct {
+	dir  string
+	keep int
+	next int
+	// Logf reports recovery decisions (corrupt files skipped, temps
+	// swept). Nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// NewManager opens (creating if needed) a checkpoint directory, sweeps
+// stale temp files from crashed writers, and positions the sequence
+// counter after the newest existing checkpoint.
+func NewManager(dir string, keep int) (*Manager, error) {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	m := &Manager{dir: dir, keep: keep}
+	if _, err := RemoveStaleTemps(dir); err != nil {
+		return nil, err
+	}
+	seqs, err := m.sequence()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) > 0 {
+		m.next = seqs[len(seqs)-1] + 1
+	}
+	return m, nil
+}
+
+// Dir returns the managed directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// sequence lists existing numbered checkpoint sequence numbers,
+// ascending.
+func (m *Manager) sequence() ([]int, error) {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, numberedPrefix) || !strings.HasSuffix(name, numberedSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, numberedPrefix), numberedSuffix))
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+func (m *Manager) path(seq int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("%s%08d%s", numberedPrefix, seq, numberedSuffix))
+}
+
+// Save writes st as the next numbered checkpoint, refreshes the
+// best-validation copy when st snapshots a new best epoch, and prunes
+// numbered checkpoints beyond the retention budget. It returns the path
+// written.
+func (m *Manager) Save(st *TrainState) (string, error) {
+	path := m.path(m.next)
+	if err := WriteAtomic(path, TrainStateVersion, st.EncodeState); err != nil {
+		return "", err
+	}
+	m.next++
+	// An epoch-boundary snapshot whose just-finished epoch is the best so
+	// far becomes the best-validation checkpoint. Mid-epoch snapshots
+	// (Batch > 0) carry parameters past the measured validation point, so
+	// they never qualify.
+	if st.Batch == 0 && len(st.ValLosses) > 0 && st.BestEpoch == len(st.ValLosses)-1 {
+		if err := WriteAtomic(filepath.Join(m.dir, BestFile), TrainStateVersion, st.EncodeState); err != nil {
+			return "", err
+		}
+	}
+	if err := m.prune(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Hook adapts Save to the train.Options.Checkpoint signature.
+func (m *Manager) Hook() func(*TrainState) error {
+	return func(st *TrainState) error {
+		_, err := m.Save(st)
+		return err
+	}
+}
+
+// prune deletes numbered checkpoints beyond the newest keep. BestFile is
+// never pruned.
+func (m *Manager) prune() error {
+	seqs, err := m.sequence()
+	if err != nil {
+		return err
+	}
+	for len(seqs) > m.keep {
+		if err := os.Remove(m.path(seqs[0])); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("checkpoint: prune: %w", err)
+		}
+		seqs = seqs[1:]
+	}
+	return nil
+}
+
+// LoadLatest returns the newest valid checkpoint state and its path.
+// Corrupt or truncated candidates are skipped with a log line, falling
+// back to older checkpoints and finally the best-validation copy; if
+// nothing loads, ErrNoCheckpoint is returned.
+func (m *Manager) LoadLatest() (*TrainState, string, error) {
+	seqs, err := m.sequence()
+	if err != nil {
+		return nil, "", err
+	}
+	var candidates []string
+	for i := len(seqs) - 1; i >= 0; i-- {
+		candidates = append(candidates, m.path(seqs[i]))
+	}
+	candidates = append(candidates, filepath.Join(m.dir, BestFile))
+	for _, path := range candidates {
+		if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		st, err := loadState(path)
+		if err != nil {
+			m.logf("checkpoint: skipping %s: %v", filepath.Base(path), err)
+			continue
+		}
+		return st, path, nil
+	}
+	return nil, "", ErrNoCheckpoint
+}
+
+// LoadBest returns the best-validation checkpoint.
+func (m *Manager) LoadBest() (*TrainState, error) {
+	return loadState(filepath.Join(m.dir, BestFile))
+}
+
+func loadState(path string) (*TrainState, error) {
+	var st *TrainState
+	err := ReadAtomic(path, TrainStateVersion, func(r io.Reader) error {
+		var err error
+		st, err = DecodeState(r)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.Logf != nil {
+		m.Logf(format, args...)
+	}
+}

@@ -1,0 +1,271 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/seq2seq"
+)
+
+// testState builds a minimal-but-realistic TrainState for manager tests.
+func testState(epoch int, val []float64, bestEpoch int) *TrainState {
+	best := math.Inf(1)
+	for _, v := range val {
+		if v < best {
+			best = v
+		}
+	}
+	return &TrainState{
+		Seed:      42,
+		RNG:       uint64(epoch) * 977,
+		Epoch:     epoch,
+		Params:    map[string]Tensor{"enc.w": {Rows: 1, Cols: 2, Data: []float64{float64(epoch), 1}}},
+		ModelCfg:  seq2seq.Config{Arch: seq2seq.Transformer, Vocab: 8, DModel: 4},
+		Optim:     OptimState{Step: epoch, M: map[string]Tensor{}, V: map[string]Tensor{}},
+		ValLosses: val,
+		BestVal:   best,
+		BestEpoch: bestEpoch,
+		NumTrain:  10,
+	}
+}
+
+func TestManagerSaveLoadRoundTrip(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testState(2, []float64{3, 2.5}, 1)
+	st.Batch = 4
+	st.Order = []int{3, 1, 2, 0, 4, 5, 6, 7, 8, 9}
+	st.SumLoss = 1.25
+	st.Count = 4
+	if _, err := m.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	got, path, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(path, numberedPrefix) {
+		t.Errorf("unexpected path %s", path)
+	}
+	if got.Epoch != 2 || got.Batch != 4 || got.SumLoss != 1.25 || got.Count != 4 {
+		t.Errorf("cursors lost: %+v", got)
+	}
+	if len(got.Order) != 10 || got.Order[0] != 3 {
+		t.Errorf("order lost: %v", got.Order)
+	}
+	if got.ModelCfg.Arch != seq2seq.Transformer || got.ModelCfg.DModel != 4 {
+		t.Errorf("model config lost: %+v", got.ModelCfg)
+	}
+	if got.Params["enc.w"].Data[0] != 2 {
+		t.Errorf("params lost: %+v", got.Params)
+	}
+}
+
+func TestManagerRetentionKeepsLastKPlusBest(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 is the best (val 1.0); later epochs are worse, so pruning
+	// the numbered files must not lose the best state.
+	vals := [][]float64{{2}, {2, 1}, {2, 1, 3}, {2, 1, 3, 4}, {2, 1, 3, 4, 5}}
+	for i, v := range vals {
+		if _, err := m.Save(testState(i+1, v, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var numbered, best int
+	for _, e := range entries {
+		switch {
+		case e.Name() == BestFile:
+			best++
+		case strings.HasPrefix(e.Name(), numberedPrefix):
+			numbered++
+		default:
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+	if numbered != 2 {
+		t.Errorf("retention kept %d numbered checkpoints, want 2", numbered)
+	}
+	if best != 1 {
+		t.Errorf("best checkpoint missing (%d)", best)
+	}
+	// The best file holds epoch 2's state (the epoch after the best val
+	// was measured), not the latest.
+	bst, err := m.LoadBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.Epoch != 2 {
+		t.Errorf("best checkpoint is epoch %d, want 2", bst.Epoch)
+	}
+	// Latest is the newest numbered one.
+	latest, _, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Epoch != 5 {
+		t.Errorf("latest is epoch %d, want 5", latest.Epoch)
+	}
+}
+
+func TestManagerMidEpochSaveNeverUpdatesBest(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Save(testState(1, []float64{1.5}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	mid := testState(1, []float64{1.5}, 0)
+	mid.Batch = 8
+	mid.Order = []int{0}
+	if _, err := m.Save(mid); err != nil {
+		t.Fatal(err)
+	}
+	bst, err := m.LoadBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.Batch != 0 {
+		t.Errorf("best checkpoint captured mid-epoch state (batch %d)", bst.Batch)
+	}
+}
+
+func TestManagerSkipsCorruptAndFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := 1; i <= 3; i++ {
+		p, err := m.Save(testState(i, []float64{float64(4 - i)}, i-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	// Corrupt the two newest: one truncated mid-payload, one bit-flipped.
+	truncateFile(t, paths[2], 30)
+	flipByte(t, paths[1], 40)
+
+	var logged []string
+	m.Logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	st, path, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != paths[0] || st.Epoch != 1 {
+		t.Errorf("recovered %s (epoch %d), want %s", path, st.Epoch, paths[0])
+	}
+	if len(logged) != 2 {
+		t.Errorf("expected 2 skip log lines, got %v", logged)
+	}
+	for _, line := range logged {
+		if !strings.Contains(line, "skipping") {
+			t.Errorf("log line does not explain the skip: %q", line)
+		}
+	}
+}
+
+func TestManagerAllCorruptFallsBackToBestThenErrors(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Save(testState(1, []float64{1}, 0)) // also writes best.ckpt
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, p, 35)
+	m.Logf = func(string, ...any) {}
+	st, path, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != BestFile || st.Epoch != 1 {
+		t.Errorf("expected fallback to best, got %s", path)
+	}
+	// Corrupt best too: nothing left.
+	flipByte(t, filepath.Join(dir, BestFile), 35)
+	if _, _, err := m.LoadLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestManagerEmptyDir(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.LoadLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestManagerSweepsStaleTempsAndResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := NewManager(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Save(testState(1, nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash artifacts: a stale temp from a dying writer.
+	stale := filepath.Join(dir, "ckpt-00000001.ckpt"+tempPattern+"999")
+	if err := os.WriteFile(stale, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh manager (the restarted process) sweeps temps and continues
+	// the numbering after the survivor.
+	m2, err := NewManager(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Error("stale temp not swept")
+	}
+	p, err := m2.Save(testState(2, nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p, "00000001") {
+		t.Errorf("sequence did not resume: %s", p)
+	}
+}
+
+func truncateFile(t *testing.T, path string, n int64) {
+	t.Helper()
+	if err := os.Truncate(path, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/seq2seq"
+	"repro/internal/tensor"
+)
+
+// TrainStateVersion is the envelope format version for serialized
+// training state.
+const TrainStateVersion = 1
+
+// Tensor is the serialized form of one parameter or moment buffer.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// FromTensor deep-copies a live tensor into its serialized form.
+func FromTensor(t *tensor.Tensor) Tensor {
+	return Tensor{Rows: t.Rows, Cols: t.Cols, Data: append([]float64(nil), t.Data...)}
+}
+
+// ToTensor materializes the serialized tensor.
+func (t Tensor) ToTensor() *tensor.Tensor {
+	return tensor.FromSlice(t.Rows, t.Cols, append([]float64(nil), t.Data...))
+}
+
+// FromTensorMap deep-copies a name→tensor map into serialized form.
+func FromTensorMap(m map[string]*tensor.Tensor) map[string]Tensor {
+	out := make(map[string]Tensor, len(m))
+	for name, t := range m {
+		out[name] = FromTensor(t)
+	}
+	return out
+}
+
+// ToTensorMap materializes a serialized tensor map.
+func ToTensorMap(m map[string]Tensor) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(m))
+	for name, t := range m {
+		out[name] = t.ToTensor()
+	}
+	return out
+}
+
+// OptimState is the serialized Adam optimizer: the shared step counter
+// and the per-parameter first/second moment buffers, keyed by parameter
+// name. Parameters that never received a gradient are absent, matching
+// the optimizer's lazy allocation.
+type OptimState struct {
+	Step int
+	M, V map[string]Tensor
+}
+
+// TrainState is a complete snapshot of a seq2seq training run at a batch
+// or epoch boundary. Restoring it and continuing produces the exact loss
+// trajectory of the uninterrupted run: the shuffle order, RNG stream,
+// optimizer moments and partial-epoch loss accumulators are all included.
+type TrainState struct {
+	// Seed is the Options.Seed the run started with; resuming under a
+	// different seed is rejected.
+	Seed int64
+	// RNG is the serialized state of the training RNG stream (shuffling
+	// and dropout) at the snapshot point.
+	RNG uint64
+
+	// Epoch counts fully completed epochs; Batch is the index into Order
+	// where the next batch starts (0 at an epoch boundary).
+	Epoch int
+	Batch int
+	// Order is the current epoch's shuffled example order; nil at an
+	// epoch boundary (the next epoch reshuffles from RNG).
+	Order []int
+	// SumLoss and Count are the partial-epoch training-loss accumulators.
+	SumLoss float64
+	Count   int
+
+	// Params are the model parameters by name; ModelCfg is the
+	// architecture they belong to, so a resuming process can rebuild (or
+	// validate) the model before restoring.
+	Params   map[string]Tensor
+	ModelCfg seq2seq.Config
+	Optim    OptimState
+
+	// Loss history and early-stopping state.
+	TrainLosses []float64
+	ValLosses   []float64
+	BestVal     float64
+	BestEpoch   int
+	Bad         int
+
+	// NumTrain guards against resuming on a different dataset.
+	NumTrain int
+	// Done marks a run that finished (epoch budget exhausted or early
+	// stop); resuming a done state restores parameters without training.
+	Done bool
+}
+
+// EncodeState gob-encodes the state (the envelope payload).
+func (s *TrainState) EncodeState(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// DecodeState reads a gob-encoded TrainState.
+func DecodeState(r io.Reader) (*TrainState, error) {
+	var s TrainState
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode state: %w", err)
+	}
+	return &s, nil
+}
+
+// RNG is a splitmix64 random source whose entire state is one uint64,
+// making it trivially serializable into checkpoints — unlike math/rand's
+// default source, whose state is unexportable. It implements
+// rand.Source64, so rand.New(rng) layers the full math/rand API on top
+// deterministically.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a source. Equal seeds yield equal streams.
+func NewRNG(seed int64) *RNG { return &RNG{state: uint64(seed)} }
+
+// Uint64 advances the splitmix64 stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (r *RNG) Seed(seed int64) { r.state = uint64(seed) }
+
+// State exports the stream position for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState resumes the stream at a checkpointed position.
+func (r *RNG) SetState(s uint64) { r.state = s }

@@ -134,6 +134,9 @@ type Result struct {
 	ValLosses   []float64
 	Epochs      int
 	TrainTime   time.Duration
+	// Interrupted marks a run ended early by opts.Stop (cooperative
+	// shutdown); the classifier keeps the weights reached so far.
+	Interrupted bool
 }
 
 // Fit trains the classifier with cross-entropy over template classes,
@@ -177,6 +180,11 @@ func Fit(c *Classifier, trainSet, valSet []Example, opts train.Options) (*Result
 				train.ClipGradNorm(params, opts.ClipNorm)
 			}
 			optim.Step(params)
+			if opts.Stop != nil && opts.Stop() {
+				res.Interrupted = true
+				res.TrainTime = time.Since(start)
+				return res, nil
+			}
 		}
 		res.TrainLosses = append(res.TrainLosses, sum/float64(count))
 		val := EvaluateLoss(c, valSet, opts.MaxLen)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/classify"
 	"repro/internal/decode"
 	"repro/internal/seq2seq"
@@ -42,7 +44,16 @@ type TrainConfig struct {
 	// Section 2 multi-query extension, two-query variant).
 	UseContext bool
 	Seed       int64
+	// Resume, when non-nil, continues the seq2seq stage from a training
+	// checkpoint instead of starting fresh (see internal/checkpoint). The
+	// dataset and options must match the checkpointed run.
+	Resume *checkpoint.TrainState
 }
+
+// ErrInterrupted is returned by Train when the seq2seq stage is stopped
+// cooperatively (SeqOpts.Stop) before finishing; the final checkpoint —
+// when SeqOpts.Checkpoint is configured — holds the state to resume from.
+var ErrInterrupted = errors.New("core: training interrupted")
 
 // DefaultTrainConfig returns the CPU-scale configuration used in the
 // experiment harness.
@@ -103,9 +114,17 @@ func Train(ds *Dataset, cfg TrainConfig) (*Recommender, error) {
 	}
 	seqTrain := mkExamples(ds.Vocab, ds.Train, cfg.SeqAware)
 	seqVal := mkExamples(ds.Vocab, ds.Val, cfg.SeqAware)
-	seqRes, err := train.Seq2Seq(model, seqTrain, seqVal, cfg.SeqOpts)
+	var seqRes *train.Result
+	if cfg.Resume != nil {
+		seqRes, err = train.Resume(model, seqTrain, seqVal, cfg.SeqOpts, cfg.Resume)
+	} else {
+		seqRes, err = train.Seq2Seq(model, seqTrain, seqVal, cfg.SeqOpts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: seq2seq training: %w", err)
+	}
+	if seqRes.Interrupted {
+		return nil, fmt.Errorf("%w during seq2seq stage (epoch %d)", ErrInterrupted, seqRes.Epochs)
 	}
 
 	// Step 2: template classification. Fine-tuning reuses the trained

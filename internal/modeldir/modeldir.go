@@ -4,6 +4,16 @@
 //	<dir>/vocab.gob       tokenizer vocabulary + role map
 //	<dir>/model.gob       seq2seq model (architecture + parameters)
 //	<dir>/classifier.gob  template classifier (encoder + head + classes)
+//
+// Every artifact is written through internal/checkpoint's atomic
+// write-temp-fsync-rename envelope with a CRC-checksummed, versioned
+// header, so serving never loads a half-written or bit-rotted model: a
+// crash mid-save leaves the previous artifact intact, and any corruption
+// (truncation, bit flips, wrong format version) is rejected on load with
+// a precise error instead of silently decoding garbage. Corruption causes
+// are distinguishable with errors.Is against checkpoint.ErrTruncated,
+// checkpoint.ErrChecksum, checkpoint.ErrBadMagic, fs.ErrNotExist, and
+// errors.As against *checkpoint.VersionError.
 package modeldir
 
 import (
@@ -12,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/checkpoint"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/seq2seq"
@@ -25,10 +36,19 @@ const (
 	ClassifierFile = "classifier.gob"
 )
 
+// ArtifactVersion is the envelope format version for model-directory
+// artifacts. Bump it when the payload encoding changes incompatibly.
+const ArtifactVersion = 1
+
 // Save writes a trained recommender's artifacts into dir (created if
-// missing).
+// missing). Each file is written atomically: a crash mid-save leaves the
+// previous version of the artifact, never a torn file.
 func Save(dir string, rec *core.Recommender) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("modeldir: %w", err)
+	}
+	// Sweep temp files from an earlier crashed save.
+	if _, err := checkpoint.RemoveStaleTemps(dir); err != nil {
 		return fmt.Errorf("modeldir: %w", err)
 	}
 	if err := writeFile(filepath.Join(dir, VocabFile), rec.Vocab.Save); err != nil {
@@ -64,28 +84,20 @@ func Load(dir string, maxGenLen int) (*core.Recommender, error) {
 }
 
 func writeFile(path string, save func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("modeldir: %w", err)
-	}
-	defer f.Close()
-	if err := save(f); err != nil {
+	if err := checkpoint.WriteAtomic(path, ArtifactVersion, save); err != nil {
 		return fmt.Errorf("modeldir: write %s: %w", filepath.Base(path), err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("modeldir: %w", err)
 	}
 	return nil
 }
 
 func readFile[T any](path string, load func(io.Reader) (T, error)) (T, error) {
 	var zero T
-	f, err := os.Open(path)
-	if err != nil {
-		return zero, fmt.Errorf("modeldir: %w", err)
-	}
-	defer f.Close()
-	v, err := load(f)
+	var v T
+	err := checkpoint.ReadAtomic(path, ArtifactVersion, func(r io.Reader) error {
+		var err error
+		v, err = load(r)
+		return err
+	})
 	if err != nil {
 		return zero, fmt.Errorf("modeldir: read %s: %w", filepath.Base(path), err)
 	}

@@ -1,11 +1,19 @@
 package modeldir
 
 import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/checkpoint"
+	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/seq2seq"
 	"repro/internal/synth"
+	"repro/internal/tokenizer"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -81,5 +89,181 @@ func TestLoadPartialDir(t *testing.T) {
 	// vocab.gob missing entirely.
 	if _, err := Load(dir, 0); err == nil {
 		t.Error("expected error for empty dir")
+	}
+}
+
+// tinyRecommender assembles an untrained Recommender cheaply — corruption
+// tests only exercise the persistence layer, not model quality.
+func tinyRecommender(t *testing.T) *core.Recommender {
+	t.Helper()
+	b := tokenizer.NewBuilder()
+	b.AddQuery([]string{"select", "ra", "from", "photoobj"})
+	b.AddQuery([]string{"select", "dec", "from", "photoobj"})
+	vocab := b.Build(1)
+
+	cfg := seq2seq.DefaultConfig(seq2seq.ConvS2S, vocab.Size())
+	cfg.DModel = 8
+	cfg.FFHidden = 16
+	model, err := seq2seq.New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := seq2seq.New(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := classify.New(enc, 8, []string{"SELECT ra FROM PhotoObj", "SELECT dec FROM PhotoObj"}, 3)
+	return &core.Recommender{Vocab: vocab, Model: model, Classifier: cls, MaxGenLen: 16}
+}
+
+func savedDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := Save(dir, tinyRecommender(t)); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func corruptFile(t *testing.T, path string, mutate func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadCorruptionErrors drives each artifact through the fault matrix:
+// truncation, bit flip, deletion and a future format version. Every case
+// must fail with the precise typed cause — a corrupt model directory is
+// never served.
+func TestLoadCorruptionErrors(t *testing.T) {
+	for _, name := range []string{VocabFile, ModelFile, ClassifierFile} {
+		t.Run(name, func(t *testing.T) {
+			t.Run("truncated", func(t *testing.T) {
+				dir := savedDir(t)
+				corruptFile(t, filepath.Join(dir, name), func(b []byte) []byte { return b[:len(b)/2] })
+				_, err := Load(dir, 0)
+				if !errors.Is(err, checkpoint.ErrTruncated) {
+					t.Fatalf("want ErrTruncated, got %v", err)
+				}
+				if !strings.Contains(err.Error(), name) {
+					t.Errorf("error does not name the artifact: %v", err)
+				}
+			})
+			t.Run("bit-flip", func(t *testing.T) {
+				dir := savedDir(t)
+				corruptFile(t, filepath.Join(dir, name), func(b []byte) []byte {
+					b[len(b)-10] ^= 0x04
+					return b
+				})
+				if _, err := Load(dir, 0); !errors.Is(err, checkpoint.ErrChecksum) {
+					t.Fatalf("want ErrChecksum, got %v", err)
+				}
+			})
+			t.Run("missing", func(t *testing.T) {
+				dir := savedDir(t)
+				if err := os.Remove(filepath.Join(dir, name)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := Load(dir, 0); !errors.Is(err, fs.ErrNotExist) {
+					t.Fatalf("want fs.ErrNotExist, got %v", err)
+				}
+			})
+			t.Run("wrong-version", func(t *testing.T) {
+				dir := savedDir(t)
+				path := filepath.Join(dir, name)
+				payload, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inner, err := checkpoint.Decode(payload, ArtifactVersion)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, checkpoint.Encode(ArtifactVersion+7, inner), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				var ve *checkpoint.VersionError
+				_, err = Load(dir, 0)
+				if !errors.As(err, &ve) {
+					t.Fatalf("want VersionError, got %v", err)
+				}
+				if ve.Got != ArtifactVersion+7 || ve.Want != ArtifactVersion {
+					t.Errorf("version fields: %+v", ve)
+				}
+			})
+			t.Run("bad-magic", func(t *testing.T) {
+				dir := savedDir(t)
+				corruptFile(t, filepath.Join(dir, name), func(b []byte) []byte {
+					copy(b, "NOTMAGIC")
+					return b
+				})
+				if _, err := Load(dir, 0); !errors.Is(err, checkpoint.ErrBadMagic) {
+					t.Fatalf("want ErrBadMagic, got %v", err)
+				}
+			})
+		})
+	}
+}
+
+// TestSaveSweepsStaleTemps checks a crashed earlier save's temp files are
+// removed by the next successful Save.
+func TestSaveSweepsStaleTemps(t *testing.T) {
+	dir := savedDir(t)
+	stale := filepath.Join(dir, ModelFile+".tmp-4242")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(dir, tinyRecommender(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("stale temp survived Save")
+	}
+	if _, err := Load(dir, 0); err != nil {
+		t.Fatalf("reload after sweep: %v", err)
+	}
+}
+
+// TestTinyRoundTrip is the fast-path sibling of TestSaveLoadRoundTrip:
+// save/load an untrained recommender and compare weights exactly.
+func TestTinyRoundTrip(t *testing.T) {
+	rec := tinyRecommender(t)
+	dir := t.TempDir()
+	if err := Save(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq2seq.ParamMap(rec.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := seq2seq.ParamMap(back.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("param count: %d vs %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g := got[name]
+		if g == nil {
+			t.Fatalf("param %s lost", name)
+		}
+		for i := range w.Data {
+			if g.Data[i] != w.Data[i] {
+				t.Fatalf("param %s[%d]: %v != %v", name, i, g.Data[i], w.Data[i])
+			}
+		}
+	}
+	if len(back.Classifier.Classes) != 2 || back.Classifier.Classes[0] != "SELECT ra FROM PhotoObj" {
+		t.Errorf("classes lost: %v", back.Classifier.Classes)
 	}
 }

@@ -29,6 +29,21 @@ type Module interface {
 	Params() []Param
 }
 
+// ByName indexes parameters by their hierarchical name, erroring on
+// duplicates. Name uniqueness is what makes serialized state (model
+// files, training checkpoints) unambiguous, so every exporter goes
+// through this check.
+func ByName(params []Param) (map[string]*autograd.Value, error) {
+	out := make(map[string]*autograd.Value, len(params))
+	for _, p := range params {
+		if _, dup := out[p.Name]; dup {
+			return nil, fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		out[p.Name] = p.V
+	}
+	return out, nil
+}
+
 // prefix namespaces parameter names of a submodule.
 func prefix(p string, params []Param) []Param {
 	out := make([]Param, len(params))

@@ -4,6 +4,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // wireTensor is the serialized form of one parameter tensor.
@@ -19,14 +22,47 @@ type wireModel struct {
 	Params map[string]wireTensor
 }
 
+// ParamMap returns a module's named parameter tensors (the live tensors,
+// not copies), erroring on duplicate names. Checkpointing and model
+// serialization both build on it.
+func ParamMap(m nn.Module) (map[string]*tensor.Tensor, error) {
+	byName, err := nn.ByName(m.Params())
+	if err != nil {
+		return nil, fmt.Errorf("seq2seq: %w", err)
+	}
+	out := make(map[string]*tensor.Tensor, len(byName))
+	for name, v := range byName {
+		out[name] = v.T
+	}
+	return out, nil
+}
+
+// RestoreParamMap copies stored tensors into the module's parameters by
+// name, rejecting missing names and shape mismatches.
+func RestoreParamMap(m nn.Module, stored map[string]*tensor.Tensor) error {
+	for _, p := range m.Params() {
+		wt, ok := stored[p.Name]
+		if !ok {
+			return fmt.Errorf("seq2seq: missing parameter %q", p.Name)
+		}
+		if wt.Rows != p.V.T.Rows || wt.Cols != p.V.T.Cols {
+			return fmt.Errorf("seq2seq: parameter %q shape mismatch: stored %dx%d, model %dx%d",
+				p.Name, wt.Rows, wt.Cols, p.V.T.Rows, p.V.T.Cols)
+		}
+		copy(p.V.T.Data, wt.Data)
+	}
+	return nil
+}
+
 // Save writes the model configuration and parameters with gob encoding.
 func Save(w io.Writer, m Model) error {
-	wire := wireModel{Cfg: m.Config(), Params: map[string]wireTensor{}}
-	for _, p := range m.Params() {
-		if _, dup := wire.Params[p.Name]; dup {
-			return fmt.Errorf("seq2seq: duplicate parameter name %q", p.Name)
-		}
-		wire.Params[p.Name] = wireTensor{Rows: p.V.T.Rows, Cols: p.V.T.Cols, Data: p.V.T.Data}
+	tensors, err := ParamMap(m)
+	if err != nil {
+		return err
+	}
+	wire := wireModel{Cfg: m.Config(), Params: make(map[string]wireTensor, len(tensors))}
+	for name, t := range tensors {
+		wire.Params[name] = wireTensor{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
 	}
 	return gob.NewEncoder(w).Encode(wire)
 }
@@ -42,24 +78,12 @@ func Load(r io.Reader) (Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := restoreParams(m, wire.Params); err != nil {
+	stored := make(map[string]*tensor.Tensor, len(wire.Params))
+	for name, wt := range wire.Params {
+		stored[name] = tensor.FromSlice(wt.Rows, wt.Cols, wt.Data)
+	}
+	if err := RestoreParamMap(m, stored); err != nil {
 		return nil, err
 	}
 	return m, nil
-}
-
-// restoreParams copies stored tensors into the model's parameters by name.
-func restoreParams(m Model, stored map[string]wireTensor) error {
-	for _, p := range m.Params() {
-		wt, ok := stored[p.Name]
-		if !ok {
-			return fmt.Errorf("seq2seq: missing parameter %q", p.Name)
-		}
-		if wt.Rows != p.V.T.Rows || wt.Cols != p.V.T.Cols {
-			return fmt.Errorf("seq2seq: parameter %q shape mismatch: stored %dx%d, model %dx%d",
-				p.Name, wt.Rows, wt.Cols, p.V.T.Rows, p.V.T.Cols)
-		}
-		copy(p.V.T.Data, wt.Data)
-	}
-	return nil
 }

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultDrainTimeout bounds how long graceful shutdown waits for
+// in-flight requests before closing connections.
+const DefaultDrainTimeout = 15 * time.Second
+
+// Run serves srv on addr until ctx is cancelled (typically by SIGINT or
+// SIGTERM via signal.NotifyContext), then shuts down gracefully: the
+// listener closes immediately, in-flight requests get up to drain to
+// finish, and the prediction engine is closed last. It returns nil on a
+// clean drain; context.DeadlineExceeded if the drain deadline cut
+// requests off.
+func Run(ctx context.Context, addr string, srv *Server, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, srv, drain)
+}
+
+// Serve is Run for a caller-provided listener (ownership transfers; it is
+// closed on return).
+func Serve(ctx context.Context, ln net.Listener, srv *Server, drain time.Duration) error {
+	return serveHandler(ctx, ln, srv, srv.Close, drain)
+}
+
+// serveHandler implements graceful serving for any handler, separated
+// from Server so the drain semantics are testable in isolation.
+func serveHandler(ctx context.Context, ln net.Listener, h http.Handler, closeFn func(), drain time.Duration) error {
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	hs := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Listener failure before any shutdown request.
+		if closeFn != nil {
+			closeFn()
+		}
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := hs.Shutdown(shCtx)
+	if closeFn != nil {
+		closeFn()
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

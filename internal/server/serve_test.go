@@ -1,0 +1,229 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/tokenizer"
+)
+
+// tinyServer builds a Server around an untrained recommender: panic
+// recovery and shutdown tests exercise the HTTP layer, not the model.
+func tinyServer(t *testing.T) *Server {
+	t.Helper()
+	b := tokenizer.NewBuilder()
+	b.AddQuery([]string{"select", "ra", "from", "photoobj"})
+	vocab := b.Build(1)
+	cfg := seq2seq.DefaultConfig(seq2seq.ConvS2S, vocab.Size())
+	cfg.DModel = 8
+	cfg.FFHidden = 16
+	model, err := seq2seq.New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := seq2seq.New(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := classify.New(enc, 8, []string{"SELECT ra FROM PhotoObj"}, 3)
+	srv := New(&core.Recommender{Vocab: vocab, Model: model, Classifier: cls, MaxGenLen: 16})
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestPanicRecovery checks a panicking handler yields a JSON 500, bumps
+// the healthz counter, and leaves the server serving.
+func TestPanicRecovery(t *testing.T) {
+	srv := tinyServer(t)
+	srv.mux.HandleFunc("/v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/boom", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	var resp struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("500 body is not JSON: %q", w.Body.String())
+	}
+	if resp.Error == "" {
+		t.Errorf("500 body lacks error field: %q", w.Body.String())
+	}
+	if got := srv.Panics(); got != 1 {
+		t.Errorf("panic counter = %d, want 1", got)
+	}
+
+	// The server keeps answering, and healthz reports the panic.
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz after panic: %d", w.Code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := health["panics"].(float64); !ok || n != 1 {
+		t.Errorf("healthz panics = %v, want 1", health["panics"])
+	}
+}
+
+// TestPanicAbortHandlerPassesThrough keeps the net/http convention: a
+// handler aborting the response via http.ErrAbortHandler is not a defect
+// and must not be swallowed or counted.
+func TestPanicAbortHandlerPassesThrough(t *testing.T) {
+	srv := tinyServer(t)
+	srv.mux.HandleFunc("/v1/abort", func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	defer func() {
+		if p := recover(); p != http.ErrAbortHandler {
+			t.Errorf("expected re-panic with ErrAbortHandler, got %v", p)
+		}
+		if srv.Panics() != 0 {
+			t.Errorf("abort counted as panic")
+		}
+	}()
+	srv.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/abort", nil))
+	t.Fatal("handler did not re-panic")
+}
+
+// drainFixture runs serveHandler on a loopback listener with a
+// caller-controlled handler and reports the serve error on done.
+type drainFixture struct {
+	base   string
+	cancel context.CancelFunc
+	done   chan error
+	closed chan struct{}
+}
+
+func startDrainFixture(t *testing.T, h http.Handler, drain time.Duration) *drainFixture {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	f := &drainFixture{
+		base:   "http://" + ln.Addr().String(),
+		cancel: cancel,
+		done:   make(chan error, 1),
+		closed: make(chan struct{}),
+	}
+	go func() {
+		f.done <- serveHandler(ctx, ln, h, func() { close(f.closed) }, drain)
+	}()
+	return f
+}
+
+// TestGracefulDrainCompletesInFlight is the qrec-serve shutdown
+// guarantee: a request already executing when the signal arrives runs to
+// completion, then the server exits cleanly and closes the engine.
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	var served atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		<-release
+		served.Add(1)
+		fmt.Fprint(w, "done")
+	})
+	f := startDrainFixture(t, h, 5*time.Second)
+
+	type result struct {
+		body string
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(f.base + "/slow")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resc <- result{body: string(b)}
+	}()
+
+	<-inFlight    // request is executing
+	f.cancel()    // deliver the "signal"
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-f.done:
+		t.Fatal("server exited while a request was in flight")
+	case <-f.closed:
+		t.Fatal("engine closed while a request was in flight")
+	default:
+	}
+	close(release) // let the handler finish
+
+	res := <-resc
+	if res.err != nil || res.body != "done" {
+		t.Fatalf("in-flight request: body %q err %v", res.body, res.err)
+	}
+	select {
+	case err := <-f.done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit after drain")
+	}
+	<-f.closed
+	if served.Load() != 1 {
+		t.Fatalf("served %d requests", served.Load())
+	}
+	// New connections are refused after shutdown.
+	if _, err := http.Get(f.base + "/late"); err == nil {
+		t.Error("connection accepted after shutdown")
+	}
+}
+
+// TestDrainDeadlineCutsOffStuckRequests bounds shutdown: a handler that
+// never returns cannot hold the process hostage past the drain window.
+func TestDrainDeadlineCutsOffStuckRequests(t *testing.T) {
+	inFlight := make(chan struct{})
+	stuck := make(chan struct{})
+	t.Cleanup(func() { close(stuck) })
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		<-stuck
+	})
+	f := startDrainFixture(t, h, 100*time.Millisecond)
+	go func() {
+		resp, err := http.Get(f.base + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inFlight
+	f.cancel()
+	select {
+	case err := <-f.done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("want DeadlineExceeded, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain deadline did not fire")
+	}
+	<-f.closed
+}

@@ -21,7 +21,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -117,11 +120,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server wires a Recommender into an http.Handler.
+// Server wires a Recommender into an http.Handler. A panic in any
+// handler is recovered by ServeHTTP: the request gets a JSON 500, a
+// counter exposed on /v1/healthz is incremented, and the process keeps
+// serving.
 type Server struct {
-	eng *servepool.Engine
-	cfg Config
-	mux *http.ServeMux
+	eng    *servepool.Engine
+	cfg    Config
+	mux    *http.ServeMux
+	panics atomic.Int64
 }
 
 // New builds the handler around a trained recommender with default serving
@@ -142,8 +149,29 @@ func NewWithConfig(rec *core.Recommender, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler with panic recovery: a panicking
+// handler yields a 500 JSON error instead of killing the process.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if p == http.ErrAbortHandler {
+			// The conventional way to abort a response; not a defect.
+			panic(p)
+		}
+		s.panics.Add(1)
+		log.Printf("server: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+		// Best effort: if the handler already wrote headers this is a
+		// no-op body append, but the connection still dies cleanly.
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Panics reports how many handler panics have been recovered.
+func (s *Server) Panics() int64 { return s.panics.Load() }
 
 // Close drains the worker pool. The server must not be used afterwards.
 func (s *Server) Close() { s.eng.Close() }
@@ -157,6 +185,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"arch":    string(rec.Model.Config().Arch),
 		"cache":   s.eng.CacheStats(),
 		"pool":    s.eng.PoolStats(),
+		"panics":  s.panics.Load(),
 	})
 }
 

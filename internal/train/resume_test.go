@@ -1,0 +1,309 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/checkpoint"
+	"repro/internal/seq2seq"
+)
+
+// resumeModel builds a small transformer with dropout enabled, so the
+// equivalence tests exercise the RNG-dependent paths (shuffling AND
+// dropout draws must replay identically across an interruption).
+func resumeModel(t *testing.T) seq2seq.Model {
+	t.Helper()
+	cfg := seq2seq.DefaultConfig(seq2seq.Transformer, 16)
+	cfg.DModel = 16
+	cfg.FFHidden = 32
+	cfg.Dropout = 0.1
+	m, err := seq2seq.New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func resumeData() ([]Example, []Example) {
+	rng := rand.New(rand.NewSource(2))
+	data := copyTask(rng, 60, 16, 8)
+	return data[:50], data[50:]
+}
+
+func resumeOpts() Options {
+	opts := DefaultOptions()
+	opts.Epochs = 5
+	opts.Patience = 0
+	opts.Seed = 9
+	return opts
+}
+
+// stopAfterPolls returns a Stop hook that fires on the nth poll. The loop
+// polls once per mid-epoch batch boundary and once per epoch end, so the
+// poll index selects the interruption point deterministically.
+func stopAfterPolls(n int) func() bool {
+	calls := 0
+	return func() bool {
+		calls++
+		return calls >= n
+	}
+}
+
+func paramData(m seq2seq.Model) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, p := range m.Params() {
+		out[p.Name] = append([]float64(nil), p.V.T.Data...)
+	}
+	return out
+}
+
+func assertSameFloats(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d (%v vs %v)", what, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+			t.Fatalf("%s[%d]: %v != %v", what, i, got[i], want[i])
+		}
+	}
+}
+
+// assertEquivalent checks a resumed run reproduced the uninterrupted
+// run's full trajectory and final weights bit-for-bit.
+func assertEquivalent(t *testing.T, resumed, uninterrupted *Result, mResumed, mFull seq2seq.Model) {
+	t.Helper()
+	assertSameFloats(t, "train losses", resumed.TrainLosses, uninterrupted.TrainLosses)
+	assertSameFloats(t, "val losses", resumed.ValLosses, uninterrupted.ValLosses)
+	if resumed.BestVal != uninterrupted.BestVal || resumed.BestEpoch != uninterrupted.BestEpoch {
+		t.Errorf("best: resumed (%v, %d) vs uninterrupted (%v, %d)",
+			resumed.BestVal, resumed.BestEpoch, uninterrupted.BestVal, uninterrupted.BestEpoch)
+	}
+	if resumed.Epochs != uninterrupted.Epochs {
+		t.Errorf("epochs: %d vs %d", resumed.Epochs, uninterrupted.Epochs)
+	}
+	if resumed.Interrupted {
+		t.Error("resumed run still marked interrupted")
+	}
+	full := paramData(mFull)
+	for name, got := range paramData(mResumed) {
+		assertSameFloats(t, "param "+name, got, full[name])
+	}
+}
+
+// runInterruptedThenResume interrupts a fresh run at the given poll
+// index, then resumes from the captured checkpoint on a brand-new model,
+// returning the resumed result and model.
+func runInterruptedThenResume(t *testing.T, stopPoll int) (*Result, seq2seq.Model) {
+	t.Helper()
+	trainSet, valSet := resumeData()
+
+	m1 := resumeModel(t)
+	var last *checkpoint.TrainState
+	opts := resumeOpts()
+	opts.Checkpoint = func(st *checkpoint.TrainState) error { last = st; return nil }
+	opts.Stop = stopAfterPolls(stopPoll)
+	res1, err := Seq2Seq(m1, trainSet, valSet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Interrupted {
+		t.Fatal("run was not interrupted — stop poll index off")
+	}
+	if last == nil {
+		t.Fatal("no checkpoint captured before interruption")
+	}
+
+	m2 := resumeModel(t)
+	res2, err := Resume(m2, trainSet, valSet, resumeOpts(), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res2, m2
+}
+
+func uninterruptedRun(t *testing.T) (*Result, seq2seq.Model) {
+	t.Helper()
+	trainSet, valSet := resumeData()
+	m := resumeModel(t)
+	res, err := Seq2Seq(m, trainSet, valSet, resumeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, m
+}
+
+// TestResumeEquivalenceMidEpoch is the tentpole guarantee: a run
+// interrupted in the middle of an epoch and resumed produces the same
+// per-epoch loss sequence — and the same final weights — as the same run
+// uninterrupted.
+func TestResumeEquivalenceMidEpoch(t *testing.T) {
+	full, mFull := uninterruptedRun(t)
+	// 50 examples at batch size 8 = 7 batches/epoch: 6 mid-epoch polls
+	// plus 1 at the epoch end. Poll 10 lands after batch 3 of epoch 2.
+	resumed, mResumed := runInterruptedThenResume(t, 10)
+	assertEquivalent(t, resumed, full, mResumed, mFull)
+}
+
+// TestResumeEquivalenceEpochBoundary interrupts exactly at an epoch end.
+func TestResumeEquivalenceEpochBoundary(t *testing.T) {
+	full, mFull := uninterruptedRun(t)
+	// Poll 14 is the epoch-end poll of the second epoch.
+	resumed, mResumed := runInterruptedThenResume(t, 14)
+	assertEquivalent(t, resumed, full, mResumed, mFull)
+}
+
+// TestResumeThroughManager round-trips the interruption through the disk
+// layer (atomic envelope + gob + retention manager) instead of an
+// in-memory snapshot, proving the serialized state is lossless.
+func TestResumeThroughManager(t *testing.T) {
+	full, mFull := uninterruptedRun(t)
+	trainSet, valSet := resumeData()
+
+	mgr, err := checkpoint.NewManager(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := resumeModel(t)
+	opts := resumeOpts()
+	opts.Checkpoint = mgr.Hook()
+	opts.CheckpointEvery = 2
+	opts.Stop = stopAfterPolls(9)
+	res1, err := Seq2Seq(m1, trainSet, valSet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Interrupted {
+		t.Fatal("not interrupted")
+	}
+
+	st, _, err := mgr.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := resumeModel(t)
+	res2, err := Resume(m2, trainSet, valSet, resumeOpts(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, res2, full, m2, mFull)
+}
+
+// TestSeq2SeqDeterministicGivenSeed pins the reproducibility fix: two
+// fresh runs with the same seed produce identical trajectories.
+func TestSeq2SeqDeterministicGivenSeed(t *testing.T) {
+	r1, m1 := uninterruptedRun(t)
+	r2, m2 := uninterruptedRun(t)
+	assertSameFloats(t, "train losses", r1.TrainLosses, r2.TrainLosses)
+	assertSameFloats(t, "val losses", r1.ValLosses, r2.ValLosses)
+	p2 := paramData(m2)
+	for name, got := range paramData(m1) {
+		assertSameFloats(t, "param "+name, got, p2[name])
+	}
+}
+
+// TestResumeDoneCheckpoint restores a finished run without training.
+func TestResumeDoneCheckpoint(t *testing.T) {
+	trainSet, valSet := resumeData()
+	m1 := resumeModel(t)
+	var last *checkpoint.TrainState
+	opts := resumeOpts()
+	opts.Checkpoint = func(st *checkpoint.TrainState) error { last = st; return nil }
+	res1, err := Seq2Seq(m1, trainSet, valSet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last == nil || !last.Done {
+		t.Fatalf("final checkpoint not marked done: %+v", last)
+	}
+	m2 := resumeModel(t)
+	res2, err := Resume(m2, trainSet, valSet, resumeOpts(), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, res2, res1, m2, m1)
+}
+
+// TestResumeValidation rejects mismatched seed, dataset and model.
+func TestResumeValidation(t *testing.T) {
+	trainSet, valSet := resumeData()
+	m1 := resumeModel(t)
+	var last *checkpoint.TrainState
+	opts := resumeOpts()
+	opts.Epochs = 2
+	opts.Checkpoint = func(st *checkpoint.TrainState) error { last = st; return nil }
+	opts.Stop = stopAfterPolls(3)
+	if _, err := Seq2Seq(m1, trainSet, valSet, opts); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint")
+	}
+
+	if _, err := Resume(resumeModel(t), trainSet, valSet, resumeOpts(), nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	badSeed := resumeOpts()
+	badSeed.Seed = 999
+	if _, err := Resume(resumeModel(t), trainSet, valSet, badSeed, last); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	if _, err := Resume(resumeModel(t), trainSet[:20], valSet, resumeOpts(), last); err == nil {
+		t.Error("dataset size mismatch accepted")
+	}
+	otherCfg := seq2seq.DefaultConfig(seq2seq.Transformer, 16)
+	otherCfg.DModel = 8
+	otherModel, err := seq2seq.New(otherCfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(otherModel, trainSet, valSet, resumeOpts(), last); err == nil {
+		t.Error("model config mismatch accepted")
+	}
+}
+
+// TestAdamExportImport round-trips optimizer state and checks the
+// imported optimizer continues the stream identically.
+func TestAdamExportImport(t *testing.T) {
+	trainSet, valSet := resumeData()
+	_ = valSet
+	m := resumeModel(t)
+	params := m.Params()
+	opt := NewAdam(1e-3)
+	rng := rand.New(checkpoint.NewRNG(4))
+	for i := 0; i < 3; i++ {
+		loss := exampleLoss(m, trainSet[i], true, rng)
+		autograd.Backward(loss)
+		opt.Step(params)
+	}
+	st, err := opt.Export(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != 3 || len(st.M) == 0 {
+		t.Fatalf("export: step %d, %d moments", st.Step, len(st.M))
+	}
+	opt2 := NewAdam(1e-3)
+	if err := opt2.Import(params, st); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := opt2.Export(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Step != st.Step || len(st2.M) != len(st.M) {
+		t.Fatalf("round trip: %d/%d vs %d/%d", st2.Step, len(st2.M), st.Step, len(st.M))
+	}
+	for name, m1 := range st.M {
+		assertSameFloats(t, "moment "+name, st2.M[name].Data, m1.Data)
+	}
+	// Unknown parameter name is rejected.
+	bad := &checkpoint.OptimState{Step: 1,
+		M: map[string]checkpoint.Tensor{"no.such.param": {Rows: 1, Cols: 1, Data: []float64{0}}},
+		V: map[string]checkpoint.Tensor{"no.such.param": {Rows: 1, Cols: 1, Data: []float64{0}}}}
+	if err := NewAdam(1e-3).Import(params, bad); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}

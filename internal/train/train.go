@@ -3,6 +3,14 @@
 // and validation-loss early stopping (paper Section 6.2.4: cross-entropy
 // loss, Adam, hyper-parameters selected on best validation loss with early
 // stopping).
+//
+// The loop is crash-safe: Options can install a checkpoint hook that
+// snapshots the complete training state (parameters, optimizer moments,
+// shuffle order, RNG stream, loss history) at batch and epoch boundaries,
+// and Resume continues a snapshotted run with the exact loss trajectory
+// the uninterrupted run would have produced. A cooperative Stop hook lets
+// callers (e.g. qrec-train's SIGINT handler) end a run at the next batch
+// boundary after writing a final checkpoint.
 package train
 
 import (
@@ -12,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/autograd"
+	"repro/internal/checkpoint"
 	"repro/internal/nn"
 	"repro/internal/seq2seq"
 	"repro/internal/tensor"
@@ -73,6 +82,57 @@ func (a *Adam) Step(params []nn.Param) {
 	}
 }
 
+// Export serializes the optimizer state (step counter and moment buffers)
+// keyed by parameter name. Parameters that never received a gradient are
+// omitted, matching the lazy allocation in Step.
+func (a *Adam) Export(params []nn.Param) (*checkpoint.OptimState, error) {
+	byName, err := nn.ByName(params)
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	st := &checkpoint.OptimState{
+		Step: a.t,
+		M:    map[string]checkpoint.Tensor{},
+		V:    map[string]checkpoint.Tensor{},
+	}
+	for name, v := range byName {
+		if m := a.m[v]; m != nil {
+			st.M[name] = checkpoint.FromTensor(m)
+			st.V[name] = checkpoint.FromTensor(a.v[v])
+		}
+	}
+	return st, nil
+}
+
+// Import restores optimizer state captured by Export onto the given
+// parameter set, rejecting unknown names and shape mismatches.
+func (a *Adam) Import(params []nn.Param, st *checkpoint.OptimState) error {
+	byName, err := nn.ByName(params)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	a.t = st.Step
+	a.m = make(map[*autograd.Value]*tensor.Tensor, len(st.M))
+	a.v = make(map[*autograd.Value]*tensor.Tensor, len(st.V))
+	for name, wm := range st.M {
+		v, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("train: optimizer state for unknown parameter %q", name)
+		}
+		if wm.Rows != v.T.Rows || wm.Cols != v.T.Cols {
+			return fmt.Errorf("train: optimizer moment for %q has shape %dx%d, parameter is %dx%d",
+				name, wm.Rows, wm.Cols, v.T.Rows, v.T.Cols)
+		}
+		wv, ok := st.V[name]
+		if !ok {
+			return fmt.Errorf("train: optimizer state for %q missing second moment", name)
+		}
+		a.m[v] = wm.ToTensor()
+		a.v[v] = wv.ToTensor()
+	}
+	return nil
+}
+
 // ClipGradNorm rescales all gradients so their global L2 norm is at most
 // maxNorm. Returns the pre-clip norm.
 func ClipGradNorm(params []nn.Param, maxNorm float64) float64 {
@@ -114,6 +174,18 @@ type Options struct {
 	MaxLen    int     // truncate sequences to this many tokens
 	Seed      int64
 	Logf      func(format string, args ...any) // nil silences progress
+
+	// Checkpoint, when non-nil, receives a full training-state snapshot at
+	// every epoch boundary, every CheckpointEvery batches (when > 0), and
+	// when Stop requests an early exit. A snapshot error aborts training.
+	Checkpoint func(*checkpoint.TrainState) error
+	// CheckpointEvery adds mid-epoch snapshots every N batches (0 = epoch
+	// boundaries only).
+	CheckpointEvery int
+	// Stop is polled at batch boundaries; when it returns true the loop
+	// writes a final checkpoint (if Checkpoint is set) and returns with
+	// Result.Interrupted set. Use it for cooperative SIGINT handling.
+	Stop func() bool
 }
 
 // DefaultOptions returns the CPU-scale training configuration.
@@ -121,7 +193,9 @@ func DefaultOptions() Options {
 	return Options{Epochs: 8, Patience: 2, LR: 3e-3, ClipNorm: 1.0, BatchSize: 8, MaxLen: 48, Seed: 1}
 }
 
-// Result reports what happened during training (feeds Table 3).
+// Result reports what happened during training (feeds Table 3). On a
+// resumed run the loss histories cover the whole run, restored epochs
+// included.
 type Result struct {
 	TrainLosses []float64
 	ValLosses   []float64
@@ -129,6 +203,9 @@ type Result struct {
 	BestEpoch   int
 	Epochs      int
 	TrainTime   time.Duration
+	// Interrupted marks a run ended early by Options.Stop; the final
+	// checkpoint (when configured) allows resuming it.
+	Interrupted bool
 }
 
 // Seq2Seq trains the model on (Q_i, Q_{i+1}) examples with teacher forcing
@@ -136,10 +213,31 @@ type Result struct {
 // caller keeps the final weights; with small patience the final and best
 // epochs coincide closely, which is sufficient at our scale.
 func Seq2Seq(m seq2seq.Model, trainSet, valSet []Example, opts Options) (*Result, error) {
+	return run(m, trainSet, valSet, opts, nil)
+}
+
+// Resume continues a checkpointed run. The model must match the
+// checkpoint's configuration (its current weights are overwritten), and
+// trainSet/opts must be those of the original run — seed and dataset size
+// are validated. The returned Result covers the whole run, and its loss
+// trajectory equals what the uninterrupted run would have produced.
+func Resume(m seq2seq.Model, trainSet, valSet []Example, opts Options, st *checkpoint.TrainState) (*Result, error) {
+	if st == nil {
+		return nil, fmt.Errorf("train: resume: nil checkpoint state")
+	}
+	return run(m, trainSet, valSet, opts, st)
+}
+
+// run is the training loop, optionally entered mid-run from a checkpoint.
+func run(m seq2seq.Model, trainSet, valSet []Example, opts Options, st *checkpoint.TrainState) (*Result, error) {
 	if len(trainSet) == 0 {
 		return nil, fmt.Errorf("train: empty training set")
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	// The RNG source is a serializable stream: its position is part of
+	// every checkpoint, so resumed shuffles and dropout draws replay the
+	// uninterrupted sequence exactly.
+	src := checkpoint.NewRNG(opts.Seed)
+	rng := rand.New(src)
 	optim := NewAdam(opts.LR)
 	params := m.Params()
 	res := &Result{BestVal: math.Inf(1)}
@@ -150,10 +248,62 @@ func Seq2Seq(m seq2seq.Model, trainSet, valSet []Example, opts Options) (*Result
 		order[i] = i
 	}
 	bad := 0
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		sum, count := 0.0, 0
-		for bi := 0; bi < len(order); bi += opts.BatchSize {
+	startEpoch, startBatch := 0, 0
+	sum, count := 0.0, 0
+
+	if st != nil {
+		if err := restoreState(m, params, optim, src, st, opts, len(trainSet)); err != nil {
+			return nil, err
+		}
+		res.TrainLosses = append(res.TrainLosses, st.TrainLosses...)
+		res.ValLosses = append(res.ValLosses, st.ValLosses...)
+		res.BestVal = st.BestVal
+		res.BestEpoch = st.BestEpoch
+		res.Epochs = st.Epoch
+		bad = st.Bad
+		startEpoch, startBatch = st.Epoch, st.Batch
+		if st.Batch > 0 {
+			if len(st.Order) != len(order) {
+				return nil, fmt.Errorf("train: resume: checkpoint order covers %d examples, dataset has %d",
+					len(st.Order), len(order))
+			}
+			copy(order, st.Order)
+			sum, count = st.SumLoss, st.Count
+		}
+		if st.Done {
+			res.TrainTime = time.Since(start)
+			return res, nil
+		}
+	}
+
+	save := func(epoch, batch int, done bool) error {
+		if opts.Checkpoint == nil {
+			return nil
+		}
+		snap, err := snapshot(m, params, optim, src, opts, res, epoch, batch, order, sum, count, bad, len(trainSet), done)
+		if err != nil {
+			return err
+		}
+		return opts.Checkpoint(snap)
+	}
+
+	batches := 0
+	for epoch := startEpoch; epoch < opts.Epochs; epoch++ {
+		if epoch != startEpoch || startBatch == 0 {
+			// Re-shuffle from identity so the epoch's order is a pure
+			// function of the RNG position — a resumed run must not depend
+			// on the in-place permutation history of earlier epochs.
+			for i := range order {
+				order[i] = i
+			}
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			sum, count = 0.0, 0
+		}
+		bi0 := 0
+		if epoch == startEpoch {
+			bi0 = startBatch
+		}
+		for bi := bi0; bi < len(order); bi += opts.BatchSize {
 			hi := bi + opts.BatchSize
 			if hi > len(order) {
 				hi = len(order)
@@ -171,6 +321,24 @@ func Seq2Seq(m seq2seq.Model, trainSet, valSet []Example, opts Options) (*Result
 				ClipGradNorm(params, opts.ClipNorm)
 			}
 			optim.Step(params)
+			batches++
+			// Mid-epoch snapshots happen only while batches remain; the
+			// final batch of an epoch falls through to the epoch-boundary
+			// snapshot below, which includes the validation loss.
+			if hi < len(order) {
+				stopping := opts.Stop != nil && opts.Stop()
+				periodic := opts.CheckpointEvery > 0 && batches%opts.CheckpointEvery == 0
+				if stopping || periodic {
+					if err := save(epoch, hi, false); err != nil {
+						return nil, err
+					}
+				}
+				if stopping {
+					res.Interrupted = true
+					res.TrainTime = time.Since(start)
+					return res, nil
+				}
+			}
 		}
 		trainLoss := sum / float64(count)
 		valLoss := Evaluate(m, valSet, opts.MaxLen)
@@ -186,13 +354,81 @@ func Seq2Seq(m seq2seq.Model, trainSet, valSet []Example, opts Options) (*Result
 			bad = 0
 		} else {
 			bad++
-			if opts.Patience > 0 && bad >= opts.Patience {
-				break
-			}
+		}
+		finished := epoch+1 == opts.Epochs || (opts.Patience > 0 && bad >= opts.Patience)
+		stopping := opts.Stop != nil && opts.Stop()
+		if err := save(epoch+1, 0, finished); err != nil {
+			return nil, err
+		}
+		if finished {
+			break
+		}
+		if stopping {
+			res.Interrupted = true
+			break
 		}
 	}
 	res.TrainTime = time.Since(start)
 	return res, nil
+}
+
+// snapshot captures the full training state at a batch or epoch boundary
+// (deep copies throughout — training keeps mutating the live tensors).
+func snapshot(m seq2seq.Model, params []nn.Param, optim *Adam, src *checkpoint.RNG, opts Options,
+	res *Result, epoch, batch int, order []int, sum float64, count, bad, numTrain int, done bool) (*checkpoint.TrainState, error) {
+	tensors, err := seq2seq.ParamMap(m)
+	if err != nil {
+		return nil, err
+	}
+	optState, err := optim.Export(params)
+	if err != nil {
+		return nil, err
+	}
+	st := &checkpoint.TrainState{
+		Seed:        opts.Seed,
+		RNG:         src.State(),
+		Epoch:       epoch,
+		Batch:       batch,
+		SumLoss:     sum,
+		Count:       count,
+		Params:      checkpoint.FromTensorMap(tensors),
+		ModelCfg:    m.Config(),
+		Optim:       *optState,
+		TrainLosses: append([]float64(nil), res.TrainLosses...),
+		ValLosses:   append([]float64(nil), res.ValLosses...),
+		BestVal:     res.BestVal,
+		BestEpoch:   res.BestEpoch,
+		Bad:         bad,
+		NumTrain:    numTrain,
+		Done:        done,
+	}
+	if batch > 0 {
+		st.Order = append([]int(nil), order...)
+	}
+	return st, nil
+}
+
+// restoreState rebuilds the live training state from a checkpoint,
+// validating that the model, seed and dataset match the original run.
+func restoreState(m seq2seq.Model, params []nn.Param, optim *Adam, src *checkpoint.RNG,
+	st *checkpoint.TrainState, opts Options, numTrain int) error {
+	if st.Seed != opts.Seed {
+		return fmt.Errorf("train: resume: checkpoint was seeded with %d, options use %d", st.Seed, opts.Seed)
+	}
+	if st.NumTrain != numTrain {
+		return fmt.Errorf("train: resume: checkpoint trained on %d examples, dataset has %d", st.NumTrain, numTrain)
+	}
+	if cfg := m.Config(); cfg != st.ModelCfg {
+		return fmt.Errorf("train: resume: model config %+v does not match checkpoint %+v", cfg, st.ModelCfg)
+	}
+	if err := seq2seq.RestoreParamMap(m, checkpoint.ToTensorMap(st.Params)); err != nil {
+		return fmt.Errorf("train: resume: %w", err)
+	}
+	if err := optim.Import(params, &st.Optim); err != nil {
+		return err
+	}
+	src.SetState(st.RNG)
+	return nil
 }
 
 // Evaluate computes the mean validation loss without gradient tracking or

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: test test-short bench fuzz fuzz-short build vet
+.PHONY: test test-short bench bench-json fuzz fuzz-short build vet
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ test-short:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Kernel + training benchmarks recorded as JSON (BENCH_kernels.json,
+# BENCH_train.json) for cross-PR comparison.
+bench-json:
+	./scripts/bench.sh
 
 # Each fuzz target runs briefly; raise FUZZTIME for a real campaign.
 FUZZTIME ?= 10s

@@ -87,6 +87,7 @@ func BenchmarkTable3ModelStats(b *testing.B) {
 		loss := autograd.CrossEntropy(logits, tgtOut, tokenizer.PAD)
 		autograd.Backward(loss)
 		optim.Step(params)
+		autograd.Free(loss)
 	}
 }
 

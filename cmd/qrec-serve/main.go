@@ -17,6 +17,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the opt-in debug mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,7 +38,20 @@ func main() {
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max requests per batch call")
 	drain := flag.Duration("drain", server.DefaultDrainTimeout,
 		"graceful-shutdown deadline for in-flight requests")
+	pprofAddr := flag.String("pprof", "",
+		"debug listener address for net/http/pprof, e.g. localhost:6060 (empty disables; do not expose publicly)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Separate listener so profiling endpoints never share the public
+		// serving port; DefaultServeMux carries the pprof registrations.
+		go func() {
+			fmt.Fprintf(os.Stderr, "qrec-serve: pprof debug listener on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "qrec-serve: pprof listener:", err)
+			}
+		}()
+	}
 
 	rec, err := modeldir.Load(*modelDir, 0)
 	if err != nil {

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"syscall"
 
@@ -32,6 +34,7 @@ import (
 	"repro/internal/modeldir"
 	"repro/internal/seq2seq"
 	"repro/internal/synth"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 )
 
@@ -51,7 +54,25 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N batches (0 = epoch boundaries only)")
 	ckptKeep := flag.Int("checkpoint-keep", checkpoint.DefaultKeep, "numbered checkpoints to retain (best-validation kept separately)")
 	resume := flag.Bool("resume", false, "resume the seq2seq stage from the newest valid checkpoint")
+	trainWorkers := flag.Int("train-workers", 0, "data-parallel training goroutines per batch (0 = GOMAXPROCS); results are bit-identical for any value")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	// Profiles must flush on every exit path (including the cooperative
+	// interrupt exit), so exit() routes through flushProfiles rather than
+	// relying on defers that os.Exit would skip.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuProfiling = true
+	}
+	memProfilePath = *memProfile
 
 	var wl *workload.Workload
 	var err error
@@ -99,6 +120,11 @@ func main() {
 	// recorded in every checkpoint so -resume is deterministic.
 	cfg.SeqOpts.Seed = *seed
 	cfg.ClsOpts.Seed = *seed + 1
+	// Worker count is a pure throughput knob: gradients reduce in fixed
+	// example order, so any value (including a mid-run change across
+	// resume) yields bit-identical weights.
+	cfg.SeqOpts.Workers = *trainWorkers
+	cfg.ClsOpts.Workers = *trainWorkers
 	mcfg := seq2seq.DefaultConfig(seq2seq.Arch(*arch), 0)
 	mcfg.DModel = *dmodel
 	mcfg.FFHidden = 2 * *dmodel
@@ -155,7 +181,8 @@ func main() {
 		if mgr != nil {
 			fmt.Fprintf(os.Stderr, "qrec-train: final checkpoint written to %s; continue with -resume\n", *ckptDir)
 		}
-		os.Exit(0)
+		logComputeStats()
+		exit(0)
 	}
 	if err != nil {
 		fatal(err)
@@ -168,15 +195,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qrec-train: interrupted during classifier fine-tuning; saving partially fine-tuned classifier")
 	}
 
+	logComputeStats()
 	if err := modeldir.Save(*out, rec); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "saved model artifacts to %s\n", *out)
+	flushProfiles()
+}
+
+var (
+	cpuProfiling   bool
+	memProfilePath string
+)
+
+// exit flushes any active profiles before terminating.
+func exit(code int) {
+	flushProfiles()
+	os.Exit(code)
+}
+
+func flushProfiles() {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+		cpuProfiling = false
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qrec-train:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "qrec-train:", err)
+		}
+	}
+}
+
+// logComputeStats reports kernel-dispatch and scratch-pool counters so a
+// run's parallelism and allocation behavior are visible without a profiler.
+func logComputeStats() {
+	ks := tensor.Kernels()
+	ps := tensor.Shared.Stats()
+	fmt.Fprintf(os.Stderr, "kernels: %d serial / %d parallel GEMMs; pool: %d gets, %d puts, %d misses\n",
+		ks.SerialGEMM, ks.ParallelGEMM, ps.Gets, ps.Puts, ps.Misses)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "qrec-train:", err)
-	os.Exit(1)
+	exit(1)
 }
 
 // loadCSV opens and parses a CSV query log.

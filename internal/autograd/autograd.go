@@ -1,20 +1,59 @@
 // Package autograd implements tape-free reverse-mode automatic
 // differentiation over tensor.Tensor values. Each operation builds a node
-// holding its inputs and a backward closure; Backward topologically sorts
-// the graph from the loss and accumulates gradients.
+// recording its opcode and operands; Backward topologically sorts the
+// graph from the loss and runs each node's backward rule.
 //
 // The API is sized exactly for the paper's models: matmul, broadcast adds,
 // elementwise nonlinearities, softmax/log-softmax, layer normalization,
 // embedding gather, column slicing/concat (multi-head attention), im2col
 // (ConvS2S), GLU, dropout and cross-entropy.
+//
+// The implementation is allocation-conscious: node outputs, gradients and
+// op scratch come from the shared tensor pool, node structs from a
+// freelist, and Free returns a finished graph to both — so a steady-state
+// training step or decode step allocates almost nothing. Backward rules
+// for matmul and transpose run on the transpose-free kernels
+// (tensor.MatMulATInto / MatMulBTInto), so no backward pass ever
+// materializes a transposed copy.
 package autograd
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
+)
+
+// opcode identifies a node's operation; backward() dispatches on it.
+type opcode uint8
+
+const (
+	opLeaf opcode = iota // parameter or constant; no backward
+	opMatMul
+	opAdd
+	opAddRow
+	opAddConst // + caller-owned constant tensor (masks, positional rows)
+	opMul
+	opScale
+	opReLU
+	opGELU
+	opTanh
+	opSigmoid
+	opSoftmaxRows
+	opLayerNorm
+	opEmbedding
+	opSliceCols
+	opConcatCols
+	opConcatRows
+	opTranspose
+	opGatherRows
+	opReshape
+	opDropout
+	opMean
+	opCrossEntropy
 )
 
 // Value is a node in the computation graph.
@@ -23,11 +62,28 @@ type Value struct {
 	Grad *tensor.Tensor
 
 	requiresGrad bool
-	back         func()
-	prev         []*Value
+	op           opcode
+	nprev        uint8
+	naux         uint8
+	prev         [3]*Value          // fixed-arity operands
+	extra        []*Value           // variadic operands (concat)
+	ints         []int              // token ids / gather indices / targets
+	k1, k2       int                // op integers (slice bounds, counts)
+	f1           float64            // op scalar (scale factor)
+	aux          [2]*tensor.Tensor // pool-owned scratch freed with the node
+	seen         uint64             // visit generation for Backward/Free
 }
 
+// visitGen hands out a fresh generation per Backward/Free walk, so visit
+// marks never need resetting and disjoint graphs can be walked from
+// different goroutines concurrently.
+var visitGen atomic.Uint64
+
+// valuePool recycles node structs between graphs.
+var valuePool = sync.Pool{New: func() any { return new(Value) }}
+
 // NewParam wraps a tensor as a trainable parameter (gradient tracked).
+// Parameter values are long-lived and never returned to the pools.
 func NewParam(t *tensor.Tensor) *Value {
 	return &Value{T: t, Grad: tensor.New(t.Rows, t.Cols), requiresGrad: true}
 }
@@ -40,22 +96,41 @@ func NewConst(t *tensor.Tensor) *Value {
 // RequiresGrad reports whether gradients flow into this value.
 func (v *Value) RequiresGrad() bool { return v.requiresGrad }
 
-// node builds an op output whose gradient requirement is inherited from
-// its inputs.
-func node(t *tensor.Tensor, back func(), prev ...*Value) *Value {
+// newNode builds an op output whose gradient requirement is inherited
+// from its operands. t must be pool-owned (Free returns it).
+func newNode(op opcode, t *tensor.Tensor, a, b, c *Value) *Value {
+	v := valuePool.Get().(*Value)
+	v.T = t
+	v.op = op
+	v.prev[0], v.prev[1], v.prev[2] = a, b, c
+	switch {
+	case c != nil:
+		v.nprev = 3
+	case b != nil:
+		v.nprev = 2
+	case a != nil:
+		v.nprev = 1
+	default:
+		v.nprev = 0
+	}
 	req := false
-	for _, p := range prev {
-		if p.requiresGrad {
+	for i := 0; i < int(v.nprev); i++ {
+		if v.prev[i].requiresGrad {
 			req = true
 			break
 		}
 	}
-	v := &Value{T: t, prev: prev, requiresGrad: req}
+	v.requiresGrad = req
 	if req {
-		v.Grad = tensor.New(t.Rows, t.Cols)
-		v.back = back
+		v.Grad = tensor.Shared.Get(t.Rows, t.Cols)
 	}
 	return v
+}
+
+// addAux registers a pool-owned scratch tensor freed with the node.
+func (v *Value) addAux(t *tensor.Tensor) {
+	v.aux[v.naux] = t
+	v.naux++
 }
 
 // Backward runs reverse-mode differentiation from v, which must be 1×1
@@ -67,16 +142,18 @@ func Backward(v *Value) {
 	if !v.requiresGrad {
 		return
 	}
-	// Topological order via DFS.
-	var order []*Value
-	seen := map[*Value]bool{}
+	gen := visitGen.Add(1)
+	order := make([]*Value, 0, 128)
 	var visit func(*Value)
 	visit = func(n *Value) {
-		if seen[n] || !n.requiresGrad {
+		if n.seen == gen || !n.requiresGrad {
 			return
 		}
-		seen[n] = true
-		for _, p := range n.prev {
+		n.seen = gen
+		for i := 0; i < int(n.nprev); i++ {
+			visit(n.prev[i])
+		}
+		for _, p := range n.extra {
 			visit(p)
 		}
 		order = append(order, n)
@@ -84,10 +161,75 @@ func Backward(v *Value) {
 	visit(v)
 	v.Grad.Data[0] = 1
 	for i := len(order) - 1; i >= 0; i-- {
-		if order[i].back != nil {
-			order[i].back()
+		if order[i].op != opLeaf {
+			order[i].backward()
 		}
 	}
+}
+
+// Free returns every op node in the graph rooted at v — output tensors,
+// gradient buffers, scratch, and the node structs themselves — to the
+// shared pools. Leaves (parameters, constants) are untouched. Nodes listed
+// in keep are skipped along with everything only reachable through them
+// (e.g. keep a decoder's encoder output while freeing the per-step decode
+// graph). The caller must not use v, or anything freed with it, afterward.
+func Free(v *Value, keep ...*Value) {
+	if v == nil {
+		return
+	}
+	gen := visitGen.Add(1)
+	nodes := make([]*Value, 0, 128)
+	var visit func(*Value)
+	visit = func(n *Value) {
+		if n == nil || n.seen == gen || n.op == opLeaf {
+			return
+		}
+		for _, k := range keep {
+			if n == k {
+				return
+			}
+		}
+		n.seen = gen
+		for i := 0; i < int(n.nprev); i++ {
+			visit(n.prev[i])
+		}
+		for _, p := range n.extra {
+			visit(p)
+		}
+		nodes = append(nodes, n)
+	}
+	visit(v)
+	// Recycle only after the walk is complete: the moment a node struct is
+	// returned to the pool, another goroutine may claim and rewrite it, so
+	// no graph pointer (a diamond's second edge, say) may be followed once
+	// its target has been recycled.
+	for _, n := range nodes {
+		tensor.Shared.Put(n.T)
+		if n.Grad != nil {
+			tensor.Shared.Put(n.Grad)
+		}
+		for i := 0; i < int(n.naux); i++ {
+			tensor.Shared.Put(n.aux[i])
+		}
+		n.recycle()
+	}
+}
+
+// recycle clears pointers and returns the node struct to the freelist.
+// extra keeps its capacity for the next variadic op; seen stays (the
+// generation counter is monotonic, so stale marks can never collide).
+func (n *Value) recycle() {
+	n.T, n.Grad = nil, nil
+	n.prev = [3]*Value{}
+	n.extra = n.extra[:0]
+	n.ints = nil
+	n.aux = [2]*tensor.Tensor{}
+	n.op = opLeaf
+	n.nprev, n.naux = 0, 0
+	n.k1, n.k2 = 0, 0
+	n.f1 = 0
+	n.requiresGrad = false
+	valuePool.Put(n)
 }
 
 // ZeroGrad clears the gradient buffer.
@@ -97,193 +239,430 @@ func (v *Value) ZeroGrad() {
 	}
 }
 
-// MatMul returns a @ b.
-func MatMul(a, b *Value) *Value {
-	out := tensor.MatMul(a.T, b.T)
-	var v *Value
-	v = node(out, func() {
+// backward applies one node's gradient rule. Where a rule is row-separable
+// over large outputs (softmax, cross-entropy) it fans out with
+// ParallelRange; every row is owned by one worker, so results are
+// bit-identical for any GOMAXPROCS.
+func (v *Value) backward() {
+	g := v.Grad
+	switch v.op {
+	case opMatMul:
+		a, b := v.prev[0], v.prev[1]
 		if a.requiresGrad {
-			// dA = dOut @ Bᵀ
-			tensor.MatMulInto(a.Grad, v.Grad, tensor.Transpose(b.T), true)
+			// dA += dOut @ Bᵀ, transpose-free.
+			tensor.MatMulBTInto(a.Grad, g, b.T, true)
 		}
 		if b.requiresGrad {
-			// dB = Aᵀ @ dOut
-			tensor.MatMulInto(b.Grad, tensor.Transpose(a.T), v.Grad, true)
+			// dB += Aᵀ @ dOut, transpose-free.
+			tensor.MatMulATInto(b.Grad, a.T, g, true)
 		}
-	}, a, b)
-	return v
+
+	case opAdd:
+		a, b := v.prev[0], v.prev[1]
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, g)
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.Grad, g)
+		}
+
+	case opAddRow:
+		a, b := v.prev[0], v.prev[1]
+		if a.requiresGrad {
+			tensor.AddInPlace(a.Grad, g)
+		}
+		if b.requiresGrad {
+			for i := 0; i < g.Rows; i++ {
+				row := g.Row(i)
+				for j, gv := range row {
+					b.Grad.Data[j] += gv
+				}
+			}
+		}
+
+	case opAddConst, opReshape:
+		a := v.prev[0]
+		if a.requiresGrad {
+			for i, gv := range g.Data {
+				a.Grad.Data[i] += gv
+			}
+		}
+
+	case opMul:
+		a, b := v.prev[0], v.prev[1]
+		if a.requiresGrad {
+			for i, gv := range g.Data {
+				a.Grad.Data[i] += gv * b.T.Data[i]
+			}
+		}
+		if b.requiresGrad {
+			for i, gv := range g.Data {
+				b.Grad.Data[i] += gv * a.T.Data[i]
+			}
+		}
+
+	case opScale:
+		a := v.prev[0]
+		if a.requiresGrad {
+			s := v.f1
+			for i, gv := range g.Data {
+				a.Grad.Data[i] += gv * s
+			}
+		}
+
+	case opReLU:
+		a := v.prev[0]
+		if a.requiresGrad {
+			for i, x := range a.T.Data {
+				if x > 0 {
+					a.Grad.Data[i] += g.Data[i]
+				}
+			}
+		}
+
+	case opGELU:
+		a := v.prev[0]
+		if a.requiresGrad {
+			const c = 0.7978845608028654 // sqrt(2/pi)
+			for i, x := range a.T.Data {
+				u := c * (x + 0.044715*x*x*x)
+				t := math.Tanh(u)
+				du := c * (1 + 3*0.044715*x*x)
+				grad := 0.5*(1+t) + 0.5*x*(1-t*t)*du
+				a.Grad.Data[i] += g.Data[i] * grad
+			}
+		}
+
+	case opTanh:
+		a := v.prev[0]
+		if a.requiresGrad {
+			for i, y := range v.T.Data {
+				a.Grad.Data[i] += g.Data[i] * (1 - y*y)
+			}
+		}
+
+	case opSigmoid:
+		a := v.prev[0]
+		if a.requiresGrad {
+			for i, y := range v.T.Data {
+				a.Grad.Data[i] += g.Data[i] * y * (1 - y)
+			}
+		}
+
+	case opSoftmaxRows:
+		a := v.prev[0]
+		if a.requiresGrad {
+			// dx_i = y_i * (g_i - sum_j g_j y_j) per row.
+			cols := v.T.Cols
+			tensor.ParallelRange(v.T.Rows, 4096/(cols+1)+1, func(lo, hi int) {
+				for r := lo; r < hi; r++ {
+					y, gr, dst := v.T.Row(r), g.Row(r), a.Grad.Row(r)
+					dot := 0.0
+					for j := range y {
+						dot += gr[j] * y[j]
+					}
+					for j := range y {
+						dst[j] += y[j] * (gr[j] - dot)
+					}
+				}
+			})
+		}
+
+	case opLayerNorm:
+		a, gain, bias := v.prev[0], v.prev[1], v.prev[2]
+		xhat, invStd := v.aux[0], v.aux[1]
+		rows, cols := v.T.Rows, v.T.Cols
+		for r := 0; r < rows; r++ {
+			gr := g.Row(r)
+			xh := xhat.Row(r)
+			if gain.requiresGrad {
+				for j := range gr {
+					gain.Grad.Data[j] += gr[j] * xh[j]
+					bias.Grad.Data[j] += gr[j]
+				}
+			}
+			if a.requiresGrad {
+				// dxhat_j = g_j * gain_j
+				// dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * invStd
+				m1, m2 := 0.0, 0.0
+				for j := range gr {
+					dxh := gr[j] * gain.T.Data[j]
+					m1 += dxh
+					m2 += dxh * xh[j]
+				}
+				m1 /= float64(cols)
+				m2 /= float64(cols)
+				dst := a.Grad.Row(r)
+				inv := invStd.Data[r]
+				for j := range gr {
+					dxh := gr[j] * gain.T.Data[j]
+					dst[j] += (dxh - m1 - xh[j]*m2) * inv
+				}
+			}
+		}
+
+	case opEmbedding:
+		w := v.prev[0]
+		if w.requiresGrad {
+			for i, id := range v.ints {
+				dst := w.Grad.Row(id)
+				src := g.Row(i)
+				for j, gv := range src {
+					dst[j] += gv
+				}
+			}
+		}
+
+	case opSliceCols:
+		a := v.prev[0]
+		if a.requiresGrad {
+			from, to := v.k1, v.k2
+			for i := 0; i < a.T.Rows; i++ {
+				dst := a.Grad.Row(i)[from:to]
+				for j, gv := range g.Row(i) {
+					dst[j] += gv
+				}
+			}
+		}
+
+	case opConcatCols:
+		off := 0
+		for _, p := range v.extra {
+			if p.requiresGrad {
+				for i := 0; i < v.T.Rows; i++ {
+					src := g.Row(i)[off : off+p.T.Cols]
+					dst := p.Grad.Row(i)
+					for j, gv := range src {
+						dst[j] += gv
+					}
+				}
+			}
+			off += p.T.Cols
+		}
+
+	case opConcatRows:
+		off := 0
+		for _, p := range v.extra {
+			if p.requiresGrad {
+				for i := 0; i < p.T.Rows; i++ {
+					src := g.Row(off + i)
+					dst := p.Grad.Row(i)
+					for j, gv := range src {
+						dst[j] += gv
+					}
+				}
+			}
+			off += p.T.Rows
+		}
+
+	case opTranspose:
+		a := v.prev[0]
+		if a.requiresGrad {
+			// dA += dOutᵀ without materializing the transpose.
+			tensor.TransposeInto(a.Grad, g, true)
+		}
+
+	case opGatherRows:
+		a := v.prev[0]
+		if a.requiresGrad {
+			for i, r := range v.ints {
+				dst := a.Grad.Row(r)
+				for j, gv := range g.Row(i) {
+					dst[j] += gv
+				}
+			}
+		}
+
+	case opDropout:
+		a := v.prev[0]
+		if a.requiresGrad {
+			mask := v.aux[0]
+			for i, gv := range g.Data {
+				a.Grad.Data[i] += gv * mask.Data[i]
+			}
+		}
+
+	case opMean:
+		a := v.prev[0]
+		if a.requiresGrad {
+			gv := g.Data[0] / float64(len(a.T.Data))
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += gv
+			}
+		}
+
+	case opCrossEntropy:
+		logits := v.prev[0]
+		if logits.requiresGrad {
+			probs := v.aux[0]
+			targets := v.ints
+			scale := g.Data[0] / float64(v.k2)
+			vocab := logits.T.Cols
+			ignore := v.k1
+			tensor.ParallelRange(len(targets), 4096/(vocab+1)+1, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					t := targets[i]
+					if t == ignore {
+						continue
+					}
+					dst := logits.Grad.Row(i)
+					src := probs.Row(i)
+					for j := range dst {
+						gv := src[j]
+						if j == t {
+							gv -= 1
+						}
+						dst[j] += gv * scale
+					}
+				}
+			})
+		}
+
+	default:
+		panic(fmt.Sprintf("autograd: backward on op %d", v.op))
+	}
+}
+
+// MatMul returns a @ b.
+func MatMul(a, b *Value) *Value {
+	if a.T.Cols != b.T.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d @ %dx%d", a.T.Rows, a.T.Cols, b.T.Rows, b.T.Cols))
+	}
+	out := tensor.Shared.Get(a.T.Rows, b.T.Cols)
+	tensor.MatMulInto(out, a.T, b.T, false)
+	return newNode(opMatMul, out, a, b, nil)
 }
 
 // Add returns a + b (same shape).
 func Add(a, b *Value) *Value {
-	out := tensor.Add(a.T, b.T)
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			tensor.AddInPlace(a.Grad, v.Grad)
-		}
-		if b.requiresGrad {
-			tensor.AddInPlace(b.Grad, v.Grad)
-		}
-	}, a, b)
-	return v
+	mustSameShape("add", a, b)
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	for i, x := range a.T.Data {
+		out.Data[i] = x + b.T.Data[i]
+	}
+	return newNode(opAdd, out, a, b, nil)
 }
 
 // AddRow broadcasts the 1×cols row b onto every row of a.
 func AddRow(a, b *Value) *Value {
-	out := tensor.AddRowBroadcast(a.T, b.T)
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			tensor.AddInPlace(a.Grad, v.Grad)
+	if b.T.Rows != 1 || b.T.Cols != a.T.Cols {
+		panic(fmt.Sprintf("tensor: broadcast shape %dx%d onto %dx%d", b.T.Rows, b.T.Cols, a.T.Rows, a.T.Cols))
+	}
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	for i := 0; i < a.T.Rows; i++ {
+		src, dst := a.T.Row(i), out.Row(i)
+		for j, bv := range b.T.Data {
+			dst[j] = src[j] + bv
 		}
-		if b.requiresGrad {
-			for i := 0; i < v.Grad.Rows; i++ {
-				row := v.Grad.Row(i)
-				for j, g := range row {
-					b.Grad.Data[j] += g
-				}
-			}
+	}
+	return newNode(opAddRow, out, a, b, nil)
+}
+
+// AddConst returns a + t for a caller-owned constant tensor of the same
+// shape (attention masks). The gradient passes through to a untouched, so
+// t may be reused or returned to a pool as soon as this call returns.
+func AddConst(a *Value, t *tensor.Tensor) *Value {
+	mustSameTensor("add-const", a.T, t)
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	for i, x := range a.T.Data {
+		out.Data[i] = x + t.Data[i]
+	}
+	return newNode(opAddConst, out, a, nil, nil)
+}
+
+// AddTableRows adds rows [offset, offset+n) of the caller-owned table to
+// the n rows of a (sinusoidal positional encodings) without materializing
+// the slice as a graph constant. Gradient passes through to a.
+func AddTableRows(a *Value, table *tensor.Tensor, offset int) *Value {
+	n := a.T.Rows
+	if table.Cols != a.T.Cols || offset < 0 || offset+n > table.Rows {
+		panic(fmt.Sprintf("autograd: add-table rows [%d,%d) of %dx%d onto %dx%d",
+			offset, offset+n, table.Rows, table.Cols, n, a.T.Cols))
+	}
+	out := tensor.Shared.Get(n, a.T.Cols)
+	for i := 0; i < n; i++ {
+		src, trow, dst := a.T.Row(i), table.Row(offset+i), out.Row(i)
+		for j := range dst {
+			dst[j] = src[j] + trow[j]
 		}
-	}, a, b)
-	return v
+	}
+	return newNode(opAddConst, out, a, nil, nil)
 }
 
 // Mul returns the elementwise product.
 func Mul(a, b *Value) *Value {
-	out := tensor.Mul(a.T, b.T)
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			tensor.AddInPlace(a.Grad, tensor.Mul(v.Grad, b.T))
-		}
-		if b.requiresGrad {
-			tensor.AddInPlace(b.Grad, tensor.Mul(v.Grad, a.T))
-		}
-	}, a, b)
-	return v
+	mustSameShape("mul", a, b)
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	for i, x := range a.T.Data {
+		out.Data[i] = x * b.T.Data[i]
+	}
+	return newNode(opMul, out, a, b, nil)
 }
 
 // Scale returns a * s for scalar s.
 func Scale(a *Value, s float64) *Value {
-	out := tensor.Scale(a.T, s)
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			tensor.AddInPlace(a.Grad, tensor.Scale(v.Grad, s))
-		}
-	}, a)
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	for i, x := range a.T.Data {
+		out.Data[i] = x * s
+	}
+	v := newNode(opScale, out, a, nil, nil)
+	v.f1 = s
 	return v
 }
 
 // ReLU applies max(0, x) elementwise.
 func ReLU(a *Value) *Value {
-	out := a.T.Clone()
-	for i, x := range out.Data {
-		if x < 0 {
-			out.Data[i] = 0
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	for i, x := range a.T.Data {
+		if x > 0 {
+			out.Data[i] = x
 		}
 	}
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			for i, x := range a.T.Data {
-				if x > 0 {
-					a.Grad.Data[i] += v.Grad.Data[i]
-				}
-			}
-		}
-	}, a)
-	return v
+	return newNode(opReLU, out, a, nil, nil)
 }
 
 // GELU applies the tanh-approximated Gaussian error linear unit.
 func GELU(a *Value) *Value {
 	const c = 0.7978845608028654 // sqrt(2/pi)
-	out := a.T.Clone()
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
 	for i, x := range a.T.Data {
 		out.Data[i] = 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
 	}
-	var v *Value
-	v = node(out, func() {
-		if !a.requiresGrad {
-			return
-		}
-		for i, x := range a.T.Data {
-			u := c * (x + 0.044715*x*x*x)
-			t := math.Tanh(u)
-			du := c * (1 + 3*0.044715*x*x)
-			grad := 0.5*(1+t) + 0.5*x*(1-t*t)*du
-			a.Grad.Data[i] += v.Grad.Data[i] * grad
-		}
-	}, a)
-	return v
+	return newNode(opGELU, out, a, nil, nil)
 }
 
 // Tanh applies tanh elementwise.
 func Tanh(a *Value) *Value {
-	out := a.T.Clone()
-	for i, x := range out.Data {
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	for i, x := range a.T.Data {
 		out.Data[i] = math.Tanh(x)
 	}
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			for i, y := range v.T.Data {
-				a.Grad.Data[i] += v.Grad.Data[i] * (1 - y*y)
-			}
-		}
-	}, a)
-	return v
+	return newNode(opTanh, out, a, nil, nil)
 }
 
 // Sigmoid applies the logistic function elementwise.
 func Sigmoid(a *Value) *Value {
-	out := a.T.Clone()
-	for i, x := range out.Data {
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	for i, x := range a.T.Data {
 		out.Data[i] = 1 / (1 + math.Exp(-x))
 	}
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			for i, y := range v.T.Data {
-				a.Grad.Data[i] += v.Grad.Data[i] * y * (1 - y)
-			}
-		}
-	}, a)
-	return v
+	return newNode(opSigmoid, out, a, nil, nil)
 }
 
 // SoftmaxRows applies a row-wise softmax.
 func SoftmaxRows(a *Value) *Value {
-	out := tensor.SoftmaxRows(a.T)
-	var v *Value
-	v = node(out, func() {
-		if !a.requiresGrad {
-			return
-		}
-		// dx_i = y_i * (g_i - sum_j g_j y_j) per row.
-		for r := 0; r < out.Rows; r++ {
-			y, g, dst := v.T.Row(r), v.Grad.Row(r), a.Grad.Row(r)
-			dot := 0.0
-			for j := range y {
-				dot += g[j] * y[j]
-			}
-			for j := range y {
-				dst[j] += y[j] * (g[j] - dot)
-			}
-		}
-	}, a)
-	return v
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	tensor.SoftmaxRowsInto(out, a.T)
+	return newNode(opSoftmaxRows, out, a, nil, nil)
 }
 
 // LayerNorm normalizes each row to zero mean / unit variance then applies
 // the learned 1×cols gain and bias.
 func LayerNorm(a, gain, bias *Value, eps float64) *Value {
 	rows, cols := a.T.Rows, a.T.Cols
-	out := tensor.New(rows, cols)
-	xhat := tensor.New(rows, cols)
-	invStd := make([]float64, rows)
+	out := tensor.Shared.Get(rows, cols)
+	xhat := tensor.Shared.Get(rows, cols)
+	invStd := tensor.Shared.Get(1, rows)
 	for r := 0; r < rows; r++ {
 		src := a.T.Row(r)
 		mean := 0.0
@@ -298,89 +677,63 @@ func LayerNorm(a, gain, bias *Value, eps float64) *Value {
 		}
 		variance /= float64(cols)
 		inv := 1 / math.Sqrt(variance+eps)
-		invStd[r] = inv
+		invStd.Data[r] = inv
 		xh, dst := xhat.Row(r), out.Row(r)
 		for j, x := range src {
 			xh[j] = (x - mean) * inv
 			dst[j] = xh[j]*gain.T.Data[j] + bias.T.Data[j]
 		}
 	}
-	var v *Value
-	v = node(out, func() {
-		for r := 0; r < rows; r++ {
-			g := v.Grad.Row(r)
-			xh := xhat.Row(r)
-			if gain.requiresGrad {
-				for j := range g {
-					gain.Grad.Data[j] += g[j] * xh[j]
-					bias.Grad.Data[j] += g[j]
-				}
-			}
-			if a.requiresGrad {
-				// dxhat_j = g_j * gain_j
-				// dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * invStd
-				m1, m2 := 0.0, 0.0
-				for j := range g {
-					dxh := g[j] * gain.T.Data[j]
-					m1 += dxh
-					m2 += dxh * xh[j]
-				}
-				m1 /= float64(cols)
-				m2 /= float64(cols)
-				dst := a.Grad.Row(r)
-				for j := range g {
-					dxh := g[j] * gain.T.Data[j]
-					dst[j] += (dxh - m1 - xh[j]*m2) * invStd[r]
-				}
-			}
-		}
-	}, a, gain, bias)
+	v := newNode(opLayerNorm, out, a, gain, bias)
+	v.addAux(xhat)
+	v.addAux(invStd)
 	return v
 }
 
 // Embedding gathers rows of the v×d table W for the given token ids,
-// producing len(ids)×d. The backward pass scatter-adds.
+// producing len(ids)×d. The backward pass scatter-adds. ids is retained by
+// the node and must not be mutated until the graph is done.
 func Embedding(w *Value, ids []int) *Value {
 	d := w.T.Cols
-	out := tensor.New(len(ids), d)
+	out := tensor.Shared.Get(len(ids), d)
 	for i, id := range ids {
 		copy(out.Row(i), w.T.Row(id))
 	}
-	var v *Value
-	v = node(out, func() {
-		if !w.requiresGrad {
-			return
-		}
-		for i, id := range ids {
-			dst := w.Grad.Row(id)
-			src := v.Grad.Row(i)
-			for j, g := range src {
-				dst[j] += g
-			}
-		}
-	}, w)
+	v := newNode(opEmbedding, out, w, nil, nil)
+	v.ints = ids
 	return v
 }
 
 // SliceCols returns columns [from, to) as a new value.
 func SliceCols(a *Value, from, to int) *Value {
 	cols := to - from
-	out := tensor.New(a.T.Rows, cols)
+	out := tensor.Shared.Get(a.T.Rows, cols)
 	for i := 0; i < a.T.Rows; i++ {
 		copy(out.Row(i), a.T.Row(i)[from:to])
 	}
-	var v *Value
-	v = node(out, func() {
-		if !a.requiresGrad {
-			return
+	v := newNode(opSliceCols, out, a, nil, nil)
+	v.k1, v.k2 = from, to
+	return v
+}
+
+// newVariadic builds a concat node over parts.
+func newVariadic(op opcode, t *tensor.Tensor, parts []*Value) *Value {
+	v := valuePool.Get().(*Value)
+	v.T = t
+	v.op = op
+	v.nprev = 0
+	v.extra = append(v.extra[:0], parts...)
+	req := false
+	for _, p := range parts {
+		if p.requiresGrad {
+			req = true
+			break
 		}
-		for i := 0; i < a.T.Rows; i++ {
-			dst := a.Grad.Row(i)[from:to]
-			for j, g := range v.Grad.Row(i) {
-				dst[j] += g
-			}
-		}
-	}, a)
+	}
+	v.requiresGrad = req
+	if req {
+		v.Grad = tensor.Shared.Get(t.Rows, t.Cols)
+	}
 	return v
 }
 
@@ -394,7 +747,7 @@ func ConcatCols(parts ...*Value) *Value {
 		}
 		total += p.T.Cols
 	}
-	out := tensor.New(rows, total)
+	out := tensor.Shared.Get(rows, total)
 	off := 0
 	for _, p := range parts {
 		for i := 0; i < rows; i++ {
@@ -402,23 +755,7 @@ func ConcatCols(parts ...*Value) *Value {
 		}
 		off += p.T.Cols
 	}
-	var v *Value
-	v = node(out, func() {
-		off := 0
-		for _, p := range parts {
-			if p.requiresGrad {
-				for i := 0; i < rows; i++ {
-					src := v.Grad.Row(i)[off : off+p.T.Cols]
-					dst := p.Grad.Row(i)
-					for j, g := range src {
-						dst[j] += g
-					}
-				}
-			}
-			off += p.T.Cols
-		}
-	}, parts...)
-	return v
+	return newVariadic(opConcatCols, out, parts)
 }
 
 // ConcatRows concatenates values with equal column counts along rows.
@@ -431,7 +768,7 @@ func ConcatRows(parts ...*Value) *Value {
 		}
 		total += p.T.Rows
 	}
-	out := tensor.New(total, cols)
+	out := tensor.Shared.Get(total, cols)
 	off := 0
 	for _, p := range parts {
 		for i := 0; i < p.T.Rows; i++ {
@@ -439,56 +776,26 @@ func ConcatRows(parts ...*Value) *Value {
 		}
 		off += p.T.Rows
 	}
-	var v *Value
-	v = node(out, func() {
-		off := 0
-		for _, p := range parts {
-			if p.requiresGrad {
-				for i := 0; i < p.T.Rows; i++ {
-					src := v.Grad.Row(off + i)
-					dst := p.Grad.Row(i)
-					for j, g := range src {
-						dst[j] += g
-					}
-				}
-			}
-			off += p.T.Rows
-		}
-	}, parts...)
-	return v
+	return newVariadic(opConcatRows, out, parts)
 }
 
 // TransposeV returns aᵀ with gradient support.
 func TransposeV(a *Value) *Value {
-	out := tensor.Transpose(a.T)
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			tensor.AddInPlace(a.Grad, tensor.Transpose(v.Grad))
-		}
-	}, a)
-	return v
+	out := tensor.Shared.Get(a.T.Cols, a.T.Rows)
+	tensor.TransposeInto(out, a.T, false)
+	return newNode(opTranspose, out, a, nil, nil)
 }
 
 // GatherRows selects rows of a by index (duplicates allowed); backward
-// scatter-adds. It powers im2col for the convolutional encoder.
+// scatter-adds. It powers im2col for the convolutional encoder. idx is
+// retained by the node and must not be mutated until the graph is done.
 func GatherRows(a *Value, idx []int) *Value {
-	out := tensor.New(len(idx), a.T.Cols)
+	out := tensor.Shared.Get(len(idx), a.T.Cols)
 	for i, r := range idx {
 		copy(out.Row(i), a.T.Row(r))
 	}
-	var v *Value
-	v = node(out, func() {
-		if !a.requiresGrad {
-			return
-		}
-		for i, r := range idx {
-			dst := a.Grad.Row(r)
-			for j, g := range v.Grad.Row(i) {
-				dst[j] += g
-			}
-		}
-	}, a)
+	v := newNode(opGatherRows, out, a, nil, nil)
+	v.ints = idx
 	return v
 }
 
@@ -497,16 +804,9 @@ func Reshape(a *Value, rows, cols int) *Value {
 	if rows*cols != a.T.Rows*a.T.Cols {
 		panic(fmt.Sprintf("autograd: reshape %dx%d -> %dx%d", a.T.Rows, a.T.Cols, rows, cols))
 	}
-	out := tensor.FromSlice(rows, cols, append([]float64(nil), a.T.Data...))
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			for i, g := range v.Grad.Data {
-				a.Grad.Data[i] += g
-			}
-		}
-	}, a)
-	return v
+	out := tensor.Shared.Get(rows, cols)
+	copy(out.Data, a.T.Data)
+	return newNode(opReshape, out, a, nil, nil)
 }
 
 // GLU is the gated linear unit: split columns in half, out = a1 ⊙ σ(a2).
@@ -527,40 +827,40 @@ func Dropout(a *Value, p float64, rng *rand.Rand, train bool) *Value {
 		return a
 	}
 	keep := 1 - p
-	mask := tensor.New(a.T.Rows, a.T.Cols)
+	mask := tensor.Shared.Get(a.T.Rows, a.T.Cols)
 	for i := range mask.Data {
 		if rng.Float64() < keep {
 			mask.Data[i] = 1 / keep
 		}
 	}
-	return Mul(a, NewConst(mask))
+	out := tensor.Shared.Get(a.T.Rows, a.T.Cols)
+	for i, x := range a.T.Data {
+		out.Data[i] = x * mask.Data[i]
+	}
+	v := newNode(opDropout, out, a, nil, nil)
+	v.addAux(mask)
+	return v
 }
 
 // Mean returns the scalar mean of all elements.
 func Mean(a *Value) *Value {
 	n := float64(len(a.T.Data))
-	out := tensor.FromSlice(1, 1, []float64{a.T.Sum() / n})
-	var v *Value
-	v = node(out, func() {
-		if a.requiresGrad {
-			g := v.Grad.Data[0] / n
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += g
-			}
-		}
-	}, a)
-	return v
+	out := tensor.Shared.Get(1, 1)
+	out.Data[0] = a.T.Sum() / n
+	return newNode(opMean, out, a, nil, nil)
 }
 
 // CrossEntropy computes the mean token-level cross-entropy between logits
 // (n×v) and target class ids (len n). Targets equal to ignore are skipped
-// (padding). Returns a scalar.
+// (padding). Returns a scalar. targets is retained by the node and must
+// not be mutated until the graph is done.
 func CrossEntropy(logits *Value, targets []int, ignore int) *Value {
 	n, vocab := logits.T.Rows, logits.T.Cols
 	if len(targets) != n {
 		panic(fmt.Sprintf("autograd: cross-entropy %d logits vs %d targets", n, len(targets)))
 	}
-	probs := tensor.SoftmaxRows(logits.T)
+	probs := tensor.Shared.Get(n, vocab)
+	tensor.SoftmaxRowsInto(probs, logits.T)
 	loss := 0.0
 	count := 0
 	for i, t := range targets {
@@ -577,28 +877,12 @@ func CrossEntropy(logits *Value, targets []int, ignore int) *Value {
 	if count == 0 {
 		count = 1
 	}
-	out := tensor.FromSlice(1, 1, []float64{loss / float64(count)})
-	var v *Value
-	v = node(out, func() {
-		if !logits.requiresGrad {
-			return
-		}
-		scale := v.Grad.Data[0] / float64(count)
-		for i, t := range targets {
-			if t == ignore {
-				continue
-			}
-			dst := logits.Grad.Row(i)
-			src := probs.Row(i)
-			for j := range dst {
-				g := src[j]
-				if j == t {
-					g -= 1
-				}
-				dst[j] += g * scale
-			}
-		}
-	}, logits)
+	out := tensor.Shared.Get(1, 1)
+	out.Data[0] = loss / float64(count)
+	v := newNode(opCrossEntropy, out, logits, nil, nil)
+	v.ints = targets
+	v.k1, v.k2 = ignore, count
+	v.addAux(probs)
 	return v
 }
 
@@ -614,13 +898,28 @@ func Parameters(v *Value) []*Value {
 			return
 		}
 		seen[n] = true
-		if len(n.prev) == 0 && n.requiresGrad {
+		if n.op == opLeaf && n.nprev == 0 && len(n.extra) == 0 && n.requiresGrad {
 			out = append(out, n)
 		}
-		for _, p := range n.prev {
+		for i := 0; i < int(n.nprev); i++ {
+			visit(n.prev[i])
+		}
+		for _, p := range n.extra {
 			visit(p)
 		}
 	}
 	visit(v)
 	return out
+}
+
+func mustSameShape(op string, a, b *Value) {
+	if a.T.Rows != b.T.Rows || a.T.Cols != b.T.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.T.Rows, a.T.Cols, b.T.Rows, b.T.Cols))
+	}
+}
+
+func mustSameTensor(op string, a, b *tensor.Tensor) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
 }

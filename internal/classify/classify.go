@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/autograd"
@@ -85,14 +86,22 @@ func (c *Classifier) Logits(src []int, training bool, rng *rand.Rand) *autograd.
 // meanPoolRows averages the n×d encoder output into 1×d.
 func meanPoolRows(x *autograd.Value) *autograd.Value {
 	n := x.T.Rows
-	ones := autograd.NewConst(onesRow(n))
-	return autograd.Scale(autograd.MatMul(ones, x), 1/float64(n))
+	return autograd.Scale(autograd.MatMul(onesValue(n), x), 1/float64(n))
 }
 
-func onesRow(n int) *tensor.Tensor {
+// onesCache interns the constant 1×n all-ones rows used for mean pooling,
+// keyed by n (bounded by MaxLen). The values are read-only and shared
+// across concurrent forward passes; graph Free never touches leaves.
+var onesCache sync.Map
+
+func onesValue(n int) *autograd.Value {
+	if v, ok := onesCache.Load(n); ok {
+		return v.(*autograd.Value)
+	}
 	t := tensor.New(1, n)
 	t.Fill(1)
-	return t
+	v, _ := onesCache.LoadOrStore(n, autograd.NewConst(t))
+	return v.(*autograd.Value)
 }
 
 // PredictTopN returns the N most likely template statements for the next
@@ -104,6 +113,7 @@ func (c *Classifier) PredictTopN(src []int, n int) []string {
 	for _, i := range idx {
 		out = append(out, c.Classes[i])
 	}
+	autograd.Free(logits)
 	return out
 }
 
@@ -172,9 +182,11 @@ func Fit(c *Classifier, trainSet, valSet []Example, opts train.Options) (*Result
 				}
 				logits := c.Logits(src, true, rng)
 				loss := autograd.CrossEntropy(logits, []int{ex.Class}, -1)
-				autograd.Backward(autograd.Scale(loss, 1/float64(hi-bi)))
+				scaled := autograd.Scale(loss, 1/float64(hi-bi))
+				autograd.Backward(scaled)
 				sum += loss.T.Data[0]
 				count++
+				autograd.Free(scaled)
 			}
 			if opts.ClipNorm > 0 {
 				train.ClipGradNorm(params, opts.ClipNorm)
@@ -221,6 +233,7 @@ func EvaluateLoss(c *Classifier, set []Example, maxLen int) float64 {
 		logits := c.Logits(src, false, nil)
 		loss := autograd.CrossEntropy(logits, []int{ex.Class}, -1)
 		sum += loss.T.Data[0]
+		autograd.Free(loss)
 	}
 	return sum / float64(len(set))
 }

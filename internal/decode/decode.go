@@ -33,27 +33,57 @@ func (r Result) Normalized() float64 {
 	return r.LogProb / float64(n)
 }
 
-// encode runs the encoder once per decode call; all strategies share it.
-func encode(m seq2seq.Model, src []int) *autograd.Value {
-	return m.Encode(src, false, nil)
+// stepper owns the per-call decode state: the encoder output (shared by
+// every step) and reusable scratch for log-probabilities, the growing
+// prefix and top-k index selection. Each step's decoder graph is returned
+// to the shared pools immediately (keeping the encoder subgraph alive), so
+// the beam-search hot loop stops allocating once scratch has warmed up.
+// A stepper is single-goroutine state; concurrent decodes each build
+// their own.
+type stepper struct {
+	m      seq2seq.Model
+	enc    *autograd.Value
+	lp     []float64
+	prefix []int
+	topIdx []int
 }
 
-// stepLogProbs runs the decoder on the prefix and returns the log-softmax
-// of the next-token distribution.
-func stepLogProbs(m seq2seq.Model, enc *autograd.Value, prefix []int) []float64 {
-	logits := m.DecodeLogits(enc, prefix, false, nil)
-	row := logits.T.Row(logits.T.Rows - 1)
-	return logSoftmax(row)
+func newStepper(m seq2seq.Model, src []int) *stepper {
+	return &stepper{m: m, enc: m.Encode(src, false, nil)}
 }
+
+// logProbs runs the decoder on the prefix and returns the log-softmax of
+// the next-token distribution. The returned slice is scratch, valid until
+// the next call. The prefix is not retained.
+func (s *stepper) logProbs(prefix []int) []float64 {
+	logits := s.m.DecodeLogits(s.enc, prefix, false, nil)
+	row := logits.T.Row(logits.T.Rows - 1)
+	s.lp = logSoftmaxInto(s.lp, row)
+	autograd.Free(logits, s.enc)
+	return s.lp
+}
+
+// top returns the indices of the k largest log-probabilities, reusing the
+// stepper's index scratch. Valid until the next call.
+func (s *stepper) top(lp []float64, k int) []int {
+	t := tensor.FromSlice(1, len(lp), lp)
+	out := t.TopKRowInto(0, k, s.topIdx)
+	s.topIdx = out[:cap(out)]
+	return out
+}
+
+// close releases the encoder graph.
+func (s *stepper) close() { autograd.Free(s.enc) }
 
 // Greedy decodes with the argmax strategy until EOS or maxLen (paper:
 // fragment-set prediction uses greedy decoding).
 func Greedy(m seq2seq.Model, src []int, maxLen int) Result {
-	enc := encode(m, src)
-	prefix := []int{tokenizer.BOS}
+	st := newStepper(m, src)
+	defer st.close()
+	st.prefix = append(st.prefix[:0], tokenizer.BOS)
 	var res Result
 	for len(res.IDs) < maxLen {
-		lp := stepLogProbs(m, enc, prefix)
+		lp := st.logProbs(st.prefix)
 		best, bestLP := argmaxSkipping(lp)
 		res.LogProb += bestLP
 		if best == tokenizer.EOS {
@@ -61,7 +91,7 @@ func Greedy(m seq2seq.Model, src []int, maxLen int) Result {
 		}
 		res.IDs = append(res.IDs, best)
 		res.StepLogP = append(res.StepLogP, bestLP)
-		prefix = append(prefix, best)
+		st.prefix = append(st.prefix, best)
 	}
 	return res
 }
@@ -103,24 +133,28 @@ func DiverseBeam(m seq2seq.Model, src []int, maxLen, width int, penalty float64)
 	return beamSearch(m, src, maxLen, width, penalty)
 }
 
+type beamCand struct {
+	from  int
+	tok   int
+	logp  float64
+	total float64
+}
+
 func beamSearch(m seq2seq.Model, src []int, maxLen, width int, diversity float64) []Result {
-	enc := encode(m, src)
+	st := newStepper(m, src)
+	defer st.close()
 	beams := []beamHyp{{}}
 	var done []beamHyp
+	cands := make([]beamCand, 0, width*(width+3))
 	for step := 0; step < maxLen && len(beams) > 0; step++ {
-		type cand struct {
-			from  int
-			tok   int
-			logp  float64
-			total float64
-		}
-		var cands []cand
+		cands = cands[:0]
 		chosenCount := map[int]int{}
 		for bi, b := range beams {
-			prefix := append([]int{tokenizer.BOS}, b.ids...)
-			lp := stepLogProbs(m, enc, prefix)
+			st.prefix = append(st.prefix[:0], tokenizer.BOS)
+			st.prefix = append(st.prefix, b.ids...)
+			lp := st.logProbs(st.prefix)
 			// Top width+3 candidates per beam (skip specials except EOS).
-			order := topIndices(lp, width+3)
+			order := st.top(lp, width+3)
 			for _, tok := range order {
 				if tok == tokenizer.PAD || tok == tokenizer.BOS || tok == tokenizer.UNK {
 					continue
@@ -129,7 +163,7 @@ func beamSearch(m seq2seq.Model, src []int, maxLen, width int, diversity float64
 				if diversity > 0 {
 					score -= diversity * float64(chosenCount[tok])
 				}
-				cands = append(cands, cand{from: bi, tok: tok, logp: lp[tok], total: b.logp + score})
+				cands = append(cands, beamCand{from: bi, tok: tok, logp: lp[tok], total: b.logp + score})
 				if diversity > 0 {
 					chosenCount[tok]++
 				}
@@ -179,14 +213,15 @@ func beamSearch(m seq2seq.Model, src []int, maxLen, width int, diversity float64
 // zeroed (paper: "we set the probability of the tokens with a low score to
 // zero") and the rest renormalized before sampling.
 func Sample(m seq2seq.Model, src []int, maxLen, n int, minFrac float64, seed int64) []Result {
-	enc := encode(m, src)
+	st := newStepper(m, src)
+	defer st.close()
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]Result, 0, n)
 	for s := 0; s < n; s++ {
-		prefix := []int{tokenizer.BOS}
+		st.prefix = append(st.prefix[:0], tokenizer.BOS)
 		var res Result
 		for len(res.IDs) < maxLen {
-			lp := stepLogProbs(m, enc, prefix)
+			lp := st.logProbs(st.prefix)
 			tok, tokLP := sampleStep(lp, minFrac, rng)
 			res.LogProb += tokLP
 			if tok == tokenizer.EOS {
@@ -194,7 +229,7 @@ func Sample(m seq2seq.Model, src []int, maxLen, n int, minFrac float64, seed int
 			}
 			res.IDs = append(res.IDs, tok)
 			res.StepLogP = append(res.StepLogP, tokLP)
-			prefix = append(prefix, tok)
+			st.prefix = append(st.prefix, tok)
 		}
 		out = append(out, res)
 	}
@@ -238,13 +273,9 @@ func sampleStep(lp []float64, minFrac float64, rng *rand.Rand) (int, float64) {
 	return tok, tokLP
 }
 
-// topIndices returns the indices of the k largest values.
-func topIndices(vals []float64, k int) []int {
-	t := tensor.FromSlice(1, len(vals), vals)
-	return t.TopKRow(0, k)
-}
-
-func logSoftmax(row []float64) []float64 {
+// logSoftmaxInto writes the log-softmax of row into dst (grown as needed)
+// and returns it.
+func logSoftmaxInto(dst, row []float64) []float64 {
 	max := math.Inf(-1)
 	for _, v := range row {
 		if v > max {
@@ -256,9 +287,12 @@ func logSoftmax(row []float64) []float64 {
 		sum += math.Exp(v - max)
 	}
 	lse := max + math.Log(sum)
-	out := make([]float64, len(row))
-	for i, v := range row {
-		out[i] = v - lse
+	if cap(dst) < len(row) {
+		dst = make([]float64, len(row))
 	}
-	return out
+	dst = dst[:len(row)]
+	for i, v := range row {
+		dst[i] = v - lse
+	}
+	return dst
 }

@@ -212,7 +212,7 @@ func TestSampleZeroesLowScores(t *testing.T) {
 }
 
 func TestLogSoftmaxNormalizes(t *testing.T) {
-	lp := logSoftmax([]float64{1, 2, 3, 1000})
+	lp := logSoftmaxInto(nil, []float64{1, 2, 3, 1000})
 	sum := 0.0
 	for _, v := range lp {
 		sum += math.Exp(v)

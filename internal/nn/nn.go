@@ -124,11 +124,7 @@ func (p *PositionalEncoding) Add(x *autograd.Value, offset int) *autograd.Value 
 	if offset+n > p.table.Rows {
 		panic(fmt.Sprintf("nn: sequence length %d exceeds positional table %d", offset+n, p.table.Rows))
 	}
-	slice := tensor.New(n, x.T.Cols)
-	for i := 0; i < n; i++ {
-		copy(slice.Row(i), p.table.Row(offset+i))
-	}
-	return autograd.Add(x, autograd.NewConst(slice))
+	return autograd.AddTableRows(x, p.table, offset)
 }
 
 // LayerNorm is a learned row normalization.
@@ -186,18 +182,14 @@ func (a *MultiHeadAttention) Forward(q, kv *autograd.Value, mask *tensor.Tensor)
 	V := a.Wv.Forward(kv)
 	scale := 1 / math.Sqrt(float64(a.Dk))
 	heads := make([]*autograd.Value, a.Heads)
-	var maskV *autograd.Value
-	if mask != nil {
-		maskV = autograd.NewConst(mask)
-	}
 	for h := 0; h < a.Heads; h++ {
 		lo, hi := h*a.Dk, (h+1)*a.Dk
 		qh := autograd.SliceCols(Q, lo, hi)
 		kh := autograd.SliceCols(K, lo, hi)
 		vh := autograd.SliceCols(V, lo, hi)
 		scores := autograd.Scale(autograd.MatMul(qh, TransposeValue(kh)), scale)
-		if maskV != nil {
-			scores = autograd.Add(scores, maskV)
+		if mask != nil {
+			scores = autograd.AddConst(scores, mask)
 		}
 		attn := autograd.SoftmaxRows(scores)
 		heads[h] = autograd.MatMul(attn, vh)
@@ -252,11 +244,16 @@ type ConvGLU struct {
 	Causal bool // decoder blocks look only left
 	Proj   *Linear
 	D      int
+
+	zeroRow *autograd.Value // shared 1×d zero-pad row (constant, read-only)
 }
 
 // NewConvGLU allocates a conv block for model width d and kernel width k.
 func NewConvGLU(d, k int, causal bool, rng *rand.Rand) *ConvGLU {
-	return &ConvGLU{K: k, Causal: causal, Proj: NewLinear(k*d, 2*d, rng), D: d}
+	return &ConvGLU{
+		K: k, Causal: causal, Proj: NewLinear(k*d, 2*d, rng), D: d,
+		zeroRow: autograd.NewConst(tensor.New(1, d)),
+	}
 }
 
 // Forward convolves x (n×d) to (n×d) with GLU gating and residual. The
@@ -266,7 +263,7 @@ func (c *ConvGLU) Forward(x *autograd.Value) *autograd.Value {
 	n, d := x.T.Rows, x.T.Cols
 	// Pad with a zero row appended at index n (gathered for out-of-range
 	// positions).
-	padded := autograd.ConcatRows(x, autograd.NewConst(tensor.New(1, d)))
+	padded := autograd.ConcatRows(x, c.zeroRow)
 	idx := make([]int, 0, n*c.K)
 	for i := 0; i < n; i++ {
 		for o := 0; o < c.K; o++ {
@@ -295,10 +292,19 @@ func (c *ConvGLU) Params() []Param { return prefix("proj", c.Proj.Params()) }
 // positions.
 func CausalMask(n int) *tensor.Tensor {
 	m := tensor.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			m.Set(i, j, -1e9)
+	FillCausalMask(m)
+	return m
+}
+
+// FillCausalMask writes the causal pattern into an existing (zeroed) n×n
+// tensor, so decode hot loops can build the mask in a pooled buffer: masks
+// are consumed eagerly by attention (autograd.AddConst), making it safe to
+// return the buffer to the pool as soon as the layer graph is built.
+func FillCausalMask(m *tensor.Tensor) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := i + 1; j < m.Rows; j++ {
+			row[j] = -1e9
 		}
 	}
-	return m
 }

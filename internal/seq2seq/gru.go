@@ -23,6 +23,8 @@ type gruModel struct {
 	// attnOut mixes [h; context] back to d before the vocab projection.
 	attnOut *nn.Linear
 	out     *nn.Linear
+
+	zeroH *autograd.Value // shared constant 1×d initial hidden state
 }
 
 // gruCell holds the three gates' projections: x-side (with bias) and
@@ -76,6 +78,7 @@ func newGRU(cfg Config, rng *rand.Rand) *gruModel {
 		decCell: newGRUCell(cfg.DModel, rng),
 		attnOut: nn.NewLinear(2*cfg.DModel, cfg.DModel, rng),
 		out:     nn.NewLinear(cfg.DModel, cfg.Vocab, rng),
+		zeroH:   autograd.NewConst(tensor.New(1, cfg.DModel)),
 	}
 }
 
@@ -84,7 +87,7 @@ func (m *gruModel) Config() Config { return m.cfg }
 func (m *gruModel) Encode(src []int, train bool, rng *rand.Rand) *autograd.Value {
 	emb := m.srcEmb.Forward(src)
 	emb = autograd.Dropout(emb, m.cfg.Dropout, rng, train)
-	h := autograd.NewConst(tensor.New(1, m.cfg.DModel))
+	h := m.zeroH
 	states := make([]*autograd.Value, len(src))
 	for i := range src {
 		h = m.encCell.step(rowOf(emb, i), h)

@@ -93,6 +93,33 @@ func New(cfg Config, seed int64) (Model, error) {
 	}
 }
 
+// Replicate builds a weight-sharing replica of m for data-parallel
+// training: the replica's parameter Values point at the ORIGINAL weight
+// tensors (zero copy, always in sync) but own private gradient buffers, so
+// concurrent backward passes never race. Only gradients may be read from a
+// replica; optimizer steps must run on the original.
+func Replicate(m Model) (Model, error) {
+	rep, err := New(m.Config(), 0)
+	if err != nil {
+		return nil, err
+	}
+	byName, err := nn.ByName(m.Params())
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range rep.Params() {
+		orig, ok := byName[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("seq2seq: replica parameter %q missing from original", p.Name)
+		}
+		if !p.V.T.SameShape(orig.T) {
+			return nil, fmt.Errorf("seq2seq: replica parameter %q shape mismatch", p.Name)
+		}
+		p.V.T = orig.T
+	}
+	return rep, nil
+}
+
 // CountParams sums the element counts of all trainable tensors (Table 3's
 // parameter counts).
 func CountParams(m nn.Module) int {

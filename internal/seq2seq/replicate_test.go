@@ -1,0 +1,61 @@
+package seq2seq
+
+import (
+	"testing"
+
+	"repro/internal/autograd"
+)
+
+// TestReplicateSharesWeightsNotGrads: a replica must alias the original's
+// weight tensors (so optimizer steps are visible to every worker) while
+// keeping its own gradient buffers (so concurrent backward passes don't
+// race), and must compute identical outputs.
+func TestReplicateSharesWeightsNotGrads(t *testing.T) {
+	for _, arch := range []Arch{Transformer, ConvS2S, GRU} {
+		m, err := New(tinyCfg(arch), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Replicate(m)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		mp, rp := m.Params(), rep.Params()
+		if len(mp) != len(rp) {
+			t.Fatalf("%s: param count %d vs %d", arch, len(mp), len(rp))
+		}
+		for i := range mp {
+			if mp[i].Name != rp[i].Name {
+				t.Fatalf("%s: param order differs: %s vs %s", arch, mp[i].Name, rp[i].Name)
+			}
+			if mp[i].V.T != rp[i].V.T {
+				t.Fatalf("%s: %s weight tensor not shared", arch, mp[i].Name)
+			}
+			if mp[i].V == rp[i].V {
+				t.Fatalf("%s: %s Value shared (grads would race)", arch, mp[i].Name)
+			}
+			if mp[i].V.Grad == rp[i].V.Grad {
+				t.Fatalf("%s: %s grad buffer shared", arch, mp[i].Name)
+			}
+		}
+
+		src := []int{1, 5, 6, 7, 2}
+		tgt := []int{1, 5, 6}
+		a := m.DecodeLogits(m.Encode(src, false, nil), tgt, false, nil)
+		b := rep.DecodeLogits(rep.Encode(src, false, nil), tgt, false, nil)
+		for i := range a.T.Data {
+			if a.T.Data[i] != b.T.Data[i] {
+				t.Fatalf("%s: replica logits differ at %d", arch, i)
+			}
+		}
+		autograd.Free(a)
+		autograd.Free(b)
+
+		// A weight update through the original must be visible to the
+		// replica (same backing array).
+		mp[0].V.T.Data[0] += 1
+		if rp[0].V.T.Data[0] != mp[0].V.T.Data[0] {
+			t.Fatalf("%s: weight update not visible through replica", arch)
+		}
+	}
+}

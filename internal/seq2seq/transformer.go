@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/autograd"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // transformerModel is the standard encoder-decoder transformer, pre-LN by
@@ -88,7 +89,11 @@ func (m *transformerModel) Encode(src []int, train bool, rng *rand.Rand) *autogr
 func (m *transformerModel) DecodeLogits(enc *autograd.Value, tgtIn []int, train bool, rng *rand.Rand) *autograd.Value {
 	x := m.pos.Add(m.tgtEmb.Forward(tgtIn), 0)
 	x = autograd.Dropout(x, m.cfg.Dropout, rng, train)
-	mask := nn.CausalMask(len(tgtIn))
+	// Pooled mask: attention consumes it eagerly, so it goes back to the
+	// pool when this function returns.
+	mask := tensor.Shared.Get(len(tgtIn), len(tgtIn))
+	defer tensor.Shared.Put(mask)
+	nn.FillCausalMask(mask)
 	for _, b := range m.decBlocks {
 		if m.cfg.PostLN {
 			x = b.ln1.Forward(autograd.Add(x, b.self.Forward(x, x, mask)))

@@ -1,0 +1,270 @@
+// GEMM kernels: cache-blocked loops with goroutine row-partitioning above
+// a work threshold, plus transpose-free variants so autograd backward
+// passes never materialize aᵀ or bᵀ.
+//
+// Determinism is a hard contract here, not an aspiration: every output
+// element accumulates its k-products in ascending-k order no matter how
+// the rows are blocked or partitioned, so results are bit-identical for
+// any GOMAXPROCS. (Workers own disjoint output rows; blocking only
+// re-orders *which* element is updated next, never the order of updates
+// *within* an element.) The training loop's bit-for-bit checkpoint/resume
+// guarantee leans on this.
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// gemmBlockK is the k-tile: one tile of b (gemmBlockK rows) is streamed
+	// against a band of output rows before moving on, keeping it hot in
+	// cache when the shared dimension is large.
+	gemmBlockK = 128
+	// gemmParallelFlops is the n*m*p product above which a GEMM fans out
+	// across goroutines. Below it the spawn cost dwarfs the work.
+	gemmParallelFlops = 1 << 15
+	// parallelMinWork is the per-worker element floor for ParallelRange.
+	parallelMinWork = 1 << 12
+)
+
+var (
+	gemmSerial   atomic.Uint64
+	gemmParallel atomic.Uint64
+)
+
+// KernelStats counts GEMM dispatches since process start.
+type KernelStats struct {
+	SerialGEMM, ParallelGEMM uint64
+}
+
+// Kernels snapshots the dispatch counters.
+func Kernels() KernelStats {
+	return KernelStats{SerialGEMM: gemmSerial.Load(), ParallelGEMM: gemmParallel.Load()}
+}
+
+// gemmWorkers picks the worker count for a kernel over n output rows and
+// the given total flops. Returns 1 when parallelism isn't worth it.
+func gemmWorkers(n, flops int) int {
+	if flops < gemmParallelFlops || n < 2 {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	// Don't split below ~the threshold of work per worker.
+	if max := flops / gemmParallelFlops; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// rowBand returns the half-open row range of worker w when n rows are
+// split across workers contiguous bands (first n%workers bands get one
+// extra row).
+func rowBand(n, workers, w int) (int, int) {
+	base, rem := n/workers, n%workers
+	lo := w*base + min(w, rem)
+	hi := lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// dispatchRows runs fn over [0,n) either inline or across worker bands.
+func dispatchRows(n, flops int, fn func(lo, hi int)) {
+	workers := gemmWorkers(n, flops)
+	if workers == 1 {
+		gemmSerial.Add(1)
+		fn(0, n)
+		return
+	}
+	gemmParallel.Add(1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := rowBand(n, workers, w)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulInto computes out = a @ b, or out += a @ b when accumulate is set.
+// Blocked over k and row-partitioned across goroutines for large shapes;
+// output is bit-identical regardless of parallelism.
+func MatMulInto(out, a, b *Tensor, accumulate bool) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape %dx%d @ %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	n, m, p := a.Rows, a.Cols, b.Cols
+	dispatchRows(n, n*m*p, func(lo, hi int) {
+		matMulRange(out, a, b, accumulate, lo, hi)
+	})
+}
+
+// matMulRange computes output rows [i0,i1) with an ikj kernel tiled over
+// k. For each element the k-products accumulate in ascending k order.
+func matMulRange(out, a, b *Tensor, accumulate bool, i0, i1 int) {
+	m, p := a.Cols, b.Cols
+	if !accumulate {
+		clear(out.Data[i0*p : i1*p])
+	}
+	for kb := 0; kb < m; kb += gemmBlockK {
+		kend := kb + gemmBlockK
+		if kend > m {
+			kend = m
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Data[i*m : (i+1)*m]
+			orow := out.Data[i*p : (i+1)*p]
+			for k := kb; k < kend; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b.Data[k*p : (k+1)*p]
+				for j, bv := range brow {
+					orow[j] += aik * bv
+				}
+			}
+		}
+	}
+}
+
+// MatMulATInto computes out = aᵀ @ b (out += with accumulate) without
+// materializing aᵀ: a is k×m, b is k×p, out is m×p. This is the dB shape
+// of a matmul backward pass.
+func MatMulATInto(out, a, b *Tensor, accumulate bool) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul-at shape (%dx%d)ᵀ @ %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	kdim, m, p := a.Rows, a.Cols, b.Cols
+	dispatchRows(m, kdim*m*p, func(lo, hi int) {
+		matMulATRange(out, a, b, accumulate, lo, hi)
+	})
+}
+
+// matMulATRange computes output rows [i0,i1) of aᵀ@b. Loop order is
+// k-outer so both a and b stream row-major; each element still sums in
+// ascending k order.
+func matMulATRange(out, a, b *Tensor, accumulate bool, i0, i1 int) {
+	kdim, m, p := a.Rows, a.Cols, b.Cols
+	if !accumulate {
+		clear(out.Data[i0*p : i1*p])
+	}
+	for k := 0; k < kdim; k++ {
+		arow := a.Data[k*m : (k+1)*m]
+		brow := b.Data[k*p : (k+1)*p]
+		for i := i0; i < i1; i++ {
+			aki := arow[i]
+			if aki == 0 {
+				continue
+			}
+			orow := out.Data[i*p : (i+1)*p]
+			for j, bv := range brow {
+				orow[j] += aki * bv
+			}
+		}
+	}
+}
+
+// MatMulBTInto computes out = a @ bᵀ (out += with accumulate) without
+// materializing bᵀ: a is n×p, b is m×p, out is n×m. This is the dA shape
+// of a matmul backward pass. Each element is a dot product of two rows,
+// accumulated in ascending index order.
+func MatMulBTInto(out, a, b *Tensor, accumulate bool) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul-bt shape %dx%d @ (%dx%d)ᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	n, p, m := a.Rows, a.Cols, b.Rows
+	dispatchRows(n, n*m*p, func(lo, hi int) {
+		matMulBTRange(out, a, b, accumulate, lo, hi)
+	})
+}
+
+func matMulBTRange(out, a, b *Tensor, accumulate bool, i0, i1 int) {
+	p, m := a.Cols, b.Rows
+	for i := i0; i < i1; i++ {
+		arow := a.Data[i*p : (i+1)*p]
+		orow := out.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			brow := b.Data[j*p : (j+1)*p]
+			s := 0.0
+			for t, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s += av * brow[t]
+			}
+			if accumulate {
+				orow[j] += s
+			} else {
+				orow[j] = s
+			}
+		}
+	}
+}
+
+// TransposeInto writes aᵀ into out (out += aᵀ with accumulate).
+func TransposeInto(out, a *Tensor, accumulate bool) {
+	if out.Rows != a.Cols || out.Cols != a.Rows {
+		panic(fmt.Sprintf("tensor: transpose %dx%d -> %dx%d", a.Rows, a.Cols, out.Rows, out.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		if accumulate {
+			for j, v := range arow {
+				out.Data[j*a.Rows+i] += v
+			}
+		} else {
+			for j, v := range arow {
+				out.Data[j*a.Rows+i] = v
+			}
+		}
+	}
+}
+
+// ParallelRange splits [0,n) into contiguous per-worker chunks and runs fn
+// on each, inline when the work is too small to fan out. fn(lo,hi) calls
+// must be independent: each index is owned by exactly one worker, so any
+// per-index computation is bit-identical regardless of GOMAXPROCS. minWork
+// <= 0 uses a default element floor.
+func ParallelRange(n, minWork int, fn func(lo, hi int)) {
+	if minWork <= 0 {
+		minWork = parallelMinWork
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if w := n / minWork; workers > w {
+		workers = w
+	}
+	if workers <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := rowBand(n, workers, w)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

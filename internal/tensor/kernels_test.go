@@ -1,0 +1,293 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// naiveMatMul is the trusted reference: plain ikj with the same zero-skip
+// and ascending-k accumulation the production kernels promise. The blocked
+// and parallel kernels must match it bit-for-bit, not approximately.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	out := New(a.Rows, b.Cols)
+	naiveMatMulAcc(out, a, b)
+	return out
+}
+
+// naiveMatMulAcc adds a@b into out, accumulating each element's k-products
+// in ascending order on top of whatever out already holds — the same
+// element-wise order the accumulate variants of the kernels promise.
+func naiveMatMulAcc(out, a, b *Tensor) {
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*b.Cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+}
+
+func randTensor(rng *rand.Rand, rows, cols int) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		// Sprinkle exact zeros so the zero-skip path is exercised.
+		if rng.Intn(8) == 0 {
+			continue
+		}
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func assertExact(t *testing.T, what string, got, want *Tensor) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", what, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v", what, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestMatMulKernelsMatchNaive drives all three kernels over random shapes
+// — including degenerate (0-row, 1×1) and skewed (tall, wide) ones, and
+// shapes large enough to cross the k-blocking and parallel thresholds —
+// asserting exact equality with the naive reference.
+func TestMatMulKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{
+		{0, 3, 4}, {3, 0, 4}, {3, 4, 0}, {1, 1, 1},
+		{1, 300, 1}, {300, 1, 5}, {2, 5, 200},
+		{7, 13, 11}, {64, 64, 64}, {33, 200, 17}, {5, 513, 9},
+	}
+	for _, s := range shapes {
+		n, m, p := s[0], s[1], s[2]
+		a := randTensor(rng, n, m)
+		b := randTensor(rng, m, p)
+		want := naiveMatMul(a, b)
+
+		got := New(n, p)
+		MatMulInto(got, a, b, false)
+		assertExact(t, "matmul", got, want)
+
+		// Accumulate: out += a@b on top of a random base, k-products added
+		// in ascending order on top of the base (not compute-then-add,
+		// which would round differently).
+		base := randTensor(rng, n, p)
+		acc := base.Clone()
+		MatMulInto(acc, a, b, true)
+		wantAcc := base.Clone()
+		naiveMatMulAcc(wantAcc, a, b)
+		assertExact(t, "matmul-acc", acc, wantAcc)
+
+		// xᵀ@y without materializing xᵀ must equal naive(transpose(x), y).
+		// x is k×m here (k=m of the shape triple), y is k×p.
+		xat := randTensor(rng, m, n)
+		yat := randTensor(rng, m, p)
+		gotAT := New(n, p)
+		MatMulATInto(gotAT, xat, yat, false)
+		assertExact(t, "matmul-at", gotAT, naiveMatMul(Transpose(xat), yat))
+
+		// x@yᵀ without materializing yᵀ. MatMulBTInto accumulates each
+		// element as a row-dot in ascending index order, which is the same
+		// order naive uses, so equality is exact here too.
+		xbt := randTensor(rng, n, m)
+		ybt := randTensor(rng, p, m)
+		gotBT := New(n, p)
+		MatMulBTInto(gotBT, xbt, ybt, false)
+		assertExact(t, "matmul-bt", gotBT, naiveMatMul(xbt, Transpose(ybt)))
+	}
+}
+
+// TestTransposeInto checks both plain and accumulating transpose.
+func TestTransposeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randTensor(rng, 5, 9)
+	out := New(9, 5)
+	TransposeInto(out, a, false)
+	assertExact(t, "transpose", out, Transpose(a))
+
+	base := randTensor(rng, 9, 5)
+	acc := base.Clone()
+	TransposeInto(acc, a, true)
+	want := Add(base, Transpose(a))
+	assertExact(t, "transpose-acc", acc, want)
+}
+
+// TestParallelGEMMBitIdentical is the determinism contract: the same
+// multiplication under GOMAXPROCS=1 and under forced multi-worker
+// dispatch must produce bit-identical output.
+func TestParallelGEMMBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// 96³ = 884736 flops, far above gemmParallelFlops.
+	a := randTensor(rng, 96, 96)
+	b := randTensor(rng, 96, 96)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := New(96, 96)
+	MatMulInto(serial, a, b, false)
+	runtime.GOMAXPROCS(8) // more Ps than cores is fine; forces fan-out
+	parallel := New(96, 96)
+	before := Kernels()
+	MatMulInto(parallel, a, b, false)
+	after := Kernels()
+	runtime.GOMAXPROCS(prev)
+
+	if after.ParallelGEMM == before.ParallelGEMM {
+		t.Fatal("large GEMM did not take the parallel path")
+	}
+	assertExact(t, "parallel vs serial", parallel, serial)
+}
+
+// TestConcurrentGEMM hammers the kernels from many goroutines (meaningful
+// under -race): shared read-only inputs, disjoint outputs.
+func TestConcurrentGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randTensor(rng, 64, 64)
+	b := randTensor(rng, 64, 64)
+	want := naiveMatMul(a, b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := New(64, 64)
+			for i := 0; i < 5; i++ {
+				MatMulInto(out, a, b, false)
+			}
+			assertExact(t, "concurrent", out, want)
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRowBandPartition checks the partition is exact: every row assigned
+// to exactly one band, bands contiguous and balanced within one row.
+func TestRowBandPartition(t *testing.T) {
+	for n := 0; n < 40; n++ {
+		for workers := 1; workers <= 9; workers++ {
+			seen := make([]int, n)
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := rowBand(n, workers, w)
+				if lo != prevHi {
+					t.Fatalf("n=%d workers=%d band %d starts at %d, want %d", n, workers, w, lo, prevHi)
+				}
+				if sz := hi - lo; sz < n/workers || sz > n/workers+1 {
+					t.Fatalf("n=%d workers=%d band %d size %d unbalanced", n, workers, w, sz)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d workers=%d bands cover %d rows", n, workers, prevHi)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d row %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRangeCoversOnce forces fan-out and verifies each index is
+// visited exactly once.
+func TestParallelRangeCoversOnce(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const n = 10000
+	var mu sync.Mutex
+	counts := make([]int, n)
+	ParallelRange(n, 16, func(lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := lo; i < hi; i++ {
+			counts[i]++
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestSoftmaxRowsInPlace checks the in-place variant matches the
+// allocating one exactly.
+func TestSoftmaxRowsInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randTensor(rng, 17, 33)
+	want := SoftmaxRows(a)
+	SoftmaxRowsInto(a, a)
+	assertExact(t, "softmax in-place", a, want)
+}
+
+// TestTopKRowInto checks scratch reuse returns the same selection as the
+// allocating variant.
+func TestTopKRowInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randTensor(rng, 3, 50)
+	var scratch []int
+	for i := 0; i < 3; i++ {
+		want := a.TopKRow(i, 7)
+		got := a.TopKRowInto(i, 7, scratch)
+		scratch = got[:cap(got)]
+		if len(got) != len(want) {
+			t.Fatalf("row %d: %d indices, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d rank %d: %d != %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) { benchGEMM(b, 128, 128, 128) }
+
+func benchGEMM(b *testing.B, n, m, p int) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, n, m)
+	y := randTensor(rng, m, p)
+	out := New(n, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, y, false)
+	}
+}
+
+func BenchmarkMatMulAT64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 64, 64)
+	y := randTensor(rng, 64, 64)
+	out := New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulATInto(out, x, y, true)
+	}
+}
+
+func BenchmarkMatMulBT64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 64, 64)
+	y := randTensor(rng, 64, 64)
+	out := New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulBTInto(out, x, y, true)
+	}
+}

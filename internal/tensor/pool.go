@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a workspace arena for scratch tensors. Get hands out a zeroed
+// rows×cols tensor whose backing array comes from a power-of-two size
+// class; Put returns a tensor for reuse. The pool is safe for concurrent
+// use (each size class is a sync.Pool, so steady-state Get/Put is mostly
+// lock-free and idle buffers are released to the GC).
+//
+// Reuse never changes numerics: Get zeroes the handed-out region, so a
+// pooled buffer is indistinguishable from a fresh allocation.
+//
+// Ownership is explicit: a tensor passed to Put must not be used again by
+// the caller. Tensors from Get may be kept forever (never Put) — the pool
+// simply allocates replacements.
+type Pool struct {
+	classes [poolMaxClass]sync.Pool
+
+	gets   atomic.Uint64
+	puts   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// poolMaxClass bounds pooled buffers at 2^25 floats (256 MiB); larger
+// requests fall through to plain allocation.
+const poolMaxClass = 26
+
+// Shared is the process-wide scratch pool used by the autograd graph, the
+// training loop and the decode hot path.
+var Shared = NewPool()
+
+// NewPool returns an empty arena.
+func NewPool() *Pool { return &Pool{} }
+
+// sizeClass returns the smallest class whose capacity (1<<class) holds n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a zeroed rows×cols tensor, reusing a pooled buffer when one
+// of a sufficient size class is available.
+func (p *Pool) Get(rows, cols int) *Tensor {
+	p.gets.Add(1)
+	n := rows * cols
+	class := sizeClass(n)
+	if class >= poolMaxClass {
+		p.misses.Add(1)
+		return New(rows, cols)
+	}
+	item := p.classes[class].Get()
+	if item == nil {
+		p.misses.Add(1)
+		return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, n, 1<<class)}
+	}
+	t := item.(*Tensor)
+	t.Rows, t.Cols = rows, cols
+	t.Data = t.Data[:cap(t.Data)][:n]
+	clear(t.Data)
+	return t
+}
+
+// Put returns a tensor to the arena. Tensors too large for any class (or
+// with no capacity) are dropped for the GC to collect.
+func (p *Pool) Put(t *Tensor) {
+	if t == nil || cap(t.Data) == 0 {
+		return
+	}
+	// Floor class: the stored buffer must genuinely hold 1<<class floats.
+	class := bits.Len(uint(cap(t.Data))) - 1
+	if class >= poolMaxClass {
+		return
+	}
+	p.puts.Add(1)
+	p.classes[class].Put(t)
+}
+
+// PoolStats is a snapshot of arena traffic. Misses count Gets that had to
+// allocate; a warm steady state shows Gets ≈ Puts with few misses.
+type PoolStats struct {
+	Gets, Puts, Misses uint64
+}
+
+// Stats snapshots the counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Gets: p.gets.Load(), Puts: p.puts.Load(), Misses: p.misses.Load()}
+}

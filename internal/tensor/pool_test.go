@@ -1,0 +1,104 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolGetIsZeroed: reuse must be numerically invisible — a recycled
+// buffer comes back zeroed even when the previous user dirtied it.
+func TestPoolGetIsZeroed(t *testing.T) {
+	p := NewPool()
+	a := p.Get(4, 4)
+	a.Fill(3.5)
+	p.Put(a)
+	b := p.Get(4, 4)
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("recycled element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestPoolReshapesAcrossClasses: a buffer serves any shape that fits its
+// size class, and undersized buffers are never handed out.
+func TestPoolReshapesAcrossClasses(t *testing.T) {
+	p := NewPool()
+	a := p.Get(8, 8) // 64 floats, class 6
+	p.Put(a)
+	b := p.Get(2, 32) // 64 floats, same class — should reuse
+	if b.Rows != 2 || b.Cols != 32 || len(b.Data) != 64 {
+		t.Fatalf("got %dx%d len %d", b.Rows, b.Cols, len(b.Data))
+	}
+	st := p.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (second Get should reuse)", st.Misses)
+	}
+
+	// A larger request must not receive the small buffer.
+	p.Put(b)
+	c := p.Get(16, 16) // 256 floats, class 8
+	if len(c.Data) != 256 {
+		t.Fatalf("len %d, want 256", len(c.Data))
+	}
+	for i := range c.Data {
+		if c.Data[i] != 0 {
+			t.Fatalf("oversize get not zeroed at %d", i)
+		}
+	}
+}
+
+// TestPoolStats: counters move as documented.
+func TestPoolStats(t *testing.T) {
+	p := NewPool()
+	x := p.Get(3, 3)
+	y := p.Get(3, 3)
+	p.Put(x)
+	p.Put(y)
+	p.Get(3, 3)
+	st := p.Stats()
+	if st.Gets != 3 || st.Puts != 2 {
+		t.Fatalf("stats %+v, want 3 gets / 2 puts", st)
+	}
+	if st.Misses < 2 || st.Misses > 3 {
+		t.Fatalf("misses = %d, want 2 (first two) or 3 (sync.Pool may drop)", st.Misses)
+	}
+}
+
+// TestPoolPutEdgeCases: nil, empty and zero-capacity tensors are dropped
+// without panicking.
+func TestPoolPutEdgeCases(t *testing.T) {
+	p := NewPool()
+	p.Put(nil)
+	p.Put(New(0, 5))
+	p.Put(&Tensor{})
+	z := p.Get(0, 7)
+	if z.Rows != 0 || z.Cols != 7 || len(z.Data) != 0 {
+		t.Fatalf("zero-row get: %dx%d len %d", z.Rows, z.Cols, len(z.Data))
+	}
+}
+
+// TestPoolConcurrent hammers Get/Put from many goroutines (meaningful
+// under -race) and checks every handout is zeroed.
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tn := p.Get(1+g%4, 8)
+				for j, v := range tn.Data {
+					if v != 0 {
+						t.Errorf("dirty element %d", j)
+						return
+					}
+				}
+				tn.Fill(float64(g + 1))
+				p.Put(tn)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -75,29 +75,6 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulInto computes out = a @ b, or out += a @ b when accumulate is set.
-// The ikj loop order keeps the inner loop cache-friendly.
-func MatMulInto(out, a, b *Tensor, accumulate bool) {
-	if !accumulate {
-		out.Zero()
-	}
-	n, m, p := a.Rows, a.Cols, b.Cols
-	for i := 0; i < n; i++ {
-		arow := a.Data[i*m : (i+1)*m]
-		orow := out.Data[i*p : (i+1)*p]
-		for k := 0; k < m; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.Data[k*p : (k+1)*p]
-			for j := 0; j < p; j++ {
-				orow[j] += aik * brow[j]
-			}
-		}
-	}
-}
-
 // Transpose returns aᵀ as a new tensor.
 func Transpose(a *Tensor) *Tensor {
 	out := New(a.Cols, a.Rows)
@@ -181,26 +158,41 @@ func AddRowBroadcast(a, row *Tensor) *Tensor {
 // SoftmaxRows applies a numerically-stable softmax to each row.
 func SoftmaxRows(a *Tensor) *Tensor {
 	out := New(a.Rows, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		src, dst := a.Row(i), out.Row(i)
-		max := math.Inf(-1)
-		for _, v := range src {
-			if v > max {
-				max = v
+	SoftmaxRowsInto(out, a)
+	return out
+}
+
+// SoftmaxRowsInto writes the row-wise softmax of a into out (which may be
+// a itself for an in-place transform). Rows are partitioned across
+// goroutines when large; each row is computed by exactly one worker so the
+// result is bit-identical regardless of parallelism.
+func SoftmaxRowsInto(out, a *Tensor) {
+	mustSame("softmax", a, out)
+	cols := a.Cols
+	if cols == 0 {
+		return
+	}
+	ParallelRange(a.Rows, parallelMinWork/cols+1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src, dst := a.Row(i), out.Row(i)
+			max := math.Inf(-1)
+			for _, v := range src {
+				if v > max {
+					max = v
+				}
+			}
+			sum := 0.0
+			for j, v := range src {
+				e := math.Exp(v - max)
+				dst[j] = e
+				sum += e
+			}
+			inv := 1.0 / sum
+			for j := range dst {
+				dst[j] *= inv
 			}
 		}
-		sum := 0.0
-		for j, v := range src {
-			e := math.Exp(v - max)
-			dst[j] = e
-			sum += e
-		}
-		inv := 1.0 / sum
-		for j := range dst {
-			dst[j] *= inv
-		}
-	}
-	return out
+	})
 }
 
 // ArgMaxRow returns the index of the maximum element in row i.
@@ -218,11 +210,22 @@ func (t *Tensor) ArgMaxRow(i int) int {
 // TopKRow returns the indices of the k largest elements of row i, in
 // descending value order.
 func (t *Tensor) TopKRow(i, k int) []int {
+	return t.TopKRowInto(i, k, nil)
+}
+
+// TopKRowInto is TopKRow with caller-provided index scratch, so hot loops
+// (beam search expands every beam at every step) avoid a vocabulary-sized
+// allocation per call. scratch is grown as needed and the returned slice
+// aliases it; pass the previous return value back in to reuse it.
+func (t *Tensor) TopKRowInto(i, k int, scratch []int) []int {
 	row := t.Row(i)
 	if k > len(row) {
 		k = len(row)
 	}
-	idx := make([]int, len(row))
+	if cap(scratch) < len(row) {
+		scratch = make([]int, len(row))
+	}
+	idx := scratch[:len(row)]
 	for j := range idx {
 		idx[j] = j
 	}

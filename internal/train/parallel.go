@@ -1,0 +1,217 @@
+// Data-parallel minibatch execution. A pool of weight-sharing model
+// replicas runs teacher-forced forward+backward passes concurrently, one
+// example at a time, writing each example's gradients into a dedicated
+// per-example buffer set. The buffers are then reduced into the master
+// gradients in fixed example-index order.
+//
+// Determinism is the point of this design, not an accident of it:
+//
+//   - Each example's gradient lands in its own buffer set, so the final
+//     per-parameter sum g[0]+g[1]+...+g[n-1] is evaluated in ascending
+//     example order no matter which worker computed which example or in
+//     what order they finished. Floating-point addition is not
+//     associative; a per-worker partial-sum scheme would tie the result
+//     to the schedule.
+//   - Teacher-forcing randomness (dropout) is pre-split: one seed per
+//     example is drawn from the checkpointed splitmix64 stream in example
+//     order before the batch fans out, and each example derives its
+//     dropout draws from its own seed. The stream position therefore
+//     advances exactly n per batch, independent of scheduling — which is
+//     what keeps PR 2's bit-for-bit checkpoint/resume guarantee intact
+//     for any -train-workers value (worker count is deliberately NOT part
+//     of the checkpoint).
+//
+// Together: losses and updated weights are bit-identical for every worker
+// count, including 1.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/autograd"
+	"repro/internal/checkpoint"
+	"repro/internal/nn"
+	"repro/internal/seq2seq"
+	"repro/internal/tensor"
+)
+
+// batchRunner owns the replicas and per-example gradient buffers for one
+// training run.
+type batchRunner struct {
+	workers   int
+	params    []nn.Param          // master parameters, optimizer order
+	replicas  []seq2seq.Model     // weight-sharing, one per worker
+	repParams [][]*autograd.Value // replica params aligned to params
+	slots     [][]*tensor.Tensor  // [example][param] gradient buffers
+	losses    []float64           // per-example losses of the current batch
+	seeds     []uint64            // per-example dropout seeds
+}
+
+// newBatchRunner builds workers replicas (0 = GOMAXPROCS, capped at the
+// batch size — extra workers would only idle) and batchSize gradient
+// buffer sets.
+func newBatchRunner(m seq2seq.Model, params []nn.Param, workers, batchSize int) (*batchRunner, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > batchSize {
+		workers = batchSize
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &batchRunner{
+		workers: workers,
+		params:  params,
+		slots:   make([][]*tensor.Tensor, batchSize),
+		losses:  make([]float64, batchSize),
+		seeds:   make([]uint64, batchSize),
+	}
+	for w := 0; w < workers; w++ {
+		rep, err := seq2seq.Replicate(m)
+		if err != nil {
+			return nil, err
+		}
+		aligned, err := alignParams(params, rep.Params())
+		if err != nil {
+			return nil, err
+		}
+		r.replicas = append(r.replicas, rep)
+		r.repParams = append(r.repParams, aligned)
+	}
+	for e := range r.slots {
+		r.slots[e] = make([]*tensor.Tensor, len(params))
+		for k, p := range params {
+			r.slots[e][k] = tensor.New(p.V.T.Rows, p.V.T.Cols)
+		}
+	}
+	return r, nil
+}
+
+// alignParams orders rep's values to match the master parameter list.
+func alignParams(master []nn.Param, rep []nn.Param) ([]*autograd.Value, error) {
+	byName, err := nn.ByName(rep)
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	out := make([]*autograd.Value, len(master))
+	for k, p := range master {
+		v, ok := byName[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("train: replica missing parameter %q", p.Name)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// runBatch computes the batch-mean gradient for the examples selected by
+// order, accumulating into the master parameter gradients, and returns the
+// sum of unscaled per-example losses (summed in example order). src
+// advances by exactly len(order) draws.
+func (r *batchRunner) runBatch(trainSet []Example, order []int, maxLen int, src *checkpoint.RNG) float64 {
+	n := len(order)
+	for e := 0; e < n; e++ {
+		r.seeds[e] = src.Uint64()
+	}
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	inv := 1 / float64(n)
+	// Work-stealing schedule: which worker runs which example is
+	// irrelevant to the result, so let fast workers take more.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rep := r.replicas[w]
+			reps := r.repParams[w]
+			for {
+				e := int(next.Add(1)) - 1
+				if e >= n {
+					return
+				}
+				// Point the replica's parameter gradients at this
+				// example's buffer set; backward accumulates there.
+				for k, v := range reps {
+					v.Grad = r.slots[e][k]
+				}
+				rng := rand.New(checkpoint.NewRNG(int64(r.seeds[e])))
+				ex := clip(trainSet[order[e]], maxLen)
+				loss := exampleLoss(rep, ex, true, rng)
+				scaled := autograd.Scale(loss, inv)
+				autograd.Backward(scaled)
+				r.losses[e] = loss.T.Data[0]
+				autograd.Free(scaled)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Ordered reduction: parameters are independent of each other, so the
+	// parameter dimension parallelizes freely; within a parameter every
+	// element sums its examples in ascending order.
+	tensor.ParallelRange(len(r.params), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			dst := r.params[k].V.Grad
+			for e := 0; e < n; e++ {
+				slot := r.slots[e][k]
+				for i, v := range slot.Data {
+					dst.Data[i] += v
+				}
+				slot.Zero()
+			}
+		}
+	})
+	sum := 0.0
+	for e := 0; e < n; e++ {
+		sum += r.losses[e]
+	}
+	return sum
+}
+
+// Evaluate computes the mean validation loss without gradient tracking or
+// dropout, fanning examples across GOMAXPROCS goroutines. The model is
+// shared — forward passes only read parameters — and per-example losses
+// are summed in index order, so the result is bit-identical for any
+// parallelism.
+func Evaluate(m seq2seq.Model, set []Example, maxLen int) float64 {
+	if len(set) == 0 {
+		return math.NaN()
+	}
+	losses := make([]float64, len(set))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(set) {
+		workers = len(set)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				e := int(next.Add(1)) - 1
+				if e >= len(set) {
+					return
+				}
+				loss := exampleLoss(m, clip(set[e], maxLen), false, nil)
+				losses[e] = loss.T.Data[0]
+				autograd.Free(loss)
+			}
+		}()
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, l := range losses {
+		sum += l
+	}
+	return sum / float64(len(set))
+}

@@ -1,0 +1,100 @@
+package train
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/seq2seq"
+)
+
+// fullRunWithWorkers trains the standard resume fixture end to end with
+// the given data-parallel worker count.
+func fullRunWithWorkers(t *testing.T, workers int) (*Result, seq2seq.Model) {
+	t.Helper()
+	trainSet, valSet := resumeData()
+	m := resumeModel(t)
+	opts := resumeOpts()
+	opts.Workers = workers
+	res, err := Seq2Seq(m, trainSet, valSet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, m
+}
+
+// TestParallelBitIdenticalAcrossWorkerCounts is the data-parallel
+// determinism contract: the worker count is a pure throughput knob.
+// Per-example gradients land in per-example buffers and are reduced in
+// ascending example order, and teacher-forcing RNG seeds are pre-split
+// per example, so every worker count must produce bit-identical losses
+// and weights.
+func TestParallelBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // force real goroutine interleaving
+	defer runtime.GOMAXPROCS(prev)
+
+	refRes, refModel := fullRunWithWorkers(t, 1)
+	refParams := paramData(refModel)
+	for _, workers := range []int{2, 3, 7} {
+		res, m := fullRunWithWorkers(t, workers)
+		assertSameFloats(t, "train losses", res.TrainLosses, refRes.TrainLosses)
+		assertSameFloats(t, "val losses", res.ValLosses, refRes.ValLosses)
+		for name, got := range paramData(m) {
+			assertSameFloats(t, "param "+name, got, refParams[name])
+		}
+	}
+}
+
+// TestResumeAcrossWorkerCounts: the worker count is deliberately not part
+// of the checkpoint, so a run interrupted under one worker count and
+// resumed under another must still match a serial uninterrupted run
+// bit for bit.
+func TestResumeAcrossWorkerCounts(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	trainSet, valSet := resumeData()
+
+	m1 := resumeModel(t)
+	var last *checkpoint.TrainState
+	opts := resumeOpts()
+	opts.Workers = 4
+	opts.Checkpoint = func(st *checkpoint.TrainState) error { last = st; return nil }
+	opts.Stop = stopAfterPolls(10)
+	res1, err := Seq2Seq(m1, trainSet, valSet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Interrupted || last == nil {
+		t.Fatal("interruption fixture did not trigger")
+	}
+
+	m2 := resumeModel(t)
+	resumeWith := resumeOpts()
+	resumeWith.Workers = 2
+	res2, err := Resume(m2, trainSet, valSet, resumeWith, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullRes, fullModel := fullRunWithWorkers(t, 1)
+	assertEquivalent(t, res2, fullRes, m2, fullModel)
+}
+
+// TestEvaluateDeterministicAcrossParallelism: Evaluate fans out across
+// GOMAXPROCS but sums losses in example-index order, so its value must
+// not depend on scheduling.
+func TestEvaluateDeterministicAcrossParallelism(t *testing.T) {
+	trainSet, _ := resumeData()
+	m := resumeModel(t)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := Evaluate(m, trainSet, 16)
+	runtime.GOMAXPROCS(8)
+	parallel := Evaluate(m, trainSet, 16)
+	runtime.GOMAXPROCS(prev)
+
+	if serial != parallel {
+		t.Fatalf("Evaluate: serial %v != parallel %v", serial, parallel)
+	}
+}

@@ -67,17 +67,22 @@ func (a *Adam) Step(params []nn.Param) {
 		}
 		v := a.v[p.V]
 		w := p.V.T
-		for i := range g.Data {
-			gi := g.Data[i]
-			if a.WDecay > 0 {
-				gi += a.WDecay * w.Data[i]
+		// Each element updates independently, so the elementwise loop
+		// partitions across goroutines (large embedding/output tables)
+		// without changing any result bit.
+		tensor.ParallelRange(len(g.Data), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				gi := g.Data[i]
+				if a.WDecay > 0 {
+					gi += a.WDecay * w.Data[i]
+				}
+				m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*gi
+				v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*gi*gi
+				mhat := m.Data[i] / bc1
+				vhat := v.Data[i] / bc2
+				w.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
 			}
-			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*gi
-			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*gi*gi
-			mhat := m.Data[i] / bc1
-			vhat := v.Data[i] / bc2
-			w.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
-		}
+		})
 		g.Zero()
 	}
 }
@@ -173,7 +178,14 @@ type Options struct {
 	BatchSize int     // gradient accumulation batch (examples per step)
 	MaxLen    int     // truncate sequences to this many tokens
 	Seed      int64
-	Logf      func(format string, args ...any) // nil silences progress
+	// Workers is the number of data-parallel goroutines per minibatch
+	// (0 = GOMAXPROCS). Per-example gradients are reduced in fixed
+	// example-index order and teacher-forcing randomness is pre-split per
+	// example, so losses and weights are bit-identical for every value —
+	// worker count is a throughput knob, never a numerics knob, and is
+	// deliberately absent from checkpoints.
+	Workers int
+	Logf    func(format string, args ...any) // nil silences progress
 
 	// Checkpoint, when non-nil, receives a full training-state snapshot at
 	// every epoch boundary, every CheckpointEvery batches (when > 0), and
@@ -240,6 +252,10 @@ func run(m seq2seq.Model, trainSet, valSet []Example, opts Options, st *checkpoi
 	rng := rand.New(src)
 	optim := NewAdam(opts.LR)
 	params := m.Params()
+	runner, err := newBatchRunner(m, params, opts.Workers, opts.BatchSize)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{BestVal: math.Inf(1)}
 	start := time.Now()
 
@@ -308,15 +324,8 @@ func run(m seq2seq.Model, trainSet, valSet []Example, opts Options, st *checkpoi
 			if hi > len(order) {
 				hi = len(order)
 			}
-			for _, idx := range order[bi:hi] {
-				ex := clip(trainSet[idx], opts.MaxLen)
-				loss := exampleLoss(m, ex, true, rng)
-				// Scale so the batch gradient is the mean.
-				scaled := autograd.Scale(loss, 1/float64(hi-bi))
-				autograd.Backward(scaled)
-				sum += loss.T.Data[0]
-				count++
-			}
+			sum += runner.runBatch(trainSet, order[bi:hi], opts.MaxLen, src)
+			count += hi - bi
 			if opts.ClipNorm > 0 {
 				ClipGradNorm(params, opts.ClipNorm)
 			}
@@ -429,20 +438,6 @@ func restoreState(m seq2seq.Model, params []nn.Param, optim *Adam, src *checkpoi
 	}
 	src.SetState(st.RNG)
 	return nil
-}
-
-// Evaluate computes the mean validation loss without gradient tracking or
-// dropout.
-func Evaluate(m seq2seq.Model, set []Example, maxLen int) float64 {
-	if len(set) == 0 {
-		return math.NaN()
-	}
-	sum := 0.0
-	for _, ex := range set {
-		loss := exampleLoss(m, clip(ex, maxLen), false, nil)
-		sum += loss.T.Data[0]
-	}
-	return sum / float64(len(set))
 }
 
 // exampleLoss runs one teacher-forced forward pass:

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Benchmark harness: runs the compute-kernel benchmarks and the training
+# benchmarks with -benchmem and records the results as JSON so successive
+# PRs can diff ns/op, B/op and allocs/op without re-parsing go test
+# output. Writes BENCH_kernels.json and BENCH_train.json in the repo root.
+#
+# Usage:
+#
+#	scripts/bench.sh              # both suites, default bench time
+#	BENCHTIME=5x scripts/bench.sh # quick smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+
+# bench_json PKGS PATTERN OUT runs the matching benchmarks and converts
+# `go test -bench` lines (name iters ns/op B/op allocs/op) to a JSON array.
+bench_json() {
+	local pkgs=$1 pattern=$2 out=$3
+	echo "== bench $pattern ($pkgs) -> $out" >&2
+	go test -run '^$' -bench "$pattern" -benchmem -benchtime "$BENCHTIME" $pkgs |
+		tee /dev/stderr |
+		awk '
+			/^Benchmark/ && /ns\/op/ {
+				name = $1
+				sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS suffix
+				ns = ""; bytes = ""; allocs = ""
+				for (i = 2; i <= NF; i++) {
+					if ($(i+1) == "ns/op") ns = $i
+					if ($(i+1) == "B/op") bytes = $i
+					if ($(i+1) == "allocs/op") allocs = $i
+				}
+				if (ns == "") next
+				if (n++) printf ",\n"
+				printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+				if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+				if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+				printf "}"
+			}
+			BEGIN { printf "[\n" }
+			END   { printf "\n]\n" }
+		' >"$out"
+	echo "wrote $out" >&2
+}
+
+# Kernel-level: GEMM variants and the autograd op-node steady state.
+bench_json "./internal/tensor ./internal/autograd" \
+	'BenchmarkMatMul' BENCH_kernels.json
+
+# Training-level: the Table 3 training-step benchmark plus pair
+# extraction, the end-to-end numbers the perf work is judged on.
+bench_json "." \
+	'BenchmarkTable3ModelStats|BenchmarkPairExtraction' BENCH_train.json

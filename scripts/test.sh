@@ -10,3 +10,8 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race "$@" ./...
+
+# Bench smoke: one iteration of the kernel and training-step benchmarks so
+# a change that breaks a benchmark body (not just a test) fails the gate.
+go test -run '^$' -bench 'BenchmarkMatMul|BenchmarkTable3ModelStats' \
+	-benchtime 1x . ./internal/tensor ./internal/autograd >/dev/null

@@ -1,15 +1,25 @@
 # Development entry points. `make test` is the tier-1 gate: build + vet +
-# full suite under the race detector.
+# qrec-lint + full suite under the race detector.
 
 GO ?= go
 
-.PHONY: test test-short bench bench-json fuzz fuzz-short build vet
+.PHONY: test test-short bench bench-json fuzz fuzz-short build vet lint lint-fix-list
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project static analysis (internal/lint): determinism, map-order,
+# pool-lifecycle, float-equality and durability rules. Non-zero exit on
+# findings; part of the tier-1 gate via scripts/test.sh.
+lint:
+	$(GO) run ./cmd/qrec-lint ./...
+
+# Triage mode: print findings without failing, for incremental cleanup.
+lint-fix-list:
+	$(GO) run ./cmd/qrec-lint -list ./...
 
 test:
 	./scripts/test.sh

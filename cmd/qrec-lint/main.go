@@ -1,0 +1,87 @@
+// qrec-lint runs the project's static-analysis suite (internal/lint):
+// determinism, map-iteration-order, pool-lifecycle, float-equality and
+// durability rules, built on the standard library's go/* packages alone.
+//
+// Usage:
+//
+//	qrec-lint [-list] [-rules detrand,maporder,...] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Exit
+// status is 1 when findings survive the //lint:ignore filter, 2 on a
+// load or usage error, 0 otherwise. -list prints findings but always
+// exits 0 (triage mode, see `make lint-fix-list`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print findings but exit 0 (triage mode)")
+	rules := flag.String("rules", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	analyzers := lint.DefaultAnalyzers(loader.ModulePath())
+	if *rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var kept []*lint.Analyzer
+		for _, az := range analyzers {
+			if want[az.Name] {
+				kept = append(kept, az)
+				delete(want, az.Name)
+			}
+		}
+		for name := range want {
+			fatal(fmt.Errorf("qrec-lint: unknown rule %q", name))
+		}
+		analyzers = kept
+	}
+
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	res := lint.Run(pkgs, analyzers)
+
+	cwd, _ := os.Getwd()
+	for _, d := range res.Diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if res.Suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "qrec-lint: %d finding(s) suppressed by //lint:ignore directives\n", res.Suppressed)
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qrec-lint: %d finding(s) in %d package(s)\n", len(res.Diags), len(pkgs))
+		if !*list {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/seq2seq"
@@ -71,6 +72,7 @@ func main() {
 	opts := train.DefaultOptions()
 	opts.Epochs = *epochs
 	opts.Patience = 2
+	opts.Clock = time.Now
 
 	res, err := tune.Search(seq2seq.Arch(*arch), base, opts, tune.DefaultGrid(),
 		trainSet, valSet, *seed, func(format string, args ...any) {

@@ -189,6 +189,7 @@ func (q *QueRIE) Recommend(cur *workload.Query, k int) []*workload.Query {
 		list[i] = scored{idx: i, sim: cosine(target, q.features[i])}
 	}
 	sort.Slice(list, func(i, j int) bool {
+		//lint:ignore floateq exact tie-break keeps the sort a strict weak order; an epsilon would not
 		if list[i].sim != list[j].sim {
 			return list[i].sim > list[j].sim
 		}

@@ -49,6 +49,7 @@ func (s *StructuralQueRIE) Recommend(cur *workload.Query, k int) []*workload.Que
 		list[i] = scored{idx: i, score: s.Alpha*frag + (1-s.Alpha)*structural}
 	}
 	sort.Slice(list, func(i, j int) bool {
+		//lint:ignore floateq exact tie-break keeps the sort a strict weak order; an epsilon would not
 		if list[i].score != list[j].score {
 			return list[i].score > list[j].score
 		}

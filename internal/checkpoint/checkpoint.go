@@ -32,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 )
 
 // Magic identifies envelope files written by this package.
@@ -139,8 +140,10 @@ func writeFileAtomic(path string, data []byte) error {
 	}
 	tmp := f.Name()
 	// Any failure past this point must not leave the temp file behind.
+	// Close/Remove here are best-effort cleanup on a path that is already
+	// returning the original error; discarding theirs is deliberate.
 	fail := func(err error) error {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: write %s: %w", base, err)
 	}
@@ -163,16 +166,38 @@ func writeFileAtomic(path string, data []byte) error {
 	return syncDir(dir)
 }
 
-// syncDir fsyncs a directory so a rename survives power loss. Filesystems
-// that cannot sync directories make this a no-op rather than a failure.
+// syncDir fsyncs a directory so a rename survives power loss.
+// Filesystems that cannot sync directories (the fsync returns
+// "unsupported"-class errors) make this a no-op rather than a failure;
+// a genuine I/O error is reported — a rename that never reaches stable
+// storage is exactly the torn-artifact case the envelope exists to
+// prevent.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return nil
 	}
-	defer d.Close()
-	d.Sync()
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		if syncUnsupported(syncErr) {
+			return nil
+		}
+		return fmt.Errorf("checkpoint: sync %s: %w", dir, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", dir, closeErr)
+	}
 	return nil
+}
+
+// syncUnsupported reports fsync errors that mean "this filesystem cannot
+// sync directories" rather than "the sync failed".
+func syncUnsupported(err error) bool {
+	return errors.Is(err, errors.ErrUnsupported) ||
+		errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EBADF)
 }
 
 // ReadAtomic reads an envelope written by WriteAtomic, verifies it, and

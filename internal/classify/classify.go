@@ -165,7 +165,13 @@ func Fit(c *Classifier, trainSet, valSet []Example, opts train.Options) (*Result
 	for i := range order {
 		order[i] = i
 	}
-	start := time.Now()
+	// Telemetry clock is caller-injected (detrand: the numeric core
+	// never reads the wall clock itself).
+	now := opts.Clock
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
+	start := now()
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		sum, count := 0.0, 0
@@ -194,7 +200,7 @@ func Fit(c *Classifier, trainSet, valSet []Example, opts train.Options) (*Result
 			optim.Step(params)
 			if opts.Stop != nil && opts.Stop() {
 				res.Interrupted = true
-				res.TrainTime = time.Since(start)
+				res.TrainTime = now().Sub(start)
 				return res, nil
 			}
 		}
@@ -215,7 +221,7 @@ func Fit(c *Classifier, trainSet, valSet []Example, opts train.Options) (*Result
 			}
 		}
 	}
-	res.TrainTime = time.Since(start)
+	res.TrainTime = now().Sub(start)
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/classify"
@@ -61,6 +62,11 @@ func DefaultTrainConfig(arch seq2seq.Arch) TrainConfig {
 	seqOpts := train.DefaultOptions()
 	clsOpts := train.DefaultOptions()
 	clsOpts.Epochs = 6
+	// The training loops are clock-free by design (lint: detrand); the
+	// wall clock for TrainTime telemetry is injected here, outside the
+	// deterministic core.
+	seqOpts.Clock = time.Now
+	clsOpts.Clock = time.Now
 	return TrainConfig{
 		Arch:      arch,
 		SeqAware:  true,
@@ -354,6 +360,7 @@ func AggregateFragments(v *tokenizer.Vocab, results []decode.Result, n int) map[
 			}
 		}
 		sort.Slice(list, func(i, j int) bool {
+			//lint:ignore floateq exact tie-break keeps the sort a strict weak order; an epsilon would not
 			if list[i].p != list[j].p {
 				return list[i].p > list[j].p
 			}

@@ -260,6 +260,7 @@ func sampleStep(lp []float64, minFrac float64, rng *rand.Rand) (int, float64) {
 	}
 	x := rng.Float64() * sum
 	for i, p := range probs {
+		//lint:ignore floateq exact zero marks entries excluded from the sampling mass, not a rounded value
 		if p == 0 {
 			continue
 		}

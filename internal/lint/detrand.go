@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DetRand enforces determinism in the numeric core (the packages whose
+// outputs must be a pure function of seed and inputs, because the
+// checkpoint/resume equality proofs depend on it):
+//
+//   - no wall-clock reads: time.Now / time.Since / time.Until. Elapsed
+//     time is telemetry; the caller injects a clock if it wants one.
+//   - no globally seeded math/rand: every package-level rand.* function
+//     draws from the shared process source. All randomness must flow
+//     through an explicit, checkpointable stream — checkpoint.NewRNG's
+//     splitmix64 source, optionally wrapped in rand.New. The explicit
+//     constructors (rand.New, rand.NewSource, rand.NewZipf) stay legal.
+//   - no map-iteration-order leaks, via the same engine as maporder:
+//     inside the deterministic core, a ranged map feeding a float
+//     accumulator, an unsorted slice, or output reintroduces exactly
+//     the nondeterminism PRs 2–3 eliminated.
+func DetRand(packages []string) *Analyzer {
+	return &Analyzer{
+		Name:     "detrand",
+		Doc:      "deterministic packages must not read clocks, use global math/rand, or leak map order",
+		Packages: packages,
+		Run:      runDetRand,
+	}
+}
+
+// randConstructors are the explicitly seeded math/rand entry points that
+// remain legal in deterministic packages.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDetRand(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch importedPackage(info, sel.X) {
+			case "time":
+				switch sel.Sel.Name {
+				case "Now", "Since", "Until":
+					p.Reportf(call.Pos(), "time.%s in deterministic package: wall clocks are nondeterministic; inject a clock from the caller (e.g. an Options field)", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					p.Reportf(call.Pos(), "rand.%s draws from the global math/rand source: use the checkpointable stream (checkpoint.NewRNG, optionally via rand.New)", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	forEachMapRange(p.Pkg, func(rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+		for _, leak := range mapRangeLeaks(p.Pkg, rs, fnBody) {
+			p.Reportf(leak.pos, "%s under map iteration in deterministic package: order is randomized per run; sort the keys first", leak.what)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DurIO guards the durable write paths (internal/checkpoint and
+// internal/modeldir): crash safety is only as strong as the least
+// checked syscall in the write-temp-fsync-rename sequence.
+//
+// It flags (a) statement-position calls — plain, deferred, or go'd —
+// to Close/Sync/Write/WriteString/Flush methods whose error result is
+// dropped on the floor, and (b) calls to os.Create / os.WriteFile,
+// which produce torn files on crash and must go through the atomic
+// envelope (checkpoint.WriteAtomic) instead. os.CreateTemp is exempt:
+// it is how the envelope itself stages data. An intentionally ignored
+// error (a best-effort close on an already-failing path) takes an
+// explicit `_ =` assignment or a //lint:ignore with a reason.
+func DurIO(packages []string) *Analyzer {
+	return &Analyzer{
+		Name:     "durio",
+		Doc:      "durable packages must check Close/Sync/Write errors and write through the atomic envelope",
+		Packages: packages,
+		Run:      runDurIO,
+	}
+}
+
+var durMethods = map[string]bool{
+	"Close": true, "Sync": true, "Write": true, "WriteString": true, "Flush": true,
+}
+
+func runDurIO(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				checkDropped(p, s.X, "")
+			case *ast.DeferStmt:
+				checkDropped(p, s.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDropped(p, s.Call, "go ")
+			case *ast.CallExpr:
+				sel, ok := s.Fun.(*ast.SelectorExpr)
+				if ok && importedPackage(info, sel.X) == "os" {
+					switch sel.Sel.Name {
+					case "Create", "WriteFile":
+						p.Reportf(s.Pos(), "os.%s writes a torn file on crash: route artifacts through the atomic envelope (checkpoint.WriteAtomic)", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDropped reports a statement-position method call whose error
+// result is discarded.
+func checkDropped(p *Pass, expr ast.Expr, how string) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !durMethods[sel.Sel.Name] {
+		return
+	}
+	if importedPackage(p.Pkg.Info, sel.X) != "" {
+		return // package function, not a method on a handle
+	}
+	if !returnsError(p.Pkg.Info.TypeOf(call)) {
+		return
+	}
+	p.Reportf(call.Pos(), "%s%s error is unchecked on a durable write path: handle it (or discard explicitly with `_ =` and a reason)", how, sel.Sel.Name)
+}
+
+func returnsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in non-test
+// code. After rounding, two mathematically equal computations routinely
+// differ in the last ulp, so float equality either works by accident or
+// encodes a sentinel comparison that deserves an explicit annotation.
+// The NaN idiom x != x (and its x == x negation) is exempt — comparing
+// an expression to itself is the portable NaN test. Test files are never
+// loaded by the driver, so golden assertions are unaffected.
+func FloatEq() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "no ==/!= on floats outside tests; compare with an epsilon or annotate the sentinel",
+		Run:  runFloatEq,
+	}
+}
+
+func runFloatEq(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := info.TypeOf(be.X), info.TypeOf(be.Y)
+			if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // NaN check: x != x
+			}
+			p.Reportf(be.Pos(), "float %s comparison is bit-exact: use an epsilon (math.Abs(a-b) <= eps) or annotate the intended sentinel with //lint:ignore", be.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A //lint:ignore directive suppresses findings of one rule on its own
+// line (end-of-line form) or on the line immediately below (standalone
+// form):
+//
+//	//lint:ignore floateq exact zero means "field absent on the wire"
+//	if w == 0 { ... }
+//
+// The reason is mandatory; a directive without one, or one that matched
+// nothing, is itself reported under the "lint" rule. That keeps the
+// escape hatch an explicit, counted, and auditable set rather than a
+// silent bypass.
+type directive struct {
+	pos  token.Position
+	rule string
+	used bool
+}
+
+const ignorePrefix = "lint:ignore"
+
+// filterIgnored splits diags into kept findings and a suppressed count,
+// and reports malformed or unused directives.
+func filterIgnored(pkg *Package, diags []Diagnostic) (kept []Diagnostic, suppressed int, directiveDiags []Diagnostic) {
+	var dirs []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					directiveDiags = append(directiveDiags, Diagnostic{
+						Pos:  pos,
+						Rule: "lint",
+						Msg:  "malformed //lint:ignore directive: want \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				dirs = append(dirs, &directive{pos: pos, rule: fields[0]})
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, dir := range dirs {
+			if dir.rule == d.Rule && dir.pos.Filename == d.Pos.Filename &&
+				(dir.pos.Line == d.Pos.Line || dir.pos.Line+1 == d.Pos.Line) {
+				dir.used = true
+				matched = true
+				break
+			}
+		}
+		if matched {
+			suppressed++
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			directiveDiags = append(directiveDiags, Diagnostic{
+				Pos:  dir.pos,
+				Rule: "lint",
+				Msg:  "unused //lint:ignore directive for rule " + dir.rule + ": nothing to suppress on this or the next line",
+			})
+		}
+	}
+	return kept, suppressed, directiveDiags
+}

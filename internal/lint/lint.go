@@ -1,0 +1,154 @@
+// Package lint is a project-specific static-analysis driver built purely
+// on the standard library (go/parser, go/ast, go/types, go/importer — no
+// golang.org/x/tools). It enforces the invariants PRs 2–3 established
+// dynamically: bit-deterministic training (no wall clocks or globally
+// seeded randomness in the numeric core, no map-iteration-order leaks
+// into outputs or float accumulators), pool lifecycle discipline for the
+// tensor.Shared workspace arena, and durable write paths in the
+// checkpoint/modeldir envelope code.
+//
+// Each analyzer emits diagnostics of the form
+//
+//	file:line:col: [rule] message
+//
+// and the cmd/qrec-lint driver exits non-zero when any survive the
+// //lint:ignore filter (see ignore.go).
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Analyzer is one named rule. Run inspects a type-checked package via the
+// Pass and reports findings. Packages, when non-nil, restricts the
+// analyzer to exactly those import paths (used by detrand and durio,
+// whose rules only make sense in the deterministic respectively durable
+// subsets of the tree).
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Packages []string
+	// Exclude lists import paths skipped even when Packages is nil. It
+	// keeps maporder and detrand disjoint: inside the deterministic core
+	// the map-order rule is owned by detrand.
+	Exclude []string
+	Run     func(*Pass)
+}
+
+func (a *Analyzer) appliesTo(path string) bool {
+	for _, p := range a.Exclude {
+		if p == path {
+			return false
+		}
+	}
+	if a.Packages == nil {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	Pkg  *Package
+	rule string
+	out  *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:  p.Pkg.Fset.Position(pos),
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is the outcome of a driver run.
+type Result struct {
+	// Diags are the surviving findings, sorted by position.
+	Diags []Diagnostic
+	// Suppressed counts findings silenced by //lint:ignore directives.
+	Suppressed int
+}
+
+// Run applies every applicable analyzer to every package, filters the
+// findings through //lint:ignore directives, and returns the survivors
+// sorted by file, line and column. Malformed or unused directives are
+// themselves reported under the "lint" rule so the escape hatch stays a
+// small, auditable set.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	var res Result
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, az := range analyzers {
+			if !az.appliesTo(pkg.Path) {
+				continue
+			}
+			az.Run(&Pass{Pkg: pkg, rule: az.Name, out: &diags})
+		}
+		kept, suppressed, directiveDiags := filterIgnored(pkg, diags)
+		res.Diags = append(res.Diags, kept...)
+		res.Diags = append(res.Diags, directiveDiags...)
+		res.Suppressed += suppressed
+	}
+	sort.Slice(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i].Pos, res.Diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return res
+}
+
+// Module-relative import paths of the packages whose numerics must be a
+// pure function of (seed, inputs): the tensor/autograd compute core, the
+// model and training stack, and the checkpoint envelope their resume
+// proofs depend on.
+func deterministicPackages(module string) []string {
+	names := []string{"tensor", "autograd", "nn", "seq2seq", "train", "decode", "classify", "checkpoint"}
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = module + "/internal/" + n
+	}
+	return paths
+}
+
+// durablePackages hold the crash-safe write paths.
+func durablePackages(module string) []string {
+	return []string{module + "/internal/checkpoint", module + "/internal/modeldir"}
+}
+
+// DefaultAnalyzers returns the full suite wired for the given module path
+// (e.g. "repro").
+func DefaultAnalyzers(module string) []*Analyzer {
+	det := deterministicPackages(module)
+	return []*Analyzer{
+		DetRand(det),
+		MapOrder(det),
+		PoolSafe(),
+		FloatEq(),
+		DurIO(durablePackages(module)),
+	}
+}

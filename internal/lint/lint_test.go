@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// The fixture loader is shared across tests so the stdlib is
+// type-checked once per test process.
+var (
+	loaderOnce sync.Once
+	shared     *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { shared, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return shared
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	ld := fixtureLoader(t)
+	pkg, err := ld.Load(ld.ModulePath() + "/internal/lint/testdata/src/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// want is one golden expectation: a `// want `+"`regex`"+`` comment in a
+// fixture demands a diagnostic on its line matching the regex (against
+// "[rule] message").
+type want struct {
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var ws []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					ws = append(ws, &want{line: pkg.Fset.Position(c.Pos()).Line, re: re})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// checkGolden runs the analyzers over the fixture and matches every
+// diagnostic against the `// want` annotations, both ways: no unexpected
+// findings, no unmatched expectations.
+func checkGolden(t *testing.T, pkg *Package, analyzers ...*Analyzer) Result {
+	t.Helper()
+	res := Run([]*Package{pkg}, analyzers)
+	wants := collectWants(t, pkg)
+	for _, d := range res.Diags {
+		full := "[" + d.Rule + "] " + d.Msg
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.line == d.Pos.Line && w.re.MatchString(full) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("line %d: want diagnostic matching %q, got none", w.line, w.re)
+		}
+	}
+	return res
+}
+
+func TestDetRandFixture(t *testing.T) {
+	pkg := loadFixture(t, "detrand")
+	res := checkGolden(t, pkg, DetRand([]string{pkg.Path}))
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	pkg := loadFixture(t, "maporder")
+	res := checkGolden(t, pkg, MapOrder(nil))
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+}
+
+func TestPoolSafeFixture(t *testing.T) {
+	pkg := loadFixture(t, "poolsafe")
+	res := checkGolden(t, pkg, PoolSafe())
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	pkg := loadFixture(t, "floateq")
+	res := checkGolden(t, pkg, FloatEq())
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+}
+
+func TestDurIOFixture(t *testing.T) {
+	pkg := loadFixture(t, "durio")
+	res := checkGolden(t, pkg, DurIO([]string{pkg.Path}))
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+}
+
+// TestIgnoreSuppression proves //lint:ignore suppresses exactly one
+// diagnostic: the annotated float comparison is silenced and counted,
+// the identical un-annotated one is still reported.
+func TestIgnoreSuppression(t *testing.T) {
+	pkg := loadFixture(t, "ignores")
+	res := checkGolden(t, pkg, FloatEq())
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want exactly 1", res.Suppressed)
+	}
+	if len(res.Diags) != 1 {
+		t.Errorf("kept diagnostics = %d, want exactly 1 (the un-annotated comparison)", len(res.Diags))
+	}
+}
+
+// TestDirectiveHygiene: a directive without a reason is malformed (and
+// suppresses nothing), a directive that matches nothing is unused; both
+// are findings under the "lint" rule.
+func TestDirectiveHygiene(t *testing.T) {
+	pkg := loadFixture(t, "badignore")
+	res := Run([]*Package{pkg}, []*Analyzer{FloatEq()})
+	counts := map[string]int{}
+	for _, d := range res.Diags {
+		counts[d.Rule]++
+	}
+	if counts["floateq"] != 1 {
+		t.Errorf("floateq findings = %d, want 1 (malformed directive must not suppress)", counts["floateq"])
+	}
+	if counts["lint"] != 2 {
+		t.Errorf("lint findings = %d, want 2 (one malformed + one unused directive)", counts["lint"])
+	}
+	if res.Suppressed != 0 {
+		t.Errorf("Suppressed = %d, want 0", res.Suppressed)
+	}
+}
+
+// TestAnalyzerScoping: package-scoped analyzers stay silent outside
+// their configured package sets.
+func TestAnalyzerScoping(t *testing.T) {
+	pkg := loadFixture(t, "maporder")
+	if res := Run([]*Package{pkg}, []*Analyzer{DetRand([]string{"repro/internal/tensor"})}); len(res.Diags) != 0 {
+		t.Errorf("detrand ran outside its package set: %v", res.Diags)
+	}
+	if res := Run([]*Package{pkg}, []*Analyzer{MapOrder([]string{pkg.Path})}); len(res.Diags) != 0 {
+		t.Errorf("maporder ran inside an excluded package: %v", res.Diags)
+	}
+}
+
+// TestLoadPatternsSkipsTestdata: pattern expansion must never descend
+// into testdata (the fixtures deliberately violate every rule).
+func TestLoadPatternsSkipsTestdata(t *testing.T) {
+	ld := fixtureLoader(t)
+	pkgs, err := ld.LoadPatterns([]string{"./internal/lint/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != ld.ModulePath()+"/internal/lint" {
+		var got []string
+		for _, p := range pkgs {
+			got = append(got, p.Path)
+		}
+		t.Fatalf("LoadPatterns(./internal/lint/...) = %v, want just internal/lint", got)
+	}
+}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+// Only non-test files are loaded: the rules guard production invariants,
+// and several (floateq in particular) explicitly exempt tests.
+type Package struct {
+	Path  string // import path, e.g. repro/internal/tensor
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module with
+// the standard library alone. Module-internal imports are resolved
+// recursively from source by mapping the module path prefix onto the
+// module directory; everything else (the stdlib) goes through
+// go/importer's source importer. Results are cached per import path, so
+// shared dependencies type-check once per process.
+type Loader struct {
+	Fset    *token.FileSet
+	modPath string
+	modDir  string
+	std     types.Importer
+	cache   map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader walks up from dir to the enclosing go.mod and returns a
+// loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		modPath: modPath,
+		modDir:  root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*loadEntry{},
+	}, nil
+}
+
+// ModulePath returns the module path from go.mod (e.g. "repro").
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// Import implements types.Importer so the type checker can resolve both
+// module-internal and stdlib imports through the loader.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load type-checks the package with the given module-internal import
+// path (cached).
+func (l *Loader) Load(path string) (*Package, error) {
+	if e, ok := l.cache[path]; ok {
+		return e.pkg, e.err
+	}
+	// The placeholder entry turns an import cycle into an error instead
+	// of infinite recursion.
+	l.cache[path] = &loadEntry{err: fmt.Errorf("lint: import cycle through %s", path)}
+	pkg, err := l.check(path)
+	l.cache[path] = &loadEntry{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (l *Loader) check(path string) (*Package, error) {
+	rel := strings.TrimPrefix(path, l.modPath)
+	dir := filepath.Join(l.modDir, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: %s: no non-test Go files in %s", path, dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goFiles lists the non-test Go files of dir in sorted order.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadPatterns expands go-style package patterns ("./...", "./internal/foo",
+// "./cmd/...") relative to the module root into loaded packages. Directories
+// named testdata, vendor, or starting with "." or "_" are skipped, matching
+// the go tool's convention.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	seen := map[string]bool{}
+	var paths []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			recursive = true
+			pat = strings.TrimSuffix(rest, "/")
+		}
+		base := filepath.Join(l.modDir, filepath.FromSlash(pat))
+		if !recursive {
+			add(l.importPath(base))
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if names, err := goFiles(p); err == nil && len(names) > 0 {
+				add(l.importPath(p))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.modDir, dir)
+	if err != nil || rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}

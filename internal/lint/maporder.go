@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body leaks the randomized
+// iteration order into observable state: appending to an outer slice
+// (unless the slice is sorted afterwards in the same function — the
+// collect-then-sort idiom), accumulating into an outer float (float
+// addition is not associative, so summation order changes the result
+// bits), or writing output (fmt printing, io.Writer/strings.Builder
+// methods). Reports and BENCH_*.json must be byte-stable run to run; a
+// ranged map feeding any of these silently is not.
+//
+// The deterministic core packages are excluded here: inside them the
+// same engine runs under detrand, which owns all determinism rules.
+func MapOrder(exclude []string) *Analyzer {
+	return &Analyzer{
+		Name:    "maporder",
+		Doc:     "map iteration order must not leak into outputs, slices, or float accumulators",
+		Exclude: exclude,
+		Run: func(p *Pass) {
+			forEachMapRange(p.Pkg, func(rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+				for _, leak := range mapRangeLeaks(p.Pkg, rs, fnBody) {
+					p.Reportf(leak.pos, "%s inside range over map: iteration order is randomized; collect and sort the keys first", leak.what)
+				}
+			})
+		},
+	}
+}
+
+// mapLeak is one order-sensitive effect inside a range-over-map body.
+type mapLeak struct {
+	pos  token.Pos
+	what string
+}
+
+// forEachMapRange calls fn for every range statement over a map-typed
+// expression, along with the innermost enclosing function body (used for
+// the sorted-afterwards exemption).
+func forEachMapRange(pkg *Package, fn func(rs *ast.RangeStmt, fnBody *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			fn(rs, enclosingFuncBody(stack))
+			return true
+		})
+	}
+}
+
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// mapRangeLeaks returns the order-sensitive effects of a range-over-map
+// body. fnBody may be nil (no exemption scan possible).
+func mapRangeLeaks(pkg *Package, rs *ast.RangeStmt, fnBody *ast.BlockStmt) []mapLeak {
+	info := pkg.Info
+	var leaks []mapLeak
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(s.Lhs) == 1 && isFloat(info.TypeOf(s.Lhs[0])) {
+					if id := rootIdent(s.Lhs[0]); id != nil && declaredOutside(info, id, rs) {
+						leaks = append(leaks, mapLeak{s.Pos(), "accumulating into float " + id.Name})
+					}
+				}
+			case token.ASSIGN:
+				for i := range s.Lhs {
+					if i >= len(s.Rhs) {
+						break
+					}
+					id, ok := s.Lhs[i].(*ast.Ident)
+					if !ok || !declaredOutside(info, id, rs) {
+						continue
+					}
+					obj := info.ObjectOf(id)
+					if isAppendTo(info, s.Rhs[i], obj) {
+						if !sortedAfter(pkg, fnBody, rs, obj) {
+							leaks = append(leaks, mapLeak{s.Pos(), "appending to slice " + id.Name})
+						}
+					} else if isFloat(info.TypeOf(s.Lhs[i])) && mentionsObject(info, s.Rhs[i], obj) {
+						leaks = append(leaks, mapLeak{s.Pos(), "accumulating into float " + id.Name})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if what := outputCall(info, rs, s); what != "" {
+				leaks = append(leaks, mapLeak{s.Pos(), what})
+			}
+		}
+		return true
+	})
+	return leaks
+}
+
+// isAppendTo reports whether expr is append(x, ...) growing obj itself.
+func isAppendTo(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := info.ObjectOf(fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}
+
+// outputCall classifies a call inside a map-range body as output: fmt
+// printing, or a Write*/Flush method on a writer declared outside the
+// loop (a per-iteration local buffer is order-safe until it, in turn,
+// escapes).
+func outputCall(info *types.Info, rs *ast.RangeStmt, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if importedPackage(info, sel.X) == "fmt" {
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return "writing output via fmt." + name
+		}
+		return ""
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Flush":
+	default:
+		return ""
+	}
+	if id := rootIdent(sel.X); id != nil && !declaredOutside(info, id, rs) {
+		return ""
+	}
+	return "writing output via " + name
+}
+
+// sortedAfter reports whether obj (a slice collecting map keys) is
+// passed to a sort.* or slices.Sort* call after the range statement in
+// the same function — the blessed collect-then-sort idiom.
+func sortedAfter(pkg *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil || obj == nil {
+		return false
+	}
+	info := pkg.Info
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch importedPackage(info, sel.X) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolSafe checks tensor.Shared lifecycle discipline per function,
+// flow-insensitively: a scratch tensor obtained from a Pool Get must
+// either be released (passed to a Pool Put or to autograd.Free) or
+// visibly hand off ownership — returned, stored into a struct/slice/
+// outer variable, captured by a closure, or passed to another function.
+// A Get-bound local that does none of these leaks arena discipline and
+// is reported; so is any use of the variable positionally after the
+// statement that returned it to the pool (use-after-Put is a data race
+// with whichever goroutine Gets the recycled buffer next — exactly the
+// cross-goroutine bug PR 3's race suite caught dynamically).
+//
+// Being flow-insensitive, the check is deliberately lenient: any escape
+// suppresses the missing-Put report, and use-after-Put only fires when
+// the release dominates the use positionally within the same block
+// nesting (a Put inside an early-return branch does not poison the
+// other branch).
+func PoolSafe() *Analyzer {
+	return &Analyzer{
+		Name: "poolsafe",
+		Doc:  "every Pool.Get is Put back, freed, or handed off; no use after release",
+		Run:  runPoolSafe,
+	}
+}
+
+func runPoolSafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkPoolFunc(p, fd.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// pooledVar tracks one Get-bound local within a function body.
+type pooledVar struct {
+	name    string
+	bindPos token.Pos
+	bindFn  *ast.FuncLit // innermost closure holding the binding (nil = the FuncDecl)
+	binds   int          // assignments to the variable (reassignment disables use-after checks)
+	escaped bool
+	// releases are (end position, innermost enclosing block) of each
+	// Put/Free call naming the variable.
+	relEnds   []token.Pos
+	relBlocks []*ast.BlockStmt
+}
+
+func checkPoolFunc(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	vars := map[types.Object]*pooledVar{}
+
+	// Pass 1: find Get bindings.
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isPoolMethod(info, call, "Get") {
+			return true
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if v, exists := vars[obj]; exists {
+			v.binds++
+			return true
+		}
+		vars[obj] = &pooledVar{name: id.Name, bindPos: as.Pos(), bindFn: innermostFuncLit(stack), binds: 1}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other appearance of each tracked variable.
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			release := isPoolMethod(info, s, "Put") || isAutogradFree(info, s)
+			for _, arg := range s.Args {
+				id, ok := arg.(*ast.Ident)
+				if !ok {
+					// A derived expression passed along hands off
+					// ownership only if its type can alias the buffer
+					// (x.Data, &x — but not the scalar x.Data[i]).
+					markAliasMention(info, vars, arg)
+					continue
+				}
+				v := vars[info.ObjectOf(id)]
+				if v == nil {
+					continue
+				}
+				if release {
+					end := s.End()
+					if len(stack) > 0 {
+						switch stack[len(stack)-1].(type) {
+						case *ast.DeferStmt, *ast.GoStmt:
+							// A deferred Put releases at function exit;
+							// uses between here and the end are fine.
+							end = body.End()
+						}
+					}
+					v.relEnds = append(v.relEnds, end)
+					v.relBlocks = append(v.relBlocks, innermostBlock(stack))
+				} else if !isSizeBuiltin(info, s) {
+					v.escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				markAliasMention(info, vars, r)
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				markMention(info, vars, s.X)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range s.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				markAliasMention(info, vars, elt)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if v := vars[info.ObjectOf(id)]; v != nil && s.Pos() != v.bindPos {
+						v.binds++
+					}
+				}
+			}
+			for _, rhs := range s.Rhs {
+				if _, isCall := rhs.(*ast.CallExpr); isCall {
+					continue // call args handled above
+				}
+				markAliasMention(info, vars, rhs)
+			}
+		case *ast.FuncLit:
+			// Uses inside a different closure than the binding escape.
+			for obj, v := range vars {
+				if v.bindFn != s && mentionsObject(info, s.Body, obj) {
+					v.escaped = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, v := range vars {
+		if v.binds == 1 && !v.escaped && len(v.relEnds) == 0 {
+			p.Reportf(v.bindPos, "pooled tensor %s from Pool.Get is never released (Put/autograd.Free) and never handed off: scratch buffers must go back to the arena", v.name)
+		}
+	}
+
+	// Pass 3: use-after-release.
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := vars[info.ObjectOf(id)]
+		if v == nil || v.binds != 1 {
+			return true
+		}
+		for i, end := range v.relEnds {
+			blk := v.relBlocks[i]
+			if id.Pos() > end && blk != nil && blk.Pos() <= id.Pos() && id.Pos() <= blk.End() {
+				p.Reportf(id.Pos(), "%s is used after being returned to the pool: the buffer may already be recycled by another Get", v.name)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// markMention marks every tracked variable mentioned under node as
+// escaped (ownership visibly handed off).
+func markMention(info *types.Info, vars map[types.Object]*pooledVar, node ast.Node) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := vars[info.ObjectOf(id)]; v != nil {
+				v.escaped = true
+			}
+		}
+		return true
+	})
+}
+
+// markAliasMention marks mentioned variables as escaped only when the
+// expression's type can alias the pooled buffer: returning or storing
+// the tensor pointer or its Data slice hands off ownership, reading a
+// scalar element (x.Data[i], x.Rows) does not.
+func markAliasMention(info *types.Info, vars map[types.Object]*pooledVar, expr ast.Expr) {
+	if expr == nil {
+		return
+	}
+	if !typeCanAlias(info.TypeOf(expr)) {
+		return
+	}
+	markMention(info, vars, expr)
+}
+
+// typeCanAlias reports whether a value of type t can share memory with
+// a pooled tensor.
+func typeCanAlias(t types.Type) bool {
+	if t == nil {
+		return true // be lenient when the type is unknown
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Array:
+		return typeCanAlias(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeCanAlias(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		// Pointer, slice, map, chan, func, interface, tuple.
+		return true
+	}
+}
+
+// isPoolMethod reports whether call is <expr of type *tensor.Pool>.name(...).
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Pool" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/tensor")
+}
+
+func isAutogradFree(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Free" {
+		return false
+	}
+	return strings.HasSuffix(importedPackage(info, sel.X), "internal/autograd")
+}
+
+// isSizeBuiltin reports len/cap/clear style builtins, which read a
+// pooled tensor without taking ownership.
+func isSizeBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	if !ok {
+		return false
+	}
+	switch b.Name() {
+	case "len", "cap", "clear", "copy", "print", "println":
+		return true
+	}
+	return false
+}
+
+func innermostFuncLit(stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fl, ok := stack[i].(*ast.FuncLit); ok {
+			return fl
+		}
+	}
+	return nil
+}
+
+func innermostBlock(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package badignore holds fixtures for directive hygiene: a directive
+// without a reason and a directive that suppresses nothing are both
+// findings themselves.
+package badignore
+
+func malformed(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b // want `float == comparison is bit-exact`
+}
+
+func unused(a, b int) bool {
+	//lint:ignore floateq ints never trip the rule, so this is dead
+	return a == b
+}

@@ -1,0 +1,55 @@
+// Package detrand holds golden fixtures for the detrand analyzer. Every
+// `// want` comment is a true positive the analyzer must report on that
+// line; everything else must stay silent.
+package detrand
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()      // want `time\.Now in deterministic package`
+	return time.Since(start) // want `time\.Since in deterministic package`
+}
+
+func globalRand() float64 {
+	n := rand.Intn(10)                 // want `rand\.Intn draws from the global math/rand source`
+	return float64(n) + rand.Float64() // want `rand\.Float64 draws from the global math/rand source`
+}
+
+// seededOK shows the sanctioned pattern: an explicitly seeded source
+// (in production code, checkpoint.NewRNG) wrapped in the math/rand API.
+func seededOK() float64 {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Float64()
+}
+
+func mapLeak(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `accumulating into float sum under map iteration`
+	}
+	return sum
+}
+
+// mapSortedOK is the collect-then-sort idiom: the only outer write is
+// appending the keys, and the slice is sorted before use.
+func mapSortedOK(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapToMapOK writes only into another map: order-independent.
+func mapToMapOK(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

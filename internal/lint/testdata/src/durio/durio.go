@@ -1,0 +1,37 @@
+// Package durio holds golden fixtures for the durio analyzer.
+package durio
+
+import "os"
+
+func torn(path string, data []byte) error {
+	f, err := os.Create(path) // want `os\.Create writes a torn file on crash`
+	if err != nil {
+		return err
+	}
+	f.Write(data)   // want `Write error is unchecked on a durable write path`
+	f.Sync()        // want `Sync error is unchecked on a durable write path`
+	defer f.Close() // want `deferred Close error is unchecked on a durable write path`
+	return nil
+}
+
+func tornWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile writes a torn file on crash`
+}
+
+// stagedOK is the envelope shape: staging through CreateTemp with every
+// error checked, and explicit discards where ignoring is deliberate.
+func stagedOK(dir string, data []byte) error {
+	f, err := os.CreateTemp(dir, "stage-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,31 @@
+// Package floateq holds golden fixtures for the floateq analyzer.
+package floateq
+
+func eq(a, b float64) bool {
+	return a == b // want `float == comparison is bit-exact`
+}
+
+func neq(a, b float32) bool {
+	if a != b { // want `float != comparison is bit-exact`
+		return true
+	}
+	return false
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want `float == comparison is bit-exact`
+}
+
+// nanOK is the portable NaN test: comparing an expression to itself is
+// exempt.
+func nanOK(x float64) bool {
+	return x != x
+}
+
+func intOK(a, b int) bool {
+	return a == b
+}
+
+func orderedOK(a, b float64) bool {
+	return a < b // ordering comparisons are fine
+}

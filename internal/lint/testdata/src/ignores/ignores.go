@@ -1,0 +1,13 @@
+// Package ignores proves that a //lint:ignore directive suppresses
+// exactly the one diagnostic it covers: the annotated comparison stays
+// silent, the identical un-annotated one is still reported.
+package ignores
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq fixture: deliberate exact compare, suppressed
+	return a == b
+}
+
+func reported(a, b float64) bool {
+	return a == b // want `float == comparison is bit-exact`
+}

@@ -1,0 +1,69 @@
+// Package maporder holds golden fixtures for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to slice keys inside range over map`
+	}
+	return keys
+}
+
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `accumulating into float total inside range over map`
+	}
+	return total
+}
+
+func printOutput(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `writing output via fmt\.Printf inside range over map`
+	}
+}
+
+func builderOutput(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `writing output via WriteString inside range over map`
+	}
+	return b.String()
+}
+
+// collectSortOK appends keys and sorts them afterwards: exempt.
+func collectSortOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intAccumOK: integer accumulation is associative, order cannot leak.
+func intAccumOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// localBufferOK: the builder lives inside the loop body, so nothing
+// ordered escapes an iteration.
+func localBufferOK(m map[string]int) map[string]string {
+	out := map[string]string{}
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		out[k] = b.String()
+	}
+	return out
+}

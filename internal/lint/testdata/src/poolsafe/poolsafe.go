@@ -1,0 +1,84 @@
+// Package poolsafe holds golden fixtures for the poolsafe analyzer,
+// exercising tensor.Shared lifecycle discipline against the real pool.
+package poolsafe
+
+import "repro/internal/tensor"
+
+// leak gets a scratch tensor and forgets to release it: the buffer
+// never returns to the arena and nothing visibly takes ownership.
+func leak(n int) float64 {
+	scratch := tensor.Shared.Get(n, n) // want `pooled tensor scratch from Pool\.Get is never released`
+	scratch.Data[0] = 1
+	return scratch.Data[0]
+}
+
+// useAfterPut reads a tensor after returning it to the pool: a data
+// race with whichever goroutine Gets the recycled buffer next.
+func useAfterPut(n int) float64 {
+	t := tensor.Shared.Get(n, n)
+	t.Data[0] = 2
+	tensor.Shared.Put(t)
+	return t.Data[0] // want `t is used after being returned to the pool`
+}
+
+// doublePut releases the same tensor twice.
+func doublePut(n int) {
+	t := tensor.Shared.Get(n, n)
+	tensor.Shared.Put(t)
+	tensor.Shared.Put(t) // want `t is used after being returned to the pool`
+}
+
+// putOK is the canonical scratch pattern: Get, use, Put.
+func putOK(n int) float64 {
+	t := tensor.Shared.Get(n, n)
+	t.Data[0] = 3
+	v := t.Data[0]
+	tensor.Shared.Put(t)
+	return v
+}
+
+// deferOK releases at function exit; uses in between are fine.
+func deferOK(n int) float64 {
+	t := tensor.Shared.Get(n, n)
+	defer tensor.Shared.Put(t)
+	t.Data[0] = 4
+	return t.Data[0]
+}
+
+// returnOK hands the tensor to the caller: ownership visibly escapes.
+func returnOK(n int) *tensor.Tensor {
+	t := tensor.Shared.Get(n, n)
+	t.Data[0] = 5
+	return t
+}
+
+type holder struct{ t *tensor.Tensor }
+
+// storeOK stores the tensor into a struct: ownership visibly escapes.
+func storeOK(n int) *holder {
+	t := tensor.Shared.Get(n, n)
+	return &holder{t: t}
+}
+
+// handoffOK passes the tensor to another function, which may release it.
+func handoffOK(n int) {
+	t := tensor.Shared.Get(n, n)
+	release(t)
+}
+
+func release(t *tensor.Tensor) {
+	tensor.Shared.Put(t)
+}
+
+// branchPutOK puts only on an early-return branch; the use on the other
+// branch must not be flagged (the release does not dominate it).
+func branchPutOK(n int, early bool) float64 {
+	t := tensor.Shared.Get(n, n)
+	if early {
+		tensor.Shared.Put(t)
+		return 0
+	}
+	v := t.Data[0]
+	tensor.Shared.Put(t)
+	return v
+}

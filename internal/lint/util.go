@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectWithStack is ast.Inspect plus the ancestor stack: fn receives
+// each node together with the nodes enclosing it (outermost first,
+// excluding n itself). Returning false prunes the subtree.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// importedPackage resolves expr to the import path of the package it
+// names, or "" if expr is not a package qualifier.
+func importedPackage(info *types.Info, expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether id's object is declared outside the
+// span of node (i.e. the identifier refers to enclosing-scope state).
+func declaredOutside(info *types.Info, id *ast.Ident, node ast.Node) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil || obj.Pos() == 0 {
+		// No position: package-level dot-imported or universe object;
+		// treat as outside.
+		return true
+	}
+	return obj.Pos() < node.Pos() || obj.Pos() > node.End()
+}
+
+// rootIdent returns the base identifier of expr (x in x, x.f, x[i],
+// x.f[i].g), or nil.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsObject reports whether any identifier inside node refers to obj.
+func mentionsObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -29,6 +29,7 @@ func SetPR(pred, truth map[string]bool) (precision, recall float64) {
 
 // F1 combines precision and recall.
 func F1(precision, recall float64) float64 {
+	//lint:ignore floateq both terms are non-negative, so exact zero is the only 0/0 case to guard
 	if precision+recall == 0 {
 		return 0
 	}

@@ -130,6 +130,7 @@ func matMulRange(out, a, b *Tensor, accumulate bool, i0, i1 int) {
 			orow := out.Data[i*p : (i+1)*p]
 			for k := kb; k < kend; k++ {
 				aik := arow[k]
+				//lint:ignore floateq exact-zero sparsity skip: adding 0*x contributes no bits
 				if aik == 0 {
 					continue
 				}
@@ -169,6 +170,7 @@ func matMulATRange(out, a, b *Tensor, accumulate bool, i0, i1 int) {
 		brow := b.Data[k*p : (k+1)*p]
 		for i := i0; i < i1; i++ {
 			aki := arow[i]
+			//lint:ignore floateq exact-zero sparsity skip: adding 0*x contributes no bits
 			if aki == 0 {
 				continue
 			}
@@ -204,6 +206,7 @@ func matMulBTRange(out, a, b *Tensor, accumulate bool, i0, i1 int) {
 			brow := b.Data[j*p : (j+1)*p]
 			s := 0.0
 			for t, av := range arow {
+				//lint:ignore floateq exact-zero sparsity skip: adding 0*x contributes no bits
 				if av == 0 {
 					continue
 				}

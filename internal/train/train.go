@@ -198,6 +198,12 @@ type Options struct {
 	// writes a final checkpoint (if Checkpoint is set) and returns with
 	// Result.Interrupted set. Use it for cooperative SIGINT handling.
 	Stop func() bool
+	// Clock supplies wall-clock readings for Result.TrainTime telemetry.
+	// The training loop never reads the system clock itself — numerics
+	// must be a pure function of (seed, inputs), and the detrand lint
+	// rule enforces it — so callers that want timing inject time.Now
+	// here. Nil leaves TrainTime zero.
+	Clock func() time.Time
 }
 
 // DefaultOptions returns the CPU-scale training configuration.
@@ -257,7 +263,11 @@ func run(m seq2seq.Model, trainSet, valSet []Example, opts Options, st *checkpoi
 		return nil, err
 	}
 	res := &Result{BestVal: math.Inf(1)}
-	start := time.Now()
+	now := opts.Clock
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
+	start := now()
 
 	order := make([]int, len(trainSet))
 	for i := range order {
@@ -287,7 +297,7 @@ func run(m seq2seq.Model, trainSet, valSet []Example, opts Options, st *checkpoi
 			sum, count = st.SumLoss, st.Count
 		}
 		if st.Done {
-			res.TrainTime = time.Since(start)
+			res.TrainTime = now().Sub(start)
 			return res, nil
 		}
 	}
@@ -344,7 +354,7 @@ func run(m seq2seq.Model, trainSet, valSet []Example, opts Options, st *checkpoi
 				}
 				if stopping {
 					res.Interrupted = true
-					res.TrainTime = time.Since(start)
+					res.TrainTime = now().Sub(start)
 					return res, nil
 				}
 			}
@@ -377,7 +387,7 @@ func run(m seq2seq.Model, trainSet, valSet []Example, opts Options, st *checkpoi
 			break
 		}
 	}
-	res.TrainTime = time.Since(start)
+	res.TrainTime = now().Sub(start)
 	return res, nil
 }
 

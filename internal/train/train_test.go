@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/autograd"
 	"repro/internal/nn"
@@ -95,6 +96,7 @@ func TestSeq2SeqLearnsCopyTask(t *testing.T) {
 		opts.Epochs = 10
 		opts.Patience = 0
 		opts.LR = 5e-3
+		opts.Clock = time.Now // timing telemetry is caller-injected; see Options.Clock
 		res, err := Seq2Seq(m, data[:50], data[50:], opts)
 		if err != nil {
 			t.Fatal(err)

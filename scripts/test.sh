@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, vet, and the full test suite under the race
-# detector. The serving core (internal/servepool, internal/reccache,
-# internal/server) is concurrent by design, so -race is part of the
-# default gate, not an optional extra. Extra args are passed to `go test`
-# (e.g. scripts/test.sh -short).
+# Tier-1 verification: build, vet, qrec-lint, and the full test suite
+# under the race detector. The serving core (internal/servepool,
+# internal/reccache, internal/server) is concurrent by design, so -race
+# is part of the default gate, not an optional extra; the lint suite
+# (internal/lint) guards the determinism/pool/durability invariants the
+# tests prove dynamically. Extra args are passed to `go test` (e.g.
+# scripts/test.sh -short).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+go run ./cmd/qrec-lint ./...
 go test -race "$@" ./...
 
 # Bench smoke: one iteration of the kernel and training-step benchmarks so

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: test test-short bench bench-json fuzz fuzz-short build vet lint lint-fix-list
+.PHONY: test test-short chaos bench bench-json fuzz fuzz-short build vet lint lint-fix-list
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ test:
 
 test-short:
 	./scripts/test.sh -short
+
+# Overload/chaos suite in isolation: the serving stack at 4x saturation
+# with injected slow/failing/panicking model paths, under the race
+# detector. Also runs as part of `make test` (the suite needs no trained
+# model, so it is cheap).
+chaos:
+	$(GO) test -race -count=1 -v -run 'Chaos|Overload|Admission|Breaker|Limiter|Shed' \
+		./internal/server ./internal/servepool ./internal/overload
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -5,9 +5,16 @@
 // gracefully: the listener closes, in-flight recommendations get up to
 // -drain to finish, and the process exits 0.
 //
+// The serving stack is overload-resilient: admission control sheds
+// excess load early, a per-client token bucket (-rate/-burst) rejects
+// greedy callers with 429 + Retry-After, a circuit breaker guards the
+// model path, and shed or over-budget requests answer from a pre-warmed
+// popularity fallback flagged "degraded":true (-degrade, -soft-timeout).
+//
 // Usage:
 //
 //	qrec-serve -model model/ -addr :8080 -workers 8 -cache-size 4096
+//	qrec-serve -model model/ -rate 50 -burst 100 -soft-timeout 2s -max-inflight 64
 //	curl -s localhost:8080/v1/recommend -d '{"sql":"SELECT ra FROM PhotoObj"}'
 //	curl -s localhost:8080/v1/recommend/batch \
 //	  -d '{"requests":[{"sql":"SELECT ra FROM PhotoObj"}]}'
@@ -21,9 +28,12 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the opt-in debug mux
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/modeldir"
+	"repro/internal/servepool"
 	"repro/internal/server"
 )
 
@@ -38,6 +48,17 @@ func main() {
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max requests per batch call")
 	drain := flag.Duration("drain", server.DefaultDrainTimeout,
 		"graceful-shutdown deadline for in-flight requests")
+	maxQueue := flag.Int("max-queue", 0, "prediction task queue capacity (0 = workers)")
+	maxInFlight := flag.Int("max-inflight", 0,
+		"admitted-request cap before shedding (0 = auto from workers+queue, -1 disables)")
+	softTimeout := flag.Duration("soft-timeout", 5*time.Second,
+		"per-request model budget before degrading to the popular fallback (0 disables)")
+	rate := flag.Float64("rate", 0, "per-client request rate limit in req/s (0 disables)")
+	burst := flag.Float64("burst", 0, "rate-limiter burst size (0 = max(rate, 1))")
+	breakerRatio := flag.Float64("breaker-ratio", 0.5,
+		"model-path failure ratio that opens the circuit breaker (0 disables)")
+	degrade := flag.Bool("degrade", true,
+		"answer shed/over-budget requests from the popular fallback instead of 429/504")
 	pprofAddr := flag.String("pprof", "",
 		"debug listener address for net/http/pprof, e.g. localhost:6060 (empty disables; do not expose publicly)")
 	flag.Parse()
@@ -58,16 +79,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qrec-serve:", err)
 		os.Exit(1)
 	}
-	srv := server.NewWithConfig(rec, server.Config{
+	// Resolve the admission cap: by default admit roughly what the pool can
+	// hold (in-flight work + queue) times two, so shedding starts only when
+	// requests would otherwise sit doomed behind the queue.
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	q := *maxQueue
+	if q <= 0 {
+		q = w
+	}
+	inFlight := *maxInFlight
+	if inFlight == 0 {
+		inFlight = 2 * (w + q)
+	}
+	if inFlight < 0 {
+		inFlight = 0 // -1: admission control off
+	}
+	cfg := server.Config{
 		CacheSize:    *cacheSize,
 		Workers:      *workers,
 		Timeout:      *timeout,
 		MaxBodyBytes: *maxBody,
 		MaxBatch:     *maxBatch,
-	})
-	fmt.Fprintf(os.Stderr, "serving %s model (%d classes) on %s (workers=%d cache=%d timeout=%s)\n",
+		MaxQueue:     *maxQueue,
+		MaxInFlight:  inFlight,
+		SoftTimeout:  *softTimeout,
+		Rate:         *rate,
+		Burst:        *burst,
+		BreakerRatio: *breakerRatio,
+	}
+	if *degrade {
+		cfg.Fallback = servepool.FallbackFromRecommender(rec, 25)
+	}
+	srv := server.NewWithConfig(rec, cfg)
+	fmt.Fprintf(os.Stderr,
+		"serving %s model (%d classes) on %s (workers=%d cache=%d timeout=%s soft=%s inflight=%d rate=%g degrade=%t)\n",
 		rec.Model.Config().Arch, len(rec.Classifier.Classes), *addr,
-		*workers, *cacheSize, *timeout)
+		*workers, *cacheSize, *timeout, *softTimeout, inFlight, *rate, *degrade)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

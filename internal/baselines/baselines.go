@@ -93,6 +93,17 @@ func (p *Popular) TopTemplates(n int) []string {
 	return p.tmplRank[:n]
 }
 
+// TopAllFragments returns the n most popular fragments of every kind at
+// once, keyed in paper order — the shape the serving layer's degraded
+// snapshot wants.
+func (p *Popular) TopAllFragments(n int) map[sqlast.FragmentKind][]string {
+	out := make(map[sqlast.FragmentKind][]string, len(sqlast.FragmentKinds))
+	for _, k := range sqlast.FragmentKinds {
+		out[k] = p.TopFragments(k, n)
+	}
+	return out
+}
+
 // NaiveFragmentSet returns fragments(Q_i) as the prediction for
 // fragments(Q_{i+1}).
 func NaiveFragmentSet(cur *workload.Query) *sqlast.FragmentSet { return cur.Fragments }

@@ -258,6 +258,51 @@ func (r *Recommender) fragmentsOfIDs(ids []int) *sqlast.FragmentSet {
 	return fs
 }
 
+// PopularTemplates returns up to n template classes in training-frequency
+// order. The class list is already ranked by workload frequency (see
+// analysis.TemplateClasses), so its prefix is exactly the paper's
+// *popular* templates baseline — derivable from the trained artifacts
+// alone, which lets a serving process pre-warm a degraded-mode answer
+// without shipping the training workload.
+func (r *Recommender) PopularTemplates(n int) []string {
+	classes := r.Classifier.Classes
+	if n > len(classes) {
+		n = len(classes)
+	}
+	out := make([]string, n)
+	copy(out, classes[:n])
+	return out
+}
+
+// PopularFragments returns up to n fragments per kind in vocabulary
+// order. Vocabulary ids are assigned by descending training-token
+// frequency, so walking ids in order and expanding each token's fragment
+// roles yields a frequency-ranked *popular* fragments approximation from
+// the trained artifacts alone (dotted columns contribute to both their
+// table and column kinds, deduplicated).
+func (r *Recommender) PopularFragments(n int) map[sqlast.FragmentKind][]string {
+	out := make(map[sqlast.FragmentKind][]string, len(sqlast.FragmentKinds))
+	seen := map[sqlast.FragmentKind]map[string]bool{}
+	for _, k := range sqlast.FragmentKinds {
+		out[k] = []string{}
+		seen[k] = map[string]bool{}
+	}
+	remaining := len(sqlast.FragmentKinds)
+	for id := 0; id < r.Vocab.Size() && remaining > 0; id++ {
+		for _, f := range TokenFragments(r.Vocab, id) {
+			if len(out[f.Kind]) >= n || seen[f.Kind][f.Name] {
+				continue
+			}
+			seen[f.Kind][f.Name] = true
+			out[f.Kind] = append(out[f.Kind], f.Name)
+			if len(out[f.Kind]) == n {
+				remaining--
+			}
+		}
+	}
+	return out
+}
+
 // Strategy selects the N-fragments search strategy (Section 4.2.2).
 type Strategy int
 

@@ -124,10 +124,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 
 // Module-relative import paths of the packages whose numerics must be a
 // pure function of (seed, inputs): the tensor/autograd compute core, the
-// model and training stack, and the checkpoint envelope their resume
-// proofs depend on.
+// model and training stack, the checkpoint envelope their resume proofs
+// depend on, and the overload controllers (clock and jitter are injected
+// so breaker/limiter behavior replays exactly in tests).
 func deterministicPackages(module string) []string {
-	names := []string{"tensor", "autograd", "nn", "seq2seq", "train", "decode", "classify", "checkpoint"}
+	names := []string{"tensor", "autograd", "nn", "seq2seq", "train", "decode", "classify", "checkpoint", "overload"}
 	paths := make([]string, len(names))
 	for i, n := range names {
 		paths[i] = module + "/internal/" + n

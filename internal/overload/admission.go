@@ -1,0 +1,109 @@
+package overload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig tunes the admission controller.
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrently admitted requests; 0 disables the
+	// in-flight check.
+	MaxInFlight int
+	// MaxQueue rejects when the live queue depth (QueueDepth) reaches
+	// this bound; 0 disables the queue check.
+	MaxQueue int
+	// QueueDepth supplies the live depth of the work queue the admitted
+	// requests feed (e.g. servepool's Pool.QueueDepth). nil disables the
+	// queue check; Bind wires it after construction.
+	QueueDepth func() int
+	// RetryAfter is the backoff hint attached to rejections.
+	RetryAfter time.Duration
+}
+
+// Admission is the first rung of the shed ladder: it tracks in-flight
+// admitted work and the downstream queue depth, and rejects with a typed
+// *Error before a doomed request ever queues. All methods are safe for
+// concurrent use.
+type Admission struct {
+	cfg       AdmissionConfig
+	inFlight  atomic.Int64
+	highWater atomic.Int64
+	admitted  atomic.Uint64
+	shedLoad  atomic.Uint64 // rejections: in-flight cap
+	shedQueue atomic.Uint64 // rejections: queue depth
+}
+
+// NewAdmission builds an admission controller. A nil *Admission is valid
+// and admits everything, so callers can disable admission without
+// branching.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	return &Admission{cfg: cfg}
+}
+
+// Bind wires the live queue-depth source. It must be called before the
+// controller sees traffic (the field is read without synchronization);
+// it exists because the queue is typically constructed after the
+// controller that guards it.
+func (a *Admission) Bind(queueDepth func() int) {
+	if a != nil {
+		a.cfg.QueueDepth = queueDepth
+	}
+}
+
+// Acquire admits one request or rejects it with a *Error (unwrapping to
+// ErrOverloaded). On success the returned release must be called exactly
+// once when the request reaches a terminal state; calling it more than
+// once is a no-op.
+func (a *Admission) Acquire() (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	if q := a.cfg.QueueDepth; q != nil && a.cfg.MaxQueue > 0 && q() >= a.cfg.MaxQueue {
+		a.shedQueue.Add(1)
+		return nil, &Error{Reason: "queue", RetryAfter: a.cfg.RetryAfter}
+	}
+	for {
+		cur := a.inFlight.Load()
+		if a.cfg.MaxInFlight > 0 && cur >= int64(a.cfg.MaxInFlight) {
+			a.shedLoad.Add(1)
+			return nil, &Error{Reason: "admission", RetryAfter: a.cfg.RetryAfter}
+		}
+		if a.inFlight.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
+	for {
+		n, hw := a.inFlight.Load(), a.highWater.Load()
+		if n <= hw || a.highWater.CompareAndSwap(hw, n) {
+			break
+		}
+	}
+	a.admitted.Add(1)
+	var once sync.Once
+	return func() { once.Do(func() { a.inFlight.Add(-1) }) }, nil
+}
+
+// AdmissionStats is a snapshot of the admission counters.
+type AdmissionStats struct {
+	InFlight  int64  `json:"in_flight"`
+	HighWater int64  `json:"high_water"`
+	Admitted  uint64 `json:"admitted"`
+	ShedLoad  uint64 `json:"shed_load"`
+	ShedQueue uint64 `json:"shed_queue"`
+}
+
+// Stats snapshots the counters; all-zero on a nil controller.
+func (a *Admission) Stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		InFlight:  a.inFlight.Load(),
+		HighWater: a.highWater.Load(),
+		Admitted:  a.admitted.Load(),
+		ShedLoad:  a.shedLoad.Load(),
+		ShedQueue: a.shedQueue.Load(),
+	}
+}

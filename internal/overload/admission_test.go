@@ -1,0 +1,112 @@
+package overload
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionInFlightCap(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 2, RetryAfter: time.Second})
+	r1, err := a.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Acquire()
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("3rd acquire err = %v, want ErrOverloaded", err)
+	}
+	var oe *Error
+	if !errors.As(err, &oe) || oe.Reason != "admission" || oe.RetryAfter != time.Second {
+		t.Fatalf("typed error = %+v", oe)
+	}
+	r1()
+	r1() // double release is a no-op, not a double decrement
+	if r3, err := a.Acquire(); err != nil {
+		t.Fatalf("after release: %v", err)
+	} else {
+		r3()
+	}
+	r2()
+	st := a.Stats()
+	if st.InFlight != 0 || st.HighWater != 2 || st.Admitted != 3 || st.ShedLoad != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestAdmissionQueueBound(t *testing.T) {
+	depth := 0
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 100, MaxQueue: 3})
+	a.Bind(func() int { return depth })
+	if _, err := a.Acquire(); err != nil {
+		t.Fatalf("empty queue: %v", err)
+	}
+	depth = 3
+	_, err := a.Acquire()
+	var oe *Error
+	if !errors.As(err, &oe) || oe.Reason != "queue" {
+		t.Fatalf("full queue err = %v, want queue rejection", err)
+	}
+	if st := a.Stats(); st.ShedQueue != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestAdmissionNilAndDisabled(t *testing.T) {
+	var a *Admission
+	release, err := a.Acquire()
+	if err != nil {
+		t.Fatalf("nil admission rejected: %v", err)
+	}
+	release()
+	if st := a.Stats(); st != (AdmissionStats{}) {
+		t.Errorf("nil stats %+v", st)
+	}
+	// Zero config admits unboundedly.
+	a = NewAdmission(AdmissionConfig{})
+	for i := 0; i < 100; i++ {
+		if _, err := a.Acquire(); err != nil {
+			t.Fatalf("unbounded acquire %d: %v", i, err)
+		}
+	}
+}
+
+// TestAdmissionConcurrent hammers Acquire/release under -race and checks
+// the in-flight gauge never exceeds the cap and returns to zero.
+func TestAdmissionConcurrent(t *testing.T) {
+	const cap = 8
+	a := NewAdmission(AdmissionConfig{MaxInFlight: cap})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				release, err := a.Acquire()
+				if err != nil {
+					continue
+				}
+				if n := a.Stats().InFlight; n > cap {
+					t.Errorf("in-flight %d exceeds cap %d", n, cap)
+				}
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.InFlight != 0 {
+		t.Errorf("in-flight %d after drain", st.InFlight)
+	}
+	if st.HighWater > cap {
+		t.Errorf("high water %d exceeds cap", st.HighWater)
+	}
+	if st.Admitted == 0 {
+		t.Error("nothing admitted")
+	}
+}

@@ -1,0 +1,251 @@
+package overload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// BreakerState enumerates the circuit states.
+type BreakerState int32
+
+// Circuit states: Closed passes traffic, Open rejects it, HalfOpen lets
+// a bounded number of probes through to test recovery.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String names the state for telemetry.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the error-rate circuit breaker.
+type BreakerConfig struct {
+	// Window is the rolling outcome-sample count (default 64).
+	Window int
+	// MinSamples is the minimum window fill before the breaker may trip
+	// (default Window/4, at least 1).
+	MinSamples int
+	// FailureRatio trips the breaker when failures/samples reaches it
+	// (default 0.5).
+	FailureRatio float64
+	// Cooldown is how long an open circuit rejects before probing
+	// (default 5s).
+	Cooldown time.Duration
+	// CooldownJitter is the maximum extra cooldown drawn per trip from
+	// the seeded stream, de-synchronizing recovery probes across
+	// replicas; 0 disables jitter.
+	CooldownJitter time.Duration
+	// HalfOpenProbes bounds concurrent trial calls while half-open
+	// (default 1).
+	HalfOpenProbes int
+	// Clock supplies the wall clock. This package never reads the system
+	// clock itself (the detrand lint rule enforces it), so the
+	// composition root injects time.Now here. Nil gets a frozen zero
+	// clock: the breaker still trips and rejects, but an open circuit
+	// never cools down — fine for tests, wrong for serving.
+	Clock func() time.Time
+	// Seed seeds the jitter stream (checkpoint.RNG splitmix64); equal
+	// seeds yield equal jitter sequences.
+	Seed int64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 4
+		if c.MinSamples < 1 {
+			c.MinSamples = 1
+		}
+	}
+	if c.FailureRatio <= 0 {
+		c.FailureRatio = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Clock == nil {
+		c.Clock = func() time.Time { return time.Time{} }
+	}
+	return c
+}
+
+// Breaker is an error-rate circuit breaker: callers ask Allow before the
+// guarded call and Record the outcome after it. When the failure ratio
+// over the rolling window trips, the circuit opens and Allow rejects
+// with a typed *Error until a cooldown (plus seeded jitter) elapses;
+// then a bounded number of half-open probes decide between closing and
+// re-opening. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	ring     []bool // outcome ring: true = failure
+	ringLen  int    // filled samples
+	ringPos  int
+	failures int
+	openedAt time.Time
+	cooldown time.Duration // current trip's cooldown including jitter
+	probes   int           // in-flight half-open probes
+	rng      *checkpoint.RNG
+
+	opens    atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// NewBreaker builds a breaker in the closed state. A nil *Breaker is
+// valid: Allow always passes and Record is a no-op.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:  cfg,
+		ring: make([]bool, cfg.Window),
+		rng:  checkpoint.NewRNG(cfg.Seed),
+	}
+}
+
+// Allow reports whether the guarded call may proceed. A nil error means
+// go ahead — the caller must then Record the outcome exactly once. A
+// *Error (unwrapping to ErrOverloaded) means the circuit is open;
+// RetryAfter carries the remaining cooldown.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		remaining := b.cooldown - b.cfg.Clock().Sub(b.openedAt)
+		if remaining > 0 {
+			b.rejected.Add(1)
+			return &Error{Reason: "breaker", RetryAfter: remaining}
+		}
+		// Cooldown elapsed: probe.
+		b.state = HalfOpen
+		b.probes = 1
+		return nil
+	default: // HalfOpen
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return nil
+		}
+		b.rejected.Add(1)
+		return &Error{Reason: "breaker", RetryAfter: b.cfg.Cooldown}
+	}
+}
+
+// Record reports the outcome of a call Allow passed. failed=true counts
+// toward the trip ratio; a half-open probe failure re-opens immediately,
+// a probe success closes the circuit and resets the window.
+func (b *Breaker) Record(failed bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		if b.probes > 0 {
+			b.probes--
+		}
+		if failed {
+			b.trip()
+		} else if b.probes == 0 {
+			b.reset()
+		}
+		return
+	}
+	// Closed (or a straggler finishing after the circuit opened): roll
+	// the window.
+	if b.ringLen == len(b.ring) {
+		if b.ring[b.ringPos] {
+			b.failures--
+		}
+	} else {
+		b.ringLen++
+	}
+	b.ring[b.ringPos] = failed
+	if failed {
+		b.failures++
+	}
+	b.ringPos = (b.ringPos + 1) % len(b.ring)
+	if b.state == Closed && b.ringLen >= b.cfg.MinSamples &&
+		float64(b.failures)/float64(b.ringLen) >= b.cfg.FailureRatio {
+		b.trip()
+	}
+}
+
+// trip opens the circuit. Called with b.mu held.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Clock()
+	b.cooldown = b.cfg.Cooldown
+	if j := b.cfg.CooldownJitter; j > 0 {
+		b.cooldown += time.Duration(b.rng.Uint64() % uint64(j))
+	}
+	b.probes = 0
+	b.opens.Add(1)
+}
+
+// reset closes the circuit and clears the window. Called with b.mu held.
+func (b *Breaker) reset() {
+	b.state = Closed
+	b.ringLen, b.ringPos, b.failures = 0, 0, 0
+}
+
+// State returns the current circuit state (Closed on nil).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStats is a snapshot of the breaker counters.
+type BreakerStats struct {
+	State    string `json:"state"`
+	Opens    uint64 `json:"opens"`
+	Rejected uint64 `json:"rejected"`
+	Samples  int    `json:"samples"`
+	Failures int    `json:"failures"`
+}
+
+// Stats snapshots the counters; a nil breaker reports closed and zeros.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: Closed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:    b.state.String(),
+		Opens:    b.opens.Load(),
+		Rejected: b.rejected.Load(),
+		Samples:  b.ringLen,
+		Failures: b.failures,
+	}
+}

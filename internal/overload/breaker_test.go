@@ -1,0 +1,169 @@
+package overload
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:       8,
+		MinSamples:   4,
+		FailureRatio: 0.5,
+		Cooldown:     time.Second,
+		Clock:        clk.Now,
+		Seed:         7,
+	})
+}
+
+func TestBreakerTripsOnFailureRatio(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	// 3 failures in a row: below MinSamples, still closed.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Record(true)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %v before MinSamples", b.State())
+	}
+	b.Allow()
+	b.Record(true) // 4/4 failures >= 0.5
+	if b.State() != Open {
+		t.Fatalf("state %v after trip, want open", b.State())
+	}
+	err := b.Allow()
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("open breaker err = %v", err)
+	}
+	var oe *Error
+	if !errors.As(err, &oe) || oe.Reason != "breaker" || oe.RetryAfter <= 0 {
+		t.Fatalf("typed error %+v", oe)
+	}
+	st := b.Stats()
+	if st.State != "open" || st.Opens != 1 || st.Rejected != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestBreakerStaysClosedOnHealthyTraffic(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	// 1/8 failures stays under the 0.5 ratio forever.
+	for i := 0; i < 100; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("healthy breaker rejected call %d: %v", i, err)
+		}
+		b.Record(i%8 == 0)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	if b.State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("open breaker allowed before cooldown")
+	}
+	clk.Advance(2 * time.Second) // past cooldown (1s, no jitter configured)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not allowed after cooldown: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	// Only HalfOpenProbes (1) concurrent probes pass.
+	if err := b.Allow(); err == nil {
+		t.Fatal("second concurrent probe allowed")
+	}
+	b.Record(false) // probe succeeds
+	if b.State() != Closed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	// The window was reset: one failure does not re-trip.
+	b.Allow()
+	b.Record(true)
+	if b.State() != Closed {
+		t.Error("breaker tripped on stale window after reset")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not allowed: %v", err)
+	}
+	b.Record(true) // probe fails
+	if b.State() != Open {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	if got := b.Stats().Opens; got != 2 {
+		t.Errorf("opens = %d, want 2", got)
+	}
+}
+
+// TestBreakerJitterIsSeeded pins that cooldown jitter comes from the
+// seeded stream: equal seeds produce equal reopen times.
+func TestBreakerJitterIsSeeded(t *testing.T) {
+	reopenAt := func(seed int64) time.Duration {
+		clk := newFakeClock()
+		b := NewBreaker(BreakerConfig{
+			Window: 4, MinSamples: 2, FailureRatio: 0.5,
+			Cooldown: time.Second, CooldownJitter: time.Second,
+			Clock: clk.Now, Seed: seed,
+		})
+		for i := 0; i < 2; i++ {
+			b.Allow()
+			b.Record(true)
+		}
+		// Step until the circuit half-opens.
+		for d := time.Duration(0); d < 3*time.Second; d += 10 * time.Millisecond {
+			if b.Allow() == nil {
+				return d
+			}
+			clk.Advance(10 * time.Millisecond)
+		}
+		t.Fatal("breaker never half-opened")
+		return 0
+	}
+	a1, a2, b1 := reopenAt(1), reopenAt(1), reopenAt(2)
+	if a1 != a2 {
+		t.Errorf("same seed, different reopen times: %v vs %v", a1, a2)
+	}
+	if a1 < time.Second {
+		t.Errorf("reopen %v before base cooldown", a1)
+	}
+	_ = b1 // different seeds may (and here do) differ; equality is not an error per se
+}
+
+func TestBreakerNil(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatal("nil breaker rejected")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Error("nil breaker not closed")
+	}
+	if st := b.Stats(); st.State != "closed" {
+		t.Errorf("nil stats %+v", st)
+	}
+}

@@ -1,0 +1,54 @@
+// Package overload implements the serving stack's overload-resilience
+// primitives: an admission controller that sheds work before it queues
+// (Admission), a per-client token-bucket rate limiter (Limiter), and an
+// error-rate circuit breaker around the model path (Breaker).
+//
+// The design goal is to avoid congestion collapse: a saturated worker
+// pool must convert excess load into fast, typed rejections — which the
+// serving layer can answer from a degraded baseline or map to HTTP 429 —
+// instead of letting every request ride the queue to its hard timeout.
+// The ladder is
+//
+//	admission → shed → degrade
+//
+// admit what the pool can finish inside its budget, shed the rest early,
+// and let the caller degrade shed requests to a pre-warmed baseline
+// answer.
+//
+// The package is deliberately clock-free and globally-seed-free: wall
+// clocks are injected (Clock fields, like train.Options.Clock) and the
+// breaker's cooldown jitter draws from an explicit seeded stream
+// (checkpoint.RNG), so the package sits in the qrec-lint deterministic
+// set and its tests can drive time and randomness exactly.
+package overload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded is the sentinel every overload rejection unwraps to;
+// callers branch with errors.Is(err, ErrOverloaded).
+var ErrOverloaded = errors.New("overload: rejected")
+
+// Error is a typed overload rejection: which rung of the ladder rejected
+// the request and how long the client should back off. It unwraps to
+// ErrOverloaded, and the HTTP layer maps it to 429 with a Retry-After
+// header.
+type Error struct {
+	// Reason names the rejecting component: "admission" (in-flight cap),
+	// "queue" (pool queue full), "rate" (per-client limit) or "breaker"
+	// (circuit open).
+	Reason string
+	// RetryAfter is the suggested client backoff; zero means unspecified.
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("overload: rejected (%s)", e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) true for every rejection.
+func (e *Error) Unwrap() error { return ErrOverloaded }

@@ -1,0 +1,138 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// LimiterConfig tunes the per-client token-bucket limiter.
+type LimiterConfig struct {
+	// Rate is the sustained allowance in requests per second; <= 0
+	// disables limiting (Allow always succeeds).
+	Rate float64
+	// Burst is the bucket capacity — how many requests a quiet client may
+	// issue back to back. <= 0 defaults to max(Rate, 1).
+	Burst float64
+	// MaxClients bounds the tracked-bucket map; when full, admitting a
+	// new client evicts the stalest bucket. <= 0 defaults to 4096.
+	MaxClients int
+	// Clock supplies the wall clock (the package is clock-free by
+	// design; inject time.Now at the composition root). Required when
+	// Rate > 0.
+	Clock func() time.Time
+}
+
+// DefaultMaxClients bounds the client-bucket map when LimiterConfig does
+// not.
+const DefaultMaxClients = 4096
+
+// Limiter is a per-client token-bucket rate limiter keyed by an opaque
+// client string (a client header or remote address). Each client's
+// bucket refills at Rate tokens/second up to Burst; a request costs one
+// token. Safe for concurrent use.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	allowed uint64
+	limited uint64
+	evicted uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter. A nil *Limiter is valid and allows
+// everything, so callers can disable rate limiting without branching.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	return &Limiter{cfg: cfg, buckets: map[string]*bucket{}}
+}
+
+// Allow charges one token to the client's bucket. It reports whether the
+// request may proceed; when it may not, retryAfter is how long until the
+// bucket holds a full token again.
+func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.cfg.Rate <= 0 {
+		return true, 0
+	}
+	now := l.cfg.Clock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[client]
+	if !exists {
+		if len(l.buckets) >= l.cfg.MaxClients {
+			l.evictStalest()
+		}
+		b = &bucket{tokens: l.cfg.Burst, last: now}
+		l.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.cfg.Rate
+		if b.tokens > l.cfg.Burst {
+			b.tokens = l.cfg.Burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		l.allowed++
+		return true, 0
+	}
+	l.limited++
+	missing := 1 - b.tokens
+	return false, time.Duration(missing / l.cfg.Rate * float64(time.Second))
+}
+
+// evictStalest drops the bucket with the oldest refill time, breaking
+// ties on the smaller key so the choice is independent of map order.
+// Called with l.mu held; O(clients), amortized by MaxClients being the
+// steady-state bound.
+func (l *Limiter) evictStalest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for k, b := range l.buckets {
+		if first || b.last.Before(oldest) || (b.last.Equal(oldest) && k < victim) {
+			victim, oldest, first = k, b.last, false
+		}
+	}
+	if !first {
+		delete(l.buckets, victim)
+		l.evicted++
+	}
+}
+
+// LimiterStats is a snapshot of the limiter counters.
+type LimiterStats struct {
+	Clients int    `json:"clients"`
+	Allowed uint64 `json:"allowed"`
+	Limited uint64 `json:"limited"`
+	Evicted uint64 `json:"evicted"`
+}
+
+// Stats snapshots the counters; all-zero on a nil limiter.
+func (l *Limiter) Stats() LimiterStats {
+	if l == nil {
+		return LimiterStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterStats{
+		Clients: len(l.buckets),
+		Allowed: l.allowed,
+		Limited: l.limited,
+		Evicted: l.evicted,
+	}
+}

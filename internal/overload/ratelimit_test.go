@@ -1,0 +1,99 @@
+package overload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-stepped wall clock for deterministic limiter and
+// breaker tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 2, Burst: 2, Clock: clk.Now})
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("alice")
+	if ok {
+		t.Fatal("3rd immediate request allowed past burst")
+	}
+	// Empty bucket at 2 tokens/s: a full token is 500ms away.
+	if retry != 500*time.Millisecond {
+		t.Errorf("retryAfter = %v, want 500ms", retry)
+	}
+	// Other clients are unaffected.
+	if ok, _ := l.Allow("bob"); !ok {
+		t.Error("independent client denied")
+	}
+	clk.Advance(500 * time.Millisecond)
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Error("request denied after refill interval")
+	}
+	st := l.Stats()
+	if st.Limited != 1 || st.Allowed != 4 || st.Clients != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLimiterRefillClampsToBurst(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 100, Burst: 3, Clock: clk.Now})
+	if ok, _ := l.Allow("c"); !ok {
+		t.Fatal("first request denied")
+	}
+	clk.Advance(time.Hour) // refills far more than burst
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("c"); !ok {
+			t.Fatalf("burst request %d denied after idle", i)
+		}
+	}
+	if ok, _ := l.Allow("c"); ok {
+		t.Error("idle refill exceeded burst capacity")
+	}
+}
+
+func TestLimiterDisabledAndNil(t *testing.T) {
+	var l *Limiter
+	if ok, _ := l.Allow("x"); !ok {
+		t.Error("nil limiter denied")
+	}
+	l = NewLimiter(LimiterConfig{Rate: 0})
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Allow("x"); !ok {
+			t.Fatal("disabled limiter denied")
+		}
+	}
+}
+
+func TestLimiterEvictsStalestClient(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 5, MaxClients: 3, Clock: clk.Now})
+	for i := 0; i < 3; i++ {
+		l.Allow(fmt.Sprintf("c%d", i))
+		clk.Advance(time.Second)
+	}
+	// c0 is stalest; a 4th client evicts it.
+	l.Allow("c3")
+	st := l.Stats()
+	if st.Clients != 3 || st.Evicted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// c0 comes back with a fresh (full) bucket rather than its drained one.
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.Allow("c0"); !ok {
+			t.Fatalf("re-admitted client denied at request %d", i)
+		}
+	}
+}

@@ -122,6 +122,24 @@ func (c *Cache) Put(key string, val any) {
 	}
 }
 
+// Probe returns the cached value for key without touching the hit/miss
+// counters or the recency list. The overload shed path uses it: a shed
+// request peeks for a resident answer before degrading, and that peek
+// must neither distort the cache telemetry the operator tunes by nor
+// promote entries the admitted traffic didn't ask for.
+func (c *Cache) Probe(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
 // GetOrCompute returns the cached value for key, or computes, stores and
 // returns it. The computation runs outside the shard lock, so concurrent
 // misses on the same key may compute redundantly — acceptable because

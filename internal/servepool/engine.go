@@ -2,11 +2,16 @@ package servepool
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/overload"
 	"repro/internal/reccache"
 	"repro/internal/sqlast"
 	"repro/internal/tokenizer"
@@ -28,6 +33,10 @@ type Request struct {
 type Result struct {
 	Templates []string
 	Fragments map[sqlast.FragmentKind][]string
+	// Degraded marks an answer served from the pre-warmed Popular
+	// fallback instead of the model path (shed, breaker open, or soft
+	// deadline exceeded).
+	Degraded bool
 }
 
 // BadQueryError wraps a tokenization/parse failure of the input SQL so the
@@ -40,21 +49,122 @@ func (e *BadQueryError) Error() string { return e.Err.Error() }
 // Unwrap exposes the underlying parse error.
 func (e *BadQueryError) Unwrap() error { return e.Err }
 
+// PredictorPanicError wraps a panic recovered from a predictor call, so a
+// crashing model path becomes an ordinary error (degradable, breaker
+// countable) instead of killing a pool worker and the process with it.
+type PredictorPanicError struct{ Value any }
+
+// Error implements the error interface.
+func (e *PredictorPanicError) Error() string {
+	return fmt.Sprintf("servepool: predictor panic: %v", e.Value)
+}
+
+// Predictor is the model-path dependency of the Engine: the two
+// independent halves of a recommendation. core.Recommender satisfies it
+// through the default adapter; chaos tests (and custom backends)
+// substitute slow, failing or panicking implementations. Implementations
+// must be safe for concurrent use; ctx carries the per-request soft
+// budget, which implementations may honor or ignore (the built-in model
+// path ignores it — beam search is not interruptible — and relies on the
+// pool's context handling for abandonment).
+type Predictor interface {
+	Templates(ctx context.Context, prevToks, curToks []string, n int) ([]string, error)
+	Fragments(ctx context.Context, curToks []string, n int, opts core.NFragmentsOptions) (map[sqlast.FragmentKind][]string, error)
+}
+
+// recPredictor is the default Predictor: the trained model path.
+type recPredictor struct{ rec *core.Recommender }
+
+func (p recPredictor) Templates(_ context.Context, prevToks, curToks []string, n int) ([]string, error) {
+	src := core.EncodeContext(p.rec.Vocab, prevToks, curToks)
+	return p.rec.Classifier.PredictTopN(src, n), nil
+}
+
+func (p recPredictor) Fragments(_ context.Context, curToks []string, n int, opts core.NFragmentsOptions) (map[sqlast.FragmentKind][]string, error) {
+	src := p.rec.Vocab.Encode(curToks, true)
+	return p.rec.NFragmentsFromTokens(src, n, opts), nil
+}
+
+// EngineOptions tunes the serving engine beyond the basic pool size. The
+// zero value reproduces the plain engine: default queue, model-path
+// predictor, no admission control, no breaker, no degraded mode.
+type EngineOptions struct {
+	// Workers sizes the prediction pool (<= 0 defaults to GOMAXPROCS).
+	Workers int
+	// Queue sizes the pool task queue (<= 0 defaults to Workers).
+	Queue int
+	// Predictor overrides the model path; nil uses the recommender.
+	Predictor Predictor
+	// Admission, when non-nil, sheds requests before they queue; the
+	// engine binds it to the pool's live queue depth.
+	Admission *overload.Admission
+	// Breaker, when non-nil, guards the model path: soft timeouts and
+	// model failures count toward its trip ratio, and an open circuit
+	// sheds straight to the fallback.
+	Breaker *overload.Breaker
+	// Fallback, when non-nil, enables degraded mode: shed requests and
+	// over-budget model calls answer from this snapshot (flagged
+	// Result.Degraded) instead of erroring.
+	Fallback *Fallback
+	// SoftTimeout bounds each request's model work below the caller's
+	// hard deadline, leaving room to degrade instead of timing out; 0
+	// disables. Batch items inherit it individually (per-item budgets).
+	SoftTimeout time.Duration
+}
+
 // Engine executes recommendations for one trained model: the template and
 // fragment predictions of a request run as two independent tasks on the
 // worker pool (they share no state — see core.Recommender), and results
 // are memoized in an optional inference cache keyed on the normalized
 // token sequence, context, N and search options.
+//
+// With EngineOptions the engine also climbs the overload ladder: an
+// admission controller sheds requests the pool cannot finish in budget, a
+// circuit breaker sheds around a failing model path, and shed requests
+// are answered from an exact cache hit when one is resident — full
+// quality at zero model cost — or from the degraded Popular fallback.
 type Engine struct {
 	rec   *core.Recommender
 	cache *reccache.Cache // nil disables caching
 	pool  *Pool
+	pred  Predictor
+	adm   *overload.Admission
+	brk   *overload.Breaker
+	fb    *Fallback
+	soft  time.Duration
+
+	degraded      atomic.Uint64
+	softTimeouts  atomic.Uint64
+	modelFailures atomic.Uint64
+	shedCacheHits atomic.Uint64
 }
 
 // NewEngine builds an engine around a trained recommender. cache may be
 // nil (no memoization); workers <= 0 defaults to GOMAXPROCS.
 func NewEngine(rec *core.Recommender, cache *reccache.Cache, workers int) *Engine {
-	return &Engine{rec: rec, cache: cache, pool: NewPool(workers)}
+	return NewEngineWithOptions(rec, cache, EngineOptions{Workers: workers})
+}
+
+// NewEngineWithOptions builds an engine with explicit serving options.
+func NewEngineWithOptions(rec *core.Recommender, cache *reccache.Cache, opts EngineOptions) *Engine {
+	pool := NewPoolQueue(opts.Workers, opts.Queue)
+	pred := opts.Predictor
+	if pred == nil {
+		pred = recPredictor{rec: rec}
+	}
+	if opts.Admission != nil {
+		opts.Admission.Bind(pool.QueueDepth)
+	}
+	return &Engine{
+		rec:   rec,
+		cache: cache,
+		pool:  pool,
+		pred:  pred,
+		adm:   opts.Admission,
+		brk:   opts.Breaker,
+		fb:    opts.Fallback,
+		soft:  opts.SoftTimeout,
+	}
 }
 
 // Rec exposes the underlying recommender (read-only use).
@@ -75,43 +185,146 @@ func optsKey(o core.NFragmentsOptions) string {
 	return fmt.Sprintf("%s|%d|%g|%g|%d", o.Strategy, o.Width, o.Penalty, o.MinFrac, o.Seed)
 }
 
-// Recommend computes templates and fragments for one request, running the
-// two predictions in parallel on the pool. Errors: *BadQueryError when the
-// SQL (or PrevSQL) does not parse, ctx.Err() on timeout/cancellation,
-// ErrClosed after Close.
-func (e *Engine) Recommend(ctx context.Context, req Request) (*Result, error) {
-	// Tokenize once up front: the token sequence is both the cache key
-	// (normalized — whitespace, aliases and literals are already folded)
-	// and the model input, and it is the only part of the pipeline that
-	// can reject the request.
+// prepared is a validated request: tokenized input plus cache keys.
+type prepared struct {
+	curToks, prevToks []string
+	tmplKey, fragKey  string
+}
+
+// prepare tokenizes the request up front: the token sequence is both the
+// cache key (normalized — whitespace, aliases and literals are already
+// folded) and the model input, and it is the only part of the pipeline
+// that can reject the request. Running it before admission means junk
+// input gets its 422 even under overload.
+func prepare(req Request) (prepared, error) {
 	curToks, err := tokenizer.Tokenize(req.SQL)
 	if err != nil {
-		return nil, &BadQueryError{Err: err}
+		return prepared{}, &BadQueryError{Err: err}
 	}
 	var prevToks []string
 	if req.PrevSQL != "" {
 		prevToks, err = tokenizer.Tokenize(req.PrevSQL)
 		if err != nil {
-			return nil, &BadQueryError{Err: err}
+			return prepared{}, &BadQueryError{Err: err}
 		}
 	}
-
 	curKey := strings.Join(curToks, " ")
 	prevKey := strings.Join(prevToks, " ")
 	n := strconv.Itoa(req.N)
-	tmplKey := "t\x00" + prevKey + "\x00" + curKey + "\x00" + n
-	fragKey := "f\x00" + curKey + "\x00" + n + "\x00" + optsKey(req.Opts)
+	return prepared{
+		curToks:  curToks,
+		prevToks: prevToks,
+		tmplKey:  "t\x00" + prevKey + "\x00" + curKey + "\x00" + n,
+		fragKey:  "f\x00" + curKey + "\x00" + n + "\x00" + optsKey(req.Opts),
+	}, nil
+}
 
+// Recommend computes templates and fragments for one request, running the
+// two predictions in parallel on the pool.
+//
+// Overload ladder (active parts only): admission may shed the request
+// before it queues; an open breaker sheds it around the model path; a
+// configured soft timeout bounds the model work. A shed request is
+// answered from an exact cache hit when both halves are resident,
+// otherwise from the degraded fallback; without a fallback it fails with
+// an error unwrapping to overload.ErrOverloaded.
+//
+// Errors: *BadQueryError when the SQL (or PrevSQL) does not parse,
+// overload rejections (errors.Is(err, overload.ErrOverloaded)) when shed
+// without a fallback, ctx.Err() on caller timeout/cancellation, ErrClosed
+// after Close, and predictor failures (including *PredictorPanicError)
+// when degraded mode is off.
+func (e *Engine) Recommend(ctx context.Context, req Request) (*Result, error) {
+	pr, err := prepare(req)
+	if err != nil {
+		return nil, err
+	}
+
+	if e.adm != nil {
+		release, aerr := e.adm.Acquire()
+		if aerr != nil {
+			return e.shedAnswer(pr, req.N, aerr)
+		}
+		defer release()
+	}
+	recordBreaker := func(bool) {}
+	if e.brk != nil {
+		if berr := e.brk.Allow(); berr != nil {
+			return e.shedAnswer(pr, req.N, berr)
+		}
+		var once sync.Once
+		recordBreaker = func(failed bool) { once.Do(func() { e.brk.Record(failed) }) }
+	}
+
+	mctx := ctx
+	if e.soft > 0 {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithTimeout(ctx, e.soft)
+		defer cancel()
+	}
+	res, err := e.modelPath(mctx, pr, req)
+	if err == nil {
+		recordBreaker(false)
+		return res, nil
+	}
+	if errors.Is(err, ErrClosed) {
+		// Shutting down: not a model failure, and nothing to degrade to
+		// that the caller could still use.
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		// The caller's own deadline or cancellation fired: the model is
+		// not at fault and the caller is gone — propagate.
+		return nil, err
+	}
+	// The soft budget expired or the model path itself failed.
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.softTimeouts.Add(1)
+	} else {
+		e.modelFailures.Add(1)
+	}
+	recordBreaker(true)
+	if e.fb != nil {
+		e.degraded.Add(1)
+		return e.fb.Answer(req.N), nil
+	}
+	return nil, err
+}
+
+// shedAnswer terminates a shed request without model work: an exact
+// cache hit (both halves resident) yields the full-quality answer — the
+// probe leaves hit/miss telemetry and recency untouched — otherwise the
+// degraded snapshot; with neither, the typed rejection propagates.
+func (e *Engine) shedAnswer(pr prepared, n int, rej error) (*Result, error) {
+	if t, ok := e.cache.Probe(pr.tmplKey); ok {
+		if f, ok := e.cache.Probe(pr.fragKey); ok {
+			e.shedCacheHits.Add(1)
+			return &Result{
+				Templates: t.([]string),
+				Fragments: f.(map[sqlast.FragmentKind][]string),
+			}, nil
+		}
+	}
+	if e.fb != nil {
+		e.degraded.Add(1)
+		return e.fb.Answer(n), nil
+	}
+	return nil, rej
+}
+
+// modelPath runs the two prediction halves in parallel on the pool.
+func (e *Engine) modelPath(ctx context.Context, pr prepared, req Request) (*Result, error) {
 	res := &Result{}
+	var tmplErr, fragErr error
 	errc := make(chan error, 2)
 	go func() {
 		errc <- e.pool.Do(ctx, func() {
-			res.Templates = e.templates(tmplKey, prevToks, curToks, req.N)
+			res.Templates, tmplErr = e.templates(ctx, pr.tmplKey, pr.prevToks, pr.curToks, req.N)
 		})
 	}()
 	go func() {
 		errc <- e.pool.Do(ctx, func() {
-			res.Fragments = e.fragments(fragKey, curToks, req.N, req.Opts)
+			res.Fragments, fragErr = e.fragments(ctx, pr.fragKey, pr.curToks, req.N, req.Opts)
 		})
 	}()
 	for i := 0; i < 2; i++ {
@@ -121,24 +334,91 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Both pool tasks completed (happens-before via their done channels),
+	// so the error slots are settled.
+	if tmplErr != nil {
+		return nil, tmplErr
+	}
+	if fragErr != nil {
+		return nil, fragErr
+	}
 	return res, nil
 }
 
-// templates predicts (or recalls) the top-N next-query templates.
-func (e *Engine) templates(key string, prevToks, curToks []string, n int) []string {
-	return e.cache.GetOrCompute(key, func() any {
-		src := core.EncodeContext(e.rec.Vocab, prevToks, curToks)
-		return e.rec.Classifier.PredictTopN(src, n)
-	}).([]string)
+// safePredict converts a predictor panic into an error so a crashing
+// model path cannot take down the worker's process.
+func safePredict[T any](f func() (T, error)) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PredictorPanicError{Value: p}
+		}
+	}()
+	return f()
 }
 
-// fragments predicts (or recalls) the top-N fragments per kind.
-func (e *Engine) fragments(key string, curToks []string, n int, opts core.NFragmentsOptions) map[sqlast.FragmentKind][]string {
-	return e.cache.GetOrCompute(key, func() any {
-		src := e.rec.Vocab.Encode(curToks, true)
-		return e.rec.NFragmentsFromTokens(src, n, opts)
-	}).(map[sqlast.FragmentKind][]string)
+// templates predicts (or recalls) the top-N next-query templates.
+// Failures are not cached.
+func (e *Engine) templates(ctx context.Context, key string, prevToks, curToks []string, n int) ([]string, error) {
+	if v, ok := e.cache.Get(key); ok {
+		return v.([]string), nil
+	}
+	v, err := safePredict(func() ([]string, error) {
+		return e.pred.Templates(ctx, prevToks, curToks, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.cache.Put(key, v)
+	return v, nil
 }
+
+// fragments predicts (or recalls) the top-N fragments per kind. Failures
+// are not cached.
+func (e *Engine) fragments(ctx context.Context, key string, curToks []string, n int, opts core.NFragmentsOptions) (map[sqlast.FragmentKind][]string, error) {
+	if v, ok := e.cache.Get(key); ok {
+		return v.(map[sqlast.FragmentKind][]string), nil
+	}
+	v, err := safePredict(func() (map[sqlast.FragmentKind][]string, error) {
+		return e.pred.Fragments(ctx, curToks, n, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.cache.Put(key, v)
+	return v, nil
+}
+
+// OverloadStats is a snapshot of the engine's overload-ladder counters.
+type OverloadStats struct {
+	// Degraded counts answers served from the fallback snapshot.
+	Degraded uint64 `json:"degraded"`
+	// SoftTimeouts counts model calls that exceeded the soft budget.
+	SoftTimeouts uint64 `json:"soft_timeouts"`
+	// ModelFailures counts predictor errors and recovered panics.
+	ModelFailures uint64 `json:"model_failures"`
+	// ShedCacheHits counts shed requests salvaged by an exact cache hit.
+	ShedCacheHits uint64 `json:"shed_cache_hits"`
+	// Admission and Breaker carry the component counters (zero-valued
+	// when the component is disabled).
+	Admission overload.AdmissionStats `json:"admission"`
+	Breaker   overload.BreakerStats   `json:"breaker"`
+}
+
+// OverloadStats snapshots the overload counters.
+func (e *Engine) OverloadStats() OverloadStats {
+	return OverloadStats{
+		Degraded:      e.degraded.Load(),
+		SoftTimeouts:  e.softTimeouts.Load(),
+		ModelFailures: e.modelFailures.Load(),
+		ShedCacheHits: e.shedCacheHits.Load(),
+		Admission:     e.adm.Stats(),
+		Breaker:       e.brk.Stats(),
+	}
+}
+
+// BreakerState reports the circuit state (Closed when no breaker is
+// configured).
+func (e *Engine) BreakerState() overload.BreakerState { return e.brk.State() }
 
 // BatchItem is one outcome of RecommendBatch: exactly one of Result or Err
 // is set.
@@ -148,8 +428,12 @@ type BatchItem struct {
 }
 
 // RecommendBatch fans the requests across the worker pool and returns one
-// item per request, in order. Per-request failures (unparseable SQL) land
-// in the corresponding item; a cancelled context fails the remainder.
+// item per request, in order. Per-request failures (unparseable SQL,
+// shed without fallback, per-item soft timeout) land in the
+// corresponding item and never poison their batch siblings; a cancelled
+// context fails the remainder. Each item passes the overload ladder
+// independently and gets its own soft budget, so one slow item degrades
+// (or errors) alone.
 func (e *Engine) RecommendBatch(ctx context.Context, reqs []Request) []BatchItem {
 	out := make([]BatchItem, len(reqs))
 	done := make(chan int, len(reqs))

@@ -1,0 +1,72 @@
+package servepool
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/sqlast"
+)
+
+// Fallback is a pre-warmed degraded-mode answer source: a frozen
+// popularity ranking of templates and fragments (the paper's *popular*
+// baseline, Section 6.2.3) served when the model path is shed, broken or
+// over budget. Answering from it is strictly better than a timeout — the
+// endpoint keeps returning schema-valid recommendations under stress.
+//
+// A Fallback is immutable after construction and safe for unlimited
+// concurrent use; Answer is a couple of slice headers, so a degraded
+// response costs no model work at all. For a fixed snapshot the answers
+// are byte-deterministic.
+type Fallback struct {
+	templates []string
+	fragments map[sqlast.FragmentKind][]string
+}
+
+// NewFallback freezes explicit popularity rankings (most popular first).
+// The inputs are copied.
+func NewFallback(templates []string, fragments map[sqlast.FragmentKind][]string) *Fallback {
+	f := &Fallback{
+		templates: append([]string(nil), templates...),
+		fragments: make(map[sqlast.FragmentKind][]string, len(sqlast.FragmentKinds)),
+	}
+	for _, k := range sqlast.FragmentKinds {
+		f.fragments[k] = append([]string(nil), fragments[k]...)
+	}
+	return f
+}
+
+// FallbackFromPopular snapshots the true Popular baseline (computed from
+// training pairs), keeping up to maxN entries per list — use when the
+// workload is at hand.
+func FallbackFromPopular(pop *baselines.Popular, maxN int) *Fallback {
+	return NewFallback(pop.TopTemplates(maxN), pop.TopAllFragments(maxN))
+}
+
+// FallbackFromRecommender derives a popularity snapshot from the trained
+// artifacts alone — class order and vocabulary order are both
+// frequency-ranked — so a serving process can pre-warm degraded mode
+// from a model directory without the training workload.
+func FallbackFromRecommender(rec *core.Recommender, maxN int) *Fallback {
+	return NewFallback(rec.PopularTemplates(maxN), rec.PopularFragments(maxN))
+}
+
+// Answer builds the degraded result for a request wanting n entries per
+// list. The returned slices alias the frozen snapshot and must be
+// treated as immutable (the same contract cached results carry).
+func (f *Fallback) Answer(n int) *Result {
+	res := &Result{
+		Templates: f.templates,
+		Fragments: make(map[sqlast.FragmentKind][]string, len(f.fragments)),
+		Degraded:  true,
+	}
+	if n < len(res.Templates) {
+		res.Templates = res.Templates[:n]
+	}
+	for _, k := range sqlast.FragmentKinds {
+		fr := f.fragments[k]
+		if n < len(fr) {
+			fr = fr[:n]
+		}
+		res.Fragments[k] = fr
+	}
+	return res
+}

@@ -1,0 +1,428 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/seq2seq"
+	"repro/internal/servepool"
+	"repro/internal/sqlast"
+	"repro/internal/tokenizer"
+)
+
+// ---- chaos fixtures -------------------------------------------------------
+//
+// The chaos suite drives the full HTTP stack with an injected predictor,
+// so it needs no trained model (the recommender below is structurally
+// complete for /v1/healthz but never predicts) and runs in -short mode.
+
+// chaosRecommender builds an untrained recommender: enough structure for
+// the health endpoint, never used for inference.
+func chaosRecommender(t testing.TB) *core.Recommender {
+	t.Helper()
+	bl := tokenizer.NewBuilder()
+	bl.AddQuery([]string{"select", "a", "from", "t"})
+	v := bl.Build(1)
+	mcfg := seq2seq.DefaultConfig(seq2seq.Transformer, v.Size())
+	mcfg.DModel = 8
+	mcfg.FFHidden = 8
+	m, err := seq2seq.New(mcfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Recommender{
+		Vocab:      v,
+		Model:      m,
+		Classifier: classify.New(m, 8, []string{"SELECT a FROM t"}, 1),
+		MaxGenLen:  8,
+	}
+}
+
+// chaosPredictor dispatches on the table name in the query: "slow"
+// blocks until the request context cancels, "boom" fails, "panic"
+// panics, anything else answers instantly. Concurrency-safe.
+type chaosPredictor struct{}
+
+func (chaosPredictor) act(ctx context.Context, toks []string) error {
+	for _, tok := range toks {
+		switch strings.ToLower(tok) {
+		case "slow":
+			<-ctx.Done()
+			return ctx.Err()
+		case "boom":
+			return fmt.Errorf("chaos: injected model failure")
+		case "panic":
+			panic("chaos: injected model panic")
+		}
+	}
+	return nil
+}
+
+func (p chaosPredictor) Templates(ctx context.Context, _, curToks []string, n int) ([]string, error) {
+	if err := p.act(ctx, curToks); err != nil {
+		return nil, err
+	}
+	return []string{"SELECT model FROM path"}, nil
+}
+
+func (p chaosPredictor) Fragments(ctx context.Context, curToks []string, n int, _ core.NFragmentsOptions) (map[sqlast.FragmentKind][]string, error) {
+	if err := p.act(ctx, curToks); err != nil {
+		return nil, err
+	}
+	return map[sqlast.FragmentKind][]string{sqlast.FragTable: {"path"}}, nil
+}
+
+// chaosFallback is the frozen degraded snapshot chaos tests assert
+// byte-determinism against.
+func chaosFallback() *servepool.Fallback {
+	return servepool.NewFallback(
+		[]string{"SELECT pop FROM ular", "SELECT ra FROM PhotoObj"},
+		map[sqlast.FragmentKind][]string{
+			sqlast.FragTable:  {"PhotoObj", "SpecObj"},
+			sqlast.FragColumn: {"ra", "dec"},
+		},
+	)
+}
+
+// stepClock is a mutex-guarded manual clock for breaker/limiter tests.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newStepClock() *stepClock { return &stepClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *stepClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func chaosPost(srv http.Handler, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewBufferString(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func healthz(srv http.Handler) (*httptest.ResponseRecorder, map[string]any) {
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	var body map[string]any
+	json.Unmarshal(w.Body.Bytes(), &body)
+	return w, body
+}
+
+// ---- chaos tests ----------------------------------------------------------
+
+// TestChaosSaturation drives the stack at 4x its capacity with a mix of
+// stuck, failing, panicking and healthy requests. The overload contract:
+// every request gets a terminal, schema-valid answer (full-quality or
+// degraded) within the soft budget plus scheduling slack — none rides to
+// the hard timeout, none is silently dropped — and all degraded bodies
+// are byte-identical.
+func TestChaosSaturation(t *testing.T) {
+	const (
+		workers  = 2
+		queue    = 2
+		inflight = 4 // pool capacity; 4x this arrives at once
+		clients  = 32
+		soft     = 100 * time.Millisecond
+		hard     = 10 * time.Second
+	)
+	srv := NewWithConfig(chaosRecommender(t), Config{
+		Workers:      workers,
+		MaxQueue:     queue,
+		MaxInFlight:  inflight,
+		SoftTimeout:  soft,
+		Timeout:      hard,
+		BreakerRatio: 0, // keep every request on the model path: max pressure
+		Fallback:     chaosFallback(),
+		Predictor:    chaosPredictor{},
+	})
+	defer srv.Close()
+
+	bodies := []string{
+		`{"sql": "SELECT a FROM slow", "n": 2}`,
+		`{"sql": "SELECT a FROM boom", "n": 2}`,
+		`{"sql": "SELECT a FROM panic", "n": 2}`,
+		`{"sql": "SELECT a FROM healthy", "n": 2}`,
+	}
+	type outcome struct {
+		code    int
+		body    string
+		elapsed time.Duration
+	}
+	results := make([]outcome, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			w := chaosPost(srv, "/v1/recommend", bodies[i%len(bodies)], nil)
+			results[i] = outcome{code: w.Code, body: w.Body.String(), elapsed: time.Since(t0)}
+		}(i)
+	}
+	wg.Wait()
+	total := time.Since(start)
+
+	var degradedBodies []string
+	for i, r := range results {
+		if r.code == 0 || r.body == "" {
+			t.Fatalf("request %d silently dropped: %+v", i, r)
+		}
+		if r.code != http.StatusOK {
+			t.Errorf("request %d: status %d, want 200 (fallback active): %s", i, r.code, r.body)
+			continue
+		}
+		var resp RecommendResponse
+		if err := json.Unmarshal([]byte(r.body), &resp); err != nil {
+			t.Fatalf("request %d: invalid JSON %q: %v", i, r.body, err)
+		}
+		if len(resp.Templates) == 0 {
+			t.Errorf("request %d: empty templates: %s", i, r.body)
+		}
+		// Bounded latency: the soft budget plus generous scheduling slack
+		// under -race on a loaded box — far below the 10s hard timeout.
+		if r.elapsed > 5*time.Second {
+			t.Errorf("request %d took %v; soft budget did not bound it", i, r.elapsed)
+		}
+		if resp.Degraded {
+			degradedBodies = append(degradedBodies, r.body)
+		}
+	}
+	if total > 8*time.Second {
+		t.Errorf("saturation run took %v; requests rode toward the hard timeout", total)
+	}
+	// The stuck/failing/panicking requests (3/4 of traffic) cannot answer
+	// full-quality, so degraded mode must have fired.
+	if len(degradedBodies) == 0 {
+		t.Fatal("no degraded responses under 4x saturation with a broken model path")
+	}
+	for i, b := range degradedBodies[1:] {
+		if b != degradedBodies[0] {
+			t.Fatalf("degraded bodies differ:\n%q\nvs\n%q (index %d)", degradedBodies[0], b, i+1)
+		}
+	}
+	ov := srv.eng.OverloadStats()
+	if ov.Degraded == 0 {
+		t.Errorf("overload stats recorded no degraded answers: %+v", ov)
+	}
+}
+
+// TestChaosNoFallback: without a fallback the ladder still terminates
+// every request — sheds get a typed 429 with Retry-After instead of
+// waiting out the hard timeout.
+func TestChaosNoFallback(t *testing.T) {
+	srv := NewWithConfig(chaosRecommender(t), Config{
+		Workers:     1,
+		MaxInFlight: 1,
+		Timeout:     300 * time.Millisecond,
+		Predictor:   chaosPredictor{},
+	})
+	defer srv.Close()
+
+	release := make(chan struct{})
+	go func() {
+		defer close(release)
+		// Occupies the single admission slot until its hard deadline.
+		chaosPost(srv, "/v1/recommend", `{"sql": "SELECT a FROM slow"}`, nil)
+	}()
+	// Wait until the slot is held.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.eng.OverloadStats().Admission.InFlight < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w := chaosPost(srv, "/v1/recommend", `{"sql": "SELECT a FROM healthy"}`, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	<-release
+}
+
+// TestChaosBreakerHealthLadder: a panicking model path opens the breaker
+// (requests keep answering degraded), /v1/healthz drops to "degraded",
+// and after the cooldown a healthy probe closes the circuit again.
+func TestChaosBreakerHealthLadder(t *testing.T) {
+	clk := newStepClock()
+	srv := NewWithConfig(chaosRecommender(t), Config{
+		Workers:      2,
+		BreakerRatio: 0.5,
+		Fallback:     chaosFallback(),
+		Predictor:    chaosPredictor{},
+		Now:          clk.Now,
+	})
+	defer srv.Close()
+
+	// The server's breaker needs MinSamples (window/4 = 16) outcomes.
+	for i := 0; i < 16; i++ {
+		w := chaosPost(srv, "/v1/recommend", `{"sql": "SELECT a FROM panic"}`, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		var resp RecommendResponse
+		json.Unmarshal(w.Body.Bytes(), &resp)
+		if !resp.Degraded {
+			t.Fatalf("request %d: panicking model path served non-degraded: %s", i, w.Body.String())
+		}
+	}
+	hw, body := healthz(srv)
+	if hw.Code != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("healthz after breaker trip = %d %v, want 200 degraded", hw.Code, body["status"])
+	}
+	// Open circuit: requests shed straight to the fallback.
+	w := chaosPost(srv, "/v1/recommend", `{"sql": "SELECT a FROM healthy"}`, nil)
+	var resp RecommendResponse
+	json.Unmarshal(w.Body.Bytes(), &resp)
+	if w.Code != http.StatusOK || !resp.Degraded {
+		t.Fatalf("open-breaker answer = %d degraded=%t, want 200 degraded", w.Code, resp.Degraded)
+	}
+	// Cooldown elapses (manual clock; default cooldown 5s + <=0 jitter),
+	// the model path is healthy again, and the half-open probe closes
+	// the circuit.
+	clk.Advance(10 * time.Second)
+	w = chaosPost(srv, "/v1/recommend", `{"sql": "SELECT a FROM healthy"}`, nil)
+	resp = RecommendResponse{}
+	json.Unmarshal(w.Body.Bytes(), &resp)
+	if w.Code != http.StatusOK || resp.Degraded {
+		t.Fatalf("probe answer = %d degraded=%t, want full-quality 200", w.Code, resp.Degraded)
+	}
+	if hw, body := healthz(srv); hw.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz after recovery = %d %v, want 200 ok", hw.Code, body["status"])
+	}
+}
+
+// TestChaosRateLimit: a greedy client gets 429 + Retry-After once its
+// bucket drains; an independent client is unaffected; the bucket refills
+// with (injected) time.
+func TestChaosRateLimit(t *testing.T) {
+	clk := newStepClock()
+	srv := NewWithConfig(chaosRecommender(t), Config{
+		Workers:   2,
+		Rate:      1,
+		Burst:     2,
+		Predictor: chaosPredictor{},
+		Now:       clk.Now,
+	})
+	defer srv.Close()
+
+	greedy := map[string]string{"X-Client-ID": "greedy"}
+	body := `{"sql": "SELECT a FROM healthy"}`
+	for i := 0; i < 2; i++ {
+		if w := chaosPost(srv, "/v1/recommend", body, greedy); w.Code != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, w.Code)
+		}
+	}
+	w := chaosPost(srv, "/v1/recommend", body, greedy)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget status = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") != "1" {
+		t.Errorf("Retry-After = %q, want 1s hint", w.Header().Get("Retry-After"))
+	}
+	// Rate limiting never degrades: no recommendation body on 429.
+	var resp RecommendResponse
+	json.Unmarshal(w.Body.Bytes(), &resp)
+	if len(resp.Templates) > 0 {
+		t.Error("rate-limited request still got recommendations")
+	}
+	// A different client has its own bucket.
+	if w := chaosPost(srv, "/v1/recommend", body, map[string]string{"X-Client-ID": "polite"}); w.Code != http.StatusOK {
+		t.Errorf("independent client limited: %d", w.Code)
+	}
+	// Batch calls share the same gate.
+	if w := chaosPost(srv, "/v1/recommend/batch", `{"requests":[{"sql":"SELECT a FROM healthy"}]}`, greedy); w.Code != http.StatusTooManyRequests {
+		t.Errorf("batch bypassed the rate limit: %d", w.Code)
+	}
+	clk.Advance(time.Second)
+	if w := chaosPost(srv, "/v1/recommend", body, greedy); w.Code != http.StatusOK {
+		t.Errorf("refilled bucket still limited: %d", w.Code)
+	}
+}
+
+// TestChaosHealthzDraining: once draining starts, health drops to 503 so
+// load balancers stop routing, while the recommend path keeps answering
+// in-flight traffic.
+func TestChaosHealthzDraining(t *testing.T) {
+	srv := NewWithConfig(chaosRecommender(t), Config{
+		Workers:   1,
+		Predictor: chaosPredictor{},
+	})
+	defer srv.Close()
+
+	if hw, body := healthz(srv); hw.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz before drain = %d %v", hw.Code, body["status"])
+	}
+	srv.StartDraining()
+	hw, body := healthz(srv)
+	if hw.Code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("healthz draining = %d %v, want 503 draining", hw.Code, body["status"])
+	}
+	if w := chaosPost(srv, "/v1/recommend", `{"sql": "SELECT a FROM healthy"}`, nil); w.Code != http.StatusOK {
+		t.Errorf("recommend during drain = %d, want 200", w.Code)
+	}
+}
+
+// TestChaosBatchMixedHTTP: the batch endpoint surfaces per-item degraded
+// flags and errors positionally over HTTP.
+func TestChaosBatchMixedHTTP(t *testing.T) {
+	// Enough workers that the healthy item never queues behind the stuck
+	// one — this test is about per-item outcomes, not contention.
+	srv := NewWithConfig(chaosRecommender(t), Config{
+		Workers:     4,
+		MaxQueue:    8,
+		SoftTimeout: 200 * time.Millisecond,
+		Fallback:    chaosFallback(),
+		Predictor:   chaosPredictor{},
+	})
+	defer srv.Close()
+
+	w := chaosPost(srv, "/v1/recommend/batch",
+		`{"requests":[{"sql":"SELECT a FROM healthy"},{"sql":"%%%"},{"sql":"SELECT a FROM slow"}]}`, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Degraded {
+		t.Errorf("item 0 = %+v, want full-quality", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" {
+		t.Errorf("item 1 = %+v, want parse error", resp.Results[1])
+	}
+	if resp.Results[2].Error != "" || !resp.Results[2].Degraded {
+		t.Errorf("item 2 = %+v, want degraded", resp.Results[2])
+	}
+}

@@ -29,12 +29,14 @@ func Run(ctx context.Context, addr string, srv *Server, drain time.Duration) err
 // Serve is Run for a caller-provided listener (ownership transfers; it is
 // closed on return).
 func Serve(ctx context.Context, ln net.Listener, srv *Server, drain time.Duration) error {
-	return serveHandler(ctx, ln, srv, srv.Close, drain)
+	return serveHandler(ctx, ln, srv, srv.StartDraining, srv.Close, drain)
 }
 
 // serveHandler implements graceful serving for any handler, separated
-// from Server so the drain semantics are testable in isolation.
-func serveHandler(ctx context.Context, ln net.Listener, h http.Handler, closeFn func(), drain time.Duration) error {
+// from Server so the drain semantics are testable in isolation. drainFn
+// (optional) runs right before Shutdown so health checks can advertise
+// "draining" while in-flight requests finish.
+func serveHandler(ctx context.Context, ln net.Listener, h http.Handler, drainFn, closeFn func(), drain time.Duration) error {
 	if drain <= 0 {
 		drain = DefaultDrainTimeout
 	}
@@ -52,6 +54,9 @@ func serveHandler(ctx context.Context, ln net.Listener, h http.Handler, closeFn 
 		}
 		return err
 	case <-ctx.Done():
+	}
+	if drainFn != nil {
+		drainFn()
 	}
 	shCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()

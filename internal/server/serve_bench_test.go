@@ -1,0 +1,66 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Serving-stack benchmarks: the same HTTP path the chaos suite drives,
+// with the instant predictor, so they measure the serving overhead
+// (handler, engine, pool, overload ladder) rather than model inference.
+// scripts/bench.sh records them as BENCH_serve.json; the saturated
+// variant also reports its shed and degraded rates per request.
+
+const benchBody = `{"sql": "SELECT a FROM healthy", "n": 3}`
+
+// BenchmarkServeUnsaturated is sequential traffic far below capacity:
+// nothing sheds, nothing degrades — the baseline request cost.
+func BenchmarkServeUnsaturated(b *testing.B) {
+	srv := NewWithConfig(chaosRecommender(b), Config{
+		Workers:   4,
+		CacheSize: -1, // every request exercises the pool path
+		Predictor: chaosPredictor{},
+	})
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := chaosPost(srv, "/v1/recommend", benchBody, nil); w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkServeSaturated hammers a deliberately small stack (2 workers,
+// in-flight cap 4) from many goroutines: requests beyond capacity shed
+// to the degraded fallback instead of queueing. Throughput stays bounded
+// and the shed/degraded rates are reported alongside ns/op.
+func BenchmarkServeSaturated(b *testing.B) {
+	srv := NewWithConfig(chaosRecommender(b), Config{
+		Workers:     2,
+		MaxQueue:    2,
+		MaxInFlight: 4,
+		SoftTimeout: 100 * time.Millisecond,
+		CacheSize:   -1,
+		Fallback:    chaosFallback(),
+		Predictor:   chaosPredictor{},
+	})
+	defer srv.Close()
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			w := chaosPost(srv, "/v1/recommend", benchBody, nil)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	ov := srv.eng.OverloadStats()
+	sheds := ov.Admission.ShedLoad + ov.Admission.ShedQueue
+	b.ReportMetric(float64(sheds)/float64(b.N), "sheds/op")
+	b.ReportMetric(float64(ov.Degraded)/float64(b.N), "degraded/op")
+}

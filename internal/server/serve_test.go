@@ -128,7 +128,7 @@ func startDrainFixture(t *testing.T, h http.Handler, drain time.Duration) *drain
 		closed: make(chan struct{}),
 	}
 	go func() {
-		f.done <- serveHandler(ctx, ln, h, func() { close(f.closed) }, drain)
+		f.done <- serveHandler(ctx, ln, h, nil, func() { close(f.closed) }, drain)
 	}()
 	return f
 }
@@ -164,8 +164,8 @@ func TestGracefulDrainCompletesInFlight(t *testing.T) {
 		resc <- result{body: string(b)}
 	}()
 
-	<-inFlight    // request is executing
-	f.cancel()    // deliver the "signal"
+	<-inFlight // request is executing
+	f.cancel() // deliver the "signal"
 	time.Sleep(50 * time.Millisecond)
 	select {
 	case <-f.done:

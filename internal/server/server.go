@@ -22,12 +22,15 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/overload"
 	"repro/internal/reccache"
 	"repro/internal/servepool"
 	"repro/internal/sqlast"
@@ -52,6 +55,11 @@ type RecommendRequest struct {
 type RecommendResponse struct {
 	Templates []string            `json:"templates"`
 	Fragments map[string][]string `json:"fragments"`
+	// Degraded marks an answer served from the pre-warmed Popular
+	// fallback instead of the model (overload shed, open breaker, or
+	// soft-deadline miss). Omitted on full-quality answers, so the wire
+	// shape is unchanged for them.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BatchRequest is the /v1/recommend/batch input.
@@ -64,6 +72,7 @@ type BatchRequest struct {
 type BatchItem struct {
 	Templates []string            `json:"templates,omitempty"`
 	Fragments map[string][]string `json:"fragments,omitempty"`
+	Degraded  bool                `json:"degraded,omitempty"`
 	Error     string              `json:"error,omitempty"`
 }
 
@@ -79,21 +88,53 @@ type errorResponse struct {
 }
 
 // Config tunes the serving core. The zero value selects the defaults
-// below.
+// below, with every overload-resilience feature off — byte-identical
+// behavior to the plain serving core.
 type Config struct {
 	// CacheSize bounds the inference cache in entries. 0 means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
 	// Workers sizes the prediction worker pool. 0 means GOMAXPROCS.
 	Workers int
-	// Timeout bounds each request's prediction work. 0 means
-	// DefaultTimeout.
+	// Timeout is the hard per-request deadline. 0 means DefaultTimeout.
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies. 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
 	// MaxBatch bounds the number of requests in one batch call. 0 means
 	// DefaultMaxBatch.
 	MaxBatch int
+
+	// MaxQueue sizes the pool task queue. 0 keeps the historical
+	// default (= Workers).
+	MaxQueue int
+	// MaxInFlight caps concurrently admitted requests; excess load is
+	// shed early (degraded answer, or 429 without a Fallback) instead of
+	// queueing toward the hard timeout. 0 disables admission control.
+	MaxInFlight int
+	// SoftTimeout bounds each request's model work below the hard
+	// Timeout, leaving room to answer degraded instead of 504. Batch
+	// items get their own soft budget each. 0 disables.
+	SoftTimeout time.Duration
+	// Rate and Burst configure the per-client token-bucket limiter
+	// (requests/second and bucket size, keyed by X-Client-ID or remote
+	// host). Rate 0 disables rate limiting.
+	Rate  float64
+	Burst float64
+	// BreakerRatio arms the model-path circuit breaker: the circuit
+	// opens when the failure ratio over a rolling window reaches it
+	// (soft timeouts, predictor errors and recovered panics all count).
+	// 0 disables the breaker.
+	BreakerRatio float64
+	// Fallback enables degraded mode: shed or over-budget requests
+	// answer from this pre-warmed Popular snapshot, flagged
+	// "degraded":true. nil disables (shed requests get 429/5xx).
+	Fallback *servepool.Fallback
+	// Predictor overrides the model path (chaos/failure-injection tests
+	// and custom backends). nil uses the trained recommender.
+	Predictor servepool.Predictor
+	// Now injects the wall clock for the limiter and breaker. nil means
+	// time.Now.
+	Now func() time.Time
 }
 
 // Serving defaults.
@@ -102,6 +143,8 @@ const (
 	DefaultTimeout      = 30 * time.Second
 	DefaultMaxBodyBytes = 1 << 20 // 1 MiB
 	DefaultMaxBatch     = 64
+	// DefaultRetryAfter is the backoff hint attached to admission sheds.
+	DefaultRetryAfter = time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -117,6 +160,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch == 0 {
 		c.MaxBatch = DefaultMaxBatch
 	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
 }
 
@@ -125,28 +171,111 @@ func (c Config) withDefaults() Config {
 // counter exposed on /v1/healthz is incremented, and the process keeps
 // serving.
 type Server struct {
-	eng    *servepool.Engine
-	cfg    Config
-	mux    *http.ServeMux
-	panics atomic.Int64
+	eng         *servepool.Engine
+	cfg         Config
+	mux         *http.ServeMux
+	limiter     *overload.Limiter
+	panics      atomic.Int64
+	rateLimited atomic.Uint64
+	draining    atomic.Bool
 }
 
 // New builds the handler around a trained recommender with default serving
 // config.
 func New(rec *core.Recommender) *Server { return NewWithConfig(rec, Config{}) }
 
+// breakerSeed fixes the breaker's cooldown-jitter stream so two servers
+// built from the same config behave identically (see internal/lint's
+// detrand rule: randomness is seeded, never ambient).
+const breakerSeed = 0x9e3779b97f4a7c15 & (1<<63 - 1)
+
 // NewWithConfig builds the handler with explicit serving config.
 func NewWithConfig(rec *core.Recommender, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var adm *overload.Admission
+	if cfg.MaxInFlight > 0 {
+		adm = overload.NewAdmission(overload.AdmissionConfig{
+			MaxInFlight: cfg.MaxInFlight,
+			RetryAfter:  DefaultRetryAfter,
+		})
+	}
+	var brk *overload.Breaker
+	if cfg.BreakerRatio > 0 {
+		brk = overload.NewBreaker(overload.BreakerConfig{
+			FailureRatio: cfg.BreakerRatio,
+			Clock:        cfg.Now,
+			Seed:         breakerSeed,
+		})
+	}
+	var lim *overload.Limiter
+	if cfg.Rate > 0 {
+		lim = overload.NewLimiter(overload.LimiterConfig{
+			Rate:  cfg.Rate,
+			Burst: cfg.Burst,
+			Clock: cfg.Now,
+		})
+	}
 	s := &Server{
-		eng: servepool.NewEngine(rec, reccache.New(cfg.CacheSize), cfg.Workers),
-		cfg: cfg,
-		mux: http.NewServeMux(),
+		eng: servepool.NewEngineWithOptions(rec, reccache.New(cfg.CacheSize), servepool.EngineOptions{
+			Workers:     cfg.Workers,
+			Queue:       cfg.MaxQueue,
+			Predictor:   cfg.Predictor,
+			Admission:   adm,
+			Breaker:     brk,
+			Fallback:    cfg.Fallback,
+			SoftTimeout: cfg.SoftTimeout,
+		}),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		limiter: lim,
 	}
 	s.mux.HandleFunc("/v1/recommend", s.handleRecommend)
 	s.mux.HandleFunc("/v1/recommend/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
 	return s
+}
+
+// StartDraining flips /v1/healthz to "draining" (503) so load balancers
+// stop routing here while in-flight requests finish. Recommend endpoints
+// keep answering until Close.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// clientKey identifies the caller for rate limiting: the X-Client-ID
+// header when present (multi-tenant platforms forward a stable tenant
+// id), else the remote host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// allow applies the per-client rate limit, writing the 429 itself when
+// the client is over budget. Rate limiting never degrades — a greedy
+// client gets backpressure, not free popular answers.
+func (s *Server) allow(w http.ResponseWriter, r *http.Request) bool {
+	ok, retryAfter := s.limiter.Allow(clientKey(r))
+	if ok {
+		return true
+	}
+	s.rateLimited.Add(1)
+	setRetryAfter(w, retryAfter)
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "rate limit exceeded"})
+	return false
+}
+
+// setRetryAfter renders the standard backoff hint header, rounding up to
+// whole seconds (the header's unit) with a minimum of 1.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 // ServeHTTP implements http.Handler with panic recovery: a panicking
@@ -178,14 +307,29 @@ func (s *Server) Close() { s.eng.Close() }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	rec := s.eng.Rec()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+	ov := s.eng.OverloadStats()
+	// Health ladder: draining (503, stop routing here) beats degraded
+	// (200, still answering but the model path is broken) beats ok.
+	status, code := "ok", http.StatusOK
+	if ov.Breaker.State == overload.Open.String() {
+		status = "degraded"
+	}
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
 		"vocab":   rec.Vocab.Size(),
 		"classes": len(rec.Classifier.Classes),
 		"arch":    string(rec.Model.Config().Arch),
 		"cache":   s.eng.CacheStats(),
 		"pool":    s.eng.PoolStats(),
 		"panics":  s.panics.Load(),
+		"overload": map[string]any{
+			"engine":       ov,
+			"rate":         s.limiter.Stats(),
+			"rate_limited": s.rateLimited.Load(),
+		},
 	})
 }
 
@@ -236,7 +380,7 @@ func toPoolRequest(req RecommendRequest) (servepool.Request, error) {
 // toResponse renders an engine result in the stable wire shape: fragment
 // kinds appear in paper order and empty kinds are omitted.
 func toResponse(res *servepool.Result) RecommendResponse {
-	resp := RecommendResponse{Templates: res.Templates, Fragments: map[string][]string{}}
+	resp := RecommendResponse{Templates: res.Templates, Fragments: map[string][]string{}, Degraded: res.Degraded}
 	for _, kind := range sqlast.FragmentKinds {
 		if len(res.Fragments[kind]) > 0 {
 			resp.Fragments[kind.String()] = res.Fragments[kind]
@@ -251,6 +395,8 @@ func errStatus(err error) int {
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, overload.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, servepool.ErrClosed):
@@ -258,6 +404,16 @@ func errStatus(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// writeError renders an engine error, attaching the Retry-After backoff
+// hint that overload rejections carry.
+func writeError(w http.ResponseWriter, err error) {
+	var ov *overload.Error
+	if errors.As(err, &ov) && ov.RetryAfter > 0 {
+		setRetryAfter(w, ov.RetryAfter)
+	}
+	writeJSON(w, errStatus(err), errorResponse{Error: errMessage(err)})
 }
 
 // errMessage prefixes parse failures the way the seed API did.
@@ -274,6 +430,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
 		return
 	}
+	if !s.allow(w, r) {
+		return
+	}
 	var req RecommendRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -287,7 +446,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.eng.Recommend(ctx, preq)
 	if err != nil {
-		writeJSON(w, errStatus(err), errorResponse{Error: errMessage(err)})
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toResponse(res))
@@ -296,6 +455,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	if !s.allow(w, r) {
 		return
 	}
 	var batch BatchRequest
@@ -330,7 +492,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Results[i] = BatchItem{Error: errMessage(item.Err)}
 		default:
 			resp := toResponse(item.Result)
-			out.Results[i] = BatchItem{Templates: resp.Templates, Fragments: resp.Fragments}
+			out.Results[i] = BatchItem{Templates: resp.Templates, Fragments: resp.Fragments, Degraded: resp.Degraded}
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

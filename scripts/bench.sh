@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Benchmark harness: runs the compute-kernel benchmarks and the training
+# Benchmark harness: runs the compute-kernel, training and serving
 # benchmarks with -benchmem and records the results as JSON so successive
-# PRs can diff ns/op, B/op and allocs/op without re-parsing go test
-# output. Writes BENCH_kernels.json and BENCH_train.json in the repo root.
+# PRs can diff ns/op, B/op, allocs/op and any custom ReportMetric values
+# (e.g. the serving suite's sheds/op) without re-parsing go test output.
+# Writes BENCH_kernels.json, BENCH_train.json and BENCH_serve.json in the
+# repo root.
 #
 # Usage:
 #
@@ -14,7 +16,10 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 
 # bench_json PKGS PATTERN OUT runs the matching benchmarks and converts
-# `go test -bench` lines (name iters ns/op B/op allocs/op) to a JSON array.
+# `go test -bench` lines to a JSON array. Every `<value> <unit>/op` pair
+# is captured: the standard ns/op, B/op and allocs/op keep their
+# historical JSON keys, and custom b.ReportMetric units (sheds/op,
+# degraded/op, ...) become "<unit>_per_op".
 bench_json() {
 	local pkgs=$1 pattern=$2 out=$3
 	echo "== bench $pattern ($pkgs) -> $out" >&2
@@ -24,18 +29,23 @@ bench_json() {
 			/^Benchmark/ && /ns\/op/ {
 				name = $1
 				sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS suffix
-				ns = ""; bytes = ""; allocs = ""
-				for (i = 2; i <= NF; i++) {
-					if ($(i+1) == "ns/op") ns = $i
-					if ($(i+1) == "B/op") bytes = $i
-					if ($(i+1) == "allocs/op") allocs = $i
+				extra = ""; ns = ""
+				for (i = 2; i < NF; i++) {
+					unit = $(i+1)
+					if (unit !~ /\/op$/) continue
+					if (unit == "ns/op")          ns = $i
+					else if (unit == "B/op")      extra = extra sprintf(", \"bytes_per_op\": %s", $i)
+					else if (unit == "allocs/op") extra = extra sprintf(", \"allocs_per_op\": %s", $i)
+					else {
+						key = unit
+						sub(/\/op$/, "_per_op", key)
+						gsub(/[^A-Za-z0-9_]/, "_", key)
+						extra = extra sprintf(", \"%s\": %s", key, $i)
+					}
 				}
 				if (ns == "") next
 				if (n++) printf ",\n"
-				printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
-				if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
-				if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-				printf "}"
+				printf "  {\"name\": \"%s\", \"ns_per_op\": %s%s}", name, ns, extra
 			}
 			BEGIN { printf "[\n" }
 			END   { printf "\n]\n" }
@@ -51,3 +61,8 @@ bench_json "./internal/tensor ./internal/autograd" \
 # extraction, the end-to-end numbers the perf work is judged on.
 bench_json "." \
 	'BenchmarkTable3ModelStats|BenchmarkPairExtraction' BENCH_train.json
+
+# Serving-level: unsaturated vs saturated request cost through the full
+# HTTP stack, including the overload ladder's shed/degraded rates.
+bench_json "./internal/server" \
+	'BenchmarkServeUnsaturated|BenchmarkServeSaturated' BENCH_serve.json

@@ -12,9 +12,14 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./cmd/qrec-lint ./...
+# The full suite under -race includes the chaos/overload tests (they use
+# injected predictors, no training, so they run in -short too); `make
+# chaos` runs just that slice verbosely.
 go test -race "$@" ./...
 
-# Bench smoke: one iteration of the kernel and training-step benchmarks so
-# a change that breaks a benchmark body (not just a test) fails the gate.
+# Bench smoke: one iteration of the kernel, training-step and serving
+# benchmarks so a change that breaks a benchmark body (not just a test)
+# fails the gate.
 go test -run '^$' -bench 'BenchmarkMatMul|BenchmarkTable3ModelStats' \
 	-benchtime 1x . ./internal/tensor ./internal/autograd >/dev/null
+go test -run '^$' -bench 'BenchmarkServe' -benchtime 1x ./internal/server >/dev/null

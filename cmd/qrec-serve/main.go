@@ -48,7 +48,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max requests per batch call")
 	drain := flag.Duration("drain", server.DefaultDrainTimeout,
 		"graceful-shutdown deadline for in-flight requests")
-	maxQueue := flag.Int("max-queue", 0, "prediction task queue capacity (0 = workers)")
+	maxQueue := flag.Int("max-queue", 0,
+		"prediction task queue capacity (0 = workers); with admission on, a full queue sheds new requests")
 	maxInFlight := flag.Int("max-inflight", 0,
 		"admitted-request cap before shedding (0 = auto from workers+queue, -1 disables)")
 	softTimeout := flag.Duration("soft-timeout", 5*time.Second,

@@ -12,7 +12,8 @@ type AdmissionConfig struct {
 	// in-flight check.
 	MaxInFlight int
 	// MaxQueue rejects when the live queue depth (QueueDepth) reaches
-	// this bound; 0 disables the queue check.
+	// this bound. 0 defers to Bind, which defaults it to the bound
+	// queue's capacity; negative disables the queue check outright.
 	MaxQueue int
 	// QueueDepth supplies the live depth of the work queue the admitted
 	// requests feed (e.g. servepool's Pool.QueueDepth). nil disables the
@@ -42,13 +43,20 @@ func NewAdmission(cfg AdmissionConfig) *Admission {
 	return &Admission{cfg: cfg}
 }
 
-// Bind wires the live queue-depth source. It must be called before the
-// controller sees traffic (the field is read without synchronization);
-// it exists because the queue is typically constructed after the
-// controller that guards it.
-func (a *Admission) Bind(queueDepth func() int) {
-	if a != nil {
-		a.cfg.QueueDepth = queueDepth
+// Bind wires the live queue-depth source and, when the config left
+// MaxQueue at zero, defaults the queue rejection bound to maxQueue —
+// the bound queue's capacity — so binding a queue arms the queue rung
+// rather than leaving it dead. It must be called before the controller
+// sees traffic (the fields are read without synchronization); it exists
+// because the queue is typically constructed after the controller that
+// guards it.
+func (a *Admission) Bind(queueDepth func() int, maxQueue int) {
+	if a == nil {
+		return
+	}
+	a.cfg.QueueDepth = queueDepth
+	if a.cfg.MaxQueue == 0 {
+		a.cfg.MaxQueue = maxQueue
 	}
 }
 

@@ -42,7 +42,7 @@ func TestAdmissionInFlightCap(t *testing.T) {
 func TestAdmissionQueueBound(t *testing.T) {
 	depth := 0
 	a := NewAdmission(AdmissionConfig{MaxInFlight: 100, MaxQueue: 3})
-	a.Bind(func() int { return depth })
+	a.Bind(func() int { return depth }, 7) // explicit MaxQueue wins over Bind's default
 	if _, err := a.Acquire(); err != nil {
 		t.Fatalf("empty queue: %v", err)
 	}
@@ -54,6 +54,31 @@ func TestAdmissionQueueBound(t *testing.T) {
 	}
 	if st := a.Stats(); st.ShedQueue != 1 {
 		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestAdmissionBindDefaultsMaxQueue pins that binding a queue arms the
+// queue rung: a zero-config MaxQueue defaults to the bound queue's
+// capacity instead of leaving the check dead, while a negative value
+// disables it explicitly.
+func TestAdmissionBindDefaultsMaxQueue(t *testing.T) {
+	depth := 0
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 100})
+	a.Bind(func() int { return depth }, 4)
+	if _, err := a.Acquire(); err != nil {
+		t.Fatalf("shallow queue: %v", err)
+	}
+	depth = 4
+	_, err := a.Acquire()
+	var oe *Error
+	if !errors.As(err, &oe) || oe.Reason != "queue" {
+		t.Fatalf("full queue err = %v, want queue rejection from Bind default", err)
+	}
+
+	off := NewAdmission(AdmissionConfig{MaxInFlight: 100, MaxQueue: -1})
+	off.Bind(func() int { return 1 << 20 }, 4)
+	if _, err := off.Acquire(); err != nil {
+		t.Fatalf("negative MaxQueue must disable the queue check: %v", err)
 	}
 }
 

@@ -90,16 +90,20 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 }
 
 // Breaker is an error-rate circuit breaker: callers ask Allow before the
-// guarded call and Record the outcome after it. When the failure ratio
-// over the rolling window trips, the circuit opens and Allow rejects
-// with a typed *Error until a cooldown (plus seeded jitter) elapses;
-// then a bounded number of half-open probes decide between closing and
-// re-opening. Safe for concurrent use.
+// guarded call and settle the returned Ticket exactly once afterwards —
+// Record with the outcome, or Cancel when the call was abandoned
+// (caller disconnect, shutdown) and its outcome says nothing about the
+// model's health. When the failure ratio over the rolling window trips,
+// the circuit opens and Allow rejects with a typed *Error until a
+// cooldown (plus seeded jitter) elapses; then a bounded number of
+// half-open probes decide between closing and re-opening. Safe for
+// concurrent use.
 type Breaker struct {
 	cfg BreakerConfig
 
 	mu       sync.Mutex
 	state    BreakerState
+	gen      uint64 // bumped on every trip/reset; stale outcomes are ignored
 	ring     []bool // outcome ring: true = failure
 	ringLen  int    // filled samples
 	ringPos  int
@@ -111,6 +115,17 @@ type Breaker struct {
 
 	opens    atomic.Uint64
 	rejected atomic.Uint64
+}
+
+// Ticket is the receipt Allow hands out with a passed call. It stamps
+// the circuit generation at admission time so a straggler's Record
+// cannot be mistaken for the outcome of a later generation's probe, and
+// it is what Cancel needs to release a half-open probe slot when the
+// call is abandoned. The zero Ticket is valid to settle (it is simply
+// stale).
+type Ticket struct {
+	gen   uint64
+	probe bool
 }
 
 // NewBreaker builds a breaker in the closed state. A nil *Breaker is
@@ -125,48 +140,58 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 }
 
 // Allow reports whether the guarded call may proceed. A nil error means
-// go ahead — the caller must then Record the outcome exactly once. A
-// *Error (unwrapping to ErrOverloaded) means the circuit is open;
-// RetryAfter carries the remaining cooldown.
-func (b *Breaker) Allow() error {
+// go ahead — the caller must then settle the Ticket exactly once, with
+// Record (outcome known) or Cancel (call abandoned). A *Error
+// (unwrapping to ErrOverloaded) means the circuit is open; RetryAfter
+// carries the remaining cooldown.
+func (b *Breaker) Allow() (Ticket, error) {
 	if b == nil {
-		return nil
+		return Ticket{}, nil
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
-		return nil
+		return Ticket{gen: b.gen}, nil
 	case Open:
 		remaining := b.cooldown - b.cfg.Clock().Sub(b.openedAt)
 		if remaining > 0 {
 			b.rejected.Add(1)
-			return &Error{Reason: "breaker", RetryAfter: remaining}
+			return Ticket{}, &Error{Reason: "breaker", RetryAfter: remaining}
 		}
 		// Cooldown elapsed: probe.
 		b.state = HalfOpen
 		b.probes = 1
-		return nil
+		return Ticket{gen: b.gen, probe: true}, nil
 	default: // HalfOpen
 		if b.probes < b.cfg.HalfOpenProbes {
 			b.probes++
-			return nil
+			return Ticket{gen: b.gen, probe: true}, nil
 		}
 		b.rejected.Add(1)
-		return &Error{Reason: "breaker", RetryAfter: b.cfg.Cooldown}
+		return Ticket{}, &Error{Reason: "breaker", RetryAfter: b.cfg.Cooldown}
 	}
 }
 
 // Record reports the outcome of a call Allow passed. failed=true counts
 // toward the trip ratio; a half-open probe failure re-opens immediately,
-// a probe success closes the circuit and resets the window.
-func (b *Breaker) Record(failed bool) {
+// a probe success closes the circuit and resets the window. Outcomes
+// whose ticket predates the current generation — admitted before the
+// last trip or reset — are discarded: evidence gathered against an older
+// circuit state must not decide the current one.
+func (b *Breaker) Record(t Ticket, failed bool) {
 	if b == nil {
 		return
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if t.gen != b.gen {
+		return
+	}
 	if b.state == HalfOpen {
+		if !t.probe {
+			return
+		}
 		if b.probes > 0 {
 			b.probes--
 		}
@@ -177,8 +202,10 @@ func (b *Breaker) Record(failed bool) {
 		}
 		return
 	}
-	// Closed (or a straggler finishing after the circuit opened): roll
-	// the window.
+	if b.state != Closed {
+		return
+	}
+	// Closed: roll the window.
 	if b.ringLen == len(b.ring) {
 		if b.ring[b.ringPos] {
 			b.failures--
@@ -191,15 +218,36 @@ func (b *Breaker) Record(failed bool) {
 		b.failures++
 	}
 	b.ringPos = (b.ringPos + 1) % len(b.ring)
-	if b.state == Closed && b.ringLen >= b.cfg.MinSamples &&
+	if b.ringLen >= b.cfg.MinSamples &&
 		float64(b.failures)/float64(b.ringLen) >= b.cfg.FailureRatio {
 		b.trip()
+	}
+}
+
+// Cancel settles a ticket without sampling an outcome: the call was
+// abandoned (caller disconnect, shutdown), so it proves nothing about
+// the model path. For a current-generation half-open probe this releases
+// the probe slot, so the next Allow can admit a fresh probe — without
+// it, an abandoned probe would wedge the circuit in HalfOpen with no
+// exit. Stale and non-probe tickets hold nothing and are ignored.
+func (b *Breaker) Cancel(t Ticket) {
+	if b == nil || !t.probe {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.gen != b.gen || b.state != HalfOpen {
+		return
+	}
+	if b.probes > 0 {
+		b.probes--
 	}
 }
 
 // trip opens the circuit. Called with b.mu held.
 func (b *Breaker) trip() {
 	b.state = Open
+	b.gen++
 	b.openedAt = b.cfg.Clock()
 	b.cooldown = b.cfg.Cooldown
 	if j := b.cfg.CooldownJitter; j > 0 {
@@ -212,6 +260,7 @@ func (b *Breaker) trip() {
 // reset closes the circuit and clears the window. Called with b.mu held.
 func (b *Breaker) reset() {
 	b.state = Closed
+	b.gen++
 	b.ringLen, b.ringPos, b.failures = 0, 0, 0
 }
 

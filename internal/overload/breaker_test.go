@@ -22,20 +22,21 @@ func TestBreakerTripsOnFailureRatio(t *testing.T) {
 	b := testBreaker(clk)
 	// 3 failures in a row: below MinSamples, still closed.
 	for i := 0; i < 3; i++ {
-		if err := b.Allow(); err != nil {
+		tkt, err := b.Allow()
+		if err != nil {
 			t.Fatalf("closed breaker rejected call %d", i)
 		}
-		b.Record(true)
+		b.Record(tkt, true)
 	}
 	if b.State() != Closed {
 		t.Fatalf("state %v before MinSamples", b.State())
 	}
-	b.Allow()
-	b.Record(true) // 4/4 failures >= 0.5
+	tkt, _ := b.Allow()
+	b.Record(tkt, true) // 4/4 failures >= 0.5
 	if b.State() != Open {
 		t.Fatalf("state %v after trip, want open", b.State())
 	}
-	err := b.Allow()
+	_, err := b.Allow()
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("open breaker err = %v", err)
 	}
@@ -54,47 +55,58 @@ func TestBreakerStaysClosedOnHealthyTraffic(t *testing.T) {
 	b := testBreaker(clk)
 	// 1/8 failures stays under the 0.5 ratio forever.
 	for i := 0; i < 100; i++ {
-		if err := b.Allow(); err != nil {
+		tkt, err := b.Allow()
+		if err != nil {
 			t.Fatalf("healthy breaker rejected call %d: %v", i, err)
 		}
-		b.Record(i%8 == 0)
+		b.Record(tkt, i%8 == 0)
 	}
 	if b.State() != Closed {
 		t.Fatalf("state %v", b.State())
 	}
 }
 
+// tripBreaker drives b open with consecutive failures.
+func tripBreaker(t *testing.T, b *Breaker, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		tkt, err := b.Allow()
+		if err != nil {
+			t.Fatalf("trip call %d rejected: %v", i, err)
+		}
+		b.Record(tkt, true)
+	}
+	if b.State() != Open {
+		t.Fatalf("breaker did not trip after %d failures", n)
+	}
+}
+
 func TestBreakerHalfOpenRecovery(t *testing.T) {
 	clk := newFakeClock()
 	b := testBreaker(clk)
-	for i := 0; i < 4; i++ {
-		b.Allow()
-		b.Record(true)
-	}
-	if b.State() != Open {
-		t.Fatal("breaker did not trip")
-	}
-	if err := b.Allow(); err == nil {
+	tripBreaker(t, b, 4)
+	if _, err := b.Allow(); err == nil {
 		t.Fatal("open breaker allowed before cooldown")
 	}
 	clk.Advance(2 * time.Second) // past cooldown (1s, no jitter configured)
-	if err := b.Allow(); err != nil {
+	probe, err := b.Allow()
+	if err != nil {
 		t.Fatalf("probe not allowed after cooldown: %v", err)
 	}
 	if b.State() != HalfOpen {
 		t.Fatalf("state %v, want half-open", b.State())
 	}
 	// Only HalfOpenProbes (1) concurrent probes pass.
-	if err := b.Allow(); err == nil {
+	if _, err := b.Allow(); err == nil {
 		t.Fatal("second concurrent probe allowed")
 	}
-	b.Record(false) // probe succeeds
+	b.Record(probe, false) // probe succeeds
 	if b.State() != Closed {
 		t.Fatalf("state %v after successful probe, want closed", b.State())
 	}
 	// The window was reset: one failure does not re-trip.
-	b.Allow()
-	b.Record(true)
+	tkt, _ := b.Allow()
+	b.Record(tkt, true)
 	if b.State() != Closed {
 		t.Error("breaker tripped on stale window after reset")
 	}
@@ -103,20 +115,80 @@ func TestBreakerHalfOpenRecovery(t *testing.T) {
 func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	clk := newFakeClock()
 	b := testBreaker(clk)
-	for i := 0; i < 4; i++ {
-		b.Allow()
-		b.Record(true)
-	}
+	tripBreaker(t, b, 4)
 	clk.Advance(2 * time.Second)
-	if err := b.Allow(); err != nil {
+	probe, err := b.Allow()
+	if err != nil {
 		t.Fatalf("probe not allowed: %v", err)
 	}
-	b.Record(true) // probe fails
+	b.Record(probe, true) // probe fails
 	if b.State() != Open {
 		t.Fatalf("state %v after failed probe, want open", b.State())
 	}
 	if got := b.Stats().Opens; got != 2 {
 		t.Errorf("opens = %d, want 2", got)
+	}
+}
+
+// TestBreakerCancelReleasesProbeSlot pins the abandonment path: a probe
+// whose caller disconnects must free its slot via Cancel so the next
+// Allow can admit a fresh probe — otherwise the circuit wedges in
+// HalfOpen with no exit.
+func TestBreakerCancelReleasesProbeSlot(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	tripBreaker(t, b, 4)
+	clk.Advance(2 * time.Second)
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe not allowed: %v", err)
+	}
+	if _, err := b.Allow(); err == nil {
+		t.Fatal("second concurrent probe allowed while slot held")
+	}
+	b.Cancel(probe) // caller abandoned the probe: slot must free
+	probe2, err := b.Allow()
+	if err != nil {
+		t.Fatalf("no fresh probe after Cancel: %v", err)
+	}
+	b.Record(probe2, false)
+	if b.State() != Closed {
+		t.Fatalf("state %v after replacement probe succeeded, want closed", b.State())
+	}
+	// Cancel never samples an outcome: the window is empty post-reset.
+	if st := b.Stats(); st.Samples != 0 || st.Failures != 0 {
+		t.Errorf("cancel left samples behind: %+v", st)
+	}
+}
+
+// TestBreakerStaleRecordIgnored pins generation fencing: the outcome of
+// a call admitted while Closed, arriving after the circuit tripped, must
+// not be mistaken for a probe outcome — a stale pre-trip success would
+// otherwise close the circuit on evidence that predates the failure.
+func TestBreakerStaleRecordIgnored(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	stale, err := b.Allow() // admitted while Closed, completes much later
+	if err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+	tripBreaker(t, b, 4)
+	clk.Advance(2 * time.Second)
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe not allowed: %v", err)
+	}
+	b.Record(stale, false) // straggler: must not consume the probe slot
+	if b.State() != HalfOpen {
+		t.Fatalf("stale record moved state to %v, want half-open", b.State())
+	}
+	b.Cancel(stale) // stale cancel equally holds nothing
+	if _, err := b.Allow(); err == nil {
+		t.Fatal("stale settle freed the live probe's slot")
+	}
+	b.Record(probe, false)
+	if b.State() != Closed {
+		t.Fatalf("state %v after real probe success, want closed", b.State())
 	}
 }
 
@@ -131,12 +203,12 @@ func TestBreakerJitterIsSeeded(t *testing.T) {
 			Clock: clk.Now, Seed: seed,
 		})
 		for i := 0; i < 2; i++ {
-			b.Allow()
-			b.Record(true)
+			tkt, _ := b.Allow()
+			b.Record(tkt, true)
 		}
 		// Step until the circuit half-opens.
 		for d := time.Duration(0); d < 3*time.Second; d += 10 * time.Millisecond {
-			if b.Allow() == nil {
+			if _, err := b.Allow(); err == nil {
 				return d
 			}
 			clk.Advance(10 * time.Millisecond)
@@ -156,10 +228,12 @@ func TestBreakerJitterIsSeeded(t *testing.T) {
 
 func TestBreakerNil(t *testing.T) {
 	var b *Breaker
-	if err := b.Allow(); err != nil {
+	tkt, err := b.Allow()
+	if err != nil {
 		t.Fatal("nil breaker rejected")
 	}
-	b.Record(true)
+	b.Record(tkt, true)
+	b.Cancel(tkt)
 	if b.State() != Closed {
 		t.Error("nil breaker not closed")
 	}

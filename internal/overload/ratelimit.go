@@ -1,6 +1,7 @@
 package overload
 
 import (
+	"container/list"
 	"sync"
 	"time"
 )
@@ -11,10 +12,12 @@ type LimiterConfig struct {
 	// disables limiting (Allow always succeeds).
 	Rate float64
 	// Burst is the bucket capacity — how many requests a quiet client may
-	// issue back to back. <= 0 defaults to max(Rate, 1).
+	// issue back to back, and the largest weight AllowN can ever grant.
+	// <= 0 defaults to max(Rate, 1).
 	Burst float64
 	// MaxClients bounds the tracked-bucket map; when full, admitting a
-	// new client evicts the stalest bucket. <= 0 defaults to 4096.
+	// new client evicts the least recently seen bucket. <= 0 defaults to
+	// 4096.
 	MaxClients int
 	// Clock supplies the wall clock (the package is clock-free by
 	// design; inject time.Now at the composition root). Required when
@@ -29,18 +32,23 @@ const DefaultMaxClients = 4096
 // Limiter is a per-client token-bucket rate limiter keyed by an opaque
 // client string (a client header or remote address). Each client's
 // bucket refills at Rate tokens/second up to Burst; a request costs one
-// token. Safe for concurrent use.
+// token (a weighted request — e.g. a batch — costs its weight, see
+// AllowN). Safe for concurrent use.
 type Limiter struct {
 	cfg LimiterConfig
 
 	mu      sync.Mutex
-	buckets map[string]*bucket
+	buckets map[string]*list.Element
+	lru     *list.List // front = most recently seen; evictions pop the back
 	allowed uint64
 	limited uint64
 	evicted uint64
 }
 
+// bucket is one client's token state; it lives as the Value of its LRU
+// list element so eviction is O(1).
 type bucket struct {
+	key    string
 	tokens float64
 	last   time.Time
 }
@@ -57,26 +65,45 @@ func NewLimiter(cfg LimiterConfig) *Limiter {
 	if cfg.MaxClients <= 0 {
 		cfg.MaxClients = DefaultMaxClients
 	}
-	return &Limiter{cfg: cfg, buckets: map[string]*bucket{}}
+	return &Limiter{
+		cfg:     cfg,
+		buckets: map[string]*list.Element{},
+		lru:     list.New(),
+	}
 }
 
 // Allow charges one token to the client's bucket. It reports whether the
 // request may proceed; when it may not, retryAfter is how long until the
 // bucket holds a full token again.
 func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
-	if l == nil || l.cfg.Rate <= 0 {
+	return l.AllowN(client, 1)
+}
+
+// AllowN charges n tokens to the client's bucket — the weighted form for
+// batch requests, where one call does n requests' worth of work. The
+// whole weight is granted or none of it; when denied, retryAfter is how
+// long until n tokens would have accrued at the refill rate. A weight
+// above Burst can never be granted (the bucket cannot hold it), so
+// callers admitting batches should configure Burst at least as large as
+// the maximum batch size.
+func (l *Limiter) AllowN(client string, n int) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.cfg.Rate <= 0 || n <= 0 {
 		return true, 0
 	}
 	now := l.cfg.Clock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	b, exists := l.buckets[client]
-	if !exists {
+	e, exists := l.buckets[client]
+	var b *bucket
+	if exists {
+		l.lru.MoveToFront(e)
+		b = e.Value.(*bucket)
+	} else {
 		if len(l.buckets) >= l.cfg.MaxClients {
-			l.evictStalest()
+			l.evictLRU()
 		}
-		b = &bucket{tokens: l.cfg.Burst, last: now}
-		l.buckets[client] = b
+		b = &bucket{key: client, tokens: l.cfg.Burst, last: now}
+		l.buckets[client] = l.lru.PushFront(b)
 	}
 	if dt := now.Sub(b.last).Seconds(); dt > 0 {
 		b.tokens += dt * l.cfg.Rate
@@ -85,36 +112,32 @@ func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
 		}
 	}
 	b.last = now
-	if b.tokens >= 1 {
-		b.tokens--
+	if b.tokens >= float64(n) {
+		b.tokens -= float64(n)
 		l.allowed++
 		return true, 0
 	}
 	l.limited++
-	missing := 1 - b.tokens
+	missing := float64(n) - b.tokens
 	return false, time.Duration(missing / l.cfg.Rate * float64(time.Second))
 }
 
-// evictStalest drops the bucket with the oldest refill time, breaking
-// ties on the smaller key so the choice is independent of map order.
-// Called with l.mu held; O(clients), amortized by MaxClients being the
-// steady-state bound.
-func (l *Limiter) evictStalest() {
-	var victim string
-	var oldest time.Time
-	first := true
-	for k, b := range l.buckets {
-		if first || b.last.Before(oldest) || (b.last.Equal(oldest) && k < victim) {
-			victim, oldest, first = k, b.last, false
-		}
+// evictLRU drops the least recently seen client's bucket — the back of
+// the recency list — in O(1), so a flood of unique client ids cannot
+// turn every admission into a full-map scan. Called with l.mu held.
+func (l *Limiter) evictLRU() {
+	e := l.lru.Back()
+	if e == nil {
+		return
 	}
-	if !first {
-		delete(l.buckets, victim)
-		l.evicted++
-	}
+	l.lru.Remove(e)
+	delete(l.buckets, e.Value.(*bucket).key)
+	l.evicted++
 }
 
-// LimiterStats is a snapshot of the limiter counters.
+// LimiterStats is a snapshot of the limiter counters. Allowed and
+// Limited count decisions (one per Allow/AllowN call), not token
+// weights.
 type LimiterStats struct {
 	Clients int    `json:"clients"`
 	Allowed uint64 `json:"allowed"`

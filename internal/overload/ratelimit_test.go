@@ -77,6 +77,42 @@ func TestLimiterDisabledAndNil(t *testing.T) {
 	}
 }
 
+// TestLimiterAllowNChargesWeight pins the weighted form: a batch of n
+// costs n tokens (so batches cannot multiply a client's rate), the grant
+// is all-or-nothing, and a weight above Burst can never pass.
+func TestLimiterAllowNChargesWeight(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 10, Clock: clk.Now})
+	if ok, _ := l.AllowN("c", 8); !ok {
+		t.Fatal("batch of 8 denied against a full burst-10 bucket")
+	}
+	ok, retry := l.AllowN("c", 4)
+	if ok {
+		t.Fatal("batch of 4 allowed with only 2 tokens left")
+	}
+	// 2 tokens missing at 1 token/s.
+	if retry != 2*time.Second {
+		t.Errorf("retryAfter = %v, want 2s", retry)
+	}
+	// The denied batch charged nothing: singles still spend the 2 left.
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("c"); !ok {
+			t.Fatalf("single request %d denied after failed batch", i)
+		}
+	}
+	if ok, _ := l.Allow("c"); ok {
+		t.Error("drained bucket allowed a request")
+	}
+	// A weight above Burst is unsatisfiable even on a fresh bucket.
+	if ok, _ := l.AllowN("fresh", 11); ok {
+		t.Error("weight above burst granted")
+	}
+	// Non-positive weights are free (nothing to charge).
+	if ok, _ := l.AllowN("c", 0); !ok {
+		t.Error("zero weight denied")
+	}
+}
+
 func TestLimiterEvictsStalestClient(t *testing.T) {
 	clk := newFakeClock()
 	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 5, MaxClients: 3, Clock: clk.Now})

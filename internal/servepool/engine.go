@@ -153,7 +153,7 @@ func NewEngineWithOptions(rec *core.Recommender, cache *reccache.Cache, opts Eng
 		pred = recPredictor{rec: rec}
 	}
 	if opts.Admission != nil {
-		opts.Admission.Bind(pool.QueueDepth)
+		opts.Admission.Bind(pool.QueueDepth, pool.QueueCap())
 	}
 	return &Engine{
 		rec:   rec,
@@ -247,14 +247,17 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Result, error) {
 		}
 		defer release()
 	}
-	recordBreaker := func(bool) {}
-	if e.brk != nil {
-		if berr := e.brk.Allow(); berr != nil {
-			return e.shedAnswer(pr, req.N, berr)
-		}
-		var once sync.Once
-		recordBreaker = func(failed bool) { once.Do(func() { e.brk.Record(failed) }) }
+	tkt, berr := e.brk.Allow()
+	if berr != nil {
+		return e.shedAnswer(pr, req.N, berr)
 	}
+	// The ticket must be settled on every path below — Record with an
+	// outcome, or Cancel on abandonment. Leaking a half-open probe ticket
+	// would wedge the breaker in HalfOpen (the probe slot is the only
+	// exit), so the two are folded into one sync.Once.
+	var brkOnce sync.Once
+	recordBreaker := func(failed bool) { brkOnce.Do(func() { e.brk.Record(tkt, failed) }) }
+	cancelBreaker := func() { brkOnce.Do(func() { e.brk.Cancel(tkt) }) }
 
 	mctx := ctx
 	if e.soft > 0 {
@@ -269,12 +272,16 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Result, error) {
 	}
 	if errors.Is(err, ErrClosed) {
 		// Shutting down: not a model failure, and nothing to degrade to
-		// that the caller could still use.
+		// that the caller could still use. Release the breaker ticket
+		// without sampling — this outcome proves nothing about the model.
+		cancelBreaker()
 		return nil, err
 	}
 	if ctx.Err() != nil {
 		// The caller's own deadline or cancellation fired: the model is
-		// not at fault and the caller is gone — propagate.
+		// not at fault and the caller is gone — propagate, and release
+		// the ticket unsampled so an abandoned probe frees its slot.
+		cancelBreaker()
 		return nil, err
 	}
 	// The soft budget expired or the model path itself failed.

@@ -264,10 +264,95 @@ func TestBreakerOpensAndSheds(t *testing.T) {
 	}
 }
 
+// stepClock is a hand-advanced clock safe to step from the test while
+// the breaker reads it from request goroutines.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *stepClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerAbandonedProbeDoesNotWedge: a half-open probe whose caller
+// disconnects mid-call must release its probe slot (engine cancels the
+// breaker ticket), so the next request becomes a fresh probe and can
+// close the circuit. Before that fix, one abandoned probe left the
+// breaker stuck half-open forever: all traffic degraded until restart.
+func TestBreakerAbandonedProbeDoesNotWedge(t *testing.T) {
+	pred := &fakePredictor{}
+	clk := &stepClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	brk := overload.NewBreaker(overload.BreakerConfig{
+		FailureRatio: 0.5, Window: 4, MinSamples: 1,
+		Cooldown: time.Second, Clock: clk.Now,
+	})
+	eng := fakeEngine(t, EngineOptions{
+		Workers: 2, Predictor: pred, Breaker: brk, Fallback: testFallback(),
+	})
+	if _, err := eng.Recommend(context.Background(), testRequest("SELECT a FROM boom")); err != nil {
+		t.Fatal(err)
+	}
+	if brk.State() != overload.Open {
+		t.Fatalf("breaker state = %v, want open", brk.State())
+	}
+	clk.Advance(2 * time.Second) // past cooldown: next request probes
+
+	// The probe blocks in the model path until its caller walks away.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Recommend(ctx, testRequest("SELECT a FROM slow"))
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for pred.calls.Load() == 2 { // 2 calls from the boom request
+		if time.Now().After(deadline) {
+			t.Fatal("probe never reached the predictor")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// While the lone probe slot is held, other traffic sheds.
+	res, err := eng.Recommend(context.Background(), testRequest("SELECT a FROM good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Error("request during held probe not degraded")
+	}
+	cancel() // the probe's caller disconnects
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned probe err = %v, want context.Canceled", err)
+	}
+	// The slot is free again: the next request is a fresh probe, and its
+	// success closes the circuit.
+	res, err = eng.Recommend(context.Background(), testRequest("SELECT b FROM good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Error("fresh probe after abandonment still degraded: breaker wedged")
+	}
+	if brk.State() != overload.Closed {
+		t.Errorf("breaker state = %v after successful probe, want closed", brk.State())
+	}
+}
+
 // TestAdmissionShedsToFallback fills the in-flight cap with stuck
 // requests and proves the next one is shed to a fast degraded answer.
 func TestAdmissionShedsToFallback(t *testing.T) {
-	adm := overload.NewAdmission(overload.AdmissionConfig{MaxInFlight: 2})
+	// MaxQueue -1 keeps the queue rung out of the way (it would otherwise
+	// default to the queue capacity and shed first): this test is about
+	// the in-flight cap specifically.
+	adm := overload.NewAdmission(overload.AdmissionConfig{MaxInFlight: 2, MaxQueue: -1})
 	eng := fakeEngine(t, EngineOptions{
 		Workers: 2, Queue: 2, Admission: adm, Fallback: testFallback(),
 	})

@@ -367,6 +367,50 @@ func TestChaosRateLimit(t *testing.T) {
 	}
 }
 
+// TestChaosBatchRateWeight: a batch of n items costs n tokens, so
+// /v1/recommend/batch cannot multiply a client's configured rate by the
+// batch width, and a batch wider than Burst never passes.
+func TestChaosBatchRateWeight(t *testing.T) {
+	clk := newStepClock()
+	srv := NewWithConfig(chaosRecommender(t), Config{
+		Workers:   2,
+		Rate:      1,
+		Burst:     4,
+		Predictor: chaosPredictor{},
+		Now:       clk.Now,
+	})
+	defer srv.Close()
+
+	client := map[string]string{"X-Client-ID": "batcher"}
+	item := `{"sql":"SELECT a FROM healthy"}`
+	batch := func(n int) string {
+		items := make([]string, n)
+		for i := range items {
+			items[i] = item
+		}
+		return `{"requests":[` + strings.Join(items, ",") + `]}`
+	}
+	// 3 of the 4 burst tokens go to a 3-item batch.
+	if w := chaosPost(srv, "/v1/recommend/batch", batch(3), client); w.Code != http.StatusOK {
+		t.Fatalf("3-item batch against full bucket: %d", w.Code)
+	}
+	// A 2-item batch exceeds the 1 remaining token — all or nothing.
+	if w := chaosPost(srv, "/v1/recommend/batch", batch(2), client); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("2-item batch with 1 token = %d, want 429", w.Code)
+	}
+	// The denied batch charged nothing: the last token buys a single.
+	if w := chaosPost(srv, "/v1/recommend", item, client); w.Code != http.StatusOK {
+		t.Fatalf("single after denied batch: %d", w.Code)
+	}
+	if w := chaosPost(srv, "/v1/recommend", item, client); w.Code != http.StatusTooManyRequests {
+		t.Errorf("drained bucket allowed a single: %d", w.Code)
+	}
+	// Wider than Burst is unsatisfiable even for a fresh client.
+	if w := chaosPost(srv, "/v1/recommend/batch", batch(5), map[string]string{"X-Client-ID": "fresh"}); w.Code != http.StatusTooManyRequests {
+		t.Errorf("burst-exceeding batch = %d, want 429", w.Code)
+	}
+}
+
 // TestChaosHealthzDraining: once draining starts, health drops to 503 so
 // load balancers stop routing, while the recommend path keeps answering
 // in-flight traffic.

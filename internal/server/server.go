@@ -105,7 +105,9 @@ type Config struct {
 	MaxBatch int
 
 	// MaxQueue sizes the pool task queue. 0 keeps the historical
-	// default (= Workers).
+	// default (= Workers). When admission control is enabled
+	// (MaxInFlight > 0), the resolved capacity also bounds the live
+	// queue depth: requests arriving with the queue full are shed.
 	MaxQueue int
 	// MaxInFlight caps concurrently admitted requests; excess load is
 	// shed early (degraded answer, or 429 without a Fallback) instead of
@@ -258,7 +260,15 @@ func clientKey(r *http.Request) string {
 // the client is over budget. Rate limiting never degrades — a greedy
 // client gets backpressure, not free popular answers.
 func (s *Server) allow(w http.ResponseWriter, r *http.Request) bool {
-	ok, retryAfter := s.limiter.Allow(clientKey(r))
+	return s.allowN(w, r, 1)
+}
+
+// allowN is the weighted form: a batch of n items costs n tokens, so
+// /v1/recommend/batch cannot multiply a client's configured rate by the
+// batch size. Batches wider than the configured Burst can never pass —
+// deployments serving batch traffic should set Burst >= MaxBatch.
+func (s *Server) allowN(w http.ResponseWriter, r *http.Request, n int) bool {
+	ok, retryAfter := s.limiter.AllowN(clientKey(r), n)
 	if ok {
 		return true
 	}
@@ -457,9 +467,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
 		return
 	}
-	if !s.allow(w, r) {
-		return
-	}
 	var batch BatchRequest
 	if !s.decodeBody(w, r, &batch) {
 		return
@@ -471,6 +478,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(batch.Requests) > s.cfg.MaxBatch {
 		writeJSON(w, http.StatusBadRequest,
 			errorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(batch.Requests), s.cfg.MaxBatch)})
+		return
+	}
+	// The limit check runs after decoding because the charge is the batch
+	// width: n items cost n tokens, the same as n single calls.
+	if !s.allowN(w, r, len(batch.Requests)) {
 		return
 	}
 	// Invalid individual requests fail their slot, not the whole batch;

@@ -50,6 +50,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/sqllex
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sqlparse
 	$(GO) test -run '^$$' -fuzz FuzzTokenizeRoundTrip -fuzztime $(FUZZTIME) ./internal/tokenizer
+	$(GO) test -run '^$$' -fuzz FuzzParseDifferential -fuzztime $(FUZZTIME) ./internal/sqlparse/difftest
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/checkpoint
 
 # All fuzz targets at 10s each — a smoke pass for CI and pre-commit.

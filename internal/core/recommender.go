@@ -246,9 +246,16 @@ func (r *Recommender) FragmentSetFromTokens(src []int) *sqlast.FragmentSet {
 
 func (r *Recommender) fragmentsOfIDs(ids []int) *sqlast.FragmentSet {
 	sql := tokenizer.Detokenize(r.Vocab.Decode(ids))
-	if stmt, err := sqlparse.Parse(sql); err == nil {
-		return sqlast.Fragments(stmt)
+	// Hot path: one parse per decoded candidate. The fragment set only
+	// keeps strings (immutable, independent of node storage), so the AST
+	// can go back to the shared arena pool before returning.
+	arena := sqlast.SharedArenas.Get()
+	if stmt, err := sqlparse.ParseArena(sql, arena); err == nil {
+		fs := sqlast.Fragments(stmt)
+		sqlast.SharedArenas.Put(arena)
+		return fs
 	}
+	sqlast.SharedArenas.Put(arena)
 	fs := sqlast.NewFragmentSet()
 	for _, id := range ids {
 		for _, f := range TokenFragments(r.Vocab, id) {

@@ -116,6 +116,14 @@ func TestPoolSafeFixture(t *testing.T) {
 	}
 }
 
+func TestPoolSafeArenaFixture(t *testing.T) {
+	pkg := loadFixture(t, "poolsafearena")
+	res := checkGolden(t, pkg, PoolSafe())
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+}
+
 func TestFloatEqFixture(t *testing.T) {
 	pkg := loadFixture(t, "floateq")
 	res := checkGolden(t, pkg, FloatEq())

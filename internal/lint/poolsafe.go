@@ -7,9 +7,11 @@ import (
 	"strings"
 )
 
-// PoolSafe checks tensor.Shared lifecycle discipline per function,
-// flow-insensitively: a scratch tensor obtained from a Pool Get must
-// either be released (passed to a Pool Put or to autograd.Free) or
+// PoolSafe checks pooled-resource lifecycle discipline per function,
+// flow-insensitively, for both tensor.Pool (scratch tensors, e.g.
+// tensor.Shared) and sqlast.ArenaPool (AST arenas, e.g.
+// sqlast.SharedArenas): a value obtained from a pool Get must
+// either be released (passed to the pool's Put or to autograd.Free) or
 // visibly hand off ownership — returned, stored into a struct/slice/
 // outer variable, captured by a closure, or passed to another function.
 // A Get-bound local that does none of these leaks arena discipline and
@@ -166,7 +168,7 @@ func checkPoolFunc(p *Pass, body *ast.BlockStmt) {
 
 	for _, v := range vars {
 		if v.binds == 1 && !v.escaped && len(v.relEnds) == 0 {
-			p.Reportf(v.bindPos, "pooled tensor %s from Pool.Get is never released (Put/autograd.Free) and never handed off: scratch buffers must go back to the arena", v.name)
+			p.Reportf(v.bindPos, "pooled value %s from Get is never released (Put/autograd.Free) and never handed off: scratch allocations must go back to their pool", v.name)
 		}
 	}
 
@@ -245,7 +247,8 @@ func typeCanAlias(t types.Type) bool {
 	}
 }
 
-// isPoolMethod reports whether call is <expr of type *tensor.Pool>.name(...).
+// isPoolMethod reports whether call is a Get/Put on a recognized pool
+// type: tensor.Pool or sqlast.ArenaPool.
 func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != name {
@@ -259,10 +262,17 @@ func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
 		t = ptr.Elem()
 	}
 	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Name() != "Pool" || named.Obj().Pkg() == nil {
+	if !ok || named.Obj().Pkg() == nil {
 		return false
 	}
-	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/tensor")
+	path := named.Obj().Pkg().Path()
+	switch named.Obj().Name() {
+	case "Pool":
+		return strings.HasSuffix(path, "internal/tensor")
+	case "ArenaPool":
+		return strings.HasSuffix(path, "internal/sqlast")
+	}
+	return false
 }
 
 func isAutogradFree(info *types.Info, call *ast.CallExpr) bool {

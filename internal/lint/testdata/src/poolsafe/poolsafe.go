@@ -7,7 +7,7 @@ import "repro/internal/tensor"
 // leak gets a scratch tensor and forgets to release it: the buffer
 // never returns to the arena and nothing visibly takes ownership.
 func leak(n int) float64 {
-	scratch := tensor.Shared.Get(n, n) // want `pooled tensor scratch from Pool\.Get is never released`
+	scratch := tensor.Shared.Get(n, n) // want `pooled value scratch from Get is never released`
 	scratch.Data[0] = 1
 	return scratch.Data[0]
 }

@@ -1,0 +1,84 @@
+// Package poolsafearena holds golden fixtures for the poolsafe analyzer
+// against sqlast.ArenaPool: the same Get/Put lifecycle discipline the
+// analyzer enforces for tensor.Pool applies to pooled AST arenas, whose
+// recycled slabs make use-after-Put an aliasing bug with the next Get.
+package poolsafearena
+
+import "repro/internal/sqlast"
+
+// leak gets an arena and forgets to return it: the slabs never go back
+// to the pool and nothing visibly takes ownership.
+func leak() int {
+	arena := sqlast.SharedArenas.Get() // want `pooled value arena from Get is never released`
+	n := arena.NewNumberLit()
+	n.Text = "1"
+	return len(n.Text)
+}
+
+// useAfterPut allocates from an arena after returning it to the pool:
+// the slab may already back another parser's tree.
+func useAfterPut() string {
+	a := sqlast.SharedArenas.Get()
+	s := a.NewStringLit()
+	s.Text = "'x'"
+	sqlast.SharedArenas.Put(a)
+	lit := a.NewStringLit() // want `a is used after being returned to the pool`
+	return lit.Text
+}
+
+// doublePut releases the same arena twice.
+func doublePut() {
+	a := sqlast.SharedArenas.Get()
+	sqlast.SharedArenas.Put(a)
+	sqlast.SharedArenas.Put(a) // want `a is used after being returned to the pool`
+}
+
+// putOK is the canonical scratch pattern: Get, build, consume, Put.
+func putOK() string {
+	a := sqlast.SharedArenas.Get()
+	n := a.NewNumberLit()
+	n.Text = "42"
+	out := n.Text
+	sqlast.SharedArenas.Put(a)
+	return out
+}
+
+// deferOK releases at function exit; allocations in between are fine.
+func deferOK() string {
+	a := sqlast.SharedArenas.Get()
+	defer sqlast.SharedArenas.Put(a)
+	s := a.NewStringLit()
+	s.Text = "'y'"
+	return s.Text
+}
+
+// returnOK hands the arena to the caller: ownership visibly escapes.
+func returnOK() *sqlast.Arena {
+	a := sqlast.SharedArenas.Get()
+	a.NewNumberLit()
+	return a
+}
+
+// handoffOK passes the arena to another function, which may release it.
+func handoffOK() {
+	a := sqlast.SharedArenas.Get()
+	release(a)
+}
+
+func release(a *sqlast.Arena) {
+	sqlast.SharedArenas.Put(a)
+}
+
+// branchPutOK puts only on an early-return branch; the use on the other
+// branch must not be flagged (the release does not dominate it).
+func branchPutOK(early bool) string {
+	a := sqlast.SharedArenas.Get()
+	if early {
+		sqlast.SharedArenas.Put(a)
+		return ""
+	}
+	n := a.NewNumberLit()
+	n.Text = "7"
+	sqlast.SharedArenas.Put(a)
+	return n.Text
+}

@@ -1,0 +1,286 @@
+package sqlast
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Arena is a size-classed bump allocator for AST nodes, the sqlast
+// counterpart of internal/tensor's workspace Pool: the parser hot path
+// allocates every node and child slice from per-type slabs, and the whole
+// tree is released in O(1) by Reset instead of node-by-node GC work.
+//
+// Ownership is explicit, mirroring tensor.Pool: every node handed out —
+// and therefore every AST built from the arena — is valid only until the
+// arena is Reset or returned to an ArenaPool with Put. Callers that retain
+// a statement (e.g. workload.Query.Enrich keeps Stmt for the baselines)
+// must parse through a throwaway arena (sqlparse.Parse does this) rather
+// than a pooled one.
+//
+// A Reset arena keeps its consolidated slabs for reuse but does not zero
+// them, so slab memory can pin strings referenced by previously parsed
+// statements (token texts are sub-slices of the query string) until the
+// slots are overwritten by later allocations. Arenas are cheap; drop one
+// instead of pooling it if that retention matters.
+//
+// An Arena is not safe for concurrent use; ArenaPool is.
+type Arena struct {
+	selects  slab[SelectStmt]
+	tops     slab[TopClause]
+	setops   slab[SetOp]
+	tables   slab[TableRef]
+	subrefs  slab[SubqueryRef]
+	joins    slab[JoinExpr]
+	cols     slab[ColumnRef]
+	stars    slab[Star]
+	nums     slab[NumberLit]
+	strs     slab[StringLit]
+	funcs    slab[FuncCall]
+	casts    slab[CastExpr]
+	bins     slab[BinaryExpr]
+	uns      slab[UnaryExpr]
+	parens   slab[ParenExpr]
+	ins      slab[InExpr]
+	exists   slab[ExistsExpr]
+	betweens slab[BetweenExpr]
+	likes    slab[LikeExpr]
+	isnulls  slab[IsNullExpr]
+	cases    slab[CaseExpr]
+	subqs    slab[SubqueryExpr]
+
+	items  slab[SelectItem]
+	texprs slab[TableExpr]
+	exprs  slab[Expr]
+	orders slab[OrderItem]
+	whens  slab[WhenClause]
+}
+
+// Slab sizing: blocks double geometrically from slabBase entries, and
+// Reset consolidates the cycle's total into one block, capped so a single
+// pathological query cannot pin unbounded memory inside a pool.
+const (
+	slabBase      = 8
+	slabBlockMax  = 4096
+	slabRetainMax = 1 << 16
+)
+
+// slab is one per-type bump allocator: a primary block reused across
+// Reset plus geometric overflow blocks for cycles that outgrow it.
+type slab[T any] struct {
+	buf  []T   // primary block; len = used, cap = capacity
+	more [][]T // overflow blocks, last one active
+}
+
+func (s *slab[T]) alloc() *T {
+	if n := len(s.buf); n < cap(s.buf) {
+		s.buf = s.buf[:n+1]
+		p := &s.buf[n]
+		var zero T
+		*p = zero
+		return p
+	}
+	b := s.grow(1)
+	p := &b[len(b)-1]
+	var zero T
+	*p = zero
+	return p
+}
+
+// allocN returns n contiguous zero-copied entries as a full (three-index)
+// sub-slice, so a later append by the caller reallocates instead of
+// stomping a neighbor. The caller overwrites all n entries immediately.
+func (s *slab[T]) allocN(n int) []T {
+	if used := len(s.buf); used+n <= cap(s.buf) {
+		s.buf = s.buf[:used+n]
+		return s.buf[used : used+n : used+n]
+	}
+	b := s.grow(n)
+	used := len(b) - n
+	return b[used : used+n : used+n]
+}
+
+// grow extends the active overflow block by n entries, opening a new block
+// when needed, and returns the active block including the new entries.
+func (s *slab[T]) grow(n int) []T {
+	k := len(s.more)
+	if k > 0 {
+		if b := s.more[k-1]; len(b)+n <= cap(b) {
+			b = b[:len(b)+n]
+			s.more[k-1] = b
+			return b
+		}
+	}
+	c := slabBase
+	if cap(s.buf) > 0 {
+		c = cap(s.buf) * 2
+	}
+	if k > 0 {
+		c = cap(s.more[k-1]) * 2
+	}
+	if c > slabBlockMax {
+		c = slabBlockMax
+	}
+	if c < n {
+		c = n
+	}
+	b := make([]T, n, c)
+	s.more = append(s.more, b)
+	return b
+}
+
+// reset drops the cycle's contents. When overflow blocks were needed, the
+// primary block is regrown to the cycle's total footprint (capped) so the
+// next cycle fits in one block; otherwise the primary block is reused
+// as-is. Entries are not zeroed — see the Arena retention note.
+func (s *slab[T]) reset() {
+	if len(s.more) == 0 {
+		s.buf = s.buf[:0]
+		return
+	}
+	total := cap(s.buf)
+	for _, b := range s.more {
+		total += cap(b)
+	}
+	if total > slabRetainMax {
+		total = slabRetainMax
+	}
+	s.buf = make([]T, 0, total)
+	s.more = nil
+}
+
+func saveSlice[T any](s *slab[T], src []T) []T {
+	if len(src) == 0 {
+		return nil
+	}
+	dst := s.allocN(len(src))
+	copy(dst, src)
+	return dst
+}
+
+// NewArena returns an empty arena. The zero value is also ready to use.
+func NewArena() *Arena { return &Arena{} }
+
+// Reset releases every node allocated from the arena at once. All ASTs
+// previously built from it become invalid.
+func (a *Arena) Reset() {
+	a.selects.reset()
+	a.tops.reset()
+	a.setops.reset()
+	a.tables.reset()
+	a.subrefs.reset()
+	a.joins.reset()
+	a.cols.reset()
+	a.stars.reset()
+	a.nums.reset()
+	a.strs.reset()
+	a.funcs.reset()
+	a.casts.reset()
+	a.bins.reset()
+	a.uns.reset()
+	a.parens.reset()
+	a.ins.reset()
+	a.exists.reset()
+	a.betweens.reset()
+	a.likes.reset()
+	a.isnulls.reset()
+	a.cases.reset()
+	a.subqs.reset()
+	a.items.reset()
+	a.texprs.reset()
+	a.exprs.reset()
+	a.orders.reset()
+	a.whens.reset()
+}
+
+// Node constructors: one zeroed node per call, bump-allocated.
+
+func (a *Arena) NewSelectStmt() *SelectStmt     { return a.selects.alloc() }
+func (a *Arena) NewTopClause() *TopClause       { return a.tops.alloc() }
+func (a *Arena) NewSetOp() *SetOp               { return a.setops.alloc() }
+func (a *Arena) NewTableRef() *TableRef         { return a.tables.alloc() }
+func (a *Arena) NewSubqueryRef() *SubqueryRef   { return a.subrefs.alloc() }
+func (a *Arena) NewJoinExpr() *JoinExpr         { return a.joins.alloc() }
+func (a *Arena) NewColumnRef() *ColumnRef       { return a.cols.alloc() }
+func (a *Arena) NewStar() *Star                 { return a.stars.alloc() }
+func (a *Arena) NewNumberLit() *NumberLit       { return a.nums.alloc() }
+func (a *Arena) NewStringLit() *StringLit       { return a.strs.alloc() }
+func (a *Arena) NewFuncCall() *FuncCall         { return a.funcs.alloc() }
+func (a *Arena) NewCastExpr() *CastExpr         { return a.casts.alloc() }
+func (a *Arena) NewBinaryExpr() *BinaryExpr     { return a.bins.alloc() }
+func (a *Arena) NewUnaryExpr() *UnaryExpr       { return a.uns.alloc() }
+func (a *Arena) NewParenExpr() *ParenExpr       { return a.parens.alloc() }
+func (a *Arena) NewInExpr() *InExpr             { return a.ins.alloc() }
+func (a *Arena) NewExistsExpr() *ExistsExpr     { return a.exists.alloc() }
+func (a *Arena) NewBetweenExpr() *BetweenExpr   { return a.betweens.alloc() }
+func (a *Arena) NewLikeExpr() *LikeExpr         { return a.likes.alloc() }
+func (a *Arena) NewIsNullExpr() *IsNullExpr     { return a.isnulls.alloc() }
+func (a *Arena) NewCaseExpr() *CaseExpr         { return a.cases.alloc() }
+func (a *Arena) NewSubqueryExpr() *SubqueryExpr { return a.subqs.alloc() }
+
+// sharedNull backs every NewNullLit: the node is immutable (no fields), so
+// one instance serves all ASTs and never pins arena memory.
+var sharedNull NullLit
+
+// NewNullLit returns the shared NULL literal node.
+func (a *Arena) NewNullLit() *NullLit { return &sharedNull }
+
+// Child-slice savers: copy a scratch slice into stable arena storage.
+
+func (a *Arena) SaveSelectItems(src []SelectItem) []SelectItem { return saveSlice(&a.items, src) }
+func (a *Arena) SaveTableExprs(src []TableExpr) []TableExpr    { return saveSlice(&a.texprs, src) }
+func (a *Arena) SaveExprs(src []Expr) []Expr                   { return saveSlice(&a.exprs, src) }
+func (a *Arena) SaveOrderItems(src []OrderItem) []OrderItem    { return saveSlice(&a.orders, src) }
+func (a *Arena) SaveWhenClauses(src []WhenClause) []WhenClause { return saveSlice(&a.whens, src) }
+
+// ArenaPool recycles Arenas across parses, the sqlast analog of
+// tensor.Shared's Get/Put protocol — and it is checked by the same
+// poolsafe lint rule: every Get needs a Put on all paths, and no node of
+// an AST may be used after its arena is Put.
+//
+// Put resets the arena, so the returned value of Get is always empty.
+type ArenaPool struct {
+	pool sync.Pool
+
+	gets   atomic.Uint64
+	puts   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// SharedArenas is the process-wide arena pool used by the serve path
+// (tokenizer, recommender) for transient parses.
+var SharedArenas = NewArenaPool()
+
+// NewArenaPool returns an empty pool.
+func NewArenaPool() *ArenaPool { return &ArenaPool{} }
+
+// Get returns an empty arena, reusing a pooled one when available.
+func (p *ArenaPool) Get() *Arena {
+	p.gets.Add(1)
+	if a, ok := p.pool.Get().(*Arena); ok {
+		return a
+	}
+	p.misses.Add(1)
+	return NewArena()
+}
+
+// Put resets the arena and returns it to the pool. Every AST built from it
+// is invalid from this point on.
+func (p *ArenaPool) Put(a *Arena) {
+	if a == nil {
+		return
+	}
+	a.Reset()
+	p.puts.Add(1)
+	p.pool.Put(a)
+}
+
+// ArenaPoolStats is a snapshot of pool traffic; misses count Gets that had
+// to allocate a fresh arena.
+type ArenaPoolStats struct {
+	Gets, Puts, Misses uint64
+}
+
+// Stats snapshots the counters.
+func (p *ArenaPool) Stats() ArenaPoolStats {
+	return ArenaPoolStats{Gets: p.gets.Load(), Puts: p.puts.Load(), Misses: p.misses.Load()}
+}

@@ -1,0 +1,98 @@
+package sqllex_test
+
+// Regression tests pinning the two lexer edge cases whose behavior the
+// rewrite had to decide and document (DESIGN.md §10), each cross-checked
+// against the frozen seed lexer in internal/sqlparse/refparser:
+//
+//   - A "--" line comment terminated by end of input (no trailing newline)
+//     is a complete comment: tokenization succeeds and the statement
+//     before it is unaffected.
+//   - An unterminated string literal (or quoted identifier) is a lex
+//     error ("unterminated string literal" / "unterminated quoted
+//     identifier") reported at the opening delimiter.
+
+import (
+	"testing"
+
+	"repro/internal/sqllex"
+	"repro/internal/sqlparse/refparser"
+)
+
+// crossCheck tokenizes src with both front ends and fails on any
+// disagreement in outcome, error string, or token (kind name, text) pairs.
+func crossCheck(t *testing.T, src string) ([]sqllex.Token, error) {
+	t.Helper()
+	toks, err := sqllex.Tokenize(src)
+	rtoks, rerr := refparser.Tokenize(src)
+	switch {
+	case err != nil && rerr != nil:
+		if err.Error() != rerr.Error() {
+			t.Errorf("error mismatch on %q:\n  new: %v\n  ref: %v", src, err, rerr)
+		}
+	case err != nil:
+		t.Errorf("new lexer rejected %q (%v), seed lexer accepted", src, err)
+	case rerr != nil:
+		t.Errorf("seed lexer rejected %q (%v), new lexer accepted", src, rerr)
+	default:
+		if len(toks) != len(rtoks) {
+			t.Fatalf("token count mismatch on %q: new %d, ref %d", src, len(toks), len(rtoks))
+		}
+		for i := range toks {
+			if toks[i].Kind.String() != rtoks[i].Kind.String() || toks[i].Text != rtoks[i].Text {
+				t.Errorf("token %d mismatch on %q: new %v(%q), ref %v(%q)",
+					i, src, toks[i].Kind, toks[i].Text, rtoks[i].Kind, rtoks[i].Text)
+			}
+		}
+	}
+	return toks, err
+}
+
+func TestLineCommentAtEOFContract(t *testing.T) {
+	cases := []struct {
+		src   string
+		texts []string
+	}{
+		{"SELECT a FROM t -- trailing, no newline", []string{"SELECT", "a", "FROM", "t"}},
+		{"SELECT a FROM t --", []string{"SELECT", "a", "FROM", "t"}},
+		{"--", nil},
+		{"-- only a comment", nil},
+	}
+	for _, c := range cases {
+		toks, err := crossCheck(t, c.src)
+		if err != nil {
+			t.Fatalf("comment at EOF must tokenize, got error on %q: %v", c.src, err)
+		}
+		if len(toks) != len(c.texts) {
+			t.Fatalf("%q: got %d tokens %v, want %d", c.src, len(toks), toks, len(c.texts))
+		}
+		for i, want := range c.texts {
+			if toks[i].Text != want {
+				t.Errorf("%q token %d: got %q want %q", c.src, i, toks[i].Text, want)
+			}
+		}
+	}
+}
+
+func TestUnterminatedLiteralContract(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"SELECT 'open", "lex error at 1:8: unterminated string literal"},
+		{"SELECT 'a''", "lex error at 1:8: unterminated string literal"},
+		{"SELECT \"open", "lex error at 1:8: unterminated quoted identifier"},
+		{"SELECT [open", "lex error at 1:8: unterminated quoted identifier"},
+		// A NUL inside the literal acts like end of input: still the
+		// unterminated error, still at the opening delimiter.
+		{"SELECT 'nul\x00rest'", "lex error at 1:8: unterminated string literal"},
+		{"SELECT \"nul\x00rest\"", "lex error at 1:8: unterminated quoted identifier"},
+	}
+	for _, c := range cases {
+		_, err := crossCheck(t, c.src)
+		if err == nil {
+			t.Fatalf("%q: expected lex error, got none", c.src)
+		}
+		if err.Error() != c.want {
+			t.Errorf("%q: got error %q, want %q", c.src, err, c.want)
+		}
+	}
+}

@@ -54,8 +54,8 @@ func FuzzTokenize(f *testing.F) {
 			if tok.Text == "" && tok.Kind != sqllex.EOF {
 				t.Errorf("empty token text: %+v", tok)
 			}
-			if tok.Pos.Offset < 0 || tok.Pos.Offset > len(src) {
-				t.Errorf("token offset %d outside source of length %d", tok.Pos.Offset, len(src))
+			if tok.Off < 0 || tok.End < tok.Off || tok.End > len(src) {
+				t.Errorf("token span [%d,%d) outside source of length %d", tok.Off, tok.End, len(src))
 			}
 			if utf8.ValidString(src) && !utf8.ValidString(tok.Text) {
 				t.Errorf("invalid UTF-8 in token %q from valid source", tok.Text)

@@ -16,25 +16,61 @@ type Error struct {
 // Error implements the error interface.
 func (e *Error) Error() string { return fmt.Sprintf("lex error at %s: %s", e.Pos, e.Msg) }
 
-// Lexer scans a SQL statement into tokens.
+// ASCII character classes, consulted once per byte on the hot path. Bytes
+// >= 0x80 take the rune-decoding slow path so Unicode letters, digits and
+// spaces classify exactly as the seed's unicode.Is* calls did.
+const (
+	clsSpace = 1 << iota // ' ' \t \n \v \f \r
+	clsIdentStart        // A-Z a-z _ @ #
+	clsIdentPart         // identStart + 0-9 $
+	clsDigit             // 0-9
+)
+
+var classTab [128]uint8
+
+func init() {
+	for _, c := range []byte{' ', '\t', '\n', '\v', '\f', '\r'} {
+		classTab[c] |= clsSpace
+	}
+	for c := byte('A'); c <= 'Z'; c++ {
+		classTab[c] |= clsIdentStart | clsIdentPart
+	}
+	for c := byte('a'); c <= 'z'; c++ {
+		classTab[c] |= clsIdentStart | clsIdentPart
+	}
+	for _, c := range []byte{'_', '@', '#'} {
+		classTab[c] |= clsIdentStart | clsIdentPart
+	}
+	classTab['$'] |= clsIdentPart
+	for c := byte('0'); c <= '9'; c++ {
+		classTab[c] |= clsDigit | clsIdentPart
+	}
+}
+
+// Lexer scans a SQL statement into tokens. It keeps only a byte cursor;
+// line/column positions are derived lazily via PosAt on the error path.
 type Lexer struct {
-	src  string
-	off  int
-	line int
-	col  int
+	src string
+	off int
 }
 
 // New returns a lexer over src.
 func New(src string) *Lexer {
-	return &Lexer{src: src, line: 1, col: 1}
+	return &Lexer{src: src}
 }
 
 // Tokenize scans the whole input and returns all tokens excluding comments
 // and the trailing EOF token. It is the common entry point for callers that
 // want a clean token stream.
 func Tokenize(src string) ([]Token, error) {
+	return TokenizeAppend(src, nil)
+}
+
+// TokenizeAppend is Tokenize appending into a caller-owned buffer, so a
+// pooled caller (internal/sqlparse's parser pool) re-tokenizes with zero
+// allocations once the buffer has grown to working size.
+func TokenizeAppend(src string, out []Token) ([]Token, error) {
 	lx := New(src)
-	var out []Token
 	for {
 		t, err := lx.Next()
 		if err != nil {
@@ -50,167 +86,206 @@ func Tokenize(src string) ([]Token, error) {
 	}
 }
 
-func (l *Lexer) pos() Pos { return Pos{Offset: l.off, Line: l.line, Col: l.col} }
-
-func (l *Lexer) peek() rune {
-	if l.off >= len(l.src) {
-		return 0
-	}
-	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
-	return r
+func (l *Lexer) errorAt(off int, msg string) error {
+	return &Error{Pos: PosAt(l.src, off), Msg: msg}
 }
 
-func (l *Lexer) peekAt(n int) rune {
-	off := l.off
-	for i := 0; i < n; i++ {
-		if off >= len(l.src) {
-			return 0
-		}
-		_, w := utf8.DecodeRuneInString(l.src[off:])
-		off += w
-	}
-	if off >= len(l.src) {
-		return 0
-	}
-	r, _ := utf8.DecodeRuneInString(l.src[off:])
-	return r
-}
-
-func (l *Lexer) advance() rune {
-	if l.off >= len(l.src) {
-		return 0
-	}
-	r, w := utf8.DecodeRuneInString(l.src[l.off:])
-	l.off += w
-	if r == '\n' {
-		l.line++
-		l.col = 1
-	} else {
-		l.col++
-	}
-	return r
-}
-
+// skipSpace advances past whitespace. A NUL byte is not whitespace, and —
+// matching the seed, whose rune peek decoded NUL to its EOF sentinel —
+// terminates the scan at the dispatch below.
 func (l *Lexer) skipSpace() {
-	for {
-		r := l.peek()
-		if r == 0 || !unicode.IsSpace(r) {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if c < 0x80 {
+			if classTab[c]&clsSpace == 0 {
+				return
+			}
+			l.off++
+			continue
+		}
+		r, w := utf8.DecodeRuneInString(l.src[l.off:])
+		if !unicode.IsSpace(r) {
 			return
 		}
-		l.advance()
+		l.off += w
 	}
 }
 
-func isIdentStart(r rune) bool {
-	return r == '_' || r == '@' || r == '#' || unicode.IsLetter(r)
+// identStartAt / identPartAt / digitAt classify the byte at off, decoding
+// a rune only for non-ASCII bytes. Off past the end classifies false.
+func (l *Lexer) identStartAt(off int) bool {
+	if off >= len(l.src) {
+		return false
+	}
+	c := l.src[off]
+	if c < 0x80 {
+		return classTab[c]&clsIdentStart != 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[off:])
+	return unicode.IsLetter(r)
 }
 
-func isIdentPart(r rune) bool {
-	return r == '_' || r == '@' || r == '#' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+func (l *Lexer) digitAt(off int) bool {
+	if off >= len(l.src) {
+		return false
+	}
+	c := l.src[off]
+	if c < 0x80 {
+		return classTab[c]&clsDigit != 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[off:])
+	return unicode.IsDigit(r)
 }
 
 // Next scans and returns the next token. Comments are returned as Comment
 // tokens so callers can decide whether to keep them.
 func (l *Lexer) Next() (Token, error) {
 	l.skipSpace()
-	start := l.pos()
-	r := l.peek()
+	start := l.off
+	if start >= len(l.src) {
+		return Token{Kind: EOF, Off: start, End: start}, nil
+	}
+	c := l.src[start]
 	switch {
-	case r == 0:
-		return Token{Kind: EOF, Pos: start}, nil
-	case r == '-' && l.peekAt(1) == '-':
+	case c == 0:
+		// Seed parity: the rune-based lexer's peek decoded NUL to the same
+		// sentinel as end-of-input, so a NUL byte truncates the statement.
+		return Token{Kind: EOF, Off: start, End: start}, nil
+	case c == '-' && start+1 < len(l.src) && l.src[start+1] == '-':
 		return l.lineComment(start), nil
-	case r == '/' && l.peekAt(1) == '*':
+	case c == '/' && start+1 < len(l.src) && l.src[start+1] == '*':
 		return l.blockComment(start)
-	case isIdentStart(r):
+	case (c < 0x80 && classTab[c]&clsIdentStart != 0) || (c >= 0x80 && l.identStartAt(start)):
 		return l.word(start), nil
-	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peekAt(1))):
+	case (c < 0x80 && classTab[c]&clsDigit != 0) || (c >= 0x80 && l.digitAt(start)) ||
+		(c == '.' && l.digitAt(start+1)):
 		return l.number(start), nil
-	case r == '\'':
+	case c == '\'':
 		return l.stringLit(start)
-	case r == '"':
+	case c == '"':
 		return l.quotedIdent(start, '"')
-	case r == '[':
+	case c == '[':
 		return l.quotedIdent(start, ']')
 	default:
 		return l.operator(start)
 	}
 }
 
-func (l *Lexer) lineComment(start Pos) Token {
-	var sb strings.Builder
-	for {
-		r := l.peek()
-		if r == 0 || r == '\n' {
-			break
-		}
-		sb.WriteRune(l.advance())
+// textSlice returns src[a:b] when it is valid UTF-8, else the seed-parity
+// re-encoding: the seed built token texts rune by rune through
+// strings.Builder.WriteRune, which turns every invalid byte into a
+// U+FFFD replacement sequence. Ranging over a string yields exactly one
+// RuneError per invalid byte, so this cold path reproduces those bytes.
+func (l *Lexer) textSlice(a, b int) string {
+	s := l.src[a:b]
+	if utf8.ValidString(s) {
+		return s
 	}
-	text := sb.String()
-	return Token{Kind: Comment, Text: text, Upper: strings.ToUpper(text), Pos: start}
+	var sb strings.Builder
+	for _, r := range s {
+		sb.WriteRune(r)
+	}
+	return sb.String()
 }
 
-func (l *Lexer) blockComment(start Pos) (Token, error) {
-	var sb strings.Builder
-	sb.WriteRune(l.advance()) // '/'
-	sb.WriteRune(l.advance()) // '*'
+// lineComment consumes "--" to end of line. The newline (or NUL, or end of
+// input) is not part of the comment; see DESIGN.md §10 for the
+// comment-at-EOF contract shared with the reference lexer.
+func (l *Lexer) lineComment(start int) Token {
+	i := start
+	for i < len(l.src) && l.src[i] != '\n' && l.src[i] != 0 {
+		i++
+	}
+	l.off = i
+	return Token{Kind: Comment, Text: l.textSlice(start, i), Off: start, End: i}
+}
+
+// blockComment consumes a nested /* ... */ comment. NUL terminates the
+// scan like end of input, yielding the unterminated error.
+func (l *Lexer) blockComment(start int) (Token, error) {
+	i := start + 2
 	depth := 1
 	for depth > 0 {
-		r := l.peek()
-		if r == 0 {
-			return Token{}, &Error{Pos: start, Msg: "unterminated block comment"}
+		if i >= len(l.src) || l.src[i] == 0 {
+			l.off = i
+			return Token{}, l.errorAt(start, "unterminated block comment")
 		}
-		if r == '*' && l.peekAt(1) == '/' {
-			sb.WriteRune(l.advance())
-			sb.WriteRune(l.advance())
+		switch {
+		case l.src[i] == '*' && i+1 < len(l.src) && l.src[i+1] == '/':
+			i += 2
 			depth--
-			continue
-		}
-		if r == '/' && l.peekAt(1) == '*' {
-			sb.WriteRune(l.advance())
-			sb.WriteRune(l.advance())
+		case l.src[i] == '/' && i+1 < len(l.src) && l.src[i+1] == '*':
+			i += 2
 			depth++
-			continue
+		default:
+			i++
 		}
-		sb.WriteRune(l.advance())
 	}
-	text := sb.String()
-	return Token{Kind: Comment, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+	l.off = i
+	return Token{Kind: Comment, Text: l.textSlice(start, i), Off: start, End: i}, nil
 }
 
-func (l *Lexer) word(start Pos) Token {
-	var sb strings.Builder
-	for isIdentPart(l.peek()) {
-		sb.WriteRune(l.advance())
+// word consumes an identifier or keyword.
+func (l *Lexer) word(start int) Token {
+	i := start
+	ascii := true
+	for i < len(l.src) {
+		c := l.src[i]
+		if c < 0x80 {
+			if classTab[c]&clsIdentPart == 0 {
+				break
+			}
+			i++
+			continue
+		}
+		r, w := utf8.DecodeRuneInString(l.src[i:])
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			break
+		}
+		ascii = false
+		i += w
 	}
-	text := sb.String()
-	upper := strings.ToUpper(text)
+	l.off = i
+	// A word never consumes invalid UTF-8 (RuneError fails the ident
+	// classes), so the sub-slice is the exact seed spelling.
+	text := l.src[start:i]
 	kind := Ident
-	if keywords[upper] {
+	if ascii {
+		if asciiKeywordUpper(text) != "" {
+			kind = Keyword
+		}
+	} else if keywords[strings.ToUpper(text)] {
+		// Unicode folding can reach a keyword (e.g. "ſelect"); match the
+		// seed's map-of-ToUpper classification on this cold path.
 		kind = Keyword
 	}
-	return Token{Kind: kind, Text: text, Upper: upper, Pos: start}
+	return Token{Kind: kind, Text: text, Off: start, End: i}
 }
 
-func (l *Lexer) number(start Pos) Token {
-	var sb strings.Builder
+// number consumes a numeric literal: digits with at most one dot and one
+// exponent, where the exponent sign requires a following digit (so "1e"
+// lexes as Number(1) Ident(e), matching the seed's lookahead).
+func (l *Lexer) number(start int) Token {
+	i := start
 	seenDot, seenExp := false, false
-	for {
-		r := l.peek()
+	for i < len(l.src) {
+		c := l.src[i]
 		switch {
-		case unicode.IsDigit(r):
-			sb.WriteRune(l.advance())
-		case r == '.' && !seenDot && !seenExp:
+		case c < 0x80 && classTab[c]&clsDigit != 0:
+			i++
+		case c >= 0x80 && l.digitAt(i):
+			_, w := utf8.DecodeRuneInString(l.src[i:])
+			i += w
+		case c == '.' && !seenDot && !seenExp:
 			seenDot = true
-			sb.WriteRune(l.advance())
-		case (r == 'e' || r == 'E') && !seenExp && sb.Len() > 0:
-			nxt := l.peekAt(1)
-			if unicode.IsDigit(nxt) || ((nxt == '+' || nxt == '-') && unicode.IsDigit(l.peekAt(2))) {
+			i++
+		case (c == 'e' || c == 'E') && !seenExp && i > start:
+			if l.digitAt(i + 1) {
 				seenExp = true
-				sb.WriteRune(l.advance())
-				if l.peek() == '+' || l.peek() == '-' {
-					sb.WriteRune(l.advance())
-				}
+				i++
+			} else if (i+1 < len(l.src) && (l.src[i+1] == '+' || l.src[i+1] == '-')) && l.digitAt(i+2) {
+				seenExp = true
+				i += 2
 			} else {
 				goto done
 			}
@@ -219,53 +294,53 @@ func (l *Lexer) number(start Pos) Token {
 		}
 	}
 done:
-	text := sb.String()
-	return Token{Kind: Number, Text: text, Upper: text, Pos: start}
+	l.off = i
+	return Token{Kind: Number, Text: l.src[start:i], Off: start, End: i}
 }
 
-func (l *Lexer) stringLit(start Pos) (Token, error) {
-	var sb strings.Builder
-	sb.WriteRune(l.advance()) // opening quote
+// stringLit consumes a single-quoted literal with '' as the escaped quote.
+// Text keeps the surrounding quotes. NUL or end of input before the closing
+// quote is the unterminated-literal error; see DESIGN.md §10.
+func (l *Lexer) stringLit(start int) (Token, error) {
+	i := start + 1
 	for {
-		r := l.peek()
-		if r == 0 {
-			return Token{}, &Error{Pos: start, Msg: "unterminated string literal"}
+		if i >= len(l.src) || l.src[i] == 0 {
+			l.off = i
+			return Token{}, l.errorAt(start, "unterminated string literal")
 		}
-		if r == '\'' {
-			// Doubled quote is an escaped quote inside the literal.
-			if l.peekAt(1) == '\'' {
-				sb.WriteRune(l.advance())
-				sb.WriteRune(l.advance())
+		if l.src[i] == '\'' {
+			if i+1 < len(l.src) && l.src[i+1] == '\'' {
+				i += 2
 				continue
 			}
-			sb.WriteRune(l.advance())
+			i++
 			break
 		}
-		sb.WriteRune(l.advance())
+		i++
 	}
-	text := sb.String()
-	return Token{Kind: String, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+	l.off = i
+	return Token{Kind: String, Text: l.textSlice(start, i), Off: start, End: i}, nil
 }
 
-func (l *Lexer) quotedIdent(start Pos, closer rune) (Token, error) {
-	l.advance() // opening delimiter
-	var sb strings.Builder
+// quotedIdent consumes a delimited identifier ("..." or [...]). Text strips
+// the delimiters, so it is a sub-slice of the interior.
+func (l *Lexer) quotedIdent(start int, closer byte) (Token, error) {
+	i := start + 1
 	for {
-		r := l.peek()
-		if r == 0 {
-			return Token{}, &Error{Pos: start, Msg: "unterminated quoted identifier"}
+		if i >= len(l.src) || l.src[i] == 0 {
+			l.off = i
+			return Token{}, l.errorAt(start, "unterminated quoted identifier")
 		}
-		if r == closer {
-			l.advance()
+		if l.src[i] == closer {
 			break
 		}
-		sb.WriteRune(l.advance())
+		i++
 	}
-	text := sb.String()
-	if text == "" {
-		return Token{}, &Error{Pos: start, Msg: "empty quoted identifier"}
+	l.off = i + 1
+	if i == start+1 {
+		return Token{}, l.errorAt(start, "empty quoted identifier")
 	}
-	return Token{Kind: Ident, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+	return Token{Kind: Ident, Text: l.textSlice(start+1, i), Off: start, End: i + 1}, nil
 }
 
 // IsBareIdent reports whether s lexes as a single unquoted identifier
@@ -275,13 +350,25 @@ func IsBareIdent(s string) bool {
 	if s == "" {
 		return false
 	}
+	ascii := true
 	for i, r := range s {
-		if i == 0 && !isIdentStart(r) {
+		if r >= 0x80 {
+			ascii = false
+			if !unicode.IsLetter(r) && !(i > 0 && unicode.IsDigit(r)) {
+				return false
+			}
+			continue
+		}
+		cls := classTab[byte(r)]
+		if i == 0 && cls&clsIdentStart == 0 {
 			return false
 		}
-		if i > 0 && !isIdentPart(r) {
+		if i > 0 && cls&clsIdentPart == 0 {
 			return false
 		}
+	}
+	if ascii {
+		return asciiKeywordUpper(s) == ""
 	}
 	return !keywords[strings.ToUpper(s)]
 }
@@ -310,23 +397,28 @@ func QuoteIdent(s string) string {
 // multi-char operators, longest first.
 var multiOps = []string{"<>", "!=", ">=", "<=", "||", "::"}
 
-func (l *Lexer) operator(start Pos) (Token, error) {
+func (l *Lexer) operator(start int) (Token, error) {
+	rest := l.src[start:]
 	for _, op := range multiOps {
-		if strings.HasPrefix(l.src[l.off:], op) {
-			for range op {
-				l.advance()
-			}
-			return Token{Kind: Operator, Text: op, Upper: op, Pos: start}, nil
+		if strings.HasPrefix(rest, op) {
+			l.off = start + len(op)
+			return Token{Kind: Operator, Text: l.src[start:l.off], Off: start, End: l.off}, nil
 		}
 	}
-	r := l.advance()
-	text := string(r)
-	switch r {
-	case '(', ')', ',', ';', '.':
-		return Token{Kind: Punct, Text: text, Upper: text, Pos: start}, nil
-	case '+', '-', '*', '/', '%', '=', '<', '>', '&', '|', '^', '~', '!':
-		return Token{Kind: Operator, Text: text, Upper: text, Pos: start}, nil
-	default:
-		return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", r)}
+	c := l.src[start]
+	if c < 0x80 {
+		switch c {
+		case '(', ')', ',', ';', '.':
+			l.off = start + 1
+			return Token{Kind: Punct, Text: l.src[start : start+1], Off: start, End: start + 1}, nil
+		case '+', '-', '*', '/', '%', '=', '<', '>', '&', '|', '^', '~', '!':
+			l.off = start + 1
+			return Token{Kind: Operator, Text: l.src[start : start+1], Off: start, End: start + 1}, nil
+		}
+		l.off = start + 1
+		return Token{}, l.errorAt(start, fmt.Sprintf("unexpected character %q", rune(c)))
 	}
+	r, w := utf8.DecodeRuneInString(rest)
+	l.off = start + w
+	return Token{}, l.errorAt(start, fmt.Sprintf("unexpected character %q", r))
 }

@@ -198,11 +198,12 @@ func TestPositions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ts[2].Pos.Line != 2 || ts[2].Pos.Col != 1 {
-		t.Errorf("FROM position: %v", ts[2].Pos)
+	src := "SELECT x\nFROM t"
+	if p := PosAt(src, ts[2].Off); p.Line != 2 || p.Col != 1 {
+		t.Errorf("FROM position: %v", p)
 	}
-	if ts[3].Pos.Line != 2 || ts[3].Pos.Col != 6 {
-		t.Errorf("t position: %v", ts[3].Pos)
+	if p := PosAt(src, ts[3].Off); p.Line != 2 || p.Col != 6 {
+		t.Errorf("t position: %v", p)
 	}
 }
 
@@ -241,7 +242,7 @@ func TestRealSDSSQuery(t *testing.T) {
 	seq := []string{"SELECT", "TOP", "FROM", "JOIN", "ON", "WHERE", "BETWEEN", "AND", "ORDER", "BY", "DESC"}
 	j := 0
 	for _, tok := range ts {
-		if j < len(seq) && tok.Kind == Keyword && tok.Upper == seq[j] {
+		if j < len(seq) && tok.IsKeyword(seq[j]) {
 			j++
 		}
 	}

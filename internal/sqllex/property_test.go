@@ -1,0 +1,159 @@
+package sqllex_test
+
+// Property tests for the zero-allocation lexer. Two invariants hold for
+// every input, not just well-formed SQL:
+//
+//  1. Tiling: the spans of the tokens produced by Lexer.Next (comments
+//     included) are in order, non-overlapping, inside the input, and the
+//     gaps between consecutive spans contain only whitespace. Scanning
+//     stops only at end of input or at a NUL byte (the documented
+//     truncation point; see DESIGN.md §10).
+//  2. Fixed point: for corpus queries, tokenize → render → tokenize
+//     reproduces the same token sequence, and rendering that sequence
+//     again reproduces the same string.
+//
+// The sub-slice discipline rides along with (1): token kinds whose text is
+// always taken verbatim from the source (keywords, numbers, operators,
+// punctuation) must satisfy Text == src[Off:End] exactly.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+
+	"repro/internal/sqllex"
+	"repro/internal/synth"
+)
+
+// corpusQueries returns the full synthetic workloads for both profiles —
+// the same query population the rest of the test tree exercises.
+func corpusQueries(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, prof := range []synth.Profile{synth.SDSSProfile(), synth.SQLShareProfile()} {
+		wl := synth.Generate(prof, 1)
+		for _, sess := range wl.Sessions {
+			for _, q := range sess.Queries {
+				out = append(out, q.SQL)
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("synthetic corpus is empty")
+	}
+	return out
+}
+
+func allSpace(s string) bool {
+	for _, r := range s {
+		if !unicode.IsSpace(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// tilingViolation scans src with the raw lexer and returns a description
+// of the first tiling violation, or "" if the invariants hold. A lex error
+// ends the scan; the invariants apply to the prefix scanned before it.
+func tilingViolation(src string) string {
+	lx := sqllex.New(src)
+	prev := 0
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return ""
+		}
+		if tok.Off < prev || tok.End < tok.Off || tok.End > len(src) {
+			return fmt.Sprintf("span [%d,%d) out of order or out of bounds (prev end %d, len %d)",
+				tok.Off, tok.End, prev, len(src))
+		}
+		if gap := src[prev:tok.Off]; !allSpace(gap) {
+			return fmt.Sprintf("gap %q before span [%d,%d) is not whitespace", gap, tok.Off, tok.End)
+		}
+		if tok.Kind == sqllex.EOF {
+			if tok.Off != len(src) && src[tok.Off] != 0 {
+				return fmt.Sprintf("EOF at %d leaves non-NUL remainder %q", tok.Off, src[tok.Off:])
+			}
+			return ""
+		}
+		if tok.End == tok.Off {
+			return fmt.Sprintf("empty %v span at %d", tok.Kind, tok.Off)
+		}
+		switch tok.Kind {
+		case sqllex.Keyword, sqllex.Number, sqllex.Operator, sqllex.Punct:
+			if src[tok.Off:tok.End] != tok.Text {
+				return fmt.Sprintf("%v text %q is not its span %q", tok.Kind, tok.Text, src[tok.Off:tok.End])
+			}
+		}
+		prev = tok.End
+	}
+}
+
+func TestTokenSpansTileInput(t *testing.T) {
+	seeds := []string{
+		"", " ", "\x00", "a\x00b", "SELECT * FROM t",
+		"SELECT a FROM t -- trailing", "/* block */ SELECT 1",
+		"SELECT 'str''esc' , [q id] FROM \"x\"", "SELECT \xff FROM t",
+		"SELECT 'bad\xffbyte', [b\xff] FROM t", "SELECT x FROM\tt\r\n",
+		"1e5 .5 5. 1e- a.b.c <> != :: || :",
+	}
+	for _, src := range append(seeds, corpusQueries(t)...) {
+		if v := tilingViolation(src); v != "" {
+			t.Errorf("%q: %s", src, v)
+		}
+	}
+	f := func(data []byte) bool { return tilingViolation(string(data)) == "" }
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		if ce, ok := err.(*quick.CheckError); ok && len(ce.In) > 0 {
+			if data, ok := ce.In[0].([]byte); ok {
+				t.Errorf("%q: %s", string(data), tilingViolation(string(data)))
+				return
+			}
+		}
+		t.Error(err)
+	}
+}
+
+// renderTokens spells a token stream back out as parseable SQL: bare
+// identifiers are re-quoted only when needed, everything else keeps its
+// lexed text (string literals retain their quotes), space-separated.
+func renderTokens(toks []sqllex.Token) string {
+	parts := make([]string, len(toks))
+	for i, tok := range toks {
+		if tok.Kind == sqllex.Ident {
+			parts[i] = sqllex.QuoteIdent(tok.Text)
+		} else {
+			parts[i] = tok.Text
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestTokenizeRenderFixedPoint(t *testing.T) {
+	for _, src := range corpusQueries(t) {
+		toks, err := sqllex.Tokenize(src)
+		if err != nil {
+			t.Fatalf("corpus query does not lex: %v\nsql: %s", err, src)
+		}
+		r1 := renderTokens(toks)
+		toks2, err := sqllex.Tokenize(r1)
+		if err != nil {
+			t.Fatalf("rendered form does not re-lex: %v\nsql: %s\nrendered: %s", err, src, r1)
+		}
+		if len(toks2) != len(toks) {
+			t.Fatalf("token count changed %d -> %d\nsql: %s\nrendered: %s", len(toks), len(toks2), src, r1)
+		}
+		for i := range toks {
+			if toks2[i].Kind != toks[i].Kind || toks2[i].Text != toks[i].Text {
+				t.Fatalf("token %d changed %v(%q) -> %v(%q)\nsql: %s",
+					i, toks[i].Kind, toks[i].Text, toks2[i].Kind, toks2[i].Text, src)
+			}
+		}
+		if r2 := renderTokens(toks2); r2 != r1 {
+			t.Fatalf("render is not a fixed point:\n  first:  %s\n  second: %s", r1, r2)
+		}
+	}
+}

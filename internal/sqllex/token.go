@@ -6,9 +6,23 @@
 // and the usual operator set. It is the first stage of the parsing pipeline
 // used for template extraction (internal/sqlast) and query tokenization
 // (internal/tokenizer).
+//
+// The implementation is a zero-allocation byte-scan state machine: tokens
+// hold sub-slices of the input (no per-token copies) plus their byte span,
+// keyword recognition goes through a length-bucketed table with an ASCII
+// case-fold compare, and line/column positions are computed lazily by
+// PosAt only when a diagnostic is actually produced. The observable token
+// stream (kinds, texts, errors) is byte-identical to the seed rune-based
+// lexer preserved in internal/sqlparse/refparser; the parity is enforced
+// by internal/sqlparse/difftest.
 package sqllex
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
 
 // Kind classifies a lexical token.
 type Kind int
@@ -60,33 +74,82 @@ type Pos struct {
 // String renders the position as "line:col".
 func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
+// PosAt computes the 1-based line/column of byte offset off in src.
+// Columns count runes since the last newline, with each invalid UTF-8 byte
+// counting as one rune — exactly the accounting the seed lexer kept
+// eagerly per token. Tokens store only their byte span, so this runs only
+// on the diagnostic path.
+func PosAt(src string, off int) Pos {
+	if off > len(src) {
+		off = len(src)
+	}
+	prefix := src[:off]
+	line := 1 + strings.Count(prefix, "\n")
+	nl := strings.LastIndexByte(prefix, '\n')
+	col := 1 + utf8.RuneCountInString(prefix[nl+1:])
+	return Pos{Offset: off, Line: line, Col: col}
+}
+
 // Token is a single lexical unit.
 //
 // Text preserves the original spelling except for unquoting: quoted and
 // bracketed identifiers have their delimiters stripped, and string literals
-// keep their quotes so they remain distinguishable from identifiers.
-// Upper holds the upper-cased text for case-insensitive keyword matching.
+// keep their quotes so they remain distinguishable from identifiers. In the
+// common case Text is a sub-slice of the lexed input (no allocation); it is
+// a fresh string only when the spelling cannot be a sub-slice (delimiter
+// stripping, invalid UTF-8 re-encoding).
+//
+// Off and End delimit the token's byte span [Off, End) in the input,
+// including any delimiters stripped from Text. Use PosAt to convert Off to
+// a line/column position for diagnostics.
 type Token struct {
-	Kind  Kind
-	Text  string
-	Upper string
-	Pos   Pos
+	Kind Kind
+	Text string
+	Off  int
+	End  int
 }
 
 // Is reports whether the token is a keyword or operator with the given
 // upper-case spelling.
 func (t Token) Is(upper string) bool {
-	return (t.Kind == Keyword || t.Kind == Operator || t.Kind == Punct) && t.Upper == upper
+	return (t.Kind == Keyword || t.Kind == Operator || t.Kind == Punct) && upperEq(t.Text, upper)
 }
 
 // IsKeyword reports whether the token is the given keyword (upper-case).
 func (t Token) IsKeyword(upper string) bool {
-	return t.Kind == Keyword && t.Upper == upper
+	return t.Kind == Keyword && upperEq(t.Text, upper)
 }
+
+// UpperIs reports whether the token's upper-cased text equals upper,
+// regardless of kind. It replaces comparisons against the Upper field the
+// seed token carried, without materializing the upper-cased string.
+func (t Token) UpperIs(upper string) bool { return upperEq(t.Text, upper) }
 
 // String renders the token for diagnostics.
 func (t Token) String() string {
-	return fmt.Sprintf("%s(%q)@%s", t.Kind, t.Text, t.Pos)
+	return fmt.Sprintf("%s(%q)@+%d", t.Kind, t.Text, t.Off)
+}
+
+// upperEq reports whether strings.ToUpper(text) == upper without
+// allocating in the common all-ASCII case. upper must already be
+// upper-case (callers pass literals). Any non-ASCII byte falls back to the
+// allocating comparison, because Unicode case mapping can change byte
+// length (e.g. U+0131 -> 'I') and fold multi-byte runes onto ASCII
+// (e.g. U+017F -> 'S'), both of which the seed's eager ToUpper honored.
+func upperEq(text, upper string) bool {
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c >= 0x80 {
+			return strings.ToUpper(text) == upper
+		}
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if i >= len(upper) || c != upper[i] {
+			return false
+		}
+	}
+	return len(text) == len(upper)
 }
 
 // keywords is the reserved-word set. Words outside this set lex as Ident.
@@ -104,6 +167,63 @@ var keywords = map[string]bool{
 	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true, "TABLE": true,
 	"DROP": true, "VIEW": true, "LIMIT": true, "OFFSET": true, "WITH": true,
 	"EXCEPT": true, "INTERSECT": true,
+}
+
+// kwBuckets indexes the keyword set by byte length (all keywords are
+// 2..9 ASCII bytes), so the hot-path lookup scans only the handful of
+// candidates of the right length with a branch-free ASCII fold compare.
+// Buckets are sorted for deterministic scan order.
+var kwBuckets [10][]string
+
+func init() {
+	for kw := range keywords {
+		kwBuckets[len(kw)] = append(kwBuckets[len(kw)], kw)
+	}
+	for i := range kwBuckets {
+		sort.Strings(kwBuckets[i])
+	}
+}
+
+// asciiKeywordUpper returns the canonical upper-case spelling when the
+// all-ASCII word is a keyword under case folding, else "". It never
+// allocates.
+func asciiKeywordUpper(word string) string {
+	if len(word) >= len(kwBuckets) {
+		return ""
+	}
+	for _, kw := range kwBuckets[len(word)] {
+		if asciiFoldEq(word, kw) {
+			return kw
+		}
+	}
+	return ""
+}
+
+// asciiFoldEq reports whether the all-ASCII word equals the upper-case
+// keyword kw under case folding. len(word) == len(kw) must hold.
+func asciiFoldEq(word, kw string) bool {
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != kw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// KeywordUpper returns the canonical upper-case spelling of a keyword
+// token's text. For the all-ASCII common case it returns the interned
+// table entry without allocating; words that reach keyword status through
+// Unicode folding (e.g. "ſelect") go through strings.ToUpper like the
+// seed did.
+func KeywordUpper(text string) string {
+	if kw := asciiKeywordUpper(text); kw != "" {
+		return kw
+	}
+	return strings.ToUpper(text)
 }
 
 // IsKeywordWord reports whether the upper-cased word is a reserved keyword.

@@ -1,0 +1,41 @@
+//go:build !race
+
+// The warm-parse allocation gate uses testing.AllocsPerRun over pooled
+// state (sync.Pool behaves differently under the race detector, which
+// deliberately randomizes pool caching), so this file is excluded from
+// -race runs; scripts/test.sh covers it through the bench smoke and the
+// plain `go test ./...` tier-1 run.
+
+package sqlparse_test
+
+import (
+	"testing"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+// TestWarmParseAllocs gates the steady-state allocation budget of the
+// arena parse path: once the arena slabs and the pooled parser scratch
+// have grown to fit, re-parsing must cost at most 8 allocations —
+// in practice zero; the slack absorbs rare sync.Pool refills.
+func TestWarmParseAllocs(t *testing.T) {
+	const q = "SELECT TOP 10 p.objID, p.ra, p.dec FROM PhotoObj p JOIN SpecObj s ON s.bestObjID = p.objID WHERE p.ra BETWEEN 180.0 AND 181.0 ORDER BY p.ra DESC"
+	arena := sqlast.NewArena()
+	for i := 0; i < 50; i++ {
+		arena.Reset()
+		if _, err := sqlparse.ParseArena(q, arena); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		arena.Reset()
+		if _, err := sqlparse.ParseArena(q, arena); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 8 {
+		t.Errorf("warm arena parse costs %.1f allocs/op, budget is 8", avg)
+	}
+	t.Logf("warm arena parse: %.2f allocs/op", avg)
+}

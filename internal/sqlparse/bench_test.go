@@ -1,0 +1,128 @@
+package sqlparse_test
+
+// Benchmarks for the zero-allocation SQL front end, recorded by
+// scripts/bench.sh into BENCH_parse.json:
+//
+//   - BenchmarkTokenize / BenchmarkTokenizeSeed: byte throughput (MB/s)
+//     of the state-machine lexer vs the frozen seed lexer.
+//   - BenchmarkParseWarm / BenchmarkParseCold / BenchmarkParseSeed:
+//     parse cost per batch with a recycled arena, with a throwaway heap
+//     arena, and through the seed parser.
+//
+// One op processes the whole benchQueries batch, so the three parse
+// numbers are directly comparable.
+
+import (
+	"testing"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqllex"
+	"repro/internal/sqlparse"
+	"repro/internal/sqlparse/refparser"
+)
+
+// benchQueries is a fixed batch of workload-shaped statements: SDSS-style
+// astronomy selects plus SQLShare-style ad-hoc shapes, covering joins,
+// subqueries, CASE, aggregates and set operations.
+var benchQueries = []string{
+	"SELECT TOP 10 p.objID, p.ra, p.dec, p.u, p.g, p.r FROM PhotoObj p WHERE p.ra BETWEEN 180.0 AND 181.0 AND p.dec BETWEEN -0.5 AND 0.5 ORDER BY p.ra",
+	"SELECT s.specObjID, s.z, p.petroMag_r FROM SpecObj s JOIN PhotoObj p ON s.bestObjID = p.objID WHERE s.z > 0.1 AND s.zWarning = 0",
+	"SELECT COUNT(*) FROM (SELECT objID FROM PhotoObj WHERE type = 6 AND clean = 1) q",
+	"SELECT name, AVG(score) FROM results GROUP BY name HAVING AVG(score) > 0.5 ORDER BY AVG(score) DESC",
+	"SELECT CASE WHEN z < 0.05 THEN 'near' WHEN z < 0.2 THEN 'mid' ELSE 'far' END, COUNT(*) FROM SpecObj GROUP BY CASE WHEN z < 0.05 THEN 'near' WHEN z < 0.2 THEN 'mid' ELSE 'far' END",
+	"SELECT a.col1, b.col2 FROM table_a a LEFT OUTER JOIN table_b b ON a.id = b.id WHERE a.col1 IS NOT NULL AND b.col2 LIKE '%x%'",
+	"SELECT objID FROM PhotoObj WHERE objID IN (SELECT bestObjID FROM SpecObj WHERE class = 'GALAXY') UNION SELECT objID FROM Neighbors",
+	"SELECT dbo.fGetNearbyObjEq(185.0, -0.5, 1.0), CAST(ra AS VARCHAR(32)), CONVERT(DECIMAL(10,2), dec) FROM PhotoObj WHERE htmID = 31",
+}
+
+var benchBatchBytes = func() int64 {
+	var n int64
+	for _, q := range benchQueries {
+		n += int64(len(q))
+	}
+	return n
+}()
+
+var (
+	sinkTokens []sqllex.Token
+	sinkStmt   *sqlast.SelectStmt
+)
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(benchBatchBytes)
+	b.ReportAllocs()
+	var toks []sqllex.Token
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchQueries {
+			var err error
+			toks, err = sqllex.TokenizeAppend(q, toks[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	sinkTokens = toks
+}
+
+func BenchmarkTokenizeSeed(b *testing.B) {
+	b.SetBytes(benchBatchBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchQueries {
+			toks, err := refparser.Tokenize(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = toks
+		}
+	}
+}
+
+func BenchmarkParseWarm(b *testing.B) {
+	arena := sqlast.NewArena()
+	// Prime the arena and the pooled parser so the loop measures steady
+	// state, not first-use slab growth.
+	for _, q := range benchQueries {
+		if _, err := sqlparse.ParseArena(q, arena); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		for _, q := range benchQueries {
+			s, err := sqlparse.ParseArena(q, arena)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkStmt = s
+		}
+	}
+}
+
+func BenchmarkParseCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchQueries {
+			s, err := sqlparse.Parse(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkStmt = s
+		}
+	}
+}
+
+func BenchmarkParseSeed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchQueries {
+			s, err := refparser.Parse(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = s
+		}
+	}
+}

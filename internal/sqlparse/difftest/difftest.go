@@ -1,0 +1,126 @@
+// Package difftest is the differential-testing harness that proves the
+// zero-allocation SQL front end (internal/sqllex + internal/sqlparse)
+// behaves byte-identically to the seed front end frozen in
+// internal/sqlparse/refparser.
+//
+// The comparison contract is strict:
+//
+//   - accept/reject decisions must match on every input;
+//   - on reject, the full error strings must match (the rewrite keeps the
+//     seed's diagnostic formats and lazy positions reproduce the seed's
+//     eager line/column accounting), which subsumes the "same error
+//     class" requirement;
+//   - on accept, the rendered SQL, the template rendering (Definition 5)
+//     and the fragment sets (Definition 4) must be byte-identical. Both
+//     front ends share one renderer (sqlast), so equal renderings of both
+//     the canonical SQL and the placeholder template pin the AST shapes
+//     against each other;
+//   - the pooled-arena parse path must agree with the heap path.
+//
+// The tests drive Compare over the full synthetic workload corpora, every
+// on-disk fuzz corpus that feeds SQL strings, and handcrafted edge cases;
+// FuzzParseDifferential extends the same check under native fuzzing.
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+	"repro/internal/sqlparse/refparser"
+)
+
+// Compare runs the seed and rewritten front ends side by side on src and
+// returns "" on full parity, otherwise a human-readable diagnostic.
+func Compare(src string) string {
+	refStmt, refErr := refparser.Parse(src)
+	newStmt, newErr := sqlparse.Parse(src)
+	switch {
+	case refErr != nil && newErr != nil:
+		if refErr.Error() != newErr.Error() {
+			return fmt.Sprintf("error mismatch:\n  ref: %v\n  new: %v", refErr, newErr)
+		}
+		return ""
+	case refErr != nil:
+		return fmt.Sprintf("accept mismatch: ref rejected (%v), new accepted", refErr)
+	case newErr != nil:
+		return fmt.Sprintf("accept mismatch: ref accepted, new rejected (%v)", newErr)
+	}
+	if d := compareASTs("heap", refStmt, newStmt); d != "" {
+		return d
+	}
+	// The pooled path allocates from a recycled arena; its tree must be
+	// indistinguishable before the arena goes back to the pool.
+	arena := sqlast.SharedArenas.Get()
+	arenaStmt, arenaErr := sqlparse.ParseArena(src, arena)
+	if arenaErr != nil {
+		sqlast.SharedArenas.Put(arena)
+		return fmt.Sprintf("arena parse rejected accepted input: %v", arenaErr)
+	}
+	d := compareASTs("arena", refStmt, arenaStmt)
+	sqlast.SharedArenas.Put(arena)
+	return d
+}
+
+// compareASTs checks the three derived artifacts the recommendation
+// pipeline consumes. Both trees render through the same sqlast code, so
+// byte-equal output means the parsers built equal trees.
+func compareASTs(label string, ref, got *sqlast.SelectStmt) string {
+	if r, g := sqlast.RenderSQLString(ref), sqlast.RenderSQLString(got); r != g {
+		return fmt.Sprintf("%s render mismatch:\n  ref: %q\n  new: %q", label, r, g)
+	}
+	if r, g := sqlast.TemplateString(ref), sqlast.TemplateString(got); r != g {
+		return fmt.Sprintf("%s template mismatch:\n  ref: %q\n  new: %q", label, r, g)
+	}
+	r := strings.Join(sqlast.Fragments(ref).All(), "\n")
+	g := strings.Join(sqlast.Fragments(got).All(), "\n")
+	if r != g {
+		return fmt.Sprintf("%s fragment mismatch:\n  ref: %q\n  new: %q", label, r, g)
+	}
+	return ""
+}
+
+// CorpusInputs reads the string inputs out of a native Go fuzz corpus
+// directory ("go test fuzz v1" files with one string argument). A missing
+// directory is not an error — it returns no inputs — so corpora can move
+// without breaking the harness; callers assert on the total they collect.
+func CorpusInputs(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(b), "\n") {
+			line = strings.TrimSpace(line)
+			rest, ok := strings.CutPrefix(line, "string(")
+			if !ok {
+				continue
+			}
+			q, ok := strings.CutSuffix(rest, ")")
+			if !ok {
+				continue
+			}
+			s, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad corpus literal %s: %w", e.Name(), q, err)
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package difftest_test
+
+import (
+	"testing"
+
+	"repro/internal/sqlparse/difftest"
+	"repro/internal/synth"
+)
+
+// handcrafted merges the edge cases seeded into the sqllex and sqlparse
+// fuzz targets with inputs aimed at the seed quirks the rewrite had to
+// reproduce: NUL-as-EOF truncation, invalid UTF-8 re-encoding inside
+// string literals and quoted identifiers, Unicode keyword folding, the
+// INNER-without-JOIN token rewind, spaced dotted chains, and the
+// documented comment-at-EOF / unterminated-literal behaviors.
+var handcrafted = []string{
+	// From the sqllex fuzz seed list.
+	"", " ", ";", "--", "-- comment only\n", "/* unterminated",
+	"SELECT 'unterminated string", `SELECT "quoted ident" FROM t`,
+	"SELECT [bracket ident] FROM t", "SELECT 1e", "SELECT 1e+",
+	"SELECT .5 + 0x1F", "SELECT a .. b", "select\t*\nfrom\r\nt",
+	"SELECT '''escaped'''", "\x00\xff\xfe", "SELECT é FROM café",
+	// From the sqlparse fuzz seed list.
+	"SELECT * FROM t", "SELECT a FROM", "SELECT (SELECT (SELECT 1))",
+	"SELECT TOP 5 a INTO x FROM t WHERE a IN (1,2) ORDER BY a DESC",
+	"SELECT CASE WHEN a=1 THEN 'x' ELSE b END FROM t",
+	"SELECT CAST(a AS int), CONVERT(float, b) FROM t a JOIN u b ON a.i=b.i",
+	"SELECT a FROM t UNION SELECT b FROM u EXCEPT SELECT c FROM v",
+	"SELECT a FROM t WHERE a BETWEEN 1 AND 2 AND b LIKE '%x%' OR c IS NOT NULL",
+	"SELECT COUNT(*) FROM (SELECT a FROM t) s GROUP BY a HAVING COUNT(*) > 1",
+	"SELECT", "FROM t", "))((", "SELECT a,, b FROM t", "SELECT a FROM t;;",
+	"SELECT <NUM> FROM t", "SELECT 0 FROM PhotoObj WHERE 0 0 0",
+	// Comment-at-EOF and unterminated literals (DESIGN.md §10 contract).
+	"SELECT a FROM t -- trailing, no newline",
+	"SELECT a FROM t --",
+	"SELECT a FROM t /* closed */",
+	"SELECT a FROM t /* open",
+	"SELECT 'open",
+	"SELECT 'a''b' FROM t",
+	"SELECT \"open",
+	"SELECT [open",
+	// NUL truncation and invalid UTF-8 in every token context.
+	"SELECT a FROM t\x00WHERE b = 1",
+	"SELECT 'nul\x00inside' FROM t",
+	"SELECT \"nul\x00inside\" FROM t",
+	"SELECT a FROM t -- nul\x00comment",
+	"SELECT a /* nul\x00block */ FROM t",
+	"SELECT \xff FROM t",
+	"SELECT 'bad\xffbyte' FROM t",
+	"SELECT \"bad\xffbyte\" FROM t",
+	"SELECT a FROM t -- bad\xffcomment\nWHERE a = 1",
+	// Unicode folding, identifiers, digits.
+	"ſelect 1",
+	"SELECT ſelect FROM t",
+	"SELECT ı FROM t",
+	"SELECT \u0661\u0662\u0663 FROM t",
+	"SELECT x\u00a0FROM t",
+	// Join introducer backtracking and dotted-name shapes.
+	"SELECT a FROM t INNER ORDER BY a",
+	"SELECT * FROM a LEFT b",
+	"SELECT * FROM a FULL OUTER JOIN b ON a.i = b.i",
+	"SELECT a.b.c.d FROM x.y.z",
+	"SELECT a . b FROM t . u",
+	"SELECT dbo.fGetNearbyObjEq(185.0, -0.5, 1) FROM t",
+	"SELECT t.* FROM t",
+	"SELECT \"q\".\"r\" FROM \"s\".\"t\"",
+	"SELECT x FROM [a\xff].[b\xff]",
+	"SELECT x FROM [a\xff].[b\xff].[c\xff]",
+	// Numbers, operators, TOP forms, types.
+	"SELECT 1e5, 0.5e-3, .5, 5., 1e-, 1E+2 FROM t",
+	"SELECT TOP (2+3) x FROM t",
+	"SELECT TOP 5 percent x FROM t",
+	"SELECT a::int FROM t",
+	"SELECT a FROM t WHERE b <> c AND d != e AND f || g = h",
+	"SELECT CAST(x AS VARCHAR(max)) FROM t",
+	"SELECT CONVERT(DECIMAL(10,2), x, 121) FROM t",
+	"SELECT CASE WHEN a THEN 1 END FROM t",
+	"SELECT CASE a WHEN 1 THEN 2 ELSE 3 END FROM t",
+	"SELECT NOT NOT a FROM t",
+	"SELECT -(-x), ~y, +z FROM t",
+	"SELECT : FROM t",
+}
+
+func runCompare(t *testing.T, src string) {
+	t.Helper()
+	if d := difftest.Compare(src); d != "" {
+		t.Errorf("front ends disagree on %q:\n%s", src, d)
+	}
+}
+
+// TestHandcrafted pins the quirk inputs above.
+func TestHandcrafted(t *testing.T) {
+	for _, src := range handcrafted {
+		runCompare(t, src)
+	}
+}
+
+// TestSynthCorpora runs both front ends over full synthetic workloads in
+// both workload profiles across several generator seeds — the same query
+// population every other tier-1 test parses.
+func TestSynthCorpora(t *testing.T) {
+	profiles := map[string]synth.Profile{
+		"sdss":     synth.SDSSProfile(),
+		"sqlshare": synth.SQLShareProfile(),
+	}
+	for name, prof := range profiles {
+		prof := prof
+		t.Run(name, func(t *testing.T) {
+			total := 0
+			for seed := int64(1); seed <= 3; seed++ {
+				wl := synth.Generate(prof, seed)
+				for _, sess := range wl.Sessions {
+					for _, q := range sess.Queries {
+						runCompare(t, q.SQL)
+						total++
+					}
+				}
+			}
+			if total == 0 {
+				t.Fatal("synthetic corpus is empty")
+			}
+			t.Logf("compared %d %s queries", total, name)
+		})
+	}
+}
+
+// TestFuzzCorpora replays every on-disk fuzz corpus whose inputs are SQL
+// strings through the differential check.
+func TestFuzzCorpora(t *testing.T) {
+	dirs := []string{
+		"../../sqllex/testdata/fuzz/FuzzTokenize",
+		"../../tokenizer/testdata/fuzz/FuzzTokenizeRoundTrip",
+		"testdata/fuzz/FuzzParseDifferential",
+	}
+	total := 0
+	for _, dir := range dirs {
+		inputs, err := difftest.CorpusInputs(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, src := range inputs {
+			runCompare(t, src)
+		}
+		total += len(inputs)
+	}
+	if total == 0 {
+		t.Fatal("no fuzz corpus inputs found")
+	}
+	t.Logf("compared %d corpus inputs", total)
+}

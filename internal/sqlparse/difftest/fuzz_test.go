@@ -1,0 +1,36 @@
+package difftest_test
+
+// FuzzParseDifferential drives the oracle and the rewritten front end
+// with the same fuzzed input and fails on any divergence in accept/reject
+// decision, error string, rendered SQL, template or fragment set — the
+// strongest correctness signal this package has, because the fuzzer
+// explores the token-boundary space no curated list covers. Seeds come
+// from the synthetic workload generators, the shared handcrafted quirk
+// list, and the minimized fixture corpus in
+// testdata/fuzz/FuzzParseDifferential.
+import (
+	"testing"
+
+	"repro/internal/sqlparse/difftest"
+	"repro/internal/synth"
+)
+
+func FuzzParseDifferential(f *testing.F) {
+	for _, prof := range []synth.Profile{synth.SDSSProfile(), synth.SQLShareProfile()} {
+		prof.Sessions = 4
+		wl := synth.Generate(prof, 7)
+		for _, sess := range wl.Sessions {
+			for _, q := range sess.Queries {
+				f.Add(q.SQL)
+			}
+		}
+	}
+	for _, s := range handcrafted {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if d := difftest.Compare(src); d != "" {
+			t.Fatalf("front ends disagree on %q:\n%s", src, d)
+		}
+	})
+}

@@ -1,0 +1,442 @@
+// Package refparser preserves the seed SQL front end (lexer + parser)
+// verbatim as the differential-testing oracle for the rewritten
+// zero-allocation front end in internal/sqllex and internal/sqlparse.
+// It must NOT be modified except to keep it compiling: any behavior
+// change here invalidates the parity proof in internal/sqlparse/difftest.
+//
+// This file is the seed internal/sqllex (token.go + lexer.go) with only
+// the package clause changed and the import blocks merged; the API is
+// kept exported so difftest and the benchmarks can drive the reference
+// lexer directly.
+package refparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+
+// Kind classifies a lexical token.
+type Kind int
+
+// Token kinds. Keyword covers reserved SQL words; Ident covers table,
+// column and function names (the parser decides the role from context).
+const (
+	EOF Kind = iota
+	Keyword
+	Ident
+	Number
+	String
+	Operator
+	Punct
+	Comment
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Keyword:
+		return "Keyword"
+	case Ident:
+		return "Ident"
+	case Number:
+		return "Number"
+	case String:
+		return "String"
+	case Operator:
+		return "Operator"
+	case Punct:
+		return "Punct"
+	case Comment:
+		return "Comment"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Pos is a byte offset plus 1-based line/column location in the input.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical unit.
+//
+// Text preserves the original spelling except for unquoting: quoted and
+// bracketed identifiers have their delimiters stripped, and string literals
+// keep their quotes so they remain distinguishable from identifiers.
+// Upper holds the upper-cased text for case-insensitive keyword matching.
+type Token struct {
+	Kind  Kind
+	Text  string
+	Upper string
+	Pos   Pos
+}
+
+// Is reports whether the token is a keyword or operator with the given
+// upper-case spelling.
+func (t Token) Is(upper string) bool {
+	return (t.Kind == Keyword || t.Kind == Operator || t.Kind == Punct) && t.Upper == upper
+}
+
+// IsKeyword reports whether the token is the given keyword (upper-case).
+func (t Token) IsKeyword(upper string) bool {
+	return t.Kind == Keyword && t.Upper == upper
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%s", t.Kind, t.Text, t.Pos)
+}
+
+// keywords is the reserved-word set. Words outside this set lex as Ident.
+// The set intentionally includes T-SQL words (TOP, INTO, OUTER APPLY is not
+// needed) that appear in the SDSS and SQLShare logs.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "DISTINCT": true,
+	"TOP": true, "AS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "EXISTS": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"NULL": true, "JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true,
+	"FULL": true, "OUTER": true, "CROSS": true, "UNION": true, "ALL": true,
+	"INTO": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true, "CAST": true, "CONVERT": true, "INSERT": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true, "TABLE": true,
+	"DROP": true, "VIEW": true, "LIMIT": true, "OFFSET": true, "WITH": true,
+	"EXCEPT": true, "INTERSECT": true,
+}
+
+// IsKeywordWord reports whether the upper-cased word is a reserved keyword.
+func IsKeywordWord(upper string) bool { return keywords[upper] }
+
+// Error is a lexing error with source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("lex error at %s: %s", e.Pos, e.Msg) }
+
+// Lexer scans a SQL statement into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input and returns all tokens excluding comments
+// and the trailing EOF token. It is the common entry point for callers that
+// want a clean token stream.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return out, nil
+		}
+		if t.Kind == Comment {
+			continue
+		}
+		out = append(out, t)
+	}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Offset: l.off, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peekAt(n int) rune {
+	off := l.off
+	for i := 0; i < n; i++ {
+		if off >= len(l.src) {
+			return 0
+		}
+		_, w := utf8.DecodeRuneInString(l.src[off:])
+		off += w
+	}
+	if off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[off:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpace() {
+	for {
+		r := l.peek()
+		if r == 0 || !unicode.IsSpace(r) {
+			return
+		}
+		l.advance()
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '@' || r == '#' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '@' || r == '#' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next scans and returns the next token. Comments are returned as Comment
+// tokens so callers can decide whether to keep them.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	start := l.pos()
+	r := l.peek()
+	switch {
+	case r == 0:
+		return Token{Kind: EOF, Pos: start}, nil
+	case r == '-' && l.peekAt(1) == '-':
+		return l.lineComment(start), nil
+	case r == '/' && l.peekAt(1) == '*':
+		return l.blockComment(start)
+	case isIdentStart(r):
+		return l.word(start), nil
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peekAt(1))):
+		return l.number(start), nil
+	case r == '\'':
+		return l.stringLit(start)
+	case r == '"':
+		return l.quotedIdent(start, '"')
+	case r == '[':
+		return l.quotedIdent(start, ']')
+	default:
+		return l.operator(start)
+	}
+}
+
+func (l *Lexer) lineComment(start Pos) Token {
+	var sb strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 || r == '\n' {
+			break
+		}
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	return Token{Kind: Comment, Text: text, Upper: strings.ToUpper(text), Pos: start}
+}
+
+func (l *Lexer) blockComment(start Pos) (Token, error) {
+	var sb strings.Builder
+	sb.WriteRune(l.advance()) // '/'
+	sb.WriteRune(l.advance()) // '*'
+	depth := 1
+	for depth > 0 {
+		r := l.peek()
+		if r == 0 {
+			return Token{}, &Error{Pos: start, Msg: "unterminated block comment"}
+		}
+		if r == '*' && l.peekAt(1) == '/' {
+			sb.WriteRune(l.advance())
+			sb.WriteRune(l.advance())
+			depth--
+			continue
+		}
+		if r == '/' && l.peekAt(1) == '*' {
+			sb.WriteRune(l.advance())
+			sb.WriteRune(l.advance())
+			depth++
+			continue
+		}
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	return Token{Kind: Comment, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+}
+
+func (l *Lexer) word(start Pos) Token {
+	var sb strings.Builder
+	for isIdentPart(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	upper := strings.ToUpper(text)
+	kind := Ident
+	if keywords[upper] {
+		kind = Keyword
+	}
+	return Token{Kind: kind, Text: text, Upper: upper, Pos: start}
+}
+
+func (l *Lexer) number(start Pos) Token {
+	var sb strings.Builder
+	seenDot, seenExp := false, false
+	for {
+		r := l.peek()
+		switch {
+		case unicode.IsDigit(r):
+			sb.WriteRune(l.advance())
+		case r == '.' && !seenDot && !seenExp:
+			seenDot = true
+			sb.WriteRune(l.advance())
+		case (r == 'e' || r == 'E') && !seenExp && sb.Len() > 0:
+			nxt := l.peekAt(1)
+			if unicode.IsDigit(nxt) || ((nxt == '+' || nxt == '-') && unicode.IsDigit(l.peekAt(2))) {
+				seenExp = true
+				sb.WriteRune(l.advance())
+				if l.peek() == '+' || l.peek() == '-' {
+					sb.WriteRune(l.advance())
+				}
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := sb.String()
+	return Token{Kind: Number, Text: text, Upper: text, Pos: start}
+}
+
+func (l *Lexer) stringLit(start Pos) (Token, error) {
+	var sb strings.Builder
+	sb.WriteRune(l.advance()) // opening quote
+	for {
+		r := l.peek()
+		if r == 0 {
+			return Token{}, &Error{Pos: start, Msg: "unterminated string literal"}
+		}
+		if r == '\'' {
+			// Doubled quote is an escaped quote inside the literal.
+			if l.peekAt(1) == '\'' {
+				sb.WriteRune(l.advance())
+				sb.WriteRune(l.advance())
+				continue
+			}
+			sb.WriteRune(l.advance())
+			break
+		}
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	return Token{Kind: String, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+}
+
+func (l *Lexer) quotedIdent(start Pos, closer rune) (Token, error) {
+	l.advance() // opening delimiter
+	var sb strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 {
+			return Token{}, &Error{Pos: start, Msg: "unterminated quoted identifier"}
+		}
+		if r == closer {
+			l.advance()
+			break
+		}
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	if text == "" {
+		return Token{}, &Error{Pos: start, Msg: "empty quoted identifier"}
+	}
+	return Token{Kind: Ident, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+}
+
+// IsBareIdent reports whether s lexes as a single unquoted identifier
+// token (and not a keyword). Names failing this need quoting to survive a
+// render → re-lex round trip; see QuoteIdent.
+func IsBareIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !isIdentStart(r) {
+			return false
+		}
+		if i > 0 && !isIdentPart(r) {
+			return false
+		}
+	}
+	return !keywords[strings.ToUpper(s)]
+}
+
+// QuoteIdent returns the canonical spelling of one identifier segment:
+// bare when possible, otherwise delimited with double quotes, falling back
+// to T-SQL brackets when the name itself contains a double quote. A lexed
+// quoted identifier can never contain its own closing delimiter, so at
+// least one form is always available for lexer-produced names; for
+// adversarial names containing both delimiters the closing bracket is
+// dropped to keep the spelling lexable (the canonical form is then a
+// deterministic sanitization, not an exact round trip).
+func QuoteIdent(s string) string {
+	if IsBareIdent(s) {
+		return s
+	}
+	if !strings.Contains(s, `"`) {
+		return `"` + s + `"`
+	}
+	if !strings.Contains(s, "]") {
+		return "[" + s + "]"
+	}
+	return "[" + strings.ReplaceAll(s, "]", "") + "]"
+}
+
+// multi-char operators, longest first.
+var multiOps = []string{"<>", "!=", ">=", "<=", "||", "::"}
+
+func (l *Lexer) operator(start Pos) (Token, error) {
+	for _, op := range multiOps {
+		if strings.HasPrefix(l.src[l.off:], op) {
+			for range op {
+				l.advance()
+			}
+			return Token{Kind: Operator, Text: op, Upper: op, Pos: start}, nil
+		}
+	}
+	r := l.advance()
+	text := string(r)
+	switch r {
+	case '(', ')', ',', ';', '.':
+		return Token{Kind: Punct, Text: text, Upper: text, Pos: start}, nil
+	case '+', '-', '*', '/', '%', '=', '<', '>', '&', '|', '^', '~', '!':
+		return Token{Kind: Operator, Text: text, Upper: text, Pos: start}, nil
+	default:
+		return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", r)}
+	}
+}

@@ -1,98 +1,36 @@
-// Package sqlparse implements a parser for the SQL subset appearing in
-// the SDSS and SQLShare query workloads. It produces sqlast trees that
-// downstream stages use for template extraction (Definition 5) and
-// fragment extraction (Definition 4).
-//
-// The supported grammar covers SELECT statements with DISTINCT, T-SQL TOP,
-// SELECT ... INTO, comma and ANSI joins, nested subqueries in FROM and in
-// expressions, WHERE/GROUP BY/HAVING/ORDER BY, IN/EXISTS/BETWEEN/LIKE/IS
-// NULL predicates, CASE expressions, CAST/CONVERT and arbitrary function
-// calls, and UNION/EXCEPT/INTERSECT chains.
-//
-// The implementation is the zero-allocation rewrite of the seed
-// recursive-descent parser (frozen in internal/sqlparse/refparser as the
-// differential-testing oracle): statement structure is still recursive
-// descent, but the expression grammar is a Pratt precedence climb, every
-// node and child slice comes from a caller-supplied sqlast.Arena, child
-// lists accumulate in pooled scratch stacks with mark/truncate discipline,
-// and dotted names are returned as sub-slices of the input when the
-// segments are textually adjacent. Accept/reject decisions, error strings
-// and rendered ASTs are byte-identical to the oracle; see
-// internal/sqlparse/difftest.
-package sqlparse
+// This file is the seed internal/sqlparse/parser.go frozen verbatim as the
+// differential-testing oracle (see reflex.go). Only the package clause and
+// the sqllex qualifier were changed; the parsing logic must stay untouched.
+package refparser
 
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/sqlast"
-	"repro/internal/sqllex"
 )
 
 // ParseError is a structured parse failure with the offending position.
 type ParseError struct {
-	Pos sqllex.Pos
+	Pos Pos
 	Msg string
 }
 
 // Error implements the error interface.
 func (e *ParseError) Error() string { return fmt.Sprintf("parse error at %s: %s", e.Pos, e.Msg) }
 
-// parser carries the token stream plus reusable scratch state. Child
-// lists (select items, FROM entries, arguments, ...) grow in the scratch
-// stacks below and are copied into arena storage once their production
-// completes, so steady-state parsing does not touch the heap. A pooled
-// parser keeps its buffers (and thus sub-slice references into the last
-// parsed string) until reuse; see parserPool.
 type parser struct {
-	src  string
-	toks []sqllex.Token
+	toks []Token
 	i    int
-	a    *sqlast.Arena
-
-	// Scratch stacks, mark/truncate per production. On a parse error the
-	// whole parse aborts, so errors may leave garbage above the marks;
-	// reset trims everything at the next ParseArena entry.
-	items  []sqlast.SelectItem
-	texprs []sqlast.TableExpr
-	exprs  []sqlast.Expr
-	orders []sqlast.OrderItem
-	whens  []sqlast.WhenClause
-}
-
-var parserPool = sync.Pool{New: func() any { return new(parser) }}
-
-func (p *parser) reset(src string, a *sqlast.Arena) {
-	p.src = src
-	p.i = 0
-	p.a = a
-	p.items = p.items[:0]
-	p.texprs = p.texprs[:0]
-	p.exprs = p.exprs[:0]
-	p.orders = p.orders[:0]
-	p.whens = p.whens[:0]
 }
 
 // Parse parses a single SQL statement. A trailing semicolon is allowed.
-// The returned AST is heap-backed (a throwaway arena), so callers may
-// retain it indefinitely — workload.Query.Enrich depends on that.
 func Parse(src string) (*sqlast.SelectStmt, error) {
-	return ParseArena(src, sqlast.NewArena())
-}
-
-// ParseArena parses a single SQL statement, allocating every AST node
-// from a. The returned tree is valid only until a is Reset or returned to
-// its ArenaPool; use Parse for ASTs that outlive the call site.
-func ParseArena(src string, a *sqlast.Arena) (*sqlast.SelectStmt, error) {
-	p := parserPool.Get().(*parser)
-	defer parserPool.Put(p)
-	p.reset(src, a)
-	toks, err := sqllex.TokenizeAppend(src, p.toks[:0])
+	toks, err := Tokenize(src)
 	if err != nil {
 		return nil, fmt.Errorf("tokenize: %w", err)
 	}
-	p.toks = toks
+	p := &parser{toks: toks}
 	s, err := p.selectStmt()
 	if err != nil {
 		return nil, err
@@ -106,21 +44,21 @@ func ParseArena(src string, a *sqlast.Arena) (*sqlast.SelectStmt, error) {
 	return s, nil
 }
 
-func (p *parser) peek() sqllex.Token {
+func (p *parser) peek() Token {
 	if p.i >= len(p.toks) {
-		return sqllex.Token{Kind: sqllex.EOF}
+		return Token{Kind: EOF}
 	}
 	return p.toks[p.i]
 }
 
-func (p *parser) peekAt(n int) sqllex.Token {
+func (p *parser) peekAt(n int) Token {
 	if p.i+n >= len(p.toks) {
-		return sqllex.Token{Kind: sqllex.EOF}
+		return Token{Kind: EOF}
 	}
 	return p.toks[p.i+n]
 }
 
-func (p *parser) next() sqllex.Token {
+func (p *parser) next() Token {
 	t := p.peek()
 	if p.i < len(p.toks) {
 		p.i++
@@ -128,15 +66,8 @@ func (p *parser) next() sqllex.Token {
 	return t
 }
 
-// errf reports at the current token. Like the seed, peeking past the end
-// yields the zero position ("0:0"); in-range positions are recovered from
-// the token's byte offset, which the seed lexer carried eagerly per token.
 func (p *parser) errf(format string, args ...any) error {
-	var pos sqllex.Pos
-	if p.i < len(p.toks) {
-		pos = sqllex.PosAt(p.src, p.toks[p.i].Off)
-	}
-	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	return &ParseError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) expectKeyword(kw string) error {
@@ -160,7 +91,7 @@ func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	s := p.a.NewSelectStmt()
+	s := &sqlast.SelectStmt{}
 	if p.peek().IsKeyword("DISTINCT") {
 		p.next()
 		s.Distinct = true
@@ -180,16 +111,13 @@ func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
 				return nil, err
 			}
 			count = c
-		} else if p.peek().Kind == sqllex.Number {
-			n := p.a.NewNumberLit()
-			n.Text = p.next().Text
-			count = n
+		} else if p.peek().Kind == Number {
+			count = &sqlast.NumberLit{Text: p.next().Text}
 		} else {
 			return nil, p.errf("expected row count after TOP, found %q", p.peek().Text)
 		}
-		tc := p.a.NewTopClause()
-		tc.Count = count
-		if p.peek().Kind == sqllex.Ident && p.peek().UpperIs("PERCENT") {
+		tc := &sqlast.TopClause{Count: count}
+		if p.peek().Kind == Ident && p.peek().Upper == "PERCENT" {
 			p.next()
 			tc.Percent = true
 		}
@@ -197,21 +125,18 @@ func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
 	}
 
 	// Select list.
-	mark := len(p.items)
 	for {
 		item, err := p.selectItem()
 		if err != nil {
 			return nil, err
 		}
-		p.items = append(p.items, item)
+		s.Columns = append(s.Columns, item)
 		if p.peek().Is(",") {
 			p.next()
 			continue
 		}
 		break
 	}
-	s.Columns = p.a.SaveSelectItems(p.items[mark:])
-	p.items = p.items[:mark]
 
 	if p.peek().IsKeyword("INTO") {
 		p.next()
@@ -219,28 +144,23 @@ func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref := p.a.NewTableRef()
-		ref.Name = name
-		s.Into = ref
+		s.Into = &sqlast.TableRef{Name: name}
 	}
 
 	if p.peek().IsKeyword("FROM") {
 		p.next()
-		mark := len(p.texprs)
 		for {
 			te, err := p.tableExpr()
 			if err != nil {
 				return nil, err
 			}
-			p.texprs = append(p.texprs, te)
+			s.From = append(s.From, te)
 			if p.peek().Is(",") {
 				p.next()
 				continue
 			}
 			break
 		}
-		s.From = p.a.SaveTableExprs(p.texprs[mark:])
-		p.texprs = p.texprs[:mark]
 	}
 
 	if p.peek().IsKeyword("WHERE") {
@@ -257,21 +177,18 @@ func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		mark := len(p.exprs)
 		for {
 			g, err := p.expr()
 			if err != nil {
 				return nil, err
 			}
-			p.exprs = append(p.exprs, g)
+			s.GroupBy = append(s.GroupBy, g)
 			if p.peek().Is(",") {
 				p.next()
 				continue
 			}
 			break
 		}
-		s.GroupBy = p.a.SaveExprs(p.exprs[mark:])
-		p.exprs = p.exprs[:mark]
 	}
 
 	if p.peek().IsKeyword("HAVING") {
@@ -288,7 +205,6 @@ func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		mark := len(p.orders)
 		for {
 			e, err := p.expr()
 			if err != nil {
@@ -301,19 +217,17 @@ func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
 			} else if p.peek().IsKeyword("ASC") {
 				p.next()
 			}
-			p.orders = append(p.orders, item)
+			s.OrderBy = append(s.OrderBy, item)
 			if p.peek().Is(",") {
 				p.next()
 				continue
 			}
 			break
 		}
-		s.OrderBy = p.a.SaveOrderItems(p.orders[mark:])
-		p.orders = p.orders[:mark]
 	}
 
 	if t := p.peek(); t.IsKeyword("UNION") || t.IsKeyword("EXCEPT") || t.IsKeyword("INTERSECT") {
-		op := sqllex.KeywordUpper(p.next().Text)
+		op := p.next().Upper
 		all := false
 		if p.peek().IsKeyword("ALL") {
 			p.next()
@@ -323,9 +237,7 @@ func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		so := p.a.NewSetOp()
-		so.Op, so.All, so.Right = op, all, right
-		s.SetOp = so
+		s.SetOp = &sqlast.SetOp{Op: op, All: all, Right: right}
 	}
 	return s, nil
 }
@@ -339,11 +251,11 @@ func (p *parser) selectItem() (sqlast.SelectItem, error) {
 	if p.peek().IsKeyword("AS") {
 		p.next()
 		t := p.peek()
-		if t.Kind != sqllex.Ident && t.Kind != sqllex.String {
+		if t.Kind != Ident && t.Kind != String {
 			return item, p.errf("expected alias after AS, found %q", t.Text)
 		}
 		item.Alias = strings.Trim(p.next().Text, "'")
-	} else if p.peek().Kind == sqllex.Ident && !p.isClauseBoundary() {
+	} else if p.peek().Kind == Ident && !p.isClauseBoundary() {
 		item.Alias = p.next().Text
 	}
 	return item, nil
@@ -373,8 +285,7 @@ func (p *parser) tableExpr() (sqlast.TableExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		j := p.a.NewJoinExpr()
-		j.Type, j.Left, j.Right = jt, left, right
+		j := &sqlast.JoinExpr{Type: jt, Left: left, Right: right}
 		if jt != "CROSS" {
 			if err := p.expectKeyword("ON"); err != nil {
 				return nil, err
@@ -404,7 +315,7 @@ func (p *parser) joinType() (string, bool) {
 		}
 		return "INNER", true
 	case t.IsKeyword("LEFT"), t.IsKeyword("RIGHT"), t.IsKeyword("FULL"):
-		kind := sqllex.KeywordUpper(t.Text)
+		kind := t.Upper
 		p.next()
 		if p.peek().IsKeyword("OUTER") {
 			p.next()
@@ -445,8 +356,7 @@ func (p *parser) primaryTable() (sqlast.TableExpr, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		ref := p.a.NewSubqueryRef()
-		ref.Select = sub
+		ref := &sqlast.SubqueryRef{Select: sub}
 		ref.Alias = p.optionalAlias()
 		return ref, nil
 	}
@@ -454,8 +364,7 @@ func (p *parser) primaryTable() (sqlast.TableExpr, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref := p.a.NewTableRef()
-	ref.Name = name
+	ref := &sqlast.TableRef{Name: name}
 	ref.Alias = p.optionalAlias()
 	return ref, nil
 }
@@ -463,93 +372,65 @@ func (p *parser) primaryTable() (sqlast.TableExpr, error) {
 func (p *parser) optionalAlias() string {
 	if p.peek().IsKeyword("AS") {
 		p.next()
-		if p.peek().Kind == sqllex.Ident {
+		if p.peek().Kind == Ident {
 			return p.next().Text
 		}
 		return ""
 	}
-	if p.peek().Kind == sqllex.Ident {
+	if p.peek().Kind == Ident {
 		return p.next().Text
 	}
 	return ""
 }
 
-// bareSpan reports whether the token's Text is exactly its source span
-// (true for unquoted identifiers). The content compare matters: a quoted
-// identifier whose interior holds exactly one invalid UTF-8 byte has a
-// re-encoded Text whose length equals the delimited span by coincidence.
-// In the common sub-slice case the compare is pointer-equal and free.
-func (p *parser) bareSpan(t sqllex.Token) bool {
-	return t.End-t.Off == len(t.Text) && p.src[t.Off:t.End] == t.Text
-}
-
-// dottedName parses ident(.ident)* and returns the joined spelling. When
-// every segment is bare and the dots are textually adjacent (no spaces or
-// comments inside the chain), the joined name is a sub-slice of the input
-// instead of a fresh concatenation.
+// dottedName parses ident(.ident)* and returns the joined spelling.
 func (p *parser) dottedName() (string, error) {
 	t := p.peek()
-	if t.Kind != sqllex.Ident {
+	if t.Kind != Ident {
 		return "", p.errf("expected identifier, found %q", t.Text)
 	}
-	first := p.next()
-	name := first.Text
-	contig := p.bareSpan(first)
-	last := first
-	for p.peek().Is(".") && p.peekAt(1).Kind == sqllex.Ident {
+	name := p.next().Text
+	for p.peek().Is(".") && p.peekAt(1).Kind == Ident {
 		p.next()
-		seg := p.next()
-		if contig && p.bareSpan(seg) && seg.Off == last.End+1 {
-			name = p.src[first.Off:seg.End]
-		} else {
-			contig = false
-			name = name + "." + seg.Text
-		}
-		last = seg
+		name += "." + p.next().Text
 	}
 	return name, nil
 }
 
-// Expression grammar: a Pratt precedence climb in two tiers. boolExpr
-// climbs OR (1) < AND (2) over notExpr atoms; predicates sit between the
-// tiers; arithExpr climbs +,-,||,&,| (1) < *,/,% (2) over unary atoms.
-// Right operands recurse at prec+1, giving the same left association as
-// the seed's orExpr/andExpr/addExpr/mulExpr cascade, token for token.
+// Expression grammar, lowest precedence first.
 
-func (p *parser) expr() (sqlast.Expr, error) { return p.boolExpr(1) }
+func (p *parser) expr() (sqlast.Expr, error) { return p.orExpr() }
 
-func boolPrec(t sqllex.Token) int {
-	switch {
-	case t.IsKeyword("OR"):
-		return 1
-	case t.IsKeyword("AND"):
-		return 2
-	default:
-		return 0
+func (p *parser) orExpr() (sqlast.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
 	}
+	for p.peek().IsKeyword("OR") {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
 }
 
-var boolOps = [...]string{1: "OR", 2: "AND"}
-
-func (p *parser) boolExpr(min int) (sqlast.Expr, error) {
+func (p *parser) andExpr() (sqlast.Expr, error) {
 	l, err := p.notExpr()
 	if err != nil {
 		return nil, err
 	}
-	for {
-		prec := boolPrec(p.peek())
-		if prec == 0 || prec < min {
-			return l, nil
-		}
+	for p.peek().IsKeyword("AND") {
 		p.next()
-		r, err := p.boolExpr(prec + 1)
+		r, err := p.notExpr()
 		if err != nil {
 			return nil, err
 		}
-		b := p.a.NewBinaryExpr()
-		b.Op, b.L, b.R = boolOps[prec], l, r
-		l = b
+		l = &sqlast.BinaryExpr{Op: "AND", L: l, R: r}
 	}
+	return l, nil
 }
 
 func (p *parser) notExpr() (sqlast.Expr, error) {
@@ -559,9 +440,7 @@ func (p *parser) notExpr() (sqlast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		u := p.a.NewUnaryExpr()
-		u.Op, u.X = "NOT", x
-		return u, nil
+		return &sqlast.UnaryExpr{Op: "NOT", X: x}, nil
 	}
 	return p.predicate()
 }
@@ -586,26 +465,22 @@ func (p *parser) predicate() (sqlast.Expr, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		ex := p.a.NewExistsExpr()
-		ex.Not, ex.Select = not, sub
-		return ex, nil
+		return &sqlast.ExistsExpr{Not: not, Select: sub}, nil
 	}
 
-	l, err := p.arithExpr(1)
+	l, err := p.addExpr()
 	if err != nil {
 		return nil, err
 	}
 
 	t := p.peek()
-	if t.Kind == sqllex.Operator && compOps[t.Text] {
+	if t.Kind == Operator && compOps[t.Upper] {
 		op := p.next().Text
-		r, err := p.arithExpr(1)
+		r, err := p.addExpr()
 		if err != nil {
 			return nil, err
 		}
-		b := p.a.NewBinaryExpr()
-		b.Op, b.L, b.R = op, l, r
-		return b, nil
+		return &sqlast.BinaryExpr{Op: op, L: l, R: r}, nil
 	}
 
 	not := false
@@ -624,8 +499,7 @@ func (p *parser) predicate() (sqlast.Expr, error) {
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
-		in := p.a.NewInExpr()
-		in.X, in.Not = l, not
+		in := &sqlast.InExpr{X: l, Not: not}
 		if p.peek().IsKeyword("SELECT") {
 			sub, err := p.selectStmt()
 			if err != nil {
@@ -633,21 +507,18 @@ func (p *parser) predicate() (sqlast.Expr, error) {
 			}
 			in.Select = sub
 		} else {
-			mark := len(p.exprs)
 			for {
 				e, err := p.expr()
 				if err != nil {
 					return nil, err
 				}
-				p.exprs = append(p.exprs, e)
+				in.List = append(in.List, e)
 				if p.peek().Is(",") {
 					p.next()
 					continue
 				}
 				break
 			}
-			in.List = p.a.SaveExprs(p.exprs[mark:])
-			p.exprs = p.exprs[:mark]
 		}
 		if err := p.expect(")"); err != nil {
 			return nil, err
@@ -655,29 +526,25 @@ func (p *parser) predicate() (sqlast.Expr, error) {
 		return in, nil
 	case t.IsKeyword("BETWEEN"):
 		p.next()
-		lo, err := p.arithExpr(1)
+		lo, err := p.addExpr()
 		if err != nil {
 			return nil, err
 		}
 		if err := p.expectKeyword("AND"); err != nil {
 			return nil, err
 		}
-		hi, err := p.arithExpr(1)
+		hi, err := p.addExpr()
 		if err != nil {
 			return nil, err
 		}
-		bt := p.a.NewBetweenExpr()
-		bt.X, bt.Not, bt.Lo, bt.Hi = l, not, lo, hi
-		return bt, nil
+		return &sqlast.BetweenExpr{X: l, Not: not, Lo: lo, Hi: hi}, nil
 	case t.IsKeyword("LIKE"):
 		p.next()
-		pat, err := p.arithExpr(1)
+		pat, err := p.addExpr()
 		if err != nil {
 			return nil, err
 		}
-		lk := p.a.NewLikeExpr()
-		lk.X, lk.Not, lk.Pattern = l, not, pat
-		return lk, nil
+		return &sqlast.LikeExpr{X: l, Not: not, Pattern: pat}, nil
 	case t.IsKeyword("IS"):
 		p.next()
 		isNot := false
@@ -688,60 +555,63 @@ func (p *parser) predicate() (sqlast.Expr, error) {
 		if err := p.expectKeyword("NULL"); err != nil {
 			return nil, err
 		}
-		is := p.a.NewIsNullExpr()
-		is.X, is.Not = l, isNot
-		return is, nil
+		return &sqlast.IsNullExpr{X: l, Not: isNot}, nil
 	}
 	return l, nil
 }
 
-func arithPrec(t sqllex.Token) int {
-	if t.Kind != sqllex.Operator {
-		return 0
+func (p *parser) addExpr() (sqlast.Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
 	}
-	switch t.Text {
-	case "+", "-", "||", "&", "|":
-		return 1
-	case "*", "/", "%":
-		// A bare '*' directly before a clause boundary is the select-star
-		// already consumed by unaryExpr; here '*' is always multiplication.
-		return 2
+	for {
+		t := p.peek()
+		if t.Kind == Operator && (t.Text == "+" || t.Text == "-" || t.Text == "||" || t.Text == "&" || t.Text == "|") {
+			op := p.next().Text
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.BinaryExpr{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
 	}
-	return 0
 }
 
-func (p *parser) arithExpr(min int) (sqlast.Expr, error) {
+func (p *parser) mulExpr() (sqlast.Expr, error) {
 	l, err := p.unaryExpr()
 	if err != nil {
 		return nil, err
 	}
 	for {
-		prec := arithPrec(p.peek())
-		if prec == 0 || prec < min {
-			return l, nil
+		t := p.peek()
+		if t.Kind == Operator && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			// A bare '*' directly before a clause boundary is the
+			// select-star already consumed by unaryExpr; here '*'
+			// is always multiplication.
+			op := p.next().Text
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.BinaryExpr{Op: op, L: l, R: r}
+			continue
 		}
-		op := p.next().Text
-		r, err := p.arithExpr(prec + 1)
-		if err != nil {
-			return nil, err
-		}
-		b := p.a.NewBinaryExpr()
-		b.Op, b.L, b.R = op, l, r
-		l = b
+		return l, nil
 	}
 }
 
 func (p *parser) unaryExpr() (sqlast.Expr, error) {
 	t := p.peek()
-	if t.Kind == sqllex.Operator && (t.Text == "-" || t.Text == "+" || t.Text == "~") {
+	if t.Kind == Operator && (t.Text == "-" || t.Text == "+" || t.Text == "~") {
 		op := p.next().Text
 		x, err := p.unaryExpr()
 		if err != nil {
 			return nil, err
 		}
-		u := p.a.NewUnaryExpr()
-		u.Op, u.X = op, x
-		return u, nil
+		return &sqlast.UnaryExpr{Op: op, X: x}, nil
 	}
 	return p.primary()
 }
@@ -749,19 +619,15 @@ func (p *parser) unaryExpr() (sqlast.Expr, error) {
 func (p *parser) primary() (sqlast.Expr, error) {
 	t := p.peek()
 	switch {
-	case t.Kind == sqllex.Number:
+	case t.Kind == Number:
 		p.next()
-		n := p.a.NewNumberLit()
-		n.Text = t.Text
-		return n, nil
-	case t.Kind == sqllex.String:
+		return &sqlast.NumberLit{Text: t.Text}, nil
+	case t.Kind == String:
 		p.next()
-		s := p.a.NewStringLit()
-		s.Text = t.Text
-		return s, nil
+		return &sqlast.StringLit{Text: t.Text}, nil
 	case t.IsKeyword("NULL"):
 		p.next()
-		return p.a.NewNullLit(), nil
+		return &sqlast.NullLit{}, nil
 	case t.IsKeyword("CASE"):
 		return p.caseExpr()
 	case t.IsKeyword("CAST"):
@@ -783,9 +649,7 @@ func (p *parser) primary() (sqlast.Expr, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		c := p.a.NewCastExpr()
-		c.Expr, c.Type = e, typ
-		return c, nil
+		return &sqlast.CastExpr{Expr: e, Type: typ}, nil
 	case t.IsKeyword("CONVERT"):
 		p.next()
 		if err := p.expect("("); err != nil {
@@ -805,7 +669,7 @@ func (p *parser) primary() (sqlast.Expr, error) {
 		// CONVERT may carry a style argument; fold it into the type.
 		if p.peek().Is(",") {
 			p.next()
-			if p.peek().Kind != sqllex.Number {
+			if p.peek().Kind != Number {
 				return nil, p.errf("expected CONVERT style number, found %q", p.peek().Text)
 			}
 			p.next()
@@ -813,12 +677,10 @@ func (p *parser) primary() (sqlast.Expr, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		c := p.a.NewCastExpr()
-		c.Expr, c.Type, c.FromConvert = e, typ, true
-		return c, nil
+		return &sqlast.CastExpr{Expr: e, Type: typ, FromConvert: true}, nil
 	case t.Is("*"):
 		p.next()
-		return p.a.NewStar(), nil
+		return &sqlast.Star{}, nil
 	case t.Is("("):
 		p.next()
 		if p.peek().IsKeyword("SELECT") {
@@ -829,9 +691,7 @@ func (p *parser) primary() (sqlast.Expr, error) {
 			if err := p.expect(")"); err != nil {
 				return nil, err
 			}
-			sq := p.a.NewSubqueryExpr()
-			sq.Select = sub
-			return sq, nil
+			return &sqlast.SubqueryExpr{Select: sub}, nil
 		}
 		e, err := p.expr()
 		if err != nil {
@@ -840,10 +700,8 @@ func (p *parser) primary() (sqlast.Expr, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		pe := p.a.NewParenExpr()
-		pe.X = e
-		return pe, nil
-	case t.Kind == sqllex.Ident:
+		return &sqlast.ParenExpr{X: e}, nil
+	case t.Kind == Ident:
 		return p.identExpr()
 	default:
 		return nil, p.errf("unexpected token %q in expression", t.Text)
@@ -857,8 +715,7 @@ func (p *parser) identExpr() (sqlast.Expr, error) {
 	// Function call?
 	if p.peek().Is("(") {
 		p.next()
-		fc := p.a.NewFuncCall()
-		fc.Name = first
+		fc := &sqlast.FuncCall{Name: first}
 		if p.peek().IsKeyword("DISTINCT") {
 			p.next()
 			fc.Distinct = true
@@ -875,7 +732,19 @@ func (p *parser) identExpr() (sqlast.Expr, error) {
 			p.next()
 			return fc, nil
 		}
-		if err := p.funcArgs(fc); err != nil {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if p.peek().Is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
 		return fc, nil
@@ -891,11 +760,9 @@ func (p *parser) identExpr() (sqlast.Expr, error) {
 			if qual != "" {
 				q = qual + "." + name
 			}
-			st := p.a.NewStar()
-			st.Qualifier = q
-			return st, nil
+			return &sqlast.Star{Qualifier: q}, nil
 		}
-		if p.peekAt(1).Kind != sqllex.Ident {
+		if p.peekAt(1).Kind != Ident {
 			return nil, p.errf("expected identifier after '.', found %q", p.peekAt(1).Text)
 		}
 		p.next()
@@ -913,46 +780,34 @@ func (p *parser) identExpr() (sqlast.Expr, error) {
 			full = qual + "." + name
 		}
 		p.next()
-		fc := p.a.NewFuncCall()
-		fc.Name = full
+		fc := &sqlast.FuncCall{Name: full}
 		if p.peek().Is(")") {
 			p.next()
 			return fc, nil
 		}
-		if err := p.funcArgs(fc); err != nil {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if p.peek().Is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
 		return fc, nil
 	}
-	cr := p.a.NewColumnRef()
-	cr.Qualifier, cr.Name = qual, name
-	return cr, nil
-}
-
-// funcArgs parses a non-empty argument list up to and including the
-// closing paren into fc.Args.
-func (p *parser) funcArgs(fc *sqlast.FuncCall) error {
-	mark := len(p.exprs)
-	for {
-		a, err := p.expr()
-		if err != nil {
-			return err
-		}
-		p.exprs = append(p.exprs, a)
-		if p.peek().Is(",") {
-			p.next()
-			continue
-		}
-		break
-	}
-	fc.Args = p.a.SaveExprs(p.exprs[mark:])
-	p.exprs = p.exprs[:mark]
-	return p.expect(")")
+	return &sqlast.ColumnRef{Qualifier: qual, Name: name}, nil
 }
 
 func (p *parser) caseExpr() (sqlast.Expr, error) {
 	p.next() // CASE
-	ce := p.a.NewCaseExpr()
+	ce := &sqlast.CaseExpr{}
 	if !p.peek().IsKeyword("WHEN") {
 		op, err := p.expr()
 		if err != nil {
@@ -960,7 +815,6 @@ func (p *parser) caseExpr() (sqlast.Expr, error) {
 		}
 		ce.Operand = op
 	}
-	mark := len(p.whens)
 	for p.peek().IsKeyword("WHEN") {
 		p.next()
 		cond, err := p.expr()
@@ -974,13 +828,11 @@ func (p *parser) caseExpr() (sqlast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.whens = append(p.whens, sqlast.WhenClause{Cond: cond, Then: then})
+		ce.Whens = append(ce.Whens, sqlast.WhenClause{Cond: cond, Then: then})
 	}
-	if len(p.whens) == mark {
+	if len(ce.Whens) == 0 {
 		return nil, p.errf("CASE with no WHEN arms")
 	}
-	ce.Whens = p.a.SaveWhenClauses(p.whens[mark:])
-	p.whens = p.whens[:mark]
 	if p.peek().IsKeyword("ELSE") {
 		p.next()
 		e, err := p.expr()
@@ -998,13 +850,13 @@ func (p *parser) caseExpr() (sqlast.Expr, error) {
 // typeName parses a SQL type: IDENT [ '(' number [, number] ')' ].
 func (p *parser) typeName() (string, error) {
 	t := p.peek()
-	if t.Kind != sqllex.Ident && t.Kind != sqllex.Keyword {
+	if t.Kind != Ident && t.Kind != Keyword {
 		return "", p.errf("expected type name, found %q", t.Text)
 	}
 	// Types are stored and re-rendered bare, so a quoted identifier whose
 	// content would not re-lex as one word (e.g. "my type") cannot be a
 	// type name.
-	if t.Kind == sqllex.Ident && !sqllex.IsBareIdent(t.Text) {
+	if t.Kind == Ident && !IsBareIdent(t.Text) {
 		return "", p.errf("unsupported type name %q", t.Text)
 	}
 	name := strings.ToUpper(p.next().Text)
@@ -1013,7 +865,7 @@ func (p *parser) typeName() (string, error) {
 		p.next()
 		for {
 			n := p.peek()
-			if n.Kind != sqllex.Number && !(n.Kind == sqllex.Ident && strings.EqualFold(n.Text, "max")) {
+			if n.Kind != Number && !(n.Kind == Ident && strings.EqualFold(n.Text, "max")) {
 				return "", p.errf("expected type size, found %q", n.Text)
 			}
 			name += strings.ToUpper(p.next().Text)

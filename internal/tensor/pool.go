@@ -18,6 +18,10 @@ import (
 // Ownership is explicit: a tensor passed to Put must not be used again by
 // the caller. Tensors from Get may be kept forever (never Put) — the pool
 // simply allocates replacements.
+//
+// sqlast.ArenaPool applies the same Get/Put contract to pooled AST
+// arenas, and qrec-lint's poolsafe rule enforces the lifecycle
+// discipline for both pool types.
 type Pool struct {
 	classes [poolMaxClass]sync.Pool
 

@@ -38,9 +38,13 @@ func Tokenize(sql string) ([]string, error) { return TokenizeOpts(sql, DefaultOp
 
 // TokenizeOpts parses, normalizes and tokenizes one SQL statement.
 // Qualified names (a.b) are merged into single tokens; keywords are
-// upper-cased; everything else keeps its rendered spelling.
+// upper-cased; everything else keeps its rendered spelling. The AST is
+// scratch — only token strings leave this function — so it is allocated
+// from the shared arena pool and recycled before returning.
 func TokenizeOpts(sql string, opts Options) ([]string, error) {
-	stmt, err := sqlparse.Parse(sql)
+	arena := sqlast.SharedArenas.Get()
+	defer sqlast.SharedArenas.Put(arena)
+	stmt, err := sqlparse.ParseArena(sql, arena)
 	if err != nil {
 		return nil, fmt.Errorf("tokenize: %w", err)
 	}
@@ -66,7 +70,7 @@ func TokenizeStmt(stmt *sqlast.SelectStmt, opts Options) []string {
 				out = append(out, t.Text)
 			}
 		case sqllex.Keyword:
-			out = append(out, t.Upper)
+			out = append(out, sqllex.KeywordUpper(t.Text))
 		case sqllex.Ident:
 			// Merge dotted chains ident(.ident)* into one token. Each
 			// segment keeps its canonical spelling — quoted iff it would

@@ -34,6 +34,11 @@ type Query struct {
 // Enrich parses the SQL and fills the derived fields. Queries that fail to
 // parse return an error and are typically dropped by the loader, matching
 // the paper's pre-processing which only keeps parseable statements.
+//
+// Enrich deliberately uses the heap-backed sqlparse.Parse, not a pooled
+// arena: q.Stmt is retained for the lifetime of the query (the structural
+// baselines walk it via similarity.TreeFromQuery), so its nodes must not
+// go back to a recycled arena.
 func (q *Query) Enrich() error {
 	stmt, err := sqlparse.Parse(q.SQL)
 	if err != nil {

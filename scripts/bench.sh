@@ -3,8 +3,8 @@
 # benchmarks with -benchmem and records the results as JSON so successive
 # PRs can diff ns/op, B/op, allocs/op and any custom ReportMetric values
 # (e.g. the serving suite's sheds/op) without re-parsing go test output.
-# Writes BENCH_kernels.json, BENCH_train.json and BENCH_serve.json in the
-# repo root.
+# Writes BENCH_kernels.json, BENCH_train.json, BENCH_parse.json and
+# BENCH_serve.json in the repo root.
 #
 # Usage:
 #
@@ -19,7 +19,8 @@ BENCHTIME="${BENCHTIME:-1s}"
 # `go test -bench` lines to a JSON array. Every `<value> <unit>/op` pair
 # is captured: the standard ns/op, B/op and allocs/op keep their
 # historical JSON keys, and custom b.ReportMetric units (sheds/op,
-# degraded/op, ...) become "<unit>_per_op".
+# degraded/op, ...) become "<unit>_per_op". b.SetBytes throughput is the
+# one non-/op unit recorded, as "mb_per_s".
 bench_json() {
 	local pkgs=$1 pattern=$2 out=$3
 	echo "== bench $pattern ($pkgs) -> $out" >&2
@@ -32,6 +33,10 @@ bench_json() {
 				extra = ""; ns = ""
 				for (i = 2; i < NF; i++) {
 					unit = $(i+1)
+					if (unit == "MB/s") {
+						extra = extra sprintf(", \"mb_per_s\": %s", $i)
+						continue
+					}
 					if (unit !~ /\/op$/) continue
 					if (unit == "ns/op")          ns = $i
 					else if (unit == "B/op")      extra = extra sprintf(", \"bytes_per_op\": %s", $i)
@@ -61,6 +66,11 @@ bench_json "./internal/tensor ./internal/autograd" \
 # extraction, the end-to-end numbers the perf work is judged on.
 bench_json "." \
 	'BenchmarkTable3ModelStats|BenchmarkPairExtraction' BENCH_train.json
+
+# Parser-level: lexer byte throughput (new vs seed) and batch parse cost
+# warm (recycled arena) vs cold (heap arena) vs the frozen seed parser.
+bench_json "./internal/sqlparse" \
+	'BenchmarkTokenize|BenchmarkParse' BENCH_parse.json
 
 # Serving-level: unsaturated vs saturated request cost through the full
 # HTTP stack, including the overload ladder's shed/degraded rates.

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: test test-short chaos bench bench-json fuzz fuzz-short build vet lint lint-fix-list
+.PHONY: test test-short chaos chaos-gw bench bench-json fuzz fuzz-short build vet lint lint-fix-list
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ test-short:
 chaos:
 	$(GO) test -race -count=1 -v -run 'Chaos|Overload|Admission|Breaker|Limiter|Shed' \
 		./internal/server ./internal/servepool ./internal/overload
+
+# Gateway chaos suite: real replicas on real listeners killed and
+# restarted at 4x saturation while a model push hot-swaps the fleet,
+# under the race detector. Also part of `make test` (no trained model
+# needed, so it runs in -short too).
+chaos-gw:
+	$(GO) test -race -count=1 -v -run 'Chaos' ./internal/gateway
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -1,0 +1,123 @@
+// Command qrec-gw is the sharded serving gateway: it consistent-hash
+// routes clients (X-Client-ID, remote-host fallback) across N qrec-serve
+// replicas, probes each replica's /v1/healthz health ladder, reroutes
+// around draining/broken/unreachable replicas with bounded retries and
+// jittered backoff, and collapses concurrent identical requests into one
+// upstream call. It serves the same API surface as a replica, so clients
+// cannot tell the tiers apart.
+//
+// It also drives zero-downtime model rollouts: -push fans a trained
+// model directory out to every replica over the checksummed artifact
+// envelope protocol; each replica validates, persists and hot-swaps
+// without dropping a request.
+//
+// Usage:
+//
+//	qrec-gw -addr :8080 -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//	qrec-gw -replicas http://127.0.0.1:8081,http://127.0.0.1:8082 -push model/
+//	curl -s localhost:8080/v1/recommend -d '{"sql":"SELECT ra FROM PhotoObj"}'
+//	curl -s localhost:8080/v1/healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "gateway listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required)")
+	vnodes := flag.Int("vnodes", gateway.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	maxAttempts := flag.Int("max-attempts", gateway.DefaultMaxAttempts,
+		"replicas one request may try (capped at the replica count)")
+	attemptTimeout := flag.Duration("attempt-timeout", gateway.DefaultAttemptTimeout,
+		"per-attempt upstream deadline")
+	backoff := flag.Duration("backoff", gateway.DefaultBackoffBase,
+		"base inter-attempt backoff (exponential, jittered)")
+	maxBody := flag.Int64("max-body", gateway.DefaultMaxBodyBytes, "request body size limit in bytes")
+	probeInterval := flag.Duration("probe-interval", gateway.DefaultProbeInterval,
+		"replica health-probe cadence")
+	probeTimeout := flag.Duration("probe-timeout", gateway.DefaultProbeTimeout,
+		"per-probe deadline")
+	seed := flag.Int64("seed", 1, "backoff-jitter RNG seed (equal seeds replay equal schedules)")
+	drain := flag.Duration("drain", server.DefaultDrainTimeout,
+		"graceful-shutdown deadline for in-flight requests")
+	push := flag.String("push", "",
+		"one-shot mode: push this model directory to every replica (validate, persist, hot-swap) and exit")
+	flag.Parse()
+
+	reps := splitReplicas(*replicas)
+	if len(reps) == 0 {
+		fmt.Fprintln(os.Stderr, "qrec-gw: -replicas is required (comma-separated base URLs)")
+		os.Exit(2)
+	}
+	gw, err := gateway.New(gateway.Config{
+		Replicas:       reps,
+		VNodes:         *vnodes,
+		MaxAttempts:    *maxAttempts,
+		AttemptTimeout: *attemptTimeout,
+		BackoffBase:    *backoff,
+		MaxBodyBytes:   *maxBody,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		Seed:           *seed,
+		// The composition root is the one place the wall clock enters the
+		// (detrand-clean) gateway package.
+		Clock: time.Now,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qrec-gw:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *push != "" {
+		out, err := gw.PushModelDir(ctx, *push)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qrec-gw:", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, gateway.FormatPushOutcome(out))
+		for _, perr := range out {
+			if perr != nil {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	go gw.Run(ctx)
+	fmt.Fprintf(os.Stderr,
+		"qrec-gw: routing on %s across %d replicas (vnodes=%d attempts=%d attempt-timeout=%s probe=%s)\n",
+		*addr, len(reps), *vnodes, *maxAttempts, *attemptTimeout, *probeInterval)
+	if err := server.RunHandler(ctx, *addr, gw, gw.StartDraining, nil, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "qrec-gw:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "qrec-gw: drained in-flight requests, shut down cleanly")
+}
+
+// splitReplicas parses the -replicas flag, trimming blanks and trailing
+// slashes so "http://h:1/, http://h:2" joins cleanly with request paths.
+func splitReplicas(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimRight(part, "/")
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

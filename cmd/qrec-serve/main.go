@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/modeldir"
 	"repro/internal/servepool"
 	"repro/internal/server"
@@ -60,6 +61,10 @@ func main() {
 		"model-path failure ratio that opens the circuit breaker (0 disables)")
 	degrade := flag.Bool("degrade", true,
 		"answer shed/over-budget requests from the popular fallback instead of 429/504")
+	replicaID := flag.String("replica-id", "",
+		"replica name echoed as X-Replica-ID on every response and in healthz (multi-replica topologies)")
+	enablePush := flag.Bool("enable-push", false,
+		"accept POST /v1/model/push hot swaps (validate, persist to -model, swap with zero dropped requests); admin networks only")
 	pprofAddr := flag.String("pprof", "",
 		"debug listener address for net/http/pprof, e.g. localhost:6060 (empty disables; do not expose publicly)")
 	flag.Parse()
@@ -110,15 +115,23 @@ func main() {
 		Rate:         *rate,
 		Burst:        *burst,
 		BreakerRatio: *breakerRatio,
+		ReplicaID:    *replicaID,
+		EnablePush:   *enablePush,
+		ModelDir:     *modelDir,
 	}
 	if *degrade {
 		cfg.Fallback = servepool.FallbackFromRecommender(rec, 25)
+		// After a hot swap, re-derive the degraded snapshot from the new
+		// artifacts so fallback answers track the served model.
+		cfg.FallbackFactory = func(r *core.Recommender) *servepool.Fallback {
+			return servepool.FallbackFromRecommender(r, 25)
+		}
 	}
 	srv := server.NewWithConfig(rec, cfg)
 	fmt.Fprintf(os.Stderr,
-		"serving %s model (%d classes) on %s (workers=%d cache=%d timeout=%s soft=%s inflight=%d rate=%g degrade=%t)\n",
+		"serving %s model (%d classes) on %s (workers=%d cache=%d timeout=%s soft=%s inflight=%d rate=%g degrade=%t replica=%q push=%t)\n",
 		rec.Model.Config().Arch, len(rec.Classifier.Classes), *addr,
-		*workers, *cacheSize, *timeout, *softTimeout, inFlight, *rate, *degrade)
+		*workers, *cacheSize, *timeout, *softTimeout, inFlight, *rate, *degrade, *replicaID, *enablePush)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -200,6 +200,14 @@ func syncUnsupported(err error) bool {
 		errors.Is(err, syscall.EBADF)
 }
 
+// WriteAtomicEnvelope writes an already-framed envelope (bytes that came
+// from Encode, typically received over the wire) with the same crash-safe
+// temp-fsync-rename protocol as WriteAtomic. Callers must have validated
+// the bytes with Decode first — this function persists them verbatim.
+func WriteAtomicEnvelope(path string, data []byte) error {
+	return writeFileAtomic(path, data)
+}
+
 // ReadAtomic reads an envelope written by WriteAtomic, verifies it, and
 // hands the payload to load. Corruption errors wrap the package
 // sentinels; a missing file wraps fs.ErrNotExist.

@@ -1,0 +1,452 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/modeldir"
+	"repro/internal/seq2seq"
+	"repro/internal/servepool"
+	"repro/internal/server"
+	"repro/internal/sqlast"
+	"repro/internal/tokenizer"
+)
+
+// ---- chaos fixtures -------------------------------------------------------
+//
+// The gateway chaos suite runs real qrec-serve replicas on real listeners
+// (so kills sever TCP connections the way a crashed process would), with
+// an injected predictor so no trained model is needed and the suite runs
+// in -short mode.
+
+// chaosRecommender builds an untrained recommender: structurally complete
+// for healthz and the push protocol, never used for inference.
+func chaosRecommender(t testing.TB) *core.Recommender {
+	t.Helper()
+	bl := tokenizer.NewBuilder()
+	bl.AddQuery([]string{"select", "a", "from", "t"})
+	v := bl.Build(1)
+	mcfg := seq2seq.DefaultConfig(seq2seq.Transformer, v.Size())
+	mcfg.DModel = 8
+	mcfg.FFHidden = 8
+	m, err := seq2seq.New(mcfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Recommender{
+		Vocab:      v,
+		Model:      m,
+		Classifier: classify.New(m, 8, []string{"SELECT a FROM t"}, 1),
+		MaxGenLen:  8,
+	}
+}
+
+// chaosPredictor answers after a short simulated inference delay, so
+// saturation actually queues work instead of racing through.
+type chaosPredictor struct{ delay time.Duration }
+
+func (p chaosPredictor) wait(ctx context.Context) error {
+	if p.delay <= 0 {
+		return nil
+	}
+	t := time.NewTimer(p.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p chaosPredictor) Templates(ctx context.Context, _, _ []string, n int) ([]string, error) {
+	if err := p.wait(ctx); err != nil {
+		return nil, err
+	}
+	return []string{"SELECT model FROM path"}, nil
+}
+
+func (p chaosPredictor) Fragments(ctx context.Context, _ []string, n int, _ core.NFragmentsOptions) (map[sqlast.FragmentKind][]string, error) {
+	if err := p.wait(ctx); err != nil {
+		return nil, err
+	}
+	return map[sqlast.FragmentKind][]string{sqlast.FragTable: {"path"}}, nil
+}
+
+func chaosFallback() *servepool.Fallback {
+	return servepool.NewFallback(
+		[]string{"SELECT pop FROM ular"},
+		map[sqlast.FragmentKind][]string{sqlast.FragTable: {"PhotoObj"}},
+	)
+}
+
+// replicaProc is one killable, restartable replica on a fixed address —
+// the gateway keeps pointing at the same URL across the kill, exactly
+// like a crashed process coming back on its port.
+type replicaProc struct {
+	t     testing.TB
+	id    string
+	addr  string
+	delay time.Duration
+
+	mu   sync.Mutex
+	app  *server.Server
+	hsrv *http.Server
+}
+
+// startReplica boots a replica on an OS-assigned port and pins that
+// address for all future restarts.
+func startReplica(t testing.TB, id string, delay time.Duration) *replicaProc {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &replicaProc{t: t, id: id, addr: ln.Addr().String(), delay: delay}
+	p.serveOn(ln)
+	return p
+}
+
+func (p *replicaProc) url() string { return "http://" + p.addr }
+
+// serveOn builds a fresh server generation (a restarted process has cold
+// state) and serves it on ln.
+func (p *replicaProc) serveOn(ln net.Listener) {
+	app := server.NewWithConfig(chaosRecommender(p.t), server.Config{
+		Workers:     2,
+		MaxQueue:    2,
+		MaxInFlight: 8,
+		SoftTimeout: 250 * time.Millisecond,
+		Timeout:     5 * time.Second,
+		Fallback:    chaosFallback(),
+		Predictor:   chaosPredictor{delay: p.delay},
+		ReplicaID:   p.id,
+		EnablePush:  true,
+	})
+	hsrv := &http.Server{Handler: app}
+	p.mu.Lock()
+	p.app, p.hsrv = app, hsrv
+	p.mu.Unlock()
+	go func() { _ = hsrv.Serve(ln) }()
+}
+
+// kill severs the listener and every open connection, then drains the
+// app. In-flight upstream calls see a connection reset — the transport
+// error the gateway must reroute around.
+func (p *replicaProc) kill() {
+	p.mu.Lock()
+	hsrv, app := p.hsrv, p.app
+	p.hsrv, p.app = nil, nil
+	p.mu.Unlock()
+	if hsrv != nil {
+		_ = hsrv.Close()
+	}
+	if app != nil {
+		app.Close()
+	}
+}
+
+// restart brings the replica back on its original address.
+func (p *replicaProc) restart() error {
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		return err
+	}
+	p.serveOn(ln)
+	return nil
+}
+
+func (p *replicaProc) swaps() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.app == nil {
+		return 0
+	}
+	return p.app.Swaps()
+}
+
+// ---- chaos test -----------------------------------------------------------
+
+// TestChaosGatewayKillRestart drives the gateway at 4x the fleet's
+// admission capacity while one replica is repeatedly killed and restarted
+// and a model push hot-swaps every live replica mid-run. The routing
+// contract: every request terminates with 200 (full-quality or degraded),
+// 429, or 503-with-Retry-After — no hangs, no empty bodies, no torn
+// responses — and the fleet converges back to healthy afterwards.
+func TestChaosGatewayKillRestart(t *testing.T) {
+	reps := []*replicaProc{
+		startReplica(t, "r0", time.Millisecond),
+		startReplica(t, "r1", time.Millisecond),
+		startReplica(t, "r2", time.Millisecond),
+	}
+	urls := make([]string, len(reps))
+	for i, p := range reps {
+		urls[i] = p.url()
+	}
+	defer func() {
+		for _, p := range reps {
+			p.kill()
+		}
+	}()
+
+	gw, err := New(Config{
+		Replicas:       urls,
+		MaxAttempts:    3,
+		AttemptTimeout: 2 * time.Second,
+		BackoffBase:    time.Millisecond,
+		ProbeInterval:  20 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		Clock:          time.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go gw.Run(ctx)
+
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwSrv := &http.Server{Handler: gw}
+	go func() { _ = gwSrv.Serve(gwLn) }()
+	defer func() { _ = gwSrv.Close() }()
+	gwURL := "http://" + gwLn.Addr().String()
+
+	// Fleet admission capacity is 3 replicas x MaxInFlight 8 = 24; drive
+	// 96 concurrent clients (4x) in waves.
+	const (
+		clients = 96
+		perGo   = 8
+	)
+	type outcome struct {
+		code       int
+		body       string
+		retryAfter string
+	}
+	results := make([][]outcome, clients)
+
+	var stopChaos atomic.Bool
+	var chaosWg sync.WaitGroup
+	chaosWg.Add(1)
+	go func() {
+		// Kill/restart cycle on a rotating victim while load runs.
+		defer chaosWg.Done()
+		for i := 0; !stopChaos.Load(); i++ {
+			victim := reps[i%len(reps)]
+			victim.kill()
+			time.Sleep(60 * time.Millisecond)
+			for {
+				if err := victim.restart(); err == nil {
+					break
+				}
+				// Port briefly in TIME_WAIT after the kill; retry.
+				time.Sleep(5 * time.Millisecond)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}()
+
+	// Mid-run model push: every replica that is up validates, persists
+	// nothing (no ModelDir), and hot-swaps with zero dropped requests.
+	pushDir := t.TempDir()
+	if err := modeldir.Save(pushDir, chaosRecommender(t)); err != nil {
+		t.Fatal(err)
+	}
+	var pushWg sync.WaitGroup
+	pushOK := atomic.Int64{}
+	pushWg.Add(1)
+	go func() {
+		defer pushWg.Done()
+		time.Sleep(150 * time.Millisecond) // mid-saturation
+		out, perr := gw.PushModelDir(context.Background(), pushDir)
+		if perr != nil {
+			t.Errorf("push: %v", perr)
+			return
+		}
+		for _, e := range out {
+			if e == nil {
+				pushOK.Add(1)
+			}
+		}
+	}()
+
+	httpc := &http.Client{Timeout: 15 * time.Second}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = make([]outcome, perGo)
+			for j := 0; j < perGo; j++ {
+				body := fmt.Sprintf(`{"sql":"SELECT a FROM t%d","n":1}`, j)
+				req, _ := http.NewRequest(http.MethodPost, gwURL+"/v1/recommend", strings.NewReader(body))
+				req.Header.Set("X-Client-ID", fmt.Sprintf("client-%d", c))
+				resp, err := httpc.Do(req)
+				if err != nil {
+					// The gateway itself must never reset a connection; record
+					// as a hard failure.
+					results[c][j] = outcome{code: -1, body: err.Error()}
+					continue
+				}
+				rb, _ := io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				results[c][j] = outcome{code: resp.StatusCode, body: string(rb), retryAfter: resp.Header.Get("Retry-After")}
+			}
+		}(c)
+	}
+	wg.Wait()
+	stopChaos.Store(true)
+	chaosWg.Wait()
+	pushWg.Wait()
+
+	var n200, n429, n503 int
+	for c, outs := range results {
+		for j, o := range outs {
+			switch o.code {
+			case http.StatusOK:
+				n200++
+				var r struct {
+					Templates []string `json:"templates"`
+				}
+				if err := json.Unmarshal([]byte(o.body), &r); err != nil || len(r.Templates) == 0 {
+					t.Errorf("client %d req %d: torn 200 body %q (%v)", c, j, o.body, err)
+				}
+			case http.StatusTooManyRequests:
+				n429++
+				if o.retryAfter == "" {
+					t.Errorf("client %d req %d: 429 without Retry-After", c, j)
+				}
+			case http.StatusServiceUnavailable:
+				n503++
+				if o.retryAfter == "" {
+					t.Errorf("client %d req %d: 503 without Retry-After: %q", c, j, o.body)
+				}
+			default:
+				t.Errorf("client %d req %d: terminal status %d (%s)", c, j, o.code, o.body)
+			}
+		}
+	}
+	t.Logf("outcomes: %d x 200, %d x 429, %d x 503 (stats %+v)", n200, n429, n503, gw.Stats())
+	if n200 == 0 {
+		t.Fatal("no request succeeded under chaos")
+	}
+	if pushOK.Load() == 0 {
+		t.Error("model push reached no replica")
+	}
+
+	// Convergence: with chaos stopped and every replica restarted, probes
+	// must walk the fleet back to routable and requests answer 200 again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := httpc.Post(gwURL+"/v1/recommend", "application/json", strings.NewReader(`{"sql":"SELECT a FROM t"}`))
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fleet never converged back to healthy after chaos stopped")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	swapped := uint64(0)
+	for _, p := range reps {
+		swapped += p.swaps()
+	}
+	// Replicas killed after their swap restart at zero, so only a lower
+	// bound is meaningful — but the push must have landed somewhere.
+	if pushOK.Load() > 0 && swapped == 0 && gw.Stats().Pushes == 0 {
+		t.Error("push counters never moved")
+	}
+}
+
+// ---- benchmarks -----------------------------------------------------------
+
+// benchFleet boots n instant-predictor replicas plus a gateway listener
+// and returns the gateway base URL.
+func benchFleet(b *testing.B, n int) (string, func()) {
+	b.Helper()
+	var reps []*replicaProc
+	var urls []string
+	for i := 0; i < n; i++ {
+		p := startReplica(b, fmt.Sprintf("bench-%d", i), 0)
+		reps = append(reps, p)
+		urls = append(urls, p.url())
+	}
+	gw, err := New(Config{
+		Replicas:       urls,
+		AttemptTimeout: 5 * time.Second,
+		ProbeInterval:  50 * time.Millisecond,
+		Clock:          time.Now,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go gw.Run(ctx)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hsrv := &http.Server{Handler: gw}
+	go func() { _ = hsrv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() {
+		cancel()
+		_ = hsrv.Close()
+		for _, p := range reps {
+			p.kill()
+		}
+	}
+}
+
+// benchGateway measures saturated end-to-end request cost through
+// gateway + replica HTTP stacks at a given fleet width. Distinct client
+// ids spread load across the ring and defeat singleflight collapse, so
+// every operation is a real upstream call.
+func benchGateway(b *testing.B, replicas int) {
+	url, stop := benchFleet(b, replicas)
+	defer stop()
+	var id atomic.Int64
+	var non200 atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := &http.Client{Timeout: 10 * time.Second}
+		me := id.Add(1)
+		i := 0
+		for pb.Next() {
+			i++
+			body := fmt.Sprintf(`{"sql":"SELECT a FROM t%d","n":1}`, i%16)
+			req, _ := http.NewRequest(http.MethodPost, url+"/v1/recommend", strings.NewReader(body))
+			req.Header.Set("X-Client-ID", fmt.Sprintf("bench-client-%d", me))
+			resp, err := c.Do(req)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				non200.Add(1)
+			}
+		}
+	})
+	b.ReportMetric(float64(non200.Load())/float64(b.N), "non200/op")
+}
+
+func BenchmarkGatewayReplicas1(b *testing.B) { benchGateway(b, 1) }
+func BenchmarkGatewayReplicas2(b *testing.B) { benchGateway(b, 2) }
+func BenchmarkGatewayReplicas4(b *testing.B) { benchGateway(b, 4) }

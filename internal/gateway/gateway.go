@@ -1,0 +1,459 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// Config tunes the gateway. Replicas is required; everything else has a
+// production default. Clock and Seed exist because this package is in
+// the qrec-lint deterministic set: the gateway itself never reads the
+// system clock or ambient randomness, the composition root injects them.
+type Config struct {
+	// Replicas lists the replica base URLs (e.g. "http://127.0.0.1:8081").
+	Replicas []string
+	// VNodes is the virtual-node count per replica on the hash ring
+	// (default DefaultVNodes).
+	VNodes int
+	// MaxAttempts bounds how many replicas one request may try,
+	// including the first (default 3, always capped at the replica
+	// count).
+	MaxAttempts int
+	// AttemptTimeout is the per-attempt upstream deadline (default 10s).
+	AttemptTimeout time.Duration
+	// BackoffBase seeds the exponential inter-attempt backoff: attempt k
+	// waits BackoffBase<<(k-1) plus jitter in [0, wait/2) drawn from the
+	// seeded stream (default 25ms, capped at 1s).
+	BackoffBase time.Duration
+	// MaxBodyBytes bounds proxied request bodies (default 1 MiB,
+	// matching the replica's own cap).
+	MaxBodyBytes int64
+	// ProbeInterval is the health-probe cadence per replica; a draining
+	// replica's Retry-After extends it (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// RetryAfter is the backoff hint on a 503 when every candidate
+	// failed (default 1s).
+	RetryAfter time.Duration
+	// Seed seeds the backoff-jitter stream (checkpoint.RNG splitmix64);
+	// equal seeds replay equal jitter schedules.
+	Seed int64
+	// Clock supplies the wall clock for probe scheduling. Nil gets a
+	// frozen zero clock — probes then fire at most once, which is fine
+	// for tests driving ProbeAll by hand and wrong for serving; the
+	// composition root injects time.Now.
+	Clock func() time.Time
+	// Sleep waits between retry attempts and probe rounds, honoring ctx
+	// cancellation. Nil uses a timer-based wait; tests inject a no-op to
+	// run chaos schedules without wall-clock stalls.
+	Sleep func(ctx context.Context, d time.Duration)
+	// Transport overrides the upstream transport (tests inject failure
+	// modes); nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+// Gateway defaults.
+const (
+	DefaultMaxAttempts    = 3
+	DefaultAttemptTimeout = 10 * time.Second
+	DefaultBackoffBase    = 25 * time.Millisecond
+	DefaultMaxBodyBytes   = 1 << 20
+	DefaultProbeInterval  = time.Second
+	DefaultProbeTimeout   = 2 * time.Second
+	DefaultRetryAfter     = time.Second
+	// maxBackoff caps one inter-attempt wait so a deep retry ladder
+	// cannot stall a request for seconds.
+	maxBackoff = time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = DefaultProbeTimeout
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	if c.Clock == nil {
+		c.Clock = func() time.Time { return time.Time{} }
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		}
+	}
+	return c
+}
+
+// errorResponse mirrors the replica JSON error envelope so clients see
+// one wire shape whether the gateway or a replica answered.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Gateway is the routing reverse proxy. It is an http.Handler serving
+// the same /v1/recommend, /v1/recommend/batch and /v1/healthz surface as
+// a replica, so clients (and load balancers above it) cannot tell the
+// tiers apart.
+type Gateway struct {
+	cfg     Config
+	ring    *Ring
+	prober  *Prober
+	flights flightGroup
+	client  *http.Client
+	mux     *http.ServeMux
+
+	rngMu sync.Mutex
+	rng   *checkpoint.RNG
+
+	draining atomic.Bool
+
+	proxied   atomic.Uint64 // requests that entered the routing path
+	retried   atomic.Uint64 // attempts beyond a request's first
+	rerouted  atomic.Uint64 // requests whose home replica was skipped by health
+	collapsed atomic.Uint64 // follower requests served by a shared flight
+	exhausted atomic.Uint64 // requests that failed every candidate
+	pushes    atomic.Uint64 // model pushes fanned out
+}
+
+// New builds the gateway. Config.Replicas must be non-empty.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("gateway: no replicas configured")
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		ring:   NewRing(cfg.Replicas, cfg.VNodes),
+		client: &http.Client{Transport: transport},
+		mux:    http.NewServeMux(),
+		rng:    checkpoint.NewRNG(cfg.Seed),
+	}
+	g.prober = newProber(cfg.Replicas, &http.Client{Transport: transport, Timeout: cfg.ProbeTimeout}, cfg.ProbeInterval, cfg.Clock)
+	g.mux.HandleFunc("/v1/recommend", g.handleProxy)
+	g.mux.HandleFunc("/v1/recommend/batch", g.handleProxy)
+	g.mux.HandleFunc("/v1/healthz", g.handleHealth)
+	return g, nil
+}
+
+// Prober exposes the health tracker (probe loops, tests, telemetry).
+func (g *Gateway) Prober() *Prober { return g.prober }
+
+// Ring exposes the routing ring (tests, telemetry).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// StartDraining flips the gateway healthz to 503 draining so an outer
+// balancer stops routing here; proxying continues until shutdown.
+func (g *Gateway) StartDraining() { g.draining.Store(true) }
+
+// Run probes replica health on the configured cadence until ctx is
+// cancelled. Call it in its own goroutine next to the HTTP listener.
+func (g *Gateway) Run(ctx context.Context) {
+	for ctx.Err() == nil {
+		g.prober.ProbeAll(ctx)
+		g.cfg.Sleep(ctx, g.cfg.ProbeInterval)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// clientKey mirrors the replica's rate-limit identity: X-Client-ID when
+// present, else the remote host. It is also the ring key, so one
+// client's session consistently lands on one replica — which is what
+// makes the replica's inference cache and rate limiter effective in a
+// sharded deployment.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// handleProxy routes one recommend(-batch) request across the ring.
+func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
+		return
+	}
+	g.proxied.Add(1)
+	key := clientKey(r)
+	// Collapse concurrent identical requests: same client, same endpoint,
+	// same body share one upstream call. The recommend API is a pure read,
+	// so sharing the response is sound; keying on the client keeps rate
+	// accounting per client.
+	flightKey := key + "\x00" + r.URL.Path + "\x00" + string(body)
+	res, shared := g.flights.Do(r.Context(), flightKey, func() *flightResult {
+		return g.forward(r.URL.Path, key, r.Header.Get("X-Client-ID"), body)
+	})
+	if res == nil {
+		// Follower cancelled while waiting; nothing useful to write and
+		// the client is gone anyway.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request cancelled"})
+		return
+	}
+	if shared {
+		g.collapsed.Add(1)
+	}
+	for k, vs := range res.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if shared {
+		w.Header().Set("X-QRec-Collapsed", "1")
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// forwardedHeaders are the upstream response headers the gateway relays.
+var forwardedHeaders = []string{"Content-Type", "Retry-After", "X-Replica-ID"}
+
+// forward walks the ring candidates for key, trying routable replicas
+// first (health ladder) and the rest as a fail-open last resort, with a
+// per-attempt timeout and jittered backoff between attempts. It always
+// returns a terminal result: the first conclusive upstream response, or
+// a 503 with a Retry-After hint once the attempt budget is spent.
+//
+// The attempt context is detached from the leader's request context on
+// purpose: collapsed followers share this flight, so one impatient
+// leader must not cancel the answer out from under the rest.
+func (g *Gateway) forward(path, key, clientID string, body []byte) *flightResult {
+	cands := g.routeOrder(key)
+	attempts := g.cfg.MaxAttempts
+	if attempts > len(cands) {
+		attempts = len(cands)
+	}
+	budget := time.Duration(attempts)*g.cfg.AttemptTimeout + time.Duration(attempts)*maxBackoff
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+
+	var last *flightResult
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			g.retried.Add(1)
+			g.cfg.Sleep(ctx, g.backoff(i))
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		res, retryable := g.attempt(ctx, cands[i], path, clientID, body)
+		if !retryable {
+			return res
+		}
+		last = res
+	}
+	g.exhausted.Add(1)
+	if last != nil && last.status != 0 {
+		// Every candidate answered but badly (e.g. unanimous 503 while a
+		// new model loads everywhere): relay the last real response rather
+		// than masking it.
+		return last
+	}
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	h.Set("Retry-After", strconv.FormatInt(int64((g.cfg.RetryAfter+time.Second-1)/time.Second), 10))
+	msg, _ := json.Marshal(errorResponse{Error: "no replica reachable"})
+	return &flightResult{status: http.StatusServiceUnavailable, header: h, body: append(msg, '\n')}
+}
+
+// routeOrder is the health-ladder-filtered candidate walk: ring order
+// among routable replicas, with non-routable ones appended as a fail-open
+// tail (trying a "down" replica last beats failing a request that still
+// had somewhere to go).
+func (g *Gateway) routeOrder(key string) []string {
+	cands := g.ring.Candidates(key)
+	routable := cands[:0:0]
+	var rest []string
+	for _, rep := range cands {
+		if g.prober.State(rep).Routable() {
+			routable = append(routable, rep)
+		} else {
+			rest = append(rest, rep)
+		}
+	}
+	if len(routable) == 0 || (len(cands) > 0 && len(routable) > 0 && routable[0] != cands[0]) {
+		g.rerouted.Add(1)
+	}
+	return append(routable, rest...)
+}
+
+// attempt performs one upstream call. retryable reports whether the
+// routing loop should move to the next candidate: transport failures and
+// replica-side 5xx (panic storms, drains, shutdowns) are retryable —
+// the API is a pure read, so re-execution is safe — while everything
+// else (200s, 4xxs including 429 rate limits) is the client's answer.
+func (g *Gateway) attempt(ctx context.Context, rep, path, clientID string, body []byte) (res *flightResult, retryable bool) {
+	actx, cancel := context.WithTimeout(ctx, g.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep+path, bytes.NewReader(body))
+	if err != nil {
+		return &flightResult{}, true
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if clientID != "" {
+		req.Header.Set("X-Client-ID", clientID)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		// Connection refused / reset / attempt timeout: the replica is
+		// unreachable right now. Mark it down so sibling requests reroute
+		// immediately instead of each discovering the corpse themselves.
+		g.prober.MarkDown(rep)
+		return &flightResult{}, true
+	}
+	rbody, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	_ = resp.Body.Close()
+	if rerr != nil {
+		g.prober.MarkDown(rep)
+		return &flightResult{}, true
+	}
+	g.prober.MarkUp(rep)
+	res = &flightResult{status: resp.StatusCode, body: rbody, replica: rep, header: http.Header{}}
+	for _, k := range forwardedHeaders {
+		if v := resp.Header.Get(k); v != "" {
+			res.header.Set(k, v)
+		}
+	}
+	switch resp.StatusCode {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return res, true
+	}
+	return res, false
+}
+
+// backoff computes the wait before attempt i (1-based beyond the first):
+// exponential in the base with jitter in [0, wait/2) from the seeded
+// stream, de-synchronizing retry storms across concurrent requests.
+func (g *Gateway) backoff(i int) time.Duration {
+	d := g.cfg.BackoffBase << (i - 1)
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	if half := int64(d / 2); half > 0 {
+		g.rngMu.Lock()
+		j := int64(g.rng.Uint64() % uint64(half))
+		g.rngMu.Unlock()
+		d += time.Duration(j)
+	}
+	return d
+}
+
+// Stats is the gateway's telemetry snapshot.
+type Stats struct {
+	Proxied   uint64 `json:"proxied"`
+	Retried   uint64 `json:"retried"`
+	Rerouted  uint64 `json:"rerouted"`
+	Collapsed uint64 `json:"collapsed"`
+	Exhausted uint64 `json:"exhausted"`
+	Pushes    uint64 `json:"pushes"`
+}
+
+// Stats snapshots the routing counters.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		Proxied:   g.proxied.Load(),
+		Retried:   g.retried.Load(),
+		Rerouted:  g.rerouted.Load(),
+		Collapsed: g.collapsed.Load(),
+		Exhausted: g.exhausted.Load(),
+		Pushes:    g.pushes.Load(),
+	}
+}
+
+// handleHealth reports the gateway's own ladder: draining (503 +
+// Retry-After) when shutdown has begun, degraded when any replica is off
+// the healthy rung, ok otherwise — plus the per-replica table and
+// routing counters.
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snapshot := g.prober.Snapshot()
+	status, code := "ok", http.StatusOK
+	for _, st := range snapshot {
+		if st.State != StateHealthy.String() && st.State != StateUnknown.String() {
+			status = "degraded"
+		}
+	}
+	if g.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "2")
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"tier":     "gateway",
+		"replicas": snapshot,
+		"routing":  g.Stats(),
+	})
+}
+
+// writeJSON mirrors the replica's encode-before-write helper.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fallback, _ := json.Marshal(errorResponse{Error: "encode response: " + err.Error()})
+		_, _ = w.Write(append(fallback, '\n'))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(data, '\n'))
+}

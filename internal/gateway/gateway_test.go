@@ -1,0 +1,533 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// noSleep removes inter-attempt waits so retry ladders run instantly.
+func noSleep(context.Context, time.Duration) {}
+
+// testGateway builds a gateway over the given replica URLs with
+// test-friendly timeouts (real clock — lint skips _test.go files).
+func testGateway(t *testing.T, replicas []string, mut func(*Config)) *Gateway {
+	t.Helper()
+	cfg := Config{
+		Replicas:       replicas,
+		AttemptTimeout: 2 * time.Second,
+		ProbeTimeout:   time.Second,
+		Clock:          time.Now,
+		Sleep:          noSleep,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gw
+}
+
+// keyHomedOn finds a client key whose ring home is the given replica.
+func keyHomedOn(t *testing.T, r *Ring, rep string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("client-%d", i)
+		if r.Candidates(k)[0] == rep {
+			return k
+		}
+	}
+	t.Fatalf("no key homed on %s in 10000 tries", rep)
+	return ""
+}
+
+func postKey(t *testing.T, gw http.Handler, clientID, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/recommend", strings.NewReader(body))
+	req.Header.Set("X-Client-ID", clientID)
+	w := httptest.NewRecorder()
+	gw.ServeHTTP(w, req)
+	return w
+}
+
+func TestRingCandidatesCompleteAndDeterministic(t *testing.T) {
+	reps := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1 := NewRing(reps, 64)
+	// Order of the input list must not matter for placement.
+	r2 := NewRing([]string{reps[2], reps[0], reps[1]}, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		c1, c2 := r1.Candidates(key), r2.Candidates(key)
+		if len(c1) != len(reps) {
+			t.Fatalf("candidates incomplete: %v", c1)
+		}
+		seen := map[string]bool{}
+		for _, rep := range c1 {
+			if seen[rep] {
+				t.Fatalf("duplicate candidate for %s: %v", key, c1)
+			}
+			seen[rep] = true
+		}
+		for j := range c1 {
+			if c1[j] != c2[j] {
+				t.Fatalf("ring placement depends on input order: %v vs %v", c1, c2)
+			}
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	reps := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := NewRing(reps, DefaultVNodes)
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Candidates(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	mean := float64(keys) / float64(len(reps))
+	for rep, n := range counts {
+		ratio := float64(n) / mean
+		if ratio < 0.6 || ratio > 1.5 {
+			t.Errorf("%s owns %d keys (%.2fx mean): skew too large", rep, n, ratio)
+		}
+	}
+}
+
+// TestRingMinimalMotion: dropping one replica moves only the keys that
+// were homed on it — everyone else keeps their home (the property that
+// makes consistent hashing worth the trouble).
+func TestRingMinimalMotion(t *testing.T) {
+	full := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r3 := NewRing(full, 64)
+	r2 := NewRing(full[:2], 64)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		home := r3.Candidates(key)[0]
+		if home == full[2] {
+			continue // homeless keys may move anywhere
+		}
+		if got := r2.Candidates(key)[0]; got != home {
+			t.Fatalf("key %s moved from %s to %s though its home survived", key, home, got)
+		}
+	}
+}
+
+func TestProberLadder(t *testing.T) {
+	mkReplica := func(status int, body string, retryAfter string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			_, _ = w.Write([]byte(body))
+		}))
+	}
+	healthy := mkReplica(200, `{"status":"ok","replica":"r-ok"}`, "")
+	defer healthy.Close()
+	degraded := mkReplica(200, `{"status":"degraded","replica":"r-deg"}`, "")
+	defer degraded.Close()
+	draining := mkReplica(503, `{"status":"draining"}`, "7")
+	defer draining.Close()
+	broken := mkReplica(500, `oops`, "")
+	defer broken.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+
+	reps := []string{healthy.URL, degraded.URL, draining.URL, broken.URL, dead.URL}
+	now := time.Unix(1000, 0)
+	gw := testGateway(t, reps, func(c *Config) {
+		c.ProbeInterval = time.Second
+		c.Clock = func() time.Time { return now }
+	})
+	p := gw.Prober()
+	p.ProbeAll(context.Background())
+
+	want := map[string]ReplicaState{
+		healthy.URL:  StateHealthy,
+		degraded.URL: StateDegraded,
+		draining.URL: StateDraining,
+		broken.URL:   StateDown,
+		dead.URL:     StateDown,
+	}
+	for rep, st := range want {
+		if got := p.State(rep); got != st {
+			t.Errorf("%s: state %v, want %v", rep, got, st)
+		}
+	}
+	if !StateHealthy.Routable() || !StateDegraded.Routable() || !StateUnknown.Routable() {
+		t.Error("healthy/degraded/unknown must be routable")
+	}
+	if StateDraining.Routable() || StateDown.Routable() {
+		t.Error("draining/down must not be routable")
+	}
+	snap := p.Snapshot()
+	if snap[healthy.URL].ReplicaID != "r-ok" {
+		t.Errorf("replica id not captured: %+v", snap[healthy.URL])
+	}
+
+	// The draining replica's Retry-After (7s) outlasts the 1s probe
+	// interval: flip the backend healthy, advance the clock 2s, re-probe —
+	// the draining entry must NOT be re-probed yet while the others are.
+	if got := p.State(draining.URL); got != StateDraining {
+		t.Fatalf("draining state lost: %v", got)
+	}
+	now = now.Add(2 * time.Second)
+	p.ProbeAll(context.Background())
+	if got := p.State(draining.URL); got != StateDraining {
+		t.Errorf("probe ignored the draining replica's Retry-After backoff (state %v)", got)
+	}
+	// Past the hint, the probe runs again and sees whatever the replica
+	// now says.
+	now = now.Add(6 * time.Second)
+	p.ProbeAll(context.Background())
+	if got := p.State(draining.URL); got != StateDraining {
+		t.Errorf("state after re-probe: %v", got)
+	}
+}
+
+func TestProberPassiveSignals(t *testing.T) {
+	gw := testGateway(t, []string{"http://a:1", "http://b:2"}, nil)
+	p := gw.Prober()
+	p.MarkDown("http://a:1")
+	if got := p.State("http://a:1"); got != StateDown {
+		t.Fatalf("MarkDown: %v", got)
+	}
+	p.MarkUp("http://a:1")
+	if got := p.State("http://a:1"); got != StateHealthy {
+		t.Fatalf("MarkUp: %v", got)
+	}
+	// Draining came from the replica's own healthz; a data-path success
+	// must not override it.
+	p.mu.Lock()
+	p.st["http://b:2"].state = StateDraining
+	p.mu.Unlock()
+	p.MarkUp("http://b:2")
+	if got := p.State("http://b:2"); got != StateDraining {
+		t.Errorf("MarkUp lifted draining: %v", got)
+	}
+}
+
+// TestRerouteAroundDeadReplica: the client's home replica is down; the
+// request lands on the next ring candidate and still answers 200.
+func TestRerouteAroundDeadReplica(t *testing.T) {
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Replica-ID", "alive")
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"templates":["ok"]}`))
+	}))
+	defer alive.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+
+	gw := testGateway(t, []string{alive.URL, dead.URL}, nil)
+	key := keyHomedOn(t, gw.Ring(), dead.URL)
+
+	w := postKey(t, gw, key, `{"sql":"SELECT 1"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Replica-ID"); got != "alive" {
+		t.Errorf("answered by %q, want the alive replica", got)
+	}
+	st := gw.Stats()
+	if st.Retried == 0 {
+		t.Errorf("dead home replica should cost a retry: %+v", st)
+	}
+	// The transport error marked the dead replica down; the next request
+	// for the same key goes straight to the healthy one (rerouted, no
+	// retry burn).
+	before := gw.Stats().Retried
+	w2 := postKey(t, gw, key, `{"sql":"SELECT 2"}`)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("second request: %d", w2.Code)
+	}
+	if gw.Stats().Retried != before {
+		t.Errorf("second request retried despite the down mark")
+	}
+	if gw.Stats().Rerouted == 0 {
+		t.Errorf("reroute counter never moved: %+v", gw.Stats())
+	}
+}
+
+// TestRetryOn5xxThenSuccess: a replica answering 503 is retried on the
+// next candidate; a 429 is final and passes through with its headers.
+func TestRetryOn5xxThenSuccess(t *testing.T) {
+	var unavailableHits atomic.Int64
+	unavailable := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		unavailableHits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"drowning"}`))
+	}))
+	defer unavailable.Close()
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"templates":["ok"]}`))
+	}))
+	defer ok.Close()
+
+	gw := testGateway(t, []string{unavailable.URL, ok.URL}, nil)
+	key := keyHomedOn(t, gw.Ring(), unavailable.URL)
+	w := postKey(t, gw, key, `{"sql":"SELECT 1"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if unavailableHits.Load() != 1 {
+		t.Errorf("unavailable replica hit %d times", unavailableHits.Load())
+	}
+}
+
+func Test429PassesThroughWithoutRetry(t *testing.T) {
+	var hits atomic.Int64
+	limited := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"rate limit exceeded"}`))
+	}))
+	defer limited.Close()
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"templates":["ok"]}`))
+	}))
+	defer other.Close()
+
+	gw := testGateway(t, []string{limited.URL, other.URL}, nil)
+	key := keyHomedOn(t, gw.Ring(), limited.URL)
+	w := postKey(t, gw, key, `{"sql":"SELECT 1"}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After not relayed: %q", got)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("429 was retried (%d hits)", hits.Load())
+	}
+	if gw.Stats().Retried != 0 {
+		t.Errorf("429 burned a retry: %+v", gw.Stats())
+	}
+}
+
+// TestAllReplicasDown: every candidate unreachable — the gateway answers
+// a terminal 503 with a Retry-After hint.
+func TestAllReplicasDown(t *testing.T) {
+	d1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	d1.Close()
+	d2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	d2.Close()
+
+	gw := testGateway(t, []string{d1.URL, d2.URL}, nil)
+	w := postKey(t, gw, "anyone", `{"sql":"SELECT 1"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("exhausted 503 missing Retry-After")
+	}
+	var e errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Errorf("error envelope: %q (%v)", w.Body.String(), err)
+	}
+	if gw.Stats().Exhausted == 0 {
+		t.Errorf("exhausted counter never moved")
+	}
+}
+
+// TestUnanimous503Relayed: when every replica answers 503 (e.g. all
+// draining), the gateway relays the replicas' own response instead of
+// masking it with the generic no-replica error.
+func TestUnanimous503Relayed(t *testing.T) {
+	mk := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "5")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"draining"}`))
+		}))
+	}
+	r1, r2 := mk(), mk()
+	defer r1.Close()
+	defer r2.Close()
+	gw := testGateway(t, []string{r1.URL, r2.URL}, nil)
+	w := postKey(t, gw, "anyone", `{"sql":"SELECT 1"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "draining") {
+		t.Errorf("replica body not relayed: %s", w.Body.String())
+	}
+	if got := w.Header().Get("Retry-After"); got != "5" {
+		t.Errorf("replica Retry-After not relayed: %q", got)
+	}
+}
+
+// TestSingleflightCollapse: concurrent identical requests share one
+// upstream call; followers carry the X-QRec-Collapsed marker.
+func TestSingleflightCollapse(t *testing.T) {
+	var hits atomic.Int64
+	gate := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		<-gate
+		_, _ = w.Write([]byte(`{"templates":["ok"]}`))
+	}))
+	defer slow.Close()
+
+	gw := testGateway(t, []string{slow.URL}, nil)
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	collapsed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := postKey(t, gw, "same-client", `{"sql":"SELECT 1"}`)
+			codes[i] = w.Code
+			collapsed[i] = w.Header().Get("X-QRec-Collapsed") == "1"
+		}(i)
+	}
+	// Wait until the leader reaches the replica, then release everyone.
+	for hits.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let followers enqueue on the flight
+	close(gate)
+	wg.Wait()
+
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("request %d: status %d", i, c)
+		}
+	}
+	if hits.Load() != 1 {
+		t.Errorf("upstream hit %d times, want 1", hits.Load())
+	}
+	nCollapsed := 0
+	for _, c := range collapsed {
+		if c {
+			nCollapsed++
+		}
+	}
+	if nCollapsed != n-1 {
+		t.Errorf("%d collapsed followers, want %d", nCollapsed, n-1)
+	}
+	if gw.Stats().Collapsed != uint64(n-1) {
+		t.Errorf("collapsed counter: %+v", gw.Stats())
+	}
+}
+
+// TestNoCollapseAcrossClients: different clients never share a flight,
+// so collapsing cannot launder one client's traffic through another's
+// rate budget.
+func TestNoCollapseAcrossClients(t *testing.T) {
+	var hits atomic.Int64
+	gate := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		<-gate
+		_, _ = w.Write([]byte(`{"templates":["ok"]}`))
+	}))
+	defer slow.Close()
+
+	gw := testGateway(t, []string{slow.URL}, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			postKey(t, gw, fmt.Sprintf("client-%d", i), `{"sql":"SELECT 1"}`)
+		}(i)
+	}
+	for hits.Load() < 2 { // both clients must reach upstream
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if hits.Load() != 2 {
+		t.Errorf("cross-client requests collapsed: %d upstream hits", hits.Load())
+	}
+}
+
+func TestGatewayHealthz(t *testing.T) {
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"status":"ok","replica":"r1"}`))
+	}))
+	defer ok.Close()
+	gw := testGateway(t, []string{ok.URL}, func(c *Config) { c.Clock = time.Now })
+	gw.Prober().ProbeAll(context.Background())
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	w := httptest.NewRecorder()
+	gw.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", w.Code)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["tier"] != "gateway" {
+		t.Errorf("healthz: %v", h)
+	}
+
+	gw.StartDraining()
+	w2 := httptest.NewRecorder()
+	gw.ServeHTTP(w2, req)
+	if w2.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d", w2.Code)
+	}
+	if w2.Header().Get("Retry-After") == "" {
+		t.Error("draining healthz missing Retry-After")
+	}
+}
+
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	mk := func() *Gateway {
+		return testGateway(t, []string{"http://a:1"}, func(c *Config) {
+			c.Seed = 42
+			c.BackoffBase = 10 * time.Millisecond
+		})
+	}
+	g1, g2 := mk(), mk()
+	for i := 1; i < 8; i++ {
+		d1, d2 := g1.backoff(i), g2.backoff(i)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: %v vs %v under equal seeds", i, d1, d2)
+		}
+		base := g1.cfg.BackoffBase << (i - 1)
+		if base > maxBackoff {
+			base = maxBackoff
+		}
+		if d1 < base || d1 >= base+base/2+time.Nanosecond {
+			t.Errorf("attempt %d backoff %v outside [%v, %v)", i, d1, base, base+base/2)
+		}
+	}
+}
+
+func TestMethodAndBodyLimits(t *testing.T) {
+	gw := testGateway(t, []string{"http://a:1"}, func(c *Config) { c.MaxBodyBytes = 64 })
+	req := httptest.NewRequest(http.MethodGet, "/v1/recommend", nil)
+	w := httptest.NewRecorder()
+	gw.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %d", w.Code)
+	}
+	big := strings.Repeat("x", 200)
+	w2 := postKey(t, gw, "c", `{"sql":"`+big+`"}`)
+	if w2.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: %d", w2.Code)
+	}
+}
+
+func TestNewRejectsEmptyReplicas(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty replica set")
+	}
+}

@@ -1,0 +1,238 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ReplicaState is one rung of the gateway's health ladder, mirroring the
+// replica's /v1/healthz contract (see internal/server): healthy and
+// degraded replicas are routable (a degraded replica still answers,
+// just from its fallback), draining and down replicas are rerouted
+// around, and unknown (not yet probed) replicas are routed optimistically
+// so a cold-started gateway does not 503 while the first probe is due.
+type ReplicaState int
+
+// Health-ladder states.
+const (
+	StateUnknown ReplicaState = iota
+	StateHealthy
+	StateDegraded
+	StateDraining
+	StateDown
+)
+
+// String names the state for telemetry.
+func (s ReplicaState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Routable reports whether the routing ladder may send traffic here
+// first-pass. Non-routable replicas are still tried as a last resort
+// when every candidate is bad (fail open beats fail closed for a
+// read-only API).
+func (s ReplicaState) Routable() bool {
+	return s == StateUnknown || s == StateHealthy || s == StateDegraded
+}
+
+// replicaHealth is the prober's per-replica record.
+type replicaHealth struct {
+	state     ReplicaState
+	replicaID string    // from healthz "replica", when the replica sets one
+	nextProbe time.Time // probes before this instant are skipped
+	lastErr   string    // last probe failure, for telemetry
+}
+
+// Prober tracks replica health by polling /v1/healthz and by passive
+// signals from the proxy path (transport errors mark a replica down
+// immediately; a successful response lifts it back). It never reads the
+// system clock — the composition root injects one — so probe schedules
+// are replayable in tests.
+type Prober struct {
+	client   *http.Client
+	interval time.Duration
+	clock    func() time.Time
+
+	mu sync.Mutex
+	st map[string]*replicaHealth
+}
+
+// newProber builds the tracker for a fixed replica set.
+func newProber(replicas []string, client *http.Client, interval time.Duration, clock func() time.Time) *Prober {
+	p := &Prober{
+		client:   client,
+		interval: interval,
+		clock:    clock,
+		st:       make(map[string]*replicaHealth, len(replicas)),
+	}
+	for _, r := range replicas {
+		p.st[r] = &replicaHealth{}
+	}
+	return p
+}
+
+// healthzBody is the slice of the replica healthz JSON the prober reads.
+type healthzBody struct {
+	Status  string `json:"status"`
+	Replica string `json:"replica"`
+}
+
+// ProbeAll probes every replica whose backoff window has elapsed. A
+// draining replica's Retry-After pushes its next probe out, so the
+// gateway backs off instead of tight-looping a process that asked to be
+// left alone.
+func (p *Prober) ProbeAll(ctx context.Context) {
+	now := p.clock()
+	for _, rep := range p.due(now) {
+		p.probeOne(ctx, rep, now)
+	}
+}
+
+// due snapshots the replicas whose nextProbe has passed, in sorted map
+// order (the caller iterates outside the lock).
+func (p *Prober) due(now time.Time) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for rep, h := range p.st {
+		if !h.nextProbe.After(now) {
+			out = append(out, rep)
+		}
+	}
+	// Probe order is observable through replica logs; keep it stable.
+	sort.Strings(out)
+	return out
+}
+
+// probeOne performs one health check against rep's /v1/healthz.
+func (p *Prober) probeOne(ctx context.Context, rep string, now time.Time) {
+	state, id, retryAfter, errMsg := p.fetch(ctx, rep)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.st[rep]
+	if !ok {
+		return
+	}
+	h.state = state
+	h.lastErr = errMsg
+	if id != "" {
+		h.replicaID = id
+	}
+	backoff := p.interval
+	if retryAfter > backoff {
+		backoff = retryAfter
+	}
+	h.nextProbe = now.Add(backoff)
+}
+
+// fetch runs the HTTP probe and classifies the response onto the ladder.
+func (p *Prober) fetch(ctx context.Context, rep string) (state ReplicaState, id string, retryAfter time.Duration, errMsg string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep+"/v1/healthz", nil)
+	if err != nil {
+		return StateDown, "", 0, err.Error()
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return StateDown, "", 0, err.Error()
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+	if rerr != nil {
+		return StateDown, "", 0, rerr.Error()
+	}
+	var hb healthzBody
+	// A replica that answers non-JSON is still classified by status code.
+	_ = json.Unmarshal(body, &hb)
+	switch {
+	case resp.StatusCode == http.StatusOK && hb.Status == "degraded":
+		return StateDegraded, hb.Replica, 0, ""
+	case resp.StatusCode == http.StatusOK:
+		return StateHealthy, hb.Replica, 0, ""
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// Draining (or otherwise refusing traffic): honor its Retry-After.
+		return StateDraining, hb.Replica, parseRetryAfter(resp.Header.Get("Retry-After")), ""
+	default:
+		return StateDown, hb.Replica, 0, "healthz status " + strconv.Itoa(resp.StatusCode)
+	}
+}
+
+// parseRetryAfter reads the delta-seconds form of the header (the only
+// form our replicas emit); anything unparseable means no hint.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// State reports rep's current ladder rung.
+func (p *Prober) State(rep string) ReplicaState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h, ok := p.st[rep]; ok {
+		return h.state
+	}
+	return StateUnknown
+}
+
+// MarkDown records a passive failure signal (a transport error on the
+// proxy path): the replica is down right now, whatever the last probe
+// said. The next scheduled probe can revive it.
+func (p *Prober) MarkDown(rep string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h, ok := p.st[rep]; ok {
+		h.state = StateDown
+	}
+}
+
+// MarkUp records a passive success signal: the replica answered a
+// proxied request. Only Down/Unknown are lifted — a Draining state came
+// from the replica's own mouth and outranks a data-path success (it
+// keeps answering while draining, by design).
+func (p *Prober) MarkUp(rep string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h, ok := p.st[rep]; ok && (h.state == StateDown || h.state == StateUnknown) {
+		h.state = StateHealthy
+	}
+}
+
+// ReplicaStatus is one row of the gateway healthz replica table.
+type ReplicaStatus struct {
+	State     string `json:"state"`
+	ReplicaID string `json:"replica,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Snapshot returns the per-replica states keyed by replica URL.
+func (p *Prober) Snapshot() map[string]ReplicaStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]ReplicaStatus, len(p.st))
+	for rep, h := range p.st {
+		out[rep] = ReplicaStatus{State: h.state.String(), ReplicaID: h.replicaID, LastError: h.lastErr}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/modeldir"
+)
+
+// PushModelDir fans a trained model directory out to every replica: the
+// three checksummed artifact envelopes are read (and validated) once,
+// then POSTed to each replica's /v1/model/push, where they are
+// re-validated, persisted atomically, and hot-swapped into the serving
+// engine with zero dropped requests. The per-replica outcome map has a
+// nil error for each replica that swapped; push failures are isolated —
+// one unreachable replica does not stop the rest of the fleet from
+// updating (the health prober routes around stale replicas that later
+// die, and a re-push converges them).
+func (g *Gateway) PushModelDir(ctx context.Context, dir string) (map[string]error, error) {
+	files, err := modeldir.ReadRaw(dir)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(modeldir.PushPayload{Artifacts: files})
+	if err != nil {
+		return nil, fmt.Errorf("gateway: encode push: %w", err)
+	}
+	g.pushes.Add(1)
+	out := make(map[string]error, len(g.ring.Replicas()))
+	for _, rep := range g.ring.Replicas() {
+		out[rep] = pushOne(ctx, g.client, rep, payload)
+	}
+	return out, nil
+}
+
+// pushOne delivers one pre-encoded push payload to one replica.
+func pushOne(ctx context.Context, client *http.Client, rep string, payload []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep+"/v1/model/push", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("gateway: push %s: %w", rep, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("gateway: push %s: %w", rep, err)
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+	if rerr != nil {
+		return fmt.Errorf("gateway: push %s: %w", rep, rerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.Unmarshal(body, &e)
+		if e.Error == "" {
+			e.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		}
+		return fmt.Errorf("gateway: push %s: %s", rep, e.Error)
+	}
+	return nil
+}
+
+// FormatPushOutcome renders a per-replica push outcome map in stable
+// replica order for logs.
+func FormatPushOutcome(out map[string]error) string {
+	reps := make([]string, 0, len(out))
+	for rep := range out {
+		reps = append(reps, rep)
+	}
+	sort.Strings(reps)
+	var b bytes.Buffer
+	for _, rep := range reps {
+		if out[rep] == nil {
+			fmt.Fprintf(&b, "%s: swapped\n", rep)
+		} else {
+			fmt.Fprintf(&b, "%s: %v\n", rep, out[rep])
+		}
+	}
+	return b.String()
+}

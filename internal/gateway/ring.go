@@ -1,0 +1,117 @@
+// Package gateway is the horizontal-scale serving tier: a reverse proxy
+// that consistent-hash-routes clients across N qrec-serve replicas, with
+// health-ladder-aware rerouting (draining / open-breaker / unreachable
+// replicas are skipped to the next ring candidate), bounded retries with
+// per-attempt timeouts and jittered backoff, singleflight collapse of
+// concurrent identical requests, and a checksummed artifact-push fan-out
+// for zero-downtime model swaps.
+//
+// The package is in the qrec-lint deterministic set: it never reads the
+// system clock or the global math/rand source. The composition root
+// (cmd/qrec-gw) injects time.Now and a seed; backoff jitter draws from
+// checkpoint.NewRNG's splitmix64 stream, so a gateway's retry schedule
+// replays exactly under a fixed seed and clock.
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// owned by a replica.
+type ringPoint struct {
+	hash    uint64
+	replica int // index into Ring.replicas
+}
+
+// Ring is an immutable consistent-hash ring over a fixed replica set.
+// Each replica owns vnodes virtual points, smoothing the key space so
+// the load skew across replicas stays small; a key's candidate order is
+// the clockwise walk from its hash, which moves only the keys owned by a
+// failed replica when routing falls through to the next candidate.
+type Ring struct {
+	replicas []string
+	points   []ringPoint
+}
+
+// DefaultVNodes is the virtual-node count per replica. 64 keeps the
+// max/mean load ratio within a few percent for small replica sets.
+const DefaultVNodes = 64
+
+// NewRing builds the ring. The replica list is copied; order does not
+// matter (placement depends only on the replica strings and vnodes).
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		replicas: append([]string(nil), replicas...),
+		points:   make([]ringPoint, 0, len(replicas)*vnodes),
+	}
+	for i, rep := range r.replicas {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(rep + "#" + strconv.Itoa(v)), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on replica index so placement is deterministic even in
+		// the (astronomically unlikely) event of a vnode hash collision.
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// Replicas returns the replica set (shared slice; treat as immutable).
+func (r *Ring) Replicas() []string { return r.replicas }
+
+// Candidates returns every replica ordered by the clockwise ring walk
+// from key's hash: the first element is the key's home replica, the rest
+// are the failover order. The returned slice is freshly allocated.
+func (r *Ring) Candidates(key string) []string {
+	out := make([]string, 0, len(r.replicas))
+	if len(r.points) == 0 {
+		return out
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, len(r.replicas))
+	for i := 0; i < len(r.points) && len(out) < len(r.replicas); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, r.replicas[p.replica])
+		}
+	}
+	return out
+}
+
+// hash64 is FNV-1a over s, finalized through a splitmix64-style mixer —
+// stable across processes and Go versions, so a gateway restart (or a
+// second gateway) routes identically. Raw FNV-1a has weak avalanche on
+// the short, near-sequential strings this ring hashes ("rep#0", "rep#1",
+// client ids): without the finalizer, vnode positions correlate and the
+// max/mean key-ownership skew grows with the vnode count instead of
+// shrinking.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	// fnv's Write cannot fail; the explicit discard keeps the durio
+	// checked-write rule (which covers this package) honest.
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 output finalizer (Steele et al.): a fixed
+// bijective avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,68 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// flightResult is a materialized upstream response, shareable across the
+// collapsed callers of one flight. Body and headers are immutable once
+// the flight completes.
+type flightResult struct {
+	status  int
+	header  http.Header // copied subset: Content-Type, Retry-After, X-Replica-ID
+	body    []byte
+	replica string // replica URL that answered ("" when exhausted)
+}
+
+// flightCall is one in-progress upstream request.
+type flightCall struct {
+	done chan struct{}
+	res  *flightResult
+}
+
+// flightGroup collapses concurrent identical requests into one upstream
+// call — the gateway-side analogue of the replica's inference cache, but
+// for in-flight misses: when a hot query storms the gateway, one replica
+// computes it and every concurrent duplicate shares the answer. Keys
+// include the client identity, so collapsing never lets one client's
+// duplicates ride another client's rate-limit budget.
+//
+// Unlike a cache, nothing is retained: the entry is dropped the moment
+// the flight completes, so answers are never stale beyond the lifetime
+// of the requests that shared them.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// Do executes fn once per key among concurrent callers. The leader runs
+// fn; followers block until the leader finishes (or their ctx dies) and
+// share the result. shared reports whether this caller was a follower;
+// a nil result means ctx was cancelled while waiting.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() *flightResult) (res *flightResult, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, true
+		case <-ctx.Done():
+			return nil, true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false
+}

@@ -125,10 +125,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 // Module-relative import paths of the packages whose numerics must be a
 // pure function of (seed, inputs): the tensor/autograd compute core, the
 // model and training stack, the checkpoint envelope their resume proofs
-// depend on, and the overload controllers (clock and jitter are injected
-// so breaker/limiter behavior replays exactly in tests).
+// depend on, the overload controllers, and the gateway routing tier
+// (probe timers and backoff jitter are clock/RNG-injected so
+// breaker/limiter/retry behavior replays exactly in tests).
 func deterministicPackages(module string) []string {
-	names := []string{"tensor", "autograd", "nn", "seq2seq", "train", "decode", "classify", "checkpoint", "overload"}
+	names := []string{"tensor", "autograd", "nn", "seq2seq", "train", "decode", "classify", "checkpoint", "overload", "gateway"}
 	paths := make([]string, len(names))
 	for i, n := range names {
 		paths[i] = module + "/internal/" + n
@@ -136,9 +137,16 @@ func deterministicPackages(module string) []string {
 	return paths
 }
 
-// durablePackages hold the crash-safe write paths.
+// durablePackages hold the crash-safe write paths, plus the gateway: its
+// proxy loop closes upstream bodies and relays payloads, and a dropped
+// error there silently truncates a client response the way a torn write
+// silently truncates an artifact.
 func durablePackages(module string) []string {
-	return []string{module + "/internal/checkpoint", module + "/internal/modeldir"}
+	return []string{
+		module + "/internal/checkpoint",
+		module + "/internal/modeldir",
+		module + "/internal/gateway",
+	}
 }
 
 // DefaultAnalyzers returns the full suite wired for the given module path

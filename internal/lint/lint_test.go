@@ -140,6 +140,17 @@ func TestDurIOFixture(t *testing.T) {
 	}
 }
 
+// TestGatewayFixture runs the two rule sets that cover the real
+// internal/gateway package (detrand: injected clock/RNG; durio: checked
+// relay writes and body closes) over a gateway-shaped fixture.
+func TestGatewayFixture(t *testing.T) {
+	pkg := loadFixture(t, "gateway")
+	res := checkGolden(t, pkg, DetRand([]string{pkg.Path}), DurIO([]string{pkg.Path}))
+	if len(res.Diags) < 4 {
+		t.Fatalf("fixture must demonstrate >= 4 true positives (2 per rule), got %d", len(res.Diags))
+	}
+}
+
 // TestIgnoreSuppression proves //lint:ignore suppresses exactly one
 // diagnostic: the annotated float comparison is silenced and counted,
 // the identical un-annotated one is still reported.

@@ -1,0 +1,43 @@
+// Package gateway holds golden fixtures for the detrand and durio
+// analyzers as they apply to the real internal/gateway package (which is
+// in both rule sets): probe scheduling must use an injected clock, retry
+// jitter must draw from the seeded stream, and the proxy relay path must
+// check (or explicitly discard) Close/Write errors.
+package gateway
+
+import (
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// probeNext is the anti-pattern the injected clock exists to prevent: a
+// probe schedule read from the ambient wall clock cannot be replayed.
+func probeNext(interval time.Duration) time.Time {
+	return time.Now().Add(interval) // want `time\.Now in deterministic package`
+}
+
+// backoffAmbient draws retry jitter from the globally seeded source, so
+// two gateways with equal config produce different retry schedules.
+func backoffAmbient(d time.Duration) time.Duration {
+	wait := d + time.Duration(rand.Int63n(int64(d))) // want `rand\.Int63n draws from the global math/rand source`
+	return wait
+}
+
+// relayTorn forwards an upstream response while dropping both errors a
+// proxy must care about: the body close (leaks the upstream connection)
+// and the downstream write (silently truncates the client's response).
+func relayTorn(w http.ResponseWriter, resp *http.Response, body []byte) {
+	resp.Body.Close() // want `Close error is unchecked on a durable write path`
+	w.Write(body)     // want `Write error is unchecked on a durable write path`
+}
+
+// relayOK is the sanctioned shape: clock and jitter flow in from the
+// composition root, and every dropped error is an explicit `_ =` with
+// the call site taking responsibility.
+func relayOK(w http.ResponseWriter, resp *http.Response, body []byte,
+	now func() time.Time, jitter func(time.Duration) time.Duration) time.Time {
+	_ = resp.Body.Close()
+	_, _ = w.Write(body)
+	return now().Add(jitter(time.Second))
+}

@@ -17,6 +17,7 @@
 package modeldir
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -81,6 +82,115 @@ func Load(dir string, maxGenLen int) (*core.Recommender, error) {
 		return nil, err
 	}
 	return &core.Recommender{Vocab: vocab, Model: model, Classifier: cls, MaxGenLen: maxGenLen}, nil
+}
+
+// ArtifactFiles lists the artifact filenames in canonical order. The
+// multi-replica push protocol transfers exactly this set.
+func ArtifactFiles() []string { return []string{VocabFile, ModelFile, ClassifierFile} }
+
+// ReadRaw reads the three artifact envelopes verbatim (checksummed frame
+// included) — the sender side of the replica push protocol. Each envelope
+// is validated before it is returned so a locally corrupted model
+// directory is caught at the pusher, not fanned out to every replica.
+func ReadRaw(dir string) (map[string][]byte, error) {
+	files := make(map[string][]byte, 3)
+	for _, name := range ArtifactFiles() {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("modeldir: read %s: %w", name, err)
+		}
+		if _, err := checkpoint.Decode(data, ArtifactVersion); err != nil {
+			return nil, fmt.Errorf("modeldir: validate %s: %w", name, err)
+		}
+		files[name] = data
+	}
+	return files, nil
+}
+
+// DecodeArtifacts validates each received envelope and assembles a
+// Recommender entirely in memory — the receiver side of the push
+// protocol. Any missing file, truncation, bit flip or version mismatch
+// rejects the whole set (errors distinguishable via the checkpoint
+// sentinels), so a replica either gets a complete, checksum-verified
+// model or keeps the one it has. maxGenLen bounds decoding length (0
+// uses the default of 48).
+func DecodeArtifacts(files map[string][]byte, maxGenLen int) (*core.Recommender, error) {
+	if maxGenLen <= 0 {
+		maxGenLen = 48
+	}
+	payload := func(name string) (io.Reader, error) {
+		data, ok := files[name]
+		if !ok {
+			return nil, fmt.Errorf("modeldir: push missing artifact %s", name)
+		}
+		p, err := checkpoint.Decode(data, ArtifactVersion)
+		if err != nil {
+			return nil, fmt.Errorf("modeldir: push artifact %s: %w", name, err)
+		}
+		return bytes.NewReader(p), nil
+	}
+	r, err := payload(VocabFile)
+	if err != nil {
+		return nil, err
+	}
+	vocab, err := tokenizer.LoadVocab(r)
+	if err != nil {
+		return nil, fmt.Errorf("modeldir: push artifact %s: %w", VocabFile, err)
+	}
+	if r, err = payload(ModelFile); err != nil {
+		return nil, err
+	}
+	model, err := seq2seq.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("modeldir: push artifact %s: %w", ModelFile, err)
+	}
+	if r, err = payload(ClassifierFile); err != nil {
+		return nil, err
+	}
+	cls, err := classify.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("modeldir: push artifact %s: %w", ClassifierFile, err)
+	}
+	return &core.Recommender{Vocab: vocab, Model: model, Classifier: cls, MaxGenLen: maxGenLen}, nil
+}
+
+// InstallRaw persists received artifact envelopes into dir with the same
+// crash-safe semantics as Save: every envelope is checksum-validated
+// before any file is touched, then each is written through the atomic
+// temp-fsync-rename path. A corrupt set changes nothing on disk; a crash
+// mid-install leaves each artifact either old or new, never torn.
+// Callers that need all-or-nothing memory-state semantics decode first
+// (DecodeArtifacts) and swap only after InstallRaw succeeds.
+func InstallRaw(dir string, files map[string][]byte) error {
+	for _, name := range ArtifactFiles() {
+		data, ok := files[name]
+		if !ok {
+			return fmt.Errorf("modeldir: push missing artifact %s", name)
+		}
+		if _, err := checkpoint.Decode(data, ArtifactVersion); err != nil {
+			return fmt.Errorf("modeldir: push artifact %s: %w", name, err)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("modeldir: %w", err)
+	}
+	if _, err := checkpoint.RemoveStaleTemps(dir); err != nil {
+		return fmt.Errorf("modeldir: %w", err)
+	}
+	for _, name := range ArtifactFiles() {
+		if err := checkpoint.WriteAtomicEnvelope(filepath.Join(dir, name), files[name]); err != nil {
+			return fmt.Errorf("modeldir: install %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// PushPayload is the wire shape of the replica artifact-push protocol
+// (POST /v1/model/push): the raw checksummed envelopes keyed by artifact
+// filename. encoding/json base64s the byte slices, so the frame survives
+// JSON transport bit-exactly.
+type PushPayload struct {
+	Artifacts map[string][]byte `json:"artifacts"`
 }
 
 func writeFile(path string, save func(io.Writer) error) error {

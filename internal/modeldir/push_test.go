@@ -1,0 +1,198 @@
+package modeldir
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/seq2seq"
+)
+
+// rawFiles saves a tiny recommender and reads its envelopes back — the
+// sender half of the push protocol.
+func rawFiles(t *testing.T) map[string][]byte {
+	t.Helper()
+	files, err := ReadRaw(savedDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestReadRawValidates: the pusher catches a locally corrupted model
+// directory before fanning it out.
+func TestReadRawValidates(t *testing.T) {
+	dir := savedDir(t)
+	corruptFile(t, filepath.Join(dir, ModelFile), func(b []byte) []byte {
+		b[len(b)-3] ^= 0x80
+		return b
+	})
+	if _, err := ReadRaw(dir); !errors.Is(err, checkpoint.ErrChecksum) {
+		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+}
+
+// TestDecodeArtifactsRoundTrip: a pushed set reassembles the exact model
+// entirely in memory.
+func TestDecodeArtifactsRoundTrip(t *testing.T) {
+	rec := tinyRecommender(t)
+	dir := t.TempDir()
+	if err := Save(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+	files, err := ReadRaw(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifacts(files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxGenLen != 48 {
+		t.Errorf("default maxGenLen: %d", back.MaxGenLen)
+	}
+	want, err := seq2seq.ParamMap(rec.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := seq2seq.ParamMap(back.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		g := got[name]
+		if g == nil {
+			t.Fatalf("param %s lost over the wire", name)
+		}
+		for i := range w.Data {
+			if g.Data[i] != w.Data[i] {
+				t.Fatalf("param %s[%d] diverges over the wire", name, i)
+			}
+		}
+	}
+}
+
+// TestDecodeArtifactsCorruption drives the receiver through the wire
+// fault matrix per artifact: truncation, bit flip, missing file, wrong
+// version. Every case must reject with the precise typed cause — a
+// replica never assembles a model from a damaged push.
+func TestDecodeArtifactsCorruption(t *testing.T) {
+	for _, name := range ArtifactFiles() {
+		t.Run(name, func(t *testing.T) {
+			t.Run("truncated", func(t *testing.T) {
+				files := rawFiles(t)
+				files[name] = files[name][:len(files[name])/2]
+				if _, err := DecodeArtifacts(files, 0); !errors.Is(err, checkpoint.ErrTruncated) {
+					t.Fatalf("want ErrTruncated, got %v", err)
+				}
+			})
+			t.Run("bit-flip", func(t *testing.T) {
+				files := rawFiles(t)
+				flipped := append([]byte(nil), files[name]...)
+				flipped[len(flipped)-8] ^= 0x20
+				files[name] = flipped
+				if _, err := DecodeArtifacts(files, 0); !errors.Is(err, checkpoint.ErrChecksum) {
+					t.Fatalf("want ErrChecksum, got %v", err)
+				}
+			})
+			t.Run("missing", func(t *testing.T) {
+				files := rawFiles(t)
+				delete(files, name)
+				if _, err := DecodeArtifacts(files, 0); err == nil {
+					t.Fatal("incomplete artifact set accepted")
+				}
+			})
+			t.Run("wrong-version", func(t *testing.T) {
+				files := rawFiles(t)
+				inner, err := checkpoint.Decode(files[name], ArtifactVersion)
+				if err != nil {
+					t.Fatal(err)
+				}
+				files[name] = checkpoint.Encode(ArtifactVersion+3, inner)
+				var ve *checkpoint.VersionError
+				if _, err := DecodeArtifacts(files, 0); !errors.As(err, &ve) {
+					t.Fatalf("want VersionError, got %v", err)
+				}
+			})
+		})
+	}
+}
+
+// TestInstallRawAtomic: a push set with one damaged envelope must change
+// nothing on disk — the previously installed model keeps loading
+// byte-identically.
+func TestInstallRawAtomic(t *testing.T) {
+	dir := savedDir(t)
+	before := map[string][]byte{}
+	for _, name := range ArtifactFiles() {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[name] = data
+	}
+
+	// A fresh set with the classifier envelope bit-flipped in transit.
+	files := rawFiles(t)
+	flipped := append([]byte(nil), files[ClassifierFile]...)
+	flipped[len(flipped)/2] ^= 0x01
+	files[ClassifierFile] = flipped
+
+	if err := InstallRaw(dir, files); !errors.Is(err, checkpoint.ErrChecksum) {
+		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+	for _, name := range ArtifactFiles() {
+		after, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(after) != string(before[name]) {
+			t.Fatalf("%s changed on disk despite rejected push", name)
+		}
+	}
+	if _, err := Load(dir, 0); err != nil {
+		t.Fatalf("old model no longer loads after rejected push: %v", err)
+	}
+}
+
+// TestInstallRawMissingArtifact: an incomplete set is rejected before
+// any file is written.
+func TestInstallRawMissingArtifact(t *testing.T) {
+	files := rawFiles(t)
+	delete(files, VocabFile)
+	dir := t.TempDir()
+	if err := InstallRaw(dir, files); err == nil {
+		t.Fatal("incomplete set installed")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("partial install left %d files", len(entries))
+	}
+}
+
+// TestInstallRawRoundTrip: a valid push persists a loadable model
+// identical to the source directory.
+func TestInstallRawRoundTrip(t *testing.T) {
+	files := rawFiles(t)
+	dir := t.TempDir()
+	if err := InstallRaw(dir, files); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 0); err != nil {
+		t.Fatalf("installed model does not load: %v", err)
+	}
+	for _, name := range ArtifactFiles() {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(files[name]) {
+			t.Fatalf("%s not byte-identical after install", name)
+		}
+	}
+}

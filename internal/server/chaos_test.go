@@ -225,7 +225,7 @@ func TestChaosSaturation(t *testing.T) {
 			t.Fatalf("degraded bodies differ:\n%q\nvs\n%q (index %d)", degradedBodies[0], b, i+1)
 		}
 	}
-	ov := srv.eng.OverloadStats()
+	ov := srv.engine().OverloadStats()
 	if ov.Degraded == 0 {
 		t.Errorf("overload stats recorded no degraded answers: %+v", ov)
 	}
@@ -251,7 +251,7 @@ func TestChaosNoFallback(t *testing.T) {
 	}()
 	// Wait until the slot is held.
 	deadline := time.Now().Add(2 * time.Second)
-	for srv.eng.OverloadStats().Admission.InFlight < 1 {
+	for srv.engine().OverloadStats().Admission.InFlight < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("first request never admitted")
 		}

@@ -32,6 +32,18 @@ func Serve(ctx context.Context, ln net.Listener, srv *Server, drain time.Duratio
 	return serveHandler(ctx, ln, srv, srv.StartDraining, srv.Close, drain)
 }
 
+// RunHandler is Run for an arbitrary handler — the gateway binary reuses
+// the same listen/drain/shutdown lifecycle around its own http.Handler.
+// drainFn (optional) runs right before Shutdown so health endpoints can
+// advertise "draining"; closeFn (optional) runs after Shutdown returns.
+func RunHandler(ctx context.Context, addr string, h http.Handler, drainFn, closeFn func(), drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveHandler(ctx, ln, h, drainFn, closeFn, drain)
+}
+
 // serveHandler implements graceful serving for any handler, separated
 // from Server so the drain semantics are testable in isolation. drainFn
 // (optional) runs right before Shutdown so health checks can advertise

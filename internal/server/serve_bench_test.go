@@ -59,7 +59,7 @@ func BenchmarkServeSaturated(b *testing.B) {
 		}
 	})
 	b.StopTimer()
-	ov := srv.eng.OverloadStats()
+	ov := srv.engine().OverloadStats()
 	sheds := ov.Admission.ShedLoad + ov.Admission.ShedQueue
 	b.ReportMetric(float64(sheds)/float64(b.N), "sheds/op")
 	b.ReportMetric(float64(ov.Degraded)/float64(b.N), "degraded/op")

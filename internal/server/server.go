@@ -26,10 +26,12 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/modeldir"
 	"repro/internal/overload"
 	"repro/internal/reccache"
 	"repro/internal/servepool"
@@ -137,6 +139,30 @@ type Config struct {
 	// Now injects the wall clock for the limiter and breaker. nil means
 	// time.Now.
 	Now func() time.Time
+
+	// ReplicaID names this serving process in a multi-replica topology.
+	// When set it is echoed on every response as the X-Replica-ID header
+	// and reported on /v1/healthz, so the gateway's chaos tests and
+	// operators can attribute responses to replicas.
+	ReplicaID string
+	// EnablePush exposes POST /v1/model/push: the replica accepts a set
+	// of checksummed artifact envelopes, validates them, optionally
+	// persists them (ModelDir), and hot-swaps the serving engine with
+	// zero dropped requests. Off by default — the endpoint rebuilds the
+	// model, so only private/admin networks should reach it.
+	EnablePush bool
+	// ModelDir, when set with EnablePush, persists accepted pushes into
+	// this directory through the atomic envelope writer before swapping,
+	// so a restart comes back up on the pushed model.
+	ModelDir string
+	// MaxPushBytes bounds the push request body. 0 means
+	// DefaultMaxPushBytes.
+	MaxPushBytes int64
+	// FallbackFactory, when set, re-derives the degraded-mode snapshot
+	// from the new recommender after a hot swap (the static Fallback
+	// field keeps serving until then). qrec-serve wires
+	// servepool.FallbackFromRecommender here.
+	FallbackFactory func(*core.Recommender) *servepool.Fallback
 }
 
 // Serving defaults.
@@ -147,6 +173,13 @@ const (
 	DefaultMaxBatch     = 64
 	// DefaultRetryAfter is the backoff hint attached to admission sheds.
 	DefaultRetryAfter = time.Second
+	// DefaultMaxPushBytes bounds /v1/model/push bodies: model artifacts
+	// are much larger than recommend requests (64 MiB default).
+	DefaultMaxPushBytes = 64 << 20
+	// DefaultDrainRetryAfter is the probe-backoff hint a draining
+	// replica's 503 healthz carries, so gateways and load balancers stop
+	// tight-looping probes against a process that is going away.
+	DefaultDrainRetryAfter = 2 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -165,21 +198,58 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.MaxPushBytes == 0 {
+		c.MaxPushBytes = DefaultMaxPushBytes
+	}
 	return c
+}
+
+// engineHandle is a refcounted engine generation. Requests acquire a
+// reference for their lifetime; a hot swap drops the owner reference and
+// the engine closes only when the last in-flight request releases —
+// never under one. The refcount starts at 1 (the Server's owner ref).
+type engineHandle struct {
+	eng       *servepool.Engine
+	refs      atomic.Int64
+	closeOnce sync.Once
+}
+
+func newEngineHandle(eng *servepool.Engine) *engineHandle {
+	h := &engineHandle{eng: eng}
+	h.refs.Store(1)
+	return h
+}
+
+// release drops one reference, closing the engine when the last holder
+// (request or owner) lets go. The sync.Once guards the close against the
+// acquire-recheck race: a reader that bumps a just-retired handle back
+// above zero and then releases it would otherwise close twice.
+func (h *engineHandle) release() {
+	if h.refs.Add(-1) == 0 {
+		h.closeOnce.Do(h.eng.Close)
+	}
 }
 
 // Server wires a Recommender into an http.Handler. A panic in any
 // handler is recovered by ServeHTTP: the request gets a JSON 500, a
 // counter exposed on /v1/healthz is incremented, and the process keeps
 // serving.
+//
+// The engine behind the handler is swappable at runtime
+// (SwapRecommender / POST /v1/model/push): the current generation is
+// held through a refcounted handle, so during a model hot swap the old
+// engine keeps answering its in-flight requests while new requests land
+// on the new engine — zero requests dropped.
 type Server struct {
-	eng         *servepool.Engine
+	cur         atomic.Pointer[engineHandle]
 	cfg         Config
 	mux         *http.ServeMux
 	limiter     *overload.Limiter
 	panics      atomic.Int64
 	rateLimited atomic.Uint64
 	draining    atomic.Bool
+	swaps       atomic.Uint64
+	closeOnce   sync.Once
 }
 
 // New builds the handler around a trained recommender with default serving
@@ -194,6 +264,36 @@ const breakerSeed = 0x9e3779b97f4a7c15 & (1<<63 - 1)
 // NewWithConfig builds the handler with explicit serving config.
 func NewWithConfig(rec *core.Recommender, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var lim *overload.Limiter
+	if cfg.Rate > 0 {
+		lim = overload.NewLimiter(overload.LimiterConfig{
+			Rate:  cfg.Rate,
+			Burst: cfg.Burst,
+			Clock: cfg.Now,
+		})
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		limiter: lim,
+	}
+	s.cur.Store(newEngineHandle(s.buildEngine(rec, cfg.Fallback)))
+	s.mux.HandleFunc("/v1/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/v1/recommend/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
+	if cfg.EnablePush {
+		s.mux.HandleFunc("/v1/model/push", s.handlePush)
+	}
+	return s
+}
+
+// buildEngine constructs one engine generation: its own worker pool,
+// inference cache (stale entries from the previous model must not leak
+// across a swap), admission controller and breaker. The rate limiter is
+// server-level and survives swaps — client budgets are not reset by a
+// model update.
+func (s *Server) buildEngine(rec *core.Recommender, fb *servepool.Fallback) *servepool.Engine {
+	cfg := s.cfg
 	var adm *overload.Admission
 	if cfg.MaxInFlight > 0 {
 		adm = overload.NewAdmission(overload.AdmissionConfig{
@@ -209,33 +309,58 @@ func NewWithConfig(rec *core.Recommender, cfg Config) *Server {
 			Seed:         breakerSeed,
 		})
 	}
-	var lim *overload.Limiter
-	if cfg.Rate > 0 {
-		lim = overload.NewLimiter(overload.LimiterConfig{
-			Rate:  cfg.Rate,
-			Burst: cfg.Burst,
-			Clock: cfg.Now,
-		})
-	}
-	s := &Server{
-		eng: servepool.NewEngineWithOptions(rec, reccache.New(cfg.CacheSize), servepool.EngineOptions{
-			Workers:     cfg.Workers,
-			Queue:       cfg.MaxQueue,
-			Predictor:   cfg.Predictor,
-			Admission:   adm,
-			Breaker:     brk,
-			Fallback:    cfg.Fallback,
-			SoftTimeout: cfg.SoftTimeout,
-		}),
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		limiter: lim,
-	}
-	s.mux.HandleFunc("/v1/recommend", s.handleRecommend)
-	s.mux.HandleFunc("/v1/recommend/batch", s.handleBatch)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
-	return s
+	return servepool.NewEngineWithOptions(rec, reccache.New(cfg.CacheSize), servepool.EngineOptions{
+		Workers:     cfg.Workers,
+		Queue:       cfg.MaxQueue,
+		Predictor:   cfg.Predictor,
+		Admission:   adm,
+		Breaker:     brk,
+		Fallback:    fb,
+		SoftTimeout: cfg.SoftTimeout,
+	})
 }
+
+// acquire pins the current engine generation for one request. The
+// recheck loop closes the window where a swap retires the loaded handle
+// between Load and Add: a reference taken on a retired handle is dropped
+// and the read retries on the new generation, so a request never runs on
+// an engine that may close under it.
+func (s *Server) acquire() *engineHandle {
+	for {
+		h := s.cur.Load()
+		h.refs.Add(1)
+		if s.cur.Load() == h {
+			return h
+		}
+		h.release()
+	}
+}
+
+// engine peeks at the current generation without pinning it — for
+// telemetry reads (healthz, stats, tests), which tolerate racing a swap.
+func (s *Server) engine() *servepool.Engine { return s.cur.Load().eng }
+
+// SwapRecommender hot-swaps the serving model: a new engine generation
+// (fresh pool, cache, admission, breaker) starts answering new requests
+// immediately, while the old generation finishes its in-flight requests
+// and closes when the last one releases. Zero requests are dropped. The
+// degraded-mode snapshot is re-derived via Config.FallbackFactory when
+// set, else the static Config.Fallback keeps serving.
+func (s *Server) SwapRecommender(rec *core.Recommender) {
+	fb := s.cfg.Fallback
+	if s.cfg.FallbackFactory != nil {
+		fb = s.cfg.FallbackFactory(rec)
+	}
+	nh := newEngineHandle(s.buildEngine(rec, fb))
+	old := s.cur.Swap(nh)
+	s.swaps.Add(1)
+	// Drop the owner reference; the old engine closes as soon as its last
+	// in-flight request finishes (immediately when idle).
+	old.release()
+}
+
+// Swaps reports how many model hot swaps the server has performed.
+func (s *Server) Swaps() uint64 { return s.swaps.Load() }
 
 // StartDraining flips /v1/healthz to "draining" (503) so load balancers
 // stop routing here while in-flight requests finish. Recommend endpoints
@@ -306,18 +431,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// no-op body append, but the connection still dies cleanly.
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
 	}()
+	if s.cfg.ReplicaID != "" {
+		w.Header().Set("X-Replica-ID", s.cfg.ReplicaID)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
 // Panics reports how many handler panics have been recovered.
 func (s *Server) Panics() int64 { return s.panics.Load() }
 
-// Close drains the worker pool. The server must not be used afterwards.
-func (s *Server) Close() { s.eng.Close() }
+// Close drains the worker pool of the current engine generation. The
+// server must not be used afterwards.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { s.cur.Load().release() })
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	rec := s.eng.Rec()
-	ov := s.eng.OverloadStats()
+	eng := s.engine()
+	rec := eng.Rec()
+	ov := eng.OverloadStats()
 	// Health ladder: draining (503, stop routing here) beats degraded
 	// (200, still answering but the model path is broken) beats ok.
 	status, code := "ok", http.StatusOK
@@ -326,20 +458,77 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
+		// Tell probers (the gateway health ladder, load balancers) when to
+		// look again, instead of letting them tight-loop a dying process.
+		setRetryAfter(w, DefaultDrainRetryAfter)
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":  status,
 		"vocab":   rec.Vocab.Size(),
 		"classes": len(rec.Classifier.Classes),
 		"arch":    string(rec.Model.Config().Arch),
-		"cache":   s.eng.CacheStats(),
-		"pool":    s.eng.PoolStats(),
+		"cache":   eng.CacheStats(),
+		"pool":    eng.PoolStats(),
 		"panics":  s.panics.Load(),
+		"swaps":   s.swaps.Load(),
 		"overload": map[string]any{
 			"engine":       ov,
 			"rate":         s.limiter.Stats(),
 			"rate_limited": s.rateLimited.Load(),
 		},
+	}
+	if s.cfg.ReplicaID != "" {
+		body["replica"] = s.cfg.ReplicaID
+	}
+	writeJSON(w, code, body)
+}
+
+// handlePush is the receiver side of the replica artifact-push protocol:
+// it accepts the three checksummed artifact envelopes, validates and
+// decodes them entirely in memory (a truncated or bit-flipped envelope
+// rejects the whole set — the old model keeps serving), persists them
+// atomically when a model directory is configured, and hot-swaps the
+// engine with zero dropped requests.
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var payload modeldir.PushPayload
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxPushBytes)
+	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("push exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	rec, err := modeldir.DecodeArtifacts(payload.Artifacts, 0)
+	if err != nil {
+		// Corrupt, truncated, or incomplete artifact set: reject atomically,
+		// old model untouched. 422 mirrors the bad-query contract.
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	if s.cfg.ModelDir != "" {
+		if err := modeldir.InstallRaw(s.cfg.ModelDir, payload.Artifacts); err != nil {
+			// Disk and memory must not diverge: a persist failure keeps the
+			// old model serving rather than swapping to a model a restart
+			// would lose.
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+	}
+	s.SwapRecommender(rec)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "swapped",
+		"swaps":   s.swaps.Load(),
+		"classes": len(rec.Classifier.Classes),
+		"vocab":   rec.Vocab.Size(),
+		"arch":    string(rec.Model.Config().Arch),
 	})
 }
 
@@ -454,7 +643,11 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	res, err := s.eng.Recommend(ctx, preq)
+	// Pin the engine generation for the request's lifetime: a concurrent
+	// hot swap retires this generation only after the release below.
+	h := s.acquire()
+	defer h.release()
+	res, err := h.eng.Recommend(ctx, preq)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -494,7 +687,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	items := s.eng.RecommendBatch(ctx, preqs)
+	h := s.acquire()
+	defer h.release()
+	items := h.eng.RecommendBatch(ctx, preqs)
 	out := BatchResponse{Results: make([]BatchItem, len(items))}
 	for i, item := range items {
 		switch {

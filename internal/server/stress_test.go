@@ -120,7 +120,7 @@ func TestConcurrentStress(t *testing.T) {
 		t.Errorf("... and %d more errors", nerr-5)
 	}
 
-	st := cached.eng.CacheStats()
+	st := cached.engine().CacheStats()
 	total := st.Hits + st.Misses
 	if total == 0 {
 		t.Fatal("cache saw no traffic")

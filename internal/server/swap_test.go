@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/modeldir"
+)
+
+func TestReplicaIDHeader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := NewWithConfig(trainedRecommender(t), Config{ReplicaID: "replica-a"})
+	defer srv.Close()
+
+	w := post(t, srv, `{"sql": "SELECT ra FROM PhotoObj"}`)
+	if got := w.Header().Get("X-Replica-ID"); got != "replica-a" {
+		t.Errorf("recommend X-Replica-ID = %q", got)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	hw := httptest.NewRecorder()
+	srv.ServeHTTP(hw, req)
+	if got := hw.Header().Get("X-Replica-ID"); got != "replica-a" {
+		t.Errorf("healthz X-Replica-ID = %q", got)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(hw.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["replica"] != "replica-a" {
+		t.Errorf("healthz replica field: %v", h["replica"])
+	}
+}
+
+func TestDrainingHealthzRetryAfter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := New(trainedRecommender(t))
+	defer srv.Close()
+	srv.StartDraining()
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("draining Retry-After = %q, want %q", got, "2")
+	}
+	var h map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "draining" {
+		t.Errorf("status: %v", h["status"])
+	}
+
+	// Recommend endpoints keep answering while draining.
+	if rw := post(t, srv, `{"sql": "SELECT ra FROM PhotoObj"}`); rw.Code != http.StatusOK {
+		t.Errorf("recommend during drain: status %d", rw.Code)
+	}
+}
+
+// TestSwapZeroDrop hammers the server from many goroutines while hot
+// swaps fire continuously. Every request must answer 200 — no request
+// may observe a closed pool or a torn engine — and the swap counter must
+// land exactly where the swap count says.
+func TestSwapZeroDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	rec := trainedRecommender(t)
+	srv := New(rec)
+	defer srv.Close()
+
+	const (
+		clients = 8
+		perGo   = 30
+		swaps   = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*perGo)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perGo; j++ {
+				w := post(t, srv, `{"sql": "SELECT ra FROM PhotoObj", "n": 1}`)
+				if w.Code != http.StatusOK {
+					errs <- w.Body.String()
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			srv.SwapRecommender(rec)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("request dropped during swap: %s", e)
+	}
+	if got := srv.Swaps(); got != swaps {
+		t.Errorf("swaps = %d, want %d", got, swaps)
+	}
+}
+
+// pushBody builds a valid push payload from the shared test recommender.
+func pushBody(t *testing.T) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	if err := modeldir.Save(dir, trainedRecommender(t)); err != nil {
+		t.Fatal(err)
+	}
+	files, err := modeldir.ReadRaw(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(modeldir.PushPayload{Artifacts: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func pushReq(srv http.Handler, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/model/push", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestPushEndpointSwaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	modelDir := t.TempDir()
+	srv := NewWithConfig(trainedRecommender(t), Config{EnablePush: true, ModelDir: modelDir})
+	defer srv.Close()
+
+	w := pushReq(srv, pushBody(t))
+	if w.Code != http.StatusOK {
+		t.Fatalf("push status %d: %s", w.Code, w.Body.String())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["status"] != "swapped" || resp["swaps"] != float64(1) {
+		t.Errorf("push response: %v", resp)
+	}
+	// The push persisted a loadable model into the configured directory.
+	if _, err := modeldir.Load(modelDir, 0); err != nil {
+		t.Errorf("persisted model does not load: %v", err)
+	}
+	// The swapped engine serves.
+	if rw := post(t, srv, `{"sql": "SELECT ra FROM PhotoObj"}`); rw.Code != http.StatusOK {
+		t.Errorf("recommend after push: status %d: %s", rw.Code, rw.Body.String())
+	}
+}
+
+// TestPushCorruptRejected: a bit-flipped artifact envelope rejects the
+// whole push with 422; no swap happens and the old model keeps serving.
+func TestPushCorruptRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := NewWithConfig(trainedRecommender(t), Config{EnablePush: true})
+	defer srv.Close()
+
+	body := pushBody(t)
+	var payload modeldir.PushPayload
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	art := payload.Artifacts[modeldir.ModelFile]
+	art[len(art)-5] ^= 0x40
+	corrupted, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if w := pushReq(srv, corrupted); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt push status %d: %s", w.Code, w.Body.String())
+	}
+	if srv.Swaps() != 0 {
+		t.Errorf("corrupt push swapped the engine (swaps=%d)", srv.Swaps())
+	}
+	if rw := post(t, srv, `{"sql": "SELECT ra FROM PhotoObj"}`); rw.Code != http.StatusOK {
+		t.Errorf("old model not serving after rejected push: status %d", rw.Code)
+	}
+
+	// Truncated artifact: same contract.
+	var payload2 modeldir.PushPayload
+	if err := json.Unmarshal(pushBody(t), &payload2); err != nil {
+		t.Fatal(err)
+	}
+	full := payload2.Artifacts[modeldir.VocabFile]
+	payload2.Artifacts[modeldir.VocabFile] = full[:len(full)/3]
+	truncated, err := json.Marshal(payload2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := pushReq(srv, truncated); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("truncated push status %d: %s", w.Code, w.Body.String())
+	}
+	if srv.Swaps() != 0 {
+		t.Errorf("truncated push swapped the engine")
+	}
+}
+
+// TestPushPersistFailure: when the model directory cannot be written the
+// push answers 500 and does NOT swap — disk and memory must not diverge.
+func TestPushPersistFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	// A regular file where the model directory's parent should be makes
+	// MkdirAll fail with ENOTDIR, even for root.
+	tmp := t.TempDir()
+	blocker := filepath.Join(tmp, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(trainedRecommender(t), Config{
+		EnablePush: true,
+		ModelDir:   filepath.Join(blocker, "model"),
+	})
+	defer srv.Close()
+
+	if w := pushReq(srv, pushBody(t)); w.Code != http.StatusInternalServerError {
+		t.Fatalf("persist-failure push status %d: %s", w.Code, w.Body.String())
+	}
+	if srv.Swaps() != 0 {
+		t.Errorf("persist failure still swapped the engine")
+	}
+	if rw := post(t, srv, `{"sql": "SELECT ra FROM PhotoObj"}`); rw.Code != http.StatusOK {
+		t.Errorf("old model not serving after persist failure: status %d", rw.Code)
+	}
+}
+
+func TestPushDisabledByDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := New(trainedRecommender(t))
+	defer srv.Close()
+	if w := pushReq(srv, []byte(`{}`)); w.Code != http.StatusNotFound {
+		t.Errorf("push on default server: status %d, want 404", w.Code)
+	}
+}
+
+func TestPushBadJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	srv := NewWithConfig(trainedRecommender(t), Config{EnablePush: true})
+	defer srv.Close()
+	if w := pushReq(srv, []byte(`{`)); w.Code != http.StatusBadRequest {
+		t.Errorf("bad-json push: status %d", w.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/model/push", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET push: status %d", w.Code)
+	}
+}

@@ -73,6 +73,7 @@ bench_json "./internal/sqlparse" \
 	'BenchmarkTokenize|BenchmarkParse' BENCH_parse.json
 
 # Serving-level: unsaturated vs saturated request cost through the full
-# HTTP stack, including the overload ladder's shed/degraded rates.
-bench_json "./internal/server" \
-	'BenchmarkServeUnsaturated|BenchmarkServeSaturated' BENCH_serve.json
+# HTTP stack, including the overload ladder's shed/degraded rates, plus
+# saturated gateway throughput at 1/2/4-replica fleet widths.
+bench_json "./internal/server ./internal/gateway" \
+	'BenchmarkServeUnsaturated|BenchmarkServeSaturated|BenchmarkGatewayReplicas' BENCH_serve.json

@@ -23,4 +23,5 @@ go test -race "$@" ./...
 go test -run '^$' -bench 'BenchmarkMatMul|BenchmarkTable3ModelStats' \
 	-benchtime 1x . ./internal/tensor ./internal/autograd >/dev/null
 go test -run '^$' -bench 'BenchmarkServe' -benchtime 1x ./internal/server >/dev/null
+go test -run '^$' -bench 'BenchmarkGatewayReplicas1' -benchtime 1x ./internal/gateway >/dev/null
 go test -run '^$' -bench 'BenchmarkTokenize|BenchmarkParse' -benchtime 1x ./internal/sqlparse >/dev/null

@@ -55,6 +55,10 @@ func main() {
 		"admitted-request cap before shedding (0 = auto from workers+queue, -1 disables)")
 	softTimeout := flag.Duration("soft-timeout", 5*time.Second,
 		"per-request model budget before degrading to the popular fallback (0 disables)")
+	batchSize := flag.Int("batch-size", 0,
+		"micro-batch cap: coalesce up to this many concurrent requests per model pass, bit-identical results (0 disables)")
+	batchWindow := flag.Duration("batch-window", 0,
+		"how long the first request of a forming micro-batch waits for company (0 = 500µs default)")
 	rate := flag.Float64("rate", 0, "per-client request rate limit in req/s (0 disables)")
 	burst := flag.Float64("burst", 0, "rate-limiter burst size (0 = max(rate, 1))")
 	breakerRatio := flag.Float64("breaker-ratio", 0.5,
@@ -112,6 +116,8 @@ func main() {
 		MaxQueue:     *maxQueue,
 		MaxInFlight:  inFlight,
 		SoftTimeout:  *softTimeout,
+		BatchSize:    *batchSize,
+		BatchWindow:  *batchWindow,
 		Rate:         *rate,
 		Burst:        *burst,
 		BreakerRatio: *breakerRatio,
@@ -129,9 +135,9 @@ func main() {
 	}
 	srv := server.NewWithConfig(rec, cfg)
 	fmt.Fprintf(os.Stderr,
-		"serving %s model (%d classes) on %s (workers=%d cache=%d timeout=%s soft=%s inflight=%d rate=%g degrade=%t replica=%q push=%t)\n",
+		"serving %s model (%d classes) on %s (workers=%d cache=%d timeout=%s soft=%s inflight=%d batch=%d rate=%g degrade=%t replica=%q push=%t)\n",
 		rec.Model.Config().Arch, len(rec.Classifier.Classes), *addr,
-		*workers, *cacheSize, *timeout, *softTimeout, inFlight, *rate, *degrade, *replicaID, *enablePush)
+		*workers, *cacheSize, *timeout, *softTimeout, inFlight, *batchSize, *rate, *degrade, *replicaID, *enablePush)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,65 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq2seq"
+)
+
+func batchHeadModel(t *testing.T, postLN bool) *Classifier {
+	t.Helper()
+	cfg := seq2seq.DefaultConfig(seq2seq.Transformer, 31)
+	cfg.DModel = 16
+	cfg.Heads = 2
+	cfg.Layers = 1
+	cfg.FFHidden = 24
+	cfg.MaxLen = 24
+	cfg.PostLN = postLN
+	m, err := seq2seq.New(cfg, 7)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	classes := make([]string, 13)
+	for i := range classes {
+		classes[i] = fmt.Sprintf("SELECT c%d FROM t", i)
+	}
+	return New(m, 20, classes, 5)
+}
+
+// TestPredictTopNBatchBitIdentical checks the batched classification head
+// against the sequential PredictTopN over mixed batch compositions and
+// per-item N values (random untrained weights make near-ties likely, so
+// any drift in pooling or head arithmetic would reorder the top-N).
+func TestPredictTopNBatchBitIdentical(t *testing.T) {
+	for _, postLN := range []bool{false, true} {
+		c := batchHeadModel(t, postLN)
+		rng := rand.New(rand.NewSource(3))
+		for _, batch := range []int{1, 2, 5} {
+			srcs := make([][]int, batch)
+			ns := make([]int, batch)
+			for i := range srcs {
+				l := 1 + rng.Intn(12)
+				s := make([]int, l)
+				for j := range s {
+					s[j] = rng.Intn(31)
+				}
+				srcs[i] = s
+				ns[i] = 1 + rng.Intn(4)
+			}
+			got := c.PredictTopNBatch(srcs, ns)
+			for i, src := range srcs {
+				want := c.PredictTopN(src, ns[i])
+				if len(got[i]) != len(want) {
+					t.Fatalf("postLN=%v b=%d item %d: %d classes, want %d", postLN, batch, i, len(got[i]), len(want))
+				}
+				for j := range want {
+					if got[i][j] != want[j] {
+						t.Fatalf("postLN=%v b=%d item %d rank %d: %q, want %q", postLN, batch, i, j, got[i][j], want[j])
+					}
+				}
+			}
+		}
+	}
+}

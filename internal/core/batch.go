@@ -1,0 +1,51 @@
+package core
+
+import (
+	"repro/internal/decode"
+	"repro/internal/sqlast"
+)
+
+// NextTemplatesTokensBatch answers NextTemplatesTokens-style template
+// prediction for a micro-batch of already-encoded sources: one batched
+// encoder forward plus one stacked head pass. out[i] is bit-identical to
+// Classifier.PredictTopN(srcs[i], ns[i]).
+func (r *Recommender) NextTemplatesTokensBatch(srcs [][]int, ns []int) [][]string {
+	return r.Classifier.PredictTopNBatch(srcs, ns)
+}
+
+// NFragmentsFromTokensBatch runs N-fragments prediction for a micro-batch
+// in one batched decode loop. Beam and diverse-beam items share the
+// batch; sampling items fall back to the sequential path (batching would
+// reorder the seeded RNG draws, breaking the strategy's determinism
+// contract). out[i] is bit-identical to
+// NFragmentsFromTokens(srcs[i], ns[i], opts[i]).
+func (r *Recommender) NFragmentsFromTokensBatch(srcs [][]int, ns []int, opts []NFragmentsOptions) []map[sqlast.FragmentKind][]string {
+	out := make([]map[sqlast.FragmentKind][]string, len(srcs))
+	var (
+		idx       []int
+		bsrcs     [][]int
+		widths    []int
+		penalties []float64
+	)
+	for i, o := range opts {
+		if o.Strategy == StrategySampling {
+			out[i] = r.NFragmentsFromTokens(srcs[i], ns[i], o)
+			continue
+		}
+		idx = append(idx, i)
+		bsrcs = append(bsrcs, srcs[i])
+		widths = append(widths, o.Width)
+		if o.Strategy == StrategyDiverseBeam {
+			penalties = append(penalties, o.Penalty)
+		} else {
+			penalties = append(penalties, 0)
+		}
+	}
+	if len(idx) > 0 {
+		results := decode.SearchBatch(r.Model, bsrcs, r.MaxGenLen, widths, penalties)
+		for k, i := range idx {
+			out[i] = AggregateFragments(r.Vocab, results[k], ns[i])
+		}
+	}
+	return out
+}

@@ -45,7 +45,6 @@ type stepper struct {
 	enc    *autograd.Value
 	lp     []float64
 	prefix []int
-	topIdx []int
 }
 
 func newStepper(m seq2seq.Model, src []int) *stepper {
@@ -61,15 +60,6 @@ func (s *stepper) logProbs(prefix []int) []float64 {
 	s.lp = logSoftmaxInto(s.lp, row)
 	autograd.Free(logits, s.enc)
 	return s.lp
-}
-
-// top returns the indices of the k largest log-probabilities, reusing the
-// stepper's index scratch. Valid until the next call.
-func (s *stepper) top(lp []float64, k int) []int {
-	t := tensor.FromSlice(1, len(lp), lp)
-	out := t.TopKRowInto(0, k, s.topIdx)
-	s.topIdx = out[:cap(out)]
-	return out
 }
 
 // close releases the encoder graph.
@@ -140,72 +130,120 @@ type beamCand struct {
 	total float64
 }
 
-func beamSearch(m seq2seq.Model, src []int, maxLen, width int, diversity float64) []Result {
-	st := newStepper(m, src)
-	defer st.close()
-	beams := []beamHyp{{}}
-	var done []beamHyp
-	cands := make([]beamCand, 0, width*(width+3))
-	for step := 0; step < maxLen && len(beams) > 0; step++ {
-		cands = cands[:0]
-		chosenCount := map[int]int{}
-		for bi, b := range beams {
-			st.prefix = append(st.prefix[:0], tokenizer.BOS)
-			st.prefix = append(st.prefix, b.ids...)
-			lp := st.logProbs(st.prefix)
-			// Top width+3 candidates per beam (skip specials except EOS).
-			order := st.top(lp, width+3)
-			for _, tok := range order {
-				if tok == tokenizer.PAD || tok == tokenizer.BOS || tok == tokenizer.UNK {
-					continue
-				}
-				score := lp[tok]
-				if diversity > 0 {
-					score -= diversity * float64(chosenCount[tok])
-				}
-				cands = append(cands, beamCand{from: bi, tok: tok, logp: lp[tok], total: b.logp + score})
-				if diversity > 0 {
-					chosenCount[tok]++
-				}
-			}
+// beamState is the search frontier of one request, shared verbatim by the
+// sequential and batched beam searches: candidate scoring, the diversity
+// penalty, candidate ranking and beam/done bookkeeping all live here, so
+// the two paths cannot drift apart — the batched driver only changes where
+// the per-beam log-probabilities come from.
+type beamState struct {
+	width     int
+	diversity float64
+	beams     []beamHyp
+	done      []beamHyp
+	cands     []beamCand
+	chosen    map[int]int
+	topIdx    []int
+}
+
+func newBeamState(width int, diversity float64) *beamState {
+	return &beamState{
+		width:     width,
+		diversity: diversity,
+		beams:     []beamHyp{{}},
+		cands:     make([]beamCand, 0, width*(width+3)),
+	}
+}
+
+// alive reports whether another step is useful: some beam is still open
+// and fewer than width hypotheses have finished.
+func (bs *beamState) alive() bool { return len(bs.beams) > 0 && len(bs.done) < bs.width }
+
+// stepStart resets the per-step candidate pool and diversity counts.
+func (bs *beamState) stepStart() {
+	bs.cands = bs.cands[:0]
+	bs.chosen = map[int]int{}
+}
+
+// observe scores beam bi's expansion candidates from its next-token
+// log-probabilities: top width+3 tokens, specials other than EOS skipped,
+// diversity-penalized by how many already-expanded beams chose the same
+// token this step. Beams must be observed in ascending order.
+func (bs *beamState) observe(bi int, lp []float64) {
+	b := bs.beams[bi]
+	t := tensor.FromSlice(1, len(lp), lp)
+	order := t.TopKRowInto(0, bs.width+3, bs.topIdx)
+	bs.topIdx = order[:cap(order)]
+	for _, tok := range order {
+		if tok == tokenizer.PAD || tok == tokenizer.BOS || tok == tokenizer.UNK {
+			continue
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].total > cands[j].total })
-		var next []beamHyp
-		for _, c := range cands {
-			if len(next) >= width {
-				break
-			}
-			b := beams[c.from]
-			if c.tok == tokenizer.EOS {
-				done = append(done, beamHyp{
-					ids:   append([]int(nil), b.ids...),
-					steps: append([]float64(nil), b.steps...),
-					logp:  b.logp + c.logp,
-				})
-				continue
-			}
-			next = append(next, beamHyp{
-				ids:   append(append([]int(nil), b.ids...), c.tok),
-				steps: append(append([]float64(nil), b.steps...), c.logp),
-				logp:  b.logp + c.logp,
-			})
+		score := lp[tok]
+		if bs.diversity > 0 {
+			score -= bs.diversity * float64(bs.chosen[tok])
 		}
-		beams = next
-		if len(done) >= width {
-			break
+		bs.cands = append(bs.cands, beamCand{from: bi, tok: tok, logp: lp[tok], total: b.logp + score})
+		if bs.diversity > 0 {
+			bs.chosen[tok]++
 		}
 	}
-	// Unfinished beams still count (forced stop at maxLen).
-	done = append(done, beams...)
+}
+
+// stepFinish ranks the step's candidates and selects the next beam set,
+// moving EOS candidates to done.
+func (bs *beamState) stepFinish() {
+	sort.Slice(bs.cands, func(i, j int) bool { return bs.cands[i].total > bs.cands[j].total })
+	var next []beamHyp
+	for _, c := range bs.cands {
+		if len(next) >= bs.width {
+			break
+		}
+		b := bs.beams[c.from]
+		if c.tok == tokenizer.EOS {
+			bs.done = append(bs.done, beamHyp{
+				ids:   append([]int(nil), b.ids...),
+				steps: append([]float64(nil), b.steps...),
+				logp:  b.logp + c.logp,
+			})
+			continue
+		}
+		next = append(next, beamHyp{
+			ids:   append(append([]int(nil), b.ids...), c.tok),
+			steps: append(append([]float64(nil), b.steps...), c.logp),
+			logp:  b.logp + c.logp,
+		})
+	}
+	bs.beams = next
+}
+
+// results ranks finished plus still-open hypotheses (forced stop at
+// maxLen) by length-normalized log-probability, truncated to width.
+func (bs *beamState) results() []Result {
+	done := append(bs.done, bs.beams...)
 	results := make([]Result, 0, len(done))
 	for _, d := range done {
 		results = append(results, Result{IDs: d.ids, StepLogP: d.steps, LogProb: d.logp})
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Normalized() > results[j].Normalized() })
-	if len(results) > width {
-		results = results[:width]
+	if len(results) > bs.width {
+		results = results[:bs.width]
 	}
 	return results
+}
+
+func beamSearch(m seq2seq.Model, src []int, maxLen, width int, diversity float64) []Result {
+	st := newStepper(m, src)
+	defer st.close()
+	bs := newBeamState(width, diversity)
+	for step := 0; step < maxLen && bs.alive(); step++ {
+		bs.stepStart()
+		for bi, b := range bs.beams {
+			st.prefix = append(st.prefix[:0], tokenizer.BOS)
+			st.prefix = append(st.prefix, b.ids...)
+			bs.observe(bi, st.logProbs(st.prefix))
+		}
+		bs.stepFinish()
+	}
+	return bs.results()
 }
 
 // Sample draws n independent sequences with stochastic decoding. At each

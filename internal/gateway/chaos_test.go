@@ -99,6 +99,7 @@ type replicaProc struct {
 	id    string
 	addr  string
 	delay time.Duration
+	batch int
 
 	mu   sync.Mutex
 	app  *server.Server
@@ -118,11 +119,29 @@ func startReplica(t testing.TB, id string, delay time.Duration) *replicaProc {
 	return p
 }
 
+// startBatchedReplica boots a replica on the REAL model path (the injected
+// chaos predictor has no batched form) with micro-batching enabled, the
+// qrec-serve shape of -batch-size/-batch-window.
+func startBatchedReplica(t testing.TB, id string, batch int) *replicaProc {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &replicaProc{t: t, id: id, addr: ln.Addr().String(), batch: batch}
+	p.serveOn(ln)
+	return p
+}
+
 func (p *replicaProc) url() string { return "http://" + p.addr }
 
 // serveOn builds a fresh server generation (a restarted process has cold
 // state) and serves it on ln.
 func (p *replicaProc) serveOn(ln net.Listener) {
+	pred := servepool.Predictor(chaosPredictor{delay: p.delay})
+	if p.batch >= 2 {
+		pred = nil // real recommender path, which implements BatchPredictor
+	}
 	app := server.NewWithConfig(chaosRecommender(p.t), server.Config{
 		Workers:     2,
 		MaxQueue:    2,
@@ -130,9 +149,11 @@ func (p *replicaProc) serveOn(ln net.Listener) {
 		SoftTimeout: 250 * time.Millisecond,
 		Timeout:     5 * time.Second,
 		Fallback:    chaosFallback(),
-		Predictor:   chaosPredictor{delay: p.delay},
+		Predictor:   pred,
 		ReplicaID:   p.id,
 		EnablePush:  true,
+		BatchSize:   p.batch,
+		BatchWindow: 2 * time.Millisecond,
 	})
 	hsrv := &http.Server{Handler: app}
 	p.mu.Lock()
@@ -371,6 +392,192 @@ func TestChaosGatewayKillRestart(t *testing.T) {
 	// bound is meaningful — but the push must have landed somewhere.
 	if pushOK.Load() > 0 && swapped == 0 && gw.Stats().Pushes == 0 {
 		t.Error("push counters never moved")
+	}
+}
+
+// TestChaosGatewayKillMidBatch kills a micro-batching replica while
+// coalesced batches are in flight. Replicas run the real model path with
+// BatchSize 4, so concurrent requests (and explicit /v1/recommend/batch
+// calls) genuinely share batched model passes when the kill lands. The
+// contract is the usual termination ladder — every request ends in 200
+// (full or degraded), 429-with-Retry-After, or 503-with-Retry-After; a
+// dying batch must never hang or tear its sibling requests.
+func TestChaosGatewayKillMidBatch(t *testing.T) {
+	reps := []*replicaProc{
+		startBatchedReplica(t, "mb0", 4),
+		startBatchedReplica(t, "mb1", 4),
+	}
+	urls := []string{reps[0].url(), reps[1].url()}
+	defer func() {
+		for _, p := range reps {
+			p.kill()
+		}
+	}()
+
+	gw, err := New(Config{
+		Replicas:       urls,
+		MaxAttempts:    3,
+		AttemptTimeout: 2 * time.Second,
+		BackoffBase:    time.Millisecond,
+		ProbeInterval:  20 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		Clock:          time.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go gw.Run(ctx)
+
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwSrv := &http.Server{Handler: gw}
+	go func() { _ = gwSrv.Serve(gwLn) }()
+	defer func() { _ = gwSrv.Close() }()
+	gwURL := "http://" + gwLn.Addr().String()
+
+	// Kill/restart cycle on replica 0 only: replica 1 stays up the whole
+	// run so its batcher counters survive to the final assertion.
+	var stopChaos atomic.Bool
+	var chaosWg sync.WaitGroup
+	chaosWg.Add(1)
+	go func() {
+		defer chaosWg.Done()
+		for !stopChaos.Load() {
+			time.Sleep(40 * time.Millisecond) // let batches form and fly
+			reps[0].kill()
+			time.Sleep(40 * time.Millisecond)
+			for {
+				if err := reps[0].restart(); err == nil {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+
+	const (
+		clients = 24
+		perGo   = 5
+	)
+	type outcome struct {
+		code       int
+		body       string
+		retryAfter string
+		isBatch    bool
+	}
+	results := make([][]outcome, clients)
+	httpc := &http.Client{Timeout: 15 * time.Second}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = make([]outcome, perGo)
+			for j := 0; j < perGo; j++ {
+				// Odd clients drive the explicit batch endpoint, even
+				// clients single requests — both coalesce server-side.
+				path, body, isBatch := "/v1/recommend", fmt.Sprintf(`{"sql":"SELECT a FROM t%d","n":1}`, j), false
+				if c%2 == 1 {
+					path = "/v1/recommend/batch"
+					body = fmt.Sprintf(`{"requests":[{"sql":"SELECT a FROM t%d","n":1},{"sql":"SELECT b FROM t%d","n":1},{"sql":"SELECT a, b FROM t%d","n":1}]}`, j, j, j)
+					isBatch = true
+				}
+				req, _ := http.NewRequest(http.MethodPost, gwURL+path, strings.NewReader(body))
+				req.Header.Set("X-Client-ID", fmt.Sprintf("mb-client-%d", c))
+				resp, err := httpc.Do(req)
+				if err != nil {
+					results[c][j] = outcome{code: -1, body: err.Error()}
+					continue
+				}
+				rb, _ := io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				results[c][j] = outcome{code: resp.StatusCode, body: string(rb), retryAfter: resp.Header.Get("Retry-After"), isBatch: isBatch}
+			}
+		}(c)
+	}
+	wg.Wait()
+	stopChaos.Store(true)
+	chaosWg.Wait()
+
+	var n200, n429, n503 int
+	for c, outs := range results {
+		for j, o := range outs {
+			switch o.code {
+			case http.StatusOK:
+				n200++
+				if o.isBatch {
+					var r struct {
+						Results []struct {
+							Templates []string `json:"templates"`
+							Error     string   `json:"error"`
+						} `json:"results"`
+					}
+					if err := json.Unmarshal([]byte(o.body), &r); err != nil || len(r.Results) != 3 {
+						t.Errorf("client %d req %d: torn batch body %q (%v)", c, j, o.body, err)
+						continue
+					}
+					for k, item := range r.Results {
+						if len(item.Templates) == 0 && item.Error == "" {
+							t.Errorf("client %d req %d item %d: empty slot in %q", c, j, k, o.body)
+						}
+					}
+				} else {
+					var r struct {
+						Templates []string `json:"templates"`
+					}
+					if err := json.Unmarshal([]byte(o.body), &r); err != nil || len(r.Templates) == 0 {
+						t.Errorf("client %d req %d: torn 200 body %q (%v)", c, j, o.body, err)
+					}
+				}
+			case http.StatusTooManyRequests:
+				n429++
+				if o.retryAfter == "" {
+					t.Errorf("client %d req %d: 429 without Retry-After", c, j)
+				}
+			case http.StatusServiceUnavailable:
+				n503++
+				if o.retryAfter == "" {
+					t.Errorf("client %d req %d: 503 without Retry-After: %q", c, j, o.body)
+				}
+			default:
+				t.Errorf("client %d req %d: terminal status %d (%s)", c, j, o.code, o.body)
+			}
+		}
+	}
+	t.Logf("outcomes: %d x 200, %d x 429, %d x 503", n200, n429, n503)
+	if n200 == 0 {
+		t.Fatal("no request succeeded under mid-batch chaos")
+	}
+
+	// The surviving replica must show real coalescing on its healthz: the
+	// batcher was enabled and executed items while its sibling died.
+	resp, err := httpc.Get(reps[1].url() + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	var hz struct {
+		Batcher struct {
+			Enabled   bool `json:"enabled"`
+			Templates struct {
+				Items   uint64 `json:"items"`
+				Batches uint64 `json:"batches"`
+			} `json:"templates"`
+		} `json:"batcher"`
+	}
+	if err := json.Unmarshal(hb, &hz); err != nil {
+		t.Fatalf("healthz decode: %v (%s)", err, hb)
+	}
+	if !hz.Batcher.Enabled {
+		t.Fatalf("surviving replica reports batching disabled: %s", hb)
+	}
+	if hz.Batcher.Templates.Items == 0 {
+		t.Errorf("surviving replica executed no batched items: %s", hb)
 	}
 }
 

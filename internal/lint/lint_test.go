@@ -124,6 +124,14 @@ func TestPoolSafeArenaFixture(t *testing.T) {
 	}
 }
 
+func TestPoolSafeBatchFixture(t *testing.T) {
+	pkg := loadFixture(t, "poolsafebatch")
+	res := checkGolden(t, pkg, PoolSafe())
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+}
+
 func TestFloatEqFixture(t *testing.T) {
 	pkg := loadFixture(t, "floateq")
 	res := checkGolden(t, pkg, FloatEq())

@@ -8,8 +8,9 @@ import (
 )
 
 // PoolSafe checks pooled-resource lifecycle discipline per function,
-// flow-insensitively, for both tensor.Pool (scratch tensors, e.g.
-// tensor.Shared) and sqlast.ArenaPool (AST arenas, e.g.
+// flow-insensitively, for tensor.Pool (scratch tensors, e.g.
+// tensor.Shared), tensor.BatchArena (batch-inference scratch sets, e.g.
+// tensor.Batches) and sqlast.ArenaPool (AST arenas, e.g.
 // sqlast.SharedArenas): a value obtained from a pool Get must
 // either be released (passed to the pool's Put or to autograd.Free) or
 // visibly hand off ownership — returned, stored into a struct/slice/
@@ -248,7 +249,7 @@ func typeCanAlias(t types.Type) bool {
 }
 
 // isPoolMethod reports whether call is a Get/Put on a recognized pool
-// type: tensor.Pool or sqlast.ArenaPool.
+// type: tensor.Pool, tensor.BatchArena or sqlast.ArenaPool.
 func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != name {
@@ -267,7 +268,7 @@ func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
 	}
 	path := named.Obj().Pkg().Path()
 	switch named.Obj().Name() {
-	case "Pool":
+	case "Pool", "BatchArena":
 		return strings.HasSuffix(path, "internal/tensor")
 	case "ArenaPool":
 		return strings.HasSuffix(path, "internal/sqlast")

@@ -1,0 +1,86 @@
+// Package poolsafebatch holds golden fixtures for the poolsafe analyzer
+// against tensor.BatchArena: a batch scratch checked out of the arena
+// (tensor.Batches) must go back via Put — its held tensors recycle
+// through the shared size-classed pool, so leaking or reusing one after
+// Put aliases buffers with whichever batch Gets them next.
+package poolsafebatch
+
+import "repro/internal/tensor"
+
+// leak checks out a batch scratch and never returns it: every tensor it
+// allocated stays out of the shared pool for good.
+func leak() int {
+	sc := tensor.Batches.Get() // want `pooled value sc from Get is never released`
+	x := sc.Get(2, 3)
+	return x.Rows
+}
+
+// useAfterPut keeps allocating from a scratch after the arena reclaimed
+// it: the held tensors may already back another batch's activations.
+func useAfterPut() int {
+	sc := tensor.Batches.Get()
+	a := sc.Get(4, 4)
+	rows := a.Rows
+	tensor.Batches.Put(sc)
+	b := sc.Get(4, 4) // want `sc is used after being returned to the pool`
+	return rows + b.Rows
+}
+
+// doublePut releases the same scratch twice.
+func doublePut() {
+	sc := tensor.Batches.Get()
+	sc.Get(1, 1)
+	tensor.Batches.Put(sc)
+	tensor.Batches.Put(sc) // want `sc is used after being returned to the pool`
+}
+
+// putOK is the canonical batched-inference pattern: Get, run the batch
+// out of scratch, copy results out, Put.
+func putOK() float64 {
+	sc := tensor.Batches.Get()
+	x := sc.Get(2, 2)
+	x.Data[0] = 1
+	out := x.Data[0]
+	tensor.Batches.Put(sc)
+	return out
+}
+
+// deferOK releases at function exit, the shape InferBatch.Close uses.
+func deferOK() int {
+	sc := tensor.Batches.Get()
+	defer tensor.Batches.Put(sc)
+	y := sc.Get(3, 5)
+	return y.Cols
+}
+
+// returnOK hands the scratch to the caller: ownership visibly escapes
+// (InferBatch stores its scratch in a struct field the same way).
+func returnOK() *tensor.BatchScratch {
+	sc := tensor.Batches.Get()
+	sc.Get(1, 2)
+	return sc
+}
+
+// handoffOK passes the scratch to another function, which releases it.
+func handoffOK() {
+	sc := tensor.Batches.Get()
+	finish(sc)
+}
+
+func finish(sc *tensor.BatchScratch) {
+	tensor.Batches.Put(sc)
+}
+
+// branchPutOK puts only on an early-return branch; the use on the other
+// branch must not be flagged (the release does not dominate it).
+func branchPutOK(early bool) int {
+	sc := tensor.Batches.Get()
+	if early {
+		tensor.Batches.Put(sc)
+		return 0
+	}
+	z := sc.Get(2, 6)
+	n := z.Cols
+	tensor.Batches.Put(sc)
+	return n
+}

@@ -118,6 +118,11 @@ func NewPositionalEncoding(maxLen, d int) *PositionalEncoding {
 	return &PositionalEncoding{table: t}
 }
 
+// Table exposes the precomputed position table for inference paths that
+// fuse the position add into an embedding gather (seq2seq's batched
+// forward). The table is a constant: callers must not write to it.
+func (p *PositionalEncoding) Table() *tensor.Tensor { return p.table }
+
 // Add sums position rows [offset, offset+n) onto x (n×d).
 func (p *PositionalEncoding) Add(x *autograd.Value, offset int) *autograd.Value {
 	n := x.T.Rows
@@ -144,6 +149,11 @@ func NewLayerNorm(d int) *LayerNorm {
 func (l *LayerNorm) Forward(x *autograd.Value) *autograd.Value {
 	return autograd.LayerNorm(x, l.Gain, l.Bias, l.eps)
 }
+
+// Eps exposes the numerical-stability epsilon so inference mirrors of the
+// forward pass (seq2seq's batched path) normalize with the exact same
+// constant.
+func (l *LayerNorm) Eps() float64 { return l.eps }
 
 // Params implements Module.
 func (l *LayerNorm) Params() []Param {

@@ -1,0 +1,307 @@
+package servepool
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/reccache"
+)
+
+// testBatcher builds a batcher whose exec echoes each item's key into its
+// template slot, for driving the coalescing machinery without a model.
+func testBatcher(t *testing.T, max int, window time.Duration, after func(time.Duration) <-chan time.Time) (*batcher, *Pool) {
+	t.Helper()
+	pool := NewPoolQueue(1, max)
+	if after == nil {
+		after = time.After
+	}
+	exec := func(items []*batchItem) {
+		for _, it := range items {
+			it.tmpl = []string{it.key}
+			close(it.done)
+		}
+	}
+	return newBatcher(max, window, time.Now, after, pool, exec), pool
+}
+
+func testItem(ctx context.Context, key string) *batchItem {
+	return &batchItem{ctx: ctx, key: key, done: make(chan struct{})}
+}
+
+// TestBatcherSizeHitAndCancellation fills a batch to its size bound with
+// one item cancelled mid-formation: the flush must drop exactly the
+// cancelled item — its waiter sees its own context error — while the
+// siblings execute together and unharmed.
+func TestBatcherSizeHitAndCancellation(t *testing.T) {
+	b, pool := testBatcher(t, 4, time.Hour, nil)
+	defer pool.Close()
+	defer b.close()
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	items := []*batchItem{
+		testItem(context.Background(), "a"),
+		testItem(ctx2, "b"),
+		testItem(context.Background(), "c"),
+	}
+	for _, it := range items {
+		if err := b.enqueue(it); err != nil {
+			t.Fatalf("enqueue(%s): %v", it.key, err)
+		}
+	}
+	// Cancel b while the batch is still forming (the window is an hour and
+	// only 3 of 4 slots are filled), then trip the size bound.
+	cancel2()
+	last := testItem(context.Background(), "d")
+	if err := b.enqueue(last); err != nil {
+		t.Fatalf("enqueue(d): %v", err)
+	}
+
+	for _, it := range []*batchItem{items[0], items[2], last} {
+		<-it.done
+		if it.err != nil {
+			t.Fatalf("item %s: unexpected error %v", it.key, it.err)
+		}
+		if len(it.tmpl) != 1 || it.tmpl[0] != it.key {
+			t.Fatalf("item %s: tmpl = %v", it.key, it.tmpl)
+		}
+	}
+	<-items[1].done
+	if !errors.Is(items[1].err, context.Canceled) {
+		t.Fatalf("cancelled item error = %v, want context.Canceled", items[1].err)
+	}
+
+	st := b.stats()
+	if st.Batches != 1 || st.Items != 3 || st.SizeHits != 1 || st.WindowHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CancelledItems != 1 {
+		t.Fatalf("cancelled = %d, want 1", st.CancelledItems)
+	}
+	if st.SizeHist[2] != 1 { // executed with 3 live items
+		t.Fatalf("size hist = %v, want bucket 3 hit once", st.SizeHist)
+	}
+	if st.QueueWaitNsTotal == 0 {
+		t.Fatalf("queue wait not recorded")
+	}
+}
+
+// TestBatcherWindowHit drives the window deadline with an injected timer:
+// a partial batch must flush when the window channel fires, counted as a
+// window hit of the gathered size.
+func TestBatcherWindowHit(t *testing.T) {
+	afterCh := make(chan time.Time)
+	armed := make(chan struct{}, 1)
+	after := func(time.Duration) <-chan time.Time {
+		armed <- struct{}{}
+		return afterCh
+	}
+	b, pool := testBatcher(t, 4, time.Hour, after)
+	defer pool.Close()
+	defer b.close()
+
+	it1 := testItem(context.Background(), "x")
+	if err := b.enqueue(it1); err != nil {
+		t.Fatal(err)
+	}
+	<-armed // first item consumed; window timer armed
+	it2 := testItem(context.Background(), "y")
+	if err := b.enqueue(it2); err != nil {
+		t.Fatal(err)
+	}
+	for len(b.in) > 0 { // collector consumed it2 into the forming batch
+		runtime.Gosched()
+	}
+	afterCh <- time.Time{}
+
+	for _, it := range []*batchItem{it1, it2} {
+		<-it.done
+		if it.err != nil || len(it.tmpl) != 1 || it.tmpl[0] != it.key {
+			t.Fatalf("item %s: tmpl=%v err=%v", it.key, it.tmpl, it.err)
+		}
+	}
+	st := b.stats()
+	if st.Batches != 1 || st.WindowHits != 1 || st.SizeHits != 0 || st.Items != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SizeHist[1] != 1 {
+		t.Fatalf("size hist = %v, want bucket 2 hit once", st.SizeHist)
+	}
+}
+
+// TestBatcherCloseFlushesAndRefuses pins shutdown: close flushes the
+// forming batch (waiters complete) and later enqueues fail ErrClosed.
+func TestBatcherCloseFlushesAndRefuses(t *testing.T) {
+	b, pool := testBatcher(t, 8, time.Hour, nil)
+	defer pool.Close()
+
+	it := testItem(context.Background(), "z")
+	if err := b.enqueue(it); err != nil {
+		t.Fatal(err)
+	}
+	b.close()
+	b.close() // idempotent
+	<-it.done
+	if it.err != nil || len(it.tmpl) != 1 {
+		t.Fatalf("flushed item: tmpl=%v err=%v", it.tmpl, it.err)
+	}
+	if err := b.enqueue(testItem(context.Background(), "late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close = %v, want ErrClosed", err)
+	}
+}
+
+// batchedEngineQueries are structurally distinct (literal values alone
+// would normalize to one cache key).
+var batchedEngineQueries = []string{
+	"SELECT ra FROM PhotoObj",
+	"SELECT dec FROM PhotoObj",
+	"SELECT ra, dec FROM PhotoObj",
+	"SELECT ra FROM PhotoObj WHERE ra > 1.0",
+	"SELECT TOP 10 ra FROM PhotoObj",
+	"SELECT ra, dec FROM PhotoObj WHERE dec < 1.0",
+}
+
+// TestRecommendBatchedByteIdentical is the serving half of the
+// bit-identity contract: the same requests through a micro-batching
+// engine (concurrent, so they genuinely coalesce) and a plain engine must
+// produce deeply equal results — batching must be invisible in response
+// bytes. Runs under -race in tier-1, which also chases collector and
+// flush ordering races.
+func TestRecommendBatchedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	rec := engineRecommender(t)
+	plain := NewEngine(rec, nil, 2)
+	defer plain.Close()
+	want := make([]*Result, len(batchedEngineQueries))
+	for i, sql := range batchedEngineQueries {
+		r, err := plain.Recommend(context.Background(), testRequest(sql))
+		if err != nil {
+			t.Fatalf("plain %q: %v", sql, err)
+		}
+		want[i] = r
+	}
+
+	// No cache: every request must travel the batched model path.
+	eng := NewEngineWithOptions(rec, nil, EngineOptions{
+		Workers:     2,
+		BatchSize:   4,
+		BatchWindow: 2 * time.Millisecond,
+	})
+	defer eng.Close()
+	if !eng.BatcherStats().Enabled {
+		t.Fatal("batching not enabled")
+	}
+
+	for round := 0; round < 2; round++ {
+		got := make([]*Result, len(batchedEngineQueries))
+		errs := make([]error, len(batchedEngineQueries))
+		var wg sync.WaitGroup
+		for i, sql := range batchedEngineQueries {
+			wg.Add(1)
+			go func(i int, sql string) {
+				defer wg.Done()
+				got[i], errs[i] = eng.Recommend(context.Background(), testRequest(sql))
+			}(i, sql)
+		}
+		wg.Wait()
+		for i := range batchedEngineQueries {
+			if errs[i] != nil {
+				t.Fatalf("round %d batched %q: %v", round, batchedEngineQueries[i], errs[i])
+			}
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("round %d %q: batched result diverges:\n got %+v\nwant %+v",
+					round, batchedEngineQueries[i], got[i], want[i])
+			}
+		}
+	}
+
+	st := eng.BatcherStats()
+	wantItems := uint64(2 * len(batchedEngineQueries))
+	if st.Templates.Items != wantItems || st.Fragments.Items != wantItems {
+		t.Fatalf("items = %d/%d, want %d", st.Templates.Items, st.Fragments.Items, wantItems)
+	}
+	if st.Templates.Batches == 0 || st.Templates.SizeHits+st.Templates.WindowHits != st.Templates.Batches {
+		t.Fatalf("template batches inconsistent: %+v", st.Templates)
+	}
+	var hist uint64
+	for i, c := range st.Templates.SizeHist {
+		hist += uint64(i+1) * c
+	}
+	if hist != wantItems {
+		t.Fatalf("size hist %v sums to %d items, want %d", st.Templates.SizeHist, hist, wantItems)
+	}
+}
+
+// TestRecommendBatchThroughMicroBatch routes the explicit batch endpoint
+// through the coalescing path and checks it against per-item plain
+// results: one code path serves both explicit and coalesced batches.
+func TestRecommendBatchThroughMicroBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	rec := engineRecommender(t)
+	plain := NewEngine(rec, nil, 2)
+	defer plain.Close()
+	eng := NewEngineWithOptions(rec, reccache.New(64), EngineOptions{
+		Workers:     2,
+		BatchSize:   4,
+		BatchWindow: 2 * time.Millisecond,
+	})
+	defer eng.Close()
+
+	reqs := make([]Request, len(batchedEngineQueries))
+	for i, sql := range batchedEngineQueries {
+		reqs[i] = testRequest(sql)
+	}
+	items := eng.RecommendBatch(context.Background(), reqs)
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("item %d (%q): %v", i, reqs[i].SQL, it.Err)
+		}
+		want, err := plain.Recommend(context.Background(), reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(it.Result, want) {
+			t.Fatalf("item %d (%q) diverges:\n got %+v\nwant %+v", i, reqs[i].SQL, it.Result, want)
+		}
+	}
+	if st := eng.BatcherStats(); st.Templates.Items == 0 {
+		t.Fatalf("explicit batch did not travel the micro-batch path: %+v", st)
+	}
+}
+
+// TestBatchedEngineClosed pins shutdown semantics with batching on.
+func TestBatchedEngineClosed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	rec := engineRecommender(t)
+	eng := NewEngineWithOptions(rec, nil, EngineOptions{Workers: 1, BatchSize: 2})
+	eng.Close()
+	_, err := eng.Recommend(context.Background(), testRequest("SELECT ra FROM PhotoObj"))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recommend after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBatchingDisabledByDefault pins the zero-value contract: without
+// BatchSize the engine keeps the per-request path and reports batching
+// off.
+func TestBatchingDisabledByDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	rec := engineRecommender(t)
+	eng := NewEngine(rec, nil, 1)
+	defer eng.Close()
+	if eng.batT != nil || eng.BatcherStats().Enabled {
+		t.Fatal("batcher active on zero-value options")
+	}
+}

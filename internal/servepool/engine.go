@@ -110,7 +110,25 @@ type EngineOptions struct {
 	// hard deadline, leaving room to degrade instead of timing out; 0
 	// disables. Batch items inherit it individually (per-item budgets).
 	SoftTimeout time.Duration
+	// BatchSize enables micro-batched inference when >= 2 and the
+	// predictor implements BatchPredictor: concurrent requests coalesce
+	// into batched model passes of at most this many items. 0 or 1
+	// keeps the per-request path — the zero value changes nothing.
+	BatchSize int
+	// BatchWindow bounds how long the first request of a forming batch
+	// waits for company before the batch flushes anyway; <= 0 defaults
+	// to 500µs. Ignored unless batching is enabled.
+	BatchWindow time.Duration
+	// Now and After inject the batcher's clock and timer for tests; nil
+	// uses time.Now and time.After.
+	Now   func() time.Time
+	After func(time.Duration) <-chan time.Time
 }
+
+// defaultBatchWindow bounds batch formation when the caller enables
+// batching without choosing a window: long enough to coalesce genuinely
+// concurrent arrivals, short enough to be noise against a model pass.
+const defaultBatchWindow = 500 * time.Microsecond
 
 // Engine executes recommendations for one trained model: the template and
 // fragment predictions of a request run as two independent tasks on the
@@ -132,6 +150,13 @@ type Engine struct {
 	brk   *overload.Breaker
 	fb    *Fallback
 	soft  time.Duration
+
+	// Micro-batching (nil/zero when disabled): one batcher per
+	// prediction half, sharing the worker pool for execution.
+	batT        *batcher
+	batF        *batcher
+	batchSize   int
+	batchWindow time.Duration
 
 	degraded      atomic.Uint64
 	softTimeouts  atomic.Uint64
@@ -155,7 +180,7 @@ func NewEngineWithOptions(rec *core.Recommender, cache *reccache.Cache, opts Eng
 	if opts.Admission != nil {
 		opts.Admission.Bind(pool.QueueDepth, pool.QueueCap())
 	}
-	return &Engine{
+	e := &Engine{
 		rec:   rec,
 		cache: cache,
 		pool:  pool,
@@ -164,6 +189,72 @@ func NewEngineWithOptions(rec *core.Recommender, cache *reccache.Cache, opts Eng
 		brk:   opts.Breaker,
 		fb:    opts.Fallback,
 		soft:  opts.SoftTimeout,
+	}
+	if bp, ok := pred.(BatchPredictor); ok && opts.BatchSize >= 2 {
+		window := opts.BatchWindow
+		if window <= 0 {
+			window = defaultBatchWindow
+		}
+		now := opts.Now
+		if now == nil {
+			now = time.Now
+		}
+		after := opts.After
+		if after == nil {
+			after = time.After
+		}
+		e.batchSize = opts.BatchSize
+		e.batchWindow = window
+		e.batT = newBatcher(opts.BatchSize, window, now, after, pool, e.execTemplates(bp))
+		e.batF = newBatcher(opts.BatchSize, window, now, after, pool, e.execFragments(bp))
+	}
+	return e
+}
+
+// execTemplates builds the template batcher's execution step: one batched
+// predictor call, then per-item cache fill and completion. A batch-wide
+// error (or recovered panic) fails every item — each waiter's Recommend
+// ladder then triages it exactly as a sequential failure.
+func (e *Engine) execTemplates(bp BatchPredictor) func([]*batchItem) {
+	return func(items []*batchItem) {
+		qs := make([]TemplateQuery, len(items))
+		for i, it := range items {
+			qs[i] = TemplateQuery{PrevToks: it.prevToks, CurToks: it.curToks, N: it.n}
+		}
+		outs, err := safePredict(func() ([][]string, error) {
+			return bp.TemplatesBatch(context.Background(), qs)
+		})
+		for i, it := range items {
+			if err != nil {
+				it.err = err
+			} else {
+				it.tmpl = outs[i]
+				e.cache.Put(it.key, outs[i])
+			}
+			close(it.done)
+		}
+	}
+}
+
+// execFragments is execTemplates' fragment-half twin.
+func (e *Engine) execFragments(bp BatchPredictor) func([]*batchItem) {
+	return func(items []*batchItem) {
+		qs := make([]FragmentQuery, len(items))
+		for i, it := range items {
+			qs[i] = FragmentQuery{CurToks: it.curToks, N: it.n, Opts: it.opts}
+		}
+		outs, err := safePredict(func() ([]map[sqlast.FragmentKind][]string, error) {
+			return bp.FragmentsBatch(context.Background(), qs)
+		})
+		for i, it := range items {
+			if err != nil {
+				it.err = err
+			} else {
+				it.frags = outs[i]
+				e.cache.Put(it.key, outs[i])
+			}
+			close(it.done)
+		}
 	}
 }
 
@@ -176,8 +267,30 @@ func (e *Engine) CacheStats() reccache.Stats { return e.cache.Stats() }
 // PoolStats snapshots the worker pool counters.
 func (e *Engine) PoolStats() PoolStats { return e.pool.Stats() }
 
-// Close drains and stops the worker pool.
-func (e *Engine) Close() { e.pool.Close() }
+// BatcherStats snapshots the micro-batcher counters (Enabled false and
+// zero counters when batching is off).
+func (e *Engine) BatcherStats() BatcherStats {
+	if e.batT == nil {
+		return BatcherStats{}
+	}
+	return BatcherStats{
+		Enabled:   true,
+		MaxSize:   e.batchSize,
+		WindowNs:  e.batchWindow,
+		Templates: e.batT.stats(),
+		Fragments: e.batF.stats(),
+	}
+}
+
+// Close drains and stops the worker pool. Batchers close first so their
+// final flush can still reach the pool.
+func (e *Engine) Close() {
+	if e.batT != nil {
+		e.batT.close()
+		e.batF.close()
+	}
+	e.pool.Close()
+}
 
 // optsKey serializes every field that changes search output, so distinct
 // option sets never collide in the cache.
@@ -319,8 +432,12 @@ func (e *Engine) shedAnswer(pr prepared, n int, rej error) (*Result, error) {
 	return nil, rej
 }
 
-// modelPath runs the two prediction halves in parallel on the pool.
+// modelPath runs the two prediction halves in parallel on the pool,
+// coalescing them into micro-batches when batching is enabled.
 func (e *Engine) modelPath(ctx context.Context, pr prepared, req Request) (*Result, error) {
+	if e.batT != nil {
+		return e.modelPathBatched(ctx, pr, req)
+	}
 	res := &Result{}
 	var tmplErr, fragErr error
 	errc := make(chan error, 2)
@@ -348,6 +465,73 @@ func (e *Engine) modelPath(ctx context.Context, pr prepared, req Request) (*Resu
 	}
 	if fragErr != nil {
 		return nil, fragErr
+	}
+	return res, nil
+}
+
+// modelPathBatched is the coalescing model path: each half probes the
+// cache, then a miss joins the matching batcher's forming batch. Both
+// halves enqueue before either is waited on, so one request's two halves
+// can ride the same pair of batches. Waiting mirrors Pool.Do's contract —
+// ctx expiry returns ctx.Err() while the batch may still run (and still
+// fills the cache), so the Recommend ladder's soft-budget degrade and
+// abandonment semantics are unchanged from the sequential path.
+func (e *Engine) modelPathBatched(ctx context.Context, pr prepared, req Request) (*Result, error) {
+	res := &Result{}
+	var itT, itF *batchItem
+	if v, ok := e.cache.Get(pr.tmplKey); ok {
+		res.Templates = v.([]string)
+	} else {
+		itT = &batchItem{
+			ctx:      ctx,
+			key:      pr.tmplKey,
+			prevToks: pr.prevToks,
+			curToks:  pr.curToks,
+			n:        req.N,
+			done:     make(chan struct{}),
+		}
+		if err := e.batT.enqueue(itT); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := e.cache.Get(pr.fragKey); ok {
+		res.Fragments = v.(map[sqlast.FragmentKind][]string)
+	} else {
+		itF = &batchItem{
+			ctx:     ctx,
+			key:     pr.fragKey,
+			curToks: pr.curToks,
+			n:       req.N,
+			opts:    req.Opts,
+			done:    make(chan struct{}),
+		}
+		if err := e.batF.enqueue(itF); err != nil {
+			// The template item (if any) stays in its batch and completes
+			// without us; its result still lands in the cache.
+			return nil, err
+		}
+	}
+	if itT != nil {
+		select {
+		case <-itT.done:
+			if itT.err != nil {
+				return nil, itT.err
+			}
+			res.Templates = itT.tmpl
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if itF != nil {
+		select {
+		case <-itF.done:
+			if itF.err != nil {
+				return nil, itF.err
+			}
+			res.Fragments = itF.frags
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	return res, nil
 }
@@ -440,7 +624,11 @@ type BatchItem struct {
 // corresponding item and never poison their batch siblings; a cancelled
 // context fails the remainder. Each item passes the overload ladder
 // independently and gets its own soft budget, so one slow item degrades
-// (or errors) alone.
+// (or errors) alone. With micro-batching enabled the concurrent items
+// coalesce through the same batchers as independent Recommend callers —
+// explicit batches and coalesced traffic share one model path, and an
+// item whose context dies while its batch is forming is dropped at flush
+// without touching its siblings.
 func (e *Engine) RecommendBatch(ctx context.Context, reqs []Request) []BatchItem {
 	out := make([]BatchItem, len(reqs))
 	done := make(chan int, len(reqs))

@@ -64,3 +64,52 @@ func BenchmarkServeSaturated(b *testing.B) {
 	b.ReportMetric(float64(sheds)/float64(b.N), "sheds/op")
 	b.ReportMetric(float64(ov.Degraded)/float64(b.N), "degraded/op")
 }
+
+// batchBenchBodies rotate structurally distinct queries so the cacheless
+// model path sees mixed sequence lengths, the shape micro-batching pads.
+var batchBenchBodies = []string{
+	`{"sql": "SELECT a FROM t", "n": 3}`,
+	`{"sql": "SELECT a, b FROM t", "n": 3}`,
+	`{"sql": "SELECT a FROM t WHERE a > 1", "n": 3}`,
+	`{"sql": "SELECT b FROM t", "n": 3}`,
+}
+
+// benchServeBatched is saturated REAL-model traffic (no instant predictor:
+// micro-batching saves model compute, so that is what must be on the
+// clock) with micro-batching off or on. One worker matches the container's
+// single core; eight client goroutines keep batches forming by size.
+func benchServeBatched(b *testing.B, batchSize int) {
+	srv := NewWithConfig(chaosRecommender(b), Config{
+		Workers:     1,
+		CacheSize:   -1, // every request travels the model path
+		BatchSize:   batchSize,
+		BatchWindow: time.Millisecond,
+	})
+	defer srv.Close()
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body := batchBenchBodies[i%len(batchBenchBodies)]
+			i++
+			if w := chaosPost(srv, "/v1/recommend", body, nil); w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	if st := srv.engine().BatcherStats(); st.Enabled && st.Templates.Batches > 0 {
+		// Mean executed batch size; bench.sh records it as batched_per_op.
+		b.ReportMetric(float64(st.Templates.Items)/float64(st.Templates.Batches), "batched/op")
+	}
+}
+
+// BenchmarkServeBatchedOff is the baseline half of the batching
+// comparison recorded in BENCH_serve.json.
+func BenchmarkServeBatchedOff(b *testing.B) { benchServeBatched(b, 0) }
+
+// BenchmarkServeBatchedOn4 coalesces up to 4 concurrent requests per
+// model pass through the same HTTP path.
+func BenchmarkServeBatchedOn4(b *testing.B) { benchServeBatched(b, 4) }

@@ -119,6 +119,15 @@ type Config struct {
 	// Timeout, leaving room to answer degraded instead of 504. Batch
 	// items get their own soft budget each. 0 disables.
 	SoftTimeout time.Duration
+	// BatchSize enables micro-batched inference when >= 2: concurrent
+	// requests (and /v1/recommend/batch items) coalesce into batched
+	// model passes of at most this many items, bit-identical to the
+	// per-request path. 0 keeps single-request inference.
+	BatchSize int
+	// BatchWindow bounds how long the first request of a forming batch
+	// waits for company; <= 0 uses the engine default (500µs). Ignored
+	// unless BatchSize enables batching.
+	BatchWindow time.Duration
 	// Rate and Burst configure the per-client token-bucket limiter
 	// (requests/second and bucket size, keyed by X-Client-ID or remote
 	// host). Rate 0 disables rate limiting.
@@ -317,6 +326,9 @@ func (s *Server) buildEngine(rec *core.Recommender, fb *servepool.Fallback) *ser
 		Breaker:     brk,
 		Fallback:    fb,
 		SoftTimeout: cfg.SoftTimeout,
+		BatchSize:   cfg.BatchSize,
+		BatchWindow: cfg.BatchWindow,
+		Now:         cfg.Now,
 	})
 }
 
@@ -469,6 +481,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"arch":    string(rec.Model.Config().Arch),
 		"cache":   eng.CacheStats(),
 		"pool":    eng.PoolStats(),
+		"batcher": eng.BatcherStats(),
 		"panics":  s.panics.Load(),
 		"swaps":   s.swaps.Load(),
 		"overload": map[string]any{

@@ -1,0 +1,198 @@
+// Batched-inference kernels: the serving stack's micro-batcher stacks
+// several padded token sequences into one matrix and runs them through
+// shared GEMM passes. A batch is described by its valid row Spans (one per
+// sequence); pad rows between spans are never read or written, so the
+// masked kernels cost only the valid work and every valid row gets exactly
+// the bits the single-sequence kernel would have produced (the per-element
+// accumulation order of matMulRange is row-local, so stacking rows cannot
+// change any output bit — the batched-inference determinism contract rests
+// on this).
+package tensor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Span is a half-open row range [Lo, Hi) of valid rows within a stacked
+// batch matrix.
+type Span struct{ Lo, Hi int }
+
+// Len returns the number of rows in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// spanRows sums the valid row counts.
+func spanRows(spans []Span) int {
+	n := 0
+	for _, s := range spans {
+		n += s.Len()
+	}
+	return n
+}
+
+// MatMulSpansInto computes out[r] = a[r] @ b for every row r inside spans,
+// leaving rows outside the spans untouched. It is the masked batched GEMM
+// of the serving path: one kernel dispatch covers every sequence in a
+// padded batch, banding the valid rows across goroutines with the same
+// row fan-out as MatMulInto. Spans must be sorted, non-overlapping and
+// within a's rows. Each valid output row is bit-identical to a
+// single-sequence MatMulInto over that row.
+func MatMulSpansInto(out, a, b *Tensor, spans []Span) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul-spans shape %dx%d @ %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	valid := spanRows(spans)
+	if valid == 0 {
+		return
+	}
+	m, p := a.Cols, b.Cols
+	// Band over the *valid* rows so pad-heavy batches don't starve workers,
+	// then map each band back to physical sub-ranges. matMulRange computes
+	// rows independently, so the banding is invisible in the output bits.
+	dispatchRows(valid, valid*m*p, func(lo, hi int) {
+		off := 0
+		for _, s := range spans {
+			n := s.Len()
+			if off+n <= lo {
+				off += n
+				continue
+			}
+			if off >= hi {
+				break
+			}
+			i0, i1 := s.Lo, s.Hi
+			if lo > off {
+				i0 += lo - off
+			}
+			if hi < off+n {
+				i1 -= off + n - hi
+			}
+			matMulRange(out, a, b, false, i0, i1)
+			off += n
+		}
+	})
+}
+
+// AddRowSpansInto writes out[r] = a[r] + row for every row r inside spans
+// (row is 1×cols). With out == a the add is in place. This is the bias
+// broadcast of a batched linear layer; pad rows are untouched.
+func AddRowSpansInto(out, a, row *Tensor, spans []Span) {
+	if row.Rows != 1 || row.Cols != a.Cols || out.Rows != a.Rows || out.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: add-row-spans %dx%d + %dx%d -> %dx%d",
+			a.Rows, a.Cols, row.Rows, row.Cols, out.Rows, out.Cols))
+	}
+	for _, s := range spans {
+		for i := s.Lo; i < s.Hi; i++ {
+			src, dst := a.Row(i), out.Row(i)
+			for j, bv := range row.Data {
+				dst[j] = src[j] + bv
+			}
+		}
+	}
+}
+
+// SoftmaxSpansInto applies the row-wise softmax of SoftmaxRowsInto to the
+// rows inside spans only (out == a allowed), skipping pad rows. Each valid
+// row matches SoftmaxRowsInto on that row bit for bit.
+func SoftmaxSpansInto(out, a *Tensor, spans []Span) {
+	mustSame("softmax-spans", a, out)
+	for _, s := range spans {
+		if s.Len() == 0 {
+			continue
+		}
+		sub := FromSlice(s.Len(), a.Cols, a.Data[s.Lo*a.Cols:s.Hi*a.Cols])
+		osub := FromSlice(s.Len(), a.Cols, out.Data[s.Lo*a.Cols:s.Hi*a.Cols])
+		SoftmaxRowsInto(osub, sub)
+	}
+}
+
+// TopKRowsInto computes TopKRowInto for every row of t, appending one
+// index slice per row to dst (reused when capacities allow). ks gives the
+// per-row k. The returned slices alias dst's backing arrays and stay valid
+// until the next call with the same dst.
+func (t *Tensor) TopKRowsInto(ks []int, dst [][]int) [][]int {
+	if len(ks) != t.Rows {
+		panic(fmt.Sprintf("tensor: topk-rows %d ks for %d rows", len(ks), t.Rows))
+	}
+	dst = dst[:0]
+	for i := 0; i < t.Rows; i++ {
+		dst = append(dst, t.TopKRowInto(i, ks[i], nil))
+	}
+	return dst
+}
+
+// BatchScratch is the workspace ledger of one micro-batch: every tensor it
+// hands out comes from the shared size-classed pool and is recorded, so
+// the whole batch's scratch goes back in one release when the batch
+// completes. Get it from (and return it to) a BatchArena. A BatchScratch
+// is single-goroutine state — one forming batch owns it exclusively.
+type BatchScratch struct {
+	held []*Tensor
+}
+
+// Get returns a zeroed rows×cols tensor recorded in the ledger. The
+// caller must not Put it individually — release() returns everything.
+func (s *BatchScratch) Get(rows, cols int) *Tensor {
+	t := Shared.Get(rows, cols)
+	s.held = append(s.held, t)
+	return t
+}
+
+// release returns every recorded tensor to the shared pool.
+func (s *BatchScratch) release() {
+	for _, t := range s.held {
+		Shared.Put(t)
+	}
+	s.held = s.held[:0]
+}
+
+// BatchArena recycles BatchScratch ledgers between micro-batches. Get
+// hands out an empty ledger; Put releases the ledger's tensors to the
+// shared pool and recycles the ledger struct. The Get/Put lifecycle
+// discipline matches tensor.Pool and sqlast.ArenaPool, and qrec-lint's
+// poolsafe rule enforces it for all three (a leaked ledger strands every
+// tensor it recorded).
+type BatchArena struct {
+	pool sync.Pool
+
+	gets atomic.Uint64
+	puts atomic.Uint64
+}
+
+// Batches is the process-wide arena used by the batched inference path.
+var Batches = NewBatchArena()
+
+// NewBatchArena returns an empty arena.
+func NewBatchArena() *BatchArena { return &BatchArena{} }
+
+// Get returns an empty scratch ledger.
+func (a *BatchArena) Get() *BatchScratch {
+	a.gets.Add(1)
+	if s, ok := a.pool.Get().(*BatchScratch); ok {
+		return s
+	}
+	return &BatchScratch{}
+}
+
+// Put releases every tensor the ledger recorded and recycles it. The
+// ledger (and every tensor it handed out) must not be used afterward.
+func (a *BatchArena) Put(s *BatchScratch) {
+	if s == nil {
+		return
+	}
+	a.puts.Add(1)
+	s.release()
+	a.pool.Put(s)
+}
+
+// BatchArenaStats is a snapshot of ledger traffic.
+type BatchArenaStats struct {
+	Gets, Puts uint64
+}
+
+// Stats snapshots the counters.
+func (a *BatchArena) Stats() BatchArenaStats {
+	return BatchArenaStats{Gets: a.gets.Load(), Puts: a.puts.Load()}
+}

@@ -1,0 +1,247 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randSpans builds a random sorted, non-overlapping span layout inside
+// rows total rows: segment lengths 0..maxSeg with optional pad gaps, the
+// shape of a padded micro-batch.
+func randSpans(rng *rand.Rand, rows, maxSeg int) []Span {
+	var spans []Span
+	at := 0
+	for at < rows {
+		gap := rng.Intn(3)
+		at += gap
+		if at >= rows {
+			break
+		}
+		n := rng.Intn(maxSeg + 1)
+		if at+n > rows {
+			n = rows - at
+		}
+		spans = append(spans, Span{Lo: at, Hi: at + n})
+		at += n
+	}
+	return spans
+}
+
+// TestMatMulSpansBitIdentical checks the masked batched GEMM against
+// per-segment MatMulInto (itself proven against the naive reference):
+// every valid row must match bit for bit for every worker count, and pad
+// rows must keep whatever bits they held before the call.
+func TestMatMulSpansBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, workers := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(workers)
+		for trial := 0; trial < 20; trial++ {
+			rows := 1 + rng.Intn(64)
+			m := 1 + rng.Intn(48)
+			p := 1 + rng.Intn(48)
+			a := randTensor(rng, rows, m)
+			b := randTensor(rng, m, p)
+			spans := randSpans(rng, rows, 16)
+
+			got := New(rows, p)
+			for i := range got.Data {
+				got.Data[i] = -999 // sentinel: pad rows must be untouched
+			}
+			MatMulSpansInto(got, a, b, spans)
+
+			want := New(rows, p)
+			for i := range want.Data {
+				want.Data[i] = -999
+			}
+			for _, s := range spans {
+				if s.Len() == 0 {
+					continue
+				}
+				av := FromSlice(s.Len(), m, a.Data[s.Lo*m:s.Hi*m])
+				ov := FromSlice(s.Len(), p, want.Data[s.Lo*p:s.Hi*p])
+				for i := range ov.Data {
+					ov.Data[i] = 0
+				}
+				MatMulInto(ov, av, b, false)
+			}
+			assertExact(t, fmt.Sprintf("matmul-spans w=%d trial=%d", workers, trial), got, want)
+		}
+	}
+}
+
+// TestAddRowSpansBitIdentical checks the bias broadcast against the plain
+// per-row loop, in place and out of place, with untouched pad rows.
+func TestAddRowSpansBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		rows := 1 + rng.Intn(32)
+		cols := 1 + rng.Intn(24)
+		a := randTensor(rng, rows, cols)
+		row := randTensor(rng, 1, cols)
+		spans := randSpans(rng, rows, 8)
+
+		want := New(rows, cols)
+		copy(want.Data, a.Data)
+		for _, s := range spans {
+			for i := s.Lo; i < s.Hi; i++ {
+				for j := 0; j < cols; j++ {
+					want.Data[i*cols+j] = a.Data[i*cols+j] + row.Data[j]
+				}
+			}
+		}
+
+		got := New(rows, cols)
+		copy(got.Data, a.Data)
+		AddRowSpansInto(got, got, row, spans) // in place
+		assertExact(t, "add-row-spans in-place", got, want)
+
+		got2 := New(rows, cols)
+		copy(got2.Data, a.Data)
+		AddRowSpansInto(got2, a, row, spans)
+		assertExact(t, "add-row-spans", got2, want)
+	}
+}
+
+// TestSoftmaxSpansBitIdentical checks the masked softmax against
+// SoftmaxRowsInto applied per segment.
+func TestSoftmaxSpansBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		rows := 1 + rng.Intn(32)
+		cols := 1 + rng.Intn(24)
+		a := randTensor(rng, rows, cols)
+		spans := randSpans(rng, rows, 8)
+
+		want := New(rows, cols)
+		copy(want.Data, a.Data)
+		for _, s := range spans {
+			if s.Len() == 0 {
+				continue
+			}
+			sub := FromSlice(s.Len(), cols, want.Data[s.Lo*cols:s.Hi*cols])
+			SoftmaxRowsInto(sub, sub)
+		}
+
+		got := New(rows, cols)
+		copy(got.Data, a.Data)
+		SoftmaxSpansInto(got, got, spans)
+		assertExact(t, "softmax-spans", got, want)
+	}
+}
+
+// TestTopKRowsInto checks the batched top-k against the single-row kernel
+// with mixed per-row k values.
+func TestTopKRowsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tt := randTensor(rng, 9, 17)
+	ks := make([]int, tt.Rows)
+	for i := range ks {
+		ks[i] = 1 + rng.Intn(5)
+	}
+	var dst [][]int
+	dst = tt.TopKRowsInto(ks, dst)
+	if len(dst) != tt.Rows {
+		t.Fatalf("TopKRowsInto returned %d rows, want %d", len(dst), tt.Rows)
+	}
+	for i := range dst {
+		want := tt.TopKRowInto(i, ks[i], nil)
+		if len(dst[i]) != len(want) {
+			t.Fatalf("row %d: got %d indices, want %d", i, len(dst[i]), len(want))
+		}
+		for j := range want {
+			if dst[i][j] != want[j] {
+				t.Fatalf("row %d idx %d: got %d, want %d", i, j, dst[i][j], want[j])
+			}
+		}
+	}
+}
+
+// TestBatchArenaLifecycle checks that the ledger returns its tensors to
+// the shared pool on Put, recycles cleanly, and counts traffic.
+func TestBatchArenaLifecycle(t *testing.T) {
+	a := NewBatchArena()
+	s := a.Get()
+	x := s.Get(4, 8)
+	y := s.Get(2, 2)
+	if x.Rows != 4 || x.Cols != 8 || y.Rows != 2 || y.Cols != 2 {
+		t.Fatalf("scratch shapes wrong: %dx%d, %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	for i := range x.Data {
+		if x.Data[i] != 0 {
+			t.Fatalf("scratch tensor not zeroed at %d", i)
+		}
+	}
+	x.Data[0] = 1
+	a.Put(s)
+
+	s2 := a.Get()
+	z := s2.Get(4, 8)
+	for i := range z.Data {
+		if z.Data[i] != 0 {
+			t.Fatalf("recycled tensor not zeroed at %d", i)
+		}
+	}
+	a.Put(s2)
+	a.Put(nil) // no-op
+
+	st := a.Stats()
+	if st.Gets != 2 || st.Puts != 2 {
+		t.Fatalf("stats = %+v, want 2 gets / 2 puts", st)
+	}
+}
+
+// The batched-kernel suite: one masked batched GEMM over B stacked
+// sequences vs B independent GEMMs — the serve-time coalescing win at the
+// kernel level (shared dispatch, one fan-out decision, no per-sequence
+// goroutine ramp).
+func benchSpansLayout(b int, l int, m int, p int) (*Tensor, *Tensor, []Span) {
+	rng := rand.New(rand.NewSource(21))
+	a := randTensor(rng, b*l, m)
+	w := randTensor(rng, m, p)
+	spans := make([]Span, b)
+	for i := 0; i < b; i++ {
+		// Mixed lengths: alternate full and half-length segments, like a
+		// padded batch of uneven queries.
+		n := l
+		if i%2 == 1 {
+			n = l / 2
+		}
+		spans[i] = Span{Lo: i * l, Hi: i*l + n}
+	}
+	return a, w, spans
+}
+
+func BenchmarkBatchedGEMMSpans(b *testing.B) {
+	for _, bs := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("batch%d", bs), func(b *testing.B) {
+			a, w, spans := benchSpansLayout(bs, 24, 32, 32)
+			out := New(a.Rows, w.Cols)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulSpansInto(out, a, w, spans)
+			}
+		})
+	}
+}
+
+func BenchmarkBatchedGEMMSequential(b *testing.B) {
+	for _, bs := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("batch%d", bs), func(b *testing.B) {
+			a, w, spans := benchSpansLayout(bs, 24, 32, 32)
+			out := New(a.Rows, w.Cols)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, s := range spans {
+					av := FromSlice(s.Len(), a.Cols, a.Data[s.Lo*a.Cols:s.Hi*a.Cols])
+					ov := FromSlice(s.Len(), w.Cols, out.Data[s.Lo*w.Cols:s.Hi*w.Cols])
+					MatMulInto(ov, av, w, false)
+				}
+			}
+		})
+	}
+}

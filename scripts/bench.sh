@@ -58,9 +58,11 @@ bench_json() {
 	echo "wrote $out" >&2
 }
 
-# Kernel-level: GEMM variants and the autograd op-node steady state.
-bench_json "./internal/tensor ./internal/autograd" \
-	'BenchmarkMatMul' BENCH_kernels.json
+# Kernel-level: GEMM variants, the autograd op-node steady state, and the
+# batched-inference kernels (span GEMM vs per-segment, padded batch encode
+# vs sequential, lockstep batched beam vs sequential).
+bench_json "./internal/tensor ./internal/autograd ./internal/seq2seq ./internal/decode" \
+	'BenchmarkMatMul|BenchmarkBatched' BENCH_kernels.json
 
 # Training-level: the Table 3 training-step benchmark plus pair
 # extraction, the end-to-end numbers the perf work is judged on.
@@ -73,7 +75,9 @@ bench_json "./internal/sqlparse" \
 	'BenchmarkTokenize|BenchmarkParse' BENCH_parse.json
 
 # Serving-level: unsaturated vs saturated request cost through the full
-# HTTP stack, including the overload ladder's shed/degraded rates, plus
-# saturated gateway throughput at 1/2/4-replica fleet widths.
+# HTTP stack, including the overload ladder's shed/degraded rates, the
+# micro-batching on/off comparison on the real model path (its mean batch
+# size lands as batched_per_op), plus saturated gateway throughput at
+# 1/2/4-replica fleet widths.
 bench_json "./internal/server ./internal/gateway" \
-	'BenchmarkServeUnsaturated|BenchmarkServeSaturated|BenchmarkGatewayReplicas' BENCH_serve.json
+	'BenchmarkServeUnsaturated|BenchmarkServeSaturated|BenchmarkServeBatched|BenchmarkGatewayReplicas' BENCH_serve.json

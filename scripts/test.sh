@@ -22,6 +22,8 @@ go test -race "$@" ./...
 # fails the gate.
 go test -run '^$' -bench 'BenchmarkMatMul|BenchmarkTable3ModelStats' \
 	-benchtime 1x . ./internal/tensor ./internal/autograd >/dev/null
+go test -run '^$' -bench 'BenchmarkBatched' \
+	-benchtime 1x ./internal/tensor ./internal/seq2seq ./internal/decode >/dev/null
 go test -run '^$' -bench 'BenchmarkServe' -benchtime 1x ./internal/server >/dev/null
 go test -run '^$' -bench 'BenchmarkGatewayReplicas1' -benchtime 1x ./internal/gateway >/dev/null
 go test -run '^$' -bench 'BenchmarkTokenize|BenchmarkParse' -benchtime 1x ./internal/sqlparse >/dev/null

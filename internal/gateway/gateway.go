@@ -282,6 +282,7 @@ func (g *Gateway) forward(path, key, clientID string, body []byte) *flightResult
 		attempts = len(cands)
 	}
 	budget := time.Duration(attempts)*g.cfg.AttemptTimeout + time.Duration(attempts)*maxBackoff
+	//lint:ignore ctxflow collapsed followers share this flight: the leader's request context must not cancel the answer for the rest (see doc comment)
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
 

@@ -248,6 +248,7 @@ func (b *batcher) launch(batch []*batchItem, bySize bool) {
 		// submitters' deadlines must not abort their siblings' work.
 		// Submitters that give up stop waiting (same contract as
 		// Pool.Do: fn may still run after the caller's ctx expires).
+		//lint:ignore ctxflow deliberate detachment, see comment above: the shared batch must outlive any single submitter's deadline
 		if err := b.pool.Do(context.Background(), func() { b.exec(live) }); err != nil {
 			for _, it := range live {
 				it.err = err
@@ -295,8 +296,8 @@ type BatcherStats struct {
 	// a BatchPredictor model path).
 	Enabled bool `json:"enabled"`
 	// MaxSize and WindowNs echo the configured bounds.
-	MaxSize   int           `json:"max_size,omitempty"`
-	WindowNs  time.Duration `json:"window_ns,omitempty"`
+	MaxSize   int              `json:"max_size,omitempty"`
+	WindowNs  time.Duration    `json:"window_ns,omitempty"`
 	Templates BatcherHalfStats `json:"templates"`
 	Fragments BatcherHalfStats `json:"fragments"`
 }

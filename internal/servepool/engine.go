@@ -222,6 +222,7 @@ func (e *Engine) execTemplates(bp BatchPredictor) func([]*batchItem) {
 			qs[i] = TemplateQuery{PrevToks: it.prevToks, CurToks: it.curToks, N: it.n}
 		}
 		outs, err := safePredict(func() ([][]string, error) {
+			//lint:ignore ctxflow the batch serves many waiters: one submitter's deadline must not cancel its siblings' work
 			return bp.TemplatesBatch(context.Background(), qs)
 		})
 		for i, it := range items {
@@ -244,6 +245,7 @@ func (e *Engine) execFragments(bp BatchPredictor) func([]*batchItem) {
 			qs[i] = FragmentQuery{CurToks: it.curToks, N: it.n, Opts: it.opts}
 		}
 		outs, err := safePredict(func() ([]map[sqlast.FragmentKind][]string, error) {
+			//lint:ignore ctxflow the batch serves many waiters: one submitter's deadline must not cancel its siblings' work
 			return bp.FragmentsBatch(context.Background(), qs)
 		})
 		for i, it := range items {

@@ -70,6 +70,7 @@ func serveHandler(ctx context.Context, ln net.Listener, h http.Handler, drainFn,
 	if drainFn != nil {
 		drainFn()
 	}
+	//lint:ignore ctxflow the listen ctx is already canceled here: the drain deadline must be a fresh root or Shutdown would abort instantly
 	shCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := hs.Shutdown(shCtx)

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: test test-short chaos chaos-gw bench bench-json fuzz fuzz-short build vet lint lint-fix-list
+.PHONY: test test-short chaos chaos-gw bench bench-json fuzz fuzz-short build vet lint lint-fix-list lint-fixtures
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,22 @@ vet:
 	$(GO) vet ./...
 
 # Project static analysis (internal/lint): determinism, map-order,
-# pool-lifecycle, float-equality and durability rules. Non-zero exit on
-# findings; part of the tier-1 gate via scripts/test.sh.
+# pool-lifecycle, float-equality, durability and concurrency (lock
+# balance, goroutine leaks, context threading, atomic mixing) rules.
+# Non-zero exit on findings; part of the tier-1 gate via scripts/test.sh.
 lint:
 	$(GO) run ./cmd/qrec-lint ./...
 
 # Triage mode: print findings without failing, for incremental cleanup.
 lint-fix-list:
 	$(GO) run ./cmd/qrec-lint -list ./...
+
+# Just the golden-fixture harness: every analyzer against its
+# testdata/src/<rule> package, the //lint:ignore suppression proofs, and
+# the meta-test that refuses fixture-less analyzers. Fast inner loop for
+# analyzer development; the full gate runs these too.
+lint-fixtures:
+	$(GO) test -run 'Fixture|TestIgnoreSuppression|TestDirectiveHygiene|TestEveryAnalyzerHasFixtures' ./internal/lint
 
 test:
 	./scripts/test.sh

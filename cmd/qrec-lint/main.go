@@ -1,18 +1,23 @@
 // qrec-lint runs the project's static-analysis suite (internal/lint):
-// determinism, map-iteration-order, pool-lifecycle, float-equality and
-// durability rules, built on the standard library's go/* packages alone.
+// determinism, map-iteration-order, pool-lifecycle, float-equality,
+// durability and concurrency (lock balance, goroutine leaks, context
+// threading, atomic mixing) rules, built on the standard library's go/*
+// packages alone.
 //
 // Usage:
 //
-//	qrec-lint [-list] [-rules detrand,maporder,...] [packages]
+//	qrec-lint [-list] [-json] [-rules detrand,lockbal,...] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Exit
 // status is 1 when findings survive the //lint:ignore filter, 2 on a
-// load or usage error, 0 otherwise. -list prints findings but always
-// exits 0 (triage mode, see `make lint-fix-list`).
+// load or usage error (including an unknown -rules name), 0 otherwise.
+// -list prints findings but always exits 0 (triage mode, see `make
+// lint-fix-list`). -json emits one JSON object per finding — kept and
+// suppressed — on stdout for CI consumption.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +27,21 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonFinding is the one-line-per-finding CI format: stable field names,
+// suppressed findings included and marked so the ignore set is auditable
+// from the same stream.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Rule       string `json:"rule"`
+	Msg        string `json:"msg"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "print findings but exit 0 (triage mode)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line (includes suppressed findings)")
 	rules := flag.String("rules", "", "comma-separated subset of analyzers to run (default: all)")
 	flag.Parse()
 
@@ -38,21 +56,14 @@ func main() {
 	}
 	analyzers := lint.DefaultAnalyzers(loader.ModulePath())
 	if *rules != "" {
-		want := map[string]bool{}
+		var names []string
 		for _, r := range strings.Split(*rules, ",") {
-			want[strings.TrimSpace(r)] = true
+			names = append(names, strings.TrimSpace(r))
 		}
-		var kept []*lint.Analyzer
-		for _, az := range analyzers {
-			if want[az.Name] {
-				kept = append(kept, az)
-				delete(want, az.Name)
-			}
+		analyzers, err = lint.SelectAnalyzers(analyzers, names)
+		if err != nil {
+			fatal(fmt.Errorf("qrec-lint: %w", err))
 		}
-		for name := range want {
-			fatal(fmt.Errorf("qrec-lint: unknown rule %q", name))
-		}
-		analyzers = kept
 	}
 
 	pkgs, err := loader.LoadPatterns(patterns)
@@ -62,13 +73,39 @@ func main() {
 	res := lint.Run(pkgs, analyzers)
 
 	cwd, _ := os.Getwd()
-	for _, d := range res.Diags {
+	relativize := func(name string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				return rel
 			}
 		}
-		fmt.Println(d)
+		return name
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		emit := func(diags []lint.Diagnostic, suppressed bool) {
+			for _, d := range diags {
+				f := jsonFinding{
+					File:       relativize(d.Pos.Filename),
+					Line:       d.Pos.Line,
+					Col:        d.Pos.Column,
+					Rule:       d.Rule,
+					Msg:        d.Msg,
+					Suppressed: suppressed,
+				}
+				if err := enc.Encode(f); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		emit(res.Diags, false)
+		emit(res.SuppressedDiags, true)
+	} else {
+		for _, d := range res.Diags {
+			d.Pos.Filename = relativize(d.Pos.Filename)
+			fmt.Println(d)
+		}
 	}
 	if res.Suppressed > 0 {
 		fmt.Fprintf(os.Stderr, "qrec-lint: %d finding(s) suppressed by //lint:ignore directives\n", res.Suppressed)

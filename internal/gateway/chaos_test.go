@@ -20,6 +20,7 @@ import (
 	"repro/internal/servepool"
 	"repro/internal/server"
 	"repro/internal/sqlast"
+	"repro/internal/testutil"
 	"repro/internal/tokenizer"
 )
 
@@ -206,6 +207,7 @@ func (p *replicaProc) swaps() uint64 {
 // 429, or 503-with-Retry-After — no hangs, no empty bodies, no torn
 // responses — and the fleet converges back to healthy afterwards.
 func TestChaosGatewayKillRestart(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	reps := []*replicaProc{
 		startReplica(t, "r0", time.Millisecond),
 		startReplica(t, "r1", time.Millisecond),
@@ -403,6 +405,7 @@ func TestChaosGatewayKillRestart(t *testing.T) {
 // (full or degraded), 429-with-Retry-After, or 503-with-Retry-After; a
 // dying batch must never hang or tear its sibling requests.
 func TestChaosGatewayKillMidBatch(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	reps := []*replicaProc{
 		startBatchedReplica(t, "mb0", 4),
 		startBatchedReplica(t, "mb1", 4),

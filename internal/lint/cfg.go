@@ -1,0 +1,415 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds a function-level control-flow graph over go/ast, the
+// substrate for the flow-sensitive analyzers (poolsafe, lockbal). The
+// graph is deliberately statement-grained: each basic block holds the
+// ast.Nodes that execute when the block does — plain statements appear
+// whole, control statements contribute only their non-body parts (an
+// IfStmt contributes its Init and Cond; the branches become separate
+// blocks). Expression-level control flow (&&, ||) is not split; no
+// current analysis needs it.
+//
+// Edges:
+//
+//   - if/else, for, range, switch, type switch and select produce the
+//     expected branch/loop/join edges; a for with no condition has no
+//     fall-through exit (only break leaves it).
+//   - return edges to Exit; break/continue/goto/fallthrough edges to
+//     their targets (labels supported).
+//   - panic(...), os.Exit, log.Fatal* and runtime.Goexit end their block
+//     with an edge to PanicExit, a distinct sink: analyses that reason
+//     about "every normal return" (lock balance, pool leaks) stay quiet
+//     on unwinding paths, where deferred cleanup — which they model
+//     separately — is the only thing that runs anyway.
+//   - defer statements stay in their block as *ast.DeferStmt nodes.
+//     Transfer functions interpret them as arming an exit-time action on
+//     exactly the paths that execute the defer, which is what makes
+//     "defer mu.Unlock() only in one branch" analyzable.
+//   - a func literal is an opaque node of the enclosing graph (its body
+//     is a different function; analyses recurse explicitly).
+//
+// Unreachable statements after a terminator land in an unreachable block
+// with no predecessors; the dataflow engine simply never visits them.
+
+// cfgBlock is one basic block.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	// exit collects normal completions: every return statement and the
+	// implicit fall-off-the-end of the body.
+	exit *cfgBlock
+	// panicExit collects unwinding completions (panic, os.Exit, …).
+	panicExit *cfgBlock
+}
+
+// buildCFG constructs the graph for a function body. info may be nil;
+// it is only used to recognize no-return calls precisely.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *funcCFG {
+	b := &cfgBuilder{info: info, labels: map[string]*labelTarget{}}
+	b.c = &funcCFG{}
+	b.c.entry = b.newBlock()
+	b.c.exit = b.newBlock()
+	b.c.panicExit = b.newBlock()
+	b.cur = b.c.entry
+	b.stmtList(body.List)
+	// Implicit return at the closing brace: the endMarker node lets
+	// analyses run their end-of-function checks (lock still held, pooled
+	// value never released) on the fall-off-the-end path. If the body
+	// ends in a terminator the marker lands in an unreachable block and
+	// is never replayed.
+	b.add(endMarker{body})
+	b.jump(b.c.exit)
+	return b.c
+}
+
+// endMarker is a synthetic CFG node standing for the implicit return at
+// a function body's closing brace. Analyses must type-switch on it
+// before handing nodes to ast.Inspect (which only accepts stock nodes).
+type endMarker struct{ *ast.BlockStmt }
+
+// loopScope is one enclosing breakable/continuable construct.
+type loopScope struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select (not continuable)
+}
+
+// labelTarget resolves gotos (possibly forward) and labeled loops.
+type labelTarget struct {
+	block *cfgBlock
+}
+
+type cfgBuilder struct {
+	c      *funcCFG
+	info   *types.Info
+	cur    *cfgBlock // nil while the current point is unreachable
+	scopes []loopScope
+	labels map[string]*labelTarget
+	// pendingLabel is set between a LabeledStmt and the loop/switch it
+	// labels, so "break label" / "continue label" resolve.
+	pendingLabel string
+	// fallTarget is the next case body while building a switch, the
+	// destination of a fallthrough statement.
+	fallTarget *cfgBlock
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.c.blocks)}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block (creating an unreachable block
+// if control cannot reach here, so later statements still get analyzed
+// syntactically without panicking the builder).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// jump links the current block to target and leaves the current point
+// unreachable.
+func (b *cfgBuilder) jump(target *cfgBlock) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs, target)
+	}
+	b.cur = nil
+}
+
+// branchTo links the current block to target and continues in a fresh
+// block (conditional edge).
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		cond := b.cur
+		then := b.newBlock()
+		after := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+			b.edge(head, after)
+		}
+		b.edge(head, body)
+		b.pushScope(loopScope{label: b.takeLabel(), breakTo: after, continueTo: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(post)
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+			b.edge(post, head)
+		}
+		b.popScope()
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		head.nodes = append(head.nodes, s.X)
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushScope(loopScope{label: b.takeLabel(), breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(head)
+		b.popScope()
+		b.cur = after
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, nil)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, nil)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.c.exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.LabeledStmt:
+		// Create (or adopt) the label's block so gotos can target it,
+		// then continue building inside it.
+		lt := b.labels[s.Label.Name]
+		if lt == nil {
+			lt = &labelTarget{block: b.newBlock()}
+			b.labels[s.Label.Name] = lt
+		}
+		b.jump(lt.block)
+		b.cur = lt.block
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.DeferStmt:
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.isNoReturn(call) {
+			b.jump(b.c.panicExit)
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// AssignStmt, DeclStmt, GoStmt, SendStmt, IncDecStmt, …
+		b.add(s)
+	}
+}
+
+// caseClauses builds switch/type-switch case edges, including
+// fallthrough chaining. The head is the current block.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, _ *cfgBlock) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.pushScope(loopScope{label: b.takeLabel(), breakTo: after})
+	// Pre-create body blocks so fallthrough can target the next clause.
+	bodies := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cs := range clauses {
+		bodies[i] = b.newBlock()
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		b.edge(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		prevFall := b.fallTarget
+		b.fallTarget = nil
+		if i+1 < len(clauses) {
+			b.fallTarget = bodies[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.fallTarget = prevFall
+		b.jump(after)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.popScope()
+	b.cur = after
+}
+
+// selectStmt builds one block per communication clause. A select without
+// a default blocks: control leaves only through a clause.
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.pushScope(loopScope{label: b.takeLabel(), breakTo: after})
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	if len(s.Body.List) == 0 {
+		b.edge(head, after)
+	}
+	b.popScope()
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			if label == "" || b.scopes[i].label == label {
+				b.jump(b.scopes[i].breakTo)
+				return
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			if b.scopes[i].continueTo != nil && (label == "" || b.scopes[i].label == label) {
+				b.jump(b.scopes[i].continueTo)
+				return
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		lt := b.labels[label]
+		if lt == nil {
+			lt = &labelTarget{block: b.newBlock()}
+			b.labels[label] = lt
+		}
+		b.jump(lt.block)
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.jump(b.fallTarget)
+		} else {
+			b.cur = nil
+		}
+	}
+}
+
+func (b *cfgBuilder) pushScope(s loopScope) { b.scopes = append(b.scopes, s) }
+func (b *cfgBuilder) popScope()             { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+// takeLabel consumes the pending label (set by an enclosing
+// LabeledStmt) for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// noReturnFuncs maps package path -> function names that never return.
+var noReturnFuncs = map[string]map[string]bool{
+	"os":      {"Exit": true},
+	"log":     {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
+	"runtime": {"Goexit": true},
+}
+
+// isNoReturn reports whether the call terminates the function abnormally:
+// the builtin panic, or a known no-return stdlib function.
+func (b *cfgBuilder) isNoReturn(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			if _, isBuiltin := b.info.ObjectOf(fun).(*types.Builtin); !isBuiltin {
+				return false
+			}
+		}
+		return true
+	case *ast.SelectorExpr:
+		if b.info == nil {
+			return false
+		}
+		pkg := importedPackage(b.info, fun.X)
+		for path, names := range noReturnFuncs {
+			if pkg == path && names[fun.Sel.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// cfgFor parses a single function body and builds its CFG (no type info:
+// panic recognition falls back to the syntactic check).
+func cfgFor(t *testing.T, body string) (*funcCFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	decl := file.Decls[0].(*ast.FuncDecl)
+	return buildCFG(decl.Body, nil), fset
+}
+
+// reachableLines walks the CFG from entry and collects the source lines
+// of every node in a reachable block.
+func reachableLines(c *funcCFG, fset *token.FileSet) map[int]bool {
+	seen := make([]bool, len(c.blocks))
+	lines := map[int]bool{}
+	var mark func(b *cfgBlock)
+	mark = func(b *cfgBlock) {
+		if seen[b.index] {
+			return
+		}
+		seen[b.index] = true
+		for _, n := range b.nodes {
+			if em, ok := n.(endMarker); ok {
+				lines[fset.Position(em.Rbrace).Line] = true
+				continue
+			}
+			lines[fset.Position(n.Pos()).Line] = true
+		}
+		for _, s := range b.succs {
+			mark(s)
+		}
+	}
+	mark(c.entry)
+	return lines
+}
+
+// sinkReachable reports whether walking from entry reaches the given
+// sink block.
+func sinkReachable(c *funcCFG, sink *cfgBlock) bool {
+	seen := make([]bool, len(c.blocks))
+	var mark func(b *cfgBlock) bool
+	mark = func(b *cfgBlock) bool {
+		if b == sink {
+			return true
+		}
+		if seen[b.index] {
+			return false
+		}
+		seen[b.index] = true
+		for _, s := range b.succs {
+			if mark(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return mark(c.entry)
+}
+
+// lineOf finds the 1-based line (within the whole synthesized file) of
+// the first body line containing marker text.
+func lineOf(t *testing.T, body, marker string) int {
+	t.Helper()
+	for i, l := range strings.Split(body, "\n") {
+		if strings.Contains(l, marker) {
+			return i + 3 // package line + func line + 1-based
+		}
+	}
+	t.Fatalf("marker %q not in body:\n%s", marker, body)
+	return 0
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	body := `x := 1
+return
+x = 2 // dead`
+	c, fset := cfgFor(t, body)
+	lines := reachableLines(c, fset)
+	if !lines[lineOf(t, body, "x := 1")] {
+		t.Error("statement before return not reachable")
+	}
+	if lines[lineOf(t, body, "dead")] {
+		t.Error("statement after return marked reachable")
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	body := `if cond() {
+	a()
+} else {
+	b()
+}
+after()`
+	c, fset := cfgFor(t, body)
+	lines := reachableLines(c, fset)
+	for _, m := range []string{"a()", "b()", "after()"} {
+		if !lines[lineOf(t, body, m)] {
+			t.Errorf("%s not reachable through the if join", m)
+		}
+	}
+}
+
+func TestCFGInfiniteForHasNoFallThrough(t *testing.T) {
+	body := `for {
+	spin()
+}
+after() // dead: only break could get here`
+	c, fset := cfgFor(t, body)
+	lines := reachableLines(c, fset)
+	if !lines[lineOf(t, body, "spin()")] {
+		t.Error("loop body not reachable")
+	}
+	if lines[lineOf(t, body, "after()")] {
+		t.Error("code after a condition-less for loop marked reachable without a break")
+	}
+	if sinkReachable(c, c.exit) {
+		t.Error("exit reachable from a function that can only spin")
+	}
+}
+
+func TestCFGBreakEscapesInfiniteFor(t *testing.T) {
+	body := `for {
+	if done() {
+		break
+	}
+}
+after()`
+	c, fset := cfgFor(t, body)
+	if !reachableLines(c, fset)[lineOf(t, body, "after()")] {
+		t.Error("break does not reach the code after the loop")
+	}
+}
+
+func TestCFGSwitchDefaultAllTerminating(t *testing.T) {
+	body := `switch mode() {
+case 1:
+	return
+default:
+	return
+}
+after() // dead: every clause returns and there is no fall-past edge`
+	c, fset := cfgFor(t, body)
+	if reachableLines(c, fset)[lineOf(t, body, "after()")] {
+		t.Error("switch with a default and all-terminating clauses must not fall through")
+	}
+}
+
+func TestCFGSwitchWithoutDefaultFallsPast(t *testing.T) {
+	body := `switch mode() {
+case 1:
+	return
+}
+after()`
+	c, fset := cfgFor(t, body)
+	if !reachableLines(c, fset)[lineOf(t, body, "after()")] {
+		t.Error("switch without default must have a fall-past edge to the code after it")
+	}
+}
+
+func TestCFGFallthroughChainsCases(t *testing.T) {
+	body := `switch mode() {
+case 1:
+	one()
+	fallthrough
+case 2:
+	two()
+}
+after()`
+	c, fset := cfgFor(t, body)
+	lines := reachableLines(c, fset)
+	for _, m := range []string{"one()", "two()", "after()"} {
+		if !lines[lineOf(t, body, m)] {
+			t.Errorf("%s not reachable", m)
+		}
+	}
+}
+
+func TestCFGPanicRoutesToPanicExit(t *testing.T) {
+	body := `setup()
+panic("boom")
+after() // dead`
+	c, fset := cfgFor(t, body)
+	lines := reachableLines(c, fset)
+	if lines[lineOf(t, body, "after()")] {
+		t.Error("code after panic marked reachable")
+	}
+	if !sinkReachable(c, c.panicExit) {
+		t.Error("panicExit not reachable from a panicking path")
+	}
+	if sinkReachable(c, c.exit) {
+		t.Error("normal exit reachable from a function that always panics")
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	body := `goto skip
+mid() // dead: jumped over
+skip:
+after()`
+	c, fset := cfgFor(t, body)
+	lines := reachableLines(c, fset)
+	if lines[lineOf(t, body, "mid()")] {
+		t.Error("statement jumped over by goto marked reachable")
+	}
+	if !lines[lineOf(t, body, "after()")] {
+		t.Error("goto target not reachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	body := `outer:
+for {
+	for {
+		break outer
+	}
+}
+after()`
+	c, fset := cfgFor(t, body)
+	if !reachableLines(c, fset)[lineOf(t, body, "after()")] {
+		t.Error("labeled break out of nested loops does not reach the code after the outer loop")
+	}
+}
+
+func TestCFGSelectWithoutDefaultBlocks(t *testing.T) {
+	body := `select {
+case <-a:
+	one()
+}
+after()`
+	c, fset := cfgFor(t, body)
+	lines := reachableLines(c, fset)
+	if !lines[lineOf(t, body, "one()")] || !lines[lineOf(t, body, "after()")] {
+		t.Error("select case body or continuation not reachable")
+	}
+}
+
+// TestCFGImplicitReturnMarker: the endMarker at the closing brace is
+// reachable exactly when control can fall off the end.
+func TestCFGImplicitReturnMarker(t *testing.T) {
+	fallsOff, fset := cfgFor(t, `work()`)
+	if !reachableLines(fallsOff, fset)[4] { // closing brace line
+		t.Error("endMarker unreachable in a body that falls off the end")
+	}
+	terminated, fset2 := cfgFor(t, `return`)
+	if reachableLines(terminated, fset2)[4] {
+		t.Error("endMarker reachable after an unconditional return")
+	}
+}

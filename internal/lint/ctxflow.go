@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow bans minting fresh root contexts on the request path:
+// context.Background() and context.TODO() inside the serving packages
+// sever the caller's deadline and cancellation, so a client that gave
+// up keeps consuming inference capacity. Request-path code must thread
+// the incoming context.Context; deliberate detachment points (shutdown
+// deadlines, fire-and-forget maintenance) carry a //lint:ignore with
+// the reason. main, init and test files are outside the request path
+// and exempt by construction (the loader skips _test.go; main/init are
+// exempted here).
+func CtxFlow(packages []string) *Analyzer {
+	return &Analyzer{
+		Name:     "ctxflow",
+		Doc:      "request-path code threads the incoming context.Context; Background()/TODO() are banned",
+		Packages: packages,
+		Run:      runCtxFlow,
+	}
+}
+
+func runCtxFlow(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			decl, ok := n.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				return true
+			}
+			if decl.Name.Name == "main" || decl.Name.Name == "init" {
+				return false
+			}
+			hasCtx := funcHasCtxParam(info, decl)
+			ast.Inspect(decl.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				if name != "Background" && name != "TODO" {
+					return true
+				}
+				if importedPackage(info, sel.X) != "context" {
+					return true
+				}
+				if hasCtx {
+					p.Reportf(call.Pos(), "context.%s() discards the ctx parameter already in scope: thread it instead of detaching from the caller's deadline", name)
+				} else {
+					p.Reportf(call.Pos(), "context.%s() on the request path detaches from caller cancellation: accept and thread a context.Context", name)
+				}
+				return true
+			})
+			return false
+		})
+	}
+}
+
+// funcHasCtxParam reports whether decl has a parameter of type
+// context.Context (by convention the first, but any position counts).
+func funcHasCtxParam(info *types.Info, decl *ast.FuncDecl) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			continue
+		}
+		if named.Obj().Name() == "Context" && strings.HasSuffix(named.Obj().Pkg().Path(), "context") {
+			return true
+		}
+	}
+	return false
+}

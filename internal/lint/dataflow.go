@@ -1,0 +1,136 @@
+package lint
+
+import "go/ast"
+
+// Forward dataflow over a funcCFG.
+//
+// Facts are powersets of small per-entity states: a flowFacts maps an
+// entity key (a pooled variable, a lock expression) to a bitmask of
+// states the entity MAY be in at a program point. The join is bitwise
+// union, which makes every analysis a may-analysis over states — and a
+// must-analysis is read off the same facts by checking that exactly one
+// state bit is set ("released on every path" = the Released bit and no
+// other). Transfer functions are monotone (they only move or add bits),
+// so the worklist iteration reaches a fixpoint.
+//
+// The engine runs in two phases:
+//
+//  1. solve: iterate block transfer to fixpoint, yielding the in-fact of
+//     every block;
+//  2. report: replay each block once from its in-fact, calling the
+//     analysis's check hook before applying each node's transfer, so
+//     diagnostics see the state that held immediately before the node.
+
+// flowFacts maps entity key -> bitmask of possible states. Absent keys
+// are "not yet tracked" (bottom).
+type flowFacts map[string]uint8
+
+func (f flowFacts) clone() flowFacts {
+	g := make(flowFacts, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+// join unions other into f, reporting whether f changed.
+func (f flowFacts) join(other flowFacts) bool {
+	changed := false
+	for k, v := range other {
+		if old, ok := f[k]; !ok || old|v != old {
+			f[k] = old | v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// flowAnalysis is one dataflow client. transfer mutates the fact map for
+// a node; check (optional, report phase only) observes the fact that
+// holds immediately before the node executes.
+type flowAnalysis struct {
+	transfer func(n ast.Node, f flowFacts)
+	check    func(n ast.Node, f flowFacts)
+}
+
+// run solves the analysis over the CFG and replays it for reporting.
+// entry seeds the entry block. It returns the in-facts of the exit and
+// panic-exit blocks (joined over predecessors), for end-of-function
+// checks.
+func (a *flowAnalysis) run(c *funcCFG, entry flowFacts) (exitIn, panicIn flowFacts) {
+	in := make([]flowFacts, len(c.blocks))
+	for i := range in {
+		in[i] = flowFacts{}
+	}
+	in[c.entry.index] = entry.clone()
+
+	apply := func(b *cfgBlock, f flowFacts) flowFacts {
+		for _, n := range b.nodes {
+			a.transfer(n, f)
+		}
+		return f
+	}
+
+	// Worklist to fixpoint.
+	work := []*cfgBlock{c.entry}
+	queued := make([]bool, len(c.blocks))
+	queued[c.entry.index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.index] = false
+		out := apply(b, in[b.index].clone())
+		for _, s := range b.succs {
+			if in[s.index].join(out) && !queued[s.index] {
+				queued[s.index] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Report phase: replay each reachable block once.
+	if a.check != nil {
+		reachable := make([]bool, len(c.blocks))
+		reachable[c.entry.index] = true
+		var mark func(b *cfgBlock)
+		mark = func(b *cfgBlock) {
+			for _, s := range b.succs {
+				if !reachable[s.index] {
+					reachable[s.index] = true
+					mark(s)
+				}
+			}
+		}
+		mark(c.entry)
+		for _, b := range c.blocks {
+			if !reachable[b.index] {
+				continue
+			}
+			f := in[b.index].clone()
+			for _, n := range b.nodes {
+				a.check(n, f)
+				a.transfer(n, f)
+			}
+		}
+	}
+	return in[c.exit.index], in[c.panicExit.index]
+}
+
+// forEachFuncBody applies fn to every function body in the package:
+// declared functions and methods, and every function literal (each
+// analyzed as its own flow universe).
+func forEachFuncBody(pkg *Package, fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d, nil, d.Body)
+				}
+			case *ast.FuncLit:
+				fn(nil, d, d.Body)
+			}
+			return true
+		})
+	}
+}

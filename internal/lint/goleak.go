@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags goroutine bodies in the serving tier that can block
+// forever on a channel: a bare send or receive (or a single-case select
+// with no default) on an unbuffered channel made in the surrounding
+// function. If every receiver gives up — a request times out, a caller
+// returns early — the goroutine parks on the channel for the life of
+// the process. The escape hatches the serving code is expected to use:
+//
+//   - give the channel capacity for every value the goroutine can send
+//     (make(chan T, n)), so the send completes even if nobody reads;
+//   - select over the operation together with ctx.Done() (or any second
+//     case / default), so cancellation unblocks the goroutine.
+//
+// Channels whose origin is not visible (parameters, struct fields,
+// package vars) are not second-guessed — their buffering discipline
+// belongs to their owner. Scoped to the packages that spawn per-request
+// goroutines.
+func GoLeak(packages []string) *Analyzer {
+	return &Analyzer{
+		Name:     "goleak",
+		Doc:      "goroutines must not block forever on unbuffered channels: buffer the channel or select on ctx.Done",
+		Packages: packages,
+		Run:      runGoLeak,
+	}
+}
+
+func runGoLeak(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fnBody := enclosingBody(n)
+			if fnBody == nil {
+				return true
+			}
+			ast.Inspect(fnBody, func(m ast.Node) bool {
+				g, ok := m.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if ok {
+					checkGoroutineBody(p, info, fnBody, lit.Body)
+				}
+				return true
+			})
+			return false
+		})
+	}
+}
+
+// enclosingBody returns n's body when n declares a top-level function
+// universe to scan for go statements.
+func enclosingBody(n ast.Node) *ast.BlockStmt {
+	if d, ok := n.(*ast.FuncDecl); ok {
+		return d.Body
+	}
+	return nil
+}
+
+// checkGoroutineBody walks one `go func(){...}()` body looking for
+// channel operations that can block forever.
+func checkGoroutineBody(p *Pass, info *types.Info, outer, body *ast.BlockStmt) {
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		var ch ast.Expr
+		var pos token.Pos
+		var verb string
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			ch, pos, verb = s.Chan, s.Pos(), "send on"
+		case *ast.UnaryExpr:
+			if s.Op != token.ARROW {
+				return true
+			}
+			ch, pos, verb = s.X, s.Pos(), "receive from"
+		case *ast.RangeStmt:
+			t := info.TypeOf(s.X)
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			ch, pos, verb = s.X, s.Pos(), "range over"
+		default:
+			return true
+		}
+		if selectExempts(stack) {
+			return true
+		}
+		if !madeUnbuffered(info, outer, ch) {
+			return true
+		}
+		p.Reportf(pos, "goroutine can block forever: %s unbuffered channel %s with no ctx.Done select — buffer the channel or add a cancellation case", verb, exprText(ch))
+		return true
+	})
+}
+
+// selectExempts reports whether the innermost enclosing select (within
+// the goroutine body) has an escape: two or more cases, or a default.
+// A single-case select blocks exactly like the bare operation.
+func selectExempts(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncLit:
+			return false // nested literal: its ops are its own problem
+		case *ast.SelectStmt:
+			cases := 0
+			hasDefault := false
+			for _, c := range s.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+				} else {
+					cases++
+				}
+			}
+			return hasDefault || cases >= 2
+		}
+	}
+	return false
+}
+
+// madeUnbuffered reports whether ch resolves to a local variable whose
+// make call (anywhere in the enclosing function body) is visibly
+// unbuffered: make(chan T) or make(chan T, 0). Buffered makes, non-make
+// origins and unknown capacities all return false (lenient).
+func madeUnbuffered(info *types.Info, outer *ast.BlockStmt, ch ast.Expr) bool {
+	root := rootIdent(ch)
+	if root == nil {
+		return false
+	}
+	obj := info.ObjectOf(root)
+	if obj == nil {
+		return false
+	}
+	found := false
+	unbuffered := false
+	consider := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != obj {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "make" {
+			return
+		}
+		t := info.TypeOf(call)
+		if t == nil {
+			return
+		}
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		found = true
+		if len(call.Args) < 2 {
+			unbuffered = true
+			return
+		}
+		if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+			if cap, exact := constant.Int64Val(tv.Value); exact && cap == 0 {
+				unbuffered = true
+			}
+		}
+	}
+	ast.Inspect(outer, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i := range s.Lhs {
+				if i < len(s.Rhs) {
+					consider(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) {
+					consider(name, s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return found && unbuffered
+}
+
+// exprText renders a short source-like form of a channel expression for
+// diagnostics (best effort; falls back to "channel").
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	}
+	return "channel"
+}

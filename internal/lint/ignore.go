@@ -24,9 +24,11 @@ type directive struct {
 
 const ignorePrefix = "lint:ignore"
 
-// filterIgnored splits diags into kept findings and a suppressed count,
-// and reports malformed or unused directives.
-func filterIgnored(pkg *Package, diags []Diagnostic) (kept []Diagnostic, suppressed int, directiveDiags []Diagnostic) {
+// filterIgnored splits diags into kept and suppressed findings, and
+// reports malformed or unused directives. A directive is only policed
+// for use when its rule is in the active set: running a -rules subset
+// must not flag the other rules' annotations as rotten.
+func filterIgnored(pkg *Package, diags []Diagnostic, active map[string]bool) (kept, suppressed []Diagnostic, directiveDiags []Diagnostic) {
 	var dirs []*directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -61,13 +63,13 @@ func filterIgnored(pkg *Package, diags []Diagnostic) (kept []Diagnostic, suppres
 			}
 		}
 		if matched {
-			suppressed++
+			suppressed = append(suppressed, d)
 		} else {
 			kept = append(kept, d)
 		}
 	}
 	for _, dir := range dirs {
-		if !dir.used {
+		if !dir.used && active[dir.rule] {
 			directiveDiags = append(directiveDiags, Diagnostic{
 				Pos:  dir.pos,
 				Rule: "lint",

@@ -87,6 +87,10 @@ type Result struct {
 	Diags []Diagnostic
 	// Suppressed counts findings silenced by //lint:ignore directives.
 	Suppressed int
+	// SuppressedDiags are those silenced findings themselves, sorted by
+	// position — surfaced by the -json output mode so CI can audit the
+	// ignore set without grepping for directives.
+	SuppressedDiags []Diagnostic
 }
 
 // Run applies every applicable analyzer to every package, filters the
@@ -96,6 +100,10 @@ type Result struct {
 // small, auditable set.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	var res Result
+	active := make(map[string]bool, len(analyzers))
+	for _, az := range analyzers {
+		active[az.Name] = true
+	}
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
 		for _, az := range analyzers {
@@ -104,13 +112,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 			}
 			az.Run(&Pass{Pkg: pkg, rule: az.Name, out: &diags})
 		}
-		kept, suppressed, directiveDiags := filterIgnored(pkg, diags)
+		kept, suppressed, directiveDiags := filterIgnored(pkg, diags, active)
 		res.Diags = append(res.Diags, kept...)
 		res.Diags = append(res.Diags, directiveDiags...)
-		res.Suppressed += suppressed
+		res.SuppressedDiags = append(res.SuppressedDiags, suppressed...)
+		res.Suppressed += len(suppressed)
 	}
-	sort.Slice(res.Diags, func(i, j int) bool {
-		a, b := res.Diags[i].Pos, res.Diags[j].Pos
+	sortDiags(res.Diags)
+	sortDiags(res.SuppressedDiags)
+	return res
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -119,7 +134,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 		}
 		return a.Column < b.Column
 	})
-	return res
 }
 
 // Module-relative import paths of the packages whose numerics must be a
@@ -149,15 +163,71 @@ func durablePackages(module string) []string {
 	}
 }
 
+// servingPackages hold the live request path — the tier that spawns
+// per-request goroutines, juggles mutexes and must respect caller
+// cancellation. The concurrency analyzers (goleak, ctxflow) are scoped
+// here; lockbal and atomicmix run tree-wide.
+func servingPackages(module string) []string {
+	return []string{
+		module + "/internal/servepool",
+		module + "/internal/gateway",
+		module + "/internal/overload",
+		module + "/internal/server",
+	}
+}
+
 // DefaultAnalyzers returns the full suite wired for the given module path
 // (e.g. "repro").
 func DefaultAnalyzers(module string) []*Analyzer {
 	det := deterministicPackages(module)
+	serving := servingPackages(module)
 	return []*Analyzer{
 		DetRand(det),
 		MapOrder(det),
 		PoolSafe(),
 		FloatEq(),
 		DurIO(durablePackages(module)),
+		LockBal(),
+		GoLeak(serving),
+		CtxFlow(serving),
+		AtomicMix(),
 	}
+}
+
+// SelectAnalyzers filters the default suite down to the named rules,
+// preserving suite order. Unknown names are an error listing the valid
+// rules, so a typo in -rules fails loudly instead of silently linting
+// with nothing.
+func SelectAnalyzers(all []*Analyzer, names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	valid := make([]string, 0, len(all))
+	for _, az := range all {
+		byName[az.Name] = az
+		valid = append(valid, az.Name)
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		if byName[n] == nil {
+			return nil, fmt.Errorf("unknown rule %q (valid rules: %s)", n, joinNames(valid))
+		}
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, az := range all {
+		if want[az.Name] {
+			out = append(out, az)
+		}
+	}
+	return out, nil
+}
+
+func joinNames(names []string) string {
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
 }

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"regexp"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -33,7 +34,7 @@ func loadFixture(t *testing.T, name string) *Package {
 	return pkg
 }
 
-// want is one golden expectation: a `// want `+"`regex`"+`` comment in a
+// want is one golden expectation: a `// want `+"`regex`"+“ comment in a
 // fixture demands a diagnostic on its line matching the regex (against
 // "[rule] message").
 type want struct {
@@ -132,6 +133,17 @@ func TestPoolSafeBatchFixture(t *testing.T) {
 	}
 }
 
+// TestPoolSafeFlowFixture pins the flow-sensitive upgrades: a
+// release-then-use across a branch join and leaks on early-return
+// paths, both of which the old flow-insensitive counter missed.
+func TestPoolSafeFlowFixture(t *testing.T) {
+	pkg := loadFixture(t, "poolsafeflow")
+	res := checkGolden(t, pkg, PoolSafe())
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+}
+
 func TestFloatEqFixture(t *testing.T) {
 	pkg := loadFixture(t, "floateq")
 	res := checkGolden(t, pkg, FloatEq())
@@ -159,6 +171,50 @@ func TestGatewayFixture(t *testing.T) {
 	}
 }
 
+func TestLockBalFixture(t *testing.T) {
+	pkg := loadFixture(t, "lockbal")
+	res := checkGolden(t, pkg, LockBal())
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (the documented lock hand-off)", res.Suppressed)
+	}
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	pkg := loadFixture(t, "goleak")
+	res := checkGolden(t, pkg, GoLeak([]string{pkg.Path}))
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (the documented ack handshake)", res.Suppressed)
+	}
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	pkg := loadFixture(t, "ctxflow")
+	res := checkGolden(t, pkg, CtxFlow([]string{pkg.Path}))
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (the documented audit write)", res.Suppressed)
+	}
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	pkg := loadFixture(t, "atomicmix")
+	res := checkGolden(t, pkg, AtomicMix())
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture must demonstrate >= 2 true positives, got %d", len(res.Diags))
+	}
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (the documented constructor write)", res.Suppressed)
+	}
+}
+
 // TestIgnoreSuppression proves //lint:ignore suppresses exactly one
 // diagnostic: the annotated float comparison is silenced and counted,
 // the identical un-annotated one is still reported.
@@ -167,6 +223,12 @@ func TestIgnoreSuppression(t *testing.T) {
 	res := checkGolden(t, pkg, FloatEq())
 	if res.Suppressed != 1 {
 		t.Errorf("Suppressed = %d, want exactly 1", res.Suppressed)
+	}
+	if len(res.SuppressedDiags) != 1 {
+		t.Fatalf("SuppressedDiags = %v, want exactly the silenced finding (for -json auditing)", res.SuppressedDiags)
+	}
+	if d := res.SuppressedDiags[0]; d.Rule != "floateq" || d.Pos.Line == 0 {
+		t.Errorf("SuppressedDiags[0] = %v, want the positioned floateq finding", d)
 	}
 	if len(res.Diags) != 1 {
 		t.Errorf("kept diagnostics = %d, want exactly 1 (the un-annotated comparison)", len(res.Diags))
@@ -191,6 +253,86 @@ func TestDirectiveHygiene(t *testing.T) {
 	}
 	if res.Suppressed != 0 {
 		t.Errorf("Suppressed = %d, want 0", res.Suppressed)
+	}
+}
+
+// TestEveryAnalyzerHasFixtures is the meta-gate for future analyzers:
+// every rule registered in DefaultAnalyzers must ship a fixture package
+// named after it (testdata/src/<rule>) demonstrating at least two true
+// positives. A new analyzer cannot land fixture-less.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	ld := fixtureLoader(t)
+	suite := DefaultAnalyzers(ld.ModulePath())
+	if len(suite) != 9 {
+		t.Fatalf("DefaultAnalyzers = %d rules, want 9 (update this test when adding rules)", len(suite))
+	}
+	for _, az := range suite {
+		az := az
+		t.Run(az.Name, func(t *testing.T) {
+			pkg := loadFixture(t, az.Name) // fails the test if the fixture package is missing
+			res := Run([]*Package{pkg}, []*Analyzer{fixtureScoped(t, az.Name, pkg.Path)})
+			if n := len(res.Diags); n < 2 {
+				t.Errorf("fixture %s demonstrates %d true positives, want >= 2", az.Name, n)
+			}
+			if wants := collectWants(t, pkg); len(wants) < 2 {
+				t.Errorf("fixture %s carries %d `// want` annotations, want >= 2", az.Name, len(wants))
+			}
+		})
+	}
+}
+
+// fixtureScoped rebuilds one analyzer scoped to a fixture package (the
+// default suite's package lists name the real tree, not testdata).
+func fixtureScoped(t *testing.T, name, path string) *Analyzer {
+	t.Helper()
+	scope := []string{path}
+	switch name {
+	case "detrand":
+		return DetRand(scope)
+	case "maporder":
+		return MapOrder(nil)
+	case "poolsafe":
+		return PoolSafe()
+	case "floateq":
+		return FloatEq()
+	case "durio":
+		return DurIO(scope)
+	case "lockbal":
+		return LockBal()
+	case "goleak":
+		return GoLeak(scope)
+	case "ctxflow":
+		return CtxFlow(scope)
+	case "atomicmix":
+		return AtomicMix()
+	}
+	t.Fatalf("no fixture constructor for analyzer %q: add one here and a testdata/src/%s package", name, name)
+	return nil
+}
+
+// TestSelectAnalyzers: unknown rule names fail loudly, listing the
+// valid rules; known names filter in suite order.
+func TestSelectAnalyzers(t *testing.T) {
+	all := DefaultAnalyzers("repro")
+	got, err := SelectAnalyzers(all, []string{"ctxflow", "poolsafe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "poolsafe" || got[1].Name != "ctxflow" {
+		var names []string
+		for _, az := range got {
+			names = append(names, az.Name)
+		}
+		t.Fatalf("SelectAnalyzers = %v, want [poolsafe ctxflow] in suite order", names)
+	}
+	_, err = SelectAnalyzers(all, []string{"lockbal", "nosuchrule"})
+	if err == nil {
+		t.Fatal("SelectAnalyzers accepted an unknown rule name")
+	}
+	for _, want := range []string{"nosuchrule", "lockbal", "poolsafe", "atomicmix"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q (must list valid rules)", err, want)
+		}
 	}
 }
 

@@ -7,65 +7,82 @@ import (
 	"strings"
 )
 
-// PoolSafe checks pooled-resource lifecycle discipline per function,
-// flow-insensitively, for tensor.Pool (scratch tensors, e.g.
+// PoolSafe checks pooled-resource lifecycle discipline, flow-sensitively
+// over the function CFG, for tensor.Pool (scratch tensors, e.g.
 // tensor.Shared), tensor.BatchArena (batch-inference scratch sets, e.g.
 // tensor.Batches) and sqlast.ArenaPool (AST arenas, e.g.
-// sqlast.SharedArenas): a value obtained from a pool Get must
-// either be released (passed to the pool's Put or to autograd.Free) or
-// visibly hand off ownership — returned, stored into a struct/slice/
-// outer variable, captured by a closure, or passed to another function.
-// A Get-bound local that does none of these leaks arena discipline and
-// is reported; so is any use of the variable positionally after the
-// statement that returned it to the pool (use-after-Put is a data race
-// with whichever goroutine Gets the recycled buffer next — exactly the
-// cross-goroutine bug PR 3's race suite caught dynamically).
+// sqlast.SharedArenas): a value obtained from a pool Get must either be
+// released (passed to the pool's Put or to autograd.Free) or visibly
+// hand off ownership — returned, stored into a struct/slice/outer
+// variable, captured by a closure, or passed to another function.
 //
-// Being flow-insensitive, the check is deliberately lenient: any escape
-// suppresses the missing-Put report, and use-after-Put only fires when
-// the release dominates the use positionally within the same block
-// nesting (a Put inside an early-return branch does not poison the
-// other branch).
+// Three findings:
+//
+//   - never released: the Get-bound local is neither released nor handed
+//     off anywhere in the function (reported at the Get).
+//   - leak on early return: the value is released on some paths but a
+//     return (or the implicit one at the closing brace) is reachable
+//     with the value still unreleased and no deferred release armed
+//     (reported at that return). The old flow-insensitive counter
+//     treated any release as covering every path and provably missed
+//     this.
+//   - use after release: a path reaches a use of the variable after a
+//     statement that returned it to the pool — a data race with
+//     whichever goroutine Gets the recycled buffer next. The flow
+//     analysis follows releases across branch joins, so a Put inside one
+//     arm poisons exactly the paths through that arm (the old check
+//     only looked inside the releasing block's nesting and provably
+//     missed the join).
+//
+// Escape analysis stays deliberately lenient and flow-insensitive: any
+// visible hand-off of an aliasing value (the tensor pointer or its Data
+// slice — not a scalar element) suppresses leak reports for that
+// variable, and reassignment disables tracking entirely. Each function
+// literal is its own flow universe; capturing an outer pooled variable
+// counts as a hand-off.
 func PoolSafe() *Analyzer {
 	return &Analyzer{
 		Name: "poolsafe",
-		Doc:  "every Pool.Get is Put back, freed, or handed off; no use after release",
+		Doc:  "every Pool.Get is Put back, freed, or handed off on every path; no use after release",
 		Run:  runPoolSafe,
 	}
 }
 
+// Pooled-variable flow states (bitmask; see dataflow.go).
+const (
+	stUnreleased uint8 = 1 << iota // holds a live pooled value
+	stReleased                     // returned to the pool
+	stDeferRel                     // a deferred release is armed on this path
+)
+
 func runPoolSafe(p *Pass) {
-	for _, f := range p.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			fd, ok := n.(*ast.FuncDecl)
-			if ok && fd.Body != nil {
-				checkPoolFunc(p, fd.Body)
-				return false
-			}
-			return true
-		})
-	}
+	forEachFuncBody(p.Pkg, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+		checkPoolFunc(p, body)
+	})
 }
 
-// pooledVar tracks one Get-bound local within a function body.
+// pooledVar is one Get-bound local within a single function body.
 type pooledVar struct {
-	name    string
-	bindPos token.Pos
-	bindFn  *ast.FuncLit // innermost closure holding the binding (nil = the FuncDecl)
-	binds   int          // assignments to the variable (reassignment disables use-after checks)
-	escaped bool
-	// releases are (end position, innermost enclosing block) of each
-	// Put/Free call naming the variable.
-	relEnds   []token.Pos
-	relBlocks []*ast.BlockStmt
+	obj      types.Object
+	name     string
+	key      string
+	bindPos  token.Pos
+	bindLine int
+	binds    int
+	escaped  bool
+	released bool // some Put/Free names the variable (incl. deferred)
 }
 
+// checkPoolFunc analyzes one function body as its own flow universe.
+// Nested function literals are opaque here (capturing a tracked variable
+// is a hand-off); forEachFuncBody analyzes their bodies separately.
 func checkPoolFunc(p *Pass, body *ast.BlockStmt) {
 	info := p.Pkg.Info
 	vars := map[types.Object]*pooledVar{}
 
-	// Pass 1: find Get bindings.
-	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+	// Pass 1: Get bindings directly in this function (not in nested
+	// literals — those are their own universe).
+	inspectNoFuncLit(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
 			return true
@@ -86,14 +103,142 @@ func checkPoolFunc(p *Pass, body *ast.BlockStmt) {
 			v.binds++
 			return true
 		}
-		vars[obj] = &pooledVar{name: id.Name, bindPos: as.Pos(), bindFn: innermostFuncLit(stack), binds: 1}
+		vars[obj] = &pooledVar{
+			obj: obj, name: id.Name, key: id.Name,
+			bindPos:  as.Pos(),
+			bindLine: p.Pkg.Fset.Position(as.Pos()).Line,
+			binds:    1,
+		}
 		return true
 	})
 	if len(vars) == 0 {
 		return
 	}
 
-	// Pass 2: classify every other appearance of each tracked variable.
+	// Pass 2 (flow-insensitive): classify escapes, releases and rebinds
+	// over the whole body, including nested literals (a capture escapes).
+	classifyPoolUses(info, body, vars)
+
+	// Never released, never handed off: report at the Get. These are done;
+	// the flow analysis below covers the variables that ARE released
+	// somewhere, asking whether every path agrees.
+	tracked := map[types.Object]*pooledVar{}
+	for obj, v := range vars {
+		if v.binds != 1 {
+			continue
+		}
+		if !v.released && !v.escaped {
+			p.Reportf(v.bindPos, "pooled value %s from Get is never released (Put/autograd.Free) and never handed off: scratch allocations must go back to their pool", v.name)
+			continue
+		}
+		if v.released {
+			tracked[obj] = v
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	cfg := buildCFG(body, info)
+	byKey := map[string]*pooledVar{}
+	for _, v := range tracked {
+		byKey[v.key] = v
+	}
+
+	trackedObj := func(id *ast.Ident) *pooledVar { return tracked[info.ObjectOf(id)] }
+
+	// releaseArgs returns the tracked variables a node releases directly
+	// (not deferred), plus the deferred releases it arms.
+	analysis := &flowAnalysis{
+		transfer: func(n ast.Node, f flowFacts) {
+			if _, ok := n.(endMarker); ok {
+				return
+			}
+			if d, ok := n.(*ast.DeferStmt); ok {
+				// defer pool.Put(t) arms an exit-time release on this
+				// path; defer func() { pool.Put(t) }() approximates the
+				// same. Anything else deferring over the variable was
+				// already classified as an escape.
+				for _, v := range deferredReleases(info, d, trackedObj) {
+					f[v.key] |= stDeferRel
+				}
+				return
+			}
+			// Bindings first: the Get assignment (re)sets the state.
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, v := range tracked {
+					if as.Pos() == v.bindPos {
+						f[v.key] = stUnreleased | (f[v.key] & stDeferRel)
+					}
+				}
+			}
+			// Direct releases.
+			inspectNoFuncLit(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || !(isPoolMethod(info, call, "Put") || isAutogradFree(info, call)) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if id, ok := arg.(*ast.Ident); ok {
+						if v := trackedObj(id); v != nil {
+							f[v.key] = stReleased | (f[v.key] & stDeferRel)
+						}
+					}
+				}
+				return true
+			})
+		},
+		check: func(n ast.Node, f flowFacts) {
+			// End-of-function and explicit returns: anything still (or
+			// possibly) unreleased with no deferred release armed leaks
+			// on this path.
+			reportLeaks := func(pos token.Pos) {
+				for key, st := range f {
+					v := byKey[key]
+					if v == nil || v.escaped {
+						continue
+					}
+					if st&stUnreleased != 0 && st&stDeferRel == 0 {
+						p.Reportf(pos, "pooled value %s (Get at line %d) is not released on this return path: early returns must Put/Free it or defer the release", v.name, v.bindLine)
+					}
+				}
+			}
+			switch m := n.(type) {
+			case endMarker:
+				reportLeaks(m.Rbrace)
+				return
+			case *ast.ReturnStmt:
+				reportLeaks(m.Pos())
+			case *ast.DeferStmt:
+				return // arming a release is not a use
+			}
+			// Any other mention of a tracked variable while a release may
+			// already have happened on this path is a use-after-release.
+			inspectNoFuncLit(n, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v := trackedObj(id)
+				if v == nil {
+					return true
+				}
+				st := f[v.key]
+				if st&stReleased != 0 && st&stDeferRel == 0 {
+					p.Reportf(id.Pos(), "%s is used after being returned to the pool: the buffer may already be recycled by another Get", v.name)
+				}
+				return true
+			})
+		},
+	}
+	analysis.run(cfg, flowFacts{})
+}
+
+// classifyPoolUses runs the flow-insensitive escape/release/rebind
+// classification over the function body (descending into nested function
+// literals: capturing a tracked variable is a visible hand-off).
+func classifyPoolUses(info *types.Info, body *ast.BlockStmt, vars map[types.Object]*pooledVar) {
+	mark := func(v *pooledVar) { v.escaped = true }
 	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.CallExpr:
@@ -112,19 +257,9 @@ func checkPoolFunc(p *Pass, body *ast.BlockStmt) {
 					continue
 				}
 				if release {
-					end := s.End()
-					if len(stack) > 0 {
-						switch stack[len(stack)-1].(type) {
-						case *ast.DeferStmt, *ast.GoStmt:
-							// A deferred Put releases at function exit;
-							// uses between here and the end are fine.
-							end = body.End()
-						}
-					}
-					v.relEnds = append(v.relEnds, end)
-					v.relBlocks = append(v.relBlocks, innermostBlock(stack))
+					v.released = true
 				} else if !isSizeBuiltin(info, s) {
-					v.escaped = true
+					mark(v)
 				}
 			}
 		case *ast.ReturnStmt:
@@ -157,41 +292,46 @@ func checkPoolFunc(p *Pass, body *ast.BlockStmt) {
 				markAliasMention(info, vars, rhs)
 			}
 		case *ast.FuncLit:
-			// Uses inside a different closure than the binding escape.
+			// Captures escape; the literal's own body is analyzed as a
+			// separate flow universe by forEachFuncBody.
 			for obj, v := range vars {
-				if v.bindFn != s && mentionsObject(info, s.Body, obj) {
-					v.escaped = true
+				if mentionsObject(info, s.Body, obj) {
+					mark(v)
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// deferredReleases lists the tracked variables a defer statement releases
+// at function exit: a direct deferred Put/Free, or a deferred literal
+// whose body contains one.
+func deferredReleases(info *types.Info, d *ast.DeferStmt, trackedObj func(*ast.Ident) *pooledVar) []*pooledVar {
+	var out []*pooledVar
+	collect := func(call *ast.CallExpr) {
+		if !(isPoolMethod(info, call, "Put") || isAutogradFree(info, call)) {
+			return
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if v := trackedObj(id); v != nil {
+					out = append(out, v)
 				}
 			}
 		}
-		return true
-	})
-
-	for _, v := range vars {
-		if v.binds == 1 && !v.escaped && len(v.relEnds) == 0 {
-			p.Reportf(v.bindPos, "pooled value %s from Get is never released (Put/autograd.Free) and never handed off: scratch allocations must go back to their pool", v.name)
-		}
 	}
-
-	// Pass 3: use-after-release.
-	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		v := vars[info.ObjectOf(id)]
-		if v == nil || v.binds != 1 {
-			return true
-		}
-		for i, end := range v.relEnds {
-			blk := v.relBlocks[i]
-			if id.Pos() > end && blk != nil && blk.Pos() <= id.Pos() && id.Pos() <= blk.End() {
-				p.Reportf(id.Pos(), "%s is used after being returned to the pool: the buffer may already be recycled by another Get", v.name)
-				break
+	collect(d.Call)
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				collect(call)
 			}
-		}
-		return true
-	})
+			return true
+		})
+	}
+	return out
 }
 
 // markMention marks every tracked variable mentioned under node as
@@ -300,22 +440,4 @@ func isSizeBuiltin(info *types.Info, call *ast.CallExpr) bool {
 		return true
 	}
 	return false
-}
-
-func innermostFuncLit(stack []ast.Node) *ast.FuncLit {
-	for i := len(stack) - 1; i >= 0; i-- {
-		if fl, ok := stack[i].(*ast.FuncLit); ok {
-			return fl
-		}
-	}
-	return nil
-}
-
-func innermostBlock(stack []ast.Node) *ast.BlockStmt {
-	for i := len(stack) - 1; i >= 0; i-- {
-		if b, ok := stack[i].(*ast.BlockStmt); ok {
-			return b
-		}
-	}
-	return nil
 }

@@ -1,0 +1,55 @@
+// Package atomicmix holds golden fixtures for the atomicmix analyzer:
+// words accessed through sync/atomic in one function and plainly in
+// another.
+package atomicmix
+
+import "sync/atomic"
+
+type hits struct {
+	n    int64
+	racy int64
+}
+
+// bump is the atomic side: every other access of n must match it.
+func (h *hits) bump() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+// read loads the same word plainly: this races with bump and the
+// compiler is free to tear, cache or reorder it.
+func (h *hits) read() int64 {
+	return h.n // want `n is accessed atomically at .* but plainly here`
+}
+
+// loadOK is the consistent counterpart.
+func (h *hits) loadOK() int64 {
+	return atomic.LoadInt64(&h.n)
+}
+
+var flag uint32
+
+func raise() {
+	atomic.StoreUint32(&flag, 1)
+}
+
+// check reads the package-level word plainly while raise stores it
+// atomically from other goroutines.
+func check() bool {
+	return flag == 1 // want `flag is accessed atomically at .* but plainly here`
+}
+
+// reset runs before any goroutine can observe h, so the plain write is
+// safe by construction; the directive records that reasoning.
+func reset(h *hits) *hits {
+	if h == nil {
+		h = &hits{}
+	}
+	//lint:ignore atomicmix constructor path: no goroutine can hold h before it is returned
+	h.racy = 0
+	return h
+}
+
+// bumpRacy is the atomic side that makes racy tracked at all.
+func bumpRacy(h *hits) {
+	atomic.AddInt64(&h.racy, 1)
+}

@@ -1,0 +1,51 @@
+// Package ctxflow holds golden fixtures for the ctxflow analyzer:
+// fresh root contexts minted on the request path instead of threading
+// the caller's.
+package ctxflow
+
+import "context"
+
+type store interface {
+	Load(ctx context.Context, key string) (string, error)
+}
+
+// fetch has the caller's ctx right there and detaches anyway: the
+// client's deadline and cancellation no longer reach the load.
+func fetch(ctx context.Context, s store, key string) (string, error) {
+	return s.Load(context.Background(), key) // want `context.Background\(\) discards the ctx parameter already in scope`
+}
+
+// lookup never accepted a context at all — request-path code must.
+func lookup(s store, key string) (string, error) {
+	return s.Load(context.TODO(), key) // want `context.TODO\(\) on the request path detaches from caller cancellation`
+}
+
+// threaded is the clean shape: the incoming ctx flows through.
+func threaded(ctx context.Context, s store, key string) (string, error) {
+	return s.Load(ctx, key)
+}
+
+// derived contexts are fine: the parent's cancellation still applies.
+func bounded(ctx context.Context, s store, key string) (string, error) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return s.Load(c, key)
+}
+
+// init runs before any request exists: roots are legitimate here and
+// exempt by construction.
+func init() {
+	_ = context.Background()
+}
+
+// main is likewise exempt: process entry points own the root context.
+func main() {
+	_ = context.Background()
+}
+
+// auditWrite deliberately outlives the request: the audit record must
+// land even when the client hangs up, and the directive documents it.
+func auditWrite(ctx context.Context, s store, key string) (string, error) {
+	//lint:ignore ctxflow audit writes must complete even if the request is canceled
+	return s.Load(context.Background(), key)
+}

@@ -1,0 +1,96 @@
+// Package goleak holds golden fixtures for the goleak analyzer:
+// goroutines parked forever on unbuffered channels, and the two escape
+// hatches (buffering, ctx.Done selects) that make them clean.
+package goleak
+
+import "context"
+
+// fanoutLeak sends results on an unbuffered channel: if the collector
+// bails early (timeout, error on another result), every remaining
+// worker parks on the send for the life of the process.
+func fanoutLeak(n int) []int {
+	results := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			results <- i * i // want `goroutine can block forever: send on unbuffered channel results`
+		}(i)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, <-results)
+	}
+	return out
+}
+
+// waiterLeak blocks a goroutine on a receive nobody is obligated to
+// satisfy.
+func waiterLeak() {
+	done := make(chan struct{})
+	go func() {
+		<-done // want `goroutine can block forever: receive from unbuffered channel done`
+	}()
+	_ = done
+}
+
+// selectLeak wraps the send in a select, but a single-case select with
+// no default blocks exactly like the bare operation.
+func selectLeak(v int) {
+	ch := make(chan int, 0)
+	go func() {
+		select {
+		case ch <- v: // want `goroutine can block forever: send on unbuffered channel ch`
+		}
+	}()
+	_ = ch
+}
+
+// bufferedOK gives the channel capacity for the value: the send
+// completes even if the receiver already gave up.
+func bufferedOK(n int) <-chan int {
+	res := make(chan int, 1)
+	go func() { res <- n * n }()
+	return res
+}
+
+// ctxSelectOK pairs the send with a cancellation case: the goroutine
+// unblocks when the caller stops caring.
+func ctxSelectOK(ctx context.Context) <-chan int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+	return ch
+}
+
+// defaultOK never blocks: the default arm drops the value instead.
+func defaultOK() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+	_ = ch
+}
+
+// paramOK sends on a channel whose origin is not visible here: its
+// buffering discipline belongs to the owner, so it is not flagged.
+func paramOK(sink chan<- int, v int) {
+	go func() { sink <- v }()
+}
+
+// ackHandshake blocks on an unbuffered ack by design: the same
+// function receives it unconditionally two lines later, and the
+// directive records that reasoning.
+func ackHandshake() {
+	ack := make(chan struct{})
+	go func() {
+		//lint:ignore goleak the ack is drained unconditionally by this same function before it returns
+		ack <- struct{}{}
+	}()
+	<-ack
+}

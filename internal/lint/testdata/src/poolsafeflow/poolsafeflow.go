@@ -1,0 +1,129 @@
+// Package poolsafeflow holds regression fixtures for the flow-sensitive
+// poolsafe analyzer: both findings here require path-sensitivity and
+// were provably missed by the old flow-insensitive Get/Put counter
+// (which treated any release as covering every path, and only looked
+// for uses inside the releasing block's nesting).
+package poolsafeflow
+
+import "repro/internal/tensor"
+
+// releaseThenUse puts the tensor back inside one branch arm and then
+// uses it after the join: the path through the if-body is poisoned
+// (use-after-release), while the path around it reaches the return with
+// the value still live (leak). A block-nesting check sees neither.
+func releaseThenUse(n int, small bool) float64 {
+	t := tensor.Shared.Get(n, n)
+	t.Data[0] = 1
+	if small {
+		tensor.Shared.Put(t)
+	}
+	return t.Data[0] // want `t is used after being returned to the pool` // want `pooled value t \(Get at line 15\) is not released on this return path`
+}
+
+// leakOnEarlyReturn releases on the fallthrough path but leaks on the
+// early return: the old counter saw "a Put exists" and stayed quiet.
+func leakOnEarlyReturn(n int) float64 {
+	t := tensor.Shared.Get(n, n)
+	t.Data[0] = 2
+	if n > 1024 {
+		return 0 // want `pooled value t \(Get at line 26\) is not released on this return path`
+	}
+	v := t.Data[0]
+	tensor.Shared.Put(t)
+	return v
+}
+
+// leakAtCloseBrace releases only inside the loop body; the implicit
+// return at the closing brace is reachable with the value still live
+// when the loop runs zero times.
+func leakAtCloseBrace(n int) {
+	t := tensor.Shared.Get(n, n)
+	for i := 0; i < n; i++ {
+		tensor.Shared.Put(t)
+		return
+	}
+} // want `pooled value t \(Get at line 40\) is not released on this return path`
+
+// branchUseOK uses the tensor only on the path that has not released
+// it: flow-clean even though a Put and a later use both exist.
+func branchUseOK(n int, small bool) float64 {
+	t := tensor.Shared.Get(n, n)
+	if small {
+		tensor.Shared.Put(t)
+		return 0
+	}
+	v := t.Data[0]
+	tensor.Shared.Put(t)
+	return v
+}
+
+// deferArmOK arms a deferred release before the early return: every
+// path is covered, including the panic edge.
+func deferArmOK(n int) float64 {
+	t := tensor.Shared.Get(n, n)
+	defer tensor.Shared.Put(t)
+	if n == 0 {
+		return 0
+	}
+	return t.Data[0]
+}
+
+// condDeferLeak arms the deferred release only on one branch: the other
+// branch's return leaks. A defer statement is an ordinary CFG node, not
+// a function-wide property.
+func condDeferLeak(n int) float64 {
+	t := tensor.Shared.Get(n, n)
+	if n > 0 {
+		defer tensor.Shared.Put(t)
+		return t.Data[0]
+	}
+	tensor.Shared.Put(t)
+	if n < -10 {
+		return -1 // clean: the unconditional Put above released it on this path
+	}
+	return 0
+}
+
+// Note on condDeferLeak: after the unconditional Put on the else path
+// the value is released, so the returns below it are clean — but any
+// use would be flagged. The function exists to pin down that a defer in
+// one arm does not suppress checking in the other.
+
+// loopReuse gets and puts inside the loop body on every iteration:
+// flow-clean, and the back edge must re-establish the unreleased state
+// at the Get rather than carrying "released" around the loop.
+func loopReuse(n int) float64 {
+	var acc float64
+	for i := 0; i < n; i++ {
+		t := tensor.Shared.Get(n, n)
+		acc += t.Data[0]
+		tensor.Shared.Put(t)
+	}
+	return acc
+}
+
+// switchLeak releases in all but one case: the missing case's path
+// leaks at the closing brace.
+func switchLeak(mode int, n int) {
+	t := tensor.Shared.Get(n, n)
+	switch mode {
+	case 0:
+		tensor.Shared.Put(t)
+	case 1:
+		tensor.Shared.Put(t)
+	default:
+		_ = mode
+	}
+} // want `pooled value t \(Get at line 108\) is not released on this return path`
+
+// panicPathOK exits through panic with the value live: unwinding paths
+// are not leak-reported (the panic edge bypasses the exit block).
+func panicPathOK(n int) float64 {
+	t := tensor.Shared.Get(n, n)
+	if n < 0 {
+		panic("negative")
+	}
+	v := t.Data[0]
+	tensor.Shared.Put(t)
+	return v
+}

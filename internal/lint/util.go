@@ -23,6 +23,20 @@ func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool)
 	})
 }
 
+// inspectNoFuncLit is ast.Inspect pruned at function literals: fn sees
+// every node under root except the interiors of nested *ast.FuncLit
+// bodies (the literals themselves are still visited). Flow analyses use
+// it to keep each function body its own universe.
+func inspectNoFuncLit(root ast.Node, fn func(n ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if !fn(n) {
+			return false
+		}
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
 // importedPackage resolves expr to the import path of the package it
 // names, or "" if expr is not a package qualifier.
 func importedPackage(info *types.Info, expr ast.Expr) string {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/reccache"
+	"repro/internal/testutil"
 )
 
 // testBatcher builds a batcher whose exec echoes each item's key into its
@@ -38,6 +39,7 @@ func testItem(ctx context.Context, key string) *batchItem {
 // cancelled item — its waiter sees its own context error — while the
 // siblings execute together and unharmed.
 func TestBatcherSizeHitAndCancellation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	b, pool := testBatcher(t, 4, time.Hour, nil)
 	defer pool.Close()
 	defer b.close()
@@ -94,6 +96,7 @@ func TestBatcherSizeHitAndCancellation(t *testing.T) {
 // a partial batch must flush when the window channel fires, counted as a
 // window hit of the gathered size.
 func TestBatcherWindowHit(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	afterCh := make(chan time.Time)
 	armed := make(chan struct{}, 1)
 	after := func(time.Duration) <-chan time.Time {
@@ -136,6 +139,7 @@ func TestBatcherWindowHit(t *testing.T) {
 // TestBatcherCloseFlushesAndRefuses pins shutdown: close flushes the
 // forming batch (waiters complete) and later enqueues fail ErrClosed.
 func TestBatcherCloseFlushesAndRefuses(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	b, pool := testBatcher(t, 8, time.Hour, nil)
 	defer pool.Close()
 
@@ -172,6 +176,7 @@ var batchedEngineQueries = []string{
 // bytes. Runs under -race in tier-1, which also chases collector and
 // flush ordering races.
 func TestRecommendBatchedByteIdentical(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("training in -short mode")
 	}
@@ -242,6 +247,7 @@ func TestRecommendBatchedByteIdentical(t *testing.T) {
 // through the coalescing path and checks it against per-item plain
 // results: one code path serves both explicit and coalesced batches.
 func TestRecommendBatchThroughMicroBatch(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("training in -short mode")
 	}
@@ -279,6 +285,7 @@ func TestRecommendBatchThroughMicroBatch(t *testing.T) {
 
 // TestBatchedEngineClosed pins shutdown semantics with batching on.
 func TestBatchedEngineClosed(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("training in -short mode")
 	}
@@ -295,6 +302,7 @@ func TestBatchedEngineClosed(t *testing.T) {
 // BatchSize the engine keeps the per-request path and reports batching
 // off.
 func TestBatchingDisabledByDefault(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("training in -short mode")
 	}

@@ -1,0 +1,55 @@
+// Package testutil holds shared test-only helpers for the serving
+// tier's concurrency tests. It is the dynamic companion to the static
+// goleak analyzer (internal/lint): the analyzer proves goroutines have
+// an escape hatch, this guard proves they actually took it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutineSettle is how long VerifyNoLeaks waits for stragglers to
+// exit before declaring a leak. Goroutines unwinding from a canceled
+// context or a closed channel need a few scheduler passes to die, so
+// the guard retries instead of comparing one instant snapshot.
+const goroutineSettle = 2 * time.Second
+
+// VerifyNoLeaks snapshots runtime.NumGoroutine and registers a cleanup
+// that fails the test if the count has not settled back to the baseline
+// when the test ends. Call it first thing in any test that starts
+// goroutines it expects to be gone on return:
+//
+//	func TestBatcher(t *testing.T) {
+//		testutil.VerifyNoLeaks(t)
+//		...
+//	}
+//
+// The comparison retries for up to two seconds: a count at or below the
+// baseline at any poll passes (other tests' stragglers dying in
+// parallel can legitimately push the count below it). On failure the
+// guard reports the delta and dumps all goroutine stacks so the parked
+// frame is visible in the test log.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(goroutineSettle)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= baseline {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d goroutines at test end, baseline was %d (waited %v)\n%s",
+			now, baseline, goroutineSettle, buf[:n])
+	})
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestShadowTmp(t *testing.T) {
+	pkg := loadFixture(t, "shadowtmp")
+	res := Run([]*Package{pkg}, []*Analyzer{PoolSafe()})
+	for _, d := range res.Diags {
+		t.Logf("diag: %s:%d [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
+	}
+	if len(res.Diags) != 0 {
+		t.Errorf("expected clean, got %d diags", len(res.Diags))
+	}
+}

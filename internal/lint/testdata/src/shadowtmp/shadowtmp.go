@@ -1,0 +1,17 @@
+package shadowtmp
+
+import "repro/internal/tensor"
+
+// Outer t and inner shadowed t are distinct objects but share the
+// flow-fact key "t".
+func shadowed(n int) float64 {
+	t := tensor.Shared.Get(n, n)
+	{
+		t := tensor.Shared.Get(n, n)
+		t.Data[0] = 1
+		tensor.Shared.Put(t)
+	}
+	v := t.Data[0]
+	tensor.Shared.Put(t)
+	return v
+}

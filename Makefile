@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: test test-short chaos chaos-gw bench bench-json fuzz fuzz-short build vet lint lint-fix-list lint-fixtures
+.PHONY: test test-short chaos chaos-gw chaos-membership bench bench-json fuzz fuzz-short build vet lint lint-fix-list lint-fixtures
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,14 @@ chaos:
 chaos-gw:
 	$(GO) test -race -count=1 -v -run 'Chaos' ./internal/gateway
 
+# Membership chaos in isolation: a replica joins through the authed admin
+# API and another is drained out mid-run at 4x saturation, then the
+# gateway is killed and rejoins its persisted fleet view — every request
+# terminal (200/429/503+Retry-After), under the race detector. Also part
+# of `make test` and `make chaos-gw` (the run matcher catches it).
+chaos-membership:
+	$(GO) test -race -count=1 -v -run 'ChaosMembership' ./internal/gateway
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
@@ -67,6 +75,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTokenizeRoundTrip -fuzztime $(FUZZTIME) ./internal/tokenizer
 	$(GO) test -run '^$$' -fuzz FuzzParseDifferential -fuzztime $(FUZZTIME) ./internal/sqlparse/difftest
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz FuzzMembershipDecode -fuzztime $(FUZZTIME) ./internal/gateway
 
 # All fuzz targets at 10s each — a smoke pass for CI and pre-commit.
 fuzz-short:

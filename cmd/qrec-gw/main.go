@@ -11,12 +11,21 @@
 // envelope protocol; each replica validates, persists and hot-swaps
 // without dropping a request.
 //
+// The fleet is dynamic: with -admin-token set, the authenticated admin
+// API adds and removes replicas at runtime (warm-up before ring
+// ownership, drain before removal) with zero dropped requests, and with
+// -state set the membership view is persisted through the checksummed
+// atomic envelope so a restarted gateway rejoins its last-known fleet
+// instead of the boot flags (corrupt state falls back to -replicas).
+//
 // Usage:
 //
 //	qrec-gw -addr :8080 -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//	qrec-gw -replicas ... -admin-token secret -state gw-state/membership.qrec
 //	qrec-gw -replicas http://127.0.0.1:8081,http://127.0.0.1:8082 -push model/
 //	curl -s localhost:8080/v1/recommend -d '{"sql":"SELECT ra FROM PhotoObj"}'
 //	curl -s localhost:8080/v1/healthz
+//	curl -s -H 'Authorization: Bearer secret' localhost:8080/v1/admin/ring
 package main
 
 import (
@@ -53,23 +62,53 @@ func main() {
 		"graceful-shutdown deadline for in-flight requests")
 	push := flag.String("push", "",
 		"one-shot mode: push this model directory to every replica (validate, persist, hot-swap) and exit")
+	adminToken := flag.String("admin-token", "",
+		"bearer token guarding /v1/admin/* and /v1/model/push (empty disables the admin surface)")
+	statePath := flag.String("state", "",
+		"membership state file: persist the fleet view after every change and rejoin it on restart (empty disables)")
+	warmupProbes := flag.Int("warmup-probes", gateway.DefaultWarmupProbes,
+		"health probes a joining replica gets to reach healthy before the join fails")
+	memberDrain := flag.Duration("member-drain", gateway.DefaultMemberDrainTimeout,
+		"how long a replica removal waits for its in-flight requests to finish")
 	flag.Parse()
 
-	reps := splitReplicas(*replicas)
-	if len(reps) == 0 {
+	flagReps := splitReplicas(*replicas)
+	if len(flagReps) == 0 && *statePath == "" {
 		fmt.Fprintln(os.Stderr, "qrec-gw: -replicas is required (comma-separated base URLs)")
 		os.Exit(2)
 	}
+	reps, persisted, stateErr := gateway.ResolveBootMembership(*statePath, flagReps)
+	if stateErr != nil {
+		fmt.Fprintf(os.Stderr, "qrec-gw: membership state %s unusable (%v): falling back to -replicas\n",
+			*statePath, stateErr)
+	}
+	if persisted != nil {
+		fmt.Fprintf(os.Stderr, "qrec-gw: rejoining persisted fleet view seq %d (%d replicas) from %s\n",
+			persisted.Seq, len(persisted.Replicas), *statePath)
+	}
+	if len(reps) == 0 {
+		fmt.Fprintln(os.Stderr, "qrec-gw: no replicas from -replicas or -state")
+		os.Exit(2)
+	}
+	var initialSeq uint64
+	if persisted != nil {
+		initialSeq = persisted.Seq
+	}
 	gw, err := gateway.New(gateway.Config{
-		Replicas:       reps,
-		VNodes:         *vnodes,
-		MaxAttempts:    *maxAttempts,
-		AttemptTimeout: *attemptTimeout,
-		BackoffBase:    *backoff,
-		MaxBodyBytes:   *maxBody,
-		ProbeInterval:  *probeInterval,
-		ProbeTimeout:   *probeTimeout,
-		Seed:           *seed,
+		Replicas:           reps,
+		VNodes:             *vnodes,
+		MaxAttempts:        *maxAttempts,
+		AttemptTimeout:     *attemptTimeout,
+		BackoffBase:        *backoff,
+		MaxBodyBytes:       *maxBody,
+		ProbeInterval:      *probeInterval,
+		ProbeTimeout:       *probeTimeout,
+		Seed:               *seed,
+		AdminToken:         *adminToken,
+		StatePath:          *statePath,
+		InitialSeq:         initialSeq,
+		WarmupProbes:       *warmupProbes,
+		MemberDrainTimeout: *memberDrain,
 		// The composition root is the one place the wall clock enters the
 		// (detrand-clean) gateway package.
 		Clock: time.Now,
@@ -99,8 +138,8 @@ func main() {
 
 	go gw.Run(ctx)
 	fmt.Fprintf(os.Stderr,
-		"qrec-gw: routing on %s across %d replicas (vnodes=%d attempts=%d attempt-timeout=%s probe=%s)\n",
-		*addr, len(reps), *vnodes, *maxAttempts, *attemptTimeout, *probeInterval)
+		"qrec-gw: routing on %s across %d replicas (vnodes=%d attempts=%d attempt-timeout=%s probe=%s admin=%t state=%q)\n",
+		*addr, len(reps), *vnodes, *maxAttempts, *attemptTimeout, *probeInterval, *adminToken != "", *statePath)
 	if err := server.RunHandler(ctx, *addr, gw, gw.StartDraining, nil, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "qrec-gw:", err)
 		os.Exit(1)

@@ -24,11 +24,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the opt-in debug mux
+	"net/url"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,7 +74,18 @@ func main() {
 		"accept POST /v1/model/push hot swaps (validate, persist to -model, swap with zero dropped requests); admin networks only")
 	pprofAddr := flag.String("pprof", "",
 		"debug listener address for net/http/pprof, e.g. localhost:6060 (empty disables; do not expose publicly)")
+	register := flag.String("register", "",
+		"qrec-gw base URL to self-register with on startup (and deregister from on drain); requires -advertise")
+	advertise := flag.String("advertise", "",
+		"this replica's base URL as the gateway should dial it, e.g. http://10.0.0.7:8081")
+	registerToken := flag.String("register-token", "",
+		"bearer token for the gateway admin API (-register)")
 	flag.Parse()
+
+	if (*register == "") != (*advertise == "") {
+		fmt.Fprintln(os.Stderr, "qrec-serve: -register and -advertise must be set together")
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		// Separate listener so profiling endpoints never share the public
@@ -141,9 +155,91 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	deregistered := make(chan struct{})
+	if *register != "" {
+		go selfRegister(ctx, *register, *advertise, *registerToken)
+		go func() {
+			// On shutdown, ask the gateway to drain us out of the ring
+			// while our own listener drains in-flight requests; main waits
+			// on this before exiting so the DELETE is not cut short.
+			defer close(deregistered)
+			<-ctx.Done()
+			deregister(*register, *advertise, *registerToken)
+		}()
+	} else {
+		close(deregistered)
+	}
 	if err := server.Run(ctx, *addr, srv, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "qrec-serve:", err)
 		os.Exit(1)
 	}
+	<-deregistered
 	fmt.Fprintln(os.Stderr, "qrec-serve: drained in-flight requests, shut down cleanly")
+}
+
+// selfRegister joins this replica to the gateway's ring through the
+// authenticated admin API, retrying until the gateway accepts (its
+// warm-up ladder probes our /v1/healthz, so registration completes only
+// once we are actually serving). A 409 means we are already a member —
+// a restart racing the gateway's own persisted view — which is success.
+func selfRegister(ctx context.Context, gw, advertise, token string) {
+	client := &http.Client{Timeout: 60 * time.Second}
+	body := fmt.Sprintf(`{"url":%q}`, advertise)
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			gw+"/v1/admin/replicas", strings.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qrec-serve: register:", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := client.Do(req)
+		if err == nil {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			_ = resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusConflict:
+				fmt.Fprintf(os.Stderr, "qrec-serve: registered %s with %s (status %d)\n",
+					advertise, gw, resp.StatusCode)
+				return
+			default:
+				fmt.Fprintf(os.Stderr, "qrec-serve: register %s: status %d: %s\n",
+					gw, resp.StatusCode, strings.TrimSpace(string(msg)))
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "qrec-serve: register:", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(2 * time.Second):
+		}
+	}
+}
+
+// deregister removes this replica from the gateway's ring with drain
+// semantics: the gateway stops routing new keys here immediately and
+// waits for in-flight requests (which our own drain is completing) to
+// finish. Runs under its own deadline because the serve context is
+// already cancelled by the time shutdown begins.
+func deregister(gw, advertise, token string) {
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(dctx, http.MethodDelete,
+		gw+"/v1/admin/replicas?url="+url.QueryEscape(advertise), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qrec-serve: deregister:", err)
+		return
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := (&http.Client{Timeout: 30 * time.Second}).Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qrec-serve: deregister:", err)
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	_ = resp.Body.Close()
+	fmt.Fprintf(os.Stderr, "qrec-serve: deregistered %s from %s (status %d)\n",
+		advertise, gw, resp.StatusCode)
 }

@@ -1,0 +1,335 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/modeldir"
+)
+
+// memberDrainPoll is the cadence at which a drain waits for the departing
+// replica's in-flight count to reach zero. The wait is iteration-bounded
+// (MemberDrainTimeout / memberDrainPoll) rather than clock-bounded so it
+// terminates even under a frozen test clock.
+const memberDrainPoll = 20 * time.Millisecond
+
+// MemberStatus is one row of the admin/healthz membership table: the
+// lifecycle state plus the health ladder's live view of the replica.
+type MemberStatus struct {
+	URL         string `json:"url"`
+	State       string `json:"state"`
+	Health      string `json:"health"`
+	ReplicaID   string `json:"replica,omitempty"`
+	Inflight    int    `json:"inflight"`
+	Probes      uint64 `json:"probes,omitempty"`
+	Failures    uint64 `json:"probe_failures,omitempty"`
+	NextProbeMs int64  `json:"next_probe_ms,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// memberTable joins the membership view with the prober's health snapshot
+// in stable (URL-sorted) order.
+func (g *Gateway) memberTable() (seq uint64, rows []MemberStatus) {
+	v := g.view.Load()
+	snap := g.prober.Snapshot(g.cfg.Clock())
+	rows = make([]MemberStatus, 0, len(v.members))
+	for _, m := range v.members {
+		row := MemberStatus{
+			URL:      m.URL,
+			State:    m.State.String(),
+			Health:   StateUnknown.String(),
+			Inflight: g.inflightFor(m.URL),
+		}
+		if st, ok := snap[m.URL]; ok {
+			row.Health = st.State
+			row.ReplicaID = st.ReplicaID
+			row.Probes = st.Probes
+			row.Failures = st.Failures
+			row.NextProbeMs = st.NextProbeMs
+			row.LastError = st.LastError
+		}
+		rows = append(rows, row)
+	}
+	return v.seq, rows
+}
+
+// membershipBody renders the membership section shared by the admin
+// responses and healthz.
+func (g *Gateway) membershipBody() map[string]any {
+	seq, rows := g.memberTable()
+	return map[string]any{"seq": seq, "members": rows}
+}
+
+// adminReplicaRequest is the wire shape of POST/DELETE /v1/admin/replicas.
+type adminReplicaRequest struct {
+	// URL is the replica base URL (e.g. "http://10.0.0.7:8081").
+	URL string `json:"url"`
+	// PushDir (POST only), when set, pushes this local model directory to
+	// the replica before warm-up, so a cold join never serves stale or
+	// missing artifacts.
+	PushDir string `json:"push_dir,omitempty"`
+}
+
+// handleAdminReplicas dispatches the membership mutations.
+func (g *Gateway) handleAdminReplicas(w http.ResponseWriter, r *http.Request) {
+	if !g.authorize(w, r) {
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		g.handleAdminAdd(w, r)
+	case http.MethodDelete:
+		g.handleAdminRemove(w, r)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST or DELETE required"})
+	}
+}
+
+// decodeAdminRequest reads the JSON body (falling back to the ?url=
+// query parameter, which keeps the DELETE curl one-liner ergonomic) and
+// normalizes the replica URL.
+func decodeAdminRequest(w http.ResponseWriter, r *http.Request) (adminReplicaRequest, bool) {
+	var req adminReplicaRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
+		return req, false
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+			return req, false
+		}
+	}
+	if req.URL == "" {
+		req.URL = r.URL.Query().Get("url")
+	}
+	norm, err := normalizeReplicaURL(req.URL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return req, false
+	}
+	req.URL = norm
+	return req, true
+}
+
+// handleAdminAdd runs the join ladder synchronously: register as joining,
+// optionally model-push, probe to healthy (warming), then publish the
+// view that grants ring ownership (active). The response returns only
+// once the replica is serving members of the ring — or with the failure
+// that kept it out, the member removed again. A client disconnect mid
+// warm-up aborts the join the same way, so no half-joined member is ever
+// left behind.
+func (g *Gateway) handleAdminAdd(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeAdminRequest(w, r)
+	if !ok {
+		return
+	}
+	if err := g.addJoining(req.URL); err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if req.PushDir != "" {
+		files, err := modeldir.ReadRaw(req.PushDir)
+		if err != nil {
+			g.failJoin(w, req.URL, http.StatusUnprocessableEntity, err)
+			return
+		}
+		payload, err := json.Marshal(modeldir.PushPayload{Artifacts: files})
+		if err != nil {
+			g.failJoin(w, req.URL, http.StatusInternalServerError, err)
+			return
+		}
+		if err := pushOne(ctx, g.client, req.URL, payload); err != nil {
+			g.failJoin(w, req.URL, http.StatusBadGateway, err)
+			return
+		}
+	}
+	if err := g.transition(req.URL, MemberWarming, MemberJoining); err != nil {
+		g.failJoin(w, req.URL, http.StatusConflict, err)
+		return
+	}
+	if err := g.warmUp(ctx, req.URL); err != nil {
+		g.failJoin(w, req.URL, http.StatusGatewayTimeout, err)
+		return
+	}
+	if err := g.transition(req.URL, MemberActive, MemberWarming); err != nil {
+		g.failJoin(w, req.URL, http.StatusConflict, err)
+		return
+	}
+	g.adminAdds.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "active",
+		"url":        req.URL,
+		"membership": g.membershipBody(),
+	})
+}
+
+// failJoin rolls a failed join back (member removed, prober stopped) and
+// reports the cause.
+func (g *Gateway) failJoin(w http.ResponseWriter, url string, status int, err error) {
+	g.warmupFails.Add(1)
+	_ = g.removeMember(url)
+	writeJSON(w, status, errorResponse{Error: "join " + url + ": " + err.Error()})
+}
+
+// warmUp probes the joining replica until it reports healthy, up to
+// WarmupProbes attempts spaced ProbeInterval apart. Degraded is not good
+// enough to enter the ring: a replica that is already shedding before it
+// owns a single key would only dig the fleet deeper.
+func (g *Gateway) warmUp(ctx context.Context, url string) error {
+	var last ReplicaState
+	for i := 0; i < g.cfg.WarmupProbes; i++ {
+		if i > 0 {
+			g.cfg.Sleep(ctx, g.cfg.ProbeInterval)
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("warm-up aborted: %w", ctx.Err())
+		}
+		last = g.prober.ProbeNow(ctx, url, g.cfg.Clock())
+		if last == StateHealthy {
+			return nil
+		}
+	}
+	return fmt.Errorf("warm-up failed after %d probes (last state %s)", g.cfg.WarmupProbes, last)
+}
+
+// handleAdminRemove drains and removes a replica: it leaves the ring
+// immediately (no new keys), the handler waits for its in-flight
+// requests to finish (bounded by MemberDrainTimeout), and only then is
+// the member dropped and its prober stopped. The response reports
+// whether the drain completed or timed out; either way the replica is
+// gone from the view when the response is written.
+func (g *Gateway) handleAdminRemove(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeAdminRequest(w, r)
+	if !ok {
+		return
+	}
+	if err := g.startDrain(req.URL); err != nil {
+		status := http.StatusConflict
+		if errors.Is(err, ErrMemberUnknown) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	drained := g.awaitDrain(r.Context(), req.URL)
+	_ = g.removeMember(req.URL)
+	g.adminRemoves.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "removed",
+		"url":        req.URL,
+		"drained":    drained,
+		"membership": g.membershipBody(),
+	})
+}
+
+// awaitDrain waits for rep's in-flight count to reach zero. The loop is
+// iteration-bounded so a frozen clock cannot wedge it; a cancelled ctx
+// (admin client gone) stops waiting early — the caller removes the
+// member regardless, because a draining member that already left the
+// ring has nothing left to hand over.
+func (g *Gateway) awaitDrain(ctx context.Context, rep string) bool {
+	polls := int(g.cfg.MemberDrainTimeout/memberDrainPoll) + 1
+	for i := 0; i < polls; i++ {
+		if g.inflightFor(rep) == 0 {
+			return true
+		}
+		g.cfg.Sleep(ctx, memberDrainPoll)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return g.inflightFor(rep) == 0
+}
+
+// handleAdminRing reports the full fleet view: the membership table,
+// ring parameters, and the persistence status.
+func (g *Gateway) handleAdminRing(w http.ResponseWriter, r *http.Request) {
+	if !g.authorize(w, r) {
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"membership":  g.membershipBody(),
+		"vnodes":      g.cfg.VNodes,
+		"persistence": g.persistStatus(),
+		"routing":     g.Stats(),
+	})
+}
+
+// maxPushBytes bounds gateway /v1/model/push bodies, mirroring the
+// replica-side cap (three checksummed artifact envelopes, base64 in
+// JSON).
+const maxPushBytes = 64 << 20
+
+// handleModelPush is the authenticated HTTP form of the push fan-out:
+// the payload is validated once at the gateway (a corrupt envelope is
+// rejected before it touches any replica), then delivered to every
+// active member. Per-replica outcomes are isolated — one unreachable
+// replica does not stop the rest of the fleet from swapping.
+func (g *Gateway) handleModelPush(w http.ResponseWriter, r *http.Request) {
+	if !g.authorize(w, r) {
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPushBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("push exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
+		return
+	}
+	var payload modeldir.PushPayload
+	if err := json.Unmarshal(body, &payload); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	for _, name := range modeldir.ArtifactFiles() {
+		data, ok := payload.Artifacts[name]
+		if !ok {
+			writeJSON(w, http.StatusUnprocessableEntity,
+				errorResponse{Error: "push missing artifact " + name})
+			return
+		}
+		if _, err := checkpoint.Decode(data, modeldir.ArtifactVersion); err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity,
+				errorResponse{Error: "push artifact " + name + ": " + err.Error()})
+			return
+		}
+	}
+	g.pushes.Add(1)
+	out := g.pushPayload(r.Context(), body)
+	results := make(map[string]string, len(out))
+	failed := 0
+	for rep, perr := range out {
+		if perr == nil {
+			results[rep] = "swapped"
+		} else {
+			results[rep] = perr.Error()
+			failed++
+		}
+	}
+	status := http.StatusOK
+	if failed > 0 {
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, map[string]any{"replicas": results, "failed": failed})
+}

@@ -1,0 +1,58 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// authorize guards the admin surface (/v1/admin/* and /v1/model/push).
+// It reports whether the request carried the configured bearer token,
+// writing the error response itself when it did not.
+//
+// The comparison is constant-time: both the presented and configured
+// tokens are hashed (SHA-256) before subtle.ConstantTimeCompare, so
+// neither the compare nor the length check leaks where a guess diverged.
+// When no token is configured the admin surface is disabled outright —
+// a gateway must opt in to remote administration, never default to it.
+func (g *Gateway) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if g.cfg.AdminToken == "" {
+		g.authRejected.Add(1)
+		writeJSON(w, http.StatusForbidden,
+			errorResponse{Error: "admin surface disabled: gateway started without -admin-token"})
+		return false
+	}
+	if !tokenMatches(bearerToken(r), g.cfg.AdminToken) {
+		g.authRejected.Add(1)
+		w.Header().Set("WWW-Authenticate", `Bearer realm="qrec-gw admin"`)
+		writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "missing or invalid bearer token"})
+		return false
+	}
+	return true
+}
+
+// bearerToken extracts the RFC 6750 bearer credential from the
+// Authorization header ("" when absent or malformed). The scheme
+// comparison is case-insensitive per RFC 9110.
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) <= len(prefix) || !strings.EqualFold(h[:len(prefix)], prefix) {
+		return ""
+	}
+	return h[len(prefix):]
+}
+
+// tokenMatches compares a presented token against the configured one in
+// constant time. An empty presented token never matches — hashing would
+// otherwise make "" a valid guess against a misconfigured empty secret,
+// but the caller already rejects that configuration.
+func tokenMatches(presented, configured string) bool {
+	if presented == "" {
+		return false
+	}
+	ph := sha256.Sum256([]byte(presented))
+	ch := sha256.Sum256([]byte(configured))
+	return subtle.ConstantTimeCompare(ph[:], ch[:]) == 1
+}

@@ -1,0 +1,345 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/servepool"
+	"repro/internal/server"
+	"repro/internal/testutil"
+)
+
+// TestChaosMembershipJoinDrainRestart is the acceptance scenario for the
+// dynamic-membership control plane, run at 4x admission saturation:
+//
+//   - two replicas serve 64 concurrent clients (fleet capacity 16);
+//   - unauthenticated admin and push requests get 401 throughout;
+//   - a third replica joins through the authed admin API and receives
+//     traffic only after its warm-up ladder completed (the replica itself
+//     asserts it is an active member on every data request);
+//   - one original replica is removed with drain: the DELETE completes
+//     with zero non-terminal responses, and no request sent after the
+//     removal is ever served by it;
+//   - the gateway process is killed and restarted with the ORIGINAL boot
+//     flags: it rejoins the persisted two-replica view (survivor + the
+//     added replica), not the flags;
+//   - every request in the run terminates 200 (full or degraded),
+//     429-with-Retry-After, or 503-with-Retry-After.
+func TestChaosMembershipJoinDrainRestart(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const token = "chaos-admin-token"
+
+	victim := startReplica(t, "m0", time.Millisecond) // removed mid-run
+	keeper := startReplica(t, "m1", time.Millisecond)
+	defer victim.kill()
+	defer keeper.kill()
+	bootFlags := []string{victim.url(), keeper.url()}
+
+	statePath := filepath.Join(t.TempDir(), "membership.qrec")
+	newGW := func(reps []string, seq uint64) *Gateway {
+		gw, err := New(Config{
+			Replicas:           reps,
+			MaxAttempts:        3,
+			AttemptTimeout:     2 * time.Second,
+			BackoffBase:        time.Millisecond,
+			ProbeInterval:      20 * time.Millisecond,
+			ProbeTimeout:       time.Second,
+			AdminToken:         token,
+			StatePath:          statePath,
+			InitialSeq:         seq,
+			WarmupProbes:       50,
+			MemberDrainTimeout: 5 * time.Second,
+			Clock:              time.Now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gw
+	}
+	gw := newGW(bootFlags, 0)
+	var gwPtr atomic.Pointer[Gateway]
+	gwPtr.Store(gw)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go gw.Run(ctx)
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwSrv := &http.Server{Handler: gw}
+	go func() { _ = gwSrv.Serve(gwLn) }()
+	defer func() { _ = gwSrv.Close() }()
+	gwURL := "http://" + gwLn.Addr().String()
+
+	// The joining replica wraps its data path with a membership assertion:
+	// by the time any /v1/recommend reaches it, the routing gateway must
+	// already count it an active (or, later, draining) member — the view
+	// publish that grants ring ownership happens-before any routing to it.
+	var earlyTraffic atomic.Int64
+	joinerApp := server.NewWithConfig(chaosRecommender(t), server.Config{
+		Workers:     2,
+		MaxQueue:    2,
+		MaxInFlight: 8,
+		SoftTimeout: 250 * time.Millisecond,
+		Timeout:     5 * time.Second,
+		Fallback:    chaosFallback(),
+		Predictor:   servepool.Predictor(chaosPredictor{delay: time.Millisecond}),
+		ReplicaID:   "m2",
+		EnablePush:  true,
+	})
+	defer joinerApp.Close()
+	joinerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinerURL := "http://" + joinerLn.Addr().String()
+	joinerSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/recommend") {
+			_, members := gwPtr.Load().View()
+			ok := false
+			for _, m := range members {
+				if m.URL == joinerURL && (m.State == MemberActive || m.State == MemberDraining) {
+					ok = true
+				}
+			}
+			if !ok {
+				earlyTraffic.Add(1)
+			}
+		}
+		joinerApp.ServeHTTP(w, r)
+	})}
+	go func() { _ = joinerSrv.Serve(joinerLn) }()
+	defer func() { _ = joinerSrv.Close() }()
+
+	// Background auth prober: the admin surface and the push endpoint
+	// reject every unauthenticated or wrongly-authenticated request for the
+	// whole run, membership churn or not.
+	var stopAuth atomic.Bool
+	var badAuth atomic.Int64
+	var authWg sync.WaitGroup
+	authWg.Add(1)
+	go func() {
+		defer authWg.Done()
+		c := &http.Client{Timeout: 5 * time.Second}
+		for !stopAuth.Load() {
+			for _, probe := range []struct{ method, path, auth string }{
+				{http.MethodGet, "/v1/admin/ring", ""},
+				{http.MethodPost, "/v1/admin/replicas", "Bearer wrong-token"},
+				{http.MethodPost, "/v1/model/push", "Bearer " + token + "x"},
+			} {
+				req, _ := http.NewRequest(probe.method, gwURL+probe.path, strings.NewReader(`{"url":"http://evil:1"}`))
+				if probe.auth != "" {
+					req.Header.Set("Authorization", probe.auth)
+				}
+				resp, err := c.Do(req)
+				if err != nil {
+					continue // gateway restarting mid-run
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusUnauthorized {
+					badAuth.Add(1)
+					t.Errorf("%s %s with bad auth: got %d, want 401", probe.method, probe.path, resp.StatusCode)
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	type outcome struct {
+		code        int
+		body        string
+		retryAfter  string
+		replica     string
+		afterRemove bool
+	}
+	var removeDone atomic.Bool
+	httpc := &http.Client{Timeout: 15 * time.Second}
+	fire := func(clientID string, j int) outcome {
+		body := fmt.Sprintf(`{"sql":"SELECT a FROM t%d","n":1}`, j)
+		after := removeDone.Load()
+		req, _ := http.NewRequest(http.MethodPost, gwURL+"/v1/recommend", strings.NewReader(body))
+		req.Header.Set("X-Client-ID", clientID)
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return outcome{code: -1, body: err.Error(), afterRemove: after}
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		return outcome{
+			code:        resp.StatusCode,
+			body:        string(rb),
+			retryAfter:  resp.Header.Get("Retry-After"),
+			replica:     resp.Header.Get("X-Replica-ID"),
+			afterRemove: after,
+		}
+	}
+
+	// Wave 1: 4x saturation while the membership churn happens.
+	const (
+		clients = 64
+		perGo   = 8
+	)
+	results := make([][]outcome, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = make([]outcome, perGo)
+			for j := 0; j < perGo; j++ {
+				results[c][j] = fire(fmt.Sprintf("chaos-client-%d", c), j)
+			}
+		}(c)
+	}
+
+	admin := func(method, path, body string) (*http.Response, string) {
+		t.Helper()
+		req, _ := http.NewRequest(method, gwURL+path, strings.NewReader(body))
+		req.Header.Set("Authorization", "Bearer "+token)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := httpc.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		return resp, string(rb)
+	}
+
+	time.Sleep(100 * time.Millisecond) // mid-saturation
+	resp, body := admin(http.MethodPost, "/v1/admin/replicas", fmt.Sprintf(`{"url":%q}`, joinerURL))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join under load: got %d: %s", resp.StatusCode, body)
+	}
+	if got := len(gw.Ring().Replicas()); got != 3 {
+		t.Fatalf("ring after join: %d replicas, want 3", got)
+	}
+
+	time.Sleep(100 * time.Millisecond) // let the newcomer take traffic
+	resp, body = admin(http.MethodDelete, "/v1/admin/replicas?url="+victim.url(), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove under load: got %d: %s", resp.StatusCode, body)
+	}
+	var rem struct {
+		Drained bool `json:"drained"`
+	}
+	if err := json.Unmarshal([]byte(body), &rem); err != nil || !rem.Drained {
+		t.Errorf("removal under load not drained: %s", body)
+	}
+	removeDone.Store(true)
+	wg.Wait()
+
+	// Wave 2: strictly post-removal traffic — none of it may reach the
+	// removed replica.
+	post := make([]outcome, 32)
+	var wg2 sync.WaitGroup
+	for c := range post {
+		wg2.Add(1)
+		go func(c int) {
+			defer wg2.Done()
+			post[c] = fire(fmt.Sprintf("post-client-%d", c), c)
+		}(c)
+	}
+	wg2.Wait()
+	stopAuth.Store(true)
+	authWg.Wait()
+
+	audit := func(o outcome, where string) (n200, n429, n503 int) {
+		switch o.code {
+		case http.StatusOK:
+			n200 = 1
+			var r struct {
+				Templates []string `json:"templates"`
+			}
+			if err := json.Unmarshal([]byte(o.body), &r); err != nil || len(r.Templates) == 0 {
+				t.Errorf("%s: torn 200 body %q (%v)", where, o.body, err)
+			}
+		case http.StatusTooManyRequests:
+			n429 = 1
+			if o.retryAfter == "" {
+				t.Errorf("%s: 429 without Retry-After", where)
+			}
+		case http.StatusServiceUnavailable:
+			n503 = 1
+			if o.retryAfter == "" {
+				t.Errorf("%s: 503 without Retry-After: %q", where, o.body)
+			}
+		default:
+			t.Errorf("%s: non-terminal outcome %d (%s)", where, o.code, o.body)
+		}
+		if o.afterRemove && o.replica == "m0" {
+			t.Errorf("%s: request sent after removal was served by the removed replica", where)
+		}
+		return
+	}
+	var n200, n429, n503, byJoiner int
+	for c, outs := range results {
+		for j, o := range outs {
+			a, b2, c2 := audit(o, fmt.Sprintf("client %d req %d", c, j))
+			n200, n429, n503 = n200+a, n429+b2, n503+c2
+			if o.code == http.StatusOK && o.replica == "m2" {
+				byJoiner++
+			}
+		}
+	}
+	for c, o := range post {
+		a, b2, c2 := audit(o, fmt.Sprintf("post-remove req %d", c))
+		n200, n429, n503 = n200+a, n429+b2, n503+c2
+	}
+	t.Logf("outcomes: %d x 200 (%d via joiner), %d x 429, %d x 503 (stats %+v)",
+		n200, byJoiner, n429, n503, gw.Stats())
+	if n200 == 0 {
+		t.Fatal("no request succeeded under membership chaos")
+	}
+	if got := earlyTraffic.Load(); got != 0 {
+		t.Errorf("%d data requests reached the joiner before it was an active member", got)
+	}
+	if badAuth.Load() != 0 {
+		t.Errorf("%d unauthenticated admin/push requests were not rejected", badAuth.Load())
+	}
+	if byJoiner == 0 {
+		t.Error("the joined replica never served a request after warm-up")
+	}
+
+	// Kill the gateway and restart it with the ORIGINAL boot flags: the
+	// persisted view — survivor + joiner, not the flags — wins.
+	_ = gwSrv.Close()
+	cancel()
+	reps, persisted, rerr := ResolveBootMembership(statePath, bootFlags)
+	if rerr != nil || persisted == nil {
+		t.Fatalf("restart resolution: reps=%v persisted=%v err=%v", reps, persisted, rerr)
+	}
+	want := map[string]bool{keeper.url(): true, joinerURL: true}
+	if len(reps) != 2 || !want[reps[0]] || !want[reps[1]] {
+		t.Fatalf("restarted view %v, want {%s, %s} from persisted state", reps, keeper.url(), joinerURL)
+	}
+	gw2 := newGW(reps, persisted.Seq)
+	gwPtr.Store(gw2)
+	if got := gw2.Ring().Replicas(); len(got) != 2 {
+		t.Fatalf("restarted ring: %v", got)
+	}
+	for _, rep := range gw2.Ring().Replicas() {
+		if rep == victim.url() {
+			t.Fatal("restarted gateway still routes to the removed replica")
+		}
+	}
+	w := postKey(t, gw2, "restart-client", `{"sql":"SELECT a FROM t"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("restarted gateway request: got %d (%s)", w.Code, w.Body.String())
+	}
+	if seq, _ := gw2.View(); seq <= persisted.Seq {
+		t.Fatalf("restarted seq %d did not advance past persisted %d", seq, persisted.Seq)
+	}
+}

@@ -1,0 +1,70 @@
+package gateway
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzMembershipDecode hammers the persisted-membership decode path with
+// corrupted envelopes: whatever is on disk — truncated writes, flipped
+// bits, other files entirely — the gateway must never panic and must
+// always boot, falling back to the flag-provided replica set when the
+// state is unusable.
+func FuzzMembershipDecode(f *testing.F) {
+	valid, err := EncodeMembership(Membership{
+		Seq:      42,
+		SavedAt:  1700000000,
+		Replicas: []string{"http://10.0.0.1:8081", "http://10.0.0.2:8081"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-payload
+	f.Add(valid[:4])            // truncated mid-magic
+	f.Add([]byte{})
+	f.Add([]byte("QRECCKP1 but not really an envelope"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flags := []string{"http://fallback:8081"}
+
+		// Direct decode: an error or a validated membership, never a panic
+		// and never a half-validated result.
+		m, err := DecodeMembership(data)
+		if err == nil {
+			if len(m.Replicas) == 0 {
+				t.Fatal("decode accepted a membership with no replicas")
+			}
+			for _, rep := range m.Replicas {
+				if rep == "" {
+					t.Fatal("decode accepted an empty replica URL")
+				}
+			}
+		}
+
+		// Boot resolution over the same bytes on disk: the gateway always
+		// comes up with a non-empty replica set — the decoded one when the
+		// envelope validated, the flags otherwise.
+		path := filepath.Join(t.TempDir(), "membership.qrec")
+		if werr := os.WriteFile(path, data, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		reps, fromState, rerr := ResolveBootMembership(path, flags)
+		if len(reps) == 0 {
+			t.Fatal("boot resolution returned no replicas")
+		}
+		if err == nil {
+			if rerr != nil || fromState == nil || fromState.Seq != m.Seq {
+				t.Fatalf("valid envelope not honored: %v %v", fromState, rerr)
+			}
+		} else {
+			if fromState != nil || reps[0] != flags[0] {
+				t.Fatalf("corrupt envelope must fall back to flags, got %v (state %v)", reps, fromState)
+			}
+		}
+	})
+}

@@ -51,6 +51,25 @@ type Config struct {
 	// Seed seeds the backoff-jitter stream (checkpoint.RNG splitmix64);
 	// equal seeds replay equal jitter schedules.
 	Seed int64
+	// AdminToken guards the admin surface (/v1/admin/* and
+	// /v1/model/push) with constant-time bearer-token auth. Empty
+	// disables the admin surface entirely (requests get 403).
+	AdminToken string
+	// StatePath, when set, persists the active membership view through
+	// the checksummed atomic envelope after every change, so a restarted
+	// gateway rejoins with its last-known fleet instead of the boot
+	// flags. Empty disables persistence.
+	StatePath string
+	// InitialSeq seeds the view sequence counter (a restart passes the
+	// persisted seq so the sequence stays monotonic across processes).
+	InitialSeq uint64
+	// WarmupProbes bounds how many health probes a joining replica gets
+	// to reach healthy before the join fails (default 30, spaced
+	// ProbeInterval apart).
+	WarmupProbes int
+	// MemberDrainTimeout bounds how long a removal waits for the
+	// draining replica's in-flight requests to finish (default 10s).
+	MemberDrainTimeout time.Duration
 	// Clock supplies the wall clock for probe scheduling. Nil gets a
 	// frozen zero clock — probes then fire at most once, which is fine
 	// for tests driving ProbeAll by hand and wrong for serving; the
@@ -67,16 +86,22 @@ type Config struct {
 
 // Gateway defaults.
 const (
-	DefaultMaxAttempts    = 3
-	DefaultAttemptTimeout = 10 * time.Second
-	DefaultBackoffBase    = 25 * time.Millisecond
-	DefaultMaxBodyBytes   = 1 << 20
-	DefaultProbeInterval  = time.Second
-	DefaultProbeTimeout   = 2 * time.Second
-	DefaultRetryAfter     = time.Second
+	DefaultMaxAttempts        = 3
+	DefaultAttemptTimeout     = 10 * time.Second
+	DefaultBackoffBase        = 25 * time.Millisecond
+	DefaultMaxBodyBytes       = 1 << 20
+	DefaultProbeInterval      = time.Second
+	DefaultProbeTimeout       = 2 * time.Second
+	DefaultRetryAfter         = time.Second
+	DefaultWarmupProbes       = 30
+	DefaultMemberDrainTimeout = 10 * time.Second
 	// maxBackoff caps one inter-attempt wait so a deep retry ladder
 	// cannot stall a request for seconds.
 	maxBackoff = time.Second
+	// maxRetryAfterHint caps the ladder-derived Retry-After on terminal
+	// 503s: a draining replica may push its next probe far out, but
+	// telling clients to stay away that long serves nobody.
+	maxRetryAfterHint = 30 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -103,6 +128,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = DefaultRetryAfter
+	}
+	if c.WarmupProbes <= 0 {
+		c.WarmupProbes = DefaultWarmupProbes
+	}
+	if c.MemberDrainTimeout <= 0 {
+		c.MemberDrainTimeout = DefaultMemberDrainTimeout
 	}
 	if c.Clock == nil {
 		c.Clock = func() time.Time { return time.Time{} }
@@ -132,26 +163,52 @@ type errorResponse struct {
 // tiers apart.
 type Gateway struct {
 	cfg     Config
-	ring    *Ring
 	prober  *Prober
 	flights flightGroup
 	client  *http.Client
 	mux     *http.ServeMux
+
+	// view is the RCU-published membership snapshot: the routing path
+	// loads it once per request and never observes a half-updated ring.
+	// Mutations (serialized by memberMu) build a whole new view and swap
+	// the pointer.
+	view     atomic.Pointer[memberView]
+	memberMu sync.Mutex
+
+	// inflight counts live upstream attempts per replica URL; the drain
+	// ladder waits on it before a member goes from draining to gone.
+	inflightMu sync.Mutex
+	inflight   map[string]int
+
+	// persist tracks the durability of the membership view on disk.
+	persistMu sync.Mutex
+	persist   struct {
+		seq       uint64
+		savedAt   int64
+		errors    uint64
+		lastError string
+	}
 
 	rngMu sync.Mutex
 	rng   *checkpoint.RNG
 
 	draining atomic.Bool
 
-	proxied   atomic.Uint64 // requests that entered the routing path
-	retried   atomic.Uint64 // attempts beyond a request's first
-	rerouted  atomic.Uint64 // requests whose home replica was skipped by health
-	collapsed atomic.Uint64 // follower requests served by a shared flight
-	exhausted atomic.Uint64 // requests that failed every candidate
-	pushes    atomic.Uint64 // model pushes fanned out
+	proxied      atomic.Uint64 // requests that entered the routing path
+	retried      atomic.Uint64 // attempts beyond a request's first
+	rerouted     atomic.Uint64 // requests whose home replica was skipped by health
+	collapsed    atomic.Uint64 // follower requests served by a shared flight
+	exhausted    atomic.Uint64 // requests that failed every candidate
+	pushes       atomic.Uint64 // model pushes fanned out
+	adminAdds    atomic.Uint64 // replicas added through the admin API
+	adminRemoves atomic.Uint64 // replicas drained and removed through the admin API
+	authRejected atomic.Uint64 // admin requests rejected by auth (401/403)
+	warmupFails  atomic.Uint64 // joins that never reached healthy
 }
 
-// New builds the gateway. Config.Replicas must be non-empty.
+// New builds the gateway. Config.Replicas must be non-empty; every boot
+// replica enters the view as active (a restart passes the persisted set
+// here via ResolveBootMembership).
 func New(cfg Config) (*Gateway, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Replicas) == 0 {
@@ -162,24 +219,43 @@ func New(cfg Config) (*Gateway, error) {
 		transport = http.DefaultTransport
 	}
 	g := &Gateway{
-		cfg:    cfg,
-		ring:   NewRing(cfg.Replicas, cfg.VNodes),
-		client: &http.Client{Transport: transport},
-		mux:    http.NewServeMux(),
-		rng:    checkpoint.NewRNG(cfg.Seed),
+		cfg:      cfg,
+		client:   &http.Client{Transport: transport},
+		mux:      http.NewServeMux(),
+		rng:      checkpoint.NewRNG(cfg.Seed),
+		inflight: make(map[string]int),
 	}
-	g.prober = newProber(cfg.Replicas, &http.Client{Transport: transport, Timeout: cfg.ProbeTimeout}, cfg.ProbeInterval, cfg.Clock)
+	members := make([]Member, 0, len(cfg.Replicas))
+	seen := make(map[string]bool, len(cfg.Replicas))
+	for _, rep := range cfg.Replicas {
+		if !seen[rep] {
+			seen[rep] = true
+			members = append(members, Member{URL: rep, State: MemberActive})
+		}
+	}
+	g.view.Store(newMemberView(cfg.InitialSeq+1, members, cfg.VNodes))
+	g.prober = newProber(g.view.Load().ring.Replicas(), &http.Client{Transport: transport, Timeout: cfg.ProbeTimeout}, cfg.ProbeInterval, cfg.Clock)
+	// Persist the boot view immediately: a gateway that crashes before
+	// its first membership change still rejoins with a known fleet.
+	g.memberMu.Lock()
+	g.persistLocked(g.view.Load())
+	g.memberMu.Unlock()
 	g.mux.HandleFunc("/v1/recommend", g.handleProxy)
 	g.mux.HandleFunc("/v1/recommend/batch", g.handleProxy)
 	g.mux.HandleFunc("/v1/healthz", g.handleHealth)
+	g.mux.HandleFunc("/v1/admin/replicas", g.handleAdminReplicas)
+	g.mux.HandleFunc("/v1/admin/ring", g.handleAdminRing)
+	g.mux.HandleFunc("/v1/model/push", g.handleModelPush)
 	return g, nil
 }
 
 // Prober exposes the health tracker (probe loops, tests, telemetry).
 func (g *Gateway) Prober() *Prober { return g.prober }
 
-// Ring exposes the routing ring (tests, telemetry).
-func (g *Gateway) Ring() *Ring { return g.ring }
+// Ring exposes the current routing ring (tests, telemetry). The returned
+// ring is an immutable snapshot; a concurrent membership change replaces
+// it rather than mutating it.
+func (g *Gateway) Ring() *Ring { return g.view.Load().ring }
 
 // StartDraining flips the gateway healthz to 503 draining so an outer
 // balancer stops routing here; proxying continues until shutdown.
@@ -245,6 +321,7 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	if res == nil {
 		// Follower cancelled while waiting; nothing useful to write and
 		// the client is gone anyway.
+		w.Header().Set("Retry-After", retryAfterSeconds(g.retryAfterHint(nil)))
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request cancelled"})
 		return
 	}
@@ -258,6 +335,13 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	if shared {
 		w.Header().Set("X-QRec-Collapsed", "1")
+	}
+	if res.status == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		// Every gateway 503 carries a backoff hint, mirroring the
+		// replica-side contract: relayed replica hints pass through above,
+		// and anything still missing one gets the health ladder's
+		// next-probe time.
+		w.Header().Set("Retry-After", retryAfterSeconds(g.retryAfterHint(nil)))
 	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
@@ -305,22 +389,50 @@ func (g *Gateway) forward(path, key, clientID string, body []byte) *flightResult
 	if last != nil && last.status != 0 {
 		// Every candidate answered but badly (e.g. unanimous 503 while a
 		// new model loads everywhere): relay the last real response rather
-		// than masking it.
+		// than masking it. A missing Retry-After is filled from the health
+		// ladder before the response leaves the gateway (handleProxy).
 		return last
 	}
 	h := http.Header{}
 	h.Set("Content-Type", "application/json")
-	h.Set("Retry-After", strconv.FormatInt(int64((g.cfg.RetryAfter+time.Second-1)/time.Second), 10))
+	h.Set("Retry-After", retryAfterSeconds(g.retryAfterHint(cands)))
 	msg, _ := json.Marshal(errorResponse{Error: "no replica reachable"})
 	return &flightResult{status: http.StatusServiceUnavailable, header: h, body: append(msg, '\n')}
+}
+
+// retryAfterHint derives the terminal-503 backoff hint from the health
+// ladder: the soonest scheduled probe among the request's candidates is
+// the earliest the gateway could notice a recovery, so telling the
+// client to come back sooner than that only buys it another 503. The
+// configured RetryAfter is the floor, maxRetryAfterHint the ceiling.
+func (g *Gateway) retryAfterHint(cands []string) time.Duration {
+	ra := g.cfg.RetryAfter
+	if len(cands) == 0 {
+		cands = g.view.Load().ring.Replicas()
+	}
+	if d := g.prober.NextProbeIn(cands, g.cfg.Clock()); d > ra {
+		ra = d
+	}
+	if ra > maxRetryAfterHint {
+		ra = maxRetryAfterHint
+	}
+	return ra
+}
+
+// retryAfterSeconds renders a duration as the delta-seconds Retry-After
+// form, ceiled so the hint never undershoots.
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.FormatInt(int64((d+time.Second-1)/time.Second), 10)
 }
 
 // routeOrder is the health-ladder-filtered candidate walk: ring order
 // among routable replicas, with non-routable ones appended as a fail-open
 // tail (trying a "down" replica last beats failing a request that still
-// had somewhere to go).
+// had somewhere to go). The ring is read from the current view snapshot,
+// so a concurrent membership change never hands this request a
+// half-updated candidate list.
 func (g *Gateway) routeOrder(key string) []string {
-	cands := g.ring.Candidates(key)
+	cands := g.view.Load().ring.Candidates(key)
 	routable := cands[:0:0]
 	var rest []string
 	for _, rep := range cands {
@@ -342,6 +454,10 @@ func (g *Gateway) routeOrder(key string) []string {
 // the API is a pure read, so re-execution is safe — while everything
 // else (200s, 4xxs including 429 rate limits) is the client's answer.
 func (g *Gateway) attempt(ctx context.Context, rep, path, clientID string, body []byte) (res *flightResult, retryable bool) {
+	// Count the attempt against the replica for the drain ladder: a
+	// draining member goes gone only once this reaches zero.
+	g.incInflight(rep)
+	defer g.decInflight(rep)
 	actx, cancel := context.WithTimeout(ctx, g.cfg.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep+path, bytes.NewReader(body))
@@ -400,35 +516,52 @@ func (g *Gateway) backoff(i int) time.Duration {
 
 // Stats is the gateway's telemetry snapshot.
 type Stats struct {
-	Proxied   uint64 `json:"proxied"`
-	Retried   uint64 `json:"retried"`
-	Rerouted  uint64 `json:"rerouted"`
-	Collapsed uint64 `json:"collapsed"`
-	Exhausted uint64 `json:"exhausted"`
-	Pushes    uint64 `json:"pushes"`
+	Proxied      uint64 `json:"proxied"`
+	Retried      uint64 `json:"retried"`
+	Rerouted     uint64 `json:"rerouted"`
+	Collapsed    uint64 `json:"collapsed"`
+	Exhausted    uint64 `json:"exhausted"`
+	Pushes       uint64 `json:"pushes"`
+	AdminAdds    uint64 `json:"admin_adds"`
+	AdminRemoves uint64 `json:"admin_removes"`
+	AuthRejected uint64 `json:"auth_rejected"`
+	WarmupFails  uint64 `json:"warmup_fails"`
 }
 
 // Stats snapshots the routing counters.
 func (g *Gateway) Stats() Stats {
 	return Stats{
-		Proxied:   g.proxied.Load(),
-		Retried:   g.retried.Load(),
-		Rerouted:  g.rerouted.Load(),
-		Collapsed: g.collapsed.Load(),
-		Exhausted: g.exhausted.Load(),
-		Pushes:    g.pushes.Load(),
+		Proxied:      g.proxied.Load(),
+		Retried:      g.retried.Load(),
+		Rerouted:     g.rerouted.Load(),
+		Collapsed:    g.collapsed.Load(),
+		Exhausted:    g.exhausted.Load(),
+		Pushes:       g.pushes.Load(),
+		AdminAdds:    g.adminAdds.Load(),
+		AdminRemoves: g.adminRemoves.Load(),
+		AuthRejected: g.authRejected.Load(),
+		WarmupFails:  g.warmupFails.Load(),
 	}
 }
 
 // handleHealth reports the gateway's own ladder: draining (503 +
 // Retry-After) when shutdown has begun, degraded when any replica is off
-// the healthy rung, ok otherwise — plus the per-replica table and
-// routing counters.
+// the healthy rung or any member is mid-lifecycle (warming/draining), ok
+// otherwise — plus the membership table (lifecycle state, health-ladder
+// rung, probe/retry counters per member), the persisted-state age, the
+// per-replica probe table and the routing counters, so a fleet operator
+// sees the gateway's complete view from one endpoint.
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
-	snapshot := g.prober.Snapshot()
+	snapshot := g.prober.Snapshot(g.cfg.Clock())
+	seq, members := g.memberTable()
 	status, code := "ok", http.StatusOK
 	for _, st := range snapshot {
 		if st.State != StateHealthy.String() && st.State != StateUnknown.String() {
+			status = "degraded"
+		}
+	}
+	for _, m := range members {
+		if m.State != MemberActive.String() {
 			status = "degraded"
 		}
 	}
@@ -437,10 +570,12 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "2")
 	}
 	writeJSON(w, code, map[string]any{
-		"status":   status,
-		"tier":     "gateway",
-		"replicas": snapshot,
-		"routing":  g.Stats(),
+		"status":      status,
+		"tier":        "gateway",
+		"membership":  map[string]any{"seq": seq, "members": members},
+		"persistence": g.persistStatus(),
+		"replicas":    snapshot,
+		"routing":     g.Stats(),
 	})
 }
 

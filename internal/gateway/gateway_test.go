@@ -169,7 +169,7 @@ func TestProberLadder(t *testing.T) {
 	if StateDraining.Routable() || StateDown.Routable() {
 		t.Error("draining/down must not be routable")
 	}
-	snap := p.Snapshot()
+	snap := p.Snapshot(now)
 	if snap[healthy.URL].ReplicaID != "r-ok" {
 		t.Errorf("replica id not captured: %+v", snap[healthy.URL])
 	}

@@ -58,13 +58,16 @@ type replicaHealth struct {
 	replicaID string    // from healthz "replica", when the replica sets one
 	nextProbe time.Time // probes before this instant are skipped
 	lastErr   string    // last probe failure, for telemetry
+	probes    uint64    // probes performed
+	failures  uint64    // probes that classified the replica down
 }
 
 // Prober tracks replica health by polling /v1/healthz and by passive
 // signals from the proxy path (transport errors mark a replica down
-// immediately; a successful response lifts it back). It never reads the
-// system clock — the composition root injects one — so probe schedules
-// are replayable in tests.
+// immediately; a successful response lifts it back). The tracked set is
+// dynamic — membership changes Add and Remove replicas at runtime. It
+// never reads the system clock — the composition root injects one — so
+// probe schedules are replayable in tests.
 type Prober struct {
 	client   *http.Client
 	interval time.Duration
@@ -74,7 +77,7 @@ type Prober struct {
 	st map[string]*replicaHealth
 }
 
-// newProber builds the tracker for a fixed replica set.
+// newProber builds the tracker for an initial replica set.
 func newProber(replicas []string, client *http.Client, interval time.Duration, clock func() time.Time) *Prober {
 	p := &Prober{
 		client:   client,
@@ -86,6 +89,24 @@ func newProber(replicas []string, client *http.Client, interval time.Duration, c
 		p.st[r] = &replicaHealth{}
 	}
 	return p
+}
+
+// Add starts tracking rep (no-op when already tracked). The fresh entry
+// is StateUnknown with an immediately due probe.
+func (p *Prober) Add(rep string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.st[rep]; !ok {
+		p.st[rep] = &replicaHealth{}
+	}
+}
+
+// Remove stops tracking rep. A drained member's prober is stopped only
+// after its in-flight requests finished — this is that final step.
+func (p *Prober) Remove(rep string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.st, rep)
 }
 
 // healthzBody is the slice of the replica healthz JSON the prober reads.
@@ -132,6 +153,10 @@ func (p *Prober) probeOne(ctx context.Context, rep string, now time.Time) {
 	}
 	h.state = state
 	h.lastErr = errMsg
+	h.probes++
+	if state == StateDown {
+		h.failures++
+	}
 	if id != "" {
 		h.replicaID = id
 	}
@@ -140,6 +165,38 @@ func (p *Prober) probeOne(ctx context.Context, rep string, now time.Time) {
 		backoff = retryAfter
 	}
 	h.nextProbe = now.Add(backoff)
+}
+
+// ProbeNow forces one probe of rep regardless of its schedule and
+// returns the resulting ladder state — the warm-up ladder drives this
+// directly instead of waiting for the background cadence.
+func (p *Prober) ProbeNow(ctx context.Context, rep string, now time.Time) ReplicaState {
+	p.probeOne(ctx, rep, now)
+	return p.State(rep)
+}
+
+// NextProbeIn reports how long until the soonest scheduled probe among
+// reps — the earliest instant the gateway could notice a recovery, which
+// is what a terminal 503's Retry-After should promise. A replica whose
+// probe is already due (or that is untracked) counts as one probe
+// interval out, since that is when the running probe loop will next
+// visit it. Zero when reps is empty.
+func (p *Prober) NextProbeIn(reps []string, now time.Time) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var min time.Duration
+	for _, rep := range reps {
+		d := p.interval
+		if h, ok := p.st[rep]; ok {
+			if until := h.nextProbe.Sub(now); until > 0 {
+				d = until
+			}
+		}
+		if min == 0 || d < min {
+			min = d
+		}
+	}
+	return min
 }
 
 // fetch runs the HTTP probe and classifies the response onto the ladder.
@@ -221,18 +278,32 @@ func (p *Prober) MarkUp(rep string) {
 
 // ReplicaStatus is one row of the gateway healthz replica table.
 type ReplicaStatus struct {
-	State     string `json:"state"`
-	ReplicaID string `json:"replica,omitempty"`
-	LastError string `json:"last_error,omitempty"`
+	State       string `json:"state"`
+	ReplicaID   string `json:"replica,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	Probes      uint64 `json:"probes,omitempty"`
+	Failures    uint64 `json:"probe_failures,omitempty"`
+	NextProbeMs int64  `json:"next_probe_ms,omitempty"`
 }
 
-// Snapshot returns the per-replica states keyed by replica URL.
-func (p *Prober) Snapshot() map[string]ReplicaStatus {
+// Snapshot returns the per-replica states keyed by replica URL; now
+// anchors the next-probe countdown.
+func (p *Prober) Snapshot(now time.Time) map[string]ReplicaStatus {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make(map[string]ReplicaStatus, len(p.st))
 	for rep, h := range p.st {
-		out[rep] = ReplicaStatus{State: h.state.String(), ReplicaID: h.replicaID, LastError: h.lastErr}
+		st := ReplicaStatus{
+			State:     h.state.String(),
+			ReplicaID: h.replicaID,
+			LastError: h.lastErr,
+			Probes:    h.probes,
+			Failures:  h.failures,
+		}
+		if until := h.nextProbe.Sub(now); until > 0 {
+			st.NextProbeMs = until.Milliseconds()
+		}
+		out[rep] = st
 	}
 	return out
 }

@@ -1,0 +1,414 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/checkpoint"
+)
+
+// MemberState is one rung of the membership lifecycle:
+//
+//	joining → warming → active → draining → gone
+//
+// A joining member is registered (and optionally being model-pushed) but
+// owns nothing. A warming member is being probed to healthy before it
+// may take ring ownership. Only active members own ring keys. A draining
+// member has been removed from the ring (no new keys) and is finishing
+// its in-flight requests; once those hit zero it is gone — dropped from
+// the view entirely and its prober stopped.
+type MemberState int
+
+// Membership lifecycle states.
+const (
+	MemberJoining MemberState = iota
+	MemberWarming
+	MemberActive
+	MemberDraining
+)
+
+// String names the state for telemetry and the admin API.
+func (s MemberState) String() string {
+	switch s {
+	case MemberJoining:
+		return "joining"
+	case MemberWarming:
+		return "warming"
+	case MemberActive:
+		return "active"
+	case MemberDraining:
+		return "draining"
+	default:
+		return "unknown"
+	}
+}
+
+// Member is one replica in the gateway's fleet view.
+type Member struct {
+	URL   string
+	State MemberState
+}
+
+// memberView is an immutable snapshot of the fleet: the member list plus
+// the consistent-hash ring built over exactly the active members. Views
+// are published RCU-style through an atomic pointer (mirroring the
+// replica's refcounted engine swap): the routing path loads one pointer
+// and sees a complete, internally consistent ring — never a half-updated
+// one — while membership mutations build an entirely new view and swap
+// it in. Requests that loaded an older view finish against it; that is
+// what makes ring changes zero-drop.
+type memberView struct {
+	seq     uint64
+	members []Member // sorted by URL
+	ring    *Ring    // over active members only
+}
+
+// newMemberView builds a view: members are copied, sorted, and the ring
+// is rebuilt over the active subset.
+func newMemberView(seq uint64, members []Member, vnodes int) *memberView {
+	ms := append([]Member(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].URL < ms[j].URL })
+	var active []string
+	for _, m := range ms {
+		if m.State == MemberActive {
+			active = append(active, m.URL)
+		}
+	}
+	return &memberView{seq: seq, members: ms, ring: NewRing(active, vnodes)}
+}
+
+// find returns the member with the given URL, or nil.
+func (v *memberView) find(url string) *Member {
+	for i := range v.members {
+		if v.members[i].URL == url {
+			return &v.members[i]
+		}
+	}
+	return nil
+}
+
+// Membership mutation errors, surfaced through the admin API.
+var (
+	// ErrMemberExists rejects adding a URL that is already a member (in
+	// any state — a draining member must finish leaving before rejoining).
+	ErrMemberExists = errors.New("gateway: replica is already a member")
+	// ErrMemberUnknown rejects operating on a URL that is not a member.
+	ErrMemberUnknown = errors.New("gateway: replica is not a member")
+	// ErrLastReplica refuses to drain the last active replica: a gateway
+	// with an empty ring can serve nothing, which is never what a fleet
+	// operator meant.
+	ErrLastReplica = errors.New("gateway: cannot remove the last active replica")
+	// ErrMemberState rejects a lifecycle transition from the wrong rung
+	// (e.g. draining a replica that is still warming).
+	ErrMemberState = errors.New("gateway: member is not in the required state")
+)
+
+// View returns the current membership snapshot (immutable; safe to read
+// without locks).
+func (g *Gateway) View() (seq uint64, members []Member) {
+	v := g.view.Load()
+	return v.seq, append([]Member(nil), v.members...)
+}
+
+// publishLocked builds and atomically publishes a new view from members,
+// then persists the active set when a state path is configured. The
+// caller holds memberMu, which serializes mutations; readers are never
+// blocked — they keep loading whichever view pointer is current.
+func (g *Gateway) publishLocked(members []Member) *memberView {
+	v := newMemberView(g.view.Load().seq+1, members, g.cfg.VNodes)
+	g.view.Store(v)
+	g.persistLocked(v)
+	return v
+}
+
+// addJoining registers url as a joining member and starts probing it.
+func (g *Gateway) addJoining(url string) error {
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	v := g.view.Load()
+	if v.find(url) != nil {
+		return ErrMemberExists
+	}
+	g.publishLocked(append(append([]Member(nil), v.members...), Member{URL: url, State: MemberJoining}))
+	g.prober.Add(url)
+	return nil
+}
+
+// transition moves url from one of the allowed states to `to` and
+// publishes the new view (rebuilding the ring when active membership
+// changed).
+func (g *Gateway) transition(url string, to MemberState, allowedFrom ...MemberState) error {
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	v := g.view.Load()
+	m := v.find(url)
+	if m == nil {
+		return ErrMemberUnknown
+	}
+	allowed := false
+	for _, s := range allowedFrom {
+		if m.State == s {
+			allowed = true
+		}
+	}
+	if !allowed {
+		return fmt.Errorf("%w: %s is %s", ErrMemberState, url, m.State)
+	}
+	members := append([]Member(nil), v.members...)
+	for i := range members {
+		if members[i].URL == url {
+			members[i].State = to
+		}
+	}
+	g.publishLocked(members)
+	return nil
+}
+
+// startDrain moves an active member to draining: the published ring no
+// longer contains it, so no new keys route there, while requests that
+// captured the previous view finish against it. The persisted active set
+// already excludes it — a gateway that crashes mid-drain restarts
+// without the replica the operator was removing.
+func (g *Gateway) startDrain(url string) error {
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	v := g.view.Load()
+	m := v.find(url)
+	if m == nil {
+		return ErrMemberUnknown
+	}
+	if m.State != MemberActive {
+		return fmt.Errorf("%w: %s is %s", ErrMemberState, url, m.State)
+	}
+	if len(v.ring.Replicas()) <= 1 {
+		return ErrLastReplica
+	}
+	members := append([]Member(nil), v.members...)
+	for i := range members {
+		if members[i].URL == url {
+			members[i].State = MemberDraining
+		}
+	}
+	g.publishLocked(members)
+	return nil
+}
+
+// removeMember drops url from the view entirely and stops its prober —
+// the "gone" transition. Safe to call for any state (warm-up failures
+// clean up through here too).
+func (g *Gateway) removeMember(url string) error {
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	v := g.view.Load()
+	if v.find(url) == nil {
+		return ErrMemberUnknown
+	}
+	members := make([]Member, 0, len(v.members))
+	for _, m := range v.members {
+		if m.URL != url {
+			members = append(members, m)
+		}
+	}
+	g.publishLocked(members)
+	g.prober.Remove(url)
+	return nil
+}
+
+// ---- per-replica in-flight accounting --------------------------------------
+
+// incInflight counts one upstream attempt against rep; the drain wait
+// blocks until a draining replica's count reaches zero.
+func (g *Gateway) incInflight(rep string) {
+	g.inflightMu.Lock()
+	g.inflight[rep]++
+	g.inflightMu.Unlock()
+}
+
+func (g *Gateway) decInflight(rep string) {
+	g.inflightMu.Lock()
+	if g.inflight[rep] <= 1 {
+		delete(g.inflight, rep)
+	} else {
+		g.inflight[rep]--
+	}
+	g.inflightMu.Unlock()
+}
+
+// inflightFor reports the live upstream attempts against rep.
+func (g *Gateway) inflightFor(rep string) int {
+	g.inflightMu.Lock()
+	defer g.inflightMu.Unlock()
+	return g.inflight[rep]
+}
+
+// ---- persistence ------------------------------------------------------------
+
+// MembershipVersion is the checkpoint-envelope format version of the
+// persisted membership file.
+const MembershipVersion uint32 = 1
+
+// Membership is the persisted fleet view: the active replica set, the
+// view sequence it was captured at, and when (injected clock, unix
+// seconds; zero when the composition root froze the clock).
+type Membership struct {
+	Seq      uint64   `json:"seq"`
+	SavedAt  int64    `json:"saved_at_unix"`
+	Replicas []string `json:"replicas"`
+}
+
+// EncodeMembership frames m in the checksummed checkpoint envelope.
+func EncodeMembership(m Membership) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: encode membership: %w", err)
+	}
+	return checkpoint.Encode(MembershipVersion, payload), nil
+}
+
+// DecodeMembership validates an envelope and decodes the membership
+// payload. Corruption errors wrap the checkpoint sentinels (ErrBadMagic,
+// ErrTruncated, ErrChecksum, *VersionError); a syntactically valid
+// envelope holding an empty replica set is rejected too — a gateway
+// cannot serve from it, so callers must fall back to flags.
+func DecodeMembership(data []byte) (Membership, error) {
+	var m Membership
+	payload, err := checkpoint.Decode(data, MembershipVersion)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return m, fmt.Errorf("gateway: decode membership: %w", err)
+	}
+	if len(m.Replicas) == 0 {
+		return m, errors.New("gateway: membership file has no replicas")
+	}
+	for _, rep := range m.Replicas {
+		if rep == "" {
+			return m, errors.New("gateway: membership file has an empty replica URL")
+		}
+	}
+	return m, nil
+}
+
+// LoadMembership reads and validates a persisted membership file. A
+// missing file wraps fs.ErrNotExist.
+func LoadMembership(path string) (Membership, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Membership{}, fmt.Errorf("gateway: %w", err)
+	}
+	return DecodeMembership(data)
+}
+
+// ResolveBootMembership decides the boot-time replica set: the persisted
+// view when path holds a valid membership file, the flag-provided set
+// otherwise. A corrupt or unreadable state file falls back to flags and
+// returns the corruption error alongside, so the composition root can
+// log the skip without dying — last-known fleet beats no fleet, and
+// boot flags beat a checksum-failed fleet. Stale temp files from a crash
+// mid-save are swept first.
+func ResolveBootMembership(path string, flags []string) (replicas []string, fromState *Membership, err error) {
+	if path == "" {
+		return flags, nil, nil
+	}
+	// Best-effort sweep: the state directory may not exist yet on first
+	// boot, which is not an error.
+	_, _ = checkpoint.RemoveStaleTemps(filepath.Dir(path))
+	m, err := LoadMembership(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return flags, nil, nil
+		}
+		return flags, nil, err
+	}
+	return m.Replicas, &m, nil
+}
+
+// persistLocked writes the active set of v to the configured state path
+// through the atomic checksummed envelope. Persist failures never block
+// or roll back a membership change — routing correctness outranks
+// durability — but they are counted and surfaced on healthz so an
+// operator sees a gateway whose disk view is falling behind.
+func (g *Gateway) persistLocked(v *memberView) {
+	if g.cfg.StatePath == "" {
+		return
+	}
+	m := Membership{Seq: v.seq, SavedAt: g.cfg.Clock().Unix(), Replicas: v.ring.Replicas()}
+	err := checkpoint.WriteAtomic(g.cfg.StatePath, MembershipVersion, func(w io.Writer) error {
+		payload, jerr := json.Marshal(m)
+		if jerr != nil {
+			return jerr
+		}
+		_, werr := w.Write(payload)
+		return werr
+	})
+	g.persistMu.Lock()
+	defer g.persistMu.Unlock()
+	if err != nil {
+		g.persist.errors++
+		g.persist.lastError = err.Error()
+		return
+	}
+	g.persist.seq = m.Seq
+	g.persist.savedAt = m.SavedAt
+}
+
+// PersistStatus is the healthz persistence section: whether a state path
+// is configured, the last successfully saved view seq and its age, and
+// the running error count.
+type PersistStatus struct {
+	Enabled    bool   `json:"enabled"`
+	Path       string `json:"path,omitempty"`
+	Seq        uint64 `json:"seq,omitempty"`
+	AgeSeconds int64  `json:"age_seconds,omitempty"`
+	Errors     uint64 `json:"errors,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// persistStatus snapshots the persistence telemetry.
+func (g *Gateway) persistStatus() PersistStatus {
+	g.persistMu.Lock()
+	defer g.persistMu.Unlock()
+	ps := PersistStatus{
+		Enabled:   g.cfg.StatePath != "",
+		Path:      g.cfg.StatePath,
+		Seq:       g.persist.seq,
+		Errors:    g.persist.errors,
+		LastError: g.persist.lastError,
+	}
+	if ps.Enabled && g.persist.savedAt > 0 {
+		if age := g.cfg.Clock().Unix() - g.persist.savedAt; age > 0 {
+			ps.AgeSeconds = age
+		}
+	}
+	return ps
+}
+
+// normalizeReplicaURL validates and canonicalizes a replica base URL for
+// membership operations: http(s) scheme, a host, no trailing slash (so
+// it joins cleanly with request paths), nothing else.
+func normalizeReplicaURL(raw string) (string, error) {
+	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+	if raw == "" {
+		return "", errors.New("gateway: empty replica URL")
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("gateway: replica URL %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("gateway: replica URL %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("gateway: replica URL %q: missing host", raw)
+	}
+	return raw, nil
+}

@@ -1,0 +1,568 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// okReplica is a minimal replica double: healthy healthz plus an echoing
+// recommend endpoint that stamps X-Replica-ID so tests can see who served.
+func okReplica(t *testing.T, id string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","replica":%q}`, id)
+	})
+	mux.HandleFunc("/v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Replica-ID", id)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// adminReq performs an admin-surface request with the given bearer token
+// ("" sends no Authorization header).
+func adminReq(t *testing.T, gw http.Handler, method, path, token, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	w := httptest.NewRecorder()
+	gw.ServeHTTP(w, req)
+	return w
+}
+
+func TestAdminDisabledWithoutToken(t *testing.T) {
+	gw := testGateway(t, []string{"http://a:1"}, nil)
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodPost, "/v1/admin/replicas?url=http://b:2"},
+		{http.MethodDelete, "/v1/admin/replicas?url=http://a:1"},
+		{http.MethodGet, "/v1/admin/ring"},
+		{http.MethodPost, "/v1/model/push"},
+	} {
+		w := adminReq(t, gw, probe.method, probe.path, "whatever", "")
+		if w.Code != http.StatusForbidden {
+			t.Errorf("%s %s with admin disabled: got %d, want 403", probe.method, probe.path, w.Code)
+		}
+	}
+	if got := gw.Stats().AuthRejected; got != 4 {
+		t.Errorf("auth_rejected = %d, want 4", got)
+	}
+}
+
+func TestAdminAuthRejectsBadToken(t *testing.T) {
+	gw := testGateway(t, []string{"http://a:1"}, func(c *Config) { c.AdminToken = "s3cret" })
+	cases := []string{"", "wrong", "s3cret-but-longer", "s3cre"}
+	for _, tok := range cases {
+		w := adminReq(t, gw, http.MethodGet, "/v1/admin/ring", tok, "")
+		if w.Code != http.StatusUnauthorized {
+			t.Errorf("token %q: got %d, want 401", tok, w.Code)
+		}
+		if ch := w.Header().Get("WWW-Authenticate"); !strings.Contains(ch, "Bearer") {
+			t.Errorf("token %q: WWW-Authenticate = %q, want Bearer challenge", tok, ch)
+		}
+	}
+	if got := gw.Stats().AuthRejected; got != uint64(len(cases)) {
+		t.Errorf("auth_rejected = %d, want %d", got, len(cases))
+	}
+	// The right token passes and sees the fleet view.
+	w := adminReq(t, gw, http.MethodGet, "/v1/admin/ring", "s3cret", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("authorized ring read: got %d, want 200 (%s)", w.Code, w.Body.String())
+	}
+	var out struct {
+		Membership struct {
+			Seq     uint64         `json:"seq"`
+			Members []MemberStatus `json:"members"`
+		} `json:"membership"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Membership.Members) != 1 || out.Membership.Members[0].State != "active" {
+		t.Fatalf("unexpected membership: %+v", out.Membership)
+	}
+}
+
+func TestAdminAddWarmsUpThenRoutes(t *testing.T) {
+	a := okReplica(t, "rep-a")
+	b := okReplica(t, "rep-b")
+	gw := testGateway(t, []string{a.URL}, func(c *Config) {
+		c.AdminToken = "tok"
+		c.WarmupProbes = 3
+	})
+	w := adminReq(t, gw, http.MethodPost, "/v1/admin/replicas", "tok",
+		fmt.Sprintf(`{"url":%q}`, b.URL))
+	if w.Code != http.StatusOK {
+		t.Fatalf("add: got %d: %s", w.Code, w.Body.String())
+	}
+	reps := gw.Ring().Replicas()
+	if len(reps) != 2 {
+		t.Fatalf("ring after add: %v, want both replicas", reps)
+	}
+	// A key homed on the new replica is actually served by it.
+	key := keyHomedOn(t, gw.Ring(), b.URL)
+	resp := postKey(t, gw, key, `{"sql":"SELECT 1"}`)
+	if resp.Code != http.StatusOK || resp.Header().Get("X-Replica-ID") != "rep-b" {
+		t.Fatalf("key homed on new replica served by %q status %d, want rep-b/200",
+			resp.Header().Get("X-Replica-ID"), resp.Code)
+	}
+	if gw.Stats().AdminAdds != 1 {
+		t.Errorf("admin_adds = %d, want 1", gw.Stats().AdminAdds)
+	}
+}
+
+func TestAdminAddDeadReplicaRollsBack(t *testing.T) {
+	a := okReplica(t, "rep-a")
+	// A listener that is already closed: warm-up probes can never succeed.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	gw := testGateway(t, []string{a.URL}, func(c *Config) {
+		c.AdminToken = "tok"
+		c.WarmupProbes = 2
+	})
+	w := adminReq(t, gw, http.MethodPost, "/v1/admin/replicas", "tok",
+		fmt.Sprintf(`{"url":%q}`, deadURL))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("dead join: got %d, want 504 (%s)", w.Code, w.Body.String())
+	}
+	if _, members := gw.View(); len(members) != 1 || members[0].URL != a.URL {
+		t.Fatalf("membership after failed join: %+v, want only %s", members, a.URL)
+	}
+	if got := gw.Ring().Replicas(); len(got) != 1 {
+		t.Fatalf("ring after failed join: %v", got)
+	}
+	// The rolled-back member's prober entry is gone too.
+	if _, ok := gw.Prober().Snapshot(time.Now())[deadURL]; ok {
+		t.Fatal("prober still tracks the rolled-back member")
+	}
+	if gw.Stats().WarmupFails != 1 {
+		t.Errorf("warmup_fails = %d, want 1", gw.Stats().WarmupFails)
+	}
+}
+
+func TestAdminAddDuplicateConflicts(t *testing.T) {
+	a := okReplica(t, "rep-a")
+	gw := testGateway(t, []string{a.URL}, func(c *Config) { c.AdminToken = "tok" })
+	w := adminReq(t, gw, http.MethodPost, "/v1/admin/replicas", "tok",
+		fmt.Sprintf(`{"url":%q}`, a.URL))
+	if w.Code != http.StatusConflict {
+		t.Fatalf("duplicate add: got %d, want 409", w.Code)
+	}
+}
+
+func TestAdminRemoveDrainsInflight(t *testing.T) {
+	a := okReplica(t, "rep-a")
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","replica":"rep-b"}`)
+	})
+	mux.HandleFunc("/v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.Header().Set("X-Replica-ID", "rep-b")
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	b := httptest.NewServer(mux)
+	defer b.Close()
+
+	gw := testGateway(t, []string{a.URL, b.URL}, func(c *Config) {
+		c.AdminToken = "tok"
+		c.MemberDrainTimeout = 5 * time.Second
+		c.Sleep = nil // real sleeps: the drain wait must actually pace its polls
+	})
+	key := keyHomedOn(t, gw.Ring(), b.URL)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp := postKey(t, gw, key, `{"sql":"SELECT 1"}`)
+		if resp.Code != http.StatusOK {
+			t.Errorf("in-flight request finished %d, want 200", resp.Code)
+		}
+	}()
+	// Wait until the request is parked inside replica B.
+	for i := 0; i < 500 && gw.inflightFor(b.URL) == 0; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if gw.inflightFor(b.URL) == 0 {
+		t.Fatal("request never became in-flight against the victim")
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	w := adminReq(t, gw, http.MethodDelete, "/v1/admin/replicas?url="+b.URL, "tok", "")
+	wg.Wait()
+	if w.Code != http.StatusOK {
+		t.Fatalf("remove: got %d: %s", w.Code, w.Body.String())
+	}
+	var out struct {
+		Drained bool `json:"drained"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Drained {
+		t.Fatal("removal reported drained=false though the in-flight request finished")
+	}
+	if _, members := gw.View(); len(members) != 1 || members[0].URL != a.URL {
+		t.Fatalf("membership after remove: %+v", members)
+	}
+	if _, ok := gw.Prober().Snapshot(time.Now())[b.URL]; ok {
+		t.Fatal("prober still tracks the removed member")
+	}
+	// The victim's old keys now route to the survivor.
+	resp := postKey(t, gw, key, `{"sql":"SELECT 1"}`)
+	if resp.Header().Get("X-Replica-ID") != "rep-a" {
+		t.Fatalf("post-remove request served by %q, want rep-a", resp.Header().Get("X-Replica-ID"))
+	}
+	if gw.Stats().AdminRemoves != 1 {
+		t.Errorf("admin_removes = %d, want 1", gw.Stats().AdminRemoves)
+	}
+}
+
+func TestRemoveLastReplicaRefused(t *testing.T) {
+	gw := testGateway(t, []string{"http://a:1"}, func(c *Config) { c.AdminToken = "tok" })
+	w := adminReq(t, gw, http.MethodDelete, "/v1/admin/replicas?url=http://a:1", "tok", "")
+	if w.Code != http.StatusConflict {
+		t.Fatalf("remove last: got %d, want 409 (%s)", w.Code, w.Body.String())
+	}
+	if got := gw.Ring().Replicas(); len(got) != 1 {
+		t.Fatalf("ring changed on refused removal: %v", got)
+	}
+}
+
+func TestRemoveUnknownReplica(t *testing.T) {
+	gw := testGateway(t, []string{"http://a:1", "http://b:2"}, func(c *Config) { c.AdminToken = "tok" })
+	w := adminReq(t, gw, http.MethodDelete, "/v1/admin/replicas?url=http://nope:9", "tok", "")
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("remove unknown: got %d, want 404", w.Code)
+	}
+}
+
+// TestRingRebalanceBounds is the determinism/minimal-motion property test
+// from the issue: adding an (N+1)th replica to an N-replica ring moves
+// roughly 1/(N+1) of 10k keys — and only toward the newcomer — while
+// removing one moves exactly the departed replica's keys.
+func TestRingRebalanceBounds(t *testing.T) {
+	const keys = 10000
+	reps := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	newcomer := "http://e:5"
+	before := NewRing(reps, DefaultVNodes)
+	after := NewRing(append(append([]string(nil), reps...), newcomer), DefaultVNodes)
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("client-%d", i)
+		oldHome, newHome := before.Candidates(k)[0], after.Candidates(k)[0]
+		if oldHome != newHome {
+			moved++
+			if newHome != newcomer {
+				t.Fatalf("key %s moved %s→%s: rebalance must only move keys to the newcomer",
+					k, oldHome, newHome)
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	ideal := 1.0 / float64(len(reps)+1)
+	if frac < ideal/2 || frac > ideal*2 {
+		t.Fatalf("add moved %.3f of keys, want ≈%.3f (within 2x)", frac, ideal)
+	}
+
+	// Removal: only keys homed on the departed replica move.
+	removed := NewRing(reps[:3], DefaultVNodes)
+	moved = 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("client-%d", i)
+		oldHome := before.Candidates(k)[0]
+		if removed.Candidates(k)[0] != oldHome {
+			moved++
+			if oldHome != reps[3] {
+				t.Fatalf("key %s moved though its home %s survived removal", k, oldHome)
+			}
+		}
+	}
+	frac = float64(moved) / keys
+	ideal = 1.0 / float64(len(reps))
+	if frac < ideal/2 || frac > ideal*2 {
+		t.Fatalf("remove moved %.3f of keys, want ≈%.3f (within 2x)", frac, ideal)
+	}
+}
+
+// TestMembershipDeterministicAcrossGateways: two gateways fed the same
+// membership sequence route every key identically — the property that
+// lets a fleet run multiple gateway instances without coordination.
+func TestMembershipDeterministicAcrossGateways(t *testing.T) {
+	boot := []string{"http://a:1", "http://b:2", "http://c:3"}
+	g1 := testGateway(t, boot, nil)
+	g2 := testGateway(t, append([]string(nil), boot...), nil)
+
+	apply := func(g *Gateway) {
+		if err := g.addJoining("http://d:4"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.transition("http://d:4", MemberWarming, MemberJoining); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.transition("http://d:4", MemberActive, MemberWarming); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.startDrain("http://b:2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.removeMember("http://b:2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(g1)
+	apply(g2)
+
+	s1, m1 := g1.View()
+	s2, m2 := g2.View()
+	if s1 != s2 || len(m1) != len(m2) {
+		t.Fatalf("views diverged: seq %d/%d, %d/%d members", s1, s2, len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("member %d diverged: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("client-%d", i)
+		if g1.Ring().Candidates(k)[0] != g2.Ring().Candidates(k)[0] {
+			t.Fatalf("key %s routes to %s on g1 but %s on g2",
+				k, g1.Ring().Candidates(k)[0], g2.Ring().Candidates(k)[0])
+		}
+	}
+}
+
+func TestMembershipPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "membership.qrec")
+	boot := []string{"http://a:1", "http://b:2"}
+	gw := testGateway(t, boot, func(c *Config) {
+		c.StatePath = path
+		c.Clock = time.Now
+	})
+
+	// The boot view is persisted immediately.
+	m, err := LoadMembership(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Replicas) != 2 {
+		t.Fatalf("boot persist: %+v", m)
+	}
+
+	// A membership change rewrites the file with the new active set.
+	if err := gw.addJoining("http://c:3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.transition("http://c:3", MemberWarming, MemberJoining); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.transition("http://c:3", MemberActive, MemberWarming); err != nil {
+		t.Fatal(err)
+	}
+	m, err = LoadMembership(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Replicas) != 3 {
+		t.Fatalf("post-join persist: %+v", m)
+	}
+
+	// A restart resolves to the persisted view, not the boot flags.
+	reps, fromState, err := ResolveBootMembership(path, boot)
+	if err != nil || fromState == nil {
+		t.Fatalf("resolve: reps=%v fromState=%v err=%v", reps, fromState, err)
+	}
+	if len(reps) != 3 || fromState.Seq != m.Seq {
+		t.Fatalf("resolve returned %v (seq %d), want 3 replicas at seq %d", reps, fromState.Seq, m.Seq)
+	}
+	// And the restarted gateway's sequence continues past the persisted one.
+	g2 := testGateway(t, reps, func(c *Config) { c.InitialSeq = fromState.Seq })
+	if seq, _ := g2.View(); seq <= fromState.Seq {
+		t.Fatalf("restarted seq %d did not advance past persisted %d", seq, fromState.Seq)
+	}
+}
+
+func TestResolveBootMembershipFaults(t *testing.T) {
+	boot := []string{"http://a:1"}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "membership.qrec")
+
+	// Empty path: flags, no error.
+	if reps, st, err := ResolveBootMembership("", boot); err != nil || st != nil || len(reps) != 1 {
+		t.Fatalf("empty path: %v %v %v", reps, st, err)
+	}
+	// Missing file: flags, no error (first boot).
+	if reps, st, err := ResolveBootMembership(path, boot); err != nil || st != nil || len(reps) != 1 {
+		t.Fatalf("missing file: %v %v %v", reps, st, err)
+	}
+
+	valid, err := EncodeMembership(Membership{Seq: 7, Replicas: []string{"http://x:1", "http://y:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func() []byte{
+		"truncated": func() []byte { return valid[:len(valid)/2] },
+		"bit-flip": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[len(b)-3] ^= 0x40
+			return b
+		},
+		"empty":     func() []byte { return nil },
+		"bad-magic": func() []byte { return append([]byte("NOTQRECX"), valid[8:]...) },
+	}
+	for name, gen := range corruptions {
+		if err := os.WriteFile(path, gen(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reps, st, err := ResolveBootMembership(path, boot)
+		if err == nil {
+			t.Fatalf("%s: expected a corruption error", name)
+		}
+		if st != nil || len(reps) != 1 || reps[0] != boot[0] {
+			t.Fatalf("%s: corrupt state must fall back to flags, got %v %v", name, reps, st)
+		}
+	}
+
+	// A valid envelope holding an empty replica set is rejected the same way.
+	emptySet := checkpoint.Encode(MembershipVersion, []byte(`{"seq":1,"replicas":[]}`))
+	if err := os.WriteFile(path, emptySet, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ResolveBootMembership(path, boot); err == nil {
+		t.Fatal("empty replica set: expected an error")
+	}
+
+	// Stale temps from a crashed save are swept on resolve.
+	if err := os.WriteFile(path, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "membership.qrec.tmp-123456")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if reps, st, err := ResolveBootMembership(path, boot); err != nil || st == nil || len(reps) != 2 {
+		t.Fatalf("valid file with stale temp: %v %v %v", reps, st, err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp not swept: %v", err)
+	}
+}
+
+// TestTerminal503CarriesLadderRetryAfter: when every candidate is
+// unreachable, the synthesized 503's Retry-After reflects the health
+// ladder's next-probe time (here: one probe interval for never-probed
+// replicas), not just the configured floor.
+func TestTerminal503CarriesLadderRetryAfter(t *testing.T) {
+	// Port 1 on localhost: connection refused instantly.
+	gw := testGateway(t, []string{"http://127.0.0.1:1"}, func(c *Config) {
+		c.ProbeInterval = 5 * time.Second
+		c.RetryAfter = time.Second
+	})
+	w := postKey(t, gw, "client-1", `{"sql":"SELECT 1"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("got %d, want 503", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "5" {
+		t.Fatalf("Retry-After = %q, want \"5\" (the probe interval)", ra)
+	}
+}
+
+func TestHealthzReportsMembershipAndPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "membership.qrec")
+	a := okReplica(t, "rep-a")
+	gw := testGateway(t, []string{a.URL}, func(c *Config) {
+		c.StatePath = path
+		c.Clock = time.Now
+	})
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	w := httptest.NewRecorder()
+	gw.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	var out struct {
+		Status     string `json:"status"`
+		Membership struct {
+			Seq     uint64         `json:"seq"`
+			Members []MemberStatus `json:"members"`
+		} `json:"membership"`
+		Persistence PersistStatus `json:"persistence"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" {
+		t.Errorf("status = %q, want ok", out.Status)
+	}
+	if out.Membership.Seq == 0 || len(out.Membership.Members) != 1 {
+		t.Fatalf("membership section: %+v", out.Membership)
+	}
+	if m := out.Membership.Members[0]; m.URL != a.URL || m.State != "active" {
+		t.Fatalf("member row: %+v", m)
+	}
+	if !out.Persistence.Enabled || out.Persistence.Seq == 0 {
+		t.Fatalf("persistence section: %+v", out.Persistence)
+	}
+
+	// A member stuck mid-lifecycle degrades the gateway's own ladder.
+	if err := gw.addJoining("http://z:9"); err != nil {
+		t.Fatal(err)
+	}
+	w = httptest.NewRecorder()
+	gw.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "degraded" {
+		t.Errorf("status with joining member = %q, want degraded", out.Status)
+	}
+}
+
+func TestNormalizeReplicaURL(t *testing.T) {
+	good := map[string]string{
+		"http://a:1":            "http://a:1",
+		"  http://a:1/  ":       "http://a:1",
+		"https://fleet.example": "https://fleet.example",
+	}
+	for in, want := range good {
+		got, err := normalizeReplicaURL(in)
+		if err != nil || got != want {
+			t.Errorf("normalize(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "   ", "ftp://a:1", "a:1", "http://", "://nope"} {
+		if got, err := normalizeReplicaURL(in); err == nil {
+			t.Errorf("normalize(%q) = %q, want error", in, got)
+		}
+	}
+}

@@ -31,11 +31,20 @@ func (g *Gateway) PushModelDir(ctx context.Context, dir string) (map[string]erro
 		return nil, fmt.Errorf("gateway: encode push: %w", err)
 	}
 	g.pushes.Add(1)
-	out := make(map[string]error, len(g.ring.Replicas()))
-	for _, rep := range g.ring.Replicas() {
+	return g.pushPayload(ctx, payload), nil
+}
+
+// pushPayload delivers one pre-encoded push payload to every active
+// member of the current view. Draining and warming members are skipped:
+// a leaving replica's model no longer matters, and a joining one gets
+// its push through the warm-up ladder.
+func (g *Gateway) pushPayload(ctx context.Context, payload []byte) map[string]error {
+	reps := g.view.Load().ring.Replicas()
+	out := make(map[string]error, len(reps))
+	for _, rep := range reps {
 		out[rep] = pushOne(ctx, g.client, rep, payload)
 	}
-	return out, nil
+	return out
 }
 
 // pushOne delivers one pre-encoded push payload to one replica.

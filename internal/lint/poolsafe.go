@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
 	"strings"
 )
 
@@ -103,8 +104,12 @@ func checkPoolFunc(p *Pass, body *ast.BlockStmt) {
 			v.binds++
 			return true
 		}
+		// The flow-fact key is rooted at the declaring object (name plus
+		// declaration position), not the bare name: a shadowed inner
+		// variable is a different object, and its release must not poison
+		// — or cover for — the outer one sharing its name.
 		vars[obj] = &pooledVar{
-			obj: obj, name: id.Name, key: id.Name,
+			obj: obj, name: id.Name, key: id.Name + "#" + strconv.Itoa(int(obj.Pos())),
 			bindPos:  as.Pos(),
 			bindLine: p.Pkg.Fset.Position(as.Pos()).Line,
 			binds:    1,

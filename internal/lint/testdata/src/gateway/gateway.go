@@ -1,13 +1,15 @@
 // Package gateway holds golden fixtures for the detrand and durio
 // analyzers as they apply to the real internal/gateway package (which is
 // in both rule sets): probe scheduling must use an injected clock, retry
-// jitter must draw from the seeded stream, and the proxy relay path must
-// check (or explicitly discard) Close/Write errors.
+// jitter must draw from the seeded stream, and the proxy relay path and
+// the persisted membership state must check (or explicitly discard)
+// Close/Write errors.
 package gateway
 
 import (
 	"math/rand"
 	"net/http"
+	"os"
 	"time"
 )
 
@@ -40,4 +42,36 @@ func relayOK(w http.ResponseWriter, resp *http.Response, body []byte,
 	_ = resp.Body.Close()
 	_, _ = w.Write(body)
 	return now().Add(jitter(time.Second))
+}
+
+// stampMembershipAmbient timestamps the persisted membership view from
+// the ambient wall clock: two gateways saving the same view now disagree
+// on its SavedAt, and a replayed test cannot reproduce the file.
+func stampMembershipAmbient() int64 {
+	return time.Now().Unix() // want `time\.Now in deterministic package`
+}
+
+// persistMembershipTorn writes the membership state file while ignoring
+// both durability errors: a short write leaves a torn fleet view on disk
+// (rescued only by the envelope checksum), and an unchecked close can
+// swallow the flush failure that made it short.
+func persistMembershipTorn(f *os.File, envelope []byte) {
+	f.Write(envelope) // want `Write error is unchecked on a durable write path`
+	f.Close()         // want `Close error is unchecked on a durable write path`
+}
+
+// persistMembershipOK is the sanctioned shape for the state file: the
+// save timestamp comes from the injected clock and every write/close
+// error is surfaced to the caller, who decides whether a failed persist
+// may proceed (membership changes do — routing correctness outranks
+// durability — but only after counting the failure).
+func persistMembershipOK(f *os.File, envelope []byte, now func() time.Time) (int64, error) {
+	if _, err := f.Write(envelope); err != nil {
+		_ = f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return now().Unix(), nil
 }

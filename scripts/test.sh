@@ -14,7 +14,8 @@ go vet ./...
 go run ./cmd/qrec-lint ./...
 # The full suite under -race includes the chaos/overload tests (they use
 # injected predictors, no training, so they run in -short too); `make
-# chaos` runs just that slice verbosely.
+# chaos`, `make chaos-gw` and `make chaos-membership` run just those
+# slices verbosely.
 go test -race "$@" ./...
 
 # Bench smoke: one iteration of the kernel, training-step and serving
